@@ -1,0 +1,1 @@
+bench/coverage.ml: List Targets Violet Vruntime

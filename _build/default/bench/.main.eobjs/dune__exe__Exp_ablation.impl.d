@@ -1,0 +1,1 @@
+bench/exp_ablation.ml: Fmt List Targets Unix Util Violet Vmodel Vsymexec Vtrace

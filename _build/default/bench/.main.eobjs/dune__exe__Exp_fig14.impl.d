@@ -1,0 +1,1 @@
+bench/exp_fig14.ml: Coverage List Option Util Violet Vmodel

@@ -1,0 +1,1 @@
+bench/exp_fig15.ml: Fmt List Printf Targets Util Violet Vmodel

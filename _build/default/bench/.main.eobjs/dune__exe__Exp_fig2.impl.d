@@ -1,0 +1,1 @@
+bench/exp_fig2.ml: List Targets Util Vruntime

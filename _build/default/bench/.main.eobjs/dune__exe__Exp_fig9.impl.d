@@ -1,0 +1,1 @@
+bench/exp_fig9.ml: Util Violet Vir Vmodel Vruntime

@@ -1,0 +1,1 @@
+bench/exp_fp.ml: List Targets Util Violet Vmodel Vsymexec

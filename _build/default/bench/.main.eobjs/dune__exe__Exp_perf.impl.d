@@ -1,0 +1,1 @@
+bench/exp_perf.ml: Analyze Bechamel Benchmark Fmt Hashtbl Instance List Measure Printf Staged String Targets Test Time Toolkit Unix Util Vchecker Violet Vmodel Vsmt Vsymexec Vtrace

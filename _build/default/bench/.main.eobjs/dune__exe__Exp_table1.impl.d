@@ -1,0 +1,1 @@
+bench/exp_table1.ml: Float Fmt List String Targets Util Violet Vmodel Vruntime Vsmt

@@ -1,0 +1,1 @@
+bench/exp_table4.ml: List Targets Util Violet Vmodel

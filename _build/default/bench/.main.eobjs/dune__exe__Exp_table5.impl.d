@@ -1,0 +1,1 @@
+bench/exp_table5.ml: List String Targets Util Violet Vmodel

@@ -1,0 +1,1 @@
+bench/exp_table6.ml: Coverage List Printf Util Violet Vmodel

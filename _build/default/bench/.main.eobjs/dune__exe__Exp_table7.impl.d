@@ -1,0 +1,1 @@
+bench/exp_table7.ml: Fmt List Printf Targets Util Violet Vir Vruntime Vsymexec Vtrace

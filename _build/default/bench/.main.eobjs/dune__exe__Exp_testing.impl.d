@@ -1,0 +1,1 @@
+bench/exp_testing.ml: List Printf Targets Util Violet Vruntime

@@ -1,0 +1,1 @@
+bench/exp_upgrade.ml: List Targets Util Vchecker Violet Vmodel Vsmt

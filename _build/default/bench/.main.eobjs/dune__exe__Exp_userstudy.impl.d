@@ -1,0 +1,1 @@
+bench/exp_userstudy.ml: Hashtbl List Printf Random String Targets Util Vchecker Violet

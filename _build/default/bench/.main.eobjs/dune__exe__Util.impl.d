@@ -1,0 +1,1 @@
+bench/util.ml: Array Float Fmt List Printf String Targets Violet Vruntime

@@ -1,0 +1,61 @@
+(* Shared coverage sweep: derive impact models for every analyzable
+   parameter of every target (Section 7.6).  Memoized because Table 6,
+   Figure 14 and the false-positive experiment all consume it. *)
+
+type entry = {
+  system : string;
+  param : string;
+  analysis : Violet.Pipeline.analysis option;  (* None: analysis failed *)
+}
+
+type system_coverage = {
+  target : Violet.Pipeline.target;
+  total : int;
+  perf_related : int;
+  hooked_perf : int;
+  entries : entry list;  (* one per analyzable (perf, hooked, used) param *)
+}
+
+let sweep_opts =
+  { Violet.Pipeline.default_options with Violet.Pipeline.max_states = 512 }
+
+let run_system (target : Violet.Pipeline.target) =
+  let params = Vruntime.Config_registry.params target.Violet.Pipeline.registry in
+  let perf = List.filter (fun (p : Vruntime.Config_registry.param) -> p.Vruntime.Config_registry.perf_related) params in
+  let hooked =
+    List.filter
+      (fun (p : Vruntime.Config_registry.param) ->
+        p.Vruntime.Config_registry.hook = Vruntime.Config_registry.Hooked)
+      perf
+  in
+  let analyzable = Violet.Pipeline.analyzable_params target in
+  let entries =
+    List.map
+      (fun param ->
+        let analysis =
+          match Violet.Pipeline.analyze ~opts:sweep_opts target param with
+          | Ok a when a.Violet.Pipeline.rows <> [] -> Some a
+          | Ok _ | Error _ -> None
+        in
+        { system = target.Violet.Pipeline.name; param; analysis })
+      analyzable
+  in
+  {
+    target;
+    total = List.length params;
+    perf_related = List.length perf;
+    hooked_perf = List.length hooked;
+    entries;
+  }
+
+let memo = ref None
+
+let all () =
+  match !memo with
+  | Some r -> r
+  | None ->
+    let r = List.map run_system Targets.Cases.all_targets in
+    memo := Some r;
+    r
+
+let derived cov = List.filter (fun e -> e.analysis <> None) cov.entries

@@ -1,0 +1,40 @@
+(* Figure 14: distribution of Violet analysis times per system (boxplots in
+   the paper; quartile tables here).  Times are the virtual end-to-end
+   analysis times from the coverage sweep. *)
+
+let run () =
+  Util.section "Figure 14: analysis-time distribution per system (virtual seconds)";
+  let cov = Coverage.all () in
+  let rows =
+    List.filter_map
+      (fun (c : Coverage.system_coverage) ->
+        let times =
+          List.filter_map
+            (fun (e : Coverage.entry) ->
+              Option.map
+                (fun (a : Violet.Pipeline.analysis) ->
+                  a.Violet.Pipeline.model.Vmodel.Impact_model.virtual_analysis_s)
+                e.Coverage.analysis)
+            c.Coverage.entries
+        in
+        if times = [] then None
+        else begin
+          let min_, q1, median, q3, max_ = Util.quartiles times in
+          Some
+            [
+              c.Coverage.target.Violet.Pipeline.name;
+              Util.i0 (List.length times);
+              Util.f1 min_;
+              Util.f1 q1;
+              Util.f1 median;
+              Util.f1 q3;
+              Util.f1 max_;
+            ]
+        end)
+      cov
+  in
+  Util.print_table
+    ~header:[ "Software"; "models"; "min"; "q1"; "median"; "q3"; "max" ]
+    rows;
+  Util.note "paper medians: MySQL 206 s, PostgreSQL 117 s, Apache 1171 s, Squid 554 s";
+  Util.note "shape target: minutes-scale medians; log-analyzer time is measured separately in the perf experiment"

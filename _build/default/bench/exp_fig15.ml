@@ -1,0 +1,66 @@
+(* Figure 15: sensitivity of the performance-difference threshold.
+
+   For six representative parameters, the trace is analyzed under several
+   thresholds t; each reported suspicious pair is then validated natively
+   (Violet.Validate).  Lower thresholds surface more poor states at the cost
+   of more false positives. *)
+
+let subjects = [ "c1"; "c4"; "c5"; "c7"; "c12"; "c16" ]
+let thresholds = [ 0.25; 0.5; 1.0; 2.0; 4.0 ]
+let max_verified_pairs = 30
+
+let run () =
+  Util.section "Figure 15: sensitivity of the diff threshold (poor states normalized to t=100%)";
+  let header =
+    "case" :: List.map (fun t -> Printf.sprintf "t=%.0f%%" (100. *. t)) thresholds
+  in
+  let poor_rows = ref [] and fp_rows = ref [] in
+  List.iter
+    (fun case_id ->
+      let c = Targets.Cases.find_known case_id in
+      let target = Targets.Cases.target_of c.Targets.Cases.system in
+      let entry = Targets.Cases.query_entry_of c.Targets.Cases.system in
+      let a = Util.analyze_case c in
+      let per_threshold =
+        List.map
+          (fun t ->
+            let diff = Vmodel.Diff_analysis.analyze ~threshold:t a.Violet.Pipeline.rows in
+            let poor = List.length diff.Vmodel.Diff_analysis.poor_state_ids in
+            let sample =
+              List.filteri (fun i _ -> i < max_verified_pairs)
+                diff.Vmodel.Diff_analysis.pairs
+            in
+            let confirmed, checked =
+              List.fold_left
+                (fun (ok, n) pair ->
+                  match Violet.Validate.confirms ~threshold:t ~target ~entry pair with
+                  | Some true -> ok + 1, n + 1
+                  | Some false -> ok, n + 1
+                  | None -> ok, n)
+                (0, 0) sample
+            in
+            let fp =
+              if checked = 0 then 0.
+              else 100. *. float_of_int (checked - confirmed) /. float_of_int checked
+            in
+            poor, fp)
+          thresholds
+      in
+      let base =
+        match List.nth_opt per_threshold 2 with
+        | Some (p, _) when p > 0 -> float_of_int p
+        | _ -> 1.
+      in
+      poor_rows :=
+        (case_id
+        :: List.map (fun (p, _) -> Util.f2 (float_of_int p /. base)) per_threshold)
+        :: !poor_rows;
+      fp_rows :=
+        (case_id :: List.map (fun (_, fp) -> Printf.sprintf "%.0f%%" fp) per_threshold)
+        :: !fp_rows)
+    subjects;
+  Fmt.pr "poor states (normalized to the default threshold):@.";
+  Util.print_table ~header (List.rev !poor_rows);
+  Fmt.pr "@.false-positive rate among reported pairs (native validation):@.";
+  Util.print_table ~header (List.rev !fp_rows);
+  Util.note "paper: lower thresholds dramatically increase detected poor states and false positives"

@@ -1,0 +1,32 @@
+(* Figure 2: MySQL throughput for autocommit under two workloads. *)
+
+module M = Targets.Mysql_model
+
+let qps ~mix ~autocommit clients =
+  let config =
+    Util.config_values M.registry [ "autocommit", (if autocommit then "ON" else "OFF") ]
+  in
+  Vruntime.Concrete_exec.throughput ~entry:M.query_entry ~env:Vruntime.Hw_env.hdd_server
+    M.program ~config ~mix ~clients
+
+let run () =
+  Util.section "Figure 2: MySQL throughput, autocommit ON vs OFF (QPS)";
+  let threads = [ 8; 16; 32; 64 ] in
+  let rows =
+    List.map
+      (fun n ->
+        let normal_on = qps ~mix:(M.normal_mix ~autocommit:true) ~autocommit:true n in
+        let normal_off = qps ~mix:(M.normal_mix ~autocommit:false) ~autocommit:false n in
+        let ins_on = qps ~mix:(M.insert_mix ~autocommit:true) ~autocommit:true n in
+        let ins_off = qps ~mix:(M.insert_mix ~autocommit:false) ~autocommit:false n in
+        [ Util.i0 n; Util.f1 normal_on; Util.f1 normal_off;
+          Util.f2 (normal_off /. normal_on); Util.f1 ins_on; Util.f1 ins_off;
+          Util.f2 (ins_off /. ins_on) ])
+      threads
+  in
+  Util.print_table
+    ~header:
+      [ "threads"; "normal ON"; "normal OFF"; "OFF/ON"; "insert ON"; "insert OFF"; "OFF/ON" ]
+    rows;
+  Util.note
+    "paper: (a) normal workload ON ~= OFF; (b) insert-intensive: OFF ~6x better than ON"

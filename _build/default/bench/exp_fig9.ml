@@ -1,0 +1,52 @@
+(* Figure 9: making unrelated parameters symbolic causes excessive state
+   exploration.  A three-parameter demo program where opt_y is unrelated to
+   opt_x and opt_z: the related-set analysis keeps opt_y's run at two paths,
+   while the all-symbolic ablation multiplies them. *)
+
+let registry =
+  Vruntime.Config_registry.(
+    make ~system:"fig9"
+      [
+        param_int "opt_x" ~lo:0 ~hi:1000 ~default:50 "unrelated threshold";
+        param_bool "opt_y" ~default:false "the target parameter";
+        param_enum "opt_z" ~values:[ "FILE"; "NET"; "NONE" ] ~default:"NONE" "unrelated sink";
+      ])
+
+let program =
+  let open Vir.Builder in
+  program ~name:"fig9" ~entry:"main"
+    [
+      func "main"
+        [
+          if_ (cfg "opt_x" >. i 100)
+            [ compute (i 500) ]
+            [ compute (i 100) ];
+          if_ (cfg "opt_z" ==. i 0)
+            [ buffered_write (i 4096) ]
+            [ if_ (cfg "opt_z" ==. i 1) [ net_send (i 4096) ] [] ];
+          if_ (cfg "opt_y" ==. i 1) [ fsync ] [ compute (i 50) ];
+          ret_void;
+        ];
+    ]
+
+let target =
+  { Violet.Pipeline.name = "fig9"; program; registry; workloads = [] }
+
+let states opts =
+  let a = Violet.Pipeline.analyze_exn ~opts target "opt_y" in
+  a.Violet.Pipeline.model.Vmodel.Impact_model.explored_states
+
+let run () =
+  Util.section "Figure 9: symbolic set selection on the 3-parameter example";
+  let related = states Violet.Pipeline.default_options in
+  let all =
+    states { Violet.Pipeline.default_options with Violet.Pipeline.all_symbolic = true }
+  in
+  Util.print_table
+    ~header:[ "symbolic set"; "states explored" ]
+    [
+      [ "opt_y + related (= none)"; Util.i0 related ];
+      [ "all parameters (ablation)"; Util.i0 all ];
+    ];
+  Util.note "paper: 2 paths suffice for opt_y; all-symbolic explores at least 6";
+  assert (related < all)

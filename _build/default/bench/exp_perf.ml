@@ -1,0 +1,122 @@
+(* Section 7.9: performance of the toolchain — trace-analyzer and checker
+   times, plus Bechamel micro-benchmarks of the hot components. *)
+
+open Bechamel
+open Toolkit
+
+let checker_inputs () =
+  List.filter_map
+    (fun case_id ->
+      let c = Targets.Cases.find_known case_id in
+      let target = Targets.Cases.target_of c.Targets.Cases.system in
+      let a = Util.analyze_case c in
+      let text =
+        String.concat "\n"
+          (List.map (fun (k, v) -> k ^ " = " ^ v) c.Targets.Cases.poor_setting)
+      in
+      match Vchecker.Config_file.parse text with
+      | Ok file -> Some (c, target, a, file)
+      | Error _ -> None)
+    [ "c1"; "c3"; "c5"; "c7"; "c12"; "c16" ]
+
+let wall_measurements () =
+  let inputs = checker_inputs () in
+  let checker_times =
+    List.filter_map
+      (fun ((_ : Targets.Cases.known_case), target, a, file) ->
+        match
+          Vchecker.Checker.check_current ~model:a.Violet.Pipeline.model
+            ~registry:target.Violet.Pipeline.registry ~file
+        with
+        | Ok report -> Some report.Vchecker.Checker.checked_in_s
+        | Error _ -> None)
+      inputs
+  in
+  let analyzer_times =
+    List.map
+      (fun (_, _, (a : Violet.Pipeline.analysis), _) ->
+        let t0 = Unix.gettimeofday () in
+        ignore (Vmodel.Diff_analysis.analyze ~threshold:1.0 a.Violet.Pipeline.rows);
+        Unix.gettimeofday () -. t0)
+      inputs
+  in
+  let avg l = List.fold_left ( +. ) 0. l /. float_of_int (max 1 (List.length l)) in
+  Util.note "average checker time: %.4f s over %d models (paper: 15.7 s on 471 full-size models)"
+    (avg checker_times) (List.length checker_times);
+  Util.note "average trace-analyzer time: %.4f s (paper log-analyzer: 68 s)"
+    (avg analyzer_times)
+
+let micro_benchmarks () =
+  let c1 = Util.analyze_case (Targets.Cases.find_known "c1") in
+  let rows = c1.Violet.Pipeline.rows in
+  let signals =
+    match c1.Violet.Pipeline.result.Vsymexec.Executor.states with
+    | st :: _ -> Vsymexec.Sym_state.signals_in_order st
+    | [] -> []
+  in
+  let target = Targets.Mysql_model.target in
+  let registry = target.Violet.Pipeline.registry in
+  let file =
+    match Vchecker.Config_file.parse "autocommit = ON\ninnodb_flush_log_at_trx_commit = 1" with
+    | Ok f -> f
+    | Error e -> failwith e
+  in
+  let constraints =
+    let open Vsmt.Expr in
+    let ac = var "autocommit" Vsmt.Dom.bool in
+    let flush = var "flush" (Vsmt.Dom.int_range 0 2) in
+    let buf = var "buf" (Vsmt.Dom.int_range 1024 67108864) in
+    [ ac ==. const 1; flush <>. const 0; buf >. const 4096; buf <. const 1048576 ]
+  in
+  let tests =
+    [
+      Test.make ~name:"solver.check"
+        (Staged.stage (fun () -> ignore (Vsmt.Solver.check constraints)));
+      Test.make ~name:"record_match"
+        (Staged.stage (fun () -> ignore (Vtrace.Record_match.match_records signals)));
+      Test.make ~name:"trace_analyzer"
+        (Staged.stage (fun () ->
+             ignore (Vmodel.Diff_analysis.analyze ~threshold:1.0 rows)));
+      Test.make ~name:"checker.mode2"
+        (Staged.stage (fun () ->
+             ignore
+               (Vchecker.Checker.check_current ~model:c1.Violet.Pipeline.model ~registry
+                  ~file)));
+      Test.make ~name:"pipeline.autocommit"
+        (Staged.stage (fun () ->
+             ignore (Violet.Pipeline.analyze_exn target "autocommit")));
+    ]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.8) ~stabilize:false ()
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let rows =
+    List.map
+      (fun test ->
+        let results =
+          Benchmark.all cfg instances (Test.make_grouped ~name:"g" [ test ])
+        in
+        let analyzed = Analyze.all ols Instance.monotonic_clock results in
+        Hashtbl.fold
+          (fun name result acc ->
+            let ns =
+              match Analyze.OLS.estimates result with
+              | Some (x :: _) -> x
+              | Some [] | None -> nan
+            in
+            [ name; Printf.sprintf "%.3f ms" (ns /. 1e6) ] :: acc)
+          analyzed [])
+      tests
+    |> List.concat
+  in
+  Util.print_table ~header:[ "component"; "time per run" ] rows
+
+let run () =
+  Util.section "Section 7.9: toolchain performance";
+  wall_measurements ();
+  Fmt.pr "@.Bechamel micro-benchmarks:@.";
+  micro_benchmarks ()

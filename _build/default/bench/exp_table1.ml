@@ -1,0 +1,45 @@
+(* Table 1: the raw cost table Violet generates for autocommit. *)
+
+module M = Vmodel.Impact_model
+module Row = Vmodel.Cost_row
+
+let run () =
+  Util.section "Table 1: raw cost table for MySQL autocommit";
+  let a = Util.analyze_case (Targets.Cases.find_known "c1") in
+  let model = a.Violet.Pipeline.model in
+  (* the paper's table shows the commit-path rows: INSERT-class states whose
+     constraints mention autocommit/flush, plus the autocommit==0 row *)
+  let interesting (r : Row.t) =
+    List.exists
+      (fun c ->
+        List.exists
+          (fun (v : Vsmt.Expr.var) ->
+            v.Vsmt.Expr.name = "autocommit"
+            || v.Vsmt.Expr.name = "innodb_flush_log_at_trx_commit")
+          (Vsmt.Expr.vars c))
+      r.Row.config_constraints
+    && Row.workload_satisfied_by r
+         [ "sql_command", 1; "table_type", 0; "row_bytes", 256; "n_rows", 1; "n_tables", 1;
+           "cached", 0; "use_index", 1; "other_clients_reading", 0 ]
+  in
+  let rows = List.filter interesting model.M.rows in
+  let rows =
+    List.sort
+      (fun (a : Row.t) b -> Float.compare b.Row.traced_latency_us a.Row.traced_latency_us)
+      rows
+  in
+  let render (r : Row.t) =
+    [
+      Row.constraint_string r;
+      Vruntime.Cost.summary r.Row.cost;
+      "{" ^ String.concat " -> " r.Row.critical_ops ^ "}";
+      (match r.Row.workload_pred with
+      | [] -> "any"
+      | cs ->
+        String.concat " && " (List.map (Fmt.str "%a" Row.pp_constraint) cs));
+    ]
+  in
+  Util.print_table
+    ~header:[ "Configuration Constraint"; "Cost"; "Critical ops"; "Workload Predicate" ]
+    (List.map render rows);
+  Util.note "paper Table 1: flush=1 row costs ~2.2x the flush=2 row and carries fil_flush"

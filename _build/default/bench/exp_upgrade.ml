@@ -1,0 +1,63 @@
+(* Checker mode 3 (paper Section 4.7, scenario 3): a code upgrade changes
+   the cost of existing settings.  The MySQL 5.6-like build fixes the binlog
+   group-commit problem but worsens query-cache contention; re-deriving the
+   impact models and diffing them flags exactly the regressed setting. *)
+
+module P = Violet.Pipeline
+module Checker = Vchecker.Checker
+
+let model target param =
+  (P.analyze_exn target param).P.model
+
+let mentions param (row : Vmodel.Cost_row.t) =
+  List.exists
+    (fun c ->
+      List.exists
+        (fun (v : Vsmt.Expr.var) -> v.Vsmt.Expr.name = param)
+        (Vsmt.Expr.vars c))
+    row.Vmodel.Cost_row.config_constraints
+
+let run () =
+  Util.section "Checker mode 3: MySQL 5.5 -> 5.6 code upgrade";
+  (* regression: query_cache_type=ON contends harder in 5.6 *)
+  let old_qc = model Targets.Mysql_model.target "query_cache_type" in
+  let new_qc = model Targets.Mysql_model.target_56 "query_cache_type" in
+  let report = Checker.check_upgrade ~old_model:old_qc ~new_model:new_qc in
+  let qc_findings =
+    List.filter
+      (fun (f : Checker.finding) ->
+        Vmodel.Cost_row.satisfied_by f.Checker.slow_row [ "query_cache_type", 1 ])
+      report.Checker.findings
+  in
+  Util.print_table
+    ~header:[ "setting made slower by 5.6"; "ratio"; "trigger" ]
+    (List.map
+       (fun (f : Checker.finding) ->
+         [ Vmodel.Cost_row.constraint_string f.Checker.slow_row;
+           Util.fx f.Checker.ratio; f.Checker.trigger ])
+       (List.filteri (fun i _ -> i < 5) qc_findings));
+  Util.note "query_cache_type=ON regressions flagged: %d (the 5.6 query-cache contention)"
+    (List.length qc_findings);
+  (* improvement: sync_binlog=1 got cheaper (2 fsyncs -> 1).  Comparing the
+     same constraint-state across the two versions' models shows the cost
+     change directly. *)
+  let sync_state model_ =
+    List.find_opt
+      (fun r ->
+        mentions "sync_binlog" r
+        && Vmodel.Cost_row.satisfied_by r [ "sync_binlog", 1; "sql_log_bin", 1 ]
+        && Vmodel.Cost_row.workload_satisfied_by r
+             [ "sql_command", 1; "table_type", 0; "row_bytes", 256; "n_rows", 1;
+               "n_tables", 1; "cached", 0; "use_index", 1; "other_clients_reading", 0 ])
+      model_.Vmodel.Impact_model.rows
+  in
+  let old_sb = model Targets.Mysql_model.target "sync_binlog" in
+  let new_sb = model Targets.Mysql_model.target_56 "sync_binlog" in
+  (match sync_state old_sb, sync_state new_sb with
+  | Some o, Some n ->
+    Util.note
+      "sync_binlog=1 insert state: 5.5 %.1f ms -> 5.6 %.1f ms (%.2fx, binlog group commit)"
+      (o.Vmodel.Cost_row.traced_latency_us /. 1000.)
+      (n.Vmodel.Cost_row.traced_latency_us /. 1000.)
+      (o.Vmodel.Cost_row.traced_latency_us /. n.Vmodel.Cost_row.traced_latency_us)
+  | _ -> Util.note "sync_binlog state not found in one of the models")

@@ -1,0 +1,278 @@
+(* The Violet command-line tool.
+
+   Subcommands mirror the paper's workflow (Figure 6):
+     violet list-params <system>            parameter registry inventory
+     violet related <system> <param>        static related-parameter analysis
+     violet analyze <system> <param>        run the pipeline, print the report
+     violet check <system> <param> <file>   checker mode 2 on a config file
+     violet check-update <system> <param> <old> <new>   checker mode 1
+
+   Systems are the bundled target models: mysql, postgres, apache, squid.
+   Models can be saved with --save and reused by the checker with --model,
+   the deployment the paper describes (analyze once, check continuously). *)
+
+open Cmdliner
+
+let system_arg =
+  let doc = "Target system (mysql, postgres, apache or squid)." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"SYSTEM" ~doc)
+
+let param_arg pos_idx =
+  let doc = "Configuration parameter name." in
+  Arg.(required & pos pos_idx (some string) None & info [] ~docv:"PARAM" ~doc)
+
+let target_of_system system =
+  try Ok (Targets.Cases.target_of system) with Failure msg -> Error msg
+
+let or_die = function
+  | Ok v -> v
+  | Error msg ->
+    Fmt.epr "violet: %s@." msg;
+    exit 1
+
+(* ------------------------------------------------------------------ *)
+
+let list_params system =
+  let target = or_die (target_of_system system) in
+  let reg = target.Violet.Pipeline.registry in
+  Fmt.pr "%-34s %-22s %-8s %-6s %s@." "parameter" "type" "perf" "hook" "description";
+  List.iter
+    (fun (p : Vruntime.Config_registry.param) ->
+      let ty =
+        match p.Vruntime.Config_registry.kind with
+        | Vruntime.Config_registry.Bool -> "bool"
+        | Vruntime.Config_registry.Int { lo; hi } -> Printf.sprintf "int[%d..%d]" lo hi
+        | Vruntime.Config_registry.Enum vs -> "enum{" ^ String.concat "," vs ^ "}"
+        | Vruntime.Config_registry.Float_choices fs ->
+          "float{" ^ String.concat "," (List.map (Printf.sprintf "%g") fs) ^ "}"
+      in
+      let ty = if String.length ty > 22 then String.sub ty 0 19 ^ "..." else ty in
+      let hook =
+        match p.Vruntime.Config_registry.hook with
+        | Vruntime.Config_registry.Hooked -> "yes"
+        | Vruntime.Config_registry.No_hook_function_pointer -> "fnptr"
+        | Vruntime.Config_registry.No_hook_complex_type -> "complex"
+      in
+      Fmt.pr "%-34s %-22s %-8s %-6s %s@." p.Vruntime.Config_registry.name ty
+        (if p.Vruntime.Config_registry.perf_related then "perf" else "-")
+        hook p.Vruntime.Config_registry.summary)
+    (Vruntime.Config_registry.params reg);
+  0
+
+let related system param =
+  let target = or_die (target_of_system system) in
+  let r = Violet.Pipeline.related_params target param in
+  Fmt.pr "target:     %s@." r.Vanalysis.Related_config.target;
+  Fmt.pr "enablers:   [%s]@." (String.concat ", " r.Vanalysis.Related_config.enablers);
+  Fmt.pr "influenced: [%s]@." (String.concat ", " r.Vanalysis.Related_config.influenced);
+  Fmt.pr "related:    [%s]@." (String.concat ", " r.Vanalysis.Related_config.related);
+  0
+
+let analyze system param save max_states threshold no_related =
+  let target = or_die (target_of_system system) in
+  let opts =
+    {
+      Violet.Pipeline.default_options with
+      Violet.Pipeline.max_states;
+      threshold;
+      include_related = not no_related;
+    }
+  in
+  match Violet.Pipeline.analyze ~opts target param with
+  | Error msg ->
+    Fmt.epr "violet: %s@." msg;
+    1
+  | Ok a ->
+    Fmt.pr "%a" Violet.Report.pp_analysis a;
+    (match save with
+    | Some path ->
+      Vmodel.Impact_model.save a.Violet.Pipeline.model path;
+      Fmt.pr "impact model saved to %s@." path
+    | None -> ());
+    0
+
+let load_model_or_analyze target param model_path =
+  match model_path with
+  | Some path -> Vmodel.Impact_model.load path
+  | None ->
+    Result.map
+      (fun (a : Violet.Pipeline.analysis) -> a.Violet.Pipeline.model)
+      (Violet.Pipeline.analyze target param)
+
+let check system param file model_path =
+  let target = or_die (target_of_system system) in
+  let model = or_die (load_model_or_analyze target param model_path) in
+  let file = or_die (Vchecker.Config_file.load file) in
+  let report =
+    or_die
+      (Vchecker.Checker.check_current ~model ~registry:target.Violet.Pipeline.registry ~file)
+  in
+  Fmt.pr "%a" Vchecker.Checker.pp_report report;
+  if report.Vchecker.Checker.findings = [] then 0 else 2
+
+let check_update system param old_file new_file model_path =
+  let target = or_die (target_of_system system) in
+  let model = or_die (load_model_or_analyze target param model_path) in
+  let old_file = or_die (Vchecker.Config_file.load old_file) in
+  let new_file = or_die (Vchecker.Config_file.load new_file) in
+  let report =
+    or_die
+      (Vchecker.Checker.check_update ~model ~registry:target.Violet.Pipeline.registry
+         ~old_file ~new_file)
+  in
+  Fmt.pr "%a" Vchecker.Checker.pp_report report;
+  if report.Vchecker.Checker.findings = [] then 0 else 2
+
+let coverage system =
+  let target = or_die (target_of_system system) in
+  let params = Vruntime.Config_registry.params target.Violet.Pipeline.registry in
+  let analyzable = Violet.Pipeline.analyzable_params target in
+  let opts = { Violet.Pipeline.default_options with Violet.Pipeline.max_states = 512 } in
+  let derived =
+    List.filter
+      (fun p ->
+        match Violet.Pipeline.analyze ~opts target p with
+        | Ok a -> a.Violet.Pipeline.rows <> []
+        | Error _ -> false)
+      analyzable
+  in
+  Fmt.pr "%s: %d parameters, %d analyzable, %d models derived (%.1f%%)@." system
+    (List.length params) (List.length analyzable) (List.length derived)
+    (100. *. float_of_int (List.length derived) /. float_of_int (List.length params));
+  List.iter (fun p -> Fmt.pr "  %s@." p) derived;
+  0
+
+let dump_trace system param out =
+  let target = or_die (target_of_system system) in
+  match Violet.Pipeline.analyze target param with
+  | Error msg ->
+    Fmt.epr "violet: %s@." msg;
+    1
+  | Ok a ->
+    let traces = Vtrace.Trace_file.of_result a.Violet.Pipeline.result in
+    Vtrace.Trace_file.save traces out;
+    Fmt.pr "wrote %d state traces to %s@." (List.length traces) out;
+    0
+
+let analyze_trace path threshold =
+  let traces = or_die (Vtrace.Trace_file.load path) in
+  let rows =
+    List.map
+      (fun t -> Vmodel.Cost_row.of_profile (Vtrace.Trace_file.profile_of_state_trace t))
+      traces
+  in
+  let diff = Vmodel.Diff_analysis.analyze ~threshold rows in
+  Fmt.pr "%d states, %d poor, %d suspicious pairs (threshold %.0f%%)@." (List.length rows)
+    (List.length diff.Vmodel.Diff_analysis.poor_state_ids)
+    (List.length diff.Vmodel.Diff_analysis.pairs)
+    (100. *. threshold);
+  List.iter
+    (fun (p : Vmodel.Diff_analysis.poor_pair) ->
+      Fmt.pr "  state %d vs %d: %.1fx (%s)@." p.Vmodel.Diff_analysis.slow.Vmodel.Cost_row.state_id
+        p.Vmodel.Diff_analysis.fast.Vmodel.Cost_row.state_id
+        p.Vmodel.Diff_analysis.worst_ratio
+        (Vmodel.Diff_analysis.trigger_label p.Vmodel.Diff_analysis.triggers))
+    (List.filteri (fun i _ -> i < 12) diff.Vmodel.Diff_analysis.pairs);
+  0
+
+(* ------------------------------------------------------------------ *)
+
+let list_params_cmd =
+  Cmd.v
+    (Cmd.info "list-params" ~doc:"List a system's configuration registry")
+    Term.(const list_params $ system_arg)
+
+let related_cmd =
+  Cmd.v
+    (Cmd.info "related" ~doc:"Static control-dependency analysis of related parameters")
+    Term.(const related $ system_arg $ param_arg 1)
+
+let analyze_cmd =
+  let save =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save" ] ~docv:"FILE" ~doc:"Save the impact model for later checking.")
+  in
+  let max_states =
+    Arg.(value & opt int 4096 & info [ "max-states" ] ~doc:"State exploration cap.")
+  in
+  let threshold =
+    Arg.(
+      value & opt float 1.0
+      & info [ "threshold" ] ~doc:"Differential threshold (1.0 = 100%).")
+  in
+  let no_related =
+    Arg.(
+      value & flag
+      & info [ "no-related" ] ~doc:"Make only the target parameter symbolic.")
+  in
+  Cmd.v
+    (Cmd.info "analyze" ~doc:"Symbolically analyze a parameter's performance impact")
+    Term.(
+      const analyze $ system_arg $ param_arg 1 $ save $ max_states $ threshold $ no_related)
+
+let model_opt =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "model" ] ~docv:"FILE" ~doc:"Use a saved impact model instead of re-analyzing.")
+
+let check_cmd =
+  let file =
+    Arg.(required & pos 2 (some string) None & info [] ~docv:"CONFIG" ~doc:"Config file.")
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Check a configuration file against the impact model (mode 2)")
+    Term.(const check $ system_arg $ param_arg 1 $ file $ model_opt)
+
+let check_update_cmd =
+  let old_file =
+    Arg.(required & pos 2 (some string) None & info [] ~docv:"OLD" ~doc:"Old config file.")
+  in
+  let new_file =
+    Arg.(required & pos 3 (some string) None & info [] ~docv:"NEW" ~doc:"New config file.")
+  in
+  Cmd.v
+    (Cmd.info "check-update"
+       ~doc:"Check a configuration update for performance regressions (mode 1)")
+    Term.(const check_update $ system_arg $ param_arg 1 $ old_file $ new_file $ model_opt)
+
+let coverage_cmd =
+  Cmd.v
+    (Cmd.info "coverage" ~doc:"Derive impact models for every analyzable parameter")
+    Term.(const coverage $ system_arg)
+
+let dump_trace_cmd =
+  let out =
+    Arg.(required & pos 2 (some string) None & info [] ~docv:"OUT" ~doc:"Trace file path.")
+  in
+  Cmd.v
+    (Cmd.info "dump-trace"
+       ~doc:"Symbolically execute and write the raw execution trace to a file")
+    Term.(const dump_trace $ system_arg $ param_arg 1 $ out)
+
+let analyze_trace_cmd =
+  let path =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"TRACE" ~doc:"Trace file.")
+  in
+  let threshold =
+    Arg.(
+      value & opt float 1.0
+      & info [ "threshold" ] ~doc:"Differential threshold (1.0 = 100%).")
+  in
+  Cmd.v
+    (Cmd.info "analyze-trace"
+       ~doc:"Run the standalone trace analyzer on a stored execution trace")
+    Term.(const analyze_trace $ path $ threshold)
+
+let main_cmd =
+  Cmd.group
+    (Cmd.info "violet" ~version:"1.0.0"
+       ~doc:"Automated reasoning and detection of specious configuration")
+    [
+      list_params_cmd; related_cmd; analyze_cmd; check_cmd; check_update_cmd;
+      coverage_cmd; dump_trace_cmd; analyze_trace_cmd;
+    ]
+
+let () = exit (Cmd.eval' main_cmd)

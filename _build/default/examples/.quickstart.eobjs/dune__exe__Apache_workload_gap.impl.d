@@ -1,0 +1,1 @@
+examples/apache_workload_gap.ml: Fmt List Targets Violet Vmodel

@@ -1,0 +1,1 @@
+examples/apache_workload_gap.mli:

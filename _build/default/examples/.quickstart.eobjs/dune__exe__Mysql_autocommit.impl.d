@@ -1,0 +1,1 @@
+examples/mysql_autocommit.ml: Fmt List String Targets Vanalysis Vchecker Violet Vmodel Vruntime

@@ -1,0 +1,1 @@
+examples/mysql_autocommit.mli:

@@ -1,0 +1,1 @@
+examples/postgres_checker.ml: Filename Fmt Fun List Targets Vchecker Violet Vmodel

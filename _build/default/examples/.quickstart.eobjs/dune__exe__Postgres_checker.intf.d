@@ -1,0 +1,1 @@
+examples/postgres_checker.mli:

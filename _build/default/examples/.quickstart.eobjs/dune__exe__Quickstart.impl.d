@@ -1,0 +1,1 @@
+examples/quickstart.ml: Fmt List String Vanalysis Vchecker Violet Vir Vruntime

@@ -1,0 +1,1 @@
+examples/throughput_what_if.ml: Fmt List Targets Violet Vmodel Vruntime

@@ -1,0 +1,1 @@
+examples/throughput_what_if.mli:

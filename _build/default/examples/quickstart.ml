@@ -1,0 +1,73 @@
+(* Quickstart: model a small system in the IR, analyze one parameter, and
+   read the resulting performance impact model.
+
+   Run with:  dune exec examples/quickstart.exe
+
+   The program below is a compressed version of the paper's Figure 3: a
+   write path whose commit behaviour depends on [autocommit], with
+   [flush_policy] selecting between an fsync and a buffered write. *)
+
+let registry =
+  Vruntime.Config_registry.(
+    make ~system:"demo"
+      [
+        param_bool "autocommit" ~default:true "commit after every statement";
+        param_int "flush_policy" ~lo:0 ~hi:2 ~default:1 "0 = none, 1 = fsync, 2 = write";
+      ])
+
+let workload =
+  Vruntime.Workload.(
+    template "requests"
+      [ wparam_enum "kind" ~values:[ "READ"; "WRITE" ] "request type" ])
+
+let program =
+  let open Vir.Builder in
+  program ~name:"demo" ~entry:"handle"
+    [
+      func "handle"
+        [
+          if_ (wl "kind" ==. i 1)
+            [ call "write_row" [] ]
+            [ buffered_read (i 4096); compute (i 300) ];
+          ret_void;
+        ];
+      func "write_row"
+        [
+          buffered_write (i 512);
+          if_ (cfg "autocommit" ==. i 1) [ call "commit" [] ] [];
+          ret_void;
+        ];
+      func "commit"
+        [
+          if_ (cfg "flush_policy" ==. i 1)
+            [ call "flush_to_disk" [] ]
+            [ if_ (cfg "flush_policy" ==. i 2) [ pwrite (i 4096) ] [] ];
+          ret_void;
+        ];
+      func "flush_to_disk" [ pwrite (i 4096); fsync; ret_void ];
+    ]
+
+let target =
+  { Violet.Pipeline.name = "demo"; program; registry; workloads = [ workload ] }
+
+let () =
+  (* 1. discover related parameters statically *)
+  let related = Violet.Pipeline.related_params target "autocommit" in
+  Fmt.pr "related parameters of autocommit: [%s]@.@."
+    (String.concat ", " related.Vanalysis.Related_config.related);
+  (* 2. run the full pipeline: symbolic execution + trace analysis *)
+  let a = Violet.Pipeline.analyze_exn target "autocommit" in
+  Fmt.pr "%a@." Violet.Report.pp_analysis a;
+  (* 3. ask whether a concrete setting falls in a poor state *)
+  let poor = [ "autocommit", "ON"; "flush_policy", "1" ] in
+  Fmt.pr "is {%s} specious?  %b@."
+    (String.concat ", " (List.map (fun (k, v) -> k ^ "=" ^ v) poor))
+    (Violet.Detect.detected registry a ~poor);
+  (* 4. generate a validation test case from the poor state's input predicate *)
+  match Violet.Detect.poor_rows_for registry a ~poor with
+  | row :: _ -> begin
+    match Vchecker.Test_case.of_row row with
+    | Some tc -> Fmt.pr "to reproduce: %s@." tc.Vchecker.Test_case.description
+    | None -> ()
+  end
+  | [] -> ()

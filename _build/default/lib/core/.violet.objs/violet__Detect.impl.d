@@ -1,0 +1,1 @@
+lib/core/detect.ml: List Pipeline String Vmodel Vruntime Vsmt

@@ -1,0 +1,1 @@
+lib/core/detect.mli: Pipeline Vmodel Vruntime

@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: List Printf String Unix Vanalysis Vir Vmodel Vruntime Vsymexec Vtrace

@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Vanalysis Vir Vmodel Vruntime Vsymexec

@@ -1,0 +1,1 @@
+lib/core/report.ml: Fmt Hashtbl List Pipeline Printf String Vanalysis Vmodel Vsymexec

@@ -1,0 +1,1 @@
+lib/core/validate.ml: List Pipeline Vmodel Vruntime Vsmt

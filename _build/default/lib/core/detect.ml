@@ -1,0 +1,26 @@
+let full_assignment registry setting =
+  let values =
+    List.fold_left
+      (fun values (name, v) -> Vruntime.Config_registry.Values.set_str values name v)
+      (Vruntime.Config_registry.Values.defaults registry)
+      setting
+  in
+  Vruntime.Config_registry.Values.bindings values
+
+let mentions_target target (row : Vmodel.Cost_row.t) =
+  List.exists
+    (fun c ->
+      List.exists
+        (fun (v : Vsmt.Expr.var) -> String.equal v.Vsmt.Expr.name target)
+        (Vsmt.Expr.vars c))
+    row.Vmodel.Cost_row.config_constraints
+
+let poor_rows_for registry (a : Pipeline.analysis) ~poor =
+  let assignment = full_assignment registry poor in
+  let model = a.Pipeline.model in
+  Vmodel.Impact_model.poor_rows model
+  |> List.filter (fun row ->
+         mentions_target model.Vmodel.Impact_model.target row
+         && Vmodel.Cost_row.satisfied_by row assignment)
+
+let detected registry a ~poor = poor_rows_for registry a ~poor <> []

@@ -1,0 +1,22 @@
+(** Case-level detection verdicts (paper Section 7.2).
+
+    "A case is detected when Violet explores at least one poor state in its
+    trace {e and} the poor states enclose the problematic parameter
+    value(s)." — the poor configuration assignment must satisfy the
+    configuration constraints of some poor state whose constraints actually
+    involve the target parameter. *)
+
+val full_assignment :
+  Vruntime.Config_registry.t -> (string * string) list -> (string * int) list
+(** Registry defaults overridden by the given ["param", "value"] pairs;
+    raises [Failure] on invalid values. *)
+
+val poor_rows_for :
+  Vruntime.Config_registry.t ->
+  Pipeline.analysis ->
+  poor:(string * string) list ->
+  Vmodel.Cost_row.t list
+(** The poor states enclosing the given (partial) setting. *)
+
+val detected :
+  Vruntime.Config_registry.t -> Pipeline.analysis -> poor:(string * string) list -> bool

@@ -1,0 +1,202 @@
+module Reg = Vruntime.Config_registry
+module Wl = Vruntime.Workload
+module Ex = Vsymexec.Executor
+
+type target = {
+  name : string;
+  program : Vir.Ast.program;
+  registry : Reg.t;
+  workloads : Wl.template list;
+}
+
+type options = {
+  threshold : float;
+  max_states : int;
+  fuel : int;
+  env : Vruntime.Hw_env.t;
+  workload_template : string option;
+  sym_workload_params : string list;
+  workload_overrides : (string * int) list;
+  config_overrides : (string * int) list;
+  include_related : bool;
+  all_symbolic : bool;
+  max_related : int;
+  policy : Ex.policy;
+  state_switching : bool;
+  noise : Ex.noise option;
+  relaxation_rules : bool;
+  fault_injection : bool;
+  startup_virtual_s : float;
+}
+
+let default_options =
+  {
+    threshold = 1.0;
+    max_states = 4096;
+    fuel = 200_000;
+    env = Vruntime.Hw_env.hdd_server;
+    workload_template = None;
+    sym_workload_params = [];
+    workload_overrides = [];
+    config_overrides = [];
+    include_related = true;
+    all_symbolic = false;
+    max_related = 8;
+    policy = Ex.Dfs;
+    state_switching = false;
+    noise = None;
+    relaxation_rules = true;
+    fault_injection = false;
+    startup_virtual_s = -1.;
+  }
+
+type analysis = {
+  model : Vmodel.Impact_model.t;
+  related : Vanalysis.Related_config.result;
+  result : Ex.result;
+  rows : Vmodel.Cost_row.t list;
+  diff : Vmodel.Diff_analysis.t;
+}
+
+let related_params target param = Vanalysis.Related_config.analyze target.program param
+
+let hookable target param =
+  match Reg.find_opt target.registry param with
+  | Some p -> p.Reg.hook = Reg.Hooked
+  | None -> false
+
+let analyzable_params target =
+  let usage = Vanalysis.Usage.analyze target.program in
+  let used = Vanalysis.Usage.all_params usage in
+  List.filter_map
+    (fun (p : Reg.param) ->
+      if p.Reg.perf_related && p.Reg.hook = Reg.Hooked && List.mem p.Reg.name used then
+        Some p.Reg.name
+      else None)
+    (Reg.params target.registry)
+
+let pick_template target opts =
+  match opts.workload_template with
+  | Some name -> List.find_opt (fun t -> String.equal t.Wl.tname name) target.workloads
+  | None -> ( match target.workloads with t :: _ -> Some t | [] -> None)
+
+let analyze ?(opts = default_options) target param =
+  match Reg.find_opt target.registry param with
+  | None -> Error (Printf.sprintf "%s: unknown parameter %s" target.name param)
+  | Some p when p.Reg.hook <> Reg.Hooked ->
+    Error
+      (Printf.sprintf "%s: no symbolic hook can be attached to %s" target.name param)
+  | Some _ -> begin
+    let wall0 = Unix.gettimeofday () in
+    (* stage 1: static analysis *)
+    let related = related_params target param in
+    let usage = Vanalysis.Usage.analyze target.program in
+    if not (List.mem param (Vanalysis.Usage.all_params usage)) then
+      Error (Printf.sprintf "%s: parameter %s is never used by the code" target.name param)
+    else begin
+      (* stage 2: choose the symbolic set *)
+      let related_hooked =
+        List.filter (hookable target) related.Vanalysis.Related_config.related
+      in
+      let related_hooked =
+        List.filteri (fun i _ -> i < opts.max_related) related_hooked
+      in
+      let sym_param_names =
+        if opts.all_symbolic then
+          (* ablation: every hookable perf parameter the program reads *)
+          List.sort_uniq String.compare (param :: analyzable_params target)
+        else if opts.include_related then param :: related_hooked
+        else [ param ]
+      in
+      let sym_configs = List.map (Ex.sym_config_var target.registry) sym_param_names in
+      let template = pick_template target opts in
+      let sym_workloads =
+        match template with
+        | None -> []
+        | Some t ->
+          let names =
+            match opts.sym_workload_params with
+            | [] -> List.map (fun (wp : Wl.param) -> wp.Wl.name) t.Wl.params
+            | names -> names
+          in
+          List.map (Ex.sym_workload_var t) names
+      in
+      let base_values =
+        List.fold_left
+          (fun values (name, v) -> Reg.Values.set values name v)
+          (Reg.Values.defaults target.registry)
+          opts.config_overrides
+      in
+      let concrete_workload name =
+        match List.assoc_opt name opts.workload_overrides with
+        | Some v -> v
+        | None -> begin
+          match template with
+          | Some t -> ( match List.assoc_opt name t.Wl.defaults with Some v -> v | None -> 0)
+          | None -> 0
+        end
+      in
+      (* stage 3: symbolic execution with tracing *)
+      let exec_opts =
+        {
+          Ex.env = opts.env;
+          sym_configs;
+          concrete_config = (fun n -> Reg.Values.lookup base_values n 0);
+          sym_workloads;
+          concrete_workload;
+          max_states = opts.max_states;
+          max_loop_unroll = 48;
+          fuel = opts.fuel;
+          policy = opts.policy;
+          state_switching = opts.state_switching;
+          time_slice = 64;
+          solver_max_nodes = 4_000;
+          noise = opts.noise;
+          enable_tracer = true;
+          relaxation_rules = opts.relaxation_rules;
+          fault_injection = opts.fault_injection;
+        }
+      in
+      let result = Ex.run exec_opts target.program in
+      (* stage 4: trace analysis *)
+      let profiles = Vtrace.Profile.of_result result in
+      let rows = List.map Vmodel.Cost_row.of_profile profiles in
+      let diff = Vmodel.Diff_analysis.analyze ~threshold:opts.threshold rows in
+      (* engine boot + target start-up inside the guest differs per system:
+         MySQL starts "within one minute" (Section 5.1); Apache's prefork
+         boot under the engine is the slowest in the paper's Figure 14 *)
+      let startup_virtual_s =
+        if opts.startup_virtual_s >= 0. then opts.startup_virtual_s
+        else
+          match target.name with
+          | "mysql" -> 55.
+          | "postgres" -> 35.
+          | "apache" -> 340.
+          | "squid" -> 150.
+          | _ -> 45.
+      in
+      let virtual_analysis_s =
+        startup_virtual_s
+        +. List.fold_left
+             (fun acc (st : Vsymexec.Sym_state.t) -> acc +. (st.Vsymexec.Sym_state.clock /. 1e6))
+             0. result.Ex.states
+        +. (0.05 *. float_of_int result.Ex.stats.Ex.solver_calls)
+      in
+      (* the model records the symbolic companions actually used *)
+      let used_related = List.filter (fun n -> n <> param) sym_param_names in
+      let model =
+        Vmodel.Impact_model.build ~system:target.name ~target:param
+          ~related:used_related ~rows ~analysis:diff
+          ~explored_states:
+            (result.Ex.stats.Ex.states_terminated + result.Ex.stats.Ex.states_killed)
+          ~analysis_wall_s:(Unix.gettimeofday () -. wall0)
+          ~virtual_analysis_s
+      in
+      Ok { model; related; result; rows; diff }
+    end
+  end
+
+let analyze_exn ?opts target param =
+  match analyze ?opts target param with
+  | Ok a -> a
+  | Error msg -> failwith msg

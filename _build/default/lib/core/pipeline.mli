@@ -1,0 +1,79 @@
+(** The end-to-end Violet pipeline (paper Figure 6).
+
+    [analyze] wires together every stage for one target parameter:
+
+    + static analysis discovers the control-dependent related parameters
+      (Algorithms 1–2);
+    + the symbolic hooks make the target and its related set symbolic with
+      their valid ranges, plus the requested workload-template parameters;
+    + the symbolic executor explores the paths while the tracer records
+      signals and costs;
+    + the trace analyzer matches records, reconstructs call paths, builds
+      the cost table, and runs the differential analysis;
+    + the result is a serializable configuration performance impact model.
+
+    A {!target} packages what the paper calls "the target system": the
+    (modelled) program, its configuration registry and workload templates. *)
+
+type target = {
+  name : string;
+  program : Vir.Ast.program;
+  registry : Vruntime.Config_registry.t;
+  workloads : Vruntime.Workload.template list;
+}
+
+type options = {
+  threshold : float;  (** differential threshold, default 1.0 (=100%) *)
+  max_states : int;
+  fuel : int;
+  env : Vruntime.Hw_env.t;
+  workload_template : string option;
+      (** template whose parameters the program reads; defaults to the
+          target's first template *)
+  sym_workload_params : string list;
+      (** workload parameters to make symbolic; [[]] = all of the template's *)
+  workload_overrides : (string * int) list;
+      (** concrete values for non-symbolic workload parameters *)
+  config_overrides : (string * int) list;
+      (** concrete values for non-symbolic configuration parameters *)
+  include_related : bool;  (** false = ablation: only the target symbolic *)
+  all_symbolic : bool;
+      (** true = ablation of Section 4.2/Figure 9: make {e every} hookable
+          parameter symbolic instead of the related set *)
+  max_related : int;
+  policy : Vsymexec.Executor.policy;
+  state_switching : bool;
+  noise : Vsymexec.Executor.noise option;
+  relaxation_rules : bool;  (** false: Section 5.4 relaxation-rule ablation *)
+  fault_injection : bool;
+      (** explore library-call failure paths (Section 8 extension) *)
+  startup_virtual_s : float;
+      (** virtual engine start-up cost (booting the guest and the target
+          system; about a minute for MySQL in the paper, Section 5.1);
+          negative = per-target default *)
+}
+
+val default_options : options
+
+type analysis = {
+  model : Vmodel.Impact_model.t;
+  related : Vanalysis.Related_config.result;
+  result : Vsymexec.Executor.result;
+  rows : Vmodel.Cost_row.t list;
+  diff : Vmodel.Diff_analysis.t;
+}
+
+val related_params : target -> string -> Vanalysis.Related_config.result
+
+val hookable : target -> string -> bool
+(** Can a symbolic hook be attached to this parameter (paper Section 4.1)? *)
+
+val analyzable_params : target -> string list
+(** Parameters eligible for the coverage experiment: performance-related,
+    hookable, and actually read by the program (Section 7.6). *)
+
+val analyze : ?opts:options -> target -> string -> (analysis, string) result
+(** Analyze one target parameter.  [Error] for unknown, non-hookable or
+    unused parameters. *)
+
+val analyze_exn : ?opts:options -> target -> string -> analysis

@@ -1,0 +1,138 @@
+module Row = Vmodel.Cost_row
+module Reg = Vruntime.Config_registry
+
+type verdict = {
+  native_slow_us : float;
+  native_fast_us : float;
+  ratio : float;
+  slow_cost : Vruntime.Cost.t;
+  fast_cost : Vruntime.Cost.t;
+}
+
+let assignment_lookup assignment fallback name =
+  match List.assoc_opt name assignment with Some v -> v | None -> fallback name
+
+(* Solve constraints into a concrete assignment; [pin] supplies values for
+   variables already fixed (the shared workload). *)
+let solve_with constraints ~pin =
+  let constrained =
+    List.map
+      (fun c ->
+        Vsmt.Expr.subst
+          (fun v ->
+            match List.assoc_opt v.Vsmt.Expr.name pin with
+            | Some x -> Some (Vsmt.Expr.Const x)
+            | None -> None)
+          c)
+      constraints
+  in
+  match Vsmt.Solver.check constrained with
+  | Vsmt.Solver.Sat m ->
+    let vars = List.concat_map Vsmt.Expr.vars constrained in
+    Some (Vsmt.Solver.complete ~vars m)
+  | Vsmt.Solver.Unsat -> None
+  | Vsmt.Solver.Unknown -> None
+
+let pair_ratio ?(env = Vruntime.Hw_env.hdd_server) ~(target : Pipeline.target) ~entry
+    ~(slow : Row.t) ~(fast : Row.t) () =
+  (* a single input class triggering both states; prefer one that also
+     satisfies the slow state's (possibly input-dependent) configuration
+     constraints, so the native run actually takes the slow path *)
+  let joint = slow.Row.workload_pred @ fast.Row.workload_pred in
+  let solved =
+    match Vsmt.Solver.check (joint @ slow.Row.config_constraints) with
+    | Vsmt.Solver.Sat m -> Some m
+    | Vsmt.Solver.Unsat | Vsmt.Solver.Unknown -> begin
+      match Vsmt.Solver.check joint with
+      | Vsmt.Solver.Sat m -> Some m
+      | Vsmt.Solver.Unsat | Vsmt.Solver.Unknown -> None
+    end
+  in
+  match solved with
+  | None -> None
+  | Some wmodel -> begin
+    let wvars =
+      List.filter
+        (fun (v : Vsmt.Expr.var) -> v.Vsmt.Expr.origin = Vsmt.Expr.Workload)
+        (List.concat_map Vsmt.Expr.vars (joint @ slow.Row.config_constraints))
+    in
+    let wmodel =
+      List.filter
+        (fun (name, _) ->
+          List.exists (fun (v : Vsmt.Expr.var) -> v.Vsmt.Expr.name = name) wvars)
+        (Vsmt.Solver.complete ~vars:wvars wmodel)
+    in
+    let template_default name =
+      List.find_map
+        (fun (t : Vruntime.Workload.template) -> List.assoc_opt name t.Vruntime.Workload.defaults)
+        target.Pipeline.workloads
+    in
+    let workload name =
+      match List.assoc_opt name wmodel with
+      | Some v -> v
+      | None -> ( match template_default name with Some v -> v | None -> 0)
+    in
+    let config_of row =
+      match solve_with row.Row.config_constraints ~pin:wmodel with
+      | None -> None
+      | Some cmodel ->
+        let registry_default name =
+          match Reg.find_opt target.Pipeline.registry name with
+          | Some p -> p.Reg.default
+          | None -> 0
+        in
+        Some (assignment_lookup cmodel registry_default)
+    in
+    match config_of slow, config_of fast with
+    | Some config_slow, Some config_fast ->
+      let run config =
+        (Vruntime.Concrete_exec.run ~entry ~env target.Pipeline.program ~config ~workload)
+          .Vruntime.Concrete_exec.cost
+      in
+      let slow_cost = run config_slow and fast_cost = run config_fast in
+      let native_slow_us = slow_cost.Vruntime.Cost.latency_us
+      and native_fast_us = fast_cost.Vruntime.Cost.latency_us in
+      Some
+        {
+          native_slow_us;
+          native_fast_us;
+          ratio = (if native_fast_us <= 0. then infinity else native_slow_us /. native_fast_us);
+          slow_cost;
+          fast_cost;
+        }
+    | None, _ | _, None -> None
+  end
+
+let confirms ?env ~threshold ~target ~entry (pair : Vmodel.Diff_analysis.poor_pair) =
+  match
+    pair_ratio ?env ~target ~entry ~slow:pair.Vmodel.Diff_analysis.slow
+      ~fast:pair.Vmodel.Diff_analysis.fast ()
+  with
+  | None -> None
+  | Some v ->
+    (* confirmed when the native run reproduces the difference on latency or
+       on any logical metric, in either direction *)
+    let lat_confirms =
+      v.ratio >= 1. +. threshold || v.ratio <= 1. /. (1. +. threshold)
+    in
+    let fake_row cost =
+      {
+        Vmodel.Cost_row.state_id = 0;
+        config_constraints = [];
+        workload_pred = [];
+        cost;
+        traced_latency_us = cost.Vruntime.Cost.latency_us;
+        chain = [];
+        nodes = [];
+        critical_ops = [];
+      }
+    in
+    let logical_confirms =
+      Vmodel.Diff_analysis.compare_pair ~threshold ~slow:(fake_row v.slow_cost)
+        ~fast:(fake_row v.fast_cost)
+      <> None
+      || Vmodel.Diff_analysis.compare_pair ~threshold ~slow:(fake_row v.fast_cost)
+           ~fast:(fake_row v.slow_cost)
+         <> None
+    in
+    Some (lat_confirms || logical_confirms)

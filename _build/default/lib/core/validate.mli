@@ -1,0 +1,37 @@
+(** Native validation of suspicious state pairs.
+
+    The sensitivity (Figure 15) and false-positive (Section 7.8) experiments
+    check each reported poor pair against ground truth by running benchmarks
+    natively: solve the pair's joint input predicate for a common concrete
+    workload, solve each state's configuration constraints under that
+    workload, run both configurations concretely, and compare. *)
+
+type verdict = {
+  native_slow_us : float;
+  native_fast_us : float;
+  ratio : float;  (** slow / fast native latency *)
+  slow_cost : Vruntime.Cost.t;
+  fast_cost : Vruntime.Cost.t;
+}
+
+val pair_ratio :
+  ?env:Vruntime.Hw_env.t ->
+  target:Pipeline.target ->
+  entry:string ->
+  slow:Vmodel.Cost_row.t ->
+  fast:Vmodel.Cost_row.t ->
+  unit ->
+  verdict option
+(** [None] when the two states share no input class or a constraint set is
+    unsolvable. *)
+
+val confirms :
+  ?env:Vruntime.Hw_env.t ->
+  threshold:float ->
+  target:Pipeline.target ->
+  entry:string ->
+  Vmodel.Diff_analysis.poor_pair ->
+  bool option
+(** Does the native run confirm the reported difference at the threshold?
+    A pair whose native relative difference stays below the threshold is a
+    false positive.  [None] when the pair cannot be validated natively. *)

@@ -1,0 +1,1 @@
+lib/targets/apache_model.ml: Violet Vir Vruntime

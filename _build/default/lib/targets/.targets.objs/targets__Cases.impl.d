@@ -1,0 +1,1 @@
+lib/targets/cases.ml: Apache_model List Mysql_model Postgres_model Printf Squid_model String Violet

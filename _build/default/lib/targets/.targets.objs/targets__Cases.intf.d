@@ -1,0 +1,1 @@
+lib/targets/cases.mli: Violet Vruntime

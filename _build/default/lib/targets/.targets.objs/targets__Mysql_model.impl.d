@@ -1,0 +1,1 @@
+lib/targets/mysql_model.ml: Violet Vir Vruntime

@@ -1,0 +1,1 @@
+lib/targets/mysql_model.mli: Violet Vir Vruntime

@@ -1,0 +1,1 @@
+lib/targets/patterns.ml: Violet Vir Vruntime

@@ -1,0 +1,1 @@
+lib/targets/patterns.mli: Violet

@@ -1,0 +1,1 @@
+lib/targets/postgres_model.mli: Violet Vir Vruntime

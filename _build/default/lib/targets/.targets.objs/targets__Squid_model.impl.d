@@ -1,0 +1,1 @@
+lib/targets/squid_model.ml: Violet Vir Vruntime

@@ -1,0 +1,1 @@
+lib/targets/squid_model.mli: Violet Vir Vruntime

@@ -1,0 +1,242 @@
+module Reg = Vruntime.Config_registry
+module Wl = Vruntime.Workload
+
+let registry =
+  Reg.(
+    make ~system:"apache"
+      [
+        (* --- connection handling (c14, c15) --- *)
+        param_bool "KeepAlive" ~default:true "allow persistent connections";
+        param_int "MaxKeepAliveRequests" ~lo:0 ~hi:65536 ~default:100
+          "requests allowed per persistent connection (0 = unlimited)";
+        param_int "KeepAliveTimeout" ~lo:1 ~hi:300 ~default:5
+          "seconds to wait for the next request on a connection";
+        param_int "Timeout" ~lo:1 ~hi:600 ~default:60 "general I/O timeout";
+        (* --- name resolution / access control (c12, c13) --- *)
+        param_enum "HostnameLookups" ~values:[ "Off"; "On"; "Double" ] ~default:"Off"
+          "reverse-DNS client addresses for logging";
+        param_enum "DenyFrom" ~values:[ "none"; "ip"; "domain" ] ~default:"none"
+          "access restriction kind (domain rules force per-request DNS)";
+        (* --- request processing --- *)
+        param_enum "AllowOverride" ~values:[ "None"; "FileInfo"; "All" ] ~default:"None"
+          "honour .htaccess files (walks every path component)";
+        param_bool "FollowSymLinks" ~default:true
+          "skip per-component symlink checks when enabled";
+        param_bool "EnableSendfile" ~default:false "serve static files via sendfile";
+        param_bool "EnableMMAP" ~default:true "mmap files during delivery";
+        param_bool "ContentDigest" ~default:false
+          "compute a Content-MD5 digest for every response";
+        (* --- logging --- *)
+        param_bool "CustomLog" ~default:true "write an access-log record per request";
+        param_bool "BufferedLogs" ~default:false "buffer access-log writes";
+        param_enum "LogLevel" ~values:[ "error"; "warn"; "info"; "debug" ] ~default:"warn"
+          "error-log verbosity";
+        param_bool "ExtendedStatus" ~default:false "track per-request scoreboard detail";
+        param_int "LimitRequestFields" ~lo:0 ~hi:32767 ~default:100
+          "max request header fields scanned";
+        param_int "LimitRequestFieldSize" ~lo:0 ~hi:65536 ~default:8190
+          "max bytes per header field";
+        (* --- hooked but unused by the modelled paths --- *)
+        param_int "MaxRequestWorkers" ~lo:1 ~hi:20000 ~default:256 "worker limit";
+        param_int "ServerLimit" ~lo:1 ~hi:20000 ~default:16 "process slots";
+        param_int "StartServers" ~lo:1 ~hi:1024 ~default:3 "initial child processes";
+        param_int "ThreadsPerChild" ~lo:1 ~hi:1024 ~default:25 "threads per child";
+        param_int "ListenBacklog" ~lo:1 ~hi:65535 ~default:511 "accept queue length";
+        param_int "MaxConnectionsPerChild" ~lo:0 ~hi:1000000 ~default:0
+          "recycle children after N connections";
+        (* --- not performance-related --- *)
+        param_int "Listen" ~perf:false ~dynamic:false ~lo:1 ~hi:65535 ~default:80
+          "listen port";
+        param_enum "ServerTokens" ~perf:false ~values:[ "Prod"; "Full" ] ~default:"Full"
+          "Server header verbosity";
+        param_enum "User" ~perf:false ~values:[ "www-data"; "apache" ] ~default:"www-data"
+          "worker identity";
+        (* --- module directives set through function-pointer tables: the
+           reason Apache's hook coverage is lowest (Table 6) --- *)
+        param_bool "SSLEngine" ~hook:No_hook_function_pointer ~default:false "mod_ssl";
+        param_enum "SSLCipherSuite" ~hook:No_hook_function_pointer
+          ~values:[ "DEFAULT"; "HIGH" ] ~default:"DEFAULT" "mod_ssl ciphers";
+        param_bool "RewriteEngine" ~hook:No_hook_function_pointer ~default:false
+          "mod_rewrite";
+        param_bool "CacheEnable" ~hook:No_hook_function_pointer ~default:false "mod_cache";
+        param_int "DeflateCompressionLevel" ~hook:No_hook_function_pointer ~lo:1 ~hi:9
+          ~default:6 "mod_deflate level";
+        param_bool "ExpiresActive" ~hook:No_hook_function_pointer ~default:false
+          "mod_expires";
+        param_bool "ProxyPass" ~hook:No_hook_function_pointer ~default:false "mod_proxy";
+        param_enum "MPM" ~hook:No_hook_complex_type ~values:[ "event"; "worker"; "prefork" ]
+          ~default:"event" "multi-processing module (selected at load time)";
+        param_bool "HeaderSet" ~hook:No_hook_function_pointer ~default:false "mod_headers";
+        param_bool "SetEnvIf" ~hook:No_hook_function_pointer ~default:false "mod_setenvif";
+        param_int "LimitRequestBody" ~hook:No_hook_function_pointer ~lo:0 ~hi:2147483647
+          ~default:0 "request body cap (per-dir merge tables)";
+        param_bool "DavEnable" ~hook:No_hook_function_pointer ~default:false "mod_dav";
+        param_enum "BrowserMatch" ~hook:No_hook_complex_type ~values:[ "none"; "legacy" ]
+          ~default:"none" "conditional env rules (regex grammar)";
+        param_bool "StatusEnable" ~hook:No_hook_function_pointer ~default:false "mod_status";
+        param_bool "AutoIndex" ~hook:No_hook_function_pointer ~default:false "mod_autoindex";
+        param_enum "IncludeOptimizer" ~hook:No_hook_function_pointer
+          ~values:[ "off"; "on" ] ~default:"off" "mod_include";
+      ])
+
+let req_static_small = 0
+let _req_static_large = 1
+let req_dynamic = 2
+
+let base_params =
+  Wl.(
+    [
+      wparam_enum "request_type" ~values:[ "STATIC_SMALL"; "STATIC_LARGE"; "DYNAMIC" ]
+        "request class";
+      wparam_int "response_bytes" ~lo:128 ~hi:10485760 "response size";
+      wparam_int "path_depth" ~lo:1 ~hi:8 "directory components in the URL";
+    ])
+
+(* The paper's Apache templates left keep-alive out of the workload
+   parameters (it is disabled by default in their harness), which is why c14
+   and c15 were missed (Section 7.2). *)
+let http = Wl.template "http" base_params
+
+let http_keepalive =
+  Wl.template "http_keepalive"
+    (base_params @ [ Wl.wparam_bool "keepalive_requested" "client asks for keep-alive" ])
+
+let query_entry = "process_request"
+
+let program =
+  let open Vir.Builder in
+  program ~name:"apache" ~entry:"httpd_main"
+    [
+      func "httpd_main"
+        [ call "server_init" []; trace_on; call "process_request" []; trace_off; ret_void ];
+      func "server_init" [ malloc (i 4194304); compute (i 5000); ret_void ];
+      func "process_request"
+        [
+          net_recv (i 256);
+          call "parse_headers" [];
+          call "check_access" [];
+          call "log_hostname_maybe" [];
+          call "map_to_storage" [];
+          call "handle_request" [];
+          call "write_access_log" [];
+          call "keepalive_maybe" [];
+          ret_void;
+        ];
+      func "parse_headers"
+        [
+          compute (cfg "LimitRequestFields" *. i 4 +. i 60);
+          if_ (cfg "LimitRequestFieldSize" >. i 16384) [ malloc (cfg "LimitRequestFieldSize") ] [];
+          ret_void;
+        ];
+      func "check_access"
+        [
+          if_ (cfg "DenyFrom" ==. i 2)
+            [ dns_lookup; dns_lookup ]  (* double-reverse lookup per request *)
+            [ if_ (cfg "DenyFrom" ==. i 1) [ compute (i 30) ] [] ];
+          ret_void;
+        ];
+      func "log_hostname_maybe"
+        [
+          (* the resolved name is only needed for the access log *)
+          if_ (cfg "CustomLog" ==. i 1)
+            [
+              if_ (cfg "HostnameLookups" ==. i 2)
+                [ dns_lookup; dns_lookup ]
+                [ if_ (cfg "HostnameLookups" ==. i 1) [ dns_lookup ] [] ];
+            ]
+            [];
+          ret_void;
+        ];
+      func "map_to_storage"
+        [
+          if_ (cfg "AllowOverride" <>. i 0)
+            [ buffered_read (wl "path_depth" *. i 512); compute (wl "path_depth" *. i 80) ]
+            [];
+          if_ (cfg "FollowSymLinks" ==. i 0) [ compute (wl "path_depth" *. i 120) ] [];
+          ret_void;
+        ];
+      func "handle_request"
+        [
+          if_ (wl "request_type" ==. i req_dynamic)
+            [ compute (i 6000); buffered_read (i 16384) ]
+            [
+              if_ (cfg "EnableSendfile" ==. i 1)
+                [ buffered_read (wl "response_bytes") ]
+                [
+                  if_
+                    ((cfg "EnableMMAP" ==. i 1)
+                    &&. (wl "request_type" ==. i req_static_small))
+                    [ buffered_read (wl "response_bytes"); page_fault ]
+                    [ pread (wl "response_bytes") ];
+                ];
+              if_ (cfg "ContentDigest" ==. i 1) [ compute (wl "response_bytes" /. i 8) ] [];
+            ];
+          net_send (wl "response_bytes");
+          ret_void;
+        ];
+      func "write_access_log"
+        [
+          if_ (cfg "CustomLog" ==. i 1)
+            [
+              if_ (cfg "BufferedLogs" ==. i 1) [ log_append (i 128) ] [ pwrite (i 128) ];
+            ]
+            [];
+          if_ (cfg "LogLevel" ==. i 3) [ buffered_write (i 512) ] [];
+          if_ (cfg "ExtendedStatus" ==. i 1) [ mutex_lock; compute (i 40); mutex_unlock ] [];
+          ret_void;
+        ];
+      func "keepalive_maybe"
+        [
+          if_ ((cfg "KeepAlive" ==. i 1) &&. (wl "keepalive_requested" ==. i 1))
+            [
+              (* a small request cap forces reconnect churn (c14) *)
+              if_ ((cfg "MaxKeepAliveRequests" >. i 0) &&. (cfg "MaxKeepAliveRequests" <. i 10))
+                [
+                  (* FIN/ACK teardown, TCP handshake, slow-start restart *)
+                  net_send (i 64);
+                  net_recv (i 64);
+                  net_send (i 64);
+                  compute (i 2000);
+                ]
+                [];
+              (* a large timeout pins the worker on the idle connection (c15) *)
+              if_ (cfg "KeepAliveTimeout" >. i 30) [ cond_wait ] [];
+            ]
+            [
+              (* no keep-alive: connection teardown + setup per request *)
+              net_send (i 64);
+              net_recv (i 64);
+              compute (i 400);
+            ];
+          ret_void;
+        ];
+    ]
+
+let target =
+  {
+    Violet.Pipeline.name = "apache";
+    program;
+    registry;
+    workloads = [ http; http_keepalive ];
+  }
+
+let inst overrides = Wl.instantiate_named http overrides
+
+let small_static =
+  inst [ "request_type", "STATIC_SMALL"; "response_bytes", "4096"; "path_depth", "2" ]
+
+let large_static =
+  inst [ "request_type", "STATIC_LARGE"; "response_bytes", "1048576"; "path_depth", "2" ]
+
+let dynamic_page =
+  inst [ "request_type", "DYNAMIC"; "response_bytes", "16384"; "path_depth", "4" ]
+
+let standard_workloads =
+  [
+    "ab_static", [ small_static, 1.0 ];
+    "ab_mixed", [ small_static, 0.6; large_static, 0.2; dynamic_page, 0.2 ];
+    "ab_download", [ large_static, 1.0 ];
+    "ab_dynamic", [ dynamic_page, 1.0 ];
+  ]
+
+let validation_workloads = []

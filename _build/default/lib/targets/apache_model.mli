@@ -1,0 +1,21 @@
+(** Executable performance model of Apache httpd 2.4 (paper Section 7).
+
+    Covers [HostnameLookups] (c12), domain-based access control
+    [Deny from] (c13), and [MaxKeepAliveRequests] / [KeepAliveTimeout]
+    (c14/c15).  The paper's Violet {e missed} c14 and c15 because its Apache
+    workload templates did not parameterize HTTP keep-alive; this model
+    reproduces that: {!http} (the default template) has no keep-alive
+    parameter, while {!http_keepalive} exposes it — analyses run with the
+    default template miss the two cases exactly as the paper reports. *)
+
+val registry : Vruntime.Config_registry.t
+
+val http : Vruntime.Workload.template
+(** Default template: no keep-alive workload parameter (the c14/c15 gap). *)
+
+val http_keepalive : Vruntime.Workload.template
+val program : Vir.Ast.program
+val target : Violet.Pipeline.target
+val query_entry : string
+val standard_workloads : (string * (Vruntime.Workload.instance * float) list) list
+val validation_workloads : (string * (Vruntime.Workload.instance * float) list) list

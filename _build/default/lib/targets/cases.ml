@@ -1,0 +1,362 @@
+type known_case = {
+  id : string;
+  system : string;
+  param : string;
+  data_type : string;
+  description : string;
+  poor_setting : (string * string) list;
+  good_setting : (string * string) list;
+  trigger_workload : string;
+  expect_detected : bool;
+  tweak : Violet.Pipeline.options -> Violet.Pipeline.options;
+}
+
+type unknown_case = {
+  u_system : string;
+  u_param : string;
+  u_impact : string;
+  u_poor : (string * string) list;
+  u_good : (string * string) list;
+  u_workload : string;
+}
+
+let no_tweak o = o
+
+let known =
+  [
+    {
+      id = "c1";
+      system = "mysql";
+      param = "autocommit";
+      data_type = "Boolean";
+      description = "Determine whether all changes take effect immediately";
+      poor_setting = [ "autocommit", "ON"; "innodb_flush_log_at_trx_commit", "1" ];
+      good_setting = [ "autocommit", "OFF"; "innodb_flush_log_at_trx_commit", "1" ];
+      trigger_workload = "oltp_insert";
+      expect_detected = true;
+      tweak = no_tweak;
+    };
+    {
+      id = "c2";
+      system = "mysql";
+      param = "query_cache_wlock_invalidate";
+      data_type = "Boolean";
+      description = "Disable the query cache when after WRITE lock statement";
+      poor_setting = [ "query_cache_wlock_invalidate", "ON"; "query_cache_type", "ON" ];
+      good_setting = [ "query_cache_wlock_invalidate", "OFF"; "query_cache_type", "ON" ];
+      trigger_workload = "myisam_concurrent";
+      expect_detected = true;
+      tweak = no_tweak;
+    };
+    {
+      id = "c3";
+      system = "mysql";
+      param = "general_log";
+      data_type = "Boolean";
+      description = "Enable MySQL general log query";
+      poor_setting = [ "general_log", "ON" ];
+      good_setting = [ "general_log", "OFF" ];
+      trigger_workload = "oltp_read_write";
+      expect_detected = true;
+      tweak = no_tweak;
+    };
+    {
+      id = "c4";
+      system = "mysql";
+      param = "query_cache_type";
+      data_type = "Enumeration";
+      description = "Method used for controlling the query cache type";
+      poor_setting = [ "query_cache_type", "ON" ];
+      good_setting = [ "query_cache_type", "OFF" ];
+      trigger_workload = "oltp_read_only";
+      expect_detected = true;
+      tweak = no_tweak;
+    };
+    {
+      id = "c5";
+      system = "mysql";
+      param = "sync_binlog";
+      data_type = "Integer";
+      description = "Controls how often the MySQL server synchronizes binary log to disk";
+      poor_setting = [ "sync_binlog", "1" ];
+      good_setting = [ "sync_binlog", "0" ];
+      trigger_workload = "oltp_write_only";
+      expect_detected = true;
+      tweak = no_tweak;
+    };
+    {
+      id = "c6";
+      system = "mysql";
+      param = "innodb_log_buffer_size";
+      data_type = "Integer";
+      description = "Set the size of the buffer for transactions that have not been committed yet";
+      poor_setting = [ "innodb_log_buffer_size", "262144" ];
+      good_setting = [ "innodb_log_buffer_size", "33554432" ];
+      trigger_workload = "bulk_insert";
+      expect_detected = true;
+      tweak = no_tweak;
+    };
+    {
+      id = "c7";
+      system = "postgres";
+      param = "wal_sync_method";
+      data_type = "Enumeration";
+      description = "Method used for forcing WAL updates out to disk";
+      poor_setting = [ "wal_sync_method", "open_sync" ];
+      good_setting = [ "wal_sync_method", "fdatasync" ];
+      trigger_workload = "pgbench_write_heavy";
+      expect_detected = true;
+      tweak = no_tweak;
+    };
+    {
+      id = "c8";
+      system = "postgres";
+      param = "archive_mode";
+      data_type = "Enumeration";
+      description =
+        "Force the server to switch to a new WAL periodically and archive old WAL segments";
+      poor_setting = [ "archive_mode", "on"; "archive_timeout", "30" ];
+      good_setting = [ "archive_mode", "off" ];
+      trigger_workload = "pgbench_write_heavy";
+      expect_detected = true;
+      tweak = no_tweak;
+    };
+    {
+      id = "c9";
+      system = "postgres";
+      param = "max_wal_size";
+      data_type = "Integer";
+      description = "Maximum number of log file segments between automatic WAL checkpoints";
+      poor_setting = [ "max_wal_size", "2" ];
+      good_setting = [ "max_wal_size", "1024" ];
+      trigger_workload = "pgbench_write_heavy";
+      expect_detected = true;
+      tweak = no_tweak;
+    };
+    {
+      id = "c10";
+      system = "postgres";
+      param = "checkpoint_completion_target";
+      data_type = "Float";
+      description = "Set a fraction of total time between checkpoints interval";
+      poor_setting = [ "checkpoint_completion_target", "0.1"; "max_wal_size", "2" ];
+      good_setting = [ "checkpoint_completion_target", "0.9"; "max_wal_size", "2" ];
+      trigger_workload = "pgbench_write_heavy";
+      expect_detected = true;
+      tweak = no_tweak;
+    };
+    {
+      id = "c11";
+      system = "postgres";
+      param = "bgwriter_lru_multiplier";
+      data_type = "Float";
+      description = "Set estimate of the number of buffers for the next background writing";
+      poor_setting = [ "bgwriter_lru_multiplier", "0.5" ];
+      good_setting = [ "bgwriter_lru_multiplier", "2" ];
+      trigger_workload = "pgbench_write_heavy";
+      expect_detected = true;
+      tweak = no_tweak;
+    };
+    {
+      id = "c12";
+      system = "apache";
+      param = "HostnameLookups";
+      data_type = "Enumeration";
+      description = "Enables DNS lookups to log the host names of clients sending requests";
+      poor_setting = [ "HostnameLookups", "Double" ];
+      good_setting = [ "HostnameLookups", "Off" ];
+      trigger_workload = "ab_static";
+      expect_detected = true;
+      tweak = no_tweak;
+    };
+    {
+      id = "c13";
+      system = "apache";
+      param = "DenyFrom";
+      data_type = "Enum/String";
+      description =
+        "Restrict access to the server based on hostname, IP address, or env variables";
+      poor_setting = [ "DenyFrom", "domain" ];
+      good_setting = [ "DenyFrom", "none" ];
+      trigger_workload = "ab_static";
+      expect_detected = true;
+      tweak = no_tweak;
+    };
+    {
+      id = "c14";
+      system = "apache";
+      param = "MaxKeepAliveRequests";
+      data_type = "Integer";
+      description = "Limits the number of requests allowed per connection";
+      poor_setting = [ "MaxKeepAliveRequests", "2" ];
+      good_setting = [ "MaxKeepAliveRequests", "100" ];
+      trigger_workload = "ab_static";
+      (* missed by the paper's Violet: the default workload template has no
+         keep-alive parameter, so the triggering input class is unreachable *)
+      expect_detected = false;
+      tweak = (fun o -> { o with Violet.Pipeline.workload_template = Some "http" });
+    };
+    {
+      id = "c15";
+      system = "apache";
+      param = "KeepAliveTimeout";
+      data_type = "Integer";
+      description =
+        "Seconds Apache will wait for a subsequent request before closing the connection";
+      poor_setting = [ "KeepAliveTimeout", "120" ];
+      good_setting = [ "KeepAliveTimeout", "5" ];
+      trigger_workload = "ab_static";
+      expect_detected = false;
+      tweak = (fun o -> { o with Violet.Pipeline.workload_template = Some "http" });
+    };
+    {
+      id = "c16";
+      system = "squid";
+      param = "cache";
+      data_type = "String";
+      description = "Requests denied by this directive will not be stored in the cache";
+      poor_setting = [ "cache", "deny_all" ];
+      good_setting = [ "cache", "allow_all" ];
+      trigger_workload = "web_polygraph_hot";
+      expect_detected = true;
+      tweak = no_tweak;
+    };
+    {
+      id = "c17";
+      system = "squid";
+      param = "buffered_logs";
+      data_type = "Integer";
+      description =
+        "Whether to write access_log records ASAP or accumulate them in larger chunks";
+      poor_setting = [ "buffered_logs", "0" ];
+      good_setting = [ "buffered_logs", "1" ];
+      trigger_workload = "web_polygraph_hot";
+      expect_detected = true;
+      (* the paper explored only 3 states for c17: no related params, one
+         boolean-like parameter; restrict the symbolic workload accordingly *)
+      tweak =
+        (fun o ->
+          { o with Violet.Pipeline.sym_workload_params = [ "object_cached" ] });
+    };
+  ]
+
+let unknown =
+  [
+    {
+      u_system = "postgres";
+      u_param = "vacuum_cost_delay";
+      u_impact = "Default value 20 ms is significantly worse than low values for write workload.";
+      u_poor = [ "vacuum_cost_delay", "20" ];
+      u_good = [ "vacuum_cost_delay", "0" ];
+      u_workload = "pgbench_maintenance";
+    };
+    {
+      u_system = "postgres";
+      u_param = "archive_timeout";
+      u_impact = "Small values cause performance penalties.";
+      u_poor = [ "archive_mode", "on"; "archive_timeout", "30" ];
+      u_good = [ "archive_mode", "on"; "archive_timeout", "3600" ];
+      u_workload = "pgbench_write_heavy";
+    };
+    {
+      u_system = "postgres";
+      u_param = "random_page_cost";
+      u_impact = "Values larger than 1.2 (default 4.0) cause bad perf on SSD for join queries.";
+      u_poor = [ "random_page_cost", "4" ];
+      u_good = [ "random_page_cost", "1.1" ];
+      u_workload = "pgbench_join";
+    };
+    {
+      u_system = "postgres";
+      u_param = "log_statement";
+      u_impact =
+        "Setting mod causes bad perf. for write workload when synchronous_commit is off.";
+      u_poor = [ "log_statement", "mod"; "synchronous_commit", "off" ];
+      u_good = [ "log_statement", "none"; "synchronous_commit", "off" ];
+      u_workload = "pgbench_write_heavy";
+    };
+    {
+      u_system = "postgres";
+      u_param = "parallel_leader_participation";
+      u_impact =
+        "Enabling it can cause select join query to be slow if random_page_cost is high.";
+      u_poor = [ "parallel_leader_participation", "ON"; "random_page_cost", "4" ];
+      u_good = [ "parallel_leader_participation", "OFF"; "random_page_cost", "4" ];
+      u_workload = "pgbench_join";
+    };
+    {
+      u_system = "mysql";
+      u_param = "optimizer_search_depth";
+      u_impact = "Default value would cause bad performance for join queries";
+      u_poor = [ "optimizer_search_depth", "62" ];
+      u_good = [ "optimizer_search_depth", "4" ];
+      u_workload = "oltp_read_only";
+    };
+    {
+      u_system = "mysql";
+      u_param = "concurrent_insert";
+      u_impact = "Enable concurrent_insert would cause bad performance for read workload";
+      u_poor = [ "concurrent_insert", "ALWAYS" ];
+      u_good = [ "concurrent_insert", "NEVER" ];
+      u_workload = "myisam_concurrent";
+    };
+    {
+      u_system = "squid";
+      u_param = "ipcache_size";
+      u_impact = "The default value is relatively small and may cause performance reduction";
+      u_poor = [ "ipcache_size", "64" ];
+      u_good = [ "ipcache_size", "16384" ];
+      u_workload = "web_polygraph_cold";
+    };
+    {
+      u_system = "squid";
+      u_param = "cache_log";
+      u_impact = "Enable cache_log with higher debug_option would cause extra I/O";
+      u_poor = [ "cache_log", "ON"; "debug_options", "7" ];
+      u_good = [ "cache_log", "ON"; "debug_options", "1" ];
+      u_workload = "web_polygraph_hot";
+    };
+  ]
+
+let target_of = function
+  | "mysql" -> Mysql_model.target
+  | "postgres" -> Postgres_model.target
+  | "apache" -> Apache_model.target
+  | "squid" -> Squid_model.target
+  | s -> failwith ("Cases.target_of: unknown system " ^ s)
+
+let standard_workloads_of = function
+  | "mysql" -> Mysql_model.standard_workloads
+  | "postgres" -> Postgres_model.standard_workloads
+  | "apache" -> Apache_model.standard_workloads
+  | "squid" -> Squid_model.standard_workloads
+  | s -> failwith ("Cases.standard_workloads_of: unknown system " ^ s)
+
+let validation_workloads_of = function
+  | "mysql" -> Mysql_model.validation_workloads
+  | "postgres" -> Postgres_model.validation_workloads
+  | "apache" -> Apache_model.validation_workloads
+  | "squid" -> Squid_model.validation_workloads
+  | s -> failwith ("Cases.validation_workloads_of: unknown system " ^ s)
+
+let workload_mix_of system name =
+  match
+    List.assoc_opt name (standard_workloads_of system @ validation_workloads_of system)
+  with
+  | Some mix -> mix
+  | None -> failwith (Printf.sprintf "Cases.workload_mix_of: %s has no workload %s" system name)
+
+let query_entry_of = function
+  | "mysql" -> Mysql_model.query_entry
+  | "postgres" -> Postgres_model.query_entry
+  | "apache" -> Apache_model.query_entry
+  | "squid" -> Squid_model.query_entry
+  | s -> failwith ("Cases.query_entry_of: unknown system " ^ s)
+
+let find_known id =
+  match List.find_opt (fun c -> String.equal c.id id) known with
+  | Some c -> c
+  | None -> failwith ("Cases.find_known: unknown case " ^ id)
+
+let all_targets =
+  [ Mysql_model.target; Postgres_model.target; Apache_model.target; Squid_model.target ]

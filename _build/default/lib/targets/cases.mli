@@ -1,0 +1,56 @@
+(** The real-world specious-configuration case registry.
+
+    {!known} lists the 17 known cases of paper Table 3, each with the
+    concrete poor/good settings, the workload that exposes the issue, and
+    whether the paper's Violet detected it (c14 and c15 were missed).
+    {!unknown} lists the 9 previously-unknown specious parameters of
+    Table 5.  The benchmark harness and the integration tests iterate over
+    these registries. *)
+
+type known_case = {
+  id : string;  (** "c1" ... "c17" *)
+  system : string;
+  param : string;
+  data_type : string;  (** Table 3's Data Type column *)
+  description : string;
+  poor_setting : (string * string) list;
+      (** target + related parameters set to expose the issue *)
+  good_setting : (string * string) list;
+  trigger_workload : string;  (** name in the target's standard workloads *)
+  expect_detected : bool;  (** paper Table 4's Detect column *)
+  tweak : Violet.Pipeline.options -> Violet.Pipeline.options;
+      (** per-case analysis options (e.g. the workload template to use) *)
+}
+
+type unknown_case = {
+  u_system : string;
+  u_param : string;
+  u_impact : string;  (** Table 5's Performance Impact column *)
+  u_poor : (string * string) list;
+  u_good : (string * string) list;
+  u_workload : string;
+}
+
+val known : known_case list
+val unknown : unknown_case list
+
+val target_of : string -> Violet.Pipeline.target
+(** Target bundle by system name ("mysql", "postgres", "apache", "squid"). *)
+
+val standard_workloads_of :
+  string -> (string * (Vruntime.Workload.instance * float) list) list
+
+val validation_workloads_of :
+  string -> (string * (Vruntime.Workload.instance * float) list) list
+
+val workload_mix_of : string -> string -> (Vruntime.Workload.instance * float) list
+(** Workload mix by system and name, searching standard then validation
+    mixes; raises [Failure] when absent. *)
+
+val query_entry_of : string -> string
+(** Per-operation entry function of the system's program. *)
+
+val find_known : string -> known_case
+(** Lookup by case id; raises [Failure] for unknown ids. *)
+
+val all_targets : Violet.Pipeline.target list

@@ -1,0 +1,56 @@
+(** Executable performance model of MySQL 5.5 (paper Sections 2 and 7).
+
+    The program reproduces, at the control-flow level, the code paths behind
+    the paper's MySQL case studies:
+
+    - Figure 3: [write_row] → [trx_commit_complete] → [log_write_up_to] /
+      [fil_flush], steered by [autocommit] and
+      [innodb_flush_log_at_trx_commit] (case c1);
+    - Figure 4: the query cache, [LOCK TABLES], and
+      [query_cache_wlock_invalidate] (c2), plus the query-cache contention
+      behind [query_cache_type] (c4);
+    - Figure 5: [log_reserve_and_open] and the [innodb_log_buffer_size]
+      threshold crossings (c6);
+    - the general log (c3), binary log syncing via [sync_binlog] (c5), and
+      the two unknown-specious parameters of Table 5
+      ([optimizer_search_depth], [concurrent_insert]).
+
+    The registry also carries parameters that are not performance-related,
+    not hookable, or unused — the population the coverage experiment
+    (Table 6) measures against. *)
+
+val registry : Vruntime.Config_registry.t
+val oltp : Vruntime.Workload.template
+(** The sysbench-like workload template: query type, storage engine, row
+    size, scan size, join width, cache-hit and concurrency indicators. *)
+
+val program : Vir.Ast.program
+(** MySQL 5.5, the paper's evaluated version. *)
+
+val program_56 : Vir.Ast.program
+(** A 5.6-like build: binlog group commit fixed, query-cache contention
+    worse — the substrate for the checker's code-upgrade mode. *)
+
+val target : Violet.Pipeline.target
+val target_56 : Violet.Pipeline.target
+
+val query_entry : string
+(** Entry function measuring a single command, excluding server start-up —
+    what concrete throughput runs should execute per operation. *)
+
+val normal_mix : autocommit:bool -> (Vruntime.Workload.instance * float) list
+(** Figure 2(a): 70% read / 20% write / 10% other.  sysbench keeps the same
+    transaction boundaries in both modes (explicit [COMMIT]s when
+    autocommit is off), so the throughput difference is small. *)
+
+val insert_mix : autocommit:bool -> (Vruntime.Workload.instance * float) list
+(** Figure 2(b): insert-intensive.  With [autocommit:false] the mix batches
+    an explicit [COMMIT] after every 5 inserts, the recommended fix. *)
+
+val standard_workloads : (string * (Vruntime.Workload.instance * float) list) list
+(** The stock sysbench suites black-box testing enumerates in the
+    Section 7.3 comparison. *)
+
+val validation_workloads : (string * (Vruntime.Workload.instance * float) list) list
+(** Mixes that only Violet's input predicates point the operator to (large
+    rows, MyISAM lock contention); not part of stock benchmark suites. *)

@@ -1,0 +1,139 @@
+open Vir.Builder
+module Reg = Vruntime.Config_registry
+module Wl = Vruntime.Workload
+
+type pattern = {
+  id : int;
+  name : string;
+  description : string;
+  target : Violet.Pipeline.target;
+  param : string;
+  poor : (string * string) list;
+  expected_trigger : string;
+}
+
+let requests =
+  Wl.(template "requests" [ wparam_enum "kind" ~values:[ "READ"; "WRITE" ] "request type" ])
+
+let mk ~id ~name ~description ~registry ~funcs ~param ~poor ~expected_trigger =
+  {
+    id;
+    name;
+    description;
+    target =
+      {
+        Violet.Pipeline.name;
+        program = program ~name ~entry:"main" funcs;
+        registry;
+        workloads = [ requests ];
+      };
+    param;
+    poor;
+    expected_trigger;
+  }
+
+(* pattern 1: the parameter gates an fsync (the autocommit shape) *)
+let expensive_operation =
+  mk ~id:1 ~name:"pat_expensive"
+    ~description:"parameter causes an expensive operation (fsync) to execute"
+    ~registry:
+      Reg.(make ~system:"pat_expensive" [ param_bool "durable" ~default:true "flush on write" ])
+    ~funcs:
+      [
+        func "main"
+          [
+            when_ (wl "kind" ==. i 1)
+              [ buffered_write (i 512); when_ (cfg "durable" ==. i 1) [ fsync ] ];
+            ret_void;
+          ];
+      ]
+    ~param:"durable" ~poor:[ "durable", "ON" ] ~expected_trigger:"Lat."
+
+(* pattern 2: extra synchronization that is cheap itself but serializes the
+   system (the query_cache_wlock_invalidate shape) *)
+let extra_synchronization =
+  mk ~id:2 ~name:"pat_sync"
+    ~description:"parameter adds synchronization that decreases concurrency"
+    ~registry:
+      Reg.(
+        make ~system:"pat_sync"
+          [ param_bool "strict_order" ~default:false "serialize request handling" ])
+    ~funcs:
+      [
+        func "main"
+          [
+            when_ (cfg "strict_order" ==. i 1) [ mutex_lock; cond_wait; mutex_unlock ];
+            compute (i 300);
+            ret_void;
+          ];
+      ]
+    ~param:"strict_order" ~poor:[ "strict_order", "ON" ] ~expected_trigger:"Sync."
+
+(* pattern 3: the parameter routes execution away from the cached result
+   (the query_cache_type / squid cache-deny shape) *)
+let slow_path =
+  mk ~id:3 ~name:"pat_slowpath"
+    ~description:"parameter directs execution to a slow path (cache bypass)"
+    ~registry:
+      Reg.(
+        make ~system:"pat_slowpath"
+          [ param_bool "bypass_cache" ~default:false "always recompute" ])
+    ~funcs:
+      [
+        func "main"
+          [
+            if_ (cfg "bypass_cache" ==. i 1)
+              [ call "recompute" [] ]
+              [ cache_lookup; buffered_read (i 256) ];
+            ret_void;
+          ];
+        func "recompute" [ compute (i 40000); pread (i 65536); ret_void ];
+      ]
+    ~param:"bypass_cache" ~poor:[ "bypass_cache", "ON" ] ~expected_trigger:"Lat."
+
+(* pattern 4: the parameter sets a threshold that workloads cross frequently
+   (the innodb_log_buffer_size shape) *)
+let threshold_crossing =
+  let t =
+    Wl.(
+      template "records"
+        [ wparam_int "record_bytes" ~lo:64 ~hi:1048576 "bytes appended per request" ])
+  in
+  let p =
+    {
+      id = 4;
+      name = "pat_threshold";
+      description = "parameter sets a threshold whose frequent crossing is costly";
+      target =
+        {
+          Violet.Pipeline.name = "pat_threshold";
+          program =
+            program ~name:"pat_threshold" ~entry:"main"
+              [
+                func "main"
+                  [
+                    when_
+                      (wl "record_bytes" >. cfg "buffer_bytes" /. i 2)
+                      [ call "flush_buffer" [] ];
+                    log_append (wl "record_bytes");
+                    ret_void;
+                  ];
+                func "flush_buffer" [ pwrite (i 16384); fsync; ret_void ];
+              ];
+          registry =
+            Reg.(
+              make ~system:"pat_threshold"
+                [
+                  param_int "buffer_bytes" ~lo:4096 ~hi:(64 * 1024 * 1024)
+                    ~default:(8 * 1024 * 1024) "staging buffer size";
+                ]);
+          workloads = [ t ];
+        };
+      param = "buffer_bytes";
+      poor = [ "buffer_bytes", "4096" ];
+      expected_trigger = "Lat.";
+    }
+  in
+  p
+
+let all = [ expensive_operation; extra_synchronization; slow_path; threshold_crossing ]

@@ -1,0 +1,447 @@
+module Reg = Vruntime.Config_registry
+module Wl = Vruntime.Workload
+
+let mb n = n * 1024 * 1024
+let kb n = n * 1024
+
+let registry =
+  Reg.(
+    make ~system:"postgres"
+      [
+        (* --- WAL / durability --- *)
+        param_enum "wal_sync_method"
+          ~values:[ "fdatasync"; "fsync"; "open_datasync"; "open_sync" ]
+          ~default:"fdatasync" "how WAL updates are forced to disk";
+        param_enum "synchronous_commit"
+          ~values:[ "off"; "local"; "on"; "remote_write" ] ~default:"on"
+          "wait for WAL flush at commit";
+        param_bool "fsync" ~default:true "force WAL to stable storage at all";
+        param_bool "full_page_writes" ~default:true
+          "write full pages after checkpoints";
+        param_int "wal_buffers" ~lo:(kb 32) ~hi:(mb 16) ~default:(kb 512)
+          "WAL buffer memory";
+        param_int "commit_delay" ~lo:0 ~hi:100000 ~default:0
+          "microseconds to delay commit for group flush";
+        (* --- archiving (c8, archive_timeout) --- *)
+        param_enum "archive_mode" ~values:[ "off"; "on"; "always" ] ~default:"off"
+          "archive completed WAL segments";
+        param_int "archive_timeout" ~lo:0 ~hi:86400 ~default:0
+          "force a segment switch every N seconds";
+        (* --- checkpoints (c9, c10) --- *)
+        param_int "max_wal_size" ~lo:2 ~hi:16384 ~default:1024
+          "MB of WAL between automatic checkpoints";
+        param_int "min_wal_size" ~lo:32 ~hi:16384 ~default:80 "MB of recycled WAL kept";
+        param_float "checkpoint_completion_target" ~choices:[ 0.1; 0.3; 0.5; 0.7; 0.9 ]
+          ~default_index:2 "fraction of the interval to spread checkpoint I/O over";
+        param_int "checkpoint_timeout" ~lo:30 ~hi:86400 ~default:300
+          "seconds between automatic checkpoints";
+        (* --- background writer (c11) --- *)
+        param_float "bgwriter_lru_multiplier" ~choices:[ 0.5; 1.0; 2.0; 4.0; 10.0 ]
+          ~default_index:2 "multiple of recent buffer demand to clean ahead";
+        param_int "bgwriter_delay" ~lo:10 ~hi:10000 ~default:200
+          "milliseconds between bgwriter rounds";
+        param_int "bgwriter_lru_maxpages" ~lo:0 ~hi:1073741823 ~default:100
+          "max pages written per bgwriter round";
+        (* --- memory --- *)
+        param_int "shared_buffers" ~lo:1 ~hi:65536 ~default:128 "MB of shared page cache";
+        param_int "work_mem" ~lo:64 ~hi:(mb 2) ~default:4096 "KB per sort/hash operation";
+        param_int "maintenance_work_mem" ~lo:1024 ~hi:(mb 2) ~default:65536
+          "KB for maintenance operations";
+        param_int "effective_cache_size" ~lo:1 ~hi:1048576 ~default:4096
+          "planner's assumption of OS cache (MB)";
+        param_int "temp_buffers" ~lo:100 ~hi:1073741823 ~default:1024
+          "per-session temp-table buffers (8k pages)";
+        (* --- planner (random_page_cost, parallel) --- *)
+        param_float "random_page_cost" ~choices:[ 1.0; 1.1; 1.2; 2.0; 4.0 ]
+          ~default_index:4 "planner cost of a non-sequential page fetch";
+        param_float "seq_page_cost" ~choices:[ 0.5; 1.0; 2.0 ] ~default_index:1
+          "planner cost of a sequential page fetch";
+        param_bool "parallel_leader_participation" ~default:true
+          "leader also executes the parallel plan";
+        param_int "max_parallel_workers_per_gather" ~lo:0 ~hi:64 ~default:2
+          "workers per Gather node";
+        param_bool "jit" ~default:false "JIT-compile expressions";
+        param_int "default_statistics_target" ~lo:1 ~hi:10000 ~default:100
+          "histogram detail collected by ANALYZE";
+        (* --- logging (log_statement) --- *)
+        param_enum "log_statement" ~values:[ "none"; "ddl"; "mod"; "all" ] ~default:"none"
+          "which statements are logged";
+        param_int "log_min_duration_statement" ~lo:(-1) ~hi:3600000 ~default:(-1)
+          "log statements running at least N ms";
+        (* --- vacuum --- *)
+        param_bool "autovacuum" ~default:true "run the autovacuum launcher";
+        param_float "vacuum_cost_delay" ~choices:[ 0.0; 2.0; 10.0; 20.0 ] ~default_index:3
+          "ms to sleep when the vacuum cost budget is spent";
+        param_int "vacuum_cost_limit" ~lo:1 ~hi:10000 ~default:200
+          "cost budget before a vacuum sleep";
+        (* --- replication --- *)
+        param_enum "synchronous_standby_names" ~values:[ "none"; "one"; "quorum" ]
+          ~default:"none" "replicas a commit must wait for";
+        param_bool "wal_compression" ~default:false "compress full-page WAL images";
+        param_bool "hot_standby" ~default:true "allow queries during recovery";
+        param_int "wal_sender_timeout" ~lo:0 ~hi:3600000 ~default:60000
+          "drop unresponsive replication connections";
+        param_int "max_wal_senders" ~lo:0 ~hi:262143 ~default:10 "replication slots";
+        (* --- hooked but unused in the modelled paths --- *)
+        param_int "max_connections" ~lo:1 ~hi:262143 ~default:100 "connection limit";
+        param_int "deadlock_timeout" ~lo:1 ~hi:2147483 ~default:1000
+          "ms before checking for deadlock";
+        param_int "statement_timeout" ~lo:0 ~hi:2147483647 ~default:0
+          "abort statements running longer than N ms";
+        param_int "idle_in_transaction_session_timeout" ~lo:0 ~hi:2147483647 ~default:0
+          "terminate idle transactions";
+        param_bool "track_activities" ~default:true "collect command statistics";
+        param_bool "track_counts" ~default:true "collect row statistics";
+        (* --- not performance-related --- *)
+        param_int "port" ~perf:false ~dynamic:false ~lo:1 ~hi:65535 ~default:5432
+          "listen port";
+        param_enum "listen_addresses" ~perf:false ~values:[ "localhost"; "*" ]
+          ~default:"localhost" "addresses to listen on";
+        param_enum "log_destination" ~perf:false ~values:[ "stderr"; "csvlog"; "syslog" ]
+          ~default:"stderr" "log sink";
+        param_bool "logging_collector" ~perf:false ~default:false "capture stderr to files";
+        (* --- no hook possible --- *)
+        param_enum "timezone" ~hook:No_hook_complex_type ~values:[ "UTC"; "US/Eastern" ]
+          ~default:"UTC" "session timezone (complex type)";
+        param_enum "datestyle" ~hook:No_hook_complex_type ~values:[ "ISO"; "SQL" ]
+          ~default:"ISO" "date rendering (composite type)";
+        param_enum "shared_preload_libraries" ~hook:No_hook_function_pointer
+          ~values:[ "none"; "pg_stat_statements" ] ~default:"none"
+          "preloaded extensions (function-pointer registration)";
+      ])
+
+(* encoded workload values *)
+let op_select = 0
+let op_insert = 1
+let op_update = 2
+let op_join_select = 3
+let op_vacuum = 4
+
+let pgbench =
+  Wl.(
+    template "pgbench"
+      [
+        wparam_enum "op" ~values:[ "SELECT"; "INSERT"; "UPDATE"; "JOIN_SELECT"; "VACUUM" ]
+          "statement type";
+        wparam_int "n_rows" ~lo:1 ~hi:100000 "rows touched";
+        wparam_int "row_bytes" ~lo:64 ~hi:1048576 "bytes per row";
+        wparam_int "dirty_pages" ~lo:0 ~hi:10000 "pages dirtied since last checkpoint";
+        wparam_bool "indexed" "an index covers the predicate";
+      ])
+
+let query_entry = "exec_simple_query"
+
+let program =
+  let open Vir.Builder in
+  program ~name:"postgres" ~entry:"postmaster_main"
+    ~globals:[ "plan_seqscan", 0 ]
+    [
+      func "postmaster_main"
+        [
+          call "backend_init" [];
+          trace_on;
+          call "exec_simple_query" [];
+          trace_off;
+          ret_void;
+        ];
+      func "backend_init" [ malloc (cfg "shared_buffers" *. i 1048576); compute (i 9000); ret_void ];
+      func "exec_simple_query"
+        [
+          net_recv (i 128);
+          call "pg_parse_query" [];
+          call "pg_plan_query" [];
+          call "portal_run" [];
+          call "log_statement_maybe" [];
+          net_send (i 256);
+          ret_void;
+        ];
+      func "pg_parse_query" [ compute (i 180); ret_void ];
+      func "pg_plan_query"
+        [
+          compute (cfg "default_statistics_target" /. i 2 +. i 100);
+          if_ (cfg "jit" ==. i 1) [ compute (i 2500); malloc (i 65536) ] [];
+          if_ (cfg "effective_cache_size" <. i 64) [ compute (i 120) ] [];
+          if_ (cfg "seq_page_cost" >=. i 2) [ compute (i 80) ] [];
+          if_ (wl "op" ==. i op_join_select)
+            [
+              (* random_page_cost above ~1.2 makes the planner reject the
+                 index path for the join (Table 5) *)
+              if_ (cfg "random_page_cost" >. i 2)
+                [ setg "plan_seqscan" (i 1) ]
+                [ setg "plan_seqscan" (i 0) ];
+              compute (i 400);
+            ]
+            [];
+          ret_void;
+        ];
+      func "portal_run"
+        [
+          if_ ((wl "op" ==. i op_select) ||. (wl "op" ==. i op_join_select))
+            [ call "exec_scan" [] ]
+            [
+              if_ ((wl "op" ==. i op_insert) ||. (wl "op" ==. i op_update))
+                [ call "exec_modify" [] ]
+                [ if_ (wl "op" ==. i op_vacuum) [ call "do_vacuum" [] ] [] ];
+            ];
+          ret_void;
+        ];
+      (* ---------------- read path ---------------- *)
+      func "exec_scan"
+        [
+          if_ ((wl "op" ==. i op_join_select) &&. (gv "plan_seqscan" ==. i 1))
+            [
+              call "seq_scan_join" [];
+              (* Table 5: leader participation starves workers on big scans *)
+              if_
+                ((cfg "parallel_leader_participation" ==. i 1)
+                &&. (cfg "max_parallel_workers_per_gather" >. i 0))
+                [ cond_wait; compute (wl "n_rows") ]
+                [];
+            ]
+            [ call "index_scan" [] ];
+          ret_void;
+        ];
+      func "seq_scan_join"
+        [
+          pread (wl "n_rows" *. i 256);
+          compute (wl "n_rows" *. i 3);
+          if_ (wl "n_rows" *. i 8 >. cfg "work_mem" *. i 1024)
+            [
+              if_ (wl "n_rows" /. i 8 >. cfg "temp_buffers")
+                [ pwrite (wl "n_rows" *. i 8); pread (wl "n_rows" *. i 8) ]
+                [ buffered_write (wl "n_rows" *. i 8) ];
+            ]
+            [];
+          ret_void;
+        ];
+      func "index_scan"
+        [
+          call "buffer_alloc" [];
+          if_ (wl "indexed" ==. i 1)
+            [ buffered_read (i 8192); compute (wl "n_rows" /. i 4 +. i 60) ]
+            [
+              if_ (wl "n_rows" *. i 256 >. cfg "shared_buffers" *. i 1048576)
+                [ pread (wl "n_rows" *. i 256) ]
+                [ buffered_read (wl "n_rows" *. i 256) ];
+              compute (wl "n_rows");
+            ];
+          ret_void;
+        ];
+      (* ---------------- write path ---------------- *)
+      func "exec_modify"
+        [
+          compute (i 300);
+          call "buffer_alloc" [];
+          buffered_write (wl "row_bytes");
+          call "xlog_insert" [ wl "row_bytes" ];
+          call "record_transaction_commit" [];
+          call "checkpointer_tick" [];
+          call "bgwriter_tick" [];
+          ret_void;
+        ];
+      func "xlog_insert" ~params:[ "len" ]
+        [
+          log_append (lv "len");
+          if_ (lv "len" >. cfg "wal_buffers") [ pwrite (lv "len") ] [];
+          if_ (cfg "full_page_writes" ==. i 1)
+            [
+              if_ (cfg "wal_compression" ==. i 1)
+                [ compute (i 800); log_append (i 3072) ]  (* cpu for fewer bytes *)
+                [ log_append (i 8192) ];
+            ]
+            [];
+          if_ (cfg "archive_mode" <>. i 0) [ call "archive_segment_maybe" [] ] [];
+          ret_void;
+        ];
+      func "archive_segment_maybe"
+        [
+          (* a small archive_timeout forces frequent segment switches: each
+             switch archives a mostly-empty 16MB segment (c8 + Table 5) *)
+          if_ ((cfg "archive_timeout" >. i 0) &&. (cfg "archive_timeout" <=. i 60))
+            [ pwrite (i 1048576); net_send (i 1048576) ]
+            [
+              if_ (wl "n_rows" *. wl "row_bytes" >. i 4194304)
+                [ pwrite (i 1048576); net_send (i 1048576) ]
+                [ buffered_write (i 2048) ];
+            ];
+          ret_void;
+        ];
+      func "record_transaction_commit"
+        [
+          if_ (cfg "commit_delay" >. i 0) [ cond_wait ] [];
+          call "sync_rep_wait" [];
+          if_ (cfg "synchronous_commit" <>. i 0)
+            [ call "xlog_flush" [] ]
+            [
+              (* async commit: the statement-log buffer is flushed inline to
+                 preserve ordering, so log_statement=mod dominates (Table 5) *)
+              call "flush_pending_statement_logs" [];
+            ];
+          ret_void;
+        ];
+      (* synchronous replication: the commit blocks on standby ACKs *)
+      func "sync_rep_wait"
+        [
+          if_
+            ((cfg "synchronous_standby_names" <>. i 0)
+            &&. (cfg "synchronous_commit" >=. i 2))
+            [
+              net_send (i 512);
+              net_recv (i 64);
+              if_ (cfg "synchronous_standby_names" ==. i 2) [ net_recv (i 64) ] [];
+            ]
+            [];
+          ret_void;
+        ];
+      func "xlog_flush"
+        [
+          if_ (cfg "fsync" ==. i 1)
+            [
+              if_ (cfg "wal_sync_method" ==. i 3)
+                [ pwrite (i 8192); fsync; pwrite (i 8192); fsync; pwrite (i 4096); fsync ]
+                  (* open_sync: every WAL write is synchronous — full page,
+                     commit record and metadata each pay a device flush *)
+                [
+                  if_ (cfg "wal_sync_method" ==. i 2)
+                    [ pwrite (i 8192); fsync; pwrite (i 4096); fsync ]  (* open_datasync *)
+                    [
+                      if_ (cfg "wal_sync_method" ==. i 1)
+                        [ pwrite (i 8192); buffered_write (i 512); fsync ]  (* fsync *)
+                        [ pwrite (i 8192); fsync ];  (* fdatasync *)
+                    ];
+                ];
+            ]
+            [ buffered_write (i 8192) ];
+          ret_void;
+        ];
+      func "flush_pending_statement_logs"
+        [
+          if_ (cfg "log_statement" >=. i 2) [ pwrite (i 1024) ] [];
+          ret_void;
+        ];
+      func "checkpointer_tick"
+        [
+          (* dirty WAL beyond max_wal_size forces a checkpoint (c9) *)
+          if_
+            ((wl "dirty_pages" *. i 8192 >. cfg "max_wal_size" *. i 262144)
+            ||. (cfg "checkpoint_timeout" <. i 60))
+            [ call "do_checkpoint" [] ]
+            [ if_ (cfg "min_wal_size" >. i 8192) [ compute (i 40) ] [] ];
+          ret_void;
+        ];
+      func "do_checkpoint"
+        [
+          pwrite (wl "dirty_pages" *. i 512);
+          (* a low completion target compresses the I/O into a burst: writes
+             lose coalescing and the device is hit with amplified traffic *)
+          if_ (cfg "checkpoint_completion_target" <=. i 1)
+            [
+              pwrite (wl "dirty_pages" *. i 512);
+              pwrite (wl "dirty_pages" *. i 512);
+              fsync;
+              fsync;
+              cond_wait;
+            ]
+            [ buffered_write (i 8192); fsync ];
+          ret_void;
+        ];
+      func "bgwriter_tick"
+        [
+          if_ (cfg "bgwriter_delay" >. i 1000) [ pwrite (i 8192) ] [];
+          if_ (cfg "bgwriter_lru_multiplier" <=. i 1)
+            [ buffered_write (i 8192) ]
+            [ buffered_write (i 16384) ];
+          ret_void;
+        ];
+      (* a lagging background writer (low lru multiplier) leaves dirty
+         buffers for the backends to evict synchronously (c11) *)
+      func "buffer_alloc"
+        [
+          if_
+            ((cfg "bgwriter_lru_multiplier" <=. i 1) &&. (wl "dirty_pages" >. i 512))
+            [
+              pwrite (wl "dirty_pages" *. i 8);
+              if_ (cfg "bgwriter_lru_maxpages" <. wl "dirty_pages")
+                [ pwrite (i 8192) ]
+                [];
+            ]
+            [];
+          ret_void;
+        ];
+      (* ---------------- vacuum ---------------- *)
+      func "do_vacuum"
+        [
+          if_ (cfg "autovacuum" ==. i 0) [ compute (i 50) ] [];
+          if_ (cfg "maintenance_work_mem" <. i 16384)
+            [ pread (wl "n_rows" *. i 96) ]
+            [ pread (wl "n_rows" *. i 64) ];
+          if_ (cfg "vacuum_cost_limit" <. i 100) [ cond_wait ] [];
+          compute (wl "n_rows" *. i 2);
+          (* the cost-based delay sleeps between page batches (Table 5) *)
+          if_ (cfg "vacuum_cost_delay" >=. i 3)
+            [ cond_wait; cond_wait; cond_wait ]
+            [
+              if_ (cfg "vacuum_cost_delay" >=. i 2)
+                [ cond_wait; cond_wait ]
+                [ if_ (cfg "vacuum_cost_delay" >=. i 1) [ cond_wait ] [] ];
+            ];
+          buffered_write (wl "n_rows" *. i 16);
+          ret_void;
+        ];
+      func "log_statement_maybe"
+        [
+          if_ ((cfg "log_min_duration_statement" >=. i 0)
+              &&. (cfg "log_min_duration_statement" <=. i 10))
+            [ buffered_write (i 256) ] [];
+          if_
+            ((cfg "log_statement" ==. i 3)
+            ||. ((cfg "log_statement" ==. i 2)
+                &&. ((wl "op" ==. i op_insert) ||. (wl "op" ==. i op_update))))
+            [ log_append (i 512); buffered_write (i 512) ]
+            [];
+          ret_void;
+        ];
+    ]
+
+let target =
+  { Violet.Pipeline.name = "postgres"; program; registry; workloads = [ pgbench ] }
+
+let inst overrides = Wl.instantiate_named pgbench overrides
+
+let point_select =
+  inst [ "op", "SELECT"; "n_rows", "10"; "row_bytes", "256"; "dirty_pages", "16"; "indexed", "ON" ]
+
+let join_select =
+  inst
+    [ "op", "JOIN_SELECT"; "n_rows", "20000"; "row_bytes", "256"; "dirty_pages", "16";
+      "indexed", "ON" ]
+
+let small_insert =
+  inst [ "op", "INSERT"; "n_rows", "1"; "row_bytes", "256"; "dirty_pages", "64"; "indexed", "ON" ]
+
+let small_update =
+  inst [ "op", "UPDATE"; "n_rows", "1"; "row_bytes", "256"; "dirty_pages", "64"; "indexed", "ON" ]
+
+let heavy_update =
+  inst
+    [ "op", "UPDATE"; "n_rows", "100"; "row_bytes", "8192"; "dirty_pages", "4096";
+      "indexed", "OFF" ]
+
+let vacuum_op =
+  inst
+    [ "op", "VACUUM"; "n_rows", "50000"; "row_bytes", "256"; "dirty_pages", "4096";
+      "indexed", "OFF" ]
+
+(* the stock pgbench suites black-box testing enumerates *)
+let standard_workloads =
+  [
+    "pgbench_tpcb", [ point_select, 0.4; small_insert, 0.3; small_update, 0.3 ];
+    "pgbench_select_only", [ point_select, 0.9; join_select, 0.1 ];
+    "pgbench_write_heavy", [ small_insert, 0.4; small_update, 0.3; heavy_update, 0.3 ];
+  ]
+
+let validation_workloads =
+  [
+    "pgbench_join", [ join_select, 1.0 ];
+    "pgbench_maintenance", [ vacuum_op, 0.2; small_insert, 0.8 ];
+  ]

@@ -1,0 +1,20 @@
+(** Executable performance model of PostgreSQL 11 (paper Section 7).
+
+    Covers the paper's PostgreSQL known cases — [wal_sync_method] (c7),
+    [archive_mode] (c8), [max_wal_size] (c9),
+    [checkpoint_completion_target] (c10), [bgwriter_lru_multiplier] (c11) —
+    and the five unknown-specious parameters of Table 5:
+    [vacuum_cost_delay], [archive_timeout], [random_page_cost],
+    [log_statement] (with [synchronous_commit]), and
+    [parallel_leader_participation] (with [random_page_cost]).
+
+    Float-typed parameters use the paper's discrete-choice encoding
+    (Section 8). *)
+
+val registry : Vruntime.Config_registry.t
+val pgbench : Vruntime.Workload.template
+val program : Vir.Ast.program
+val target : Violet.Pipeline.target
+val query_entry : string
+val standard_workloads : (string * (Vruntime.Workload.instance * float) list) list
+val validation_workloads : (string * (Vruntime.Workload.instance * float) list) list

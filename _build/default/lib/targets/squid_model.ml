@@ -1,0 +1,238 @@
+module Reg = Vruntime.Config_registry
+module Wl = Vruntime.Workload
+
+let mb n = n * 1024 * 1024
+
+let registry =
+  Reg.(
+    make ~system:"squid"
+      [
+        (* --- caching (c16) --- *)
+        param_enum "cache" ~values:[ "allow_all"; "deny_all"; "deny_large" ]
+          ~default:"allow_all"
+          "cache ACL: denied requests are never stored in the cache";
+        param_int "cache_mem" ~lo:(mb 1) ~hi:(mb 4096) ~default:(mb 256)
+          "memory cache size";
+        param_int "maximum_object_size" ~lo:0 ~hi:(mb 512) ~default:(mb 4)
+          "largest cachable object";
+        param_int "maximum_object_size_in_memory" ~lo:0 ~hi:(mb 16) ~default:(512 * 1024)
+          "largest object kept in memory";
+        param_enum "memory_cache_mode" ~values:[ "always"; "disk"; "network" ]
+          ~default:"always" "which hits may use the memory cache";
+        param_enum "cache_replacement_policy" ~values:[ "lru"; "heap_gdsf"; "heap_lfuda" ]
+          ~default:"lru" "eviction policy";
+        (* --- logging (c17, cache_log) --- *)
+        param_int "buffered_logs" ~lo:0 ~hi:1 ~default:0
+          "accumulate access-log records in larger chunks";
+        param_bool "access_log" ~default:true "write an access-log record per request";
+        param_bool "cache_log" ~default:true "write the cache.log debug file";
+        param_int "debug_options" ~lo:0 ~hi:9 ~default:1
+          "cache.log verbosity level (ALL,N)";
+        (* --- DNS / ipcache (Table 5) --- *)
+        param_int "ipcache_size" ~lo:16 ~hi:65536 ~default:1024
+          "entries in the IP resolution cache";
+        param_int "ipcache_low" ~lo:1 ~hi:100 ~default:90 "ipcache low-water percent";
+        param_int "ipcache_high" ~lo:1 ~hi:100 ~default:95 "ipcache high-water percent";
+        param_int "dns_timeout" ~lo:1 ~hi:300 ~default:30 "DNS query timeout seconds";
+        param_int "negative_dns_ttl" ~lo:0 ~hi:3600 ~default:60 "cache failed lookups";
+        (* --- connections --- *)
+        param_bool "client_persistent_connections" ~default:true
+          "keep client connections open";
+        param_bool "server_persistent_connections" ~default:true
+          "keep origin connections open";
+        param_int "read_ahead_gap" ~lo:1024 ~hi:(mb 1) ~default:16384
+          "prefetch window from origin";
+        param_bool "memory_pools" ~default:true "pool allocator for hot objects";
+        param_int "quick_abort_min" ~lo:(-1) ~hi:32768 ~default:16
+          "KB below which an aborted fetch is completed anyway";
+        (* --- hooked but unused in the modelled paths --- *)
+        param_int "max_filedescriptors" ~lo:64 ~hi:1048576 ~default:1024 "fd limit";
+        param_int "client_lifetime" ~lo:1 ~hi:1440 ~default:1440
+          "max client session minutes";
+        param_int "pconn_timeout" ~lo:1 ~hi:3600 ~default:120
+          "idle persistent-connection timeout";
+        param_int "connect_timeout" ~lo:1 ~hi:300 ~default:60 "origin connect timeout";
+        param_int "request_header_max_size" ~lo:1024 ~hi:(mb 1) ~default:65536
+          "max request header";
+        (* --- not performance-related --- *)
+        param_int "http_port" ~perf:false ~dynamic:false ~lo:1 ~hi:65535 ~default:3128
+          "listen port";
+        param_enum "visible_hostname" ~perf:false ~values:[ "proxy"; "cache1" ]
+          ~default:"proxy" "hostname in errors";
+        param_enum "cache_effective_user" ~perf:false ~values:[ "squid"; "proxy" ]
+          ~default:"squid" "worker identity";
+        (* --- configured through parser function pointers (Section 4.1) --- *)
+        param_enum "cache_dir" ~hook:No_hook_function_pointer
+          ~values:[ "ufs"; "aufs"; "rock" ] ~default:"ufs"
+          "cache store module (registered via function pointers)";
+        param_enum "auth_param" ~hook:No_hook_function_pointer
+          ~values:[ "none"; "basic"; "digest" ] ~default:"none" "authentication scheme";
+        param_enum "acl" ~hook:No_hook_complex_type ~values:[ "default"; "custom" ]
+          ~default:"default" "access control lists (free-form grammar)";
+        param_enum "refresh_pattern" ~hook:No_hook_complex_type
+          ~values:[ "default"; "aggressive" ] ~default:"default"
+          "freshness rules (regex grammar)";
+      ])
+
+let proxy =
+  Wl.(
+    template "proxy"
+      [
+        wparam_bool "object_cached" "requested object already in the cache";
+        wparam_int "object_bytes" ~lo:1024 ~hi:33554432 "object size";
+        wparam_bool "repeated_host" "host resolved recently (ipcache candidate)";
+        wparam_int "distinct_hosts" ~lo:1 ~hi:100000 "distinct origin hosts in the trace";
+      ])
+
+let query_entry = "client_request"
+
+let program =
+  let open Vir.Builder in
+  program ~name:"squid" ~entry:"squid_main"
+    [
+      func "squid_main"
+        [ call "squid_init" []; trace_on; call "client_request" []; trace_off; ret_void ];
+      func "squid_init" [ malloc (cfg "cache_mem"); compute (i 6000); ret_void ];
+      func "client_request"
+        [
+          net_recv (i 256);
+          if_ (cfg "request_header_max_size" <. i 8192) [ compute (i 60) ] [];
+          if_ (cfg "client_persistent_connections" ==. i 0)
+            [ net_send (i 64); net_recv (i 64) ]
+            [];
+          call "lookup_ipcache" [];
+          call "serve_object" [];
+          call "write_access_log" [];
+          call "write_cache_log" [];
+          net_send (wl "object_bytes");
+          ret_void;
+        ];
+      func "lookup_ipcache"
+        [
+          cache_lookup;
+          if_ (cfg "negative_dns_ttl" ==. i 0) [ compute (i 40) ] [];
+          (* an undersized ipcache evicts entries before they are reused
+             (Table 5): even recently-seen hosts miss *)
+          if_
+            ((wl "repeated_host" ==. i 0) ||. (wl "distinct_hosts" >. cfg "ipcache_size"))
+            [
+              dns_lookup;
+              if_ (cfg "dns_timeout" <. i 5) [ dns_lookup ] [];  (* retry storm *)
+              cache_store;
+              if_ (wl "distinct_hosts" *. i 100 >. cfg "ipcache_size" *. cfg "ipcache_high")
+                [ cache_store ]  (* high-water eviction *)
+                [];
+            ]
+            [];
+          ret_void;
+        ];
+      func "serve_object"
+        [
+          call ~dest:"cachable" "cache_acl_allows" [];
+          if_ ((wl "object_cached" ==. i 1) &&. (lv "cachable" ==. i 1))
+            [ call "serve_from_cache" [] ]
+            [
+              call "fetch_from_origin" [];
+              if_ (lv "cachable" ==. i 1) [ call "store_object" [] ] [];
+            ];
+          ret_void;
+        ];
+      func "cache_acl_allows"
+        [
+          if_ (cfg "cache" ==. i 1)
+            [ ret (i 0) ]  (* deny all: nothing is ever stored *)
+            [
+              if_
+                ((cfg "cache" ==. i 2) &&. (wl "object_bytes" >. i 1048576))
+                [ ret (i 0) ]
+                [
+                  if_ (wl "object_bytes" >. cfg "maximum_object_size")
+                    [ ret (i 0) ]
+                    [ ret (i 1) ];
+                ];
+            ];
+        ];
+      func "serve_from_cache"
+        [
+          cache_lookup;
+          if_
+            ((cfg "memory_cache_mode" ==. i 0)
+            &&. (wl "object_bytes" <. cfg "maximum_object_size_in_memory"))
+            [ buffered_read (wl "object_bytes") ]
+            [ pread (wl "object_bytes") ];
+          ret_void;
+        ];
+      func "fetch_from_origin"
+        [
+          if_ (cfg "server_persistent_connections" ==. i 0)
+            [ net_send (i 64); net_recv (i 64); compute (i 300) ]
+            [];
+          net_send (i 256);
+          (* response headers arrive a round trip before the body, and the
+             body streams in read_ahead_gap windows *)
+          net_recv (i 512);
+          net_recv (i 1024);
+          net_recv (wl "object_bytes");
+          if_ (wl "object_bytes" >. cfg "read_ahead_gap") [ cache_lookup; compute (i 500) ] [];
+          ret_void;
+        ];
+      func "store_object"
+        [
+          cache_store;
+          if_ (cfg "memory_pools" ==. i 0) [ malloc (wl "object_bytes") ] [];
+          (* tiny objects are fetched to completion even when clients abort *)
+          if_ (wl "object_bytes" <. cfg "quick_abort_min" *. i 1024)
+            [ compute (i 100) ]
+            [];
+          if_ (wl "object_bytes" <. cfg "maximum_object_size_in_memory")
+            [ buffered_write (wl "object_bytes") ]
+            [ pwrite (wl "object_bytes") ];
+          ret_void;
+        ];
+      func "write_access_log"
+        [
+          if_ (cfg "access_log" ==. i 1)
+            [
+              (* c17: unbuffered logging issues a write syscall per record *)
+              if_ (cfg "buffered_logs" ==. i 1) [ log_append (i 150) ] [ pwrite (i 150) ];
+            ]
+            [];
+          ret_void;
+        ];
+      func "write_cache_log"
+        [
+          if_ ((cfg "cache_log" ==. i 1) &&. (cfg "debug_options" >=. i 5))
+            [ pwrite (i 2048); buffered_write (i 2048) ]
+            [];
+          ret_void;
+        ];
+    ]
+
+let target =
+  { Violet.Pipeline.name = "squid"; program; registry; workloads = [ proxy ] }
+
+let inst overrides = Wl.instantiate_named proxy overrides
+
+let hot_object =
+  inst
+    [ "object_cached", "ON"; "object_bytes", "16384"; "repeated_host", "ON";
+      "distinct_hosts", "50" ]
+
+let cold_object =
+  inst
+    [ "object_cached", "OFF"; "object_bytes", "16384"; "repeated_host", "OFF";
+      "distinct_hosts", "5000" ]
+
+let large_object =
+  inst
+    [ "object_cached", "OFF"; "object_bytes", "8388608"; "repeated_host", "ON";
+      "distinct_hosts", "50" ]
+
+let standard_workloads =
+  [
+    "web_polygraph_hot", [ hot_object, 1.0 ];
+    "web_polygraph_cold", [ cold_object, 0.9; large_object, 0.1 ];
+    "web_polygraph_mixed", [ hot_object, 0.5; cold_object, 0.4; large_object, 0.1 ];
+  ]
+
+let validation_workloads = []

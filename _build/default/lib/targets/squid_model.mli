@@ -1,0 +1,14 @@
+(** Executable performance model of Squid 4.1 (paper Section 7).
+
+    Covers the [cache] deny ACL (c16: denied requests are never stored, so
+    every request pays the origin round trip) and [buffered_logs] (c17),
+    plus Table 5's [ipcache_size] (a small IP cache forces repeated DNS) and
+    [cache_log] with a high [debug_options] level. *)
+
+val registry : Vruntime.Config_registry.t
+val proxy : Vruntime.Workload.template
+val program : Vir.Ast.program
+val target : Violet.Pipeline.target
+val query_entry : string
+val standard_workloads : (string * (Vruntime.Workload.instance * float) list) list
+val validation_workloads : (string * (Vruntime.Workload.instance * float) list) list

@@ -1,0 +1,1 @@
+lib/vanalysis/control_dep.ml: Array List Vir

@@ -1,0 +1,1 @@
+lib/vanalysis/control_dep.mli: Vir

@@ -1,0 +1,1 @@
+lib/vanalysis/related_config.ml: Hashtbl List Set String Usage Vir

@@ -1,0 +1,1 @@
+lib/vanalysis/related_config.mli: Usage Vir

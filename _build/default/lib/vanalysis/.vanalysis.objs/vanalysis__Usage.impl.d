@@ -1,0 +1,1 @@
+lib/vanalysis/usage.ml: Hashtbl List Map Set String Vir Vsmt

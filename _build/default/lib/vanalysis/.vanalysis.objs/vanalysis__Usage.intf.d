@@ -1,0 +1,1 @@
+lib/vanalysis/usage.mli: Vir

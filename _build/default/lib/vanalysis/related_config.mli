@@ -1,0 +1,36 @@
+(** Discovery of control-dependent related parameters (paper Section 4.3,
+    Algorithms 1 and 2).
+
+    For a target parameter [p], two kinds of related parameters are put in
+    its symbolic set:
+
+    - {e enabler parameters}: parameters [q] such that some usage of [p] is
+      control dependent on a use of [q] — either inside the same function,
+      or because a call site on the chain from the entry function to [p]'s
+      usage function is guarded by [q];
+    - {e influenced parameters}: parameters whose own enabler set contains
+      [p].
+
+    The control-dependency notion is the paper's {e broadened} one: lexical
+    nesting under a branch condition, closed over simple data flow
+    ({!Usage}).  The result over-approximates, which is the safe direction —
+    a spurious related parameter costs some exploration time but does not
+    change conclusions (Section 4.3). *)
+
+type result = {
+  target : string;
+  enablers : string list;
+  influenced : string list;
+  related : string list;  (** enablers ∪ influenced, sorted, without target *)
+}
+
+val enabler_set : Vir.Ast.program -> Usage.t -> Vir.Callgraph.t -> string -> string list
+(** Algorithm 2: [GetEnablerConfig]. *)
+
+val analyze :
+  ?usage:Usage.t -> ?callgraph:Vir.Callgraph.t -> Vir.Ast.program -> string -> result
+(** Algorithm 1 for one target parameter. *)
+
+val analyze_all : Vir.Ast.program -> (string * result) list
+(** Algorithm 1 for every parameter read by the program; shares one pass of
+    the expensive sub-analyses. *)

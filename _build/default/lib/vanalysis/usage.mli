@@ -1,0 +1,39 @@
+(** Configuration-usage analysis: where parameters are read, directly or
+    through simple data flow.
+
+    The paper's analysis "also captures control dependency that involves
+    simple data flow" (Section 4.3) — e.g. a branch on
+    [m_cache_is_disabled], a variable assigned from [query_cache_type], is a
+    usage of [query_cache_type].  This module computes, by a whole-program
+    taint fixpoint, which configuration parameters flow into each global,
+    each local, and each function's return value, and from that the
+    parameter set used by every branch condition and the {e guard set}
+    (parameters read by enclosing branch conditions) of every call site and
+    usage site. *)
+
+type t
+
+val analyze : Vir.Ast.program -> t
+
+val branch_params : t -> func:string -> string list
+(** Parameters used (directly or via taint) by some branch condition of the
+    function, without duplicates. *)
+
+val usage_functions : t -> string -> string list
+(** Functions containing at least one usage (read, tainted read, or guarded
+    branch) of the parameter. *)
+
+val usage_guards : t -> func:string -> param:string -> string list list
+(** For each usage site of [param] inside [func], the set of {e other}
+    parameters appearing in enclosing branch conditions (the broadened
+    control-dependency guards). *)
+
+val call_site_guards : t -> func:string -> callee:string -> string list list
+(** For each call site of [callee] inside [func], the parameters of the
+    enclosing branch conditions. *)
+
+val return_taint : t -> string -> string list
+(** Parameters that may flow into the function's return value. *)
+
+val all_params : t -> string list
+(** Every configuration parameter read anywhere in the program. *)

@@ -1,0 +1,1 @@
+lib/vchecker/checker.ml: Config_file Fmt Int List Printf Result String Test_case Unix Vmodel Vruntime Vsmt

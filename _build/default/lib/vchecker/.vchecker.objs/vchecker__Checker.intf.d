@@ -1,0 +1,1 @@
+lib/vchecker/checker.mli: Config_file Fmt Test_case Vmodel Vruntime

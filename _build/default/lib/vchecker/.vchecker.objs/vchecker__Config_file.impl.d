@@ -1,0 +1,1 @@
+lib/vchecker/config_file.ml: Fun Hashtbl List Printf String Vruntime

@@ -1,0 +1,1 @@
+lib/vchecker/config_file.mli: Vruntime

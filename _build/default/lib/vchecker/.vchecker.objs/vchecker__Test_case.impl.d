@@ -1,0 +1,1 @@
+lib/vchecker/test_case.ml: List Printf String Vmodel Vsmt

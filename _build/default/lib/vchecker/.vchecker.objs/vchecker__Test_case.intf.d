@@ -1,0 +1,1 @@
+lib/vchecker/test_case.mli: Vmodel Vsmt

@@ -1,0 +1,252 @@
+module M = Vmodel.Impact_model
+module Row = Vmodel.Cost_row
+module Diff = Vmodel.Diff_analysis
+
+type finding = {
+  param : string;
+  message : string;
+  slow_row : Row.t;
+  fast_row : Row.t option;
+  ratio : float;
+  trigger : string;
+  critical_path : string list;
+  test_case : Test_case.t option;
+}
+
+type report = { findings : finding list; checked_in_s : float }
+
+let ( let* ) = Result.bind
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let findings = f () in
+  { findings; checked_in_s = Unix.gettimeofday () -. t0 }
+
+let mentions row params =
+  List.exists
+    (fun c ->
+      List.exists
+        (fun (v : Vsmt.Expr.var) -> List.mem v.Vsmt.Expr.name params)
+        (Vsmt.Expr.vars c))
+    row.Row.config_constraints
+
+(* Prefer the pre-computed poor pair for (slow, fast) when the analyzer
+   already found it; otherwise compare the rows directly.  Modes 1 and 2
+   require a single input class to trigger both states (Section 4.6);
+   the workload-change mode deliberately compares across input classes. *)
+let judge ?(require_joint_input = true) (model : M.t) slow fast =
+  if
+    require_joint_input
+    && not
+         (Vsmt.Solver.is_feasible ~max_nodes:1_000
+            (slow.Row.workload_pred @ fast.Row.workload_pred))
+  then None
+  else
+  match M.pairs_between model ~slow ~fast with
+  | p :: _ ->
+    Some
+      ( p.M.latency_ratio,
+        p.M.trigger,
+        p.M.critical_path )
+  | [] -> begin
+    match Diff.compare_pair ~threshold:model.M.threshold ~slow ~fast with
+    | Some (worst, triggers) ->
+      let diff = Vmodel.Critical_path.differential ~slow ~fast in
+      Some (1. +. worst, Diff.trigger_label triggers, diff.Vmodel.Critical_path.critical_path)
+    | None -> None
+  end
+
+(* Most-comparable fast rows first: same input class, then similarity.
+   Scores are computed once per row (not in the comparator) and the scan is
+   capped — candidates far down the similarity order cannot produce a
+   meaningful witness. *)
+let max_candidates = 48
+
+let comparison_order slow rows =
+  let decorated =
+    rows
+    |> List.filter (fun r -> r.Row.state_id <> slow.Row.state_id)
+    |> List.map (fun r ->
+           (Vmodel.Similarity.workload_score slow r, Vmodel.Similarity.score slow r), r)
+  in
+  let sorted =
+    List.stable_sort
+      (fun ((wa, ca), _) ((wb, cb), _) ->
+        if wa <> wb then Int.compare wb wa else Int.compare cb ca)
+      decorated
+  in
+  List.filteri (fun i _ -> i < max_candidates) (List.map snd sorted)
+
+(* When the caller knows the slow/fast configurations, the test case is
+   built to distinguish the pair (Test_case.of_pair); otherwise it solves
+   the slow state's input predicate alone. *)
+let finding_of ?require_joint_input ?configs model ~param ~message slow fast =
+  match judge ?require_joint_input model slow fast with
+  | None -> None
+  | Some (ratio, trigger, critical_path) ->
+    let test_case =
+      match configs with
+      | Some (poor, good) -> begin
+        match Test_case.of_pair ~poor ~good ~slow ~fast with
+        | Some tc -> Some tc
+        | None -> Test_case.of_row slow
+      end
+      | None -> Test_case.of_row slow
+    in
+    Some
+      { param; message; slow_row = slow; fast_row = Some fast; ratio; trigger;
+        critical_path; test_case }
+
+let check_update ~model ~registry ~old_file ~new_file =
+  let* old_assignment, _ = Config_file.to_assignment registry old_file in
+  let* new_assignment, _ = Config_file.to_assignment registry new_file in
+  Ok
+    (timed (fun () ->
+         let old_rows = M.rows_matching model old_assignment in
+         let new_rows = M.rows_matching model new_assignment in
+         let changed = Config_file.changed_keys ~old_file ~new_file in
+         let changed_names = List.map (fun (k, _, _) -> k) changed in
+         let relevant =
+           List.filter
+             (fun k -> String.equal k model.M.target || List.mem k model.M.related)
+             changed_names
+         in
+         if relevant = [] then []
+         else begin
+           (* only states whose constraints involve an updated parameter can
+              witness the regression (Section 4.7, scenario 1) *)
+           let new_rows = List.filter (fun r -> mentions r relevant) new_rows in
+           let old_rows = List.filter (fun r -> mentions r relevant) old_rows in
+           List.filter_map
+             (fun slow ->
+               List.find_map
+                 (fun fast ->
+                   finding_of ~configs:(new_assignment, old_assignment) model
+                     ~param:(String.concat "," relevant)
+                     ~message:
+                       (Printf.sprintf
+                          "config update on %s introduces a potential performance regression"
+                          (String.concat ", " relevant))
+                     slow fast)
+                 (comparison_order slow old_rows))
+             new_rows
+         end))
+
+(* Representative alternative values of a parameter: full enumeration for
+   small domains, boundary values plus the default otherwise. *)
+let alternative_values (p : Vruntime.Config_registry.param) current =
+  let dom = Vruntime.Config_registry.dom p in
+  let lo = Vsmt.Dom.lo dom and hi = Vsmt.Dom.hi dom in
+  let candidates =
+    if Vsmt.Dom.size dom <= 16 then List.init (Vsmt.Dom.size dom) (fun k -> lo + k)
+    else [ lo; hi; p.Vruntime.Config_registry.default; (lo + hi) / 2 ]
+  in
+  List.sort_uniq Int.compare (List.filter (fun v -> v <> current) candidates)
+
+let check_current ~model ~registry ~file =
+  let* assignment, _ = Config_file.to_assignment registry file in
+  Ok
+    (timed (fun () ->
+         let current_rows =
+           List.filter (fun r -> mentions r [ model.M.target ]) (M.rows_matching model assignment)
+         in
+         (* "another value of the parameter performs significantly better"
+            (Section 4.7, scenario 2): witnesses keep every other setting
+            as deployed and change only the target *)
+         let fast_rows =
+           match Vruntime.Config_registry.find_opt registry model.M.target with
+           | None -> model.M.rows
+           | Some p ->
+             let current = List.assoc model.M.target assignment in
+             List.concat_map
+               (fun alt ->
+                 let assignment' =
+                   (model.M.target, alt) :: List.remove_assoc model.M.target assignment
+                 in
+                 M.rows_matching model assignment')
+               (alternative_values p current)
+         in
+         List.filter_map
+           (fun slow ->
+             if not (M.is_poor_row model slow) then None
+             else
+               List.find_map
+                 (fun fast ->
+                   finding_of ~configs:(assignment, assignment) model
+                     ~param:model.M.target
+                     ~message:
+                       (Printf.sprintf
+                          "current value of %s falls in a poor state; another value \
+                           performs significantly better"
+                          model.M.target)
+                     slow fast)
+                 (comparison_order slow fast_rows))
+           current_rows))
+
+let check_upgrade ~old_model ~new_model =
+  timed (fun () ->
+      let old_by_constraint =
+        List.map (fun r -> Row.constraint_string r, r) old_model.M.rows
+      in
+      List.filter_map
+        (fun new_row ->
+          match List.assoc_opt (Row.constraint_string new_row) old_by_constraint with
+          | None -> None
+          | Some old_row -> begin
+            match
+              Diff.compare_pair ~threshold:new_model.M.threshold ~slow:new_row ~fast:old_row
+            with
+            | None -> None
+            | Some (worst, triggers) ->
+              Some
+                {
+                  param = new_model.M.target;
+                  message =
+                    Printf.sprintf
+                      "code upgrade makes setting [%s] significantly slower than before"
+                      (Row.constraint_string new_row);
+                  slow_row = new_row;
+                  fast_row = Some old_row;
+                  ratio = 1. +. worst;
+                  trigger = Diff.trigger_label triggers;
+                  critical_path = new_row.Row.critical_ops;
+                  test_case = Test_case.of_row new_row;
+                }
+          end)
+        new_model.M.rows)
+
+let check_workload_change ~model ~old_workload ~new_workload =
+  timed (fun () ->
+      let matches w r = Row.workload_satisfied_by r w in
+      let old_rows = List.filter (matches old_workload) model.M.rows in
+      let new_rows = List.filter (matches new_workload) model.M.rows in
+      List.filter_map
+        (fun slow ->
+          List.find_map
+            (fun fast ->
+              finding_of ~require_joint_input:false model ~param:model.M.target
+                ~message:
+                  (Printf.sprintf
+                     "workload change moves %s into a significantly slower state"
+                     model.M.target)
+                slow fast)
+            (comparison_order slow old_rows))
+        new_rows)
+
+let pp_finding ppf f =
+  Fmt.pf ppf "[%s] %s@.  state: %s@.  ratio: %.1fx (%s)@." f.param f.message
+    (Row.constraint_string f.slow_row)
+    f.ratio f.trigger;
+  if f.critical_path <> [] then
+    Fmt.pf ppf "  critical path: %s@." (String.concat " -> " f.critical_path);
+  match f.test_case with
+  | Some tc -> Fmt.pf ppf "  validate: %s@." tc.Test_case.description
+  | None -> ()
+
+let pp_report ppf r =
+  if r.findings = [] then Fmt.pf ppf "no specious configuration detected@."
+  else begin
+    Fmt.pf ppf "%d finding(s):@." (List.length r.findings);
+    List.iter (pp_finding ppf) r.findings
+  end;
+  Fmt.pf ppf "checked in %.3f s@." r.checked_in_s

@@ -1,0 +1,62 @@
+(** The continuous specious-configuration checker (paper Section 4.7).
+
+    Consumes a stored impact model and validates concrete user
+    configurations, in three modes:
+
+    + {b update}: a configuration update introduces a performance
+      regression — compare the states matching the parameter's old and new
+      values;
+    + {b defaults}: a default (or currently deployed) value is poor for the
+      user's setup — the state the current value falls in appears on the
+      slow side of a significant pair;
+    + {b upgrade / workload change}: a new code version's model makes an old
+      setting poor, or the production workload class shifted into a poor
+      state's input predicate.
+
+    Findings carry the logical explanation (cost metrics, differential
+    critical path) and a generated validation test case, not just a verdict —
+    the analytical output the paper argues testing cannot give. *)
+
+type finding = {
+  param : string;
+  message : string;
+  slow_row : Vmodel.Cost_row.t;
+  fast_row : Vmodel.Cost_row.t option;
+  ratio : float;  (** slow/fast latency ratio (or worst metric ratio) *)
+  trigger : string;
+  critical_path : string list;
+  test_case : Test_case.t option;
+}
+
+type report = { findings : finding list; checked_in_s : float }
+
+val check_update :
+  model:Vmodel.Impact_model.t ->
+  registry:Vruntime.Config_registry.t ->
+  old_file:Config_file.t ->
+  new_file:Config_file.t ->
+  (report, string) result
+(** Mode 1.  [Error] when a file fails to validate against the registry. *)
+
+val check_current :
+  model:Vmodel.Impact_model.t ->
+  registry:Vruntime.Config_registry.t ->
+  file:Config_file.t ->
+  (report, string) result
+(** Mode 2, generalized: checks the file's effective values (defaults
+    included) against the model's poor states. *)
+
+val check_upgrade :
+  old_model:Vmodel.Impact_model.t -> new_model:Vmodel.Impact_model.t -> report
+(** Mode 3a: states that got significantly slower in the new code version's
+    model, matched by configuration-constraint text. *)
+
+val check_workload_change :
+  model:Vmodel.Impact_model.t ->
+  old_workload:(string * int) list ->
+  new_workload:(string * int) list ->
+  report
+(** Mode 3b: rows whose input predicate the new workload satisfies compared
+    against the rows the old workload satisfied. *)
+
+val pp_report : report Fmt.t

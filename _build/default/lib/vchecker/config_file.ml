@@ -1,0 +1,92 @@
+type t = { entries : (string * string) list }
+
+let parse content =
+  let lines = String.split_on_char '\n' content in
+  let rec go entries lineno = function
+    | [] -> Ok { entries = List.rev entries }
+    | line :: rest ->
+      let lineno = lineno + 1 in
+      let line =
+        match String.index_opt line '#' with
+        | Some i -> String.sub line 0 i
+        | None -> line
+      in
+      let trimmed = String.trim line in
+      if trimmed = "" || trimmed.[0] = ';' then go entries lineno rest
+      else if trimmed.[0] = '[' then
+        if trimmed.[String.length trimmed - 1] = ']' then go entries lineno rest
+        else Error (Printf.sprintf "line %d: malformed section header" lineno)
+      else begin
+        match String.index_opt trimmed '=' with
+        | None -> go ((trimmed, "ON") :: entries) lineno rest
+        | Some i ->
+          let key = String.trim (String.sub trimmed 0 i) in
+          let value =
+            String.trim (String.sub trimmed (i + 1) (String.length trimmed - i - 1))
+          in
+          if key = "" then Error (Printf.sprintf "line %d: empty key" lineno)
+          else go ((key, value) :: entries) lineno rest
+      end
+  in
+  go [] 0 lines
+
+let load path =
+  match open_in path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+    let content =
+      Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
+          really_input_string ic (in_channel_length ic))
+    in
+    parse content
+
+(* later assignments win; file order is preserved for the survivors *)
+let bindings t =
+  let seen = Hashtbl.create 16 in
+  List.fold_left
+    (fun acc (k, v) ->
+      if Hashtbl.mem seen k then acc
+      else begin
+        Hashtbl.add seen k ();
+        (k, v) :: acc
+      end)
+    []
+    (List.rev t.entries)
+
+let lookup t key = List.assoc_opt key (bindings t)
+
+let changed_keys ~old_file ~new_file =
+  let old_b = bindings old_file and new_b = bindings new_file in
+  let keys =
+    List.sort_uniq String.compare (List.map fst old_b @ List.map fst new_b)
+  in
+  List.filter_map
+    (fun k ->
+      let o = List.assoc_opt k old_b and n = List.assoc_opt k new_b in
+      if o = n then None else Some (k, o, n))
+    keys
+
+let to_assignment registry t =
+  let defaults =
+    List.map
+      (fun (p : Vruntime.Config_registry.param) ->
+        p.Vruntime.Config_registry.name, p.Vruntime.Config_registry.default)
+      (Vruntime.Config_registry.params registry)
+  in
+  let rec go assignment unknown = function
+    | [] -> Ok (assignment, List.rev unknown)
+    | (k, v) :: rest -> begin
+      match Vruntime.Config_registry.find_opt registry k with
+      | None -> go assignment (k :: unknown) rest
+      | Some p -> begin
+        match Vruntime.Config_registry.encode p v with
+        | Some enc ->
+          go ((k, enc) :: List.remove_assoc k assignment) unknown rest
+        | None ->
+          Error
+            (Printf.sprintf "invalid value %S for parameter %s (%s)" v k
+               p.Vruntime.Config_registry.summary)
+      end
+    end
+  in
+  go defaults [] (bindings t)

@@ -1,0 +1,27 @@
+(** my.cnf / postgresql.conf style configuration files.
+
+    Supported syntax: [key = value] lines, [#] and [;] comments, blank
+    lines, and [\[section\]] headers (recorded but not interpreted, like
+    MySQL's option groups).  Later assignments to the same key win, matching
+    the behaviour of the real parsers. *)
+
+type t
+
+val parse : string -> (t, string) result
+(** Parse file contents.  Malformed lines produce [Error] with the 1-based
+    line number. *)
+
+val load : string -> (t, string) result
+val bindings : t -> (string * string) list
+val lookup : t -> string -> string option
+
+val changed_keys : old_file:t -> new_file:t -> (string * string option * string option) list
+(** [(key, old value, new value)] for every key added, removed or modified. *)
+
+val to_assignment :
+  Vruntime.Config_registry.t -> t -> ((string * int) list * string list, string) result
+(** Encode the file against a registry: returns the full assignment
+    (registry defaults overridden by the file) plus the list of file keys
+    unknown to the registry (ignored, like plugin options).  [Error] on a
+    value that fails validation — that is an {e invalid} configuration,
+    which is outside Violet's scope but still reported. *)

@@ -1,0 +1,56 @@
+type t = { workload : (string * int) list; description : string }
+
+let describe vars assignment =
+  let part (v : Vsmt.Expr.var) =
+    match List.assoc_opt v.Vsmt.Expr.name assignment with
+    | Some x -> Some (Printf.sprintf "%s=%s" v.Vsmt.Expr.name (Vsmt.Dom.value_to_string v.Vsmt.Expr.dom x))
+    | None -> None
+  in
+  String.concat ", " (List.filter_map part vars)
+
+let of_predicate preds =
+  match preds with
+  | [] -> Some { workload = []; description = "any workload" }
+  | _ -> begin
+    match Vsmt.Solver.check preds with
+    | Vsmt.Solver.Sat m ->
+      let vars = List.concat_map Vsmt.Expr.vars preds in
+      let vars =
+        List.fold_left
+          (fun acc (v : Vsmt.Expr.var) ->
+            if List.exists (fun (w : Vsmt.Expr.var) -> w.Vsmt.Expr.name = v.Vsmt.Expr.name) acc
+            then acc
+            else acc @ [ v ])
+          [] vars
+      in
+      let m = Vsmt.Solver.complete ~vars m in
+      Some { workload = m; description = "run workload with " ^ describe vars m }
+    | Vsmt.Solver.Unsat | Vsmt.Solver.Unknown -> None
+  end
+
+let of_row (row : Vmodel.Cost_row.t) = of_predicate row.Vmodel.Cost_row.workload_pred
+
+(* Residual input constraints of a row's configuration constraints under a
+   concrete configuration: mixed constraints like "row_bytes > buf/2" become
+   pure input predicates once the configuration is pinned. *)
+let residuals assignment constraints =
+  List.filter_map
+    (fun c ->
+      let r =
+        Vsmt.Simplify.simplify
+          (Vsmt.Expr.subst
+             (fun v ->
+               match List.assoc_opt v.Vsmt.Expr.name assignment with
+               | Some x -> Some (Vsmt.Expr.Const x)
+               | None -> None)
+             c)
+      in
+      match Vsmt.Expr.is_const r with Some _ -> None | None -> Some r)
+    constraints
+
+let of_pair ~poor ~good ~(slow : Vmodel.Cost_row.t) ~(fast : Vmodel.Cost_row.t) =
+  of_predicate
+    (slow.Vmodel.Cost_row.workload_pred
+    @ fast.Vmodel.Cost_row.workload_pred
+    @ residuals poor slow.Vmodel.Cost_row.config_constraints
+    @ residuals good fast.Vmodel.Cost_row.config_constraints)

@@ -1,0 +1,32 @@
+(** Validation test-case generation (paper Section 4.7).
+
+    When the checker flags a potential specious configuration, it also
+    generates a test case from the poor state's input predicate: a concrete
+    workload assignment satisfying the predicate, which the operator can run
+    to confirm the regression. *)
+
+type t = {
+  workload : (string * int) list;  (** encoded workload-parameter values *)
+  description : string;  (** human-readable, domain vocabulary *)
+}
+
+val of_row : Vmodel.Cost_row.t -> t option
+(** Solve the row's workload predicate; [None] when the predicate is
+    unsatisfiable (should not happen for an explored state). *)
+
+val of_predicate : Vsmt.Expr.t list -> t option
+
+val of_pair :
+  poor:(string * int) list ->
+  good:(string * int) list ->
+  slow:Vmodel.Cost_row.t ->
+  fast:Vmodel.Cost_row.t ->
+  t option
+(** A test case that {e distinguishes} the pair: the input satisfies both
+    states' input predicates plus the residuals of their configuration
+    constraints under the poor (slow side) and good (fast side)
+    configurations.  Mixed constraints such as "row_bytes > buffer/2"
+    become input requirements once the configuration is pinned, and the
+    fast row's input class (e.g. "the object is cached") is preserved —
+    running the poor and good configurations on this input reproduces the
+    difference. *)

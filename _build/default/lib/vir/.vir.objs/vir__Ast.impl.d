@@ -1,0 +1,1 @@
+lib/vir/ast.ml: Hashtbl List Printf String Vsmt

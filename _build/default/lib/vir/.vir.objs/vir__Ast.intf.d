@@ -1,0 +1,1 @@
+lib/vir/ast.mli: Vsmt

@@ -1,0 +1,1 @@
+lib/vir/builder.ml: Ast Hashtbl List Printf Vsmt

@@ -1,0 +1,1 @@
+lib/vir/builder.mli: Ast

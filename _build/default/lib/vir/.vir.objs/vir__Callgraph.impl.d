@@ -1,0 +1,1 @@
+lib/vir/callgraph.ml: Ast Hashtbl List String

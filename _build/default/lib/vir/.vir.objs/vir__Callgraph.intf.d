@@ -1,0 +1,1 @@
+lib/vir/callgraph.mli: Ast

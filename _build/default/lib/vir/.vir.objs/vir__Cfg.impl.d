@@ -1,0 +1,1 @@
+lib/vir/cfg.ml: Array Ast Fmt List Printf

@@ -1,0 +1,1 @@
+lib/vir/cfg.mli: Ast Fmt

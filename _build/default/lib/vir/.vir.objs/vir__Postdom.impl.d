@@ -1,0 +1,1 @@
+lib/vir/postdom.ml: Array Bytes Cfg Char List

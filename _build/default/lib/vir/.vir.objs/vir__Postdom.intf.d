@@ -1,0 +1,1 @@
+lib/vir/postdom.mli: Cfg

@@ -1,0 +1,1 @@
+lib/vir/pretty.ml: Ast Fmt List String Vsmt

@@ -1,0 +1,1 @@
+lib/vir/pretty.mli: Ast Fmt

@@ -1,0 +1,118 @@
+open Ast
+
+let i n = Const n
+let b v = Const (if v then 1 else 0)
+let cfg name = Config name
+let wl name = Workload name
+let lv name = Local name
+let gv name = Global name
+
+let ( ==. ) a b = Binop (Vsmt.Expr.Eq, a, b)
+let ( <>. ) a b = Binop (Vsmt.Expr.Ne, a, b)
+let ( <. ) a b = Binop (Vsmt.Expr.Lt, a, b)
+let ( <=. ) a b = Binop (Vsmt.Expr.Le, a, b)
+let ( >. ) a b = Binop (Vsmt.Expr.Gt, a, b)
+let ( >=. ) a b = Binop (Vsmt.Expr.Ge, a, b)
+let ( &&. ) a b = Binop (Vsmt.Expr.And, a, b)
+let ( ||. ) a b = Binop (Vsmt.Expr.Or, a, b)
+let ( +. ) a b = Binop (Vsmt.Expr.Add, a, b)
+let ( -. ) a b = Binop (Vsmt.Expr.Sub, a, b)
+let ( *. ) a b = Binop (Vsmt.Expr.Mul, a, b)
+let ( /. ) a b = Binop (Vsmt.Expr.Div, a, b)
+let ( %. ) a b = Binop (Vsmt.Expr.Mod, a, b)
+let not_ e = Not e
+let ite c a b = Ite (c, a, b)
+
+let set name e = Assign (Lv_local name, e)
+let setg name e = Assign (Lv_global name, e)
+let if_ c t e = If (c, t, e)
+let when_ c t = If (c, t, [])
+let while_ c body = While (c, body)
+let call ?dest fn args = Call { dest; fn; args; ret_addr = 0 }
+let ret e = Return (Some e)
+let ret_void = Return None
+let thread id = Thread id
+let trace_on = Trace_on
+let trace_off = Trace_off
+
+let fsync = Prim (Fsync, [])
+let pwrite bytes = Prim (Pwrite, [ bytes ])
+let pread bytes = Prim (Pread, [ bytes ])
+let buffered_write bytes = Prim (Buffered_write, [ bytes ])
+let buffered_read bytes = Prim (Buffered_read, [ bytes ])
+let mutex_lock = Prim (Mutex_lock, [])
+let mutex_unlock = Prim (Mutex_unlock, [])
+let cond_wait = Prim (Cond_wait, [])
+let net_send bytes = Prim (Net_send, [ bytes ])
+let net_recv bytes = Prim (Net_recv, [ bytes ])
+let dns_lookup = Prim (Dns_lookup, [])
+let malloc bytes = Prim (Malloc, [ bytes ])
+let memcpy bytes = Prim (Memcpy, [ bytes ])
+let compute units = Prim (Compute, [ units ])
+let log_append bytes = Prim (Log_append, [ bytes ])
+let cache_lookup = Prim (Cache_lookup, [])
+let cache_store = Prim (Cache_store, [])
+let page_fault = Prim (Page_fault, [])
+
+let func name ?(params = []) body = { fname = name; params; kind = Defined body; addr = 0 }
+
+let library name ~effect ?(cost = []) semantics =
+  { fname = name; params = []; kind = Library { effect; semantics; cost }; addr = 0 }
+
+let base_addr = 0x400000
+let func_stride = 0x1000
+let first_ret_offset = 0x10
+let ret_stride = 0x8
+
+let resolve_addresses funcs =
+  List.mapi
+    (fun idx f ->
+      let addr = base_addr + (idx * func_stride) in
+      match f.kind with
+      | Library _ -> { f with addr }
+      | Defined body ->
+        let next_site = ref 0 in
+        let rec fix_block block = List.map fix_stmt block
+        and fix_stmt = function
+          | Call { dest; fn; args; ret_addr = _ } ->
+            let site = !next_site in
+            incr next_site;
+            Call { dest; fn; args; ret_addr = addr + first_ret_offset + (site * ret_stride) }
+          | If (c, t, e) -> If (c, fix_block t, fix_block e)
+          | While (c, b) -> While (c, fix_block b)
+          | (Assign _ | Return _ | Prim _ | Thread _ | Trace_on | Trace_off) as s -> s
+        in
+        { f with addr; kind = Defined (fix_block body) })
+    funcs
+
+let program ~name ~entry ?(globals = []) funcs =
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun f ->
+      if Hashtbl.mem seen f.fname then
+        failwith (Printf.sprintf "program %s: duplicate function %s" name f.fname);
+      Hashtbl.add seen f.fname ())
+    funcs;
+  if not (Hashtbl.mem seen entry) then
+    failwith (Printf.sprintf "program %s: missing entry %s" name entry);
+  let funcs = resolve_addresses funcs in
+  let p = { pname = name; funcs; entry; globals } in
+  (* validate call targets and count call sites per function *)
+  List.iter
+    (fun f ->
+      iter_stmts
+        (function
+          | Call { fn; _ } ->
+            if not (Hashtbl.mem seen fn) then
+              failwith
+                (Printf.sprintf "program %s: %s calls unknown function %s" name f.fname fn)
+          | _ -> ())
+        (func_body f);
+      (* functions with > 500 call sites would overflow into the next
+         function's address range and break call-path reconstruction *)
+      let sites = ref 0 in
+      iter_stmts (function Call _ -> incr sites | _ -> ()) (func_body f);
+      if !sites * ret_stride + first_ret_offset >= func_stride then
+        failwith (Printf.sprintf "program %s: %s has too many call sites" name f.fname))
+    funcs;
+  p

@@ -1,0 +1,90 @@
+(** Combinator DSL for writing target-system models in the IR.
+
+    Intended to be locally opened:
+    {[
+      let open Vir.Builder in
+      func "write_row"
+        [
+          if_ (cfg "autocommit" ==. i 1) [ call "trx_commit_complete" [] ] [];
+          ret_void;
+        ]
+    ]}
+
+    {!program} resolves synthetic function start addresses and call-site
+    return addresses (needed by the tracer's record matching) and checks that
+    every called function exists. *)
+
+open Ast
+
+val i : int -> expr
+val b : bool -> expr
+val cfg : string -> expr
+val wl : string -> expr
+val lv : string -> expr
+val gv : string -> expr
+
+val ( ==. ) : expr -> expr -> expr
+val ( <>. ) : expr -> expr -> expr
+val ( <. ) : expr -> expr -> expr
+val ( <=. ) : expr -> expr -> expr
+val ( >. ) : expr -> expr -> expr
+val ( >=. ) : expr -> expr -> expr
+val ( &&. ) : expr -> expr -> expr
+val ( ||. ) : expr -> expr -> expr
+val ( +. ) : expr -> expr -> expr
+val ( -. ) : expr -> expr -> expr
+val ( *. ) : expr -> expr -> expr
+val ( /. ) : expr -> expr -> expr
+val ( %. ) : expr -> expr -> expr
+val not_ : expr -> expr
+val ite : expr -> expr -> expr -> expr
+
+val set : string -> expr -> stmt
+(** Assign to a local. *)
+
+val setg : string -> expr -> stmt
+(** Assign to a global. *)
+
+val if_ : expr -> block -> block -> stmt
+val when_ : expr -> block -> stmt
+(** [if_] with an empty else branch. *)
+
+val while_ : expr -> block -> stmt
+val call : ?dest:string -> string -> expr list -> stmt
+val ret : expr -> stmt
+val ret_void : stmt
+val thread : int -> stmt
+val trace_on : stmt
+val trace_off : stmt
+
+(** Cost primitives. *)
+
+val fsync : stmt
+val pwrite : expr -> stmt
+val pread : expr -> stmt
+val buffered_write : expr -> stmt
+val buffered_read : expr -> stmt
+val mutex_lock : stmt
+val mutex_unlock : stmt
+val cond_wait : stmt
+val net_send : expr -> stmt
+val net_recv : expr -> stmt
+val dns_lookup : stmt
+val malloc : expr -> stmt
+val memcpy : expr -> stmt
+val compute : expr -> stmt
+val log_append : expr -> stmt
+val cache_lookup : stmt
+val cache_store : stmt
+val page_fault : stmt
+
+val func : string -> ?params:string list -> block -> func
+val library :
+  string -> effect:lib_effect -> ?cost:(prim * int) list -> (int list -> int) -> func
+
+val program :
+  name:string -> entry:string -> ?globals:(string * int) list -> func list -> program
+(** Assign addresses (function [i] starts at [0x400000 + i * 0x1000]; the
+    [k]-th call site of a function returns to [start + 0x10 + k * 0x8]) and
+    validate that every callee is defined.  Raises [Failure] on an unknown
+    callee or duplicate function name. *)

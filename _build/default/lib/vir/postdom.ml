@@ -1,0 +1,58 @@
+(* Iterative bitset dataflow: pdom(exit) = {exit};
+   pdom(n) = {n} ∪ ⋂ pdom(s) over successors s. *)
+
+type t = { sets : Bytes.t array; n : int }
+
+let bit_get b i = Char.code (Bytes.get b (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let bit_set b i =
+  Bytes.set b (i lsr 3) (Char.chr (Char.code (Bytes.get b (i lsr 3)) lor (1 lsl (i land 7))))
+
+let compute (cfg : Cfg.t) =
+  let n = Array.length cfg.nodes in
+  let bytes = (n + 7) / 8 in
+  let full () = Bytes.make bytes '\xff' in
+  let sets = Array.init n (fun _ -> full ()) in
+  let exit_set = Bytes.make bytes '\x00' in
+  bit_set exit_set cfg.exit_id;
+  sets.(cfg.exit_id) <- exit_set;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun (node : Cfg.node) ->
+        if node.id <> cfg.exit_id then begin
+          let acc = full () in
+          let has_succ = node.succs <> [] in
+          List.iter
+            (fun s ->
+              for k = 0 to bytes - 1 do
+                Bytes.set acc k
+                  (Char.chr (Char.code (Bytes.get acc k) land Char.code (Bytes.get sets.(s) k)))
+              done)
+            node.succs;
+          (* unreachable-from-exit nodes keep the full set; that matches the
+             convention that their postdominators are unconstrained *)
+          let acc = if has_succ then acc else Bytes.make bytes '\x00' in
+          bit_set acc node.id;
+          if not (Bytes.equal acc sets.(node.id)) then begin
+            sets.(node.id) <- acc;
+            changed := true
+          end
+        end)
+      cfg.nodes
+  done;
+  { sets; n }
+
+let postdominates t b a = b < t.n && a < t.n && bit_get t.sets.(a) b
+
+let postdominators t a =
+  let acc = ref [] in
+  for i = t.n - 1 downto 0 do
+    if bit_get t.sets.(a) i then acc := i :: !acc
+  done;
+  !acc
+
+let control_dependent t (cfg : Cfg.t) ~on y =
+  let x_node = Cfg.node cfg on in
+  List.exists (fun s -> postdominates t y s) x_node.succs && not (postdominates t y on)

@@ -1,0 +1,20 @@
+(** Postdominator analysis on a {!Cfg}.
+
+    Node [b] postdominates node [a] when every path from [a] to the exit node
+    passes through [b].  Postdominators are the building block of the classic
+    control-dependency definition the paper starts from (Section 4.3). *)
+
+type t
+
+val compute : Cfg.t -> t
+
+val postdominates : t -> int -> int -> bool
+(** [postdominates t b a] is true when node [b] postdominates node [a]. *)
+
+val postdominators : t -> int -> int list
+(** Sorted ids of the nodes postdominating the given node (includes itself). *)
+
+val control_dependent : t -> Cfg.t -> on:int -> int -> bool
+(** Classic (Ferrante–Ottenstein–Warren) control dependency: [y] is control
+    dependent on branch [x] iff [y] postdominates some successor of [x] but
+    does not postdominate [x]. *)

@@ -1,0 +1,1 @@
+lib/vmodel/cost_row.ml: Fmt List String Vruntime Vsmt Vtrace

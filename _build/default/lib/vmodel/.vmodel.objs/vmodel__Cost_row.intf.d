@@ -1,0 +1,1 @@
+lib/vmodel/cost_row.mli: Fmt Vruntime Vsmt Vtrace

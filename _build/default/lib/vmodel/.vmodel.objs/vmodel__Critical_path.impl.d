@@ -1,0 +1,1 @@
+lib/vmodel/critical_path.ml: Array Cost_row List String Vtrace

@@ -1,0 +1,1 @@
+lib/vmodel/critical_path.mli: Cost_row

@@ -1,0 +1,1 @@
+lib/vmodel/diff_analysis.ml: Array Cost_row Critical_path Float Hashtbl Int List String Vruntime Vsmt

@@ -1,0 +1,1 @@
+lib/vmodel/diff_analysis.mli: Cost_row Critical_path

@@ -1,0 +1,1 @@
+lib/vmodel/impact_model.ml: Cost_row Critical_path Diff_analysis Fmt Fun List Option Result String Vruntime Vsmt

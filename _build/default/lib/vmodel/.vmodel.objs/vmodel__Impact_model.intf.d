@@ -1,0 +1,1 @@
+lib/vmodel/impact_model.mli: Cost_row Diff_analysis Fmt

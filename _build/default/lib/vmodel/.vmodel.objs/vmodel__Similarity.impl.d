@@ -1,0 +1,1 @@
+lib/vmodel/similarity.ml: Array Cost_row Int List Vsmt

@@ -1,0 +1,1 @@
+lib/vmodel/similarity.mli: Cost_row

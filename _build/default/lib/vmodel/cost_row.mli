@@ -1,0 +1,34 @@
+(** One row of the configuration cost table (paper Table 1).
+
+    A row summarizes one explored state: the configuration constraint that
+    selects it, the input (workload) predicate that triggers it, its cost
+    metrics, and its call-chain information for differential critical-path
+    analysis. *)
+
+type t = {
+  state_id : int;
+  config_constraints : Vsmt.Expr.t list;
+  workload_pred : Vsmt.Expr.t list;
+  cost : Vruntime.Cost.t;
+  traced_latency_us : float;
+  chain : string list;  (** call-chain function names in cid order *)
+  nodes : Vtrace.Callpath.node list;
+  critical_ops : string list;
+      (** root-to-hottest-node path, root excluded — the "{log_write_buf →
+          fil_flush}" column of Table 1 *)
+}
+
+val of_profile : Vtrace.Profile.t -> t
+
+val satisfied_by : t -> (string * int) list -> bool
+(** Does a concrete configuration assignment satisfy the row's configuration
+    constraints?  Variables missing from the assignment make the row not
+    satisfied. *)
+
+val workload_satisfied_by : t -> (string * int) list -> bool
+val pp_constraint : Vsmt.Expr.t Fmt.t
+(** Friendly constraint rendering, parenthesizing disjunctions so lists can
+    be joined with [&&]. *)
+
+val pp : t Fmt.t
+val constraint_string : t -> string

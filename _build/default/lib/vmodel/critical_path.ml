@@ -1,0 +1,97 @@
+module CP = Vtrace.Callpath
+
+type diff = {
+  slower_only : (string * float) list;
+  common_delta : (string * float) list;
+  critical_path : string list;
+  max_differential_us : float;
+}
+
+let lcs a b =
+  let a = Array.of_list a and b = Array.of_list b in
+  let n = Array.length a and m = Array.length b in
+  (* cap to keep quadratic DP bounded on pathological chains *)
+  let cap = 2048 in
+  let n = min n cap and m = min m cap in
+  let dp = Array.make_matrix (n + 1) (m + 1) 0 in
+  for i = n - 1 downto 0 do
+    for j = m - 1 downto 0 do
+      dp.(i).(j) <-
+        (if String.equal a.(i) b.(j) then 1 + dp.(i + 1).(j + 1)
+         else max dp.(i + 1).(j) dp.(i).(j + 1))
+    done
+  done;
+  let rec walk i j acc =
+    if i >= n || j >= m then List.rev acc
+    else if String.equal a.(i) b.(j) then walk (i + 1) (j + 1) ((i, j) :: acc)
+    else if dp.(i + 1).(j) >= dp.(i).(j + 1) then walk (i + 1) j acc
+    else walk i (j + 1) acc
+  in
+  walk 0 0 []
+
+let differential ~(slow : Cost_row.t) ~(fast : Cost_row.t) =
+  let slow_nodes = Array.of_list slow.Cost_row.nodes in
+  let fast_nodes = Array.of_list fast.Cost_row.nodes in
+  (* attribute each record its own (exclusive) cost, so the hottest
+     differential record is the slow operation itself, not an ancestor *)
+  let slow_excl = Array.map (CP.exclusive_latency slow.Cost_row.nodes) slow_nodes in
+  let fast_excl = Array.map (CP.exclusive_latency fast.Cost_row.nodes) fast_nodes in
+  let matches = lcs slow.Cost_row.chain fast.Cost_row.chain in
+  let matched_slow = List.map fst matches in
+  (* (slow index, name, slow - fast latency) for each matched record *)
+  let common =
+    List.filter_map
+      (fun (i, j) ->
+        if i < Array.length slow_nodes && j < Array.length fast_nodes then
+          Some (i, slow_nodes.(i).CP.fname, slow_excl.(i) -. fast_excl.(j))
+        else None)
+      matches
+  in
+  let common_delta = List.map (fun (_, name, d) -> name, d) common in
+  let slower_only =
+    Array.to_list slow_nodes
+    |> List.mapi (fun i (n : CP.node) -> i, n)
+    |> List.filter_map (fun (i, (n : CP.node)) ->
+           if List.mem i matched_slow then None else Some (i, n))
+  in
+  (* the record with the largest differential cost, excluding the entry *)
+  let candidates =
+    List.map (fun (i, (_ : CP.node)) -> i, slow_excl.(i)) slower_only
+    @ List.map (fun (i, _, delta) -> i, delta) common
+  in
+  let candidates =
+    List.filter
+      (fun (i, _) ->
+        i < Array.length slow_nodes && slow_nodes.(i).CP.parent <> None)
+      candidates
+  in
+  match candidates with
+  | [] ->
+    {
+      slower_only =
+        List.map (fun (i, (n : CP.node)) -> n.CP.fname, slow_excl.(i)) slower_only;
+      common_delta;
+      critical_path = [];
+      max_differential_us = 0.;
+    }
+  | first :: rest ->
+    let max_i, max_d =
+      List.fold_left (fun (bi, bd) (i, d) -> if d > bd then i, d else bi, bd) first rest
+    in
+    let nodes = slow.Cost_row.nodes in
+    let rec ancestors acc (n : CP.node) =
+      match n.CP.parent with
+      | None -> acc
+      | Some p -> begin
+        match CP.find nodes p with
+        | Some parent -> ancestors (n.CP.fname :: acc) parent
+        | None -> n.CP.fname :: acc
+      end
+    in
+    {
+      slower_only =
+        List.map (fun (i, (n : CP.node)) -> n.CP.fname, slow_excl.(i)) slower_only;
+      common_delta;
+      critical_path = ancestors [] slow_nodes.(max_i);
+      max_differential_us = max_d;
+    }

@@ -1,0 +1,22 @@
+(** Differential critical-path analysis (paper Section 4.6).
+
+    For a state pair with a significant performance difference, the analyzer
+    finds the longest common subsequence of the two call chains, builds a
+    diff trace — common records with their metrics subtracted plus the
+    records appearing only in the slower state — and then locates the call
+    record (excluding the entry) with the largest differential cost.  The
+    critical path is that record's ancestor chain. *)
+
+type diff = {
+  slower_only : (string * float) list;
+      (** function name and latency of slow-state-only records *)
+  common_delta : (string * float) list;  (** per matched record: slow - fast *)
+  critical_path : string list;  (** root → max-differential record, root excluded *)
+  max_differential_us : float;
+}
+
+val lcs : string list -> string list -> (int * int) list
+(** Longest common subsequence as index pairs (into the first and second
+    sequence respectively), in order. *)
+
+val differential : slow:Cost_row.t -> fast:Cost_row.t -> diff

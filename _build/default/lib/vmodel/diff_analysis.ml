@@ -1,0 +1,236 @@
+type trigger = Latency | Logical of string
+
+type poor_pair = {
+  slow : Cost_row.t;
+  fast : Cost_row.t;
+  similarity : int;
+  latency_ratio : float;
+  worst_ratio : float;
+  triggers : trigger list;
+  diff : Critical_path.diff;
+}
+
+type t = {
+  threshold : float;
+  pairs : poor_pair list;
+  poor_state_ids : int list;
+  max_ratio : float;
+}
+
+(* Smoothed relative difference (slow - fast) / max(fast, floor): values at
+   or below the floor on both sides count as equal, and a zero denominator
+   is floored instead of yielding infinity (a path with 1 write syscall
+   versus 0 reports 200% with floor 0.5, like the paper's c17). *)
+let rel_diff ~floor slow fast =
+  if slow <= floor && fast <= floor then 0. else (slow -. fast) /. Float.max fast floor
+
+let latency_floor_us = 1.0
+
+(* byte-traffic differences below a sector are noise; counters use 0.5 so a
+   1-vs-0 syscall difference still reads as 200% *)
+let logical_floor = function "io_bytes" -> 512. | _ -> 0.5
+
+(* Compare one directed pair: is [slow] suspicious relative to [fast]?
+   Returns the worst finite relative difference and the triggering metrics. *)
+let compare_pair ~threshold ~(slow : Cost_row.t) ~(fast : Cost_row.t) =
+  let worst = ref 0. in
+  let lat_diff =
+    rel_diff ~floor:latency_floor_us slow.Cost_row.traced_latency_us
+      fast.Cost_row.traced_latency_us
+  in
+  if Float.is_finite lat_diff && lat_diff > !worst then worst := lat_diff;
+  let logical_triggers =
+    List.filter_map
+      (fun (name, get) ->
+        let d =
+          rel_diff ~floor:(logical_floor name) (get slow.Cost_row.cost)
+            (get fast.Cost_row.cost)
+        in
+        if Float.is_finite d && d > !worst then worst := d;
+        if d > threshold then Some (Logical name) else None)
+      Vruntime.Cost.logical_metrics
+  in
+  let triggers = (if lat_diff > threshold then [ Latency ] else []) @ logical_triggers in
+  if triggers = [] then None else Some (!worst, triggers)
+
+(* A pair is only meaningful for specious-config detection when (1) the two
+   states differ in their configuration constraints — otherwise the
+   performance difference is input-driven, not config-driven — and (2) some
+   single input class can trigger both states, i.e. the conjunction of the
+   two input predicates is satisfiable.  Comparing an INSERT-only state
+   against a SELECT-only state would not isolate the configuration effect. *)
+(* Workload classes repeat heavily across states, so joint-satisfiability
+   verdicts are memoized on the canonical text of the conjunction. *)
+let make_comparable rows =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun r ->
+      Hashtbl.replace tbl r.Cost_row.state_id
+        ( List.sort compare (List.map Vsmt.Expr.to_string r.Cost_row.config_constraints),
+          List.sort compare (List.map Vsmt.Expr.to_string r.Cost_row.workload_pred) ))
+    rows;
+  let sat_cache = Hashtbl.create 256 in
+  fun a b ->
+    let ca, wa = Hashtbl.find tbl a.Cost_row.state_id in
+    let cb, wb = Hashtbl.find tbl b.Cost_row.state_id in
+    ca <> cb
+    && begin
+         (* one predicate subsuming the other is trivially jointly sat *)
+         let subset x y = List.for_all (fun c -> List.mem c y) x in
+         subset wa wb || subset wb wa
+         ||
+         let key = String.concat ";" (List.sort_uniq compare (wa @ wb)) in
+         match Hashtbl.find_opt sat_cache key with
+         | Some v -> v
+         | None ->
+           let v =
+             Vsmt.Solver.is_feasible ~max_nodes:1_000
+               (a.Cost_row.workload_pred @ b.Cost_row.workload_pred)
+           in
+           Hashtbl.add sat_cache key v;
+           v
+       end
+
+(* The full metric comparison for an (a, b) pair: latency decides the slow
+   side; logical metrics count in either direction (Section 4.6 marks the
+   state even when only a logical metric exceeds).  Shared by the screening
+   pass and the final pair construction. *)
+let pair_triggers ~threshold a b =
+  let slow, fast =
+    if a.Cost_row.traced_latency_us >= b.Cost_row.traced_latency_us then a, b else b, a
+  in
+  let lat_diff =
+    rel_diff ~floor:latency_floor_us slow.Cost_row.traced_latency_us
+      fast.Cost_row.traced_latency_us
+  in
+  let worst = ref lat_diff in
+  let logical_triggers =
+    List.filter_map
+      (fun (name, get) ->
+        let va = get slow.Cost_row.cost and vb = get fast.Cost_row.cost in
+        let d = rel_diff ~floor:(logical_floor name) (Float.max va vb) (Float.min va vb) in
+        if d > !worst then worst := d;
+        if d > threshold then Some (Logical name) else None)
+      Vruntime.Cost.logical_metrics
+  in
+  let triggers = (if lat_diff > threshold then [ Latency ] else []) @ logical_triggers in
+  if triggers = [] then None else Some (slow, fast, !worst, triggers)
+
+let analyze ?(threshold = 1.0) ?(min_similarity = 0) rows =
+  let comparable = make_comparable rows in
+  (* pass 1: cheap metric screen over all pairs; only triggered pairs are
+     ranked and checked for comparability *)
+  let arr = Array.of_list rows in
+  let n = Array.length arr in
+  let triggered = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      match pair_triggers ~threshold arr.(i) arr.(j) with
+      | Some hit -> triggered := (arr.(i), arr.(j), hit) :: !triggered
+      | None -> ()
+    done
+  done;
+  (* pass 2: rank the surviving pairs most-similar first; constraint text
+     is rendered once per row, not once per pair *)
+  let strs = Hashtbl.create 64 in
+  List.iter
+    (fun r ->
+      Hashtbl.replace strs r.Cost_row.state_id
+        ( List.map Vsmt.Expr.to_string r.Cost_row.config_constraints,
+          List.map Vsmt.Expr.to_string r.Cost_row.workload_pred ))
+    rows;
+  let appearance x y = List.fold_left (fun acc c -> if List.mem c y then acc + 1 else acc) 0 x in
+  let scored =
+    List.rev_map
+      (fun (a, b, hit) ->
+        let ca, wa = Hashtbl.find strs a.Cost_row.state_id in
+        let cb, wb = Hashtbl.find strs b.Cost_row.state_id in
+        a, b, hit, appearance ca cb + appearance wa wb)
+      !triggered
+  in
+  let scored =
+    List.stable_sort (fun (_, _, _, s1) (_, _, _, s2) -> Int.compare s2 s1) scored
+  in
+  let max_ratio = ref 0. in
+  (* keep the most similar pairs per slow state: every poor state keeps its
+     best witnesses while unbounded pair construction (and its LCS work) is
+     avoided on large traces *)
+  let per_state = Hashtbl.create 64 in
+  let max_pairs_per_state = 8 in
+  let pairs =
+    List.filter_map
+      (fun (a, b, (slow, fast, worst, triggers), similarity) ->
+        let seen =
+          match Hashtbl.find_opt per_state slow.Cost_row.state_id with
+          | Some n -> n
+          | None -> 0
+        in
+        if
+          similarity < min_similarity
+          || seen >= max_pairs_per_state
+          || not (comparable a b)
+        then None
+        else begin
+          Hashtbl.replace per_state slow.Cost_row.state_id (seen + 1);
+          let latency_ratio =
+            if fast.Cost_row.traced_latency_us <= 0. then infinity
+            else slow.Cost_row.traced_latency_us /. fast.Cost_row.traced_latency_us
+          in
+          Some
+            {
+              slow;
+              fast;
+              similarity;
+              latency_ratio;
+              (* the headline ratio is the latency ratio when latency is what
+                 triggered; logical metrics otherwise *)
+              worst_ratio =
+                (if List.mem Latency triggers && Float.is_finite latency_ratio then
+                   latency_ratio
+                 else 1. +. worst);
+              triggers;
+              diff = Critical_path.differential ~slow ~fast;
+            }
+        end)
+      scored
+  in
+  let poor_state_ids =
+    List.sort_uniq Int.compare (List.map (fun p -> p.slow.Cost_row.state_id) pairs)
+  in
+  (* headline diff: the analyzer reads most-similar pairs first, so report
+     the worst ratio among each poor state's most similar suspicious pair *)
+  List.iter
+    (fun id ->
+      match List.find_opt (fun p -> p.slow.Cost_row.state_id = id) pairs with
+      | Some p -> if p.worst_ratio > !max_ratio then max_ratio := p.worst_ratio
+      | None -> ())
+    poor_state_ids;
+  { threshold; pairs; poor_state_ids; max_ratio = !max_ratio }
+
+let trigger_label triggers =
+  let has_latency = List.mem Latency triggers in
+  let logicals =
+    List.filter_map (function Logical n -> Some n | Latency -> None) triggers
+  in
+  let io = List.exists (fun n -> n = "io_calls" || n = "io_bytes" || n = "syscalls") logicals in
+  let sync = List.mem "sync_ops" logicals in
+  let net = List.mem "net_ops" logicals in
+  let parts =
+    (if has_latency then [ "Lat." ] else [])
+    @ (if io then [ "I/O" ] else [])
+    @ (if sync then [ "Sync." ] else [])
+    @ (if net then [ "Net." ] else [])
+    @
+    if (not io) && (not sync) && not net then
+      List.filter_map
+        (fun n -> if n = "instructions" || n = "allocations" || n = "cache_ops" then Some "CPU" else None)
+        logicals
+      |> List.sort_uniq String.compare
+    else []
+  in
+  match parts with
+  | [] -> "-"
+  | [ "Lat." ] -> "Latency"
+  | parts -> String.concat "&" parts
+
+let is_poor t state_id = List.mem state_id t.poor_state_ids

@@ -1,0 +1,44 @@
+(** Pairwise differential performance analysis (paper Section 4.6).
+
+    The analyzer compares state pairs, most-similar first.  A pair is
+    {e suspicious} when the slower state's traced latency exceeds the faster
+    state's by more than the threshold (default 100%), or when any logical
+    cost metric does — even if latency does not (the paper's c6 case is
+    caught through the I/O metric alone). *)
+
+type trigger = Latency | Logical of string
+
+type poor_pair = {
+  slow : Cost_row.t;
+  fast : Cost_row.t;
+  similarity : int;
+  latency_ratio : float;  (** slow/fast traced latency; [infinity] if fast=0 *)
+  worst_ratio : float;  (** 1 + worst relative difference over all metrics *)
+  triggers : trigger list;  (** every metric exceeding the threshold *)
+  diff : Critical_path.diff;
+}
+
+type t = {
+  threshold : float;
+  pairs : poor_pair list;  (** suspicious pairs, most similar first *)
+  poor_state_ids : int list;  (** distinct ids of slow states *)
+  max_ratio : float;  (** the "Max Diff" headline (Table 4): worst metric
+                          ratio among each poor state's most-similar pair *)
+}
+
+val compare_pair :
+  threshold:float -> slow:Cost_row.t -> fast:Cost_row.t -> (float * trigger list) option
+(** [Some (worst ratio, triggers)] when [slow] is suspicious relative to
+    [fast]; [None] otherwise.  The checker reuses this on specific row
+    pairs (old vs new value, old vs new version). *)
+
+val analyze : ?threshold:float -> ?min_similarity:int -> Cost_row.t list -> t
+(** [threshold] is the relative difference that makes a pair suspicious:
+    1.0 means the slow state is worse by ≥100%.  [min_similarity] skips
+    pairs less similar than the bound (default 0: compare all pairs and let
+    ranking order them, as the fallback mode of Section 4.6). *)
+
+val trigger_label : trigger list -> string
+(** Table 4 style: ["Latency"], ["I/O"], ["Lat.&Sync."], ... *)
+
+val is_poor : t -> int -> bool

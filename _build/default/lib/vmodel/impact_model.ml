@@ -1,0 +1,289 @@
+module Sexp = Vsmt.Sexp
+module Serial = Vsmt.Serial
+
+type poor_pair_summary = {
+  slow_id : int;
+  fast_id : int;
+  similarity : int;
+  latency_ratio : float;
+  trigger : string;
+  critical_path : string list;
+  max_differential_us : float;
+}
+
+type t = {
+  system : string;
+  target : string;
+  related : string list;
+  threshold : float;
+  rows : Cost_row.t list;
+  poor_pairs : poor_pair_summary list;
+  poor_state_ids : int list;
+  max_ratio : float;
+  explored_states : int;
+  analysis_wall_s : float;
+  virtual_analysis_s : float;
+}
+
+let summarize_pair (p : Diff_analysis.poor_pair) =
+  {
+    slow_id = p.Diff_analysis.slow.Cost_row.state_id;
+    fast_id = p.Diff_analysis.fast.Cost_row.state_id;
+    similarity = p.Diff_analysis.similarity;
+    latency_ratio = p.Diff_analysis.latency_ratio;
+    trigger = Diff_analysis.trigger_label p.Diff_analysis.triggers;
+    critical_path = p.Diff_analysis.diff.Critical_path.critical_path;
+    max_differential_us = p.Diff_analysis.diff.Critical_path.max_differential_us;
+  }
+
+let build ~system ~target ~related ~rows ~analysis ~explored_states ~analysis_wall_s
+    ~virtual_analysis_s =
+  {
+    system;
+    target;
+    related;
+    threshold = analysis.Diff_analysis.threshold;
+    rows;
+    poor_pairs = List.map summarize_pair analysis.Diff_analysis.pairs;
+    poor_state_ids = analysis.Diff_analysis.poor_state_ids;
+    max_ratio = analysis.Diff_analysis.max_ratio;
+    explored_states;
+    analysis_wall_s;
+    virtual_analysis_s;
+  }
+
+let row_by_id t id = List.find_opt (fun r -> r.Cost_row.state_id = id) t.rows
+let rows_matching t assignment = List.filter (fun r -> Cost_row.satisfied_by r assignment) t.rows
+let poor_rows t = List.filter (fun r -> List.mem r.Cost_row.state_id t.poor_state_ids) t.rows
+let is_poor_row t row = List.mem row.Cost_row.state_id t.poor_state_ids
+
+let pairs_between t ~slow ~fast =
+  List.filter
+    (fun p ->
+      p.slow_id = slow.Cost_row.state_id && p.fast_id = fast.Cost_row.state_id)
+    t.poor_pairs
+
+(* ------------------------------------------------------------------ *)
+(* Serialization                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let cost_to_sexp (c : Vruntime.Cost.t) =
+  Sexp.list
+    [
+      Sexp.float c.Vruntime.Cost.latency_us;
+      Sexp.int c.Vruntime.Cost.instructions;
+      Sexp.int c.Vruntime.Cost.syscalls;
+      Sexp.int c.Vruntime.Cost.io_calls;
+      Sexp.int c.Vruntime.Cost.io_bytes;
+      Sexp.int c.Vruntime.Cost.sync_ops;
+      Sexp.int c.Vruntime.Cost.net_ops;
+      Sexp.int c.Vruntime.Cost.allocations;
+      Sexp.int c.Vruntime.Cost.cache_ops;
+    ]
+
+let ( let* ) = Result.bind
+
+let cost_of_sexp = function
+  | Sexp.List [ lat; insn; sys; ioc; iob; sync; net; alloc; cache ] -> begin
+    match
+      ( Sexp.to_float lat, Sexp.to_int insn, Sexp.to_int sys, Sexp.to_int ioc,
+        Sexp.to_int iob, Sexp.to_int sync, Sexp.to_int net, Sexp.to_int alloc,
+        Sexp.to_int cache )
+    with
+    | ( Some latency_us, Some instructions, Some syscalls, Some io_calls, Some io_bytes,
+        Some sync_ops, Some net_ops, Some allocations, Some cache_ops ) ->
+      Ok
+        {
+          Vruntime.Cost.latency_us;
+          instructions;
+          syscalls;
+          io_calls;
+          io_bytes;
+          sync_ops;
+          net_ops;
+          allocations;
+          cache_ops;
+        }
+    | _ -> Error "cost: malformed field"
+  end
+  | s -> Error ("cost: unrecognized " ^ Sexp.to_string s)
+
+let row_to_sexp (r : Cost_row.t) =
+  Sexp.list
+    [
+      Sexp.atom "row";
+      Sexp.int r.Cost_row.state_id;
+      Sexp.list (List.map Serial.expr_to_sexp r.Cost_row.config_constraints);
+      Sexp.list (List.map Serial.expr_to_sexp r.Cost_row.workload_pred);
+      cost_to_sexp r.Cost_row.cost;
+      Sexp.float r.Cost_row.traced_latency_us;
+      Sexp.list (List.map Sexp.atom r.Cost_row.critical_ops);
+    ]
+
+let exprs_of_sexp = function
+  | Sexp.List items ->
+    List.fold_left
+      (fun acc item ->
+        let* acc = acc in
+        let* e = Serial.expr_of_sexp item in
+        Ok (acc @ [ e ]))
+      (Ok []) items
+  | s -> Error ("rows: expected list, got " ^ Sexp.to_string s)
+
+let atoms_of_sexp = function
+  | Sexp.List items ->
+    let names = List.filter_map Sexp.to_atom items in
+    if List.length names = List.length items then Ok names else Error "expected atoms"
+  | s -> Error ("expected list of atoms, got " ^ Sexp.to_string s)
+
+let row_of_sexp = function
+  | Sexp.List [ Sexp.Atom "row"; id; configs; workloads; cost; lat; crit ] -> begin
+    match Sexp.to_int id, Sexp.to_float lat with
+    | Some state_id, Some traced_latency_us ->
+      let* config_constraints = exprs_of_sexp configs in
+      let* workload_pred = exprs_of_sexp workloads in
+      let* cost = cost_of_sexp cost in
+      let* critical_ops = atoms_of_sexp crit in
+      Ok
+        {
+          Cost_row.state_id;
+          config_constraints;
+          workload_pred;
+          cost;
+          traced_latency_us;
+          chain = [];
+          nodes = [];
+          critical_ops;
+        }
+    | _ -> Error "row: malformed id or latency"
+  end
+  | s -> Error ("row: unrecognized " ^ Sexp.to_string s)
+
+let pair_to_sexp p =
+  Sexp.list
+    [
+      Sexp.atom "pair";
+      Sexp.int p.slow_id;
+      Sexp.int p.fast_id;
+      Sexp.int p.similarity;
+      Sexp.float p.latency_ratio;
+      Sexp.atom p.trigger;
+      Sexp.list (List.map Sexp.atom p.critical_path);
+      Sexp.float p.max_differential_us;
+    ]
+
+let pair_of_sexp = function
+  | Sexp.List
+      [ Sexp.Atom "pair"; slow; fast; sim; ratio; Sexp.Atom trigger; crit; maxd ] -> begin
+    match Sexp.to_int slow, Sexp.to_int fast, Sexp.to_int sim, Sexp.to_float ratio,
+          Sexp.to_float maxd with
+    | Some slow_id, Some fast_id, Some similarity, Some latency_ratio, Some max_differential_us
+      ->
+      let* critical_path = atoms_of_sexp crit in
+      Ok { slow_id; fast_id; similarity; latency_ratio; trigger; critical_path;
+           max_differential_us }
+    | _ -> Error "pair: malformed field"
+  end
+  | s -> Error ("pair: unrecognized " ^ Sexp.to_string s)
+
+let to_sexp t =
+  Sexp.list
+    [
+      Sexp.atom "impact-model";
+      Sexp.list [ Sexp.atom "system"; Sexp.atom t.system ];
+      Sexp.list [ Sexp.atom "target"; Sexp.atom t.target ];
+      Sexp.list (Sexp.atom "related" :: List.map Sexp.atom t.related);
+      Sexp.list [ Sexp.atom "threshold"; Sexp.float t.threshold ];
+      Sexp.list (Sexp.atom "rows" :: List.map row_to_sexp t.rows);
+      Sexp.list (Sexp.atom "pairs" :: List.map pair_to_sexp t.poor_pairs);
+      Sexp.list (Sexp.atom "poor-states" :: List.map Sexp.int t.poor_state_ids);
+      Sexp.list [ Sexp.atom "max-ratio"; Sexp.float t.max_ratio ];
+      Sexp.list [ Sexp.atom "explored-states"; Sexp.int t.explored_states ];
+      Sexp.list [ Sexp.atom "analysis-wall-s"; Sexp.float t.analysis_wall_s ];
+      Sexp.list [ Sexp.atom "virtual-analysis-s"; Sexp.float t.virtual_analysis_s ];
+    ]
+
+let to_string t = Sexp.to_string (to_sexp t)
+
+let field name = function
+  | Sexp.List (Sexp.Atom tag :: rest) when String.equal tag name -> Some rest
+  | _ -> None
+
+let of_sexp = function
+  | Sexp.List (Sexp.Atom "impact-model" :: fields) ->
+    let get name =
+      match List.find_map (field name) fields with
+      | Some rest -> Ok rest
+      | None -> Error ("model: missing field " ^ name)
+    in
+    let* system = let* f = get "system" in
+      match f with [ Sexp.Atom s ] -> Ok s | _ -> Error "model: bad system" in
+    let* target = let* f = get "target" in
+      match f with [ Sexp.Atom s ] -> Ok s | _ -> Error "model: bad target" in
+    let* related = let* f = get "related" in atoms_of_sexp (Sexp.List f) in
+    let* threshold = let* f = get "threshold" in
+      match f with [ x ] -> Option.to_result ~none:"model: bad threshold" (Sexp.to_float x)
+                 | _ -> Error "model: bad threshold" in
+    let* rows = let* f = get "rows" in
+      List.fold_left
+        (fun acc s -> let* acc = acc in let* r = row_of_sexp s in Ok (acc @ [ r ]))
+        (Ok []) f in
+    let* poor_pairs = let* f = get "pairs" in
+      List.fold_left
+        (fun acc s -> let* acc = acc in let* p = pair_of_sexp s in Ok (acc @ [ p ]))
+        (Ok []) f in
+    let* poor_state_ids = let* f = get "poor-states" in
+      let ids = List.filter_map Sexp.to_int f in
+      if List.length ids = List.length f then Ok ids else Error "model: bad poor-states" in
+    let float_field name = let* f = get name in
+      match f with [ x ] -> Option.to_result ~none:("model: bad " ^ name) (Sexp.to_float x)
+                 | _ -> Error ("model: bad " ^ name) in
+    let int_field name = let* f = get name in
+      match f with [ x ] -> Option.to_result ~none:("model: bad " ^ name) (Sexp.to_int x)
+                 | _ -> Error ("model: bad " ^ name) in
+    let* max_ratio = float_field "max-ratio" in
+    let* explored_states = int_field "explored-states" in
+    let* analysis_wall_s = float_field "analysis-wall-s" in
+    let* virtual_analysis_s = float_field "virtual-analysis-s" in
+    Ok
+      {
+        system;
+        target;
+        related;
+        threshold;
+        rows;
+        poor_pairs;
+        poor_state_ids;
+        max_ratio;
+        explored_states;
+        analysis_wall_s;
+        virtual_analysis_s;
+      }
+  | s -> Error ("model: unrecognized " ^ Sexp.to_string s)
+
+let of_string s =
+  let* sexp = Sexp.of_string s in
+  of_sexp sexp
+
+let save t path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_string t))
+
+let load path =
+  match open_in path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+    let content =
+      Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
+          really_input_string ic (in_channel_length ic))
+    in
+    of_string content
+
+let pp_cost_table ppf t =
+  Fmt.pf ppf "Cost table for %s (%s), related = [%s]:@." t.target t.system
+    (String.concat ", " t.related);
+  List.iter
+    (fun row ->
+      let poor = if is_poor_row t row then " [POOR]" else "" in
+      Fmt.pf ppf "%a%s@." Cost_row.pp row poor)
+    t.rows

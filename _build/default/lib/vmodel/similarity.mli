@@ -1,0 +1,18 @@
+(** State-pair similarity (paper Section 4.6).
+
+    When several variables are symbolic, comparing arbitrary state pairs is
+    misleading (e.g. [autocommit==0 && flush_log==1] against
+    [autocommit==1 && flush_log==2] differs in two parameters at once).  The
+    analyzer compares most-similar pairs first.  Similarity is the paper's
+    deliberately simple appearance count: for each constraint involving a
+    related parameter in one state's formula, add one if the {e same}
+    constraint (printed form) appears in the other state's formula. *)
+
+val score : Cost_row.t -> Cost_row.t -> int
+
+val workload_score : Cost_row.t -> Cost_row.t -> int
+(** Same counting over the input predicates; used to prefer comparing states
+    triggered by the same input class. *)
+
+val rank_pairs : Cost_row.t list -> (Cost_row.t * Cost_row.t * int) list
+(** All unordered pairs ranked by descending combined similarity. *)

@@ -1,0 +1,1 @@
+lib/vruntime/concrete_exec.ml: Config_registry Cost Hashtbl Hw_env List Option Printf Vir Vsmt Workload

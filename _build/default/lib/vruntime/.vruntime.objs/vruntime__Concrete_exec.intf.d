@@ -1,0 +1,1 @@
+lib/vruntime/concrete_exec.mli: Config_registry Cost Hw_env Vir Workload

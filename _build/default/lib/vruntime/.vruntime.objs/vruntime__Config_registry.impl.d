@@ -1,0 +1,1 @@
+lib/vruntime/config_registry.ml: List Map Printf String Vsmt

@@ -1,0 +1,1 @@
+lib/vruntime/config_registry.mli: Vsmt

@@ -1,0 +1,1 @@
+lib/vruntime/cost.ml: Float Fmt List Printf String

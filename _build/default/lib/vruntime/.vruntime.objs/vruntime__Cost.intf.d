@@ -1,0 +1,1 @@
+lib/vruntime/cost.mli: Fmt

@@ -1,0 +1,1 @@
+lib/vruntime/hw_env.ml: Cost Vir

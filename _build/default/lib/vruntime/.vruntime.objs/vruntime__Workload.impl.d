@@ -1,0 +1,1 @@
+lib/vruntime/workload.ml: Hashtbl List Printf String Vsmt

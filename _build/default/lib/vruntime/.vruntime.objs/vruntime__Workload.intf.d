@@ -1,0 +1,1 @@
+lib/vruntime/workload.mli: Vsmt

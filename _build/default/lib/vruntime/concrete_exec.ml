@@ -1,0 +1,179 @@
+open Vir.Ast
+
+type outcome = {
+  ret : int option;
+  cost : Cost.t;
+  serial_us : float;
+  per_function : (string * float) list;
+  prim_counts : (prim * int) list;
+}
+
+exception Out_of_fuel of string
+exception Return_exn of int option
+
+type interp = {
+  program : program;
+  env : Hw_env.t;
+  config : string -> int;
+  workload : string -> int;
+  globals : (string, int) Hashtbl.t;
+  mutable cost : Cost.t;
+  mutable serial_us : float;
+  mutable fuel : int;
+  max_depth : int;
+  fn_latency : (string, float) Hashtbl.t;
+  fn_order : string list ref;
+  prim_counts : (prim, int) Hashtbl.t;
+}
+
+let is_serial_prim = function
+  | Fsync | Mutex_lock | Mutex_unlock | Cond_wait -> true
+  | Pwrite | Pread | Buffered_write | Buffered_read | Net_send | Net_recv | Dns_lookup
+  | Malloc | Memcpy | Compute | Log_append | Cache_lookup | Cache_store | Page_fault ->
+    false
+
+let charge t c =
+  t.cost <- Cost.add t.cost c
+
+let rec eval_expr t locals = function
+  | Const v -> v
+  | Config n -> t.config n
+  | Workload n -> t.workload n
+  | Local n -> begin
+    match Hashtbl.find_opt locals n with
+    | Some v -> v
+    | None -> failwith (Printf.sprintf "uninitialized local %s" n)
+  end
+  | Global n -> begin
+    match Hashtbl.find_opt t.globals n with
+    | Some v -> v
+    | None -> failwith (Printf.sprintf "unknown global %s" n)
+  end
+  | Not e -> if eval_expr t locals e <> 0 then 0 else 1
+  | Neg e -> -eval_expr t locals e
+  | Binop (Vsmt.Expr.And, a, b) ->
+    if eval_expr t locals a <> 0 then (if eval_expr t locals b <> 0 then 1 else 0) else 0
+  | Binop (Vsmt.Expr.Or, a, b) ->
+    if eval_expr t locals a <> 0 then 1 else if eval_expr t locals b <> 0 then 1 else 0
+  | Binop (op, a, b) -> Vsmt.Expr.apply_binop op (eval_expr t locals a) (eval_expr t locals b)
+  | Ite (c, a, b) ->
+    if eval_expr t locals c <> 0 then eval_expr t locals a else eval_expr t locals b
+
+let exec_prim t locals p args =
+  let magnitude = match args with [] -> 1 | a :: _ -> eval_expr t locals a in
+  let c = Hw_env.cost_of_prim t.env p magnitude in
+  charge t c;
+  if is_serial_prim p then t.serial_us <- t.serial_us +. c.Cost.latency_us;
+  Hashtbl.replace t.prim_counts p
+    (1 + match Hashtbl.find_opt t.prim_counts p with Some n -> n | None -> 0)
+
+let rec exec_block t depth locals block = List.iter (exec_stmt t depth locals) block
+
+and exec_stmt t depth locals stmt =
+  t.fuel <- t.fuel - 1;
+  if t.fuel <= 0 then raise (Out_of_fuel t.program.pname);
+  charge t (Hw_env.statement_cost t.env);
+  match stmt with
+  | Assign (Lv_local n, e) -> Hashtbl.replace locals n (eval_expr t locals e)
+  | Assign (Lv_global n, e) -> Hashtbl.replace t.globals n (eval_expr t locals e)
+  | If (c, th, el) -> if eval_expr t locals c <> 0 then exec_block t depth locals th
+    else exec_block t depth locals el
+  | While (c, body) ->
+    while eval_expr t locals c <> 0 do
+      t.fuel <- t.fuel - 1;
+      if t.fuel <= 0 then raise (Out_of_fuel t.program.pname);
+      exec_block t depth locals body
+    done
+  | Call { dest; fn; args; ret_addr = _ } ->
+    let argv = List.map (eval_expr t locals) args in
+    let v = call_function t depth fn argv in
+    begin
+      match dest, v with
+      | Some d, Some v -> Hashtbl.replace locals d v
+      | Some d, None -> Hashtbl.replace locals d 0
+      | None, _ -> ()
+    end
+  | Return e -> raise (Return_exn (Option.map (eval_expr t locals) e))
+  | Prim (p, args) -> exec_prim t locals p args
+  | Thread _ | Trace_on | Trace_off -> ()
+
+and call_function t depth fn argv =
+  if depth > t.max_depth then failwith (Printf.sprintf "call depth exceeded at %s" fn);
+  let f = find_func t.program fn in
+  let t0 = t.cost.Cost.latency_us in
+  let result =
+    match f.kind with
+    | Library { semantics; cost; effect = _ } ->
+      List.iter (fun (p, m) -> charge t (Hw_env.cost_of_prim t.env p m)) cost;
+      Some (semantics argv)
+    | Defined body ->
+      let locals = Hashtbl.create 16 in
+      List.iteri
+        (fun i name -> Hashtbl.replace locals name (try List.nth argv i with _ -> 0))
+        f.params;
+      begin
+        try
+          exec_block t (depth + 1) locals body;
+          None
+        with Return_exn v -> v
+      end
+  in
+  let dt = t.cost.Cost.latency_us -. t0 in
+  if not (Hashtbl.mem t.fn_latency fn) then t.fn_order := fn :: !(t.fn_order);
+  Hashtbl.replace t.fn_latency fn
+    (dt +. match Hashtbl.find_opt t.fn_latency fn with Some x -> x | None -> 0.);
+  result
+
+let run ?(fuel = 2_000_000) ?(max_depth = 128) ?entry ~env program ~config ~workload =
+  let t =
+    {
+      program;
+      env;
+      config;
+      workload;
+      globals = Hashtbl.create 32;
+      cost = Cost.zero;
+      serial_us = 0.;
+      fuel;
+      max_depth;
+      fn_latency = Hashtbl.create 32;
+      fn_order = ref [];
+      prim_counts = Hashtbl.create 16;
+    }
+  in
+  List.iter (fun (g, v) -> Hashtbl.replace t.globals g v) program.globals;
+  let entry = match entry with Some e -> e | None -> program.entry in
+  let ret = call_function t 0 entry [] in
+  {
+    ret;
+    cost = t.cost;
+    serial_us = t.serial_us;
+    per_function =
+      List.rev_map (fun fn -> fn, Hashtbl.find t.fn_latency fn) !(t.fn_order);
+    prim_counts = Hashtbl.fold (fun p n acc -> (p, n) :: acc) t.prim_counts [];
+  }
+
+(* programs may read workload parameters the chosen template does not
+   expose (the paper's c14/c15 situation); those read as 0, the same value
+   the symbolic pipeline's concrete fallback uses *)
+let run_instance ?fuel ?entry ~env program ~config ~workload =
+  run ?fuel ?entry ~env program
+    ~config:(fun n -> Config_registry.Values.get config n)
+    ~workload:(fun n ->
+      match Workload.value_opt workload n with Some v -> v | None -> 0)
+
+let throughput ?entry ~env program ~config ~mix ~clients =
+  if clients <= 0 then invalid_arg "Concrete_exec.throughput: clients must be positive";
+  let total_w = List.fold_left (fun acc (_, w) -> acc +. w) 0. mix in
+  if total_w <= 0. then invalid_arg "Concrete_exec.throughput: empty mix";
+  let serial, parallel =
+    List.fold_left
+      (fun (s, p) (inst, w) ->
+        let o = run_instance ?entry ~env program ~config ~workload:inst in
+        let w = w /. total_w in
+        ( s +. (w *. o.serial_us),
+          p +. (w *. (o.cost.Cost.latency_us -. o.serial_us)) ))
+      (0., 0.) mix
+  in
+  let n = float_of_int clients in
+  n *. 1e6 /. (parallel +. (n *. serial))

@@ -1,0 +1,64 @@
+(** Concrete execution of IR programs on the virtual clock.
+
+    This is the "native execution" and "black-box testing" substrate: the
+    same programs the symbolic engine explores can be run concretely with a
+    given configuration and workload instance, yielding a cost vector and a
+    per-function latency breakdown.  Used by the testing-comparison
+    experiment (Section 7.3), the profiling-accuracy experiment (Table 7),
+    false-positive verification (Section 7.8), and the threshold-sensitivity
+    experiment (Figure 15). *)
+
+type outcome = {
+  ret : int option;  (** return value of the entry function *)
+  cost : Cost.t;
+  serial_us : float;
+      (** portion of latency spent on globally-serialized primitives (fsync
+          of a shared log, mutexes, condition waits); drives the
+          multi-client contention model *)
+  per_function : (string * float) list;
+      (** inclusive virtual latency per function, entry first *)
+  prim_counts : (Vir.Ast.prim * int) list;
+}
+
+val is_serial_prim : Vir.Ast.prim -> bool
+(** Primitives whose latency contends on a shared resource (the redo log's
+    fsync, mutexes, condition waits) and therefore does not scale with the
+    number of clients in the contention model. *)
+
+exception Out_of_fuel of string
+(** Raised when a loop exceeds the interpreter fuel — indicates a model bug. *)
+
+val run :
+  ?fuel:int ->
+  ?max_depth:int ->
+  ?entry:string ->
+  env:Hw_env.t ->
+  Vir.Ast.program ->
+  config:(string -> int) ->
+  workload:(string -> int) ->
+  outcome
+(** Interpret the program entry ([entry] overrides the program's own).  [config]/[workload] resolve parameter
+    reads; unknown names raise [Failure].  [fuel] bounds total executed
+    statements (default 2_000_000); [max_depth] bounds the call stack. *)
+
+val run_instance :
+  ?fuel:int ->
+  ?entry:string ->
+  env:Hw_env.t ->
+  Vir.Ast.program ->
+  config:Config_registry.Values.t ->
+  workload:Workload.instance ->
+  outcome
+
+val throughput :
+  ?entry:string ->
+  env:Hw_env.t ->
+  Vir.Ast.program ->
+  config:Config_registry.Values.t ->
+  mix:(Workload.instance * float) list ->
+  clients:int ->
+  float
+(** Steady-state operations per second with [clients] concurrent clients
+    issuing the weighted workload mix.  Uses a contention model in which the
+    serialized latency portion does not scale with clients:
+    [X(N) = N / (parallel + N * serial)]. *)

@@ -1,0 +1,130 @@
+type kind = Bool | Int of { lo : int; hi : int } | Enum of string list | Float_choices of float list
+
+type hook_status = Hooked | No_hook_function_pointer | No_hook_complex_type
+
+type param = {
+  name : string;
+  kind : kind;
+  default : int;
+  summary : string;
+  perf_related : bool;
+  hook : hook_status;
+  dynamic : bool;
+}
+
+module Smap = Map.Make (String)
+
+type t = { system : string; params : param list; by_name : param Smap.t }
+
+let dom p =
+  match p.kind with
+  | Bool -> Vsmt.Dom.bool
+  | Int { lo; hi } -> Vsmt.Dom.int_range lo hi
+  | Enum values -> Vsmt.Dom.enum p.name values
+  | Float_choices choices ->
+    Vsmt.Dom.enum p.name (List.map (fun f -> Printf.sprintf "%g" f) choices)
+
+let make ~system params =
+  let by_name =
+    List.fold_left
+      (fun m p ->
+        if Smap.mem p.name m then
+          failwith (Printf.sprintf "registry %s: duplicate parameter %s" system p.name);
+        if not (Vsmt.Dom.mem (dom p) p.default) then
+          failwith (Printf.sprintf "registry %s: default of %s out of domain" system p.name);
+        Smap.add p.name p m)
+      Smap.empty params
+  in
+  { system; params; by_name }
+
+let system t = t.system
+let params t = t.params
+let find_opt t name = Smap.find_opt name t.by_name
+
+let find t name =
+  match find_opt t name with
+  | Some p -> p
+  | None -> failwith (Printf.sprintf "registry %s: unknown parameter %s" t.system name)
+
+let mem t name = Smap.mem name t.by_name
+
+let sym_var p = { Vsmt.Expr.name = p.name; dom = dom p; origin = Vsmt.Expr.Config }
+
+let encode p s = Vsmt.Dom.value_of_string (dom p) s
+let decode p v = Vsmt.Dom.value_to_string (dom p) v
+
+let decode_float p v =
+  match p.kind with
+  | Float_choices choices -> List.nth_opt choices v
+  | Bool | Int _ | Enum _ -> None
+
+let param_bool ?(perf = true) ?(hook = Hooked) ?(dynamic = true) name ~default summary =
+  {
+    name;
+    kind = Bool;
+    default = (if default then 1 else 0);
+    summary;
+    perf_related = perf;
+    hook;
+    dynamic;
+  }
+
+let param_int ?(perf = true) ?(hook = Hooked) ?(dynamic = true) name ~lo ~hi ~default summary =
+  { name; kind = Int { lo; hi }; default; summary; perf_related = perf; hook; dynamic }
+
+let param_enum ?(perf = true) ?(hook = Hooked) ?(dynamic = true) name ~values ~default summary =
+  let default_index =
+    match List.find_index (String.equal default) values with
+    | Some i -> i
+    | None -> failwith (Printf.sprintf "param %s: default %s not in values" name default)
+  in
+  { name; kind = Enum values; default = default_index; summary; perf_related = perf; hook; dynamic }
+
+let param_float ?(perf = true) ?(hook = Hooked) ?(dynamic = true) name ~choices ~default_index
+    summary =
+  {
+    name;
+    kind = Float_choices choices;
+    default = default_index;
+    summary;
+    perf_related = perf;
+    hook;
+    dynamic;
+  }
+
+module Values = struct
+  type registry = t
+  type nonrec t = { reg : t; values : int Smap.t }
+
+  let defaults reg =
+    {
+      reg;
+      values =
+        List.fold_left (fun m p -> Smap.add p.name p.default m) Smap.empty reg.params;
+    }
+
+  let set t name v =
+    let p = find t.reg name in
+    if not (Vsmt.Dom.mem (dom p) v) then
+      failwith (Printf.sprintf "config %s: value %d out of domain for %s" t.reg.system v name);
+    { t with values = Smap.add name v t.values }
+
+  let set_str t name s =
+    let p = find t.reg name in
+    match encode p s with
+    | Some v -> set t name v
+    | None -> failwith (Printf.sprintf "config %s: cannot parse %S for %s" t.reg.system s name)
+
+  let get t name =
+    match Smap.find_opt name t.values with
+    | Some v -> v
+    | None -> (find t.reg name).default
+
+  let lookup t name fallback =
+    match Smap.find_opt name t.values with
+    | Some v -> v
+    | None -> ( match find_opt t.reg name with Some p -> p.default | None -> fallback)
+
+  let bindings t = Smap.bindings t.values
+  let registry t = t.reg
+end

@@ -1,0 +1,88 @@
+(** Typed configuration-parameter registries.
+
+    The analogue of MySQL's [Sys_var_*] data structures (paper Figure 7):
+    each parameter declares its type, valid range, and default, which is
+    exactly the information the symbolic hook needs to make the backing
+    variable symbolic while restricting it to {e valid} values.
+
+    All values are encoded as integers: booleans as 0/1, enums (and
+    enumerated strings) as member indices, floats as indices into a discrete
+    choice list — the paper handles float parameters the same way due to
+    engine limitations (Section 8). *)
+
+type kind =
+  | Bool
+  | Int of { lo : int; hi : int }
+  | Enum of string list
+  | Float_choices of float list
+      (** symbolic over the choice index; {!decode_float} recovers the value *)
+
+(** Whether a symbolic hook could be added for the parameter.  Apache and
+    Squid set many parameters through module function pointers, and some
+    types (e.g. timezone) are too complex to make symbolic — both reduce
+    hook coverage (paper Sections 4.1 and 7.6). *)
+type hook_status = Hooked | No_hook_function_pointer | No_hook_complex_type
+
+type param = {
+  name : string;
+  kind : kind;
+  default : int;  (** encoded default value *)
+  summary : string;
+  perf_related : bool;  (** false for e.g. [listen_addresses]; filtered out
+                            of the coverage experiment (Section 7.6) *)
+  hook : hook_status;
+  dynamic : bool;  (** can be changed at runtime (checker mode 1 updates) *)
+}
+
+type t
+
+val make : system:string -> param list -> t
+(** Raises [Failure] on duplicate parameter names or defaults outside the
+    declared domain. *)
+
+val system : t -> string
+val params : t -> param list
+val find : t -> string -> param
+val find_opt : t -> string -> param option
+val mem : t -> string -> bool
+
+val dom : param -> Vsmt.Dom.t
+(** Solver domain of the parameter's encoded values. *)
+
+val sym_var : param -> Vsmt.Expr.var
+(** The symbolic variable the hook creates for this parameter
+    (origin [Config], domain {!dom}). *)
+
+val encode : param -> string -> int option
+(** Parse a config-file string into the encoded value; [None] if invalid. *)
+
+val decode : param -> int -> string
+val decode_float : param -> int -> float option
+
+val param_bool : ?perf:bool -> ?hook:hook_status -> ?dynamic:bool -> string
+  -> default:bool -> string -> param
+val param_int : ?perf:bool -> ?hook:hook_status -> ?dynamic:bool -> string
+  -> lo:int -> hi:int -> default:int -> string -> param
+val param_enum : ?perf:bool -> ?hook:hook_status -> ?dynamic:bool -> string
+  -> values:string list -> default:string -> string -> param
+val param_float : ?perf:bool -> ?hook:hook_status -> ?dynamic:bool -> string
+  -> choices:float list -> default_index:int -> string -> param
+
+(** Concrete configurations: an assignment of encoded values to every
+    parameter of a registry. *)
+module Values : sig
+  type registry = t
+  type t
+
+  val defaults : registry -> t
+  val set : t -> string -> int -> t
+  (** Raises [Failure] for unknown names or out-of-domain values. *)
+
+  val set_str : t -> string -> string -> t
+  val get : t -> string -> int
+  val lookup : t -> string -> int -> int
+  (** [lookup values name fallback]. *)
+
+  val bindings : t -> (string * int) list
+  val registry : t -> registry
+end

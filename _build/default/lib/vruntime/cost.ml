@@ -1,0 +1,120 @@
+type t = {
+  latency_us : float;
+  instructions : int;
+  syscalls : int;
+  io_calls : int;
+  io_bytes : int;
+  sync_ops : int;
+  net_ops : int;
+  allocations : int;
+  cache_ops : int;
+}
+
+let zero =
+  {
+    latency_us = 0.;
+    instructions = 0;
+    syscalls = 0;
+    io_calls = 0;
+    io_bytes = 0;
+    sync_ops = 0;
+    net_ops = 0;
+    allocations = 0;
+    cache_ops = 0;
+  }
+
+let add a b =
+  {
+    latency_us = a.latency_us +. b.latency_us;
+    instructions = a.instructions + b.instructions;
+    syscalls = a.syscalls + b.syscalls;
+    io_calls = a.io_calls + b.io_calls;
+    io_bytes = a.io_bytes + b.io_bytes;
+    sync_ops = a.sync_ops + b.sync_ops;
+    net_ops = a.net_ops + b.net_ops;
+    allocations = a.allocations + b.allocations;
+    cache_ops = a.cache_ops + b.cache_ops;
+  }
+
+let sub a b =
+  {
+    latency_us = a.latency_us -. b.latency_us;
+    instructions = a.instructions - b.instructions;
+    syscalls = a.syscalls - b.syscalls;
+    io_calls = a.io_calls - b.io_calls;
+    io_bytes = a.io_bytes - b.io_bytes;
+    sync_ops = a.sync_ops - b.sync_ops;
+    net_ops = a.net_ops - b.net_ops;
+    allocations = a.allocations - b.allocations;
+    cache_ops = a.cache_ops - b.cache_ops;
+  }
+
+let latency us = { zero with latency_us = us }
+
+let scale k a =
+  {
+    latency_us = float_of_int k *. a.latency_us;
+    instructions = k * a.instructions;
+    syscalls = k * a.syscalls;
+    io_calls = k * a.io_calls;
+    io_bytes = k * a.io_bytes;
+    sync_ops = k * a.sync_ops;
+    net_ops = k * a.net_ops;
+    allocations = k * a.allocations;
+    cache_ops = k * a.cache_ops;
+  }
+
+let logical_metrics =
+  [
+    "instructions", (fun c -> float_of_int c.instructions);
+    "syscalls", (fun c -> float_of_int c.syscalls);
+    "io_calls", (fun c -> float_of_int c.io_calls);
+    "io_bytes", (fun c -> float_of_int c.io_bytes);
+    "sync_ops", (fun c -> float_of_int c.sync_ops);
+    "net_ops", (fun c -> float_of_int c.net_ops);
+    "allocations", (fun c -> float_of_int c.allocations);
+    "cache_ops", (fun c -> float_of_int c.cache_ops);
+  ]
+
+let metric c = function
+  | "latency_us" -> c.latency_us
+  | name -> (
+    match List.assoc_opt name logical_metrics with
+    | Some f -> f c
+    | None -> invalid_arg ("Cost.metric: unknown metric " ^ name))
+
+let metric_names = "latency_us" :: List.map fst logical_metrics
+
+let human_count n =
+  let f = float_of_int n in
+  if n >= 1_000_000 then Printf.sprintf "%.1fM" (f /. 1e6)
+  else if n >= 10_000 then Printf.sprintf "%.1fK" (f /. 1e3)
+  else string_of_int n
+
+let human_latency us =
+  if us >= 1e6 then Printf.sprintf "%.2f s" (us /. 1e6)
+  else if us >= 1e3 then Printf.sprintf "%.2f ms" (us /. 1e3)
+  else Printf.sprintf "%.1f us" us
+
+let summary c =
+  let parts =
+    [ human_latency c.latency_us ]
+    @ (if c.syscalls > 0 then [ human_count c.syscalls ^ " syscalls" ] else [])
+    @ (if c.io_calls > 0 then [ human_count c.io_calls ^ " I/O" ] else [])
+    @ (if c.io_bytes > 0 then [ human_count c.io_bytes ^ "B io" ] else [])
+    @ (if c.sync_ops > 0 then [ human_count c.sync_ops ^ " sync" ] else [])
+    @ if c.net_ops > 0 then [ human_count c.net_ops ^ " net" ] else []
+  in
+  String.concat ", " parts
+
+let pp ppf c =
+  Fmt.pf ppf
+    "{lat=%s insn=%d sys=%d io=%d(%dB) sync=%d net=%d alloc=%d cache=%d}"
+    (human_latency c.latency_us) c.instructions c.syscalls c.io_calls c.io_bytes c.sync_ops
+    c.net_ops c.allocations c.cache_ops
+
+let equal a b =
+  Float.abs (a.latency_us -. b.latency_us) < 1e-9
+  && a.instructions = b.instructions && a.syscalls = b.syscalls && a.io_calls = b.io_calls
+  && a.io_bytes = b.io_bytes && a.sync_ops = b.sync_ops && a.net_ops = b.net_ops
+  && a.allocations = b.allocations && a.cache_ops = b.cache_ops

@@ -1,0 +1,47 @@
+(** Execution cost vectors.
+
+    Violet records, for every explored path, both the absolute virtual-clock
+    latency and a set of {e logical} cost metrics (paper Section 4.5):
+    instruction count, system calls, file I/O calls and traffic,
+    synchronization operations, network operations.  Logical metrics surface
+    issues that latency alone can hide (e.g. a path issuing many more
+    [pwrite]s on a machine with a large buffer cache) and enable
+    extrapolation to other environments. *)
+
+type t = {
+  latency_us : float;  (** virtual-clock latency, microseconds *)
+  instructions : int;
+  syscalls : int;
+  io_calls : int;
+  io_bytes : int;
+  sync_ops : int;
+  net_ops : int;
+  allocations : int;
+  cache_ops : int;
+}
+
+val zero : t
+val add : t -> t -> t
+val sub : t -> t -> t
+(** Pointwise difference (used by differential critical-path analysis);
+    counters can go negative in a diff. *)
+
+val latency : float -> t
+(** A cost that is pure latency. *)
+
+val scale : int -> t -> t
+
+(** Named accessors for the logical metrics the trace analyzer compares.
+    [latency_us] is deliberately excluded: the analyzer treats latency and
+    logical metrics separately (Section 4.6). *)
+val logical_metrics : (string * (t -> float)) list
+
+val metric : t -> string -> float
+(** Look up any metric by name, including ["latency_us"]. *)
+
+val metric_names : string list
+val pp : t Fmt.t
+val summary : t -> string
+(** Compact rendering, e.g. ["2.6 s, 17K syscalls, 100 I/O"]. *)
+
+val equal : t -> t -> bool

@@ -1,0 +1,126 @@
+type t = {
+  name : string;
+  fsync_us : float;
+  pwrite_base_us : float;
+  pwrite_us_per_kb : float;
+  pread_base_us : float;
+  pread_us_per_kb : float;
+  buffered_write_us_per_kb : float;
+  buffered_read_us_per_kb : float;
+  mutex_us : float;
+  cond_wait_us : float;
+  net_base_us : float;
+  net_us_per_kb : float;
+  dns_us : float;
+  malloc_base_us : float;
+  memcpy_us_per_kb : float;
+  compute_us_per_unit : float;
+  log_append_us_per_kb : float;
+  cache_op_us : float;
+  page_fault_us : float;
+  symexec_overhead : float;
+  state_switch_us : float;
+  tracer_signal_us : float;
+}
+
+let hdd_server =
+  {
+    name = "hdd_server";
+    fsync_us = 8000.;
+    pwrite_base_us = 12.;
+    pwrite_us_per_kb = 25.;
+    pread_base_us = 80.;
+    pread_us_per_kb = 30.;
+    buffered_write_us_per_kb = 0.8;
+    buffered_read_us_per_kb = 0.3;
+    mutex_us = 0.3;
+    cond_wait_us = 1500.;
+    net_base_us = 120.;
+    net_us_per_kb = 8.;
+    dns_us = 20000.;
+    malloc_base_us = 0.4;
+    memcpy_us_per_kb = 0.06;
+    compute_us_per_unit = 0.01;
+    log_append_us_per_kb = 0.5;
+    cache_op_us = 0.4;
+    page_fault_us = 4.;
+    symexec_overhead = 14.;
+    state_switch_us = 350.;
+    tracer_signal_us = 18.;
+  }
+
+let ssd_server =
+  {
+    hdd_server with
+    name = "ssd_server";
+    fsync_us = 180.;
+    pwrite_base_us = 6.;
+    pwrite_us_per_kb = 3.;
+    pread_base_us = 9.;
+    pread_us_per_kb = 3.5;
+  }
+
+let ramdisk =
+  {
+    hdd_server with
+    name = "ramdisk";
+    fsync_us = 6.;
+    pwrite_base_us = 0.8;
+    pwrite_us_per_kb = 0.1;
+    pread_base_us = 0.6;
+    pread_us_per_kb = 0.08;
+  }
+
+let kb bytes = float_of_int bytes /. 1024.
+
+let cost_of_prim env prim magnitude =
+  let m = max magnitude 0 in
+  let open Cost in
+  match (prim : Vir.Ast.prim) with
+  | Fsync -> { zero with latency_us = env.fsync_us; syscalls = 1; io_calls = 1 }
+  | Pwrite ->
+    {
+      zero with
+      latency_us = env.pwrite_base_us +. (env.pwrite_us_per_kb *. kb m);
+      syscalls = 1;
+      io_calls = 1;
+      io_bytes = m;
+    }
+  | Pread ->
+    {
+      zero with
+      latency_us = env.pread_base_us +. (env.pread_us_per_kb *. kb m);
+      syscalls = 1;
+      io_calls = 1;
+      io_bytes = m;
+    }
+  | Buffered_write ->
+    {
+      zero with
+      latency_us = env.buffered_write_us_per_kb *. kb m;
+      syscalls = 1;
+      io_bytes = m;
+    }
+  | Buffered_read ->
+    { zero with latency_us = env.buffered_read_us_per_kb *. kb m; syscalls = 1; io_bytes = m }
+  | Mutex_lock | Mutex_unlock -> { zero with latency_us = env.mutex_us; sync_ops = 1 }
+  | Cond_wait -> { zero with latency_us = env.cond_wait_us; sync_ops = 1; syscalls = 1 }
+  | Net_send | Net_recv ->
+    {
+      zero with
+      latency_us = env.net_base_us +. (env.net_us_per_kb *. kb m);
+      syscalls = 1;
+      net_ops = 1;
+    }
+  | Dns_lookup -> { zero with latency_us = env.dns_us; syscalls = 1; net_ops = 2 }
+  | Malloc -> { zero with latency_us = env.malloc_base_us; allocations = 1 }
+  | Memcpy -> { zero with latency_us = env.memcpy_us_per_kb *. kb m; instructions = m / 8 }
+  | Compute ->
+    { zero with latency_us = env.compute_us_per_unit *. float_of_int m; instructions = m }
+  | Log_append ->
+    { zero with latency_us = env.log_append_us_per_kb *. kb m; io_bytes = m; syscalls = 1 }
+  | Cache_lookup | Cache_store -> { zero with latency_us = env.cache_op_us; cache_ops = 1 }
+  | Page_fault -> { zero with latency_us = env.page_fault_us; instructions = 50 }
+
+let statement_cost env =
+  { Cost.zero with latency_us = env.compute_us_per_unit; instructions = 1 }

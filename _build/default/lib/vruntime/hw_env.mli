@@ -1,0 +1,56 @@
+(** Hardware environment: the virtual-clock cost model.
+
+    The paper runs targets inside S²E on concrete host hardware and relies on
+    {e relative} path costs (Section 5.3, Table 7).  Here the hardware is a
+    deterministic parameter: each primitive's latency is a function of the
+    environment, so an experiment can be replayed on "HDD server", "SSD
+    server" or "ramdisk" environments and the logical metrics can expose
+    effects that a fast disk would hide.
+
+    [symexec_overhead] models the slowdown of running under the symbolic
+    engine relative to native execution (used for Table 7);
+    [state_switch_us] models the S²E state-switching cost that the tracer can
+    exclude by disabling state switching (Section 5.3, optimization 3). *)
+
+type t = {
+  name : string;
+  fsync_us : float;
+  pwrite_base_us : float;
+  pwrite_us_per_kb : float;
+  pread_base_us : float;
+  pread_us_per_kb : float;
+  buffered_write_us_per_kb : float;
+  buffered_read_us_per_kb : float;
+  mutex_us : float;
+  cond_wait_us : float;
+  net_base_us : float;
+  net_us_per_kb : float;
+  dns_us : float;
+  malloc_base_us : float;
+  memcpy_us_per_kb : float;
+  compute_us_per_unit : float;
+  log_append_us_per_kb : float;
+  cache_op_us : float;
+  page_fault_us : float;
+  symexec_overhead : float;
+  state_switch_us : float;
+  tracer_signal_us : float;
+      (** engine-clock cost of capturing one call/return signal — the
+          tracer overhead that makes Violet slightly slower than vanilla
+          S²E in Table 7 *)
+}
+
+val hdd_server : t
+(** Default: the paper's evaluation machine class (HDD, fsync ≈ 8 ms). *)
+
+val ssd_server : t
+val ramdisk : t
+
+val cost_of_prim : t -> Vir.Ast.prim -> int -> Cost.t
+(** [cost_of_prim env prim magnitude] — latency and logical metrics of one
+    primitive execution.  [magnitude] is bytes for I/O-like primitives and
+    abstract units for [Compute]; pass 1 when the primitive takes none. *)
+
+val statement_cost : t -> Cost.t
+(** Baseline cost of interpreting one IR statement (models instruction
+    execution between slow operations). *)

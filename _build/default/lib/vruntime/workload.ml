@@ -1,0 +1,69 @@
+type param = { name : string; dom : Vsmt.Dom.t; summary : string }
+
+type template = { tname : string; params : param list; defaults : (string * int) list }
+
+let template tname params =
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun p ->
+      if Hashtbl.mem seen p.name then
+        failwith (Printf.sprintf "template %s: duplicate parameter %s" tname p.name);
+      Hashtbl.add seen p.name ())
+    params;
+  { tname; params; defaults = List.map (fun p -> p.name, Vsmt.Dom.lo p.dom) params }
+
+let wparam_enum name ~values summary = { name; dom = Vsmt.Dom.enum name values; summary }
+let wparam_int name ~lo ~hi summary = { name; dom = Vsmt.Dom.int_range lo hi; summary }
+let wparam_bool name summary = { name; dom = Vsmt.Dom.bool; summary }
+
+let find_param t name =
+  match List.find_opt (fun p -> String.equal p.name name) t.params with
+  | Some p -> p
+  | None -> failwith (Printf.sprintf "template %s: unknown parameter %s" t.tname name)
+
+let sym_var p = { Vsmt.Expr.name = p.name; dom = p.dom; origin = Vsmt.Expr.Workload }
+
+type instance = { template : template; values : (string * int) list }
+
+let instantiate t overrides =
+  List.iter
+    (fun (n, v) ->
+      let p = find_param t n in
+      if not (Vsmt.Dom.mem p.dom v) then
+        failwith (Printf.sprintf "template %s: value %d out of domain for %s" t.tname v n))
+    overrides;
+  let values =
+    List.map
+      (fun p ->
+        match List.assoc_opt p.name overrides with
+        | Some v -> p.name, v
+        | None -> p.name, List.assoc p.name t.defaults)
+      t.params
+  in
+  { template = t; values }
+
+let instantiate_named t overrides =
+  let encoded =
+    List.map
+      (fun (n, s) ->
+        let p = find_param t n in
+        match Vsmt.Dom.value_of_string p.dom s with
+        | Some v -> n, v
+        | None -> failwith (Printf.sprintf "template %s: cannot parse %S for %s" t.tname s n))
+      overrides
+  in
+  instantiate t encoded
+
+let value inst name =
+  match List.assoc_opt name inst.values with
+  | Some v -> v
+  | None -> failwith (Printf.sprintf "instance of %s: unknown parameter %s" inst.template.tname name)
+
+let value_opt inst name = List.assoc_opt name inst.values
+
+let describe inst =
+  let part (n, v) =
+    let p = find_param inst.template n in
+    Printf.sprintf "%s=%s" n (Vsmt.Dom.value_to_string p.dom v)
+  in
+  Printf.sprintf "%s{%s}" inst.template.tname (String.concat ", " (List.map part inst.values))

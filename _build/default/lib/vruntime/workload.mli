@@ -1,0 +1,40 @@
+(** Workload templates (paper Section 5.2).
+
+    Making raw program input symbolic gets the engine stuck in parsing code
+    producing almost no valid inputs; Violet instead pre-defines input
+    templates with valid structure and parameterizes them (query type, value
+    size, number of queries, ...).  The template's parameters become the
+    symbolic {e workload variables}, whose constraints in an explored path
+    form the {e input predicate} of a cost-table row. *)
+
+type param = { name : string; dom : Vsmt.Dom.t; summary : string }
+
+type template = { tname : string; params : param list; defaults : (string * int) list }
+
+val template : string -> param list -> template
+(** Defaults to each parameter's domain minimum unless overridden later. *)
+
+val wparam_enum : string -> values:string list -> string -> param
+val wparam_int : string -> lo:int -> hi:int -> string -> param
+val wparam_bool : string -> string -> param
+
+val find_param : template -> string -> param
+val sym_var : param -> Vsmt.Expr.var
+(** Symbolic variable of origin [Workload]. *)
+
+(** A concrete instance of a template: assignment to every parameter. *)
+type instance = { template : template; values : (string * int) list }
+
+val instantiate : template -> (string * int) list -> instance
+(** Raises [Failure] for unknown parameters or out-of-domain values;
+    parameters not mentioned take the template default. *)
+
+val instantiate_named : template -> (string * string) list -> instance
+(** Like {!instantiate} but values given in domain vocabulary
+    (e.g. [("sql_command", "INSERT")]). *)
+
+val value : instance -> string -> int
+(** Raises [Failure] for parameters outside the template. *)
+
+val value_opt : instance -> string -> int option
+val describe : instance -> string

@@ -1,0 +1,1 @@
+lib/vsmt/dom.ml: Array Fmt Printf String

@@ -1,0 +1,1 @@
+lib/vsmt/dom.mli: Fmt

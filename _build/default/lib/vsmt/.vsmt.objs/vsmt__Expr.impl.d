@@ -1,0 +1,1 @@
+lib/vsmt/expr.ml: Dom Fmt Hashtbl List Stdlib

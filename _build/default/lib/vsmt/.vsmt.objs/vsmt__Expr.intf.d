@@ -1,0 +1,1 @@
+lib/vsmt/expr.mli: Dom Fmt

@@ -1,0 +1,1 @@
+lib/vsmt/interval.ml: Dom Fmt List

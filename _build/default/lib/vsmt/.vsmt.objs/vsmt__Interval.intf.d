@@ -1,0 +1,1 @@
+lib/vsmt/interval.mli: Dom Fmt

@@ -1,0 +1,1 @@
+lib/vsmt/serial.ml: Array Dom Expr List Result Sexp

@@ -1,0 +1,1 @@
+lib/vsmt/serial.mli: Dom Expr Sexp

@@ -1,0 +1,1 @@
+lib/vsmt/sexp.ml: Buffer List Printf String

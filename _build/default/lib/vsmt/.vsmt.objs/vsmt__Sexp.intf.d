@@ -1,0 +1,1 @@
+lib/vsmt/sexp.mli: Stdlib

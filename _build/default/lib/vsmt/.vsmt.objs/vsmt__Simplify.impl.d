@@ -1,0 +1,1 @@
+lib/vsmt/simplify.ml: Dom Expr List

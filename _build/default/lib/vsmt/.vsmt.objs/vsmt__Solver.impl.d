@@ -1,0 +1,1 @@
+lib/vsmt/solver.ml: Dom Expr Hashtbl Int Interval List Map Simplify String

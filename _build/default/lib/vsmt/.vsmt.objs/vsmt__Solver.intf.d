@@ -1,0 +1,1 @@
+lib/vsmt/solver.mli: Expr

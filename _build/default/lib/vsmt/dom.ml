@@ -1,0 +1,73 @@
+type t =
+  | Bool
+  | Int_range of { lo : int; hi : int }
+  | Enum of { type_name : string; members : string array }
+
+let bool = Bool
+
+let int_range lo hi =
+  if lo > hi then invalid_arg "Dom.int_range: empty range";
+  Int_range { lo; hi }
+
+let enum type_name members =
+  match members with
+  | [] -> invalid_arg "Dom.enum: no members"
+  | _ -> Enum { type_name; members = Array.of_list members }
+
+let lo = function
+  | Bool -> 0
+  | Int_range { lo; _ } -> lo
+  | Enum _ -> 0
+
+let hi = function
+  | Bool -> 1
+  | Int_range { hi; _ } -> hi
+  | Enum { members; _ } -> Array.length members - 1
+
+let size d = hi d - lo d + 1
+let mem d v = v >= lo d && v <= hi d
+
+let value_to_string d v =
+  match d with
+  | Bool -> if v = 0 then "OFF" else "ON"
+  | Int_range _ -> string_of_int v
+  | Enum { members; _ } ->
+    if v >= 0 && v < Array.length members then members.(v)
+    else Printf.sprintf "<invalid:%d>" v
+
+let value_of_string d s =
+  let int_opt () = int_of_string_opt (String.trim s) in
+  match d with
+  | Bool -> begin
+    match String.lowercase_ascii (String.trim s) with
+    | "on" | "true" | "yes" | "1" -> Some 1
+    | "off" | "false" | "no" | "0" -> Some 0
+    | _ -> None
+  end
+  | Int_range _ -> begin
+    match int_opt () with Some v when mem d v -> Some v | Some _ | None -> None
+  end
+  | Enum { members; _ } ->
+    let s = String.trim s in
+    let found = ref None in
+    Array.iteri
+      (fun i m -> if String.equal (String.lowercase_ascii m) (String.lowercase_ascii s) then found := Some i)
+      members;
+    begin
+      match !found with
+      | Some i -> Some i
+      | None -> ( match int_opt () with Some v when mem d v -> Some v | Some _ | None -> None)
+    end
+
+let pp ppf = function
+  | Bool -> Fmt.string ppf "bool"
+  | Int_range { lo; hi } -> Fmt.pf ppf "int[%d..%d]" lo hi
+  | Enum { type_name; members } ->
+    Fmt.pf ppf "enum %s{%a}" type_name Fmt.(array ~sep:(any ",") string) members
+
+let equal a b =
+  match a, b with
+  | Bool, Bool -> true
+  | Int_range a, Int_range b -> a.lo = b.lo && a.hi = b.hi
+  | Enum a, Enum b -> String.equal a.type_name b.type_name && a.members = b.members
+  | (Bool | Int_range _ | Enum _), _ -> false

@@ -1,0 +1,40 @@
+(** Finite value domains for symbolic variables.
+
+    Every symbolic variable Violet creates is range-restricted: configuration
+    parameters carry the [min_value]/[max_value] (or enum member list) declared
+    by the target program, and workload-template parameters are small
+    enumerations.  Restricting symbolic values to valid settings is what lets
+    the engine explore only the space of {e valid} configurations (paper
+    Section 4.1). *)
+
+type t =
+  | Bool  (** encoded as the integers 0 and 1 *)
+  | Int_range of { lo : int; hi : int }  (** inclusive integer interval *)
+  | Enum of { type_name : string; members : string array }
+      (** named finite enumeration; values are member indices *)
+
+val bool : t
+val int_range : int -> int -> t
+val enum : string -> string list -> t
+
+val lo : t -> int
+(** Smallest integer encoding of a value in the domain. *)
+
+val hi : t -> int
+(** Largest integer encoding of a value in the domain. *)
+
+val size : t -> int
+(** Number of values in the domain ([hi - lo + 1]). *)
+
+val mem : t -> int -> bool
+(** [mem d v] is true when integer encoding [v] denotes a value of [d]. *)
+
+val value_to_string : t -> int -> string
+(** Render an integer encoding in domain terms ([ON]/[OFF] for booleans, the
+    member name for enums, the decimal literal for integer ranges). *)
+
+val value_of_string : t -> string -> int option
+(** Inverse of {!value_to_string}; also accepts raw integer literals. *)
+
+val pp : t Fmt.t
+val equal : t -> t -> bool

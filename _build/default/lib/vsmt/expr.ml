@@ -1,0 +1,159 @@
+type origin = Config | Workload | Internal
+
+type var = { name : string; dom : Dom.t; origin : origin }
+
+type binop = Add | Sub | Mul | Div | Mod | Eq | Ne | Lt | Le | Gt | Ge | And | Or
+
+type t =
+  | Const of int
+  | Var of var
+  | Not of t
+  | Neg of t
+  | Binop of binop * t * t
+  | Ite of t * t * t
+
+let var ?(origin = Config) name dom = Var { name; dom; origin }
+let const v = Const v
+let bool_ b = Const (if b then 1 else 0)
+let tru = Const 1
+let fls = Const 0
+
+let ( ==. ) a b = Binop (Eq, a, b)
+let ( <>. ) a b = Binop (Ne, a, b)
+let ( <. ) a b = Binop (Lt, a, b)
+let ( <=. ) a b = Binop (Le, a, b)
+let ( >. ) a b = Binop (Gt, a, b)
+let ( >=. ) a b = Binop (Ge, a, b)
+let ( &&. ) a b = Binop (And, a, b)
+let ( ||. ) a b = Binop (Or, a, b)
+let ( +. ) a b = Binop (Add, a, b)
+let ( -. ) a b = Binop (Sub, a, b)
+let ( *. ) a b = Binop (Mul, a, b)
+let ( /. ) a b = Binop (Div, a, b)
+let ( %. ) a b = Binop (Mod, a, b)
+let not_ e = Not e
+let ite c a b = Ite (c, a, b)
+
+let is_const = function Const v -> Some v | Var _ | Not _ | Neg _ | Binop _ | Ite _ -> None
+
+let truthy v = v <> 0
+
+let apply_binop op a b =
+  match op with
+  | Add -> a + b
+  | Sub -> a - b
+  | Mul -> a * b
+  | Div -> if b = 0 then 0 else a / b
+  | Mod -> if b = 0 then 0 else a mod b
+  | Eq -> if a = b then 1 else 0
+  | Ne -> if a <> b then 1 else 0
+  | Lt -> if a < b then 1 else 0
+  | Le -> if a <= b then 1 else 0
+  | Gt -> if a > b then 1 else 0
+  | Ge -> if a >= b then 1 else 0
+  | And -> if truthy a && truthy b then 1 else 0
+  | Or -> if truthy a || truthy b then 1 else 0
+
+let rec eval env = function
+  | Const v -> v
+  | Var v -> env v
+  | Not e -> if truthy (eval env e) then 0 else 1
+  | Neg e -> -eval env e
+  | Binop (And, a, b) -> if truthy (eval env a) then (if truthy (eval env b) then 1 else 0) else 0
+  | Binop (Or, a, b) -> if truthy (eval env a) then 1 else if truthy (eval env b) then 1 else 0
+  | Binop (op, a, b) -> apply_binop op (eval env a) (eval env b)
+  | Ite (c, a, b) -> if truthy (eval env c) then eval env a else eval env b
+
+let vars e =
+  let seen = Hashtbl.create 8 in
+  let acc = ref [] in
+  let rec go = function
+    | Const _ -> ()
+    | Var v ->
+      if not (Hashtbl.mem seen v.name) then begin
+        Hashtbl.add seen v.name ();
+        acc := v :: !acc
+      end
+    | Not e | Neg e -> go e
+    | Binop (_, a, b) -> go a; go b
+    | Ite (c, a, b) -> go c; go a; go b
+  in
+  go e;
+  List.rev !acc
+
+let rec has_var = function
+  | Const _ -> false
+  | Var _ -> true
+  | Not e | Neg e -> has_var e
+  | Binop (_, a, b) -> has_var a || has_var b
+  | Ite (c, a, b) -> has_var c || has_var a || has_var b
+
+let rec subst f = function
+  | Const _ as e -> e
+  | Var v as e -> ( match f v with Some e' -> e' | None -> e)
+  | Not e -> Not (subst f e)
+  | Neg e -> Neg (subst f e)
+  | Binop (op, a, b) -> Binop (op, subst f a, subst f b)
+  | Ite (c, a, b) -> Ite (subst f c, subst f a, subst f b)
+
+let compare = Stdlib.compare
+let equal a b = compare a b = 0
+
+let binop_to_string = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "%"
+  | Eq -> "=="
+  | Ne -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | And -> "&&"
+  | Or -> "||"
+
+let prec = function
+  | Or -> 1
+  | And -> 2
+  | Eq | Ne | Lt | Le | Gt | Ge -> 3
+  | Add | Sub -> 4
+  | Mul | Div | Mod -> 5
+
+(* [friendly] renders var-vs-constant comparisons in domain vocabulary. *)
+let pp_gen ~friendly ppf e =
+  let rec go ppf ~ctx e =
+    match e with
+    | Const v -> Fmt.int ppf v
+    | Var v -> Fmt.string ppf v.name
+    | Not e -> Fmt.pf ppf "!%a" (fun ppf -> go ppf ~ctx:9) e
+    | Neg e -> Fmt.pf ppf "-%a" (fun ppf -> go ppf ~ctx:9) e
+    | Binop (((Eq | Ne | Lt | Le | Gt | Ge) as op), Var v, Const c) when friendly ->
+      Fmt.pf ppf "%s%s%s" v.name (binop_to_string op) (Dom.value_to_string v.dom c)
+    | Binop (((Eq | Ne | Lt | Le | Gt | Ge) as op), Const c, Var v) when friendly ->
+      Fmt.pf ppf "%s%s%s" (Dom.value_to_string v.dom c) (binop_to_string op) v.name
+    | Binop (op, a, b) ->
+      let p = prec op in
+      let body ppf () =
+        Fmt.pf ppf "%a %s %a"
+          (fun ppf -> go ppf ~ctx:p)
+          a (binop_to_string op)
+          (fun ppf -> go ppf ~ctx:(p + 1))
+          b
+      in
+      if p < ctx then Fmt.pf ppf "(%a)" body () else body ppf ()
+    | Ite (c, a, b) ->
+      Fmt.pf ppf "(%a ? %a : %a)"
+        (fun ppf -> go ppf ~ctx:0)
+        c
+        (fun ppf -> go ppf ~ctx:0)
+        a
+        (fun ppf -> go ppf ~ctx:0)
+        b
+  in
+  go ppf ~ctx:0 e
+
+let pp ppf e = pp_gen ~friendly:false ppf e
+let pp_friendly ppf e = pp_gen ~friendly:true ppf e
+let to_string e = Fmt.str "%a" pp e

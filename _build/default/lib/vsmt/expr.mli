@@ -1,0 +1,93 @@
+(** Symbolic expressions.
+
+    Violet reasons about path constraints: boolean combinations of comparisons
+    between configuration variables, workload (input) variables, and constants.
+    Expressions are integer-valued; booleans are encoded as 0/1, enums as
+    member indices (see {!Dom}).  This mirrors the view a symbolic-execution
+    engine has of the underlying program values. *)
+
+type origin =
+  | Config  (** the variable is a configuration parameter *)
+  | Workload  (** the variable is a workload-template (input) parameter *)
+  | Internal  (** engine-created symbol (e.g. a relaxed library return) *)
+
+type var = { name : string; dom : Dom.t; origin : origin }
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div  (** truncating; division by zero evaluates to 0, like a guarded path *)
+  | Mod
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | And
+  | Or
+
+type t =
+  | Const of int
+  | Var of var
+  | Not of t
+  | Neg of t
+  | Binop of binop * t * t
+  | Ite of t * t * t
+
+val var : ?origin:origin -> string -> Dom.t -> t
+val const : int -> t
+val bool_ : bool -> t
+val tru : t
+val fls : t
+
+(** Infix constructors.  [( ==. )], [( <. )], ... build comparisons;
+    [( &&. )]/[( ||. )] build conjunction/disjunction; arithmetic uses
+    [( +. )]-style names suffixed with [.] to avoid clashing with float ops. *)
+
+val ( ==. ) : t -> t -> t
+val ( <>. ) : t -> t -> t
+val ( <. ) : t -> t -> t
+val ( <=. ) : t -> t -> t
+val ( >. ) : t -> t -> t
+val ( >=. ) : t -> t -> t
+val ( &&. ) : t -> t -> t
+val ( ||. ) : t -> t -> t
+val ( +. ) : t -> t -> t
+val ( -. ) : t -> t -> t
+val ( *. ) : t -> t -> t
+val ( /. ) : t -> t -> t
+val ( %. ) : t -> t -> t
+val not_ : t -> t
+val ite : t -> t -> t -> t
+
+val apply_binop : binop -> int -> int -> int
+(** Concrete semantics of a binary operator (division/modulo by zero yield
+    0; comparisons and logical operators yield 0/1). *)
+
+val is_const : t -> int option
+(** [is_const e] is [Some v] when [e] is a literal constant. *)
+
+val eval : (var -> int) -> t -> int
+(** Concrete evaluation under an assignment.  Comparisons and logical operators
+    yield 0/1; [Div]/[Mod] by zero yield 0. *)
+
+val vars : t -> var list
+(** Distinct variables of [e], in first-occurrence order. *)
+
+val has_var : t -> bool
+
+val subst : (var -> t option) -> t -> t
+(** Capture-free substitution: replace each variable [v] with [f v] when it
+    returns [Some]. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : t Fmt.t
+val to_string : t -> string
+
+val pp_friendly : t Fmt.t
+(** Like {!pp} but renders comparisons of a variable against a constant using
+    the variable's domain vocabulary, e.g. [autocommit==ON] rather than
+    [autocommit==1].  Used for cost-table and report rendering (Table 1). *)

@@ -1,0 +1,114 @@
+let ( let* ) r f = Result.bind r f
+
+let dom_to_sexp = function
+  | Dom.Bool -> Sexp.atom "bool"
+  | Dom.Int_range { lo; hi } -> Sexp.list [ Sexp.atom "int"; Sexp.int lo; Sexp.int hi ]
+  | Dom.Enum { type_name; members } ->
+    Sexp.list
+      (Sexp.atom "enum" :: Sexp.atom type_name :: List.map Sexp.atom (Array.to_list members))
+
+let dom_of_sexp = function
+  | Sexp.Atom "bool" -> Ok Dom.Bool
+  | Sexp.List [ Sexp.Atom "int"; lo; hi ] -> begin
+    match Sexp.to_int lo, Sexp.to_int hi with
+    | Some lo, Some hi when lo <= hi -> Ok (Dom.int_range lo hi)
+    | _ -> Error "dom: malformed int range"
+  end
+  | Sexp.List (Sexp.Atom "enum" :: Sexp.Atom type_name :: members) -> begin
+    let names = List.filter_map Sexp.to_atom members in
+    if List.length names = List.length members && names <> [] then
+      Ok (Dom.enum type_name names)
+    else Error "dom: malformed enum"
+  end
+  | s -> Error ("dom: unrecognized " ^ Sexp.to_string s)
+
+let origin_to_atom = function
+  | Expr.Config -> "config"
+  | Expr.Workload -> "workload"
+  | Expr.Internal -> "internal"
+
+let origin_of_atom = function
+  | "config" -> Ok Expr.Config
+  | "workload" -> Ok Expr.Workload
+  | "internal" -> Ok Expr.Internal
+  | s -> Error ("var: unknown origin " ^ s)
+
+let var_to_sexp (v : Expr.var) =
+  Sexp.list
+    [ Sexp.atom "var"; Sexp.atom v.Expr.name; dom_to_sexp v.Expr.dom;
+      Sexp.atom (origin_to_atom v.Expr.origin) ]
+
+let var_of_sexp = function
+  | Sexp.List [ Sexp.Atom "var"; Sexp.Atom name; dom; Sexp.Atom origin ] ->
+    let* dom = dom_of_sexp dom in
+    let* origin = origin_of_atom origin in
+    Ok { Expr.name; dom; origin }
+  | s -> Error ("var: unrecognized " ^ Sexp.to_string s)
+
+let binop_atom = function
+  | Expr.Add -> "+"
+  | Expr.Sub -> "-"
+  | Expr.Mul -> "*"
+  | Expr.Div -> "/"
+  | Expr.Mod -> "%"
+  | Expr.Eq -> "=="
+  | Expr.Ne -> "!="
+  | Expr.Lt -> "<"
+  | Expr.Le -> "<="
+  | Expr.Gt -> ">"
+  | Expr.Ge -> ">="
+  | Expr.And -> "&&"
+  | Expr.Or -> "||"
+
+let binop_of_atom = function
+  | "+" -> Ok Expr.Add
+  | "-" -> Ok Expr.Sub
+  | "*" -> Ok Expr.Mul
+  | "/" -> Ok Expr.Div
+  | "%" -> Ok Expr.Mod
+  | "==" -> Ok Expr.Eq
+  | "!=" -> Ok Expr.Ne
+  | "<" -> Ok Expr.Lt
+  | "<=" -> Ok Expr.Le
+  | ">" -> Ok Expr.Gt
+  | ">=" -> Ok Expr.Ge
+  | "&&" -> Ok Expr.And
+  | "||" -> Ok Expr.Or
+  | s -> Error ("expr: unknown operator " ^ s)
+
+let rec expr_to_sexp = function
+  | Expr.Const v -> Sexp.list [ Sexp.atom "const"; Sexp.int v ]
+  | Expr.Var v -> var_to_sexp v
+  | Expr.Not e -> Sexp.list [ Sexp.atom "not"; expr_to_sexp e ]
+  | Expr.Neg e -> Sexp.list [ Sexp.atom "neg"; expr_to_sexp e ]
+  | Expr.Binop (op, a, b) ->
+    Sexp.list [ Sexp.atom (binop_atom op); expr_to_sexp a; expr_to_sexp b ]
+  | Expr.Ite (c, a, b) ->
+    Sexp.list [ Sexp.atom "ite"; expr_to_sexp c; expr_to_sexp a; expr_to_sexp b ]
+
+let rec expr_of_sexp = function
+  | Sexp.List [ Sexp.Atom "const"; v ] -> begin
+    match Sexp.to_int v with
+    | Some v -> Ok (Expr.Const v)
+    | None -> Error "expr: malformed const"
+  end
+  | Sexp.List (Sexp.Atom "var" :: _) as s ->
+    let* v = var_of_sexp s in
+    Ok (Expr.Var v)
+  | Sexp.List [ Sexp.Atom "not"; e ] ->
+    let* e = expr_of_sexp e in
+    Ok (Expr.Not e)
+  | Sexp.List [ Sexp.Atom "neg"; e ] ->
+    let* e = expr_of_sexp e in
+    Ok (Expr.Neg e)
+  | Sexp.List [ Sexp.Atom "ite"; c; a; b ] ->
+    let* c = expr_of_sexp c in
+    let* a = expr_of_sexp a in
+    let* b = expr_of_sexp b in
+    Ok (Expr.Ite (c, a, b))
+  | Sexp.List [ Sexp.Atom op; a; b ] ->
+    let* op = binop_of_atom op in
+    let* a = expr_of_sexp a in
+    let* b = expr_of_sexp b in
+    Ok (Expr.Binop (op, a, b))
+  | s -> Error ("expr: unrecognized " ^ Sexp.to_string s)

@@ -1,0 +1,115 @@
+type t = Atom of string | List of t list
+
+let atom s = Atom s
+let list l = List l
+let int n = Atom (string_of_int n)
+let float f = Atom (Printf.sprintf "%h" f)
+
+let needs_quoting s =
+  s = ""
+  || String.exists
+       (fun c -> c = ' ' || c = '(' || c = ')' || c = '"' || c = '\n' || c = '\t')
+       s
+
+let quote s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let rec to_string = function
+  | Atom s -> if needs_quoting s then quote s else s
+  | List l -> "(" ^ String.concat " " (List.map to_string l) ^ ")"
+
+exception Parse_error of string
+
+let of_string input =
+  let n = String.length input in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some input.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\n' | '\t' | '\r') ->
+      advance ();
+      skip_ws ()
+    | Some ';' ->
+      (* comment to end of line *)
+      while peek () <> None && peek () <> Some '\n' do advance () done;
+      skip_ws ()
+    | _ -> ()
+  in
+  let parse_quoted () =
+    advance ();
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> raise (Parse_error "unterminated string")
+      | Some '"' -> advance ()
+      | Some '\\' -> begin
+        advance ();
+        match peek () with
+        | Some 'n' -> Buffer.add_char buf '\n'; advance (); go ()
+        | Some c -> Buffer.add_char buf c; advance (); go ()
+        | None -> raise (Parse_error "dangling escape")
+      end
+      | Some c ->
+        Buffer.add_char buf c;
+        advance ();
+        go ()
+    in
+    go ();
+    Atom (Buffer.contents buf)
+  in
+  let parse_atom () =
+    let start = !pos in
+    let rec go () =
+      match peek () with
+      | Some (' ' | '\n' | '\t' | '\r' | '(' | ')' | '"') | None -> ()
+      | Some _ ->
+        advance ();
+        go ()
+    in
+    go ();
+    if !pos = start then raise (Parse_error "empty atom");
+    Atom (String.sub input start (!pos - start))
+  in
+  let rec parse_one () =
+    skip_ws ();
+    match peek () with
+    | None -> raise (Parse_error "unexpected end of input")
+    | Some '(' ->
+      advance ();
+      let items = ref [] in
+      let rec go () =
+        skip_ws ();
+        match peek () with
+        | Some ')' -> advance ()
+        | None -> raise (Parse_error "unterminated list")
+        | Some _ ->
+          items := parse_one () :: !items;
+          go ()
+      in
+      go ();
+      List (List.rev !items)
+    | Some '"' -> parse_quoted ()
+    | Some ')' -> raise (Parse_error "unexpected )")
+    | Some _ -> parse_atom ()
+  in
+  try
+    let s = parse_one () in
+    skip_ws ();
+    if !pos <> n then Error (Printf.sprintf "trailing input at %d" !pos) else Ok s
+  with Parse_error msg -> Error msg
+
+let to_int = function Atom s -> int_of_string_opt s | List _ -> None
+let to_float = function Atom s -> float_of_string_opt s | List _ -> None
+let to_atom = function Atom s -> Some s | List _ -> None

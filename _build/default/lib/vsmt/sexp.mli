@@ -1,0 +1,21 @@
+(** Minimal s-expressions, the on-disk syntax of impact models.
+
+    The checker is a standalone tool that consumes models produced by an
+    earlier analysis run (paper Section 4.7), so models must survive a
+    round-trip through a file.  Atoms are unquoted tokens or double-quoted
+    strings with [\\]-escapes. *)
+
+type t = Atom of string | List of t list
+
+val atom : string -> t
+val list : t list -> t
+val int : int -> t
+val float : float -> t
+
+val to_string : t -> string
+val of_string : string -> (t, string) Stdlib.result
+(** Parses exactly one s-expression (surrounding whitespace allowed). *)
+
+val to_int : t -> int option
+val to_float : t -> float option
+val to_atom : t -> string option

@@ -1,0 +1,118 @@
+open Expr
+
+let truthy v = v <> 0
+
+(* One rewriting pass, bottom-up.  Kept to local rules so each is obviously
+   semantics-preserving; the qcheck suite checks the composition. *)
+let rec simplify e =
+  match e with
+  | Const _ | Var _ -> e
+  | Not a -> begin
+    match simplify a with
+    | Const v -> Const (if truthy v then 0 else 1)
+    | Not b -> simplify_bool b
+    | Binop (Eq, x, y) -> Binop (Ne, x, y)
+    | Binop (Ne, x, y) -> Binop (Eq, x, y)
+    | Binop (Lt, x, y) -> Binop (Ge, x, y)
+    | Binop (Le, x, y) -> Binop (Gt, x, y)
+    | Binop (Gt, x, y) -> Binop (Le, x, y)
+    | Binop (Ge, x, y) -> Binop (Lt, x, y)
+    | a' -> Not a'
+  end
+  | Neg a -> begin
+    match simplify a with
+    | Const v -> Const (-v)
+    | Neg b -> b
+    | a' -> Neg a'
+  end
+  | Binop (op, a, b) -> simplify_binop op (simplify a) (simplify b)
+  | Ite (c, a, b) -> begin
+    match simplify c with
+    | Const v -> if truthy v then simplify a else simplify b
+    | c' ->
+      let a' = simplify a and b' = simplify b in
+      if equal a' b' then a' else Ite (c', a', b')
+  end
+
+(* [Not] distinguishes 0 from non-zero; double negation only collapses to the
+   operand when the operand is known boolean-valued (0/1). *)
+and simplify_bool e =
+  match e with
+  | Const v -> Const (if truthy v then 1 else 0)
+  | Not _ | Binop ((Eq | Ne | Lt | Le | Gt | Ge | And | Or), _, _) -> e
+  | Var v when Dom.equal v.dom Dom.bool -> e
+  | Var _ | Neg _ | Binop _ | Ite _ -> Not (Not e)
+
+and simplify_binop op a b =
+  match op, a, b with
+  | _, Const x, Const y -> Const (apply_binop op x y)
+  | Add, e, Const 0 | Add, Const 0, e -> e
+  | Sub, e, Const 0 -> e
+  | Sub, e1, e2 when equal e1 e2 -> Const 0
+  | Mul, _, Const 0 | Mul, Const 0, _ -> Const 0
+  | Mul, e, Const 1 | Mul, Const 1, e -> e
+  | Div, e, Const 1 -> e
+  | Div, Const 0, _ -> Const 0
+  | Mod, _, Const 1 -> Const 0
+  | And, e, Const c | And, Const c, e ->
+    if truthy c then simplify_bool e else Const 0
+  | Or, e, Const c | Or, Const c, e ->
+    if truthy c then Const 1 else simplify_bool e
+  | And, e1, e2 when equal e1 e2 -> simplify_bool e1
+  | Or, e1, e2 when equal e1 e2 -> simplify_bool e1
+  | Eq, e1, e2 when equal e1 e2 -> Const 1
+  | Ne, e1, e2 when equal e1 e2 -> Const 0
+  | Le, e1, e2 when equal e1 e2 -> Const 1
+  | Ge, e1, e2 when equal e1 e2 -> Const 1
+  | Lt, e1, e2 when equal e1 e2 -> Const 0
+  | Gt, e1, e2 when equal e1 e2 -> Const 0
+  (* domain-based comparison folding: x cmp c decided by x's range *)
+  | (Eq | Ne | Lt | Le | Gt | Ge), Var v, Const c -> fold_cmp op v c (Binop (op, a, b))
+  | (Eq | Ne | Lt | Le | Gt | Ge), Const c, Var v ->
+    fold_cmp (flip op) v c (Binop (op, a, b))
+  | _, _, _ -> Binop (op, a, b)
+
+and flip = function
+  | Lt -> Gt
+  | Le -> Ge
+  | Gt -> Lt
+  | Ge -> Le
+  | (Eq | Ne | Add | Sub | Mul | Div | Mod | And | Or) as op -> op
+
+and fold_cmp op v c keep =
+  let lo = Dom.lo v.dom and hi = Dom.hi v.dom in
+  let decided b = Const (if b then 1 else 0) in
+  match op with
+  | Eq -> if c < lo || c > hi then decided false else if lo = hi then decided (lo = c) else keep
+  | Ne -> if c < lo || c > hi then decided true else if lo = hi then decided (lo <> c) else keep
+  | Lt -> if hi < c then decided true else if lo >= c then decided false else keep
+  | Le -> if hi <= c then decided true else if lo > c then decided false else keep
+  | Gt -> if lo > c then decided true else if hi <= c then decided false else keep
+  | Ge -> if lo >= c then decided true else if hi < c then decided false else keep
+  | Add | Sub | Mul | Div | Mod | And | Or -> keep
+
+let rec flatten_and e acc =
+  match e with
+  | Binop (And, a, b) -> flatten_and a (flatten_and b acc)
+  | e -> e :: acc
+
+let simplify_conj cs =
+  let cs = List.concat_map (fun c -> flatten_and (simplify c) []) cs in
+  (* a conjunct and its (normalized) negation make the whole conjunction
+     false — catches complementary branch conditions over non-invertible
+     shapes (e.g. [x*y > c] with [x*y <= c]) that interval propagation
+     cannot decide *)
+  let negation_of c = simplify (Not c) in
+  let rec dedup seen = function
+    | [] -> List.rev seen
+    | c :: rest -> begin
+      match c with
+      | Const v when truthy v -> dedup seen rest
+      | Const _ -> [ fls ]
+      | c ->
+        if List.exists (equal (negation_of c)) seen then [ fls ]
+        else if List.exists (equal c) seen then dedup seen rest
+        else dedup (c :: seen) rest
+    end
+  in
+  dedup [] cs

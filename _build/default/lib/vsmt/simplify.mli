@@ -1,0 +1,14 @@
+(** Algebraic simplification of symbolic expressions.
+
+    The executor simplifies every expression it stores or branches on; this
+    keeps path constraints small and makes many branch conditions concrete
+    without ever calling the solver (e.g. after substituting a just-concretized
+    variable).  Simplification is semantics-preserving: for every assignment,
+    [eval env (simplify e) = eval env e] — a property-tested invariant. *)
+
+val simplify : Expr.t -> Expr.t
+
+val simplify_conj : Expr.t list -> Expr.t list
+(** Simplify a conjunction of constraints: simplifies each conjunct, flattens
+    nested [&&], drops duplicates and trivially-true conjuncts.  If any
+    conjunct is trivially false the result is [[Expr.fls]]. *)

@@ -1,0 +1,357 @@
+module I = Interval
+open Expr
+
+type model = (string * int) list
+type result = Sat of model | Unsat | Unknown
+
+module Smap = Map.Make (String)
+
+exception Empty_domain
+
+(* ------------------------------------------------------------------ *)
+(* Interval evaluation of expressions under an interval environment.  *)
+(* ------------------------------------------------------------------ *)
+
+let rec ieval env e =
+  match e with
+  | Const v -> I.point v
+  | Var v -> ( match Smap.find_opt v.name env with Some i -> i | None -> I.of_dom v.dom)
+  | Not e -> I.logical_not (nonzero_interval (ieval env e))
+  | Neg e -> I.neg (ieval env e)
+  | Binop (op, a, b) -> begin
+    let ia = ieval env a and ib = ieval env b in
+    match op with
+    | Add -> I.add ia ib
+    | Sub -> I.sub ia ib
+    | Mul -> I.mul ia ib
+    | Div -> I.div ia ib
+    | Mod -> I.rem ia ib
+    | Eq -> I.eq_result ia ib
+    | Ne -> I.ne_result ia ib
+    | Lt -> I.cmp_result ( < ) ia ib
+    | Le -> I.cmp_result ( <= ) ia ib
+    | Gt -> I.cmp_result ( > ) ia ib
+    | Ge -> I.cmp_result ( >= ) ia ib
+    | And -> I.logical_and (nonzero_interval ia) (nonzero_interval ib)
+    | Or -> I.logical_or (nonzero_interval ia) (nonzero_interval ib)
+  end
+  | Ite (c, a, b) ->
+    let ic = nonzero_interval (ieval env c) in
+    if I.equal ic (I.point 1) then ieval env a
+    else if I.equal ic (I.point 0) then ieval env b
+    else I.hull (ieval env a) (ieval env b)
+
+(* truthiness of an integer interval as a 0/1 interval *)
+and nonzero_interval i =
+  if i.I.lo > 0 || i.I.hi < 0 then I.point 1
+  else if i.I.lo = 0 && i.I.hi = 0 then I.point 0
+  else I.make 0 1
+
+(* ------------------------------------------------------------------ *)
+(* Backward refinement: require [e] truthy (or falsy) and narrow vars. *)
+(* ------------------------------------------------------------------ *)
+
+let refine_var env v want =
+  let cur = match Smap.find_opt v.name env with Some i -> i | None -> I.of_dom v.dom in
+  match I.inter cur want with
+  | None -> raise Empty_domain
+  | Some i -> Smap.add v.name i env
+
+(* Require expression [e] to take a value within [want].  Propagates through
+   the invertible shapes that branch conditions actually use: variables,
+   var +- const, var * const, and negation. *)
+let rec require env e want =
+  match e with
+  | Const v -> if I.mem v want then env else raise Empty_domain
+  | Var v -> refine_var env v want
+  | Neg a -> require env a (I.neg want)
+  | Binop (Add, a, Const c) -> require env a (I.sub want (I.point c))
+  | Binop (Add, Const c, a) -> require env a (I.sub want (I.point c))
+  | Binop (Sub, a, Const c) -> require env a (I.add want (I.point c))
+  | Binop (Sub, Const c, a) -> require env a (I.sub (I.point c) want)
+  | Binop (Mul, a, Const c) when c > 0 ->
+    (* a*c in [lo..hi]  =>  a in [ceil(lo/c) .. floor(hi/c)] *)
+    let lo = if want.I.lo >= 0 then (want.I.lo + c - 1) / c else want.I.lo / c in
+    let hi = if want.I.hi >= 0 then want.I.hi / c else (want.I.hi - c + 1) / c in
+    if lo > hi then raise Empty_domain else require env a (I.make lo hi)
+  | Binop (Mul, Const c, a) when c > 0 -> require env (Binop (Mul, a, Const c)) want
+  | Not _ | Binop _ | Ite _ -> env
+
+let rec assume_true env e =
+  match e with
+  | Const v -> if v <> 0 then env else raise Empty_domain
+  | Var v ->
+    let d = I.of_dom v.dom in
+    (* v <> 0: representable when the domain is non-negative or non-positive *)
+    if d.I.lo >= 0 then refine_var env v (I.make (max 1 d.I.lo) (max 1 d.I.hi))
+    else if d.I.hi <= 0 then refine_var env v (I.make (min (-1) d.I.lo) (min (-1) d.I.hi))
+    else env
+  | Not a -> assume_false env a
+  | Binop (And, a, b) -> assume_true (assume_true env a) b
+  | Binop (Or, a, b) -> begin
+    (* refine only when one side is already impossible *)
+    match nonzero_interval (ieval env a), nonzero_interval (ieval env b) with
+    | { I.hi = 0; _ }, _ -> assume_true env b
+    | _, { I.hi = 0; _ } -> assume_true env a
+    | _, _ -> env
+  end
+  | Binop (Eq, a, b) ->
+    let env = require env a (ieval env b) in
+    require env b (ieval env a)
+  | Binop (Ne, a, b) -> assume_ne env a b
+  | Binop (Lt, a, b) ->
+    let ib = ieval env b and ia = ieval env a in
+    let env = require env a (I.make I.neg_inf (ib.I.hi - 1)) in
+    require env b (I.make (ia.I.lo + 1) I.pos_inf)
+  | Binop (Le, a, b) ->
+    let ib = ieval env b and ia = ieval env a in
+    let env = require env a (I.make I.neg_inf ib.I.hi) in
+    require env b (I.make ia.I.lo I.pos_inf)
+  | Binop (Gt, a, b) -> assume_true env (Binop (Lt, b, a))
+  | Binop (Ge, a, b) -> assume_true env (Binop (Le, b, a))
+  | Neg _ | Binop ((Add | Sub | Mul | Div | Mod), _, _) ->
+    (* arithmetic used as a condition: truthy = nonzero; no useful refinement *)
+    if I.equal (nonzero_interval (ieval env e)) (I.point 0) then raise Empty_domain else env
+  | Ite (c, a, b) -> begin
+    match nonzero_interval (ieval env c) with
+    | { I.lo = 1; _ } -> assume_true env a
+    | { I.hi = 0; _ } -> assume_true env b
+    | _ -> env
+  end
+
+and assume_false env e =
+  match e with
+  | Const v -> if v = 0 then env else raise Empty_domain
+  | Var v -> refine_var env v (I.point 0)
+  | Not a -> assume_true env a
+  | Binop (Or, a, b) -> assume_false (assume_false env a) b
+  | Binop (And, a, b) -> begin
+    match nonzero_interval (ieval env a), nonzero_interval (ieval env b) with
+    | { I.lo = 1; _ }, _ -> assume_false env b
+    | _, { I.lo = 1; _ } -> assume_false env a
+    | _, _ -> env
+  end
+  | Binop (Eq, a, b) -> assume_ne env a b
+  | Binop (Ne, a, b) -> assume_true env (Binop (Eq, a, b))
+  | Binop (Lt, a, b) -> assume_true env (Binop (Ge, a, b))
+  | Binop (Le, a, b) -> assume_true env (Binop (Gt, a, b))
+  | Binop (Gt, a, b) -> assume_true env (Binop (Le, a, b))
+  | Binop (Ge, a, b) -> assume_true env (Binop (Lt, a, b))
+  | Neg _ | Binop ((Add | Sub | Mul | Div | Mod), _, _) -> require env e (I.point 0)
+  | Ite (c, a, b) -> begin
+    match nonzero_interval (ieval env c) with
+    | { I.lo = 1; _ } -> assume_false env a
+    | { I.hi = 0; _ } -> assume_false env b
+    | _ -> env
+  end
+
+and assume_ne env a b =
+  let shave env e other =
+    match e with
+    | Var v when I.is_point other ->
+      let c = other.I.lo in
+      let cur = match Smap.find_opt v.name env with Some i -> i | None -> I.of_dom v.dom in
+      if I.is_point cur && cur.I.lo = c then raise Empty_domain
+      else if cur.I.lo = c then refine_var env v (I.make (c + 1) cur.I.hi)
+      else if cur.I.hi = c then refine_var env v (I.make cur.I.lo (c - 1))
+      else env
+    | _ -> env
+  in
+  let env = shave env a (ieval env b) in
+  shave env b (ieval env a)
+
+(* ------------------------------------------------------------------ *)
+(* Search                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Constants a variable is compared against — the decision points of the
+   constraint set.  Branching on these (+-1) is complete for conjunctions of
+   single-variable linear comparisons. *)
+let candidate_constants cs =
+  let tbl : (string, int list ref) Hashtbl.t = Hashtbl.create 16 in
+  let add v c =
+    let r =
+      match Hashtbl.find_opt tbl v.name with
+      | Some r -> r
+      | None ->
+        let r = ref [] in
+        Hashtbl.add tbl v.name r;
+        r
+    in
+    r := (c - 1) :: c :: (c + 1) :: !r
+  in
+  let rec scan = function
+    | Const _ -> ()
+    | Var _ -> ()
+    | Not e | Neg e -> scan e
+    | Binop (_, a, b) -> begin
+      scan a;
+      scan b;
+      match a, b with
+      | Var v, Const c | Const c, Var v -> add v c
+      | Binop (Add, Var v, Const k), Const c | Const c, Binop (Add, Var v, Const k) ->
+        add v (c - k)
+      | Binop (Sub, Var v, Const k), Const c | Const c, Binop (Sub, Var v, Const k) ->
+        add v (c + k)
+      | _, _ -> ()
+    end
+    | Ite (c, a, b) -> scan c; scan a; scan b
+  in
+  List.iter scan cs;
+  tbl
+
+let propagate env cs =
+  let env = List.fold_left assume_true env cs in
+  env
+
+let fixpoint env cs =
+  let rec go env n =
+    if n = 0 then env
+    else
+      let env' = propagate env cs in
+      if Smap.equal I.equal env env' then env else go env' (n - 1)
+  in
+  go (propagate env cs) 8
+
+let check ?(max_nodes = 20_000) cs =
+  let cs = Simplify.simplify_conj cs in
+  match cs with
+  | [ Const 0 ] -> Unsat
+  | _ -> begin
+    let all_vars =
+      let tbl = Hashtbl.create 16 in
+      List.iter
+        (fun c -> List.iter (fun v -> Hashtbl.replace tbl v.name v) (vars c))
+        cs;
+      Hashtbl.fold (fun _ v acc -> v :: acc) tbl []
+    in
+    let cands = candidate_constants cs in
+    let budget = ref max_nodes in
+    (* set when a large domain was sampled rather than enumerated: an
+       exhausted search then means Unknown, not Unsat *)
+    let sampled = ref false in
+    (* a model maps every constrained var; evaluate conjuncts to verify *)
+    let verify model =
+      let lookup v =
+        match List.assoc_opt v.name model with Some x -> x | None -> Dom.lo v.dom
+      in
+      List.for_all (fun c -> eval lookup c <> 0) cs
+    in
+    let exception Found of model in
+    let rec search env cs =
+      if !budget <= 0 then raise Exit;
+      decr budget;
+      let env = fixpoint env cs in
+      (* drop conjuncts already decided true; fail on decided false *)
+      let remaining =
+        List.filter
+          (fun c ->
+            match nonzero_interval (ieval env c) with
+            | { I.lo = 1; _ } -> false
+            | { I.hi = 0; _ } -> raise Empty_domain
+            | _ -> true)
+          cs
+      in
+      if remaining = [] then begin
+        let model =
+          List.map
+            (fun v ->
+              let i = match Smap.find_opt v.name env with Some i -> i | None -> I.of_dom v.dom in
+              v.name, i.I.lo)
+            all_vars
+        in
+        if verify model then raise (Found model)
+        (* intervals said "true for all corners" yet the point model failed:
+           cannot happen for our decided-true criterion, but stay safe *)
+      end;
+      if remaining <> [] then begin
+        (* pick the undecided variable with the fewest candidate values *)
+        let undecided =
+          List.filter
+            (fun v ->
+              let i = match Smap.find_opt v.name env with Some i -> i | None -> I.of_dom v.dom in
+              not (I.is_point i)
+              && List.exists (fun c -> List.exists (fun w -> w.name = v.name) (vars c)) remaining)
+            all_vars
+        in
+        match undecided with
+        | [] ->
+          (* all vars pinned but conjuncts undecided (non-invertible shapes):
+             evaluate the point model directly *)
+          let model =
+            List.map
+              (fun v ->
+                let i =
+                  match Smap.find_opt v.name env with Some i -> i | None -> I.of_dom v.dom
+                in
+                v.name, i.I.lo)
+              all_vars
+          in
+          if verify model then raise (Found model)
+        | _ :: _ ->
+          let score v =
+            let i = match Smap.find_opt v.name env with Some i -> i | None -> I.of_dom v.dom in
+            min (I.size i) 1024
+          in
+          let v =
+            List.fold_left (fun best v -> if score v < score best then v else best)
+              (List.hd undecided) (List.tl undecided)
+          in
+          let i = match Smap.find_opt v.name env with Some i -> i | None -> I.of_dom v.dom in
+          let values =
+            if I.size i <= 64 then List.init (I.size i) (fun k -> i.I.lo + k)
+            else begin
+              sampled := true;
+              let extra =
+                match Hashtbl.find_opt cands v.name with Some r -> !r | None -> []
+              in
+              let mid = i.I.lo + ((i.I.hi - i.I.lo) / 2) in
+              let raw = i.I.lo :: i.I.hi :: mid :: (i.I.lo + 1) :: (i.I.hi - 1) :: extra in
+              List.sort_uniq Int.compare (List.filter (fun x -> I.mem x i) raw)
+            end
+          in
+          List.iter
+            (fun x ->
+              try
+                let env' = Smap.add v.name (I.point x) env in
+                let sub =
+                  List.map
+                    (Expr.subst (fun w -> if w.name = v.name then Some (Const x) else None))
+                    remaining
+                in
+                search env' (Simplify.simplify_conj sub)
+              with Empty_domain -> ())
+            values
+      end
+    in
+    try
+      search Smap.empty cs;
+      if !sampled then Unknown else Unsat
+    with
+    | Found m -> Sat m
+    | Empty_domain -> Unsat
+    | Exit -> Unknown
+  end
+
+let is_feasible ?max_nodes cs =
+  match check ?max_nodes cs with Sat _ | Unknown -> true | Unsat -> false
+
+let model_value m name = List.assoc_opt name m
+
+let complete ~vars m =
+  let extra =
+    List.filter_map
+      (fun (v : Expr.var) ->
+        if List.mem_assoc v.name m then None else Some (v.name, Dom.lo v.dom))
+      vars
+  in
+  m @ extra
+
+let eval_in m e =
+  let exception Missing in
+  try
+    Some
+      (eval
+         (fun v -> match List.assoc_opt v.name m with Some x -> x | None -> raise Missing)
+         e)
+  with Missing -> None

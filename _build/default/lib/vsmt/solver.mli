@@ -1,0 +1,35 @@
+(** Satisfiability and model generation for path constraints.
+
+    Every symbolic variable Violet creates ranges over a finite domain
+    ({!Dom}), and path constraints are boolean combinations of (mostly linear)
+    comparisons — the branch conditions of systems code.  The solver combines
+    interval propagation with candidate-seeded enumeration: it narrows each
+    variable's interval from the constraints, then branches on the constants
+    the constraints actually compare against.  This is complete for the
+    constraint shapes the executor produces and fast enough to be called on
+    every fork.
+
+    A result of [Unknown] (search budget exhausted) is treated by callers as
+    "possibly feasible", which over-approximates the explored path set — the
+    safe direction for a detector. *)
+
+type model = (string * int) list
+(** Assignment from variable name to integer encoding. *)
+
+type result = Sat of model | Unsat | Unknown
+
+val check : ?max_nodes:int -> Expr.t list -> result
+(** Decide the conjunction of the given constraints.  [max_nodes] bounds the
+    number of branching steps (default 20_000). *)
+
+val is_feasible : ?max_nodes:int -> Expr.t list -> bool
+(** True when {!check} returns [Sat] or [Unknown]. *)
+
+val model_value : model -> string -> int option
+
+val complete : vars:Expr.var list -> model -> model
+(** Extend a model with default values (domain minimum) for the listed
+    variables that the solver did not need to pin. *)
+
+val eval_in : model -> Expr.t -> int option
+(** Evaluate an expression under a model; [None] if a variable is missing. *)

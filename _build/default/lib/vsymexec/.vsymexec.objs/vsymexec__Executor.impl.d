@@ -1,0 +1,1 @@
+lib/vsymexec/executor.ml: List Option Printf Random Signals String Sym_state Sym_store Unix Vir Vruntime Vsmt

@@ -1,0 +1,1 @@
+lib/vsymexec/executor.mli: Sym_state Vir Vruntime Vsmt

@@ -1,0 +1,1 @@
+lib/vsymexec/signals.mli: Fmt

@@ -1,0 +1,1 @@
+lib/vsymexec/sym_state.ml: Fmt List Signals Sym_store Vir Vruntime Vsmt

@@ -1,0 +1,1 @@
+lib/vsymexec/sym_state.mli: Fmt Signals Sym_store Vir Vruntime Vsmt

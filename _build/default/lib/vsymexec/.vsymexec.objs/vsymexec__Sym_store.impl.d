@@ -1,0 +1,1 @@
+lib/vsymexec/sym_store.ml: List Map String Vsmt

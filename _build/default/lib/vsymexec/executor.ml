@@ -1,0 +1,602 @@
+module E = Vsmt.Expr
+module Ast = Vir.Ast
+module S = Sym_state
+
+type policy = Dfs | Bfs | Random_path of int
+
+type noise = {
+  jitter : float;
+  signal_delay_prob : float;
+  signal_delay_us : float;
+  seed : int;
+}
+
+type options = {
+  env : Vruntime.Hw_env.t;
+  sym_configs : (string * E.var) list;
+  concrete_config : string -> int;
+  sym_workloads : (string * E.var) list;
+  concrete_workload : string -> int;
+  max_states : int;
+  max_loop_unroll : int;
+  fuel : int;
+  policy : policy;
+  state_switching : bool;
+  time_slice : int;
+  solver_max_nodes : int;
+  noise : noise option;
+  enable_tracer : bool;
+  relaxation_rules : bool;
+  fault_injection : bool;
+}
+
+let default_options ?(env = Vruntime.Hw_env.hdd_server) ~config ~workload () =
+  {
+    env;
+    sym_configs = [];
+    concrete_config = config;
+    sym_workloads = [];
+    concrete_workload = workload;
+    max_states = 512;
+    max_loop_unroll = 48;
+    fuel = 200_000;
+    policy = Dfs;
+    state_switching = false;
+    time_slice = 64;
+    solver_max_nodes = 4_000;
+    noise = None;
+    enable_tracer = true;
+    relaxation_rules = true;
+    fault_injection = false;
+  }
+
+type stats = {
+  states_created : int;
+  states_terminated : int;
+  states_killed : int;
+  forks : int;
+  solver_calls : int;
+  concretizations : int;
+  wall_time_s : float;
+}
+
+type result = { states : Sym_state.t list; stats : stats }
+
+let sym_config_var reg name =
+  let p = Vruntime.Config_registry.find reg name in
+  name, Vruntime.Config_registry.sym_var p
+
+let sym_workload_var tmpl name =
+  let p = Vruntime.Workload.find_param tmpl name in
+  name, Vruntime.Workload.sym_var p
+
+(* ------------------------------------------------------------------ *)
+
+type engine = {
+  opts : options;
+  program : Ast.program;
+  mutable next_state_id : int;
+  mutable next_symbol : int;
+  mutable n_forks : int;
+  mutable n_solver_calls : int;
+  mutable n_concretizations : int;
+  rng : Random.State.t option;
+  sched_rng : Random.State.t option;
+}
+
+let fresh_symbol eng prefix =
+  let n = eng.next_symbol in
+  eng.next_symbol <- n + 1;
+  {
+    E.name = Printf.sprintf "%s#%d" prefix n;
+    dom = Vsmt.Dom.int_range (-1048576) 1048576;
+    origin = E.Internal;
+  }
+
+let jittered eng us =
+  match eng.rng, eng.opts.noise with
+  | Some rng, Some n when n.jitter > 0. ->
+    us *. (1. +. (n.jitter *. ((Random.State.float rng 2.) -. 1.)))
+  | _ -> us
+
+(* Charge a cost to a state: logical metrics verbatim, latency inflated by
+   the engine overhead (and jitter) on the [clock] used for timestamps. *)
+let charge eng (st : S.t) ?(serial = false) (c : Vruntime.Cost.t) =
+  let lat = jittered eng c.Vruntime.Cost.latency_us in
+  let c = { c with Vruntime.Cost.latency_us = lat } in
+  {
+    st with
+    S.cost = Vruntime.Cost.add st.S.cost c;
+    serial_us = (st.S.serial_us +. if serial then lat else 0.);
+    clock = st.S.clock +. (lat *. eng.opts.env.Vruntime.Hw_env.symexec_overhead);
+  }
+
+let emit eng (st : S.t) kind fname =
+  if (not st.S.tracing) || not eng.opts.enable_tracer then st
+  else begin
+    let ts =
+      match kind, eng.rng, eng.opts.noise with
+      | Signals.Ret _, Some rng, Some n
+        when n.signal_delay_prob > 0. && Random.State.float rng 1.0 < n.signal_delay_prob ->
+        st.S.clock +. n.signal_delay_us
+      | _ -> st.S.clock
+    in
+    let r = { Signals.kind; fname; ts; thread = st.S.thread; cid = st.S.next_cid } in
+    {
+      st with
+      S.signals = r :: st.S.signals;
+      next_cid = st.S.next_cid + 1;
+      clock = st.S.clock +. eng.opts.env.Vruntime.Hw_env.tracer_signal_us;
+    }
+  end
+
+let is_feasible eng pc =
+  eng.n_solver_calls <- eng.n_solver_calls + 1;
+  Vsmt.Solver.is_feasible ~max_nodes:eng.opts.solver_max_nodes pc
+
+let model_of eng pc =
+  eng.n_solver_calls <- eng.n_solver_calls + 1;
+  match Vsmt.Solver.check ~max_nodes:eng.opts.solver_max_nodes pc with
+  | Vsmt.Solver.Sat m -> Some m
+  | Vsmt.Solver.Unsat | Vsmt.Solver.Unknown -> None
+
+(* ------------------------------------------------------------------ *)
+(* Symbolic evaluation of IR expressions.                              *)
+(* ------------------------------------------------------------------ *)
+
+exception Stuck of string
+
+let rec sym_eval eng (st : S.t) (e : Ast.expr) : E.t =
+  match e with
+  | Ast.Const v -> E.Const v
+  | Ast.Config n -> begin
+    match List.assoc_opt n eng.opts.sym_configs with
+    | Some v -> E.Var v
+    | None -> E.Const (eng.opts.concrete_config n)
+  end
+  | Ast.Workload n -> begin
+    match List.assoc_opt n eng.opts.sym_workloads with
+    | Some v -> E.Var v
+    | None -> E.Const (eng.opts.concrete_workload n)
+  end
+  | Ast.Local n -> begin
+    match Sym_store.get_local st.S.store n with
+    | Some v -> v
+    | None -> raise (Stuck (Printf.sprintf "uninitialized local %s" n))
+  end
+  | Ast.Global n -> begin
+    match Sym_store.get_global st.S.store n with
+    | Some v -> v
+    | None -> raise (Stuck (Printf.sprintf "unknown global %s" n))
+  end
+  | Ast.Not e -> E.Not (sym_eval eng st e)
+  | Ast.Neg e -> E.Neg (sym_eval eng st e)
+  | Ast.Binop (op, a, b) -> E.Binop (op, sym_eval eng st a, sym_eval eng st b)
+  | Ast.Ite (c, a, b) -> E.Ite (sym_eval eng st c, sym_eval eng st a, sym_eval eng st b)
+
+let sym_eval_simpl eng st e = Vsmt.Simplify.simplify (sym_eval eng st e)
+
+(* Concretize a symbolic expression under the current path condition.
+   Returns the concrete value and, per the consistency model, pins every
+   symbolic variable occurring in [e]: adds [var == value] constraints
+   (unless [add_constraint] is false, the relaxation-rule case) and
+   substitutes the pinned variables through the store (concretizeAll). *)
+let concretize eng (st : S.t) ~add_constraint e =
+  eng.n_concretizations <- eng.n_concretizations + 1;
+  match E.is_const e with
+  | Some v -> v, st
+  | None -> begin
+    let vars = E.vars e in
+    match model_of eng (st.S.pc @ [ E.tru ]) with
+    | None ->
+      (* path condition infeasible or unknown: fall back to domain minima *)
+      let m = Vsmt.Solver.complete ~vars [] in
+      (match Vsmt.Solver.eval_in m e with Some v -> v | None -> 0), st
+    | Some m ->
+      let m = Vsmt.Solver.complete ~vars m in
+      let v = match Vsmt.Solver.eval_in m e with Some v -> v | None -> 0 in
+      let pinned =
+        List.filter_map
+          (fun (var : E.var) ->
+            match Vsmt.Solver.model_value m var.E.name with
+            | Some x -> Some (var, x)
+            | None -> None)
+          vars
+      in
+      let subst (w : E.var) =
+        List.find_map
+          (fun ((var : E.var), x) ->
+            if String.equal var.E.name w.E.name then Some (E.Const x) else None)
+          pinned
+      in
+      let store = Sym_store.substitute_everywhere st.S.store subst in
+      let pc =
+        if add_constraint then
+          Vsmt.Simplify.simplify_conj
+            (st.S.pc @ List.map (fun ((vr : E.var), x) -> E.Binop (E.Eq, E.Var vr, E.Const x)) pinned)
+        else st.S.pc
+      in
+      v, { st with S.store; pc }
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Stepping                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type step_result =
+  | One of S.t
+  | Two of S.t * S.t  (** fork *)
+  | Done of S.t  (** reached a terminal status *)
+
+let kill st reason = Done { st with S.status = S.Killed reason }
+
+let fresh_id eng =
+  let id = eng.next_state_id in
+  eng.next_state_id <- id + 1;
+  id
+
+(* Unwind the work stack to the nearest [Kret]; emit the return signal and
+   bind the returned value.  [None] work means the entry returned. *)
+let do_return eng (st : S.t) value =
+  let rec unwind work =
+    match work with
+    | [] -> None
+    | S.Kret { dest; fname; ret_addr } :: rest -> Some (dest, fname, ret_addr, rest)
+    | (S.Kstmts _ | S.Kloop _) :: rest -> unwind rest
+  in
+  match unwind st.S.work with
+  | None -> Done { st with S.status = S.Terminated value; work = [] }
+  | Some (dest, fname, ret_addr, rest) ->
+    let st = emit eng st (Signals.Ret { ret_addr }) fname in
+    let st = { st with S.store = Sym_store.pop_frame st.S.store; work = rest } in
+    if rest = [] then
+      (* the entry function returned: keep its value as the path's result *)
+      Done { st with S.status = S.Terminated value }
+    else begin
+      let st =
+        match dest with
+        | Some d ->
+          let v = match value with Some v -> v | None -> E.Const 0 in
+          { st with S.store = Sym_store.set_local st.S.store d v }
+        | None -> st
+      in
+      One st
+    end
+
+let enter_function eng (st : S.t) ~dest ~ret_addr (f : Ast.func) args =
+  let st = emit eng st (Signals.Call { eip = f.Ast.addr; ret_addr }) f.Ast.fname in
+  let store = Sym_store.push_frame st.S.store in
+  let store =
+    List.fold_left
+      (fun store (i, name) ->
+        let v = try List.nth args i with Failure _ | Invalid_argument _ -> E.Const 0 in
+        Sym_store.set_local store name v)
+      store
+      (List.mapi (fun i n -> i, n) f.Ast.params)
+  in
+  {
+    st with
+    S.store;
+    work = S.Kstmts (Ast.func_body f) :: S.Kret { dest; fname = f.Ast.fname; ret_addr } :: st.S.work;
+  }
+
+let call_library eng (st : S.t) ~dest ~ret_addr (f : Ast.func) lib args =
+  let st = emit eng st (Signals.Call { eip = f.Ast.addr; ret_addr }) f.Ast.fname in
+  let effect, semantics, cost =
+    match (lib : Ast.fkind) with
+    | Ast.Library { effect; semantics; cost } -> effect, semantics, cost
+    | Ast.Defined _ -> assert false
+  in
+  let st =
+    List.fold_left (fun st (p, m) -> charge eng st (Vruntime.Hw_env.cost_of_prim eng.opts.env p m)) st cost
+  in
+  let all_const = List.for_all (fun a -> E.is_const a <> None) args in
+  let ret_value, st =
+    if all_const then begin
+      let vals = List.map (fun a -> match E.is_const a with Some v -> v | None -> 0) args in
+      E.Const (semantics vals), st
+    end
+    else begin
+      let effective = if eng.opts.relaxation_rules then effect else Ast.Effectful in
+      match effective with
+      | Ast.Pure ->
+        (* relaxation rule 1: no side effect; keep args symbolic, return a
+           fresh symbol, no concretization constraint *)
+        E.Var (fresh_symbol eng f.Ast.fname), st
+      | Ast.Benign | Ast.Effectful ->
+        let add_constraint = effective = Ast.Effectful in
+        let vals, st =
+          List.fold_left
+            (fun (vals, st) a ->
+              let v, st = concretize eng st ~add_constraint a in
+              vals @ [ v ], st)
+            ([], st) args
+        in
+        E.Const (semantics vals), st
+    end
+  in
+  let st = emit eng st (Signals.Ret { ret_addr }) f.Ast.fname in
+  match dest with
+  | Some d -> { st with S.store = Sym_store.set_local st.S.store d ret_value }
+  | None -> st
+
+let exec_branch eng (st : S.t) cond ~on_true ~on_false =
+  let c = sym_eval_simpl eng st cond in
+  match E.is_const c with
+  | Some v -> One (if v <> 0 then on_true st else on_false st)
+  | None -> begin
+    let pc_true = Vsmt.Simplify.simplify_conj (st.S.pc @ [ c ]) in
+    let pc_false = Vsmt.Simplify.simplify_conj (st.S.pc @ [ E.Not c ]) in
+    let can_fork = eng.next_state_id < eng.opts.max_states in
+    let t_ok = is_feasible eng pc_true in
+    let f_ok = is_feasible eng pc_false in
+    match t_ok, f_ok with
+    | true, false ->
+      One (on_true { st with S.pc = pc_true; branch_trail = c :: st.S.branch_trail })
+    | false, true ->
+      One (on_false { st with S.pc = pc_false; branch_trail = E.Not c :: st.S.branch_trail })
+    | false, false -> kill st "infeasible path condition"
+    | true, true ->
+      if can_fork then begin
+        eng.n_forks <- eng.n_forks + 1;
+        let st_t =
+          {
+            st with
+            S.id = fresh_id eng;
+            parent = Some st.S.id;
+            pc = pc_true;
+            branch_trail = c :: st.S.branch_trail;
+          }
+        in
+        let st_f =
+          {
+            st with
+            S.id = fresh_id eng;
+            parent = Some st.S.id;
+            pc = pc_false;
+            branch_trail = E.Not c :: st.S.branch_trail;
+          }
+        in
+        Two (on_true st_t, on_false st_f)
+      end
+      else
+        (* state cap reached: concretize the branch like a silent
+           concretization and continue down one side *)
+        One (on_true { st with S.pc = pc_true; branch_trail = c :: st.S.branch_trail })
+  end
+
+let step eng (st : S.t) : step_result =
+  if st.S.fuel <= 0 then kill st "out of fuel"
+  else begin
+    let st = { st with S.fuel = st.S.fuel - 1 } in
+    let st = charge eng st (Vruntime.Hw_env.statement_cost eng.opts.env) in
+    match st.S.work with
+    | [] -> Done { st with S.status = S.Terminated None }
+    | S.Kret _ :: _ -> do_return eng st None  (* function body fell through *)
+    | S.Kloop { cond; body; iter } :: rest ->
+      if iter >= eng.opts.max_loop_unroll then begin
+        (* force loop exit if feasible, else kill: bounded unrolling *)
+        let c = sym_eval_simpl eng st cond in
+        match E.is_const c with
+        | Some v when v <> 0 -> kill st "loop unroll limit"
+        | Some _ -> One { st with S.work = rest }
+        | None ->
+          let pc_false = Vsmt.Simplify.simplify_conj (st.S.pc @ [ E.Not c ]) in
+          if is_feasible eng pc_false then One { st with S.pc = pc_false; work = rest }
+          else kill st "loop unroll limit"
+      end
+      else
+        exec_branch eng st cond
+          ~on_true:(fun st ->
+            {
+              st with
+              S.work = S.Kstmts body :: S.Kloop { cond; body; iter = iter + 1 } :: rest;
+            })
+          ~on_false:(fun st -> { st with S.work = rest })
+    | S.Kstmts [] :: rest -> One { st with S.work = rest }
+    | S.Kstmts (stmt :: tail) :: rest -> begin
+      let st = { st with S.work = S.Kstmts tail :: rest } in
+      match stmt with
+      | Ast.Assign (Ast.Lv_local n, e) ->
+        let v = sym_eval_simpl eng st e in
+        One { st with S.store = Sym_store.set_local st.S.store n v }
+      | Ast.Assign (Ast.Lv_global n, e) ->
+        let v = sym_eval_simpl eng st e in
+        One { st with S.store = Sym_store.set_global st.S.store n v }
+      | Ast.If (c, th, el) ->
+        exec_branch eng st c
+          ~on_true:(fun st -> { st with S.work = S.Kstmts th :: st.S.work })
+          ~on_false:(fun st -> { st with S.work = S.Kstmts el :: st.S.work })
+      | Ast.While (c, body) ->
+        One { st with S.work = S.Kloop { cond = c; body; iter = 0 } :: st.S.work }
+      | Ast.Call { dest; fn; args; ret_addr } -> begin
+        let f = Ast.find_func eng.program fn in
+        let args = List.map (sym_eval_simpl eng st) args in
+        match f.Ast.kind with
+        | Ast.Defined _ -> One (enter_function eng st ~dest ~ret_addr f args)
+        | Ast.Library _ ->
+          let ok = call_library eng st ~dest ~ret_addr f f.Ast.kind args in
+          (* Section 8: specious configuration used only in error handling
+             needs faults to surface; fault injection forks a state where
+             the library call fails with -1 *)
+          if eng.opts.fault_injection && dest <> None && eng.next_state_id < eng.opts.max_states
+          then begin
+            eng.n_forks <- eng.n_forks + 1;
+            let failed =
+              let st = emit eng st (Signals.Call { eip = f.Ast.addr; ret_addr }) f.Ast.fname in
+              let st = emit eng st (Signals.Ret { ret_addr }) f.Ast.fname in
+              match dest with
+              | Some d ->
+                { st with
+                  S.id = fresh_id eng;
+                  parent = Some st.S.id;
+                  store = Sym_store.set_local st.S.store d (E.Const (-1));
+                }
+              | None -> st
+            in
+            Two ({ ok with S.id = fresh_id eng; parent = Some st.S.id }, failed)
+          end
+          else One ok
+      end
+      | Ast.Return e ->
+        let v = Option.map (sym_eval_simpl eng st) e in
+        do_return eng st v
+      | Ast.Prim (p, args) -> begin
+        let magnitude, st =
+          match args with
+          | [] -> 1, st
+          | a :: _ -> begin
+            let e = sym_eval_simpl eng st a in
+            match E.is_const e with
+            | Some v -> v, st
+            | None ->
+              (* cost magnitudes are concretized without constraining the
+                 path: an approximation of the engine's cost accounting,
+                 documented in DESIGN.md *)
+              concretize eng st ~add_constraint:false e
+          end
+        in
+        let c = Vruntime.Hw_env.cost_of_prim eng.opts.env p magnitude in
+        One (charge eng st ~serial:(Vruntime.Concrete_exec.is_serial_prim p) c)
+      end
+      | Ast.Thread n -> One { st with S.thread = n }
+      | Ast.Trace_on -> One { st with S.tracing = true }
+      | Ast.Trace_off -> One { st with S.tracing = false }
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Scheduling loop                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let run opts program =
+  let t0 = Unix.gettimeofday () in
+  let eng =
+    {
+      opts;
+      program;
+      next_state_id = 1;
+      next_symbol = 0;
+      n_forks = 0;
+      n_solver_calls = 0;
+      n_concretizations = 0;
+      rng =
+        (match opts.noise with
+        | Some n -> Some (Random.State.make [| n.seed |])
+        | None -> None);
+      sched_rng =
+        (match opts.policy with
+        | Random_path seed -> Some (Random.State.make [| seed; 77 |])
+        | Dfs | Bfs -> None);
+    }
+  in
+  let entry = Ast.find_func program program.Ast.entry in
+  (* tracing starts disabled only when a reachable Trace_on hook will turn
+     it on later (Section 5.3, optimization 1) *)
+  let reachable =
+    Vir.Callgraph.reachable (Vir.Callgraph.build program) ~from:program.Ast.entry
+  in
+  let has_trace_on =
+    List.exists
+      (fun (f : Ast.func) ->
+        List.mem f.Ast.fname reachable
+        &&
+        let found = ref false in
+        Ast.iter_stmts (function Ast.Trace_on -> found := true | _ -> ()) (Ast.func_body f);
+        !found)
+      program.Ast.funcs
+  in
+  let root_ret_addr = 0x10 in
+  let st0 =
+    S.initial ~id:0
+      ~store:(Sym_store.with_globals program.Ast.globals)
+      ~work:[] ~fuel:opts.fuel ~tracing:(not has_trace_on)
+  in
+  let st0 = enter_function eng st0 ~dest:None ~ret_addr:root_ret_addr entry [] in
+  (* worklist of runnable states *)
+  let pending = ref [ st0 ] in
+  let finished = ref [] in
+  let killed = ref 0 and terminated = ref 0 in
+  let last_run_id = ref (-1) in
+  let pick () =
+    match !pending with
+    | [] -> None
+    | states -> begin
+      match opts.policy with
+      | Dfs ->
+        let st = List.hd states in
+        pending := List.tl states;
+        Some st
+      | Bfs ->
+        let rec last_and_rest acc = function
+          | [] -> assert false
+          | [ x ] -> x, List.rev acc
+          | x :: rest -> last_and_rest (x :: acc) rest
+        in
+        let st, rest = last_and_rest [] states in
+        pending := rest;
+        Some st
+      | Random_path _ ->
+        let rng = Option.get eng.sched_rng in
+        let n = List.length states in
+        let k = Random.State.int rng n in
+        let st = List.nth states k in
+        pending := List.filteri (fun i _ -> i <> k) states;
+        Some st
+    end
+  in
+  let switch_cost (st : S.t) =
+    if opts.state_switching && !last_run_id <> st.S.id && !last_run_id >= 0 then
+      { st with S.clock = st.S.clock +. opts.env.Vruntime.Hw_env.state_switch_us }
+    else st
+  in
+  let rec drive () =
+    match pick () with
+    | None -> ()
+    | Some st ->
+      let st = switch_cost st in
+      last_run_id := st.S.id;
+      let budget = if opts.policy = Dfs then max_int else opts.time_slice in
+      let rec run_state st steps =
+        if steps = 0 then pending := !pending @ [ st ]
+        else begin
+          match
+            try step eng st
+            with Stuck reason -> Done { st with S.status = S.Killed ("stuck: " ^ reason) }
+          with
+          | One st -> run_state st (steps - 1)
+          | Two (a, b) ->
+            (* run the first child now; queue the second *)
+            begin
+              match opts.policy with
+              | Dfs -> pending := b :: !pending
+              | Bfs | Random_path _ -> pending := !pending @ [ b ]
+            end;
+            run_state a (steps - 1)
+          | Done st ->
+            begin
+              match st.S.status with
+              | S.Terminated _ -> incr terminated
+              | S.Killed _ -> incr killed
+              | S.Running -> assert false
+            end;
+            finished := st :: !finished
+        end
+      in
+      run_state st budget;
+      drive ()
+  in
+  drive ();
+  {
+    states = List.rev !finished;
+    stats =
+      {
+        states_created = eng.next_state_id;
+        states_terminated = !terminated;
+        states_killed = !killed;
+        forks = eng.n_forks;
+        solver_calls = eng.n_solver_calls;
+        concretizations = eng.n_concretizations;
+        wall_time_s = Unix.gettimeofday () -. t0;
+      };
+  }

@@ -1,0 +1,95 @@
+(** The forking symbolic executor.
+
+    Plays the role S²E (with its embedded KLEE) plays in the paper: it
+    interprets an IR program, forks a new state at every branch whose
+    condition is symbolic and two-way feasible, memorizes path constraints,
+    and emits call/return signals for the tracer.  The Violet-specific
+    machinery is layered in directly:
+
+    - {e symbolic hooks} (Section 4.1/4.4): configuration and workload
+      variables listed in {!options.sym_configs}/{!options.sym_workloads}
+      evaluate to range-restricted symbolic variables; all others read their
+      concrete values;
+    - {e selective concretization} (Section 5.4): library calls with symbolic
+      arguments follow the Strictly-Consistent Unit-Level consistency model —
+      arguments are silently concretized with a solver model, the pinned
+      variable is substituted through the whole store ([concretizeAll]), and
+      the relaxation rules for [Pure]/[Benign] libraries drop the
+      concretization constraint (a [Pure] call instead returns a fresh
+      symbol);
+    - {e profiling controls} (Section 5.3): tracing starts/stops on the
+      [Trace_on]/[Trace_off] hooks, state-switch costs are only charged when
+      state switching is enabled, and optional latency jitter models
+      measurement noise in the engine. *)
+
+type policy =
+  | Dfs  (** run each state to completion before its sibling *)
+  | Bfs
+  | Random_path of int  (** seeded random state selection *)
+
+type noise = {
+  jitter : float;  (** relative latency jitter, e.g. 0.05 for ±5% *)
+  signal_delay_prob : float;
+      (** probability that a return signal is delayed (the [gettimeofday]
+          effect behind the paper's false positives, Section 7.8) *)
+  signal_delay_us : float;
+  seed : int;
+}
+
+type options = {
+  env : Vruntime.Hw_env.t;
+  sym_configs : (string * Vsmt.Expr.var) list;
+  concrete_config : string -> int;
+  sym_workloads : (string * Vsmt.Expr.var) list;
+  concrete_workload : string -> int;
+  max_states : int;  (** cap on states ever created (forks + initial) *)
+  max_loop_unroll : int;  (** iterations of a symbolic-condition loop *)
+  fuel : int;  (** per-state statement budget *)
+  policy : policy;
+  state_switching : bool;
+      (** charge {!Vruntime.Hw_env.t.state_switch_us} on every switch; the
+          tracer disables this when it would distort latency (Section 5.3) *)
+  time_slice : int;  (** steps before a preemptive switch (non-Dfs) *)
+  solver_max_nodes : int;
+  noise : noise option;
+  enable_tracer : bool;
+      (** false = "vanilla S²E": no signals are captured at all (Table 7) *)
+  relaxation_rules : bool;
+      (** false = ablation of Section 5.4: every library call keeps its
+          concretization constraints, as strict consistency would *)
+  fault_injection : bool;
+      (** fork an error-return (-1) state at every library call with a
+          destination — the paper's Section 8 extension for specious
+          configuration that only matters in error handling *)
+}
+
+val default_options :
+  ?env:Vruntime.Hw_env.t ->
+  config:(string -> int) ->
+  workload:(string -> int) ->
+  unit ->
+  options
+(** No symbolic variables, DFS, no switching, no noise; suitable defaults
+    for [max_states] (512), [max_loop_unroll] (48), [fuel] (200_000). *)
+
+type stats = {
+  states_created : int;
+  states_terminated : int;
+  states_killed : int;
+  forks : int;
+  solver_calls : int;
+  concretizations : int;
+  wall_time_s : float;
+}
+
+type result = { states : Sym_state.t list; stats : stats }
+(** [states] holds every state that reached a terminal status, in completion
+    order. *)
+
+val run : options -> Vir.Ast.program -> result
+
+val sym_config_var : Vruntime.Config_registry.t -> string -> string * Vsmt.Expr.var
+(** Convenience: the [(name, var)] pair for a registry parameter, using its
+    declared domain — the [make_symbolic] hook of paper Figure 7. *)
+
+val sym_workload_var : Vruntime.Workload.template -> string -> string * Vsmt.Expr.var

@@ -1,0 +1,63 @@
+type kont =
+  | Kstmts of Vir.Ast.block
+  | Kloop of { cond : Vir.Ast.expr; body : Vir.Ast.block; iter : int }
+  | Kret of { dest : string option; fname : string; ret_addr : int }
+
+type status = Running | Terminated of Vsmt.Expr.t option | Killed of string
+
+type t = {
+  id : int;
+  parent : int option;
+  work : kont list;
+  store : Sym_store.t;
+  pc : Vsmt.Expr.t list;
+  branch_trail : Vsmt.Expr.t list;
+  cost : Vruntime.Cost.t;
+  serial_us : float;
+  clock : float;
+  signals : Signals.record list;
+  next_cid : int;
+  thread : int;
+  tracing : bool;
+  fuel : int;
+  status : status;
+}
+
+let initial ~id ~store ~work ~fuel ~tracing =
+  {
+    id;
+    parent = None;
+    work;
+    store;
+    pc = [];
+    branch_trail = [];
+    cost = Vruntime.Cost.zero;
+    serial_us = 0.;
+    clock = 0.;
+    signals = [];
+    next_cid = 0;
+    thread = 0;
+    tracing;
+    fuel;
+    status = Running;
+  }
+
+let mentions_origin origin e =
+  List.exists (fun (v : Vsmt.Expr.var) -> v.origin = origin) (Vsmt.Expr.vars e)
+
+let config_constraints t = List.filter (mentions_origin Vsmt.Expr.Config) t.pc
+
+let workload_constraints t =
+  List.filter
+    (fun e ->
+      let vs = Vsmt.Expr.vars e in
+      vs <> [] && List.for_all (fun (v : Vsmt.Expr.var) -> v.origin = Vsmt.Expr.Workload) vs)
+    t.pc
+
+let signals_in_order t = List.rev t.signals
+
+let pp_status ppf = function
+  | Running -> Fmt.string ppf "running"
+  | Terminated None -> Fmt.string ppf "terminated"
+  | Terminated (Some e) -> Fmt.pf ppf "terminated(%a)" Vsmt.Expr.pp e
+  | Killed reason -> Fmt.pf ppf "killed(%s)" reason

@@ -1,0 +1,52 @@
+(** One symbolic-execution state (= one explored path).
+
+    A state carries the whole per-path context: work continuations, the
+    symbolic store, the memorized path constraints, the accumulated cost and
+    virtual clock, and the tracer's signal log.  States are immutable;
+    forking at a symbolic branch copies the record with a fresh id. *)
+
+type kont =
+  | Kstmts of Vir.Ast.block  (** statements remaining in a sequence *)
+  | Kloop of { cond : Vir.Ast.expr; body : Vir.Ast.block; iter : int }
+      (** a loop back-edge: re-test [cond]; [iter] counts completed
+          iterations for the unroll bound *)
+  | Kret of { dest : string option; fname : string; ret_addr : int }
+      (** return point of an active call *)
+
+type status =
+  | Running
+  | Terminated of Vsmt.Expr.t option  (** the entry function returned *)
+  | Killed of string  (** fuel/unroll/constraint limits; reason recorded *)
+
+type t = {
+  id : int;
+  parent : int option;
+  work : kont list;
+  store : Sym_store.t;
+  pc : Vsmt.Expr.t list;  (** path constraints, conjunction *)
+  branch_trail : Vsmt.Expr.t list;
+      (** every branch condition taken in order, including non-forking ones —
+          richer than [pc] for similarity analysis *)
+  cost : Vruntime.Cost.t;
+  serial_us : float;
+  clock : float;  (** inflated symbolic-execution timestamp source *)
+  signals : Signals.record list;  (** newest first *)
+  next_cid : int;
+  thread : int;
+  tracing : bool;
+  fuel : int;
+  status : status;
+}
+
+val initial :
+  id:int -> store:Sym_store.t -> work:kont list -> fuel:int -> tracing:bool -> t
+
+val config_constraints : t -> Vsmt.Expr.t list
+(** Path constraints that mention at least one configuration variable. *)
+
+val workload_constraints : t -> Vsmt.Expr.t list
+(** Path constraints whose variables are all workload (input) variables —
+    the row's input predicate (Section 4.6). *)
+
+val signals_in_order : t -> Signals.record list
+val pp_status : status Fmt.t

@@ -1,0 +1,1 @@
+lib/vtrace/callpath.ml: Array Float Fmt Int List Record_match String Vsymexec

@@ -1,0 +1,1 @@
+lib/vtrace/callpath.mli: Fmt Record_match

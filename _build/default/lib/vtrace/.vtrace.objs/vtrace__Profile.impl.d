@@ -1,0 +1,1 @@
+lib/vtrace/profile.ml: Callpath Float Fmt Hashtbl List Record_match Vruntime Vsmt Vsymexec

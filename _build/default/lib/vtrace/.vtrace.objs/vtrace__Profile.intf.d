@@ -1,0 +1,1 @@
+lib/vtrace/profile.mli: Callpath Fmt Vruntime Vsmt Vsymexec

@@ -1,0 +1,1 @@
+lib/vtrace/record_match.ml: Hashtbl Int List Vsymexec

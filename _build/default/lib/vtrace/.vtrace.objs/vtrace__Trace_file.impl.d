@@ -1,0 +1,1 @@
+lib/vtrace/trace_file.ml: Fun List Profile Result String Vruntime Vsmt Vsymexec

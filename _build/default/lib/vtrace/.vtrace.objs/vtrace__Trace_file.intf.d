@@ -1,0 +1,1 @@
+lib/vtrace/trace_file.mli: Profile Vruntime Vsmt Vsymexec

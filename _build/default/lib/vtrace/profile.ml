@@ -1,0 +1,72 @@
+module S = Vsymexec.Sym_state
+
+type t = {
+  state_id : int;
+  status : S.status;
+  pc : Vsmt.Expr.t list;
+  config_constraints : Vsmt.Expr.t list;
+  workload_constraints : Vsmt.Expr.t list;
+  cost : Vruntime.Cost.t;
+  traced_latency_us : float;
+  nodes : Callpath.node list;
+}
+
+let mentions_origin origin e =
+  List.exists (fun (v : Vsmt.Expr.var) -> v.Vsmt.Expr.origin = origin) (Vsmt.Expr.vars e)
+
+let make ~state_id ~status ~pc ~cost ~clock ~records =
+  let entries = Record_match.match_records records in
+  let nodes = Callpath.reconstruct entries in
+  let traced_latency_us =
+    match Callpath.roots nodes with
+    | root :: _ -> root.Callpath.latency_us
+    | [] -> clock
+  in
+  {
+    state_id;
+    status;
+    pc;
+    config_constraints = List.filter (mentions_origin Vsmt.Expr.Config) pc;
+    workload_constraints =
+      List.filter
+        (fun e ->
+          let vs = Vsmt.Expr.vars e in
+          vs <> []
+          && List.for_all
+               (fun (v : Vsmt.Expr.var) -> v.Vsmt.Expr.origin = Vsmt.Expr.Workload)
+               vs)
+        pc;
+    cost;
+    traced_latency_us;
+    nodes;
+  }
+
+let of_state (st : S.t) =
+  make ~state_id:st.S.id ~status:st.S.status ~pc:st.S.pc ~cost:st.S.cost ~clock:st.S.clock
+    ~records:(S.signals_in_order st)
+
+let of_result (r : Vsymexec.Executor.result) =
+  List.filter_map
+    (fun (st : S.t) ->
+      match st.S.status with
+      | S.Terminated _ -> Some (of_state st)
+      | S.Killed _ | S.Running -> None)
+    r.Vsymexec.Executor.states
+
+let per_function_latency t =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (n : Callpath.node) ->
+      let cur = match Hashtbl.find_opt tbl n.Callpath.fname with Some x -> x | None -> 0. in
+      Hashtbl.replace tbl n.Callpath.fname (cur +. n.Callpath.latency_us))
+    t.nodes;
+  Hashtbl.fold (fun f l acc -> (f, l) :: acc) tbl []
+  |> List.sort (fun (_, a) (_, b) -> Float.compare b a)
+
+let pp ppf t =
+  Fmt.pf ppf "state %d [%a]: %a, traced %.1f us@.  config: %a@.  input: %a@." t.state_id
+    S.pp_status t.status Vruntime.Cost.pp t.cost t.traced_latency_us
+    Fmt.(list ~sep:(any " && ") Vsmt.Expr.pp_friendly)
+    t.config_constraints
+    Fmt.(list ~sep:(any " && ") Vsmt.Expr.pp_friendly)
+    t.workload_constraints

@@ -1,0 +1,160 @@
+module Sexp = Vsmt.Sexp
+module Serial = Vsmt.Serial
+module Sig = Vsymexec.Signals
+module S = Vsymexec.Sym_state
+
+type state_trace = {
+  state_id : int;
+  pc : Vsmt.Expr.t list;
+  cost : Vruntime.Cost.t;
+  clock : float;
+  records : Sig.record list;
+}
+
+let of_state (st : S.t) =
+  {
+    state_id = st.S.id;
+    pc = st.S.pc;
+    cost = st.S.cost;
+    clock = st.S.clock;
+    records = S.signals_in_order st;
+  }
+
+let of_result (r : Vsymexec.Executor.result) =
+  List.filter_map
+    (fun (st : S.t) ->
+      match st.S.status with
+      | S.Terminated _ -> Some (of_state st)
+      | S.Killed _ | S.Running -> None)
+    r.Vsymexec.Executor.states
+
+let profile_of_state_trace t =
+  Profile.make ~state_id:t.state_id ~status:(S.Terminated None) ~pc:t.pc ~cost:t.cost
+    ~clock:t.clock ~records:t.records
+
+(* ------------------------------------------------------------------ *)
+(* Serialization                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let ( let* ) = Result.bind
+
+let record_to_sexp (r : Sig.record) =
+  match r.Sig.kind with
+  | Sig.Call { eip; ret_addr } ->
+    Sexp.list
+      [ Sexp.atom "call"; Sexp.int eip; Sexp.int ret_addr; Sexp.atom r.Sig.fname;
+        Sexp.float r.Sig.ts; Sexp.int r.Sig.thread; Sexp.int r.Sig.cid ]
+  | Sig.Ret { ret_addr } ->
+    Sexp.list
+      [ Sexp.atom "ret"; Sexp.int ret_addr; Sexp.atom r.Sig.fname; Sexp.float r.Sig.ts;
+        Sexp.int r.Sig.thread; Sexp.int r.Sig.cid ]
+
+let record_of_sexp = function
+  | Sexp.List [ Sexp.Atom "call"; eip; ra; Sexp.Atom fname; ts; thread; cid ] -> begin
+    match Sexp.to_int eip, Sexp.to_int ra, Sexp.to_float ts, Sexp.to_int thread, Sexp.to_int cid
+    with
+    | Some eip, Some ret_addr, Some ts, Some thread, Some cid ->
+      Ok { Sig.kind = Sig.Call { eip; ret_addr }; fname; ts; thread; cid }
+    | _ -> Error "trace: malformed call record"
+  end
+  | Sexp.List [ Sexp.Atom "ret"; ra; Sexp.Atom fname; ts; thread; cid ] -> begin
+    match Sexp.to_int ra, Sexp.to_float ts, Sexp.to_int thread, Sexp.to_int cid with
+    | Some ret_addr, Some ts, Some thread, Some cid ->
+      Ok { Sig.kind = Sig.Ret { ret_addr }; fname; ts; thread; cid }
+    | _ -> Error "trace: malformed ret record"
+  end
+  | s -> Error ("trace: unrecognized record " ^ Sexp.to_string s)
+
+let cost_to_sexp (c : Vruntime.Cost.t) =
+  Sexp.list
+    (List.map
+       (fun name -> Sexp.float (Vruntime.Cost.metric c name))
+       Vruntime.Cost.metric_names)
+
+let cost_of_sexp = function
+  | Sexp.List items when List.length items = List.length Vruntime.Cost.metric_names -> begin
+    match List.map Sexp.to_float items with
+    | [ Some latency_us; Some insn; Some sys; Some ioc; Some iob; Some sync; Some net;
+        Some alloc; Some cache ] ->
+      Ok
+        {
+          Vruntime.Cost.latency_us;
+          instructions = int_of_float insn;
+          syscalls = int_of_float sys;
+          io_calls = int_of_float ioc;
+          io_bytes = int_of_float iob;
+          sync_ops = int_of_float sync;
+          net_ops = int_of_float net;
+          allocations = int_of_float alloc;
+          cache_ops = int_of_float cache;
+        }
+    | _ -> Error "trace: malformed cost"
+  end
+  | s -> Error ("trace: unrecognized cost " ^ Sexp.to_string s)
+
+let state_to_sexp t =
+  Sexp.list
+    [
+      Sexp.atom "state";
+      Sexp.int t.state_id;
+      Sexp.list (List.map Serial.expr_to_sexp t.pc);
+      cost_to_sexp t.cost;
+      Sexp.float t.clock;
+      Sexp.list (List.map record_to_sexp t.records);
+    ]
+
+let state_of_sexp = function
+  | Sexp.List [ Sexp.Atom "state"; id; Sexp.List pc; cost; clock; Sexp.List records ] -> begin
+    match Sexp.to_int id, Sexp.to_float clock with
+    | Some state_id, Some clock ->
+      let* pc =
+        List.fold_left
+          (fun acc s ->
+            let* acc = acc in
+            let* e = Serial.expr_of_sexp s in
+            Ok (acc @ [ e ]))
+          (Ok []) pc
+      in
+      let* cost = cost_of_sexp cost in
+      let* records =
+        List.fold_left
+          (fun acc s ->
+            let* acc = acc in
+            let* r = record_of_sexp s in
+            Ok (acc @ [ r ]))
+          (Ok []) records
+      in
+      Ok { state_id; pc; cost; clock; records }
+    | _ -> Error "trace: malformed state header"
+  end
+  | s -> Error ("trace: unrecognized state " ^ Sexp.to_string s)
+
+let to_string traces =
+  String.concat "\n" (List.map (fun t -> Sexp.to_string (state_to_sexp t)) traces)
+
+let of_string text =
+  let lines = String.split_on_char '\n' text in
+  List.fold_left
+    (fun acc line ->
+      let* acc = acc in
+      if String.trim line = "" then Ok acc
+      else
+        let* sexp = Sexp.of_string line in
+        let* t = state_of_sexp sexp in
+        Ok (acc @ [ t ]))
+    (Ok []) lines
+
+let save traces path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+      output_string oc (to_string traces))
+
+let load path =
+  match open_in path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+    let content =
+      Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
+          really_input_string ic (in_channel_length ic))
+    in
+    of_string content

@@ -1,0 +1,33 @@
+(** On-disk execution traces.
+
+    In the paper the tracer (an S²E plugin) writes its records to a trace
+    file during state exploration, and the trace analyzer is a standalone
+    tool that parses it (Figure 6).  This module provides that boundary: a
+    dump of every terminated state — its path constraints (config and
+    workload split), cost vector, virtual clock, and raw call/return signal
+    records — in a line-oriented s-expression format.
+
+    Names are resolved at analysis time in the paper (via the load bias);
+    here the records carry names already, but the matching algorithms keep
+    using only addresses. *)
+
+type state_trace = {
+  state_id : int;
+  pc : Vsmt.Expr.t list;
+  cost : Vruntime.Cost.t;
+  clock : float;
+  records : Vsymexec.Signals.record list;
+}
+
+val of_state : Vsymexec.Sym_state.t -> state_trace
+(** Snapshot a terminated state. *)
+
+val of_result : Vsymexec.Executor.result -> state_trace list
+
+val profile_of_state_trace : state_trace -> Profile.t
+(** Run the deferred analysis (matching, call paths) on a loaded trace. *)
+
+val save : state_trace list -> string -> unit
+val load : string -> (state_trace list, string) result
+val to_string : state_trace list -> string
+val of_string : string -> (state_trace list, string) result

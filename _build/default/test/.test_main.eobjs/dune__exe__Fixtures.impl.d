@@ -1,0 +1,1 @@
+test/fixtures.ml: Violet Vir Vruntime

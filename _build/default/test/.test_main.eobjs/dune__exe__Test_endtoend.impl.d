@@ -1,0 +1,1 @@
+test/test_endtoend.ml: Alcotest List Printf Targets Util_cfg Vchecker Violet Vmodel Vruntime

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Fixtures List Stdlib Violet Vir Vmodel Vruntime Vsmt Vsymexec

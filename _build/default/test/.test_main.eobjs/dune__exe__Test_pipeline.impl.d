@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Fixtures List Result Violet Vmodel

@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Fixtures List QCheck2 QCheck_alcotest Stdlib String Violet Vir Vmodel Vruntime Vsmt Vsymexec Vtrace

@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Fixtures Fmt List String Vchecker Violet Vmodel

@@ -1,0 +1,1 @@
+test/test_smoke.ml: Alcotest Fixtures List Vanalysis Violet Vmodel

@@ -1,0 +1,1 @@
+test/test_subsystems.ml: Alcotest List Printf Targets Violet Vmodel Vruntime

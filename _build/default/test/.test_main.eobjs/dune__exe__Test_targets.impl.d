@@ -1,0 +1,1 @@
+test/test_targets.ml: Alcotest List Printf Targets Violet Vruntime

@@ -1,0 +1,1 @@
+test/test_tracefile.ml: Alcotest Filename Fixtures List Result Sys Violet Vmodel Vruntime Vtrace

@@ -1,0 +1,1 @@
+test/test_vanalysis.ml: Alcotest Hashtbl List Printf Vanalysis Vir

@@ -1,0 +1,1 @@
+test/test_vchecker.ml: Alcotest Filename Fixtures List Result String Sys Vchecker Violet Vmodel Vruntime Vsmt

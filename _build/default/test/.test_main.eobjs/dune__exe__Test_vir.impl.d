@@ -1,0 +1,1 @@
+test/test_vir.ml: Alcotest Array Fmt Int List String Vir

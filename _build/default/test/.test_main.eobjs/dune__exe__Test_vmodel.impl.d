@@ -1,0 +1,1 @@
+test/test_vmodel.ml: Alcotest Filename Fixtures Float List Option QCheck2 QCheck_alcotest Result Sys Violet Vmodel Vruntime Vsmt

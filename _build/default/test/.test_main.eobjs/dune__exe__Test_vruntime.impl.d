@@ -1,0 +1,1 @@
+test/test_vruntime.ml: Alcotest List QCheck2 QCheck_alcotest Stdlib String Vir Vruntime Vsmt

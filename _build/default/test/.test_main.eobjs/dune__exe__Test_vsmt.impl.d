@@ -1,0 +1,1 @@
+test/test_vsmt.ml: Alcotest Fmt List QCheck2 QCheck_alcotest Result Vsmt

@@ -1,0 +1,1 @@
+test/test_vsymexec.ml: Alcotest Float List Stdlib String Vir Vruntime Vsmt Vsymexec

@@ -1,0 +1,1 @@
+test/test_vtrace.ml: Alcotest Fixtures Float Hashtbl Int List Option QCheck2 QCheck_alcotest Stdlib Violet Vmodel Vsymexec Vtrace

@@ -1,0 +1,1 @@
+test/util_cfg.ml: List Vruntime

@@ -1,0 +1,84 @@
+(* Shared test fixtures: a miniature MySQL-like program modelled directly on
+   the paper's Figure 3 (autocommit / flush_at_trx_commit / write_row), its
+   registry, and its workload template.  Small enough to reason about state
+   counts by hand, rich enough to exercise every engine feature. *)
+
+open Vir.Builder
+
+let registry =
+  Vruntime.Config_registry.(
+    make ~system:"mini"
+      [
+        param_bool "autocommit" ~default:true "commit each statement";
+        param_int "flush_at_trx_commit" ~lo:0 ~hi:2 ~default:1 "redo flush policy";
+        param_enum "binlog_format" ~values:[ "ROW"; "STATEMENT"; "MIXED" ] ~default:"ROW"
+          "binary log format";
+        param_int "log_buffer_size" ~lo:1024 ~hi:(64 * 1024 * 1024) ~default:(8 * 1024 * 1024)
+          "redo log buffer bytes";
+        param_bool "unused_param" ~default:false "never read by the code";
+        param_bool "fp_param" ~hook:No_hook_function_pointer ~default:false
+          "set through a function pointer; no hook";
+      ])
+
+let workload =
+  Vruntime.Workload.(
+    template "oltp"
+      [
+        wparam_enum "sql_command" ~values:[ "SELECT"; "INSERT"; "UPDATE" ] "query type";
+        wparam_int "row_bytes" ~lo:64 ~hi:65536 "bytes changed by the row";
+      ])
+
+(* Figure 3, transliterated.  fil_flush is the fsync; log_write_up_to chooses
+   between flush and buffered write on flush_at_trx_commit. *)
+let program =
+  program ~name:"mini_mysql" ~entry:"dispatch_command"
+    [
+      func "dispatch_command"
+        [
+          if_ (wl "sql_command" ==. i 0)
+            [ call "read_row" [] ]
+            [ call "write_row" [] ];
+          ret_void;
+        ];
+      func "read_row" [ compute (i 400); buffered_read (i 4096); ret_void ];
+      func "write_row"
+        [
+          compute (i 600);
+          buffered_write (wl "row_bytes");
+          call "log_reserve_and_open" [ wl "row_bytes" ];
+          if_ (cfg "autocommit" ==. i 1) [ call "trx_commit_complete" [] ] [];
+          ret_void;
+        ];
+      func "log_reserve_and_open" ~params:[ "len" ]
+        [
+          if_ (lv "len" >=. cfg "log_buffer_size" /. i 2)
+            [ call "log_buffer_extend" [ (lv "len" +. i 1) *. i 2 ] ]
+            [];
+          log_append (lv "len");
+          ret_void;
+        ];
+      func "log_buffer_extend" ~params:[ "new_size" ]
+        [ mutex_lock; malloc (lv "new_size"); memcpy (lv "new_size"); mutex_unlock; ret_void ];
+      func "trx_commit_complete"
+        [
+          call "log_write_up_to" [];
+          ret_void;
+        ];
+      func "log_write_up_to"
+        [
+          if_ (cfg "flush_at_trx_commit" ==. i 1)
+            [ call "log_write_buf" []; call "fil_flush" [] ]
+            [ if_ (cfg "flush_at_trx_commit" ==. i 2) [ call "log_write_buf" [] ] [] ];
+          ret_void;
+        ];
+      func "log_write_buf" [ pwrite (i 4096); ret_void ];
+      func "fil_flush" [ fsync; ret_void ];
+    ]
+
+let target =
+  {
+    Violet.Pipeline.name = "mini";
+    program;
+    registry;
+    workloads = [ workload ];
+  }

@@ -1,0 +1,116 @@
+(* Tests for the paper's Section 8 extensions implemented here: fault
+   injection for error-handling-only specious configuration, and
+   environment extrapolation. *)
+
+module Ex = Vsymexec.Executor
+module S = Vsymexec.Sym_state
+module P = Violet.Pipeline
+open Vir.Builder
+
+let check = Alcotest.check
+let tc name f = Alcotest.test_case name `Quick f
+let env = Vruntime.Hw_env.hdd_server
+
+(* a parameter whose performance effect exists ONLY in error handling:
+   retry_sync makes write failures retry with a synchronous flush *)
+let error_handling_program =
+  program ~name:"eh" ~entry:"main"
+    [
+      func "main"
+        [
+          call ~dest:"r" "try_write" [ i 4096 ];
+          if_ (lv "r" <. i 0)
+            [ if_ (cfg "retry_sync" ==. i 1) [ fsync; fsync; fsync ] [ compute (i 10) ] ]
+            [];
+          ret_void;
+        ];
+      library "try_write" ~effect:Benign ~cost:[ Buffered_write, 4096 ] (fun _ -> 0);
+    ]
+
+let registry =
+  Vruntime.Config_registry.(
+    make ~system:"eh" [ param_bool "retry_sync" ~default:true "sync retry on write error" ])
+
+let target =
+  { P.name = "eh"; program = error_handling_program; registry; workloads = [] }
+
+let run ~fault_injection =
+  let opts =
+    {
+      (Ex.default_options ~env ~config:(fun _ -> 1) ~workload:(fun _ -> 0) ()) with
+      Ex.fault_injection;
+      sym_configs =
+        [ "retry_sync",
+          Vsmt.Expr.{ name = "retry_sync"; dom = Vsmt.Dom.bool; origin = Config } ];
+    }
+  in
+  Ex.run opts error_handling_program
+
+let terminated r =
+  List.filter
+    (fun (st : S.t) -> match st.S.status with S.Terminated _ -> true | _ -> false)
+    r.Ex.states
+
+let test_without_faults_invisible () =
+  (* normal exploration never reaches the error branch: retry_sync looks
+     performance-neutral *)
+  let r = run ~fault_injection:false in
+  check Alcotest.int "one path" 1 (List.length (terminated r));
+  check Alcotest.bool "no fsync" true
+    (List.for_all
+       (fun (st : S.t) -> st.S.cost.Vruntime.Cost.io_calls = 0)
+       (terminated r))
+
+let test_with_faults_exposed () =
+  let r = run ~fault_injection:true in
+  let states = terminated r in
+  check Alcotest.bool "error paths explored" true (List.length states >= 3);
+  (* the retry_sync=1 failure path pays three fsyncs *)
+  check Alcotest.bool "slow error path found" true
+    (List.exists
+       (fun (st : S.t) -> st.S.cost.Vruntime.Cost.io_calls >= 3)
+       states)
+
+let test_pipeline_fault_injection () =
+  let plain = P.analyze_exn target "retry_sync" in
+  check Alcotest.int "invisible without faults" 0
+    (List.length plain.P.model.Vmodel.Impact_model.poor_state_ids);
+  let faulty =
+    P.analyze_exn ~opts:{ P.default_options with P.fault_injection = true } target
+      "retry_sync"
+  in
+  check Alcotest.bool "poor state under faults" true
+    (faulty.P.model.Vmodel.Impact_model.poor_state_ids <> [])
+
+let test_environment_extrapolation () =
+  (* the same poor pair shrinks dramatically on a ramdisk, while logical
+     metrics stay identical — the extrapolation story of Section 4.5 *)
+  let a = P.analyze_exn Fixtures.target "autocommit" in
+  match
+    List.find_opt
+      (fun (p : Vmodel.Diff_analysis.poor_pair) ->
+        p.Vmodel.Diff_analysis.latency_ratio > 5.)
+      a.P.diff.Vmodel.Diff_analysis.pairs
+  with
+  | None -> Alcotest.fail "no big pair"
+  | Some pair ->
+    let ratio env =
+      match
+        Violet.Validate.pair_ratio ~env ~target:Fixtures.target ~entry:"dispatch_command"
+          ~slow:pair.Vmodel.Diff_analysis.slow ~fast:pair.Vmodel.Diff_analysis.fast ()
+      with
+      | Some v -> v.Violet.Validate.ratio
+      | None -> Alcotest.fail "not validatable"
+    in
+    let hdd = ratio Vruntime.Hw_env.hdd_server in
+    let ram = ratio Vruntime.Hw_env.ramdisk in
+    check Alcotest.bool "hdd shows the damage" true (hdd > 3.);
+    check Alcotest.bool "ramdisk hides it" true (ram < Stdlib.( /. ) hdd 2.)
+
+let tests =
+  [
+    tc "error path invisible without faults" test_without_faults_invisible;
+    tc "fault injection exposes error path" test_with_faults_exposed;
+    tc "pipeline fault injection" test_pipeline_fault_injection;
+    tc "environment extrapolation" test_environment_extrapolation;
+  ]

@@ -1,0 +1,22 @@
+let () =
+  Alcotest.run "violet"
+    [
+      ("vsmt", Test_vsmt.tests);
+      ("vir", Test_vir.tests);
+      ("vruntime", Test_vruntime.tests);
+      ("vsymexec", Test_vsymexec.tests);
+      ("vanalysis", Test_vanalysis.tests);
+      ("vtrace", Test_vtrace.tests);
+      ("tracefile", Test_tracefile.tests);
+      ("vmodel", Test_vmodel.tests);
+      ("vchecker", Test_vchecker.tests);
+      ("pipeline", Test_pipeline.tests);
+      ("targets", Test_targets.tests);
+      ("extensions", Test_extensions.tests);
+      ("properties", Test_properties.tests);
+      ("report", Test_report.tests);
+      ("patterns", Test_patterns.tests);
+      ("subsystems", Test_subsystems.tests);
+      ("endtoend", Test_endtoend.tests);
+      ("smoke", Test_smoke.tests);
+    ]

@@ -1,0 +1,44 @@
+(* The four specious-configuration code patterns of Section 2.3 must each be
+   detected from the pattern's minimal program, with the poor value enclosed
+   by a poor state and the expected metric kind triggering. *)
+
+module P = Violet.Pipeline
+
+let check = Alcotest.check
+
+let contains hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let run_pattern (pat : Targets.Patterns.pattern) () =
+  let a = P.analyze_exn pat.Targets.Patterns.target pat.Targets.Patterns.param in
+  check Alcotest.bool "poor value detected" true
+    (Violet.Detect.detected pat.Targets.Patterns.target.P.registry a
+       ~poor:pat.Targets.Patterns.poor);
+  (* the expected metric family appears among the triggering pairs *)
+  let labels =
+    List.map
+      (fun (p : Vmodel.Diff_analysis.poor_pair) ->
+        Vmodel.Diff_analysis.trigger_label p.Vmodel.Diff_analysis.triggers)
+      a.P.diff.Vmodel.Diff_analysis.pairs
+  in
+  check Alcotest.bool
+    (Printf.sprintf "trigger mentions %s" pat.Targets.Patterns.expected_trigger)
+    true
+    (List.exists (fun l -> contains l pat.Targets.Patterns.expected_trigger) labels)
+
+let test_pattern_catalog () =
+  check Alcotest.int "four patterns" 4 (List.length Targets.Patterns.all);
+  check
+    (Alcotest.list Alcotest.int)
+    "ids" [ 1; 2; 3; 4 ]
+    (List.map (fun p -> p.Targets.Patterns.id) Targets.Patterns.all)
+
+let tests =
+  Alcotest.test_case "pattern catalog" `Quick test_pattern_catalog
+  :: List.map
+       (fun (pat : Targets.Patterns.pattern) ->
+         Alcotest.test_case ("pattern: " ^ pat.Targets.Patterns.name) `Quick
+           (run_pattern pat))
+       Targets.Patterns.all

@@ -1,0 +1,154 @@
+(* Cross-cutting correctness properties of the engine:
+
+   1. partition: the terminated states' path conditions partition the
+      input space — every concrete assignment satisfies exactly one;
+   2. symbolic/concrete consistency: replaying a path's solver model
+      concretely takes the same path (same functions, same logical costs);
+   3. profile structure: a root's latency covers its children's. *)
+
+module Ex = Vsymexec.Executor
+module S = Vsymexec.Sym_state
+module E = Vsmt.Expr
+module Cost = Vruntime.Cost
+open Vir.Builder
+
+let check = Alcotest.check
+
+let demo_registry =
+  Vruntime.Config_registry.(
+    make ~system:"prop"
+      [
+        param_bool "a" ~default:false "flag a";
+        param_int "n" ~lo:0 ~hi:7 ~default:3 "small int";
+      ])
+
+let demo_workload =
+  Vruntime.Workload.(
+    template "w" [ wparam_enum "k" ~values:[ "X"; "Y"; "Z" ] "kind" ])
+
+(* branches on all three variables, including a joint condition *)
+let demo_program =
+  program ~name:"prop" ~entry:"main"
+    [
+      func "main"
+        [
+          if_ (cfg "a" ==. i 1) [ call "fast" [] ] [ call "slow" [] ];
+          if_ ((cfg "n" >. i 4) &&. (wl "k" ==. i 1)) [ fsync ] [];
+          if_ (wl "k" ==. i 2) [ buffered_write (i 2048) ] [];
+          ret_void;
+        ];
+      func "fast" [ compute (i 10); ret_void ];
+      func "slow" [ compute (i 500); buffered_read (i 512); ret_void ];
+    ]
+
+let demo_target =
+  {
+    Violet.Pipeline.name = "prop";
+    program = demo_program;
+    registry = demo_registry;
+    workloads = [ demo_workload ];
+  }
+
+let analyze () = Violet.Pipeline.analyze_exn demo_target "a"
+
+let terminated (r : Ex.result) =
+  List.filter
+    (fun (st : S.t) -> match st.S.status with S.Terminated _ -> true | _ -> false)
+    r.Ex.states
+
+let assignment_gen =
+  QCheck2.Gen.(
+    tup3 (int_range 0 1) (int_range 0 7) (int_range 0 2) >>= fun (a, n, k) ->
+    return [ "a", a; "n", n; "k", k ])
+
+let satisfies assignment (st : S.t) =
+  List.for_all
+    (fun c ->
+      match Vsmt.Solver.eval_in assignment c with Some v -> v <> 0 | None -> false)
+    st.S.pc
+
+let prop_partition =
+  let a = analyze () in
+  let states = terminated a.Violet.Pipeline.result in
+  QCheck2.Test.make ~name:"path conditions partition the input space" ~count:200
+    assignment_gen (fun assignment ->
+      List.length (List.filter (satisfies assignment) states) = 1)
+
+let test_replay_consistency () =
+  let a = analyze () in
+  let states = terminated a.Violet.Pipeline.result in
+  check Alcotest.bool "several paths" true (List.length states >= 4);
+  List.iter
+    (fun (st : S.t) ->
+      (* solve the path condition and replay concretely *)
+      let vars =
+        [ E.{ name = "a"; dom = Vsmt.Dom.bool; origin = Config };
+          E.{ name = "n"; dom = Vsmt.Dom.int_range 0 7; origin = Config };
+          E.{ name = "k"; dom = Vsmt.Dom.enum "k" [ "X"; "Y"; "Z" ]; origin = Workload } ]
+      in
+      let model =
+        match Vsmt.Solver.check st.S.pc with
+        | Vsmt.Solver.Sat m -> Vsmt.Solver.complete ~vars m
+        | Vsmt.Solver.Unsat | Vsmt.Solver.Unknown -> Alcotest.fail "pc must be satisfiable"
+      in
+      let lookup name =
+        match List.assoc_opt name model with Some v -> v | None -> 0
+      in
+      let native =
+        Vruntime.Concrete_exec.run ~env:Vruntime.Hw_env.hdd_server demo_program
+          ~config:lookup ~workload:lookup
+      in
+      check Alcotest.int "same syscalls"
+        native.Vruntime.Concrete_exec.cost.Cost.syscalls st.S.cost.Cost.syscalls;
+      check Alcotest.int "same io bytes"
+        native.Vruntime.Concrete_exec.cost.Cost.io_bytes st.S.cost.Cost.io_bytes;
+      (* the functions visited natively are the functions in the trace *)
+      let native_fns =
+        List.sort String.compare
+          (List.map fst native.Vruntime.Concrete_exec.per_function)
+      in
+      let traced_fns =
+        List.sort_uniq String.compare
+          (List.filter_map
+             (fun (r : Vsymexec.Signals.record) ->
+               if Vsymexec.Signals.is_call r then Some r.Vsymexec.Signals.fname else None)
+             (S.signals_in_order st))
+      in
+      check (Alcotest.list Alcotest.string) "same call set" native_fns traced_fns)
+    states
+
+let test_profile_structure () =
+  let a = analyze () in
+  List.iter
+    (fun (row : Vmodel.Cost_row.t) ->
+      match Vtrace.Callpath.roots row.Vmodel.Cost_row.nodes with
+      | [ root ] ->
+        let child_sum =
+          List.fold_left
+            (fun acc (c : Vtrace.Callpath.node) -> Stdlib.( +. ) acc c.Vtrace.Callpath.latency_us)
+            0.
+            (Vtrace.Callpath.children row.Vmodel.Cost_row.nodes root.Vtrace.Callpath.cid)
+        in
+        check Alcotest.bool "root covers children" true
+          (root.Vtrace.Callpath.latency_us >= Stdlib.( -. ) child_sum 1e-6)
+      | _ -> Alcotest.fail "one root per path")
+    a.Violet.Pipeline.rows
+
+let test_poor_states_have_satisfiable_pc () =
+  let a = Violet.Pipeline.analyze_exn Fixtures.target "autocommit" in
+  let poor = Vmodel.Impact_model.poor_rows a.Violet.Pipeline.model in
+  check Alcotest.bool "has poor rows" true (poor <> []);
+  List.iter
+    (fun (row : Vmodel.Cost_row.t) ->
+      check Alcotest.bool "config constraints satisfiable" true
+        (Vsmt.Solver.is_feasible
+           (row.Vmodel.Cost_row.config_constraints @ row.Vmodel.Cost_row.workload_pred)))
+    poor
+
+let tests =
+  [
+    QCheck_alcotest.to_alcotest prop_partition;
+    Alcotest.test_case "replay consistency" `Quick test_replay_consistency;
+    Alcotest.test_case "profile structure" `Quick test_profile_structure;
+    Alcotest.test_case "poor states satisfiable" `Quick test_poor_states_have_satisfiable_pc;
+  ]

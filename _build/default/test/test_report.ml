@@ -1,0 +1,61 @@
+(* Tests for report rendering: the functions the CLI and the benchmark
+   harness build their output from. *)
+
+let check = Alcotest.check
+let tc name f = Alcotest.test_case name `Quick f
+
+let contains hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let test_human_time () =
+  check Alcotest.string "seconds" "5.5 s" (Violet.Report.human_time 5.5);
+  check Alcotest.string "minutes" "6 m 25 s" (Violet.Report.human_time 385.);
+  check Alcotest.string "exact minute" "2 m 0 s" (Violet.Report.human_time 120.)
+
+let test_summary_row_shape () =
+  let a = Violet.Pipeline.analyze_exn Fixtures.target "autocommit" in
+  let row = Violet.Report.summary_row a in
+  check Alcotest.int "six columns" 6 (List.length row);
+  (* explored states and poor states are numeric *)
+  check Alcotest.bool "explored numeric" true (int_of_string_opt (List.nth row 0) <> None);
+  check Alcotest.bool "poor numeric" true (int_of_string_opt (List.nth row 1) <> None)
+
+let test_full_report_mentions_key_facts () =
+  let a = Violet.Pipeline.analyze_exn Fixtures.target "autocommit" in
+  let text = Fmt.str "%a" Violet.Report.pp_analysis a in
+  List.iter
+    (fun needle ->
+      check Alcotest.bool ("mentions " ^ needle) true (contains text needle))
+    [ "autocommit"; "flush_at_trx_commit"; "fil_flush"; "POOR"; "suspicious" ]
+
+let test_cost_table_rendering () =
+  let a = Violet.Pipeline.analyze_exn Fixtures.target "autocommit" in
+  let text = Fmt.str "%a" Vmodel.Impact_model.pp_cost_table a.Violet.Pipeline.model in
+  check Alcotest.bool "row separators" true (contains text "|");
+  check Alcotest.bool "friendly constraint" true (contains text "autocommit==ON")
+
+let test_checker_report_rendering () =
+  let model = (Violet.Pipeline.analyze_exn Fixtures.target "autocommit").Violet.Pipeline.model in
+  let file =
+    match Vchecker.Config_file.parse "autocommit = ON" with
+    | Ok f -> f
+    | Error e -> Alcotest.fail e
+  in
+  match Vchecker.Checker.check_current ~model ~registry:Fixtures.registry ~file with
+  | Error e -> Alcotest.fail e
+  | Ok report ->
+    let text = Fmt.str "%a" Vchecker.Checker.pp_report report in
+    check Alcotest.bool "mentions finding" true (contains text "finding");
+    check Alcotest.bool "mentions validate" true (contains text "validate");
+    check Alcotest.bool "mentions checked in" true (contains text "checked in")
+
+let tests =
+  [
+    tc "human time" test_human_time;
+    tc "summary row shape" test_summary_row_shape;
+    tc "full report facts" test_full_report_mentions_key_facts;
+    tc "cost table rendering" test_cost_table_rendering;
+    tc "checker report rendering" test_checker_report_rendering;
+  ]

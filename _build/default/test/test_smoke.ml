@@ -1,0 +1,67 @@
+(* End-to-end smoke tests on the Figure-3 fixture: the full pipeline must
+   detect autocommit as specious for insert workloads, with
+   flush_at_trx_commit as a related parameter. *)
+
+module P = Violet.Pipeline
+module M = Vmodel.Impact_model
+
+let analyze () = P.analyze_exn Fixtures.target "autocommit"
+
+let test_related () =
+  let r = P.related_params Fixtures.target "autocommit" in
+  Alcotest.(check bool)
+    "flush_at_trx_commit influenced by autocommit" true
+    (List.mem "flush_at_trx_commit" r.Vanalysis.Related_config.related)
+
+let test_detects_poor_state () =
+  let a = analyze () in
+  Alcotest.(check bool) "has rows" true (a.P.rows <> []);
+  Alcotest.(check bool)
+    "has poor states" true
+    (a.P.model.M.poor_state_ids <> [])
+
+let test_poor_state_is_insert_autocommit () =
+  let a = analyze () in
+  let poor = M.poor_rows a.P.model in
+  Alcotest.(check bool) "at least one poor row" true (poor <> []);
+  (* the worst state must require autocommit=1, flush=1 and an INSERT/UPDATE *)
+  let worst =
+    List.fold_left
+      (fun best (r : Vmodel.Cost_row.t) ->
+        if r.Vmodel.Cost_row.traced_latency_us > best.Vmodel.Cost_row.traced_latency_us then r
+        else best)
+      (List.hd poor) (List.tl poor)
+  in
+  let sat = Vmodel.Cost_row.satisfied_by worst [ "autocommit", 1; "flush_at_trx_commit", 1 ] in
+  Alcotest.(check bool) "worst row is autocommit=1 && flush=1" true sat;
+  let is_write = Vmodel.Cost_row.workload_satisfied_by worst [ "sql_command", 1; "row_bytes", 64 ]
+                 || Vmodel.Cost_row.workload_satisfied_by worst [ "sql_command", 2; "row_bytes", 64 ] in
+  Alcotest.(check bool) "worst row needs a write query" true is_write
+
+let test_critical_path_names_fsync_path () =
+  let a = analyze () in
+  let has_fil_flush =
+    List.exists
+      (fun (p : M.poor_pair_summary) -> List.mem "fil_flush" p.M.critical_path)
+      a.P.model.M.poor_pairs
+  in
+  Alcotest.(check bool) "some critical path reaches fil_flush" true has_fil_flush
+
+let test_model_roundtrip () =
+  let a = analyze () in
+  let s = M.to_string a.P.model in
+  match M.of_string s with
+  | Error e -> Alcotest.fail e
+  | Ok m ->
+    Alcotest.(check string) "target" a.P.model.M.target m.M.target;
+    Alcotest.(check int) "rows" (List.length a.P.model.M.rows) (List.length m.M.rows);
+    Alcotest.(check (list int)) "poor states" a.P.model.M.poor_state_ids m.M.poor_state_ids
+
+let tests =
+  [
+    Alcotest.test_case "related params" `Quick test_related;
+    Alcotest.test_case "detects poor state" `Quick test_detects_poor_state;
+    Alcotest.test_case "poor state constraints" `Quick test_poor_state_is_insert_autocommit;
+    Alcotest.test_case "critical path" `Quick test_critical_path_names_fsync_path;
+    Alcotest.test_case "model roundtrip" `Quick test_model_roundtrip;
+  ]

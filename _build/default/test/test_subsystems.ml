@@ -1,0 +1,99 @@
+(* Tests for the replication/durability subsystems added beyond the paper's
+   case list: each new performance parameter must be analyzable and its
+   expensive setting must land in a poor state with the right mechanism. *)
+
+module P = Violet.Pipeline
+
+let check = Alcotest.check
+let tc name f = Alcotest.test_case name `Quick f
+
+let detect ?target system param poor =
+  let target =
+    match target with Some t -> t | None -> Targets.Cases.target_of system
+  in
+  let a = P.analyze_exn target param in
+  a, Violet.Detect.detected target.P.registry a ~poor
+
+let test_semi_sync_replication () =
+  (* enabling semi-sync adds a replica round trip to every commit; the
+     feature is built into the 5.6 program *)
+  let a, detected = detect ~target:Targets.Mysql_model.target_56 "mysql"
+      "rpl_semi_sync_master_enabled" [ "rpl_semi_sync_master_enabled", "ON" ] in
+  check Alcotest.bool "detected" true detected;
+  (* the mechanism is network, not disk *)
+  let has_net_trigger =
+    List.exists
+      (fun (p : Vmodel.Diff_analysis.poor_pair) ->
+        List.mem (Vmodel.Diff_analysis.Logical "net_ops") p.Vmodel.Diff_analysis.triggers)
+      a.P.diff.Vmodel.Diff_analysis.pairs
+  in
+  check Alcotest.bool "net metric triggers" true has_net_trigger
+
+let test_sync_standby () =
+  let _, detected = detect "postgres" "synchronous_standby_names"
+      [ "synchronous_standby_names", "quorum"; "synchronous_commit", "remote_write" ] in
+  check Alcotest.bool "detected" true detected
+
+let test_wal_compression_tradeoff () =
+  (* compression trades CPU for bytes: both directions appear in the model *)
+  let target = Targets.Cases.target_of "postgres" in
+  let a = P.analyze_exn target "wal_compression" in
+  let on_rows =
+    List.filter
+      (fun r -> Vmodel.Cost_row.satisfied_by r [ "wal_compression", 1 ])
+      a.P.rows
+  in
+  let off_rows =
+    List.filter
+      (fun r -> Vmodel.Cost_row.satisfied_by r [ "wal_compression", 0 ])
+      a.P.rows
+  in
+  let max_bytes rows =
+    List.fold_left
+      (fun acc (r : Vmodel.Cost_row.t) -> max acc r.Vmodel.Cost_row.cost.Vruntime.Cost.io_bytes)
+      0 rows
+  in
+  check Alcotest.bool "rows for both settings" true (on_rows <> [] && off_rows <> []);
+  check Alcotest.bool "compression writes fewer bytes" true
+    (max_bytes on_rows < max_bytes off_rows)
+
+let test_binlog_cache_spill () =
+  let _, detected = detect "mysql" "binlog_cache_size" [ "binlog_cache_size", "4096" ] in
+  check Alcotest.bool "small cache spills to disk" true detected
+
+let test_dirty_pages_threshold () =
+  let _, detected = detect "mysql" "innodb_max_dirty_pages_pct"
+      [ "innodb_max_dirty_pages_pct", "1" ] in
+  check Alcotest.bool "low threshold forces flushing" true detected
+
+let test_new_params_analyzable () =
+  check Alcotest.bool "semi-sync analyzable in 5.6" true
+    (List.mem "rpl_semi_sync_master_enabled"
+       (P.analyzable_params Targets.Mysql_model.target_56));
+  List.iter
+    (fun (system, param) ->
+      let target = Targets.Cases.target_of system in
+      check Alcotest.bool
+        (Printf.sprintf "%s/%s analyzable" system param)
+        true
+        (List.mem param (P.analyzable_params target)))
+    [
+      "mysql", "binlog_cache_size";
+      "mysql", "innodb_max_dirty_pages_pct";
+      "mysql", "innodb_purge_threads";
+      "postgres", "synchronous_standby_names";
+      "postgres", "wal_compression";
+      "apache", "LimitRequestFields";
+      "squid", "memory_pools";
+      "squid", "quick_abort_min";
+    ]
+
+let tests =
+  [
+    tc "semi-sync replication" test_semi_sync_replication;
+    tc "synchronous standby" test_sync_standby;
+    tc "wal compression tradeoff" test_wal_compression_tradeoff;
+    tc "binlog cache spill" test_binlog_cache_spill;
+    tc "dirty-pages threshold" test_dirty_pages_threshold;
+    tc "new params analyzable" test_new_params_analyzable;
+  ]

@@ -1,0 +1,147 @@
+(* Integration tests over the four target-system models: registry sanity,
+   workload resolution, concrete throughput behaviour, and the full
+   known/unknown case matrices against the paper's ground truth. *)
+
+module P = Violet.Pipeline
+module Cases = Targets.Cases
+module Reg = Vruntime.Config_registry
+
+let check = Alcotest.check
+let tc name f = Alcotest.test_case name `Quick f
+let slow name f = Alcotest.test_case name `Slow f
+
+let systems = [ "mysql"; "postgres"; "apache"; "squid" ]
+
+let test_registries_sane () =
+  List.iter
+    (fun system ->
+      let target = Cases.target_of system in
+      let params = Reg.params target.P.registry in
+      check Alcotest.bool (system ^ " has a serious registry") true
+        (List.length params >= 25);
+      check Alcotest.bool (system ^ " has non-perf params") true
+        (List.exists (fun (p : Reg.param) -> not p.Reg.perf_related) params);
+      check Alcotest.bool (system ^ " has unhookable params") true
+        (List.exists (fun (p : Reg.param) -> p.Reg.hook <> Reg.Hooked) params))
+    systems
+
+let test_programs_run_concretely () =
+  (* every standard workload of every system executes without errors and
+     accrues cost *)
+  List.iter
+    (fun system ->
+      let target = Cases.target_of system in
+      let entry = Cases.query_entry_of system in
+      let config = Reg.Values.defaults target.P.registry in
+      List.iter
+        (fun (name, mix) ->
+          let qps =
+            Vruntime.Concrete_exec.throughput ~entry ~env:Vruntime.Hw_env.hdd_server
+              target.P.program ~config ~mix ~clients:8
+          in
+          check Alcotest.bool
+            (Printf.sprintf "%s/%s positive throughput" system name)
+            true (qps > 1.))
+        (Cases.standard_workloads_of system @ Cases.validation_workloads_of system))
+    systems
+
+let test_case_registry_consistent () =
+  check Alcotest.int "17 known cases" 17 (List.length Cases.known);
+  check Alcotest.int "9 unknown cases" 9 (List.length Cases.unknown);
+  List.iter
+    (fun (c : Cases.known_case) ->
+      let target = Cases.target_of c.Cases.system in
+      (* settings must be valid strings for the registry *)
+      ignore (Violet.Detect.full_assignment target.P.registry c.Cases.poor_setting);
+      ignore (Violet.Detect.full_assignment target.P.registry c.Cases.good_setting);
+      (* the trigger workload must resolve *)
+      ignore (Cases.workload_mix_of c.Cases.system c.Cases.trigger_workload))
+    Cases.known;
+  List.iter
+    (fun (u : Cases.unknown_case) ->
+      let target = Cases.target_of u.Cases.u_system in
+      ignore (Violet.Detect.full_assignment target.P.registry u.Cases.u_poor);
+      ignore (Cases.workload_mix_of u.Cases.u_system u.Cases.u_workload))
+    Cases.unknown
+
+let test_fig2_shape () =
+  let module M = Targets.Mysql_model in
+  let qps ~mix ~autocommit =
+    let config =
+      Reg.Values.set_str (Reg.Values.defaults M.registry) "autocommit"
+        (if autocommit then "ON" else "OFF")
+    in
+    Vruntime.Concrete_exec.throughput ~entry:M.query_entry ~env:Vruntime.Hw_env.hdd_server
+      M.program ~config ~mix ~clients:32
+  in
+  let normal_ratio =
+    qps ~mix:(M.normal_mix ~autocommit:false) ~autocommit:false
+    /. qps ~mix:(M.normal_mix ~autocommit:true) ~autocommit:true
+  in
+  let insert_ratio =
+    qps ~mix:(M.insert_mix ~autocommit:false) ~autocommit:false
+    /. qps ~mix:(M.insert_mix ~autocommit:true) ~autocommit:true
+  in
+  check Alcotest.bool "normal workloads close (paper Fig 2a)" true
+    (normal_ratio < 1.6 && normal_ratio > 0.7);
+  check Alcotest.bool "insert-intensive ~6x (paper Fig 2b)" true
+    (insert_ratio > 4. && insert_ratio < 9.)
+
+let run_known (c : Cases.known_case) () =
+  let target = Cases.target_of c.Cases.system in
+  let opts = c.Cases.tweak P.default_options in
+  let a = P.analyze_exn ~opts target c.Cases.param in
+  let detected = Violet.Detect.detected target.P.registry a ~poor:c.Cases.poor_setting in
+  check Alcotest.bool
+    (Printf.sprintf "%s verdict matches the paper" c.Cases.id)
+    c.Cases.expect_detected detected;
+  (* a detected case's good setting must not be enclosed by a poor state of
+     the same shape *)
+  if c.Cases.expect_detected then begin
+    let good_rows =
+      Violet.Detect.poor_rows_for target.P.registry a ~poor:c.Cases.good_setting
+    in
+    let poor_rows =
+      Violet.Detect.poor_rows_for target.P.registry a ~poor:c.Cases.poor_setting
+    in
+    (* the good setting can also fall inside poor states (cache=allow is
+       slower than deny for uncachable objects, any wal_sync_method is slower
+       than fsync=off); the invariant is that the poor setting is enclosed *)
+    ignore good_rows;
+    check Alcotest.bool
+      (Printf.sprintf "%s poor setting enclosed by poor states" c.Cases.id)
+      true (poor_rows <> [])
+  end
+
+let run_unknown (u : Cases.unknown_case) () =
+  let target = Cases.target_of u.Cases.u_system in
+  let a = P.analyze_exn target u.Cases.u_param in
+  check Alcotest.bool
+    (Printf.sprintf "%s/%s detected" u.Cases.u_system u.Cases.u_param)
+    true
+    (Violet.Detect.detected target.P.registry a ~poor:u.Cases.u_poor)
+
+(* quick subset: one representative per system *)
+let quick_cases = [ "c1"; "c7"; "c12"; "c14"; "c16" ]
+
+let tests =
+  [
+    tc "registries sane" test_registries_sane;
+    tc "programs run concretely" test_programs_run_concretely;
+    tc "case registry consistent" test_case_registry_consistent;
+    tc "figure 2 shape" test_fig2_shape;
+  ]
+  @ List.map
+      (fun id -> tc ("known case " ^ id) (run_known (Cases.find_known id)))
+      quick_cases
+  @ List.filter_map
+      (fun (c : Cases.known_case) ->
+        if List.mem c.Cases.id quick_cases then None
+        else Some (slow ("known case " ^ c.Cases.id) (run_known c)))
+      Cases.known
+  @ List.map
+      (fun (u : Cases.unknown_case) ->
+        slow
+          (Printf.sprintf "unknown case %s/%s" u.Cases.u_system u.Cases.u_param)
+          (run_unknown u))
+      Cases.unknown

@@ -1,0 +1,79 @@
+(* Tests for the on-disk trace boundary between the tracer and the trace
+   analyzer (the paper's Figure 6 architecture). *)
+
+module TF = Vtrace.Trace_file
+module Profile = Vtrace.Profile
+
+let check = Alcotest.check
+let tc name f = Alcotest.test_case name `Quick f
+
+let fixture_result () =
+  (Violet.Pipeline.analyze_exn Fixtures.target "autocommit").Violet.Pipeline.result
+
+let test_roundtrip_text () =
+  let traces = TF.of_result (fixture_result ()) in
+  check Alcotest.bool "nonempty" true (traces <> []);
+  match TF.of_string (TF.to_string traces) with
+  | Error e -> Alcotest.fail e
+  | Ok traces' ->
+    check Alcotest.int "count" (List.length traces) (List.length traces');
+    List.iter2
+      (fun (a : TF.state_trace) (b : TF.state_trace) ->
+        check Alcotest.int "state id" a.TF.state_id b.TF.state_id;
+        check Alcotest.int "records" (List.length a.TF.records) (List.length b.TF.records);
+        check Alcotest.int "pc" (List.length a.TF.pc) (List.length b.TF.pc);
+        check Alcotest.bool "cost" true (Vruntime.Cost.equal a.TF.cost b.TF.cost))
+      traces traces'
+
+let test_analysis_survives_file_boundary () =
+  (* the trace analyzer must reach the same verdicts from a loaded trace as
+     from live states *)
+  let result = fixture_result () in
+  let live_rows =
+    List.map Vmodel.Cost_row.of_profile (Profile.of_result result)
+  in
+  let path = Filename.temp_file "violet_trace" ".vtr" in
+  TF.save (TF.of_result result) path;
+  let traces = match TF.load path with Ok t -> t | Error e -> Alcotest.fail e in
+  Sys.remove path;
+  let loaded_rows =
+    List.map
+      (fun t -> Vmodel.Cost_row.of_profile (TF.profile_of_state_trace t))
+      traces
+  in
+  let live = Vmodel.Diff_analysis.analyze live_rows in
+  let loaded = Vmodel.Diff_analysis.analyze loaded_rows in
+  check (Alcotest.list Alcotest.int) "same poor states"
+    live.Vmodel.Diff_analysis.poor_state_ids loaded.Vmodel.Diff_analysis.poor_state_ids;
+  check Alcotest.int "same pair count"
+    (List.length live.Vmodel.Diff_analysis.pairs)
+    (List.length loaded.Vmodel.Diff_analysis.pairs)
+
+let test_traced_latency_preserved () =
+  let result = fixture_result () in
+  let live = Profile.of_result result in
+  let loaded =
+    List.map TF.profile_of_state_trace (TF.of_result result)
+  in
+  List.iter2
+    (fun (a : Profile.t) (b : Profile.t) ->
+      check (Alcotest.float 0.001) "latency" a.Profile.traced_latency_us
+        b.Profile.traced_latency_us)
+    live loaded
+
+let test_load_missing_file () =
+  check Alcotest.bool "missing file errors" true
+    (Result.is_error (TF.load "/nonexistent/violet.vtr"))
+
+let test_malformed_rejected () =
+  check Alcotest.bool "garbage" true (Result.is_error (TF.of_string "(state garbage)"));
+  check Alcotest.bool "empty ok" true (TF.of_string "" = Ok [])
+
+let tests =
+  [
+    tc "text roundtrip" test_roundtrip_text;
+    tc "analysis survives file boundary" test_analysis_survives_file_boundary;
+    tc "traced latency preserved" test_traced_latency_preserved;
+    tc "missing file" test_load_missing_file;
+    tc "malformed rejected" test_malformed_rejected;
+  ]

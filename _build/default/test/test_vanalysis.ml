@@ -1,0 +1,235 @@
+(* Tests for the static analyzer: usage/taint analysis, classic vs broadened
+   control dependency (the paper's Section 4.3 snippets), and Algorithms 1-2
+   for related-parameter discovery. *)
+
+module Usage = Vanalysis.Usage
+module CD = Vanalysis.Control_dep
+module RC = Vanalysis.Related_config
+open Vir.Builder
+
+let check = Alcotest.check
+let tc name f = Alcotest.test_case name `Quick f
+let slist = Alcotest.(list string)
+
+(* ------------------------------------------------------------------ *)
+(* Usage / taint                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let taint_program =
+  program ~name:"t" ~entry:"main"
+    ~globals:[ "m_cache_is_disabled", 0 ]
+    [
+      func "main"
+        [
+          (* the paper's data-flow bridge: a global assigned from a config *)
+          setg "m_cache_is_disabled" (cfg "query_cache_type" ==. i 0);
+          call "serve" [];
+          ret_void;
+        ];
+      func "serve"
+        [
+          if_ (gv "m_cache_is_disabled" ==. i 0)
+            [ if_ (cfg "wlock_invalidate" ==. i 1) [ cache_store ] [] ]
+            [];
+          call ~dest:"d" "is_disabled" [];
+          if_ (lv "d" ==. i 1) [ compute (i 5) ] [];
+          ret_void;
+        ];
+      func "is_disabled" [ ret (gv "m_cache_is_disabled") ];
+    ]
+
+let test_taint_through_global () =
+  let u = Usage.analyze taint_program in
+  (* the branch on the tainted global counts as a usage of the config *)
+  check slist "branch params include config via global"
+    [ "query_cache_type"; "wlock_invalidate" ]
+    (Usage.branch_params u ~func:"serve")
+
+let test_taint_through_return () =
+  let u = Usage.analyze taint_program in
+  check slist "return taint" [ "query_cache_type" ] (Usage.return_taint u "is_disabled")
+
+let test_usage_functions () =
+  let u = Usage.analyze taint_program in
+  check Alcotest.bool "wlock used in serve" true
+    (List.mem "serve" (Usage.usage_functions u "wlock_invalidate"));
+  check Alcotest.bool "qct used in main" true
+    (List.mem "main" (Usage.usage_functions u "query_cache_type"))
+
+let test_usage_guards_nested () =
+  let u = Usage.analyze taint_program in
+  (* wlock_invalidate's test is nested under the (tainted) cache branch *)
+  let guards = Usage.usage_guards u ~func:"serve" ~param:"wlock_invalidate" in
+  check Alcotest.bool "guarded by query_cache_type" true
+    (List.exists (fun g -> List.mem "query_cache_type" g) guards)
+
+let test_short_circuit_guard () =
+  (* if (a && b): the b test is control dependent on a *)
+  let p =
+    program ~name:"t" ~entry:"main"
+      [
+        func "main"
+          [ if_ ((cfg "a" ==. i 1) &&. (cfg "b" ==. i 1)) [ fsync ] []; ret_void ];
+      ]
+  in
+  let u = Usage.analyze p in
+  let guards_b = Usage.usage_guards u ~func:"main" ~param:"b" in
+  check Alcotest.bool "b guarded by a" true (List.exists (List.mem "a") guards_b);
+  let guards_a = Usage.usage_guards u ~func:"main" ~param:"a" in
+  check Alcotest.bool "a not guarded by b" false (List.exists (List.mem "b") guards_a)
+
+(* ------------------------------------------------------------------ *)
+(* Control dependency: the paper's snippets (1) and (2)                *)
+(* ------------------------------------------------------------------ *)
+
+(* snippet 1: strictly nested ifs *)
+let snippet1 =
+  func "s1"
+    [
+      if_ (cfg "a" ==. i 1)
+        [ if_ (cfg "b" ==. i 1) [ if_ (cfg "c" ==. i 1) [ if_ (cfg "d" ==. i 1) [] [] ] [] ] [] ]
+        [];
+    ]
+
+(* snippet 2: sequential ifs inside one enclosing if *)
+let snippet2 =
+  func "s2"
+    [
+      if_ (cfg "a" ==. i 1)
+        [
+          if_ (cfg "b" ==. i 1) [] [];
+          if_ (cfg "c" ==. i 1) [] [];
+          if_ (cfg "d" ==. i 1) [] [];
+        ]
+        [];
+    ]
+
+let branch_ids f =
+  (* node ids of the If statements reading each config, via the broadened
+     walk's numbering: entry=0 exit=1 then pre-order *)
+  let next = ref 2 in
+  let tbl = Hashtbl.create 8 in
+  let rec go block =
+    List.iter
+      (fun (s : Vir.Ast.stmt) ->
+        let id = !next in
+        incr next;
+        match s with
+        | Vir.Ast.If (c, t, e) ->
+          List.iter (fun p -> Hashtbl.replace tbl p id) (Vir.Ast.config_reads c);
+          go t;
+          go e
+        | Vir.Ast.While (c, b) ->
+          List.iter (fun p -> Hashtbl.replace tbl p id) (Vir.Ast.config_reads c);
+          go b
+        | _ -> ())
+      block
+  in
+  go (Vir.Ast.func_body f);
+  fun name -> Hashtbl.find tbl name
+
+let test_snippet1_classic_vs_broadened () =
+  let g = Vir.Cfg.of_func snippet1 in
+  let id = branch_ids snippet1 in
+  (* classic: d's test is control dependent on c but NOT on a *)
+  check Alcotest.bool "classic: d dep on c" true (CD.classic g ~on:(id "c") (id "d"));
+  check Alcotest.bool "classic: d not dep on a" false (CD.classic g ~on:(id "a") (id "d"));
+  (* broadened: all four are dependent *)
+  let pairs = CD.broadened_pairs snippet1 in
+  check Alcotest.bool "broadened: d dep on a" true (List.mem (id "a", id "d") pairs);
+  check Alcotest.bool "broadened: d dep on b" true (List.mem (id "b", id "d") pairs);
+  check Alcotest.bool "broadened: d dep on c" true (List.mem (id "c", id "d") pairs)
+
+let test_snippet2_classic_agrees () =
+  let g = Vir.Cfg.of_func snippet2 in
+  let id = branch_ids snippet2 in
+  (* in snippet 2 even the classic definition makes d dependent on a *)
+  check Alcotest.bool "classic: d dep on a" true (CD.classic g ~on:(id "a") (id "d"));
+  (* but d is not classic-dependent on its sibling c *)
+  check Alcotest.bool "classic: d not dep on c" false (CD.classic g ~on:(id "c") (id "d"));
+  let pairs = CD.broadened_pairs snippet2 in
+  check Alcotest.bool "broadened: d dep on a" true (List.mem (id "a", id "d") pairs);
+  check Alcotest.bool "broadened: siblings stay independent" false
+    (List.mem (id "c", id "d") pairs)
+
+(* ------------------------------------------------------------------ *)
+(* Related-config discovery (Figure 10 / Algorithms 1-2)               *)
+(* ------------------------------------------------------------------ *)
+
+(* the paper's Figure 10 shape: binlog_format gates the call chain that
+   reaches autocommit's usage; autocommit gates flush_at_trx_commit *)
+let fig10 =
+  program ~name:"f10" ~entry:"main"
+    [
+      func "main" [ call "decide_logging_format" []; ret_void ];
+      func "decide_logging_format"
+        [ if_ (cfg "binlog_format" ==. i 0) [ call "write_row" [] ] []; ret_void ];
+      func "write_row"
+        [ if_ (cfg "autocommit" ==. i 1) [ call "commit" [] ] []; ret_void ];
+      func "commit" [ if_ (cfg "flush" ==. i 1) [ fsync ] []; ret_void ];
+    ]
+
+let test_enabler_via_call_chain () =
+  let r = RC.analyze fig10 "autocommit" in
+  check slist "enablers" [ "binlog_format" ] r.RC.enablers;
+  check slist "influenced" [ "flush" ] r.RC.influenced;
+  check slist "related" [ "binlog_format"; "flush" ] r.RC.related
+
+let test_flush_enablers_transitive () =
+  let r = RC.analyze fig10 "flush" in
+  (* flush's usage is reached through callsites guarded by both params *)
+  check slist "enablers" [ "autocommit"; "binlog_format" ] r.RC.enablers;
+  check slist "influenced" [] r.RC.influenced
+
+let test_unrelated_params_stay_unrelated () =
+  let p =
+    program ~name:"p" ~entry:"main"
+      [
+        func "main"
+          [
+            if_ (cfg "x" >. i 100) [ compute (i 1) ] [];
+            if_ (cfg "y" ==. i 1) [ fsync ] [];
+            ret_void;
+          ];
+      ]
+  in
+  let r = RC.analyze p "y" in
+  check slist "no relation" [] r.RC.related
+
+let test_analyze_all_consistent () =
+  let all = RC.analyze_all fig10 in
+  check Alcotest.int "three params" 3 (List.length all);
+  let lookup p = List.assoc p all in
+  (* influenced is the inverse of enablers across the whole result *)
+  List.iter
+    (fun (p, (r : RC.result)) ->
+      List.iter
+        (fun q ->
+          check Alcotest.bool
+            (Printf.sprintf "%s enabler of %s implies influence" q p)
+            true
+            (List.mem p (lookup q).RC.influenced))
+        r.RC.enablers)
+    all
+
+let test_dataflow_bridge_related () =
+  (* query_cache_type is an enabler of wlock_invalidate via the tainted
+     global, the paper's is_disabled() example *)
+  let r = RC.analyze taint_program "wlock_invalidate" in
+  check Alcotest.bool "bridge found" true (List.mem "query_cache_type" r.RC.enablers)
+
+let tests =
+  [
+    tc "taint through global" test_taint_through_global;
+    tc "taint through return" test_taint_through_return;
+    tc "usage functions" test_usage_functions;
+    tc "usage guards nested" test_usage_guards_nested;
+    tc "short-circuit guard" test_short_circuit_guard;
+    tc "snippet1 classic vs broadened" test_snippet1_classic_vs_broadened;
+    tc "snippet2 classic agrees" test_snippet2_classic_agrees;
+    tc "enabler via call chain (Figure 10)" test_enabler_via_call_chain;
+    tc "transitive enablers" test_flush_enablers_transitive;
+    tc "unrelated params" test_unrelated_params_stay_unrelated;
+    tc "analyze_all consistent" test_analyze_all_consistent;
+    tc "dataflow bridge" test_dataflow_bridge_related;
+  ]

@@ -1,0 +1,195 @@
+(* Tests for the IR: builder, address resolution, CFG, postdominators and
+   the call graph. *)
+
+open Vir.Builder
+module Ast = Vir.Ast
+module Cfg = Vir.Cfg
+module Postdom = Vir.Postdom
+module Callgraph = Vir.Callgraph
+
+let check = Alcotest.check
+let tc name f = Alcotest.test_case name `Quick f
+
+let simple_program =
+  program ~name:"p" ~entry:"main"
+    [
+      func "main" [ call "helper" []; call "helper" []; ret_void ];
+      func "helper" [ compute (i 10); ret_void ];
+      func "unreachable" [ call "helper" []; ret_void ];
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Builder                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_addresses_distinct () =
+  let addrs = List.map (fun (f : Ast.func) -> f.Ast.addr) simple_program.Ast.funcs in
+  check Alcotest.int "all distinct" (List.length addrs)
+    (List.length (List.sort_uniq Int.compare addrs));
+  List.iter (fun a -> check Alcotest.bool "nonzero" true (a > 0)) addrs
+
+let test_ret_addrs_in_caller_range () =
+  let main = Ast.find_func simple_program "main" in
+  let rets = ref [] in
+  Ast.iter_stmts
+    (function Ast.Call { ret_addr; _ } -> rets := ret_addr :: !rets | _ -> ())
+    (Ast.func_body main);
+  check Alcotest.int "two call sites" 2 (List.length !rets);
+  List.iter
+    (fun r ->
+      check Alcotest.bool "inside main's range" true
+        (r > main.Ast.addr && r < main.Ast.addr + 0x1000))
+    !rets;
+  check Alcotest.int "sites distinct" 2 (List.length (List.sort_uniq Int.compare !rets))
+
+let test_builder_validation () =
+  Alcotest.check_raises "unknown callee"
+    (Failure "program bad: main calls unknown function nope") (fun () ->
+      ignore (program ~name:"bad" ~entry:"main" [ func "main" [ call "nope" [] ] ]));
+  Alcotest.check_raises "duplicate" (Failure "program dup: duplicate function f") (fun () ->
+      ignore (program ~name:"dup" ~entry:"f" [ func "f" []; func "f" [] ]));
+  Alcotest.check_raises "missing entry" (Failure "program noent: missing entry main")
+    (fun () -> ignore (program ~name:"noent" ~entry:"main" [ func "f" [] ]))
+
+let test_reads () =
+  let e = cfg "a" +. wl "w" *. cfg "b" +. cfg "a" in
+  check (Alcotest.list Alcotest.string) "config reads" [ "a"; "b" ] (Ast.config_reads e);
+  check (Alcotest.list Alcotest.string) "workload reads" [ "w" ] (Ast.workload_reads e)
+
+(* ------------------------------------------------------------------ *)
+(* CFG                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let diamond =
+  func "diamond"
+    [
+      set "x" (i 0);
+      if_ (cfg "c" ==. i 1) [ set "x" (i 1) ] [ set "x" (i 2) ];
+      compute (i 5);
+      ret_void;
+    ]
+
+let test_cfg_diamond () =
+  let g = Cfg.of_func diamond in
+  (* entry, exit, x=0, if, x=1, x=2, compute, return *)
+  check Alcotest.int "node count" 8 (Array.length g.Cfg.nodes);
+  let branch = match Cfg.branch_nodes g with [ b ] -> b | _ -> Alcotest.fail "one branch" in
+  check Alcotest.int "two successors" 2 (List.length branch.Cfg.succs)
+
+let test_cfg_while () =
+  let f =
+    func "loop" [ set "i" (i 0); while_ (lv "i" <. i 3) [ set "i" (lv "i" +. i 1) ]; ret_void ]
+  in
+  let g = Cfg.of_func f in
+  let cond = match Cfg.branch_nodes g with [ b ] -> b | _ -> Alcotest.fail "one branch" in
+  (* loop body feeds back into the condition *)
+  check Alcotest.bool "back edge" true
+    (List.exists
+       (fun (n : Cfg.node) -> List.mem cond.Cfg.id n.Cfg.succs && n.Cfg.id <> cond.Cfg.id)
+       (Array.to_list g.Cfg.nodes));
+  check Alcotest.int "cond has 2 succs" 2 (List.length cond.Cfg.succs)
+
+let test_cfg_return_cuts_flow () =
+  let f = func "early" [ ret_void; compute (i 1) ] in
+  let g = Cfg.of_func f in
+  (* the compute node after return is unreachable: no predecessors *)
+  let unreachable =
+    Array.to_list g.Cfg.nodes
+    |> List.filter (fun (n : Cfg.node) ->
+           n.Cfg.stmt <> None && n.Cfg.preds = [] && n.Cfg.id <> g.Cfg.entry_id)
+  in
+  check Alcotest.int "one unreachable" 1 (List.length unreachable)
+
+(* ------------------------------------------------------------------ *)
+(* Postdominators                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_postdom_diamond () =
+  let g = Cfg.of_func diamond in
+  let pd = Postdom.compute g in
+  (* find nodes by label *)
+  let by_label l =
+    match
+      Array.to_list g.Cfg.nodes |> List.find_opt (fun (n : Cfg.node) -> n.Cfg.label = l)
+    with
+    | Some n -> n.Cfg.id
+    | None -> Alcotest.fail ("no node " ^ l)
+  in
+  let if_node = by_label "if" in
+  let join = by_label "compute" in
+  check Alcotest.bool "join postdominates branch" true (Postdom.postdominates pd join if_node);
+  check Alcotest.bool "exit postdominates entry" true
+    (Postdom.postdominates pd g.Cfg.exit_id g.Cfg.entry_id);
+  (* the two arms are control dependent on the branch, the join is not *)
+  let arms =
+    Array.to_list g.Cfg.nodes
+    |> List.filter (fun (n : Cfg.node) -> n.Cfg.label = "x = ...")
+    |> List.map (fun (n : Cfg.node) -> n.Cfg.id)
+    (* first x=0 is before the branch *)
+    |> List.filter (fun id -> id > if_node)
+  in
+  check Alcotest.int "two arms" 2 (List.length arms);
+  List.iter
+    (fun arm ->
+      check Alcotest.bool "arm control dep" true
+        (Postdom.control_dependent pd g ~on:if_node arm))
+    arms;
+  check Alcotest.bool "join not control dep" false
+    (Postdom.control_dependent pd g ~on:if_node join)
+
+(* ------------------------------------------------------------------ *)
+(* Callgraph                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_callgraph () =
+  let g = Callgraph.build simple_program in
+  check (Alcotest.list Alcotest.string) "callees dedup" [ "helper" ] (Callgraph.callees g "main");
+  check
+    (Alcotest.list Alcotest.string)
+    "callers" [ "main"; "unreachable" ]
+    (List.sort String.compare (Callgraph.callers g "helper"));
+  check (Alcotest.list (Alcotest.list Alcotest.string)) "paths"
+    [ [ "main"; "helper" ] ]
+    (Callgraph.paths_to g ~entry:"main" "helper");
+  check (Alcotest.list Alcotest.string) "reachable" [ "helper"; "main" ]
+    (Callgraph.reachable g ~from:"main")
+
+let test_callgraph_cycles () =
+  let p =
+    program ~name:"cyc" ~entry:"a"
+      [
+        func "a" [ call "b" []; ret_void ];
+        func "b" [ call "a" []; call "c" []; ret_void ];
+        func "c" [ ret_void ];
+      ]
+  in
+  let g = Callgraph.build p in
+  (* simple paths only: the a->b->a cycle must not loop forever *)
+  check (Alcotest.list (Alcotest.list Alcotest.string)) "paths through cycle"
+    [ [ "a"; "b"; "c" ] ]
+    (Callgraph.paths_to g ~entry:"a" "c")
+
+let contains hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let test_pretty_renders () =
+  let text = Fmt.str "%a" Vir.Pretty.pp_program simple_program in
+  check Alcotest.bool "mentions funcs" true
+    (List.for_all (contains text) [ "main"; "helper"; "compute" ])
+
+let tests =
+  [
+    tc "addresses distinct" test_addresses_distinct;
+    tc "return addresses in caller range" test_ret_addrs_in_caller_range;
+    tc "builder validation" test_builder_validation;
+    tc "config/workload reads" test_reads;
+    tc "cfg diamond" test_cfg_diamond;
+    tc "cfg while" test_cfg_while;
+    tc "cfg return cuts flow" test_cfg_return_cuts_flow;
+    tc "postdominators diamond" test_postdom_diamond;
+    tc "callgraph" test_callgraph;
+    tc "callgraph cycles" test_callgraph_cycles;
+    tc "pretty renders" test_pretty_renders;
+  ]

@@ -1,0 +1,272 @@
+(* Tests for the trace analyzer: cost rows, similarity, LCS, differential
+   analysis with its comparability rules, and impact-model persistence. *)
+
+module Row = Vmodel.Cost_row
+module Diff = Vmodel.Diff_analysis
+module CPth = Vmodel.Critical_path
+module M = Vmodel.Impact_model
+module E = Vsmt.Expr
+module Cost = Vruntime.Cost
+
+let check = Alcotest.check
+let tc name f = Alcotest.test_case name `Quick f
+
+let cvar name dom = E.{ name; dom; origin = Config }
+let wvar name dom = E.{ name; dom; origin = Workload }
+
+let flag = cvar "flag" Vsmt.Dom.bool
+let size = cvar "size" (Vsmt.Dom.int_range 0 1000)
+let kind = wvar "kind" (Vsmt.Dom.enum "kind" [ "R"; "W" ])
+
+let row ?(id = 0) ?(configs = []) ?(workload = []) ?(latency = 100.) ?(cost = Cost.zero) () =
+  {
+    Row.state_id = id;
+    config_constraints = configs;
+    workload_pred = workload;
+    cost = { cost with Cost.latency_us = latency };
+    traced_latency_us = latency;
+    chain = [];
+    nodes = [];
+    critical_ops = [];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Cost_row                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_satisfied_by () =
+  let r = row ~configs:E.[ Var flag ==. const 1; Var size >. const 10 ] () in
+  check Alcotest.bool "sat" true (Row.satisfied_by r [ "flag", 1; "size", 50 ]);
+  check Alcotest.bool "unsat" false (Row.satisfied_by r [ "flag", 0; "size", 50 ]);
+  (* an unassigned parameter is a free variable: satisfiable residual *)
+  check Alcotest.bool "missing var leaves residual satisfiable" true
+    (Row.satisfied_by r [ "flag", 1 ]);
+  check Alcotest.bool "unsat residual" false
+    (Row.satisfied_by (row ~configs:E.[ Var size >. const 5000 ] ()) [])
+
+let test_satisfied_by_mixed_constraint () =
+  (* config constraints can mention workload vars (the c6 shape): the
+     setting satisfies the row when the residual is satisfiable *)
+  let r = row ~configs:E.[ Binop (Gt, Var kind, Var size) ] () in
+  (* kind in [0..1]: with size=0 residual kind>0 is satisfiable *)
+  check Alcotest.bool "residual sat" true (Row.satisfied_by r [ "size", 0 ]);
+  check Alcotest.bool "residual unsat" false (Row.satisfied_by r [ "size", 500 ])
+
+let test_constraint_string () =
+  let r = row ~configs:E.[ Var flag ==. const 1 ] () in
+  check Alcotest.string "friendly" "flag==ON" (Row.constraint_string r);
+  check Alcotest.string "empty is true" "true" (Row.constraint_string (row ()))
+
+(* ------------------------------------------------------------------ *)
+(* Similarity                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_similarity_counts () =
+  let a = row ~configs:E.[ Var flag ==. const 1; Var size >. const 5 ] () in
+  let b = row ~configs:E.[ Var flag ==. const 1; Var size >. const 7 ] () in
+  check Alcotest.int "one shared appearance" 1 (Vmodel.Similarity.score a b);
+  let c = row ~configs:E.[ Var flag ==. const 1; Var size >. const 5 ] () in
+  check Alcotest.int "two shared" 2 (Vmodel.Similarity.score a c)
+
+let test_rank_pairs_order () =
+  let a = row ~id:1 ~configs:E.[ Var flag ==. const 1 ] () in
+  let b = row ~id:2 ~configs:E.[ Var flag ==. const 1 ] () in
+  let c = row ~id:3 ~configs:E.[ Var size >. const 5 ] () in
+  match Vmodel.Similarity.rank_pairs [ a; b; c ] with
+  | (x, y, s) :: _ ->
+    check Alcotest.int "most similar first" 1 s;
+    check Alcotest.bool "it is the a-b pair" true
+      (x.Row.state_id + y.Row.state_id = 3)
+  | [] -> Alcotest.fail "no pairs"
+
+(* ------------------------------------------------------------------ *)
+(* LCS                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let strings_gen = QCheck2.Gen.(list_size (int_range 0 30) (oneofl [ "a"; "b"; "c"; "d" ]))
+
+let prop_lcs_is_common_subsequence =
+  QCheck2.Test.make ~name:"lcs is a subsequence of both inputs" ~count:300
+    QCheck2.Gen.(pair strings_gen strings_gen)
+    (fun (xs, ys) ->
+      let pairs = CPth.lcs xs ys in
+      let increasing sel =
+        let idxs = List.map sel pairs in
+        List.for_all2 ( < )
+          (List.filteri (fun i _ -> i < List.length idxs - 1) idxs)
+          (match idxs with [] -> [] | _ :: t -> t)
+      in
+      let matches =
+        List.for_all (fun (i, j) -> List.nth xs i = List.nth ys j) pairs
+      in
+      matches && increasing fst && increasing snd)
+
+let prop_lcs_self =
+  QCheck2.Test.make ~name:"lcs of a list with itself is the list" ~count:200 strings_gen
+    (fun xs -> List.length (CPth.lcs xs xs) = List.length xs)
+
+let test_lcs_example () =
+  let pairs = CPth.lcs [ "a"; "b"; "c"; "d" ] [ "b"; "d" ] in
+  check Alcotest.int "length 2" 2 (List.length pairs)
+
+(* ------------------------------------------------------------------ *)
+(* Diff_analysis                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_threshold_boundary () =
+  (* 100% threshold: 2x latency is not strictly above, 2.01x is *)
+  let fast = row ~id:1 ~configs:E.[ Var flag ==. const 0 ] ~latency:100. () in
+  let at = row ~id:2 ~configs:E.[ Var flag ==. const 1 ] ~latency:200. () in
+  let above = row ~id:3 ~configs:E.[ Var flag ==. const 1 ] ~latency:201. () in
+  let d1 = Diff.analyze [ fast; at ] in
+  check Alcotest.int "2x not flagged" 0 (List.length d1.Diff.pairs);
+  let d2 = Diff.analyze [ fast; above ] in
+  check Alcotest.int "2.01x flagged" 1 (List.length d2.Diff.pairs);
+  check (Alcotest.list Alcotest.int) "poor state" [ 3 ] d2.Diff.poor_state_ids
+
+let test_equal_config_sets_not_compared () =
+  (* same configuration constraints: the difference is input-driven *)
+  let a = row ~id:1 ~configs:E.[ Var flag ==. const 1 ]
+      ~workload:E.[ Var kind ==. const 0 ] ~latency:100. () in
+  let b = row ~id:2 ~configs:E.[ Var flag ==. const 1 ]
+      ~workload:E.[ Var kind ==. const 1 ] ~latency:1000. () in
+  let d = Diff.analyze [ a; b ] in
+  check Alcotest.int "not compared" 0 (List.length d.Diff.pairs)
+
+let test_incompatible_inputs_not_compared () =
+  (* no single input class triggers both states *)
+  let a = row ~id:1 ~configs:E.[ Var flag ==. const 1 ]
+      ~workload:E.[ Var kind ==. const 0 ] ~latency:1000. () in
+  let b = row ~id:2 ~configs:E.[ Var flag ==. const 0 ]
+      ~workload:E.[ Var kind ==. const 1 ] ~latency:100. () in
+  let d = Diff.analyze [ a; b ] in
+  check Alcotest.int "not compared" 0 (List.length d.Diff.pairs)
+
+let test_logical_metric_triggers () =
+  (* latency similar, I/O calls differ: the c6/c17 pattern *)
+  let a =
+    row ~id:1 ~configs:E.[ Var flag ==. const 1 ] ~latency:100.
+      ~cost:{ Cost.zero with Cost.io_calls = 5 } ()
+  in
+  let b =
+    row ~id:2 ~configs:E.[ Var flag ==. const 0 ] ~latency:105.
+      ~cost:{ Cost.zero with Cost.io_calls = 1 } ()
+  in
+  let d = Diff.analyze [ a; b ] in
+  match d.Diff.pairs with
+  | [ p ] ->
+    check Alcotest.bool "io trigger" true (List.mem (Diff.Logical "io_calls") p.Diff.triggers);
+    check Alcotest.bool "no latency trigger" false (List.mem Diff.Latency p.Diff.triggers);
+    check Alcotest.string "label" "I/O" (Diff.trigger_label p.Diff.triggers)
+  | _ -> Alcotest.fail "one pair"
+
+let test_trigger_labels () =
+  check Alcotest.string "latency only" "Latency" (Diff.trigger_label [ Diff.Latency ]);
+  check Alcotest.string "lat+sync" "Lat.&Sync."
+    (Diff.trigger_label [ Diff.Latency; Diff.Logical "sync_ops" ]);
+  check Alcotest.string "none" "-" (Diff.trigger_label [])
+
+let test_compare_pair_direct () =
+  let slow = row ~id:1 ~latency:500. () and fast = row ~id:2 ~latency:100. () in
+  (match Diff.compare_pair ~threshold:1.0 ~slow ~fast with
+  | Some (worst, triggers) ->
+    check Alcotest.bool "worst is 4x diff" true (Float.abs (worst -. 4.) < 1e-6);
+    check Alcotest.bool "latency" true (List.mem Diff.Latency triggers)
+  | None -> Alcotest.fail "should trigger");
+  check Alcotest.bool "below threshold" true
+    (Diff.compare_pair ~threshold:5.0 ~slow ~fast = None)
+
+(* ------------------------------------------------------------------ *)
+(* Critical path                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_differential_critical_path () =
+  (* from the pipeline on the fixture: the slow pair's differential path
+     must end in the fsync wrapper *)
+  let a = Violet.Pipeline.analyze_exn Fixtures.target "autocommit" in
+  let slow_pairs =
+    List.filter
+      (fun (p : Diff.poor_pair) -> p.Diff.latency_ratio > 5.)
+      a.Violet.Pipeline.diff.Diff.pairs
+  in
+  check Alcotest.bool "found slow pairs" true (slow_pairs <> []);
+  check Alcotest.bool "some path reaches fil_flush" true
+    (List.exists
+       (fun (p : Diff.poor_pair) ->
+         match List.rev p.Diff.diff.CPth.critical_path with
+         | last :: _ -> last = "fil_flush" || last = "log_buffer_flush_to_disk"
+         | [] -> false)
+       slow_pairs)
+
+(* ------------------------------------------------------------------ *)
+(* Impact model                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let sample_model () =
+  let rows =
+    [
+      row ~id:1 ~configs:E.[ Var flag ==. const 1 ] ~workload:E.[ Var kind ==. const 1 ]
+        ~latency:900. ();
+      row ~id:2 ~configs:E.[ Var flag ==. const 0 ] ~workload:E.[ Var kind ==. const 1 ]
+        ~latency:100. ();
+    ]
+  in
+  let analysis = Diff.analyze rows in
+  M.build ~system:"t" ~target:"flag" ~related:[ "size" ] ~rows ~analysis
+    ~explored_states:2 ~analysis_wall_s:0.1 ~virtual_analysis_s:60.
+
+let test_model_queries () =
+  let m = sample_model () in
+  check Alcotest.int "poor" 1 (List.length (M.poor_rows m));
+  check Alcotest.bool "row_by_id" true (M.row_by_id m 1 <> None);
+  check Alcotest.int "matching flag=1" 1 (List.length (M.rows_matching m [ "flag", 1 ]));
+  let slow = Option.get (M.row_by_id m 1) and fast = Option.get (M.row_by_id m 2) in
+  check Alcotest.bool "pair recorded" true (M.pairs_between m ~slow ~fast <> [])
+
+let test_model_roundtrip_full () =
+  let m = sample_model () in
+  match M.of_string (M.to_string m) with
+  | Error e -> Alcotest.fail e
+  | Ok m' ->
+    check Alcotest.string "system" m.M.system m'.M.system;
+    check (Alcotest.list Alcotest.string) "related" m.M.related m'.M.related;
+    check Alcotest.int "rows" (List.length m.M.rows) (List.length m'.M.rows);
+    check Alcotest.int "pairs" (List.length m.M.poor_pairs) (List.length m'.M.poor_pairs);
+    check (Alcotest.float 1e-9) "max ratio" m.M.max_ratio m'.M.max_ratio;
+    (* constraints survive: queries still work on the loaded model *)
+    check Alcotest.int "matching after reload" 1
+      (List.length (M.rows_matching m' [ "flag", 1 ]))
+
+let test_model_save_load () =
+  let m = sample_model () in
+  let path = Filename.temp_file "violet_test" ".sexp" in
+  M.save m path;
+  (match M.load path with
+  | Ok m' -> check Alcotest.string "target" m.M.target m'.M.target
+  | Error e -> Alcotest.fail e);
+  Sys.remove path;
+  check Alcotest.bool "missing file is an error" true (Result.is_error (M.load path))
+
+let qt = QCheck_alcotest.to_alcotest
+
+let tests =
+  [
+    tc "satisfied_by" test_satisfied_by;
+    tc "satisfied_by mixed" test_satisfied_by_mixed_constraint;
+    tc "constraint string" test_constraint_string;
+    tc "similarity counts" test_similarity_counts;
+    tc "rank pairs order" test_rank_pairs_order;
+    qt prop_lcs_is_common_subsequence;
+    qt prop_lcs_self;
+    tc "lcs example" test_lcs_example;
+    tc "threshold boundary" test_threshold_boundary;
+    tc "equal config sets skipped" test_equal_config_sets_not_compared;
+    tc "incompatible inputs skipped" test_incompatible_inputs_not_compared;
+    tc "logical metric triggers" test_logical_metric_triggers;
+    tc "trigger labels" test_trigger_labels;
+    tc "compare_pair" test_compare_pair_direct;
+    tc "differential critical path" test_differential_critical_path;
+    tc "model queries" test_model_queries;
+    tc "model roundtrip" test_model_roundtrip_full;
+    tc "model save/load" test_model_save_load;
+  ]

@@ -1,0 +1,291 @@
+(* Tests for the runtime substrate: cost vectors, hardware environments,
+   registries, workload templates and the concrete interpreter. *)
+
+module Cost = Vruntime.Cost
+module Hw = Vruntime.Hw_env
+module Reg = Vruntime.Config_registry
+module Wl = Vruntime.Workload
+module CE = Vruntime.Concrete_exec
+open Vir.Builder
+
+let check = Alcotest.check
+let tc name f = Alcotest.test_case name `Quick f
+
+let cost_gen =
+  QCheck2.Gen.(
+    let small = int_range 0 1000 in
+    tup3 (float_range 0. 1e6) small (tup4 small small small small)
+    >>= fun (latency_us, instructions, (syscalls, io_calls, io_bytes, sync_ops)) ->
+    return
+      {
+        Cost.latency_us;
+        instructions;
+        syscalls;
+        io_calls;
+        io_bytes;
+        sync_ops;
+        net_ops = instructions mod 7;
+        allocations = syscalls mod 5;
+        cache_ops = io_calls mod 3;
+      })
+
+(* ------------------------------------------------------------------ *)
+(* Cost                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let prop_cost_monoid =
+  QCheck2.Test.make ~name:"cost add is a commutative monoid" ~count:300
+    QCheck2.Gen.(pair cost_gen cost_gen)
+    (fun (a, b) ->
+      Cost.equal (Cost.add a b) (Cost.add b a)
+      && Cost.equal (Cost.add a Cost.zero) a
+      && Cost.equal (Cost.sub (Cost.add a b) b) a)
+
+let test_cost_metrics () =
+  let c = { Cost.zero with Cost.syscalls = 3; latency_us = 1.5 } in
+  check (Alcotest.float 0.001) "syscalls" 3. (Cost.metric c "syscalls");
+  check (Alcotest.float 0.001) "latency" 1.5 (Cost.metric c "latency_us");
+  Alcotest.check_raises "unknown metric" (Invalid_argument "Cost.metric: unknown metric nope")
+    (fun () -> ignore (Cost.metric c "nope"));
+  check Alcotest.int "metric count" 9 (List.length Cost.metric_names)
+
+let test_cost_scale () =
+  let c = { Cost.zero with Cost.io_bytes = 10; latency_us = 2. } in
+  let s = Cost.scale 3 c in
+  check Alcotest.int "bytes" 30 s.Cost.io_bytes;
+  check (Alcotest.float 0.001) "latency" 6. s.Cost.latency_us
+
+(* ------------------------------------------------------------------ *)
+(* Hw_env                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_prim_costs () =
+  let env = Hw.hdd_server in
+  let fsync = Hw.cost_of_prim env Vir.Ast.Fsync 1 in
+  check Alcotest.int "fsync syscall" 1 fsync.Cost.syscalls;
+  check Alcotest.bool "fsync slow" true (fsync.Cost.latency_us >= 1000.);
+  let w1 = Hw.cost_of_prim env Vir.Ast.Pwrite 1024 in
+  let w2 = Hw.cost_of_prim env Vir.Ast.Pwrite 4096 in
+  check Alcotest.bool "write scales" true (w2.Cost.latency_us > w1.Cost.latency_us);
+  check Alcotest.int "bytes recorded" 4096 w2.Cost.io_bytes;
+  let m = Hw.cost_of_prim env Vir.Ast.Mutex_lock 1 in
+  check Alcotest.int "mutex sync op" 1 m.Cost.sync_ops;
+  (* environments order: ramdisk < ssd < hdd for fsync *)
+  let f e = (Hw.cost_of_prim e Vir.Ast.Fsync 1).Cost.latency_us in
+  check Alcotest.bool "env ordering" true
+    (f Hw.ramdisk < f Hw.ssd_server && f Hw.ssd_server < f Hw.hdd_server)
+
+let test_negative_magnitude_clamped () =
+  let c = Hw.cost_of_prim Hw.hdd_server Vir.Ast.Pwrite (-5) in
+  check Alcotest.int "clamped" 0 c.Cost.io_bytes
+
+(* ------------------------------------------------------------------ *)
+(* Config_registry                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let registry =
+  Reg.(
+    make ~system:"t"
+      [
+        param_bool "flag" ~default:true "a flag";
+        param_int "size" ~lo:8 ~hi:1024 ~default:64 "a size";
+        param_enum "mode" ~values:[ "A"; "B"; "C" ] ~default:"B" "a mode";
+        param_float "ratio" ~choices:[ 0.1; 0.5; 0.9 ] ~default_index:1 "a ratio";
+      ])
+
+let test_registry_validation () =
+  Alcotest.check_raises "duplicate param" (Failure "registry d: duplicate parameter x")
+    (fun () ->
+      ignore
+        Reg.(make ~system:"d" [ param_bool "x" ~default:false ""; param_bool "x" ~default:true "" ]));
+  Alcotest.check_raises "bad enum default" (Failure "param m: default D not in values")
+    (fun () -> ignore Reg.(param_enum "m" ~values:[ "A" ] ~default:"D" ""))
+
+let test_registry_encode_decode () =
+  let size = Reg.find registry "size" in
+  check (Alcotest.option Alcotest.int) "encode" (Some 512) (Reg.encode size "512");
+  check (Alcotest.option Alcotest.int) "reject oob" None (Reg.encode size "4096");
+  let mode = Reg.find registry "mode" in
+  check (Alcotest.option Alcotest.int) "enum encode" (Some 2) (Reg.encode mode "C");
+  check Alcotest.string "enum decode" "C" (Reg.decode mode 2);
+  let ratio = Reg.find registry "ratio" in
+  check (Alcotest.option (Alcotest.float 0.0001)) "float decode" (Some 0.9)
+    (Reg.decode_float ratio 2);
+  check (Alcotest.option Alcotest.int) "float encode by text" (Some 0) (Reg.encode ratio "0.1")
+
+let test_values () =
+  let v = Reg.Values.defaults registry in
+  check Alcotest.int "default" 64 (Reg.Values.get v "size");
+  let v = Reg.Values.set v "size" 128 in
+  check Alcotest.int "set" 128 (Reg.Values.get v "size");
+  Alcotest.check_raises "invalid value" (Failure "config t: value 9999 out of domain for size")
+    (fun () -> ignore (Reg.Values.set v "size" 9999));
+  let v = Reg.Values.set_str v "mode" "A" in
+  check Alcotest.int "set_str" 0 (Reg.Values.get v "mode");
+  check Alcotest.int "lookup fallback" 7 (Reg.Values.lookup v "missing" 7)
+
+let test_sym_var () =
+  let p = Reg.find registry "size" in
+  let v = Reg.sym_var p in
+  check Alcotest.string "name" "size" v.Vsmt.Expr.name;
+  check Alcotest.bool "origin" true (v.Vsmt.Expr.origin = Vsmt.Expr.Config);
+  check Alcotest.int "dom lo" 8 (Vsmt.Dom.lo v.Vsmt.Expr.dom)
+
+(* ------------------------------------------------------------------ *)
+(* Workload                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let template =
+  Wl.(
+    template "w"
+      [ wparam_enum "op" ~values:[ "R"; "W" ] "op"; wparam_int "n" ~lo:1 ~hi:100 "count" ])
+
+let test_workload () =
+  let inst = Wl.instantiate_named template [ "op", "W"; "n", "5" ] in
+  check Alcotest.int "op" 1 (Wl.value inst "op");
+  check Alcotest.int "n" 5 (Wl.value inst "n");
+  check (Alcotest.option Alcotest.int) "value_opt missing" None (Wl.value_opt inst "zzz");
+  Alcotest.check_raises "out of domain" (Failure "template w: value 0 out of domain for n")
+    (fun () -> ignore (Wl.instantiate template [ "n", 0 ]));
+  let d = Wl.instantiate template [] in
+  check Alcotest.int "defaults to lo" 1 (Wl.value d "n");
+  check Alcotest.bool "describe mentions" true
+    (String.length (Wl.describe inst) > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Concrete_exec                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let env = Hw.hdd_server
+let no_config _ = 0
+let no_workload _ = 0
+
+let test_exec_arith_and_calls () =
+  let p =
+    program ~name:"t" ~entry:"main"
+      [
+        func "main" [ call ~dest:"r" "add" [ i 3; i 4 ]; ret (lv "r" *. i 2) ];
+        func "add" ~params:[ "x"; "y" ] [ ret (lv "x" +. lv "y") ];
+      ]
+  in
+  let o = CE.run ~env p ~config:no_config ~workload:no_workload in
+  check (Alcotest.option Alcotest.int) "result" (Some 14) o.CE.ret
+
+let test_exec_globals_and_loops () =
+  let p =
+    program ~name:"t" ~entry:"main" ~globals:[ "acc", 0 ]
+      [
+        func "main"
+          [
+            set "i" (i 0);
+            while_ (lv "i" <. i 5)
+              [ setg "acc" (gv "acc" +. lv "i"); set "i" (lv "i" +. i 1) ];
+            ret (gv "acc");
+          ];
+      ]
+  in
+  let o = CE.run ~env p ~config:no_config ~workload:no_workload in
+  check (Alcotest.option Alcotest.int) "sum 0..4" (Some 10) o.CE.ret
+
+let test_exec_fuel () =
+  let p =
+    program ~name:"spin" ~entry:"main" [ func "main" [ while_ (i 1) [ compute (i 1) ] ] ]
+  in
+  Alcotest.check_raises "out of fuel" (CE.Out_of_fuel "spin") (fun () ->
+      ignore (CE.run ~fuel:1000 ~env p ~config:no_config ~workload:no_workload))
+
+let test_exec_costs_and_serial () =
+  let p =
+    program ~name:"t" ~entry:"main"
+      [ func "main" [ fsync; buffered_write (i 2048); mutex_lock; mutex_unlock; ret_void ] ]
+  in
+  let o = CE.run ~env p ~config:no_config ~workload:no_workload in
+  check Alcotest.int "io bytes" 2048 o.CE.cost.Cost.io_bytes;
+  check Alcotest.int "sync ops" 2 o.CE.cost.Cost.sync_ops;
+  (* fsync + both mutex ops are serialized; the buffered write is not *)
+  check Alcotest.bool "serial below total" true
+    (o.CE.serial_us < o.CE.cost.Cost.latency_us);
+  check Alcotest.bool "serial includes fsync" true (o.CE.serial_us >= env.Hw.fsync_us)
+
+let test_exec_library () =
+  let p =
+    program ~name:"t" ~entry:"main"
+      [
+        func "main" [ call ~dest:"n" "strlen" [ i 42 ]; ret (lv "n") ];
+        library "strlen" ~effect:Pure ~cost:[ Compute, 10 ] (fun args ->
+            match args with [ x ] -> x + 1 | _ -> 0);
+      ]
+  in
+  let o = CE.run ~env p ~config:no_config ~workload:no_workload in
+  check (Alcotest.option Alcotest.int) "semantics applied" (Some 43) o.CE.ret
+
+let test_exec_per_function () =
+  let p =
+    program ~name:"t" ~entry:"main"
+      [
+        func "main" [ call "slow" []; call "fast" []; ret_void ];
+        func "slow" [ fsync; ret_void ];
+        func "fast" [ compute (i 10); ret_void ];
+      ]
+  in
+  let o = CE.run ~env p ~config:no_config ~workload:no_workload in
+  let lat name = List.assoc name o.CE.per_function in
+  check Alcotest.bool "slow > fast" true (lat "slow" > lat "fast");
+  check Alcotest.bool "main inclusive" true (lat "main" >= Stdlib.( +. ) (lat "slow") (lat "fast"))
+
+let test_exec_entry_override () =
+  let p =
+    program ~name:"t" ~entry:"main"
+      [ func "main" [ fsync; call "leaf" []; ret_void ]; func "leaf" [ ret (i 7) ] ]
+  in
+  let o = CE.run ~entry:"leaf" ~env p ~config:no_config ~workload:no_workload in
+  check (Alcotest.option Alcotest.int) "leaf ran" (Some 7) o.CE.ret;
+  check Alcotest.int "no fsync" 0 o.CE.cost.Cost.io_calls
+
+let throughput_program =
+  program ~name:"t" ~entry:"op"
+    [ func "op" [ compute (i 10000); fsync; ret_void ] ]
+
+let test_throughput_saturates () =
+  let config = Reg.Values.defaults registry in
+  let mix = [ Wl.instantiate template [], 1.0 ] in
+  let x n = CE.throughput ~env throughput_program ~config ~mix ~clients:n in
+  check Alcotest.bool "monotone" true (x 2 >= x 1 && x 16 >= x 2);
+  (* fsync serializes: throughput saturates near 1/fsync_us *)
+  let cap = Stdlib.( /. ) 1e6 env.Hw.fsync_us in
+  check Alcotest.bool "saturation" true (x 64 <= cap && x 64 > Stdlib.( *. ) 0.8 cap)
+
+let test_throughput_validation () =
+  let config = Reg.Values.defaults registry in
+  let mix = [ Wl.instantiate template [], 1.0 ] in
+  Alcotest.check_raises "zero clients"
+    (Invalid_argument "Concrete_exec.throughput: clients must be positive") (fun () ->
+      ignore (CE.throughput ~env throughput_program ~config ~mix ~clients:0));
+  Alcotest.check_raises "empty mix"
+    (Invalid_argument "Concrete_exec.throughput: empty mix") (fun () ->
+      ignore (CE.throughput ~env throughput_program ~config ~mix:[] ~clients:2))
+
+let qt = QCheck_alcotest.to_alcotest
+
+let tests =
+  [
+    qt prop_cost_monoid;
+    tc "cost metrics" test_cost_metrics;
+    tc "cost scale" test_cost_scale;
+    tc "prim costs" test_prim_costs;
+    tc "negative magnitude" test_negative_magnitude_clamped;
+    tc "registry validation" test_registry_validation;
+    tc "registry encode/decode" test_registry_encode_decode;
+    tc "values" test_values;
+    tc "sym var" test_sym_var;
+    tc "workload" test_workload;
+    tc "exec arith and calls" test_exec_arith_and_calls;
+    tc "exec globals and loops" test_exec_globals_and_loops;
+    tc "exec fuel" test_exec_fuel;
+    tc "exec costs and serial" test_exec_costs_and_serial;
+    tc "exec library" test_exec_library;
+    tc "exec per function" test_exec_per_function;
+    tc "exec entry override" test_exec_entry_override;
+    tc "throughput saturates" test_throughput_saturates;
+    tc "throughput validation" test_throughput_validation;
+  ]

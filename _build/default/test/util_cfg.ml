@@ -1,0 +1,7 @@
+(* Shared test helper: build a concrete configuration from string settings. *)
+
+let values registry settings =
+  List.fold_left
+    (fun v (name, s) -> Vruntime.Config_registry.Values.set_str v name s)
+    (Vruntime.Config_registry.Values.defaults registry)
+    settings
