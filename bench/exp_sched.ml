@@ -1,0 +1,87 @@
+(* Scheduler experiment: how fast each path-exploration searcher reaches the
+   specious states of the MySQL autocommit analysis, and what the solver
+   cache saves.  The "steps to 1st poor" column is the global statement-step
+   counter when the first state the differential analysis later marks poor
+   reached a terminal status — the currency for comparing searchers that all
+   explore the same path set under an exhaustive budget. *)
+
+module Ex = Vsymexec.Executor
+module Stats = Vsched.Exploration_stats
+module Cache = Vsched.Solver_cache
+
+let searchers =
+  [
+    Ex.Dfs;
+    Ex.Bfs;
+    Ex.Random_path 11;
+    Ex.Coverage_guided;
+    Ex.Config_impact { related = [] };
+  ]
+
+let analyze ?(solver_cache = true) policy =
+  let opts =
+    { Violet.Pipeline.default_options with policy; solver_cache }
+  in
+  Violet.Pipeline.analyze_exn ~opts Targets.Mysql_model.target "autocommit"
+
+let cache_cell = function
+  | None -> "off"
+  | Some c -> Printf.sprintf "%.0f%% (%d/%d)" (100. *. Cache.hit_rate c) (Cache.hits c) c.Cache.lookups
+
+let run () =
+  Util.section "Searcher comparison: MySQL autocommit (steps to first specious state)";
+  let rows =
+    List.map
+      (fun policy ->
+        let a = analyze policy in
+        let sched = a.Violet.Pipeline.result.Ex.sched in
+        Util.record_sched sched;
+        let poor =
+          a.Violet.Pipeline.diff.Vmodel.Diff_analysis.poor_state_ids
+        in
+        let first =
+          match Stats.first_completion sched ~satisfying:(fun id -> List.mem id poor) with
+          | Some c -> Util.i0 c.Stats.at_step
+          | None -> "-"
+        in
+        [
+          sched.Stats.searcher;
+          Util.i0 sched.Stats.states_completed;
+          Util.i0 sched.Stats.states_dropped;
+          Util.i0 sched.Stats.steps;
+          first;
+          Util.i0 sched.Stats.solver_queries;
+          Util.i0 sched.Stats.solver_solves;
+          cache_cell sched.Stats.cache;
+        ])
+      searchers
+  in
+  Util.print_table
+    ~header:
+      [ "searcher"; "completed"; "dropped"; "steps"; "steps to 1st poor";
+        "queries"; "solves"; "cache hits" ]
+    rows;
+  Util.note "every searcher completes the same path set; only the order differs";
+  (* cache ablation: same searcher with and without the solver cache must
+     produce the identical impact model, only cheaper *)
+  Util.section "Solver cache ablation (Dfs, cache on vs off)";
+  let on = analyze Ex.Dfs and off = analyze ~solver_cache:false Ex.Dfs in
+  let strip (m : Vmodel.Impact_model.t) =
+    Vmodel.Impact_model.to_string { m with Vmodel.Impact_model.analysis_wall_s = 0. }
+  in
+  let identical =
+    String.equal (strip on.Violet.Pipeline.model) (strip off.Violet.Pipeline.model)
+  in
+  let sched_on = on.Violet.Pipeline.result.Ex.sched
+  and sched_off = off.Violet.Pipeline.result.Ex.sched in
+  Util.record_sched sched_on;
+  Util.record_sched sched_off;
+  Util.print_table
+    ~header:[ "cache"; "queries"; "solver solves"; "hits" ]
+    [
+      [ "on"; Util.i0 sched_on.Stats.solver_queries;
+        Util.i0 sched_on.Stats.solver_solves; cache_cell sched_on.Stats.cache ];
+      [ "off"; Util.i0 sched_off.Stats.solver_queries;
+        Util.i0 sched_off.Stats.solver_solves; cache_cell sched_off.Stats.cache ];
+    ];
+  Util.note "impact model identical cache-on vs cache-off: %s" (Util.yes_no identical)

@@ -3,7 +3,9 @@
 
    Usage:
      dune exec bench/main.exe            # everything
-     dune exec bench/main.exe -- table4  # one experiment *)
+     dune exec bench/main.exe -- table4  # one experiment
+     dune exec bench/main.exe -- sched --stats-out sched.json
+                                         # dump exploration telemetry *)
 
 let experiments =
   [
@@ -22,10 +24,22 @@ let experiments =
     "upgrade", ("Checker mode 3: code upgrade", Exp_upgrade.run);
     "perf", ("Section 7.9: toolchain performance", Exp_perf.run);
     "ablation", ("Design-choice ablations", Exp_ablation.run);
+    "sched", ("Searcher comparison + solver-cache ablation", Exp_sched.run);
   ]
 
+(* strip [--stats-out FILE] before dispatching on experiment names *)
+let rec parse_args = function
+  | "--stats-out" :: path :: rest ->
+    Util.stats_out := Some path;
+    parse_args rest
+  | [ "--stats-out" ] ->
+    Fmt.epr "--stats-out requires a file argument@.";
+    exit 1
+  | name :: rest -> name :: parse_args rest
+  | [] -> []
+
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
+  let args = parse_args (List.tl (Array.to_list Sys.argv)) in
   let t0 = Unix.gettimeofday () in
   begin
     match args with
@@ -43,4 +57,5 @@ let () =
             exit 1)
         names
   end;
+  Util.flush_sched ();
   Fmt.pr "@.[bench complete in %.1f s]@." (Unix.gettimeofday () -. t0)

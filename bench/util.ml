@@ -59,6 +59,19 @@ let config_values registry settings =
     (Vruntime.Config_registry.Values.defaults registry)
     settings
 
+(* [--stats-out FILE] support: experiments push the exploration telemetry of
+   every pipeline run they make; main flushes the collection once at exit. *)
+let stats_out : string option ref = ref None
+let collected_sched : Vsched.Exploration_stats.t list ref = ref []
+let record_sched s = collected_sched := s :: !collected_sched
+
+let flush_sched () =
+  match !stats_out with
+  | None -> ()
+  | Some path ->
+    Vsched.Exploration_stats.save ~path (List.rev !collected_sched);
+    note "wrote %d exploration-stats record(s) to %s" (List.length !collected_sched) path
+
 let analyze_case (c : Targets.Cases.known_case) =
   let target = Targets.Cases.target_of c.Targets.Cases.system in
   let opts = c.Targets.Cases.tweak Violet.Pipeline.default_options in

@@ -68,7 +68,7 @@ let related system param =
   Fmt.pr "related:    [%s]@." (String.concat ", " r.Vanalysis.Related_config.related);
   0
 
-let analyze system param save max_states threshold no_related =
+let analyze system param save max_states threshold no_related searcher solver_cache =
   let target = or_die (target_of_system system) in
   let opts =
     {
@@ -76,6 +76,8 @@ let analyze system param save max_states threshold no_related =
       Violet.Pipeline.max_states;
       threshold;
       include_related = not no_related;
+      policy = searcher;
+      solver_cache;
     }
   in
   match Violet.Pipeline.analyze ~opts target param with
@@ -84,6 +86,8 @@ let analyze system param save max_states threshold no_related =
     1
   | Ok a ->
     Fmt.pr "%a" Violet.Report.pp_analysis a;
+    let sched = a.Violet.Pipeline.result.Vsymexec.Executor.sched in
+    Fmt.pr "exploration: %a@." Vsched.Exploration_stats.pp sched;
     (match save with
     | Some path ->
       Vmodel.Impact_model.save a.Violet.Pipeline.model path;
@@ -207,10 +211,35 @@ let analyze_cmd =
       value & flag
       & info [ "no-related" ] ~doc:"Make only the target parameter symbolic.")
   in
+  let searcher =
+    let searcher_conv =
+      Arg.conv
+        ( (fun s ->
+            match Vsched.Searcher.of_string s with
+            | Ok p -> Ok p
+            | Error msg -> Error (`Msg msg)),
+          fun ppf p -> Fmt.string ppf (Vsched.Searcher.to_string p) )
+    in
+    Arg.(
+      value
+      & opt searcher_conv Vsched.Searcher.Dfs
+      & info [ "searcher" ] ~docv:"POLICY"
+          ~doc:
+            "Path-exploration searcher: $(b,dfs), $(b,bfs), $(b,random)[:SEED], \
+             $(b,coverage) (prioritize uncovered config-dependent branches) or \
+             $(b,config-impact) (weight states by pending related-parameter branches).")
+  in
+  let solver_cache =
+    Arg.(
+      value & opt bool true
+      & info [ "solver-cache" ] ~docv:"BOOL"
+          ~doc:"Cache constraint-solver queries (branch + counterexample caches).")
+  in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Symbolically analyze a parameter's performance impact")
     Term.(
-      const analyze $ system_arg $ param_arg 1 $ save $ max_states $ threshold $ no_related)
+      const analyze $ system_arg $ param_arg 1 $ save $ max_states $ threshold $ no_related
+      $ searcher $ solver_cache)
 
 let model_opt =
   Arg.(

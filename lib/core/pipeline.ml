@@ -22,6 +22,8 @@ type options = {
   all_symbolic : bool;
   max_related : int;
   policy : Ex.policy;
+  solver_cache : bool;
+  solver_max_nodes : int;
   state_switching : bool;
   noise : Ex.noise option;
   relaxation_rules : bool;
@@ -43,6 +45,8 @@ let default_options =
     all_symbolic = false;
     max_related = 8;
     policy = Ex.Dfs;
+    solver_cache = true;
+    solver_max_nodes = 4_000;
     state_switching = false;
     noise = None;
     relaxation_rules = true;
@@ -136,7 +140,14 @@ let analyze ?(opts = default_options) target param =
           | None -> 0
         end
       in
-      (* stage 3: symbolic execution with tracing *)
+      (* stage 3: symbolic execution with tracing.  A config-impact searcher
+         declared without a related set inherits the one static analysis just
+         computed — the vanalysis output steering exploration. *)
+      let policy =
+        match opts.policy with
+        | Ex.Config_impact { related = [] } -> Ex.Config_impact { related = sym_param_names }
+        | p -> p
+      in
       let exec_opts =
         {
           Ex.env = opts.env;
@@ -147,10 +158,11 @@ let analyze ?(opts = default_options) target param =
           max_states = opts.max_states;
           max_loop_unroll = 48;
           fuel = opts.fuel;
-          policy = opts.policy;
+          policy;
           state_switching = opts.state_switching;
           time_slice = 64;
-          solver_max_nodes = 4_000;
+          solver_max_nodes = opts.solver_max_nodes;
+          solver_cache = opts.solver_cache;
           noise = opts.noise;
           enable_tracer = true;
           relaxation_rules = opts.relaxation_rules;
@@ -161,7 +173,10 @@ let analyze ?(opts = default_options) target param =
       (* stage 4: trace analysis *)
       let profiles = Vtrace.Profile.of_result result in
       let rows = List.map Vmodel.Cost_row.of_profile profiles in
-      let diff = Vmodel.Diff_analysis.analyze ~threshold:opts.threshold rows in
+      let diff =
+        Vmodel.Diff_analysis.analyze ~threshold:opts.threshold
+          ~max_nodes:opts.solver_max_nodes rows
+      in
       (* engine boot + target start-up inside the guest differs per system:
          MySQL starts "within one minute" (Section 5.1); Apache's prefork
          boot under the engine is the slowest in the paper's Figure 14 *)

@@ -42,6 +42,15 @@ type options = {
           parameter symbolic instead of the related set *)
   max_related : int;
   policy : Vsymexec.Executor.policy;
+      (** the {!Vsched.Searcher} plugged into the executor; a
+          [Config_impact] policy with an empty related set is completed with
+          the symbolic set the static analysis selects *)
+  solver_cache : bool;
+      (** enable the {!Vsched.Solver_cache} layer (default true); hit rates
+          surface in [analysis.result.sched] *)
+  solver_max_nodes : int;
+      (** solver search budget threaded to every executor query (default
+          4_000) *)
   state_switching : bool;
   noise : Vsymexec.Executor.noise option;
   relaxation_rules : bool;  (** false: Section 5.4 relaxation-rule ablation *)

@@ -26,7 +26,7 @@ let solve_with constraints ~pin =
           c)
       constraints
   in
-  match Vsmt.Solver.check constrained with
+  match Vsmt.Solver.check ~max_nodes:Vsmt.Solver.default_max_nodes constrained with
   | Vsmt.Solver.Sat m ->
     let vars = List.concat_map Vsmt.Expr.vars constrained in
     Some (Vsmt.Solver.complete ~vars m)

@@ -34,11 +34,15 @@ let mentions row params =
    already found it; otherwise compare the rows directly.  Modes 1 and 2
    require a single input class to trigger both states (Section 4.6);
    the workload-change mode deliberately compares across input classes. *)
+(* same budget the analyzer's joint-input screen uses; the checker runs on
+   saved models, with no pipeline options in scope to thread from *)
+let joint_input_max_nodes = 1_000
+
 let judge ?(require_joint_input = true) (model : M.t) slow fast =
   if
     require_joint_input
     && not
-         (Vsmt.Solver.is_feasible ~max_nodes:1_000
+         (Vsmt.Solver.is_feasible ~max_nodes:joint_input_max_nodes
             (slow.Row.workload_pred @ fast.Row.workload_pred))
   then None
   else

@@ -12,7 +12,7 @@ let of_predicate preds =
   match preds with
   | [] -> Some { workload = []; description = "any workload" }
   | _ -> begin
-    match Vsmt.Solver.check preds with
+    match Vsmt.Solver.check ~max_nodes:Vsmt.Solver.default_max_nodes preds with
     | Vsmt.Solver.Sat m ->
       let vars = List.concat_map Vsmt.Expr.vars preds in
       let vars =

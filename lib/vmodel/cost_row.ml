@@ -56,7 +56,11 @@ let pp_constraint ppf e =
    must evaluate true; a residual constraint (config constraints can mix in
    workload variables, e.g. "row_bytes * 5/4 > buf_size / 4") must remain
    satisfiable for some input — the setting can then trigger the state. *)
-let all_satisfied constraints assignment =
+(* residual predicates are tiny (the open conjuncts of one row), so the
+   default budget is far below [Solver.default_max_nodes] *)
+let residual_max_nodes = 2_000
+
+let all_satisfied ?(max_nodes = residual_max_nodes) constraints assignment =
   let residuals =
     List.map
       (fun c ->
@@ -71,10 +75,13 @@ let all_satisfied constraints assignment =
   in
   let decided, open_ = List.partition (fun c -> Vsmt.Expr.is_const c <> None) residuals in
   List.for_all (fun c -> Vsmt.Expr.is_const c <> Some 0) decided
-  && (open_ = [] || Vsmt.Solver.is_feasible ~max_nodes:2_000 open_)
+  && (open_ = [] || Vsmt.Solver.is_feasible ~max_nodes open_)
 
-let satisfied_by row assignment = all_satisfied row.config_constraints assignment
-let workload_satisfied_by row assignment = all_satisfied row.workload_pred assignment
+let satisfied_by ?max_nodes row assignment =
+  all_satisfied ?max_nodes row.config_constraints assignment
+
+let workload_satisfied_by ?max_nodes row assignment =
+  all_satisfied ?max_nodes row.workload_pred assignment
 
 let constraint_string row =
   match row.config_constraints with

@@ -20,12 +20,13 @@ type t = {
 
 val of_profile : Vtrace.Profile.t -> t
 
-val satisfied_by : t -> (string * int) list -> bool
+val satisfied_by : ?max_nodes:int -> t -> (string * int) list -> bool
 (** Does a concrete configuration assignment satisfy the row's configuration
     constraints?  Variables missing from the assignment make the row not
-    satisfied. *)
+    satisfied.  [max_nodes] bounds the residual-feasibility solver call
+    (default 2_000 — residual predicates are one row's open conjuncts). *)
 
-val workload_satisfied_by : t -> (string * int) list -> bool
+val workload_satisfied_by : ?max_nodes:int -> t -> (string * int) list -> bool
 val pp_constraint : Vsmt.Expr.t Fmt.t
 (** Friendly constraint rendering, parenthesizing disjunctions so lists can
     be joined with [&&]. *)

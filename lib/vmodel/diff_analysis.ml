@@ -61,7 +61,9 @@ let compare_pair ~threshold ~(slow : Cost_row.t) ~(fast : Cost_row.t) =
    against a SELECT-only state would not isolate the configuration effect. *)
 (* Workload classes repeat heavily across states, so joint-satisfiability
    verdicts are memoized on the canonical text of the conjunction. *)
-let make_comparable rows =
+let joint_sat_max_nodes = 1_000
+
+let make_comparable ~max_nodes rows =
   let tbl = Hashtbl.create 64 in
   List.iter
     (fun r ->
@@ -84,7 +86,7 @@ let make_comparable rows =
          | Some v -> v
          | None ->
            let v =
-             Vsmt.Solver.is_feasible ~max_nodes:1_000
+             Vsmt.Solver.is_feasible ~max_nodes
                (a.Cost_row.workload_pred @ b.Cost_row.workload_pred)
            in
            Hashtbl.add sat_cache key v;
@@ -116,8 +118,9 @@ let pair_triggers ~threshold a b =
   let triggers = (if lat_diff > threshold then [ Latency ] else []) @ logical_triggers in
   if triggers = [] then None else Some (slow, fast, !worst, triggers)
 
-let analyze ?(threshold = 1.0) ?(min_similarity = 0) rows =
-  let comparable = make_comparable rows in
+let analyze ?(threshold = 1.0) ?(min_similarity = 0) ?(max_nodes = joint_sat_max_nodes)
+    rows =
+  let comparable = make_comparable ~max_nodes rows in
   (* pass 1: cheap metric screen over all pairs; only triggered pairs are
      ranked and checked for comparability *)
   let arr = Array.of_list rows in

@@ -32,11 +32,14 @@ val compare_pair :
     [fast]; [None] otherwise.  The checker reuses this on specific row
     pairs (old vs new value, old vs new version). *)
 
-val analyze : ?threshold:float -> ?min_similarity:int -> Cost_row.t list -> t
+val analyze :
+  ?threshold:float -> ?min_similarity:int -> ?max_nodes:int -> Cost_row.t list -> t
 (** [threshold] is the relative difference that makes a pair suspicious:
     1.0 means the slow state is worse by ≥100%.  [min_similarity] skips
     pairs less similar than the bound (default 0: compare all pairs and let
-    ranking order them, as the fallback mode of Section 4.6). *)
+    ranking order them, as the fallback mode of Section 4.6).  [max_nodes]
+    bounds the joint-input satisfiability queries (default 1_000); the
+    pipeline threads its configured solver budget here. *)
 
 val trigger_label : trigger list -> string
 (** Table 4 style: ["Latency"], ["I/O"], ["Lat.&Sync."], ... *)

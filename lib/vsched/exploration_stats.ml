@@ -1,0 +1,150 @@
+type sample = { step : int; queue_depth : int }
+type completion = { state_id : int; at_step : int; dropped : bool }
+
+type t = {
+  searcher : string;
+  solver_cache_enabled : bool;
+  states_created : int;
+  states_completed : int;
+  states_dropped : int;
+  forks : int;
+  steps : int;
+  fork_rate : float;
+  solver_queries : int;
+  solver_solves : int;
+  cache : Solver_cache.stats option;
+  completions : completion list;
+  queue_samples : sample list;
+  wall_time_s : float;
+}
+
+(* ------------------------------------------------------------------ *)
+
+type recorder = {
+  r_searcher : string;
+  r_cache_enabled : bool;
+  mutable r_steps : int;
+  mutable r_forks : int;
+  mutable r_completions : completion list;  (* newest first *)
+  mutable r_samples : sample list;  (* newest first *)
+  mutable r_last_sample_step : int;
+}
+
+let sample_every = 64
+
+let recorder ~searcher ~solver_cache_enabled () =
+  {
+    r_searcher = searcher;
+    r_cache_enabled = solver_cache_enabled;
+    r_steps = 0;
+    r_forks = 0;
+    r_completions = [];
+    r_samples = [];
+    r_last_sample_step = -sample_every;  (* so the very first pick samples *)
+  }
+
+let on_step r = r.r_steps <- r.r_steps + 1
+let on_fork r = r.r_forks <- r.r_forks + 1
+
+let on_pick r ~queue_depth =
+  if r.r_steps - r.r_last_sample_step >= sample_every then begin
+    r.r_samples <- { step = r.r_steps; queue_depth } :: r.r_samples;
+    r.r_last_sample_step <- r.r_steps
+  end
+
+let on_complete r ~state_id ~dropped =
+  r.r_completions <- { state_id; at_step = r.r_steps; dropped } :: r.r_completions
+
+let finish r ~states_created ~solver_queries ~solver_solves ~cache ~wall_time_s =
+  let completions = List.rev r.r_completions in
+  let dropped = List.length (List.filter (fun c -> c.dropped) completions) in
+  {
+    searcher = r.r_searcher;
+    solver_cache_enabled = r.r_cache_enabled;
+    states_created;
+    states_completed = List.length completions - dropped;
+    states_dropped = dropped;
+    forks = r.r_forks;
+    steps = r.r_steps;
+    fork_rate = (if r.r_steps = 0 then 0. else float_of_int r.r_forks /. float_of_int r.r_steps);
+    solver_queries;
+    solver_solves;
+    cache;
+    completions;
+    queue_samples = List.rev r.r_samples;
+    wall_time_s;
+  }
+
+let first_completion t ~satisfying =
+  List.find_opt (fun c -> satisfying c.state_id) t.completions
+
+(* ------------------------------------------------------------------ *)
+(* JSON, hand-rolled: flat records of numbers and one string field.    *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_float f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.6g" f
+
+let cache_to_json (c : Solver_cache.stats) =
+  Printf.sprintf
+    "{\"lookups\":%d,\"exact_hits\":%d,\"cex_hits\":%d,\"subsumption_hits\":%d,\"misses\":%d,\"stored_models\":%d,\"stored_cores\":%d,\"hit_rate\":%s}"
+    c.Solver_cache.lookups c.Solver_cache.exact_hits c.Solver_cache.cex_hits
+    c.Solver_cache.subsumption_hits c.Solver_cache.misses c.Solver_cache.stored_models
+    c.Solver_cache.stored_cores
+    (json_float (Solver_cache.hit_rate c))
+
+let to_json t =
+  let completions =
+    t.completions
+    |> List.map (fun c ->
+           Printf.sprintf "{\"state_id\":%d,\"at_step\":%d,\"dropped\":%b}" c.state_id
+             c.at_step c.dropped)
+    |> String.concat ","
+  in
+  let samples =
+    t.queue_samples
+    |> List.map (fun s -> Printf.sprintf "{\"step\":%d,\"queue_depth\":%d}" s.step s.queue_depth)
+    |> String.concat ","
+  in
+  Printf.sprintf
+    "{\"searcher\":\"%s\",\"solver_cache_enabled\":%b,\"states_created\":%d,\"states_completed\":%d,\"states_dropped\":%d,\"forks\":%d,\"steps\":%d,\"fork_rate\":%s,\"solver_queries\":%d,\"solver_solves\":%d,\"cache\":%s,\"completions\":[%s],\"queue_samples\":[%s],\"wall_time_s\":%s}"
+    (json_escape t.searcher) t.solver_cache_enabled t.states_created t.states_completed
+    t.states_dropped t.forks t.steps (json_float t.fork_rate) t.solver_queries t.solver_solves
+    (match t.cache with None -> "null" | Some c -> cache_to_json c)
+    completions samples (json_float t.wall_time_s)
+
+let save ~path ts =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc "[\n";
+      List.iteri
+        (fun i t ->
+          if i > 0 then output_string oc ",\n";
+          output_string oc (to_json t))
+        ts;
+      output_string oc "\n]\n")
+
+let pp ppf t =
+  Fmt.pf ppf
+    "searcher=%s states=%d (%d completed, %d dropped) forks=%d steps=%d fork_rate=%.4f solver=%d/%d%a"
+    t.searcher t.states_created t.states_completed t.states_dropped t.forks t.steps t.fork_rate
+    t.solver_solves t.solver_queries
+    (fun ppf -> function
+      | None -> ()
+      | Some c -> Fmt.pf ppf " cache[%a]" Solver_cache.pp_stats c)
+    t.cache

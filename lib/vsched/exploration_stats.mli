@@ -1,0 +1,70 @@
+(** Per-run exploration telemetry.
+
+    The executor drives a {!recorder} while it runs (one bump per event, a
+    throttled queue-depth sample per state pick) and {!finish}es it into an
+    immutable {!t} that rides on the executor result.  [t] serializes to JSON
+    so the bench harness can dump trajectories ([--stats-out]) without any
+    external JSON dependency. *)
+
+type sample = { step : int; queue_depth : int }
+
+type completion = {
+  state_id : int;
+  at_step : int;  (** global step counter when the state reached a terminal
+                      status — the "state steps" currency searcher
+                      comparisons are measured in *)
+  dropped : bool;  (** killed rather than terminated *)
+}
+
+type t = {
+  searcher : string;
+  solver_cache_enabled : bool;
+  states_created : int;
+  states_completed : int;  (** reached [Terminated] *)
+  states_dropped : int;  (** killed (infeasible, out of fuel, stuck) *)
+  forks : int;
+  steps : int;
+  fork_rate : float;  (** forks per executed statement step *)
+  solver_queries : int;  (** feasibility + model queries issued *)
+  solver_solves : int;  (** queries that reached {!Vsmt.Solver} (= queries
+                            when the cache is off) *)
+  cache : Solver_cache.stats option;
+  completions : completion list;  (** in completion order *)
+  queue_samples : sample list;  (** (step, frontier depth) over time *)
+  wall_time_s : float;
+}
+
+(** {1 Recording} *)
+
+type recorder
+
+val recorder : searcher:string -> solver_cache_enabled:bool -> unit -> recorder
+val on_step : recorder -> unit
+val on_fork : recorder -> unit
+
+val on_pick : recorder -> queue_depth:int -> unit
+(** Called on every state selection; samples are kept at most once every 64
+    steps (plus the first), so long runs stay small. *)
+
+val on_complete : recorder -> state_id:int -> dropped:bool -> unit
+
+val finish :
+  recorder ->
+  states_created:int ->
+  solver_queries:int ->
+  solver_solves:int ->
+  cache:Solver_cache.stats option ->
+  wall_time_s:float ->
+  t
+
+(** {1 Reporting} *)
+
+val first_completion : t -> satisfying:(int -> bool) -> completion option
+(** Earliest completion whose state id satisfies the predicate — e.g. "when
+    did the first specious path finish". *)
+
+val to_json : t -> string
+val save : path:string -> t list -> unit
+(** Write a JSON array of stats records. *)
+
+val pp : t Fmt.t

@@ -1,0 +1,177 @@
+module E = Vsmt.Expr
+module Solver = Vsmt.Solver
+module Sset = Set.Make (String)
+
+type entry = { result : Solver.result; budget : int }
+
+type t = {
+  max_models : int;
+  max_cores : int;
+  (* order-sensitive memo for model queries; order-insensitive for
+     feasibility queries *)
+  model_memo : (string, entry) Hashtbl.t;
+  feas_memo : (string, entry) Hashtbl.t;
+  mutable models : Solver.model list;  (* newest first *)
+  mutable cores : Sset.t list;  (* newest first *)
+  mutable n_lookups : int;
+  mutable n_exact_hits : int;
+  mutable n_cex_hits : int;
+  mutable n_subsumption_hits : int;
+  mutable n_misses : int;
+}
+
+type stats = {
+  lookups : int;
+  exact_hits : int;
+  cex_hits : int;
+  subsumption_hits : int;
+  misses : int;
+  stored_models : int;
+  stored_cores : int;
+}
+
+let create ?(max_models = 64) ?(max_cores = 256) () =
+  {
+    max_models;
+    max_cores;
+    model_memo = Hashtbl.create 256;
+    feas_memo = Hashtbl.create 256;
+    models = [];
+    cores = [];
+    n_lookups = 0;
+    n_exact_hits = 0;
+    n_cex_hits = 0;
+    n_subsumption_hits = 0;
+    n_misses = 0;
+  }
+
+let key_of cs = String.concat "\x00" (List.map E.to_string cs)
+
+(* A cached Sat/Unsat is a completed proof and is a *sound* verdict under any
+   budget; a cached Unknown only witnesses that [budget] nodes were not
+   enough, so it replays only for queries with the same or a smaller
+   budget. *)
+let sound_verdict entry ~max_nodes =
+  match entry.result with
+  | Solver.Sat _ | Solver.Unsat -> true
+  | Solver.Unknown -> entry.budget >= max_nodes
+
+(* Stricter rule for model queries: replay only when a fresh solve would
+   provably return the identical result.  The solver's answer is monotone in
+   the budget (decided at some node count n*, Unknown below it), so a decided
+   result cached at budget b replays for any request >= b, and an Unknown
+   cached at b replays for any request <= b. *)
+let identical_replay entry ~max_nodes =
+  match entry.result with
+  | Solver.Sat _ | Solver.Unsat -> max_nodes >= entry.budget
+  | Solver.Unknown -> max_nodes <= entry.budget
+
+let all_vars cs =
+  let tbl = Hashtbl.create 16 in
+  List.iter (fun c -> List.iter (fun (v : E.var) -> Hashtbl.replace tbl v.E.name v) (E.vars c)) cs;
+  Hashtbl.fold (fun _ v acc -> v :: acc) tbl []
+
+(* Probe a stored satisfying assignment against the query: complete it over
+   the query's variables and verify every conjunct by evaluation, so a hit is
+   sound by construction. *)
+let probe_models t cs =
+  let vars = all_vars cs in
+  let satisfies m =
+    let m = Solver.complete ~vars m in
+    if List.for_all (fun c -> match Solver.eval_in m c with Some v -> v <> 0 | None -> false) cs
+    then Some m
+    else None
+  in
+  List.find_map satisfies t.models
+
+let store_model t m =
+  let canon m = List.sort compare m in
+  let cm = canon m in
+  if not (List.exists (fun m' -> canon m' = cm) t.models) then begin
+    t.models <- m :: t.models;
+    if List.length t.models > t.max_models then
+      t.models <- List.filteri (fun i _ -> i < t.max_models) t.models
+  end
+
+let store_core t set =
+  (* keep only minimal cores: a new superset of a stored core is redundant,
+     and a new core obsoletes its stored supersets *)
+  if not (List.exists (fun c -> Sset.subset c set) t.cores) then begin
+    t.cores <- set :: List.filter (fun c -> not (Sset.subset set c)) t.cores;
+    if List.length t.cores > t.max_cores then
+      t.cores <- List.filteri (fun i _ -> i < t.max_cores) t.cores
+  end
+
+let record t memo key ~max_nodes result =
+  Hashtbl.replace memo key { result; budget = max_nodes };
+  match result with
+  | Solver.Sat m -> store_model t m
+  | Solver.Unsat -> ()
+  | Solver.Unknown -> ()
+
+let check_model t ~max_nodes cs =
+  t.n_lookups <- t.n_lookups + 1;
+  let cs = Vsmt.Simplify.simplify_conj cs in
+  let key = key_of cs in
+  match Hashtbl.find_opt t.model_memo key with
+  | Some e when identical_replay e ~max_nodes ->
+    t.n_exact_hits <- t.n_exact_hits + 1;
+    e.result
+  | _ ->
+    t.n_misses <- t.n_misses + 1;
+    let result = Solver.check ~max_nodes cs in
+    record t t.model_memo key ~max_nodes result;
+    result
+
+let is_feasible t ~max_nodes cs =
+  t.n_lookups <- t.n_lookups + 1;
+  let cs = Vsmt.Simplify.simplify_conj cs in
+  let canon = List.sort_uniq E.compare cs in
+  let conjunct_keys = List.map E.to_string canon in
+  let key = String.concat "\x00" conjunct_keys in
+  let feasible = function Solver.Sat _ | Solver.Unknown -> true | Solver.Unsat -> false in
+  match Hashtbl.find_opt t.feas_memo key with
+  | Some e when sound_verdict e ~max_nodes ->
+    t.n_exact_hits <- t.n_exact_hits + 1;
+    feasible e.result
+  | _ -> begin
+    match probe_models t canon with
+    | Some m ->
+      t.n_cex_hits <- t.n_cex_hits + 1;
+      Hashtbl.replace t.feas_memo key { result = Solver.Sat m; budget = max_nodes };
+      true
+    | None ->
+      let qset = Sset.of_list conjunct_keys in
+      if List.exists (fun core -> Sset.subset core qset) t.cores then begin
+        t.n_subsumption_hits <- t.n_subsumption_hits + 1;
+        Hashtbl.replace t.feas_memo key { result = Solver.Unsat; budget = max_nodes };
+        false
+      end
+      else begin
+        t.n_misses <- t.n_misses + 1;
+        let result = Solver.check ~max_nodes canon in
+        record t t.feas_memo key ~max_nodes result;
+        if result = Solver.Unsat then store_core t qset;
+        feasible result
+      end
+  end
+
+let stats t =
+  {
+    lookups = t.n_lookups;
+    exact_hits = t.n_exact_hits;
+    cex_hits = t.n_cex_hits;
+    subsumption_hits = t.n_subsumption_hits;
+    misses = t.n_misses;
+    stored_models = List.length t.models;
+    stored_cores = List.length t.cores;
+  }
+
+let hits s = s.exact_hits + s.cex_hits + s.subsumption_hits
+
+let hit_rate s = if s.lookups = 0 then 0. else float_of_int (hits s) /. float_of_int s.lookups
+
+let pp_stats ppf s =
+  Fmt.pf ppf "%d lookups, %d hits (%.0f%%: %d exact, %d cex, %d subsumption), %d misses"
+    s.lookups (hits s) (100. *. hit_rate s) s.exact_hits s.cex_hits s.subsumption_hits
+    s.misses

@@ -1,0 +1,63 @@
+(** Constraint-solving caches in front of {!Vsmt.Solver} — the KLEE-style
+    layer the executor consults on every fork.
+
+    Two query entry points with different cache strength, because they have
+    different soundness obligations:
+
+    - {!check_model} serves the executor's model-generation queries (silent
+      concretization).  It uses {e exact, order-sensitive} memoization only:
+      the solver is deterministic, so a hit returns byte-for-byte the model a
+      fresh solve would, and concretization values — and therefore the
+      derived impact model — are identical with the cache on or off.
+    - {!is_feasible} serves the executor's branch-feasibility queries, where
+      only the Sat/Unsat verdict matters.  On top of (order-insensitive)
+      exact memoization it runs the two KLEE counterexample-cache probes:
+      a stored satisfying assignment is evaluated against the new query
+      (a superset of a satisfiable set often still holds under the same
+      model — sound because the probe {e verifies} the model by evaluation),
+      and a stored unsatisfiable set that is a subset of the new query
+      proves it unsatisfiable (a superset of an unsat core is unsat).
+
+    [Unknown] results are budget-dependent: they are cached together with the
+    [max_nodes] budget that produced them and replayed only for queries with
+    the same or a smaller budget; a query with a larger budget re-solves and
+    overwrites the entry.  [Sat]/[Unsat] are proofs and replay for any
+    budget.
+
+    When the underlying solver is decisive (never returns [Unknown]) the
+    cache is answer-preserving.  When the solver would return [Unknown] on
+    the full query, a subsumption hit can be {e more precise} (a genuine
+    [Unsat] where the direct solve would over-approximate to feasible);
+    precision can only increase, never flip a decided verdict. *)
+
+type t
+
+val create : ?max_models:int -> ?max_cores:int -> unit -> t
+(** [max_models] bounds the counterexample list probed per query (default
+    64, most recently stored first); [max_cores] bounds the stored
+    unsatisfiable sets (default 256). *)
+
+val check_model : t -> max_nodes:int -> Vsmt.Expr.t list -> Vsmt.Solver.result
+(** Decide the conjunction, exact-memoized.  Identical to
+    [Vsmt.Solver.check ~max_nodes] on every call, hit or miss. *)
+
+val is_feasible : t -> max_nodes:int -> Vsmt.Expr.t list -> bool
+(** True when the constraint set is satisfiable or undecided, like
+    {!Vsmt.Solver.is_feasible}, with all cache probes enabled. *)
+
+type stats = {
+  lookups : int;
+  exact_hits : int;  (** same constraint set seen before *)
+  cex_hits : int;  (** a stored model satisfied the query *)
+  subsumption_hits : int;  (** a stored unsat set was a subset of the query *)
+  misses : int;  (** fell through to {!Vsmt.Solver} *)
+  stored_models : int;
+  stored_cores : int;
+}
+
+val stats : t -> stats
+val hits : stats -> int
+val hit_rate : stats -> float
+(** Hits over lookups; [0.] before the first lookup. *)
+
+val pp_stats : stats Fmt.t

@@ -213,7 +213,8 @@ let fixpoint env cs =
   in
   go (propagate env cs) 8
 
-let check ?(max_nodes = 20_000) cs =
+let default_max_nodes = 20_000
+let check ?(max_nodes = default_max_nodes) cs =
   let cs = Simplify.simplify_conj cs in
   match cs with
   | [ Const 0 ] -> Unsat

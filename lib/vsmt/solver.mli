@@ -18,9 +18,14 @@ type model = (string * int) list
 
 type result = Sat of model | Unsat | Unknown
 
+val default_max_nodes : int
+(** The search budget used when a caller does not pass [max_nodes] (20_000).
+    Callers on a configured path (executor, pipeline) should thread their own
+    budget instead of relying on this fallback. *)
+
 val check : ?max_nodes:int -> Expr.t list -> result
 (** Decide the conjunction of the given constraints.  [max_nodes] bounds the
-    number of branching steps (default 20_000). *)
+    number of branching steps (default {!default_max_nodes}). *)
 
 val is_feasible : ?max_nodes:int -> Expr.t list -> bool
 (** True when {!check} returns [Sat] or [Unknown]. *)

@@ -2,7 +2,15 @@ module E = Vsmt.Expr
 module Ast = Vir.Ast
 module S = Sym_state
 
-type policy = Dfs | Bfs | Random_path of int
+(* The policy type *is* the vsched searcher: the old [Dfs]/[Bfs]/
+   [Random_path] spellings stay valid as constructors of the re-exported
+   variant. *)
+type policy = Vsched.Searcher.t =
+  | Dfs
+  | Bfs
+  | Random_path of int
+  | Coverage_guided
+  | Config_impact of { related : string list }
 
 type noise = {
   jitter : float;
@@ -24,6 +32,7 @@ type options = {
   state_switching : bool;
   time_slice : int;
   solver_max_nodes : int;
+  solver_cache : bool;
   noise : noise option;
   enable_tracer : bool;
   relaxation_rules : bool;
@@ -44,6 +53,7 @@ let default_options ?(env = Vruntime.Hw_env.hdd_server) ~config ~workload () =
     state_switching = false;
     time_slice = 64;
     solver_max_nodes = 4_000;
+    solver_cache = true;
     noise = None;
     enable_tracer = true;
     relaxation_rules = true;
@@ -60,7 +70,11 @@ type stats = {
   wall_time_s : float;
 }
 
-type result = { states : Sym_state.t list; stats : stats }
+type result = {
+  states : Sym_state.t list;
+  stats : stats;
+  sched : Vsched.Exploration_stats.t;
+}
 
 let sym_config_var reg name =
   let p = Vruntime.Config_registry.find reg name in
@@ -81,8 +95,53 @@ type engine = {
   mutable n_solver_calls : int;
   mutable n_concretizations : int;
   rng : Random.State.t option;
-  sched_rng : Random.State.t option;
+  cache : Vsched.Solver_cache.t option;
+  frontier : Sym_state.t Vsched.Searcher.frontier;
+  recorder : Vsched.Exploration_stats.recorder;
 }
+
+(* The searcher's window into a state: how deep it is and which branch
+   conditions are still syntactically ahead of it.  Only the scored searchers
+   ever call this. *)
+(* Branch conditions still ahead of a state, in statement order, descending
+   through call sites into defined callee bodies — the scored searchers need
+   to see the autocommit-style branches of a [trans_commit] that the
+   continuation only reaches through a [Call].  Fully-expanded per-function
+   lists are memoized for the run; recursion is truncated (and the truncated
+   list not memoized, since it depends on the call stack). *)
+let make_state_view program =
+  let memo : (string, Ast.expr list) Hashtbl.t = Hashtbl.create 64 in
+  let rec func_conds visiting fname =
+    match Hashtbl.find_opt memo fname with
+    | Some cs -> cs
+    | None ->
+      if List.mem fname visiting then []
+      else begin
+        let cs =
+          match Ast.find_func_opt program fname with
+          | Some { Ast.kind = Ast.Defined body; _ } -> block_conds (fname :: visiting) body
+          | _ -> []
+        in
+        if visiting = [] then Hashtbl.replace memo fname cs;
+        cs
+      end
+  and block_conds visiting b = List.concat_map (stmt_conds visiting) b
+  and stmt_conds visiting = function
+    | Ast.If (c, t, e) -> (c :: block_conds visiting t) @ block_conds visiting e
+    | Ast.While (c, body) -> c :: block_conds visiting body
+    | Ast.Call { fn; _ } -> func_conds visiting fn
+    | _ -> []
+  in
+  fun (st : S.t) ->
+    let pending =
+      List.concat_map
+        (function
+          | S.Kstmts b -> block_conds [] b
+          | S.Kloop { cond; body; _ } -> cond :: block_conds [] body
+          | S.Kret _ -> [])
+        st.S.work
+    in
+    { Vsched.Searcher.depth = List.length st.S.branch_trail; pending }
 
 let fresh_symbol eng prefix =
   let n = eng.next_symbol in
@@ -132,11 +191,20 @@ let emit eng (st : S.t) kind fname =
 
 let is_feasible eng pc =
   eng.n_solver_calls <- eng.n_solver_calls + 1;
-  Vsmt.Solver.is_feasible ~max_nodes:eng.opts.solver_max_nodes pc
+  let max_nodes = eng.opts.solver_max_nodes in
+  match eng.cache with
+  | Some cache -> Vsched.Solver_cache.is_feasible cache ~max_nodes pc
+  | None -> Vsmt.Solver.is_feasible ~max_nodes pc
 
 let model_of eng pc =
   eng.n_solver_calls <- eng.n_solver_calls + 1;
-  match Vsmt.Solver.check ~max_nodes:eng.opts.solver_max_nodes pc with
+  let max_nodes = eng.opts.solver_max_nodes in
+  let result =
+    match eng.cache with
+    | Some cache -> Vsched.Solver_cache.check_model cache ~max_nodes pc
+    | None -> Vsmt.Solver.check ~max_nodes pc
+  in
+  match result with
   | Vsmt.Solver.Sat m -> Some m
   | Vsmt.Solver.Unsat | Vsmt.Solver.Unknown -> None
 
@@ -321,6 +389,9 @@ let call_library eng (st : S.t) ~dest ~ret_addr (f : Ast.func) lib args =
   | None -> st
 
 let exec_branch eng (st : S.t) cond ~on_true ~on_false =
+  (* coverage feedback for the coverage-guided searcher: this branch site has
+     now been executed by some state *)
+  Vsched.Searcher.mark_covered eng.frontier cond;
   let c = sym_eval_simpl eng st cond in
   match E.is_const c with
   | Some v -> One (if v <> 0 then on_true st else on_false st)
@@ -339,6 +410,7 @@ let exec_branch eng (st : S.t) cond ~on_true ~on_false =
     | true, true ->
       if can_fork then begin
         eng.n_forks <- eng.n_forks + 1;
+        Vsched.Exploration_stats.on_fork eng.recorder;
         let st_t =
           {
             st with
@@ -368,6 +440,7 @@ let exec_branch eng (st : S.t) cond ~on_true ~on_false =
 let step eng (st : S.t) : step_result =
   if st.S.fuel <= 0 then kill st "out of fuel"
   else begin
+    Vsched.Exploration_stats.on_step eng.recorder;
     let st = { st with S.fuel = st.S.fuel - 1 } in
     let st = charge eng st (Vruntime.Hw_env.statement_cost eng.opts.env) in
     match st.S.work with
@@ -422,6 +495,7 @@ let step eng (st : S.t) : step_result =
           if eng.opts.fault_injection && dest <> None && eng.next_state_id < eng.opts.max_states
           then begin
             eng.n_forks <- eng.n_forks + 1;
+            Vsched.Exploration_stats.on_fork eng.recorder;
             let failed =
               let st = emit eng st (Signals.Call { eip = f.Ast.addr; ret_addr }) f.Ast.fname in
               let st = emit eng st (Signals.Ret { ret_addr }) f.Ast.fname in
@@ -484,10 +558,12 @@ let run opts program =
         (match opts.noise with
         | Some n -> Some (Random.State.make [| n.seed |])
         | None -> None);
-      sched_rng =
-        (match opts.policy with
-        | Random_path seed -> Some (Random.State.make [| seed; 77 |])
-        | Dfs | Bfs -> None);
+      cache = (if opts.solver_cache then Some (Vsched.Solver_cache.create ()) else None);
+      frontier = Vsched.Searcher.frontier ~view:(make_state_view program) opts.policy;
+      recorder =
+        Vsched.Exploration_stats.recorder
+          ~searcher:(Vsched.Searcher.name opts.policy)
+          ~solver_cache_enabled:opts.solver_cache ();
     }
   in
   let entry = Ast.find_func program program.Ast.entry in
@@ -513,52 +589,30 @@ let run opts program =
       ~work:[] ~fuel:opts.fuel ~tracing:(not has_trace_on)
   in
   let st0 = enter_function eng st0 ~dest:None ~ret_addr:root_ret_addr entry [] in
-  (* worklist of runnable states *)
-  let pending = ref [ st0 ] in
+  (* frontier of runnable states, ordered by the plugged-in searcher *)
+  let frontier = eng.frontier in
+  Vsched.Searcher.add frontier ~preempted:false st0;
   let finished = ref [] in
   let killed = ref 0 and terminated = ref 0 in
   let last_run_id = ref (-1) in
-  let pick () =
-    match !pending with
-    | [] -> None
-    | states -> begin
-      match opts.policy with
-      | Dfs ->
-        let st = List.hd states in
-        pending := List.tl states;
-        Some st
-      | Bfs ->
-        let rec last_and_rest acc = function
-          | [] -> assert false
-          | [ x ] -> x, List.rev acc
-          | x :: rest -> last_and_rest (x :: acc) rest
-        in
-        let st, rest = last_and_rest [] states in
-        pending := rest;
-        Some st
-      | Random_path _ ->
-        let rng = Option.get eng.sched_rng in
-        let n = List.length states in
-        let k = Random.State.int rng n in
-        let st = List.nth states k in
-        pending := List.filteri (fun i _ -> i <> k) states;
-        Some st
-    end
-  in
   let switch_cost (st : S.t) =
     if opts.state_switching && !last_run_id <> st.S.id && !last_run_id >= 0 then
       { st with S.clock = st.S.clock +. opts.env.Vruntime.Hw_env.state_switch_us }
     else st
   in
+  let budget =
+    if Vsched.Searcher.run_to_completion opts.policy then max_int else opts.time_slice
+  in
   let rec drive () =
-    match pick () with
+    match Vsched.Searcher.select frontier with
     | None -> ()
     | Some st ->
+      Vsched.Exploration_stats.on_pick eng.recorder
+        ~queue_depth:(Vsched.Searcher.length frontier);
       let st = switch_cost st in
       last_run_id := st.S.id;
-      let budget = if opts.policy = Dfs then max_int else opts.time_slice in
       let rec run_state st steps =
-        if steps = 0 then pending := !pending @ [ st ]
+        if steps = 0 then Vsched.Searcher.add frontier ~preempted:true st
         else begin
           match
             try step eng st
@@ -567,11 +621,7 @@ let run opts program =
           | One st -> run_state st (steps - 1)
           | Two (a, b) ->
             (* run the first child now; queue the second *)
-            begin
-              match opts.policy with
-              | Dfs -> pending := b :: !pending
-              | Bfs | Random_path _ -> pending := !pending @ [ b ]
-            end;
+            Vsched.Searcher.add frontier ~preempted:false b;
             run_state a (steps - 1)
           | Done st ->
             begin
@@ -580,6 +630,8 @@ let run opts program =
               | S.Killed _ -> incr killed
               | S.Running -> assert false
             end;
+            Vsched.Exploration_stats.on_complete eng.recorder ~state_id:st.S.id
+              ~dropped:(match st.S.status with S.Killed _ -> true | _ -> false);
             finished := st :: !finished
         end
       in
@@ -587,6 +639,13 @@ let run opts program =
       drive ()
   in
   drive ();
+  let wall_time_s = Unix.gettimeofday () -. t0 in
+  let cache_stats = Option.map Vsched.Solver_cache.stats eng.cache in
+  let solver_solves =
+    match cache_stats with
+    | Some c -> c.Vsched.Solver_cache.misses
+    | None -> eng.n_solver_calls
+  in
   {
     states = List.rev !finished;
     stats =
@@ -597,6 +656,9 @@ let run opts program =
         forks = eng.n_forks;
         solver_calls = eng.n_solver_calls;
         concretizations = eng.n_concretizations;
-        wall_time_s = Unix.gettimeofday () -. t0;
+        wall_time_s;
       };
+    sched =
+      Vsched.Exploration_stats.finish eng.recorder ~states_created:eng.next_state_id
+        ~solver_queries:eng.n_solver_calls ~solver_solves ~cache:cache_stats ~wall_time_s;
   }

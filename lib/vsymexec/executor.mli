@@ -22,10 +22,18 @@
       state switching is enabled, and optional latency jitter models
       measurement noise in the engine. *)
 
-type policy =
+(** The state-selection policy is the {!Vsched.Searcher} type, re-exported so
+    the historical [Executor.Dfs]-style spellings keep working.  The live
+    queue behind it is instantiated per run by the executor. *)
+type policy = Vsched.Searcher.t =
   | Dfs  (** run each state to completion before its sibling *)
   | Bfs
   | Random_path of int  (** seeded random state selection *)
+  | Coverage_guided
+      (** prioritize states closest to uncovered config-dependent branches *)
+  | Config_impact of { related : string list }
+      (** weight states by how many related parameters their pending branches
+          read; [related = []] counts every configuration parameter *)
 
 type noise = {
   jitter : float;  (** relative latency jitter, e.g. 0.05 for ±5% *)
@@ -51,6 +59,10 @@ type options = {
           tracer disables this when it would distort latency (Section 5.3) *)
   time_slice : int;  (** steps before a preemptive switch (non-Dfs) *)
   solver_max_nodes : int;
+  solver_cache : bool;
+      (** route every feasibility/model query through a per-run
+          {!Vsched.Solver_cache}; cache statistics surface in
+          {!result.sched} *)
   noise : noise option;
   enable_tracer : bool;
       (** false = "vanilla S²E": no signals are captured at all (Table 7) *)
@@ -82,9 +94,16 @@ type stats = {
   wall_time_s : float;
 }
 
-type result = { states : Sym_state.t list; stats : stats }
+type result = {
+  states : Sym_state.t list;
+  stats : stats;
+  sched : Vsched.Exploration_stats.t;
+}
 (** [states] holds every state that reached a terminal status, in completion
-    order. *)
+    order.  [stats] keeps the historical headline counters ([solver_calls]
+    counts {e queries}, cached or not, so virtual-time accounting is
+    cache-independent); [sched] is the full exploration telemetry including
+    solver-cache hit rates and per-state completion steps. *)
 
 val run : options -> Vir.Ast.program -> result
 

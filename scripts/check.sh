@@ -1,0 +1,20 @@
+#!/bin/sh
+# One-command tier-1 check: format (when the formatter is available), build,
+# full test suite.  CI and pre-commit both call this.
+set -eu
+cd "$(dirname "$0")/.."
+
+if command -v ocamlformat >/dev/null 2>&1; then
+  echo "== dune build @fmt =="
+  dune build @fmt
+else
+  echo "== fmt check skipped (ocamlformat not installed) =="
+fi
+
+echo "== dune build =="
+dune build
+
+echo "== dune runtest =="
+dune runtest
+
+echo "== check OK =="

@@ -17,6 +17,7 @@ let () =
       ("report", Test_report.tests);
       ("patterns", Test_patterns.tests);
       ("subsystems", Test_subsystems.tests);
+      ("vsched", Test_vsched.tests);
       ("endtoend", Test_endtoend.tests);
       ("smoke", Test_smoke.tests);
     ]

@@ -1,0 +1,269 @@
+(* Tests for the vsched subsystem: searcher parsing, path-set equivalence
+   and determinism of every frontier, solver-cache correctness against the
+   direct solver, the guided searchers actually guiding (fewer steps to the
+   specious path than Bfs on the MySQL model), and the cache leaving the
+   end-to-end impact model untouched. *)
+
+module Ex = Vsymexec.Executor
+module S = Vsymexec.Sym_state
+module Sr = Vsched.Searcher
+module Cache = Vsched.Solver_cache
+module Stats = Vsched.Exploration_stats
+module E = Vsmt.Expr
+module Solver = Vsmt.Solver
+
+let check = Alcotest.check
+let tc name f = Alcotest.test_case name `Quick f
+let env = Vruntime.Hw_env.hdd_server
+
+let all_policies =
+  [
+    Ex.Dfs;
+    Ex.Bfs;
+    Ex.Random_path 11;
+    Ex.Coverage_guided;
+    Ex.Config_impact { related = [] };
+    Ex.Config_impact { related = [ "autocommit" ] };
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Searcher parsing                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_of_string_roundtrip () =
+  List.iter
+    (fun p ->
+      match Sr.of_string (Sr.to_string p) with
+      | Ok p' -> check Alcotest.string "roundtrip" (Sr.to_string p) (Sr.to_string p')
+      | Error msg -> Alcotest.fail msg)
+    [ Sr.Dfs; Sr.Bfs; Sr.Random_path 42; Sr.Coverage_guided; Sr.Config_impact { related = [] } ];
+  (match Sr.of_string "random:7" with
+  | Ok (Sr.Random_path 7) -> ()
+  | _ -> Alcotest.fail "random:7 should parse to a seeded searcher");
+  check Alcotest.bool "garbage rejected" true (Result.is_error (Sr.of_string "zigzag"))
+
+(* ------------------------------------------------------------------ *)
+(* Path-set equivalence and determinism on the mini-MySQL fixture      *)
+(* ------------------------------------------------------------------ *)
+
+let fixture_run policy =
+  let reg = Fixtures.registry in
+  let opts =
+    {
+      (Ex.default_options ~env
+         ~config:(fun n -> Vruntime.Config_registry.Values.lookup
+                             (Vruntime.Config_registry.Values.defaults reg) n 0)
+         ~workload:(fun _ -> 0)
+         ())
+      with
+      Ex.sym_configs =
+        [
+          Ex.sym_config_var reg "autocommit";
+          Ex.sym_config_var reg "flush_at_trx_commit";
+          Ex.sym_config_var reg "log_buffer_size";
+        ];
+      sym_workloads = [ Ex.sym_workload_var Fixtures.workload "sql_command" ];
+      policy;
+    }
+  in
+  Ex.run opts Fixtures.program
+
+let pc_signature (r : Ex.result) =
+  r.Ex.states
+  |> List.filter (fun (st : S.t) ->
+         match st.S.status with S.Terminated _ -> true | _ -> false)
+  |> List.map (fun (st : S.t) ->
+         String.concat "&" (List.map E.to_string (List.sort compare st.S.pc)))
+  |> List.sort String.compare
+
+let test_same_path_set_as_dfs () =
+  let dfs = pc_signature (fixture_run Ex.Dfs) in
+  check Alcotest.bool "dfs explores several paths" true (List.length dfs >= 4);
+  List.iter
+    (fun policy ->
+      check
+        (Alcotest.list Alcotest.string)
+        (Sr.to_string policy ^ " = dfs") dfs
+        (pc_signature (fixture_run policy)))
+    all_policies
+
+let completion_order (r : Ex.result) =
+  List.map (fun (c : Stats.completion) -> c.Stats.state_id) r.Ex.sched.Stats.completions
+
+let test_deterministic_ordering () =
+  (* every searcher, including the seeded and the scored ones, completes
+     states in the same order when run twice on the same program *)
+  List.iter
+    (fun policy ->
+      check
+        (Alcotest.list Alcotest.int)
+        (Sr.to_string policy ^ " deterministic")
+        (completion_order (fixture_run policy))
+        (completion_order (fixture_run policy)))
+    all_policies
+
+let test_telemetry_consistent () =
+  let r = fixture_run Ex.Bfs in
+  let sched = r.Ex.sched in
+  (* a two-way fork retires the parent and mints two children, so the leaf
+     count — states that reach a terminal status — is forks + 1 *)
+  check Alcotest.int "every leaf state completes"
+    (Stdlib.( + ) sched.Stats.forks 1)
+    (Stdlib.( + ) sched.Stats.states_completed sched.Stats.states_dropped);
+  check Alcotest.int "completions listed"
+    (Stdlib.( + ) sched.Stats.states_completed sched.Stats.states_dropped)
+    (List.length sched.Stats.completions);
+  check Alcotest.int "solver query count matches headline stats"
+    r.Ex.stats.Ex.solver_calls sched.Stats.solver_queries;
+  check Alcotest.bool "queue was sampled" true (sched.Stats.queue_samples <> []);
+  (* the JSON dump is parseable enough to contain the headline numbers *)
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  let json = Stats.to_json sched in
+  check Alcotest.bool "json mentions searcher" true (contains json "\"searcher\":\"bfs\"")
+
+(* ------------------------------------------------------------------ *)
+(* Solver cache vs direct solver on randomized constraint sets         *)
+(* ------------------------------------------------------------------ *)
+
+let var name lo hi = E.{ name; dom = Vsmt.Dom.int_range lo hi; origin = Config }
+let qa = var "qa" 0 1
+let qb = var "qb" 0 7
+let qc = var "qc" 0 7
+
+let atom_gen =
+  QCheck2.Gen.(
+    let open E in
+    let v = oneofl [ qa; qb; qc ] in
+    let cmp = oneofl [ ( ==. ); ( <>. ); ( <. ); ( >. ); ( <=. ); ( >=. ) ] in
+    oneof
+      [
+        (v >>= fun x -> cmp >>= fun op -> int_range 0 8 >>= fun k ->
+         return (op (Var x) (Const k)));
+        (v >>= fun x -> v >>= fun y -> cmp >>= fun op -> int_range 0 12 >>= fun k ->
+         return (op (Binop (Add, Var x, Var y)) (Const k)));
+      ])
+
+let query_gen = QCheck2.Gen.(list_size (int_range 0 5) atom_gen)
+
+let prop_cache_matches_solver =
+  (* one cache instance across the whole sequence, so later queries hit the
+     models and cores stored by earlier ones; each verdict must still agree
+     with a fresh direct solve.  The domains are tiny, so the solver is
+     decisive and the cache may not add or lose precision. *)
+  let cache = Cache.create () in
+  QCheck2.Test.make ~name:"cached verdicts match the direct solver" ~count:300
+    query_gen (fun cs ->
+      let direct = Solver.check ~max_nodes:4_000 cs in
+      let feas = Cache.is_feasible cache ~max_nodes:4_000 cs in
+      let model = Cache.check_model cache ~max_nodes:4_000 cs in
+      let same_verdict =
+        match direct with
+        | Solver.Sat _ | Solver.Unknown -> feas
+        | Solver.Unsat -> not feas
+      in
+      (* check_model is exact memoization of a deterministic solver: the
+         result must be byte-identical, model values included *)
+      same_verdict && model = direct)
+
+let test_cache_hits_accumulate () =
+  let cache = Cache.create () in
+  let cs = E.[ Var qb >. Const 3; Var qb <. Const 6 ] in
+  ignore (Cache.is_feasible cache ~max_nodes:4_000 cs);
+  ignore (Cache.is_feasible cache ~max_nodes:4_000 cs);
+  (* a superset of a satisfiable set: served by the counterexample probe
+     without a new solve whenever the stored model satisfies it *)
+  ignore (Cache.is_feasible cache ~max_nodes:4_000 (E.(Var qa >=. Const 0) :: cs));
+  let s = Cache.stats cache in
+  check Alcotest.int "lookups" 3 s.Cache.lookups;
+  check Alcotest.bool "hits" true (Cache.hits s >= 1);
+  check Alcotest.bool "rate" true (Cache.hit_rate s > 0.);
+  (* an unsat set, then a superset of it: subsumption *)
+  let unsat = E.[ Var qb >. Const 5; Var qb <. Const 3 ] in
+  check Alcotest.bool "unsat" false (Cache.is_feasible cache ~max_nodes:4_000 unsat);
+  check Alcotest.bool "superset unsat" false
+    (Cache.is_feasible cache ~max_nodes:4_000 (E.(Var qa ==. Const 1) :: unsat));
+  let s = Cache.stats cache in
+  check Alcotest.bool "subsumption used" true (s.Cache.subsumption_hits >= 1)
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end: guided searchers beat Bfs to the specious path, and the *)
+(* cache changes nothing but the solve count                           *)
+(* ------------------------------------------------------------------ *)
+
+let mysql_analysis =
+  let run (policy, solver_cache) =
+    let opts = { Violet.Pipeline.default_options with policy; solver_cache } in
+    Violet.Pipeline.analyze_exn ~opts Targets.Mysql_model.target "autocommit"
+  in
+  let memo = Hashtbl.create 4 in
+  fun policy ~solver_cache ->
+    let key = Sr.to_string policy, solver_cache in
+    match Hashtbl.find_opt memo key with
+    | Some a -> a
+    | None ->
+      let a = run (policy, solver_cache) in
+      Hashtbl.add memo key a;
+      a
+
+let steps_to_first_poor (a : Violet.Pipeline.analysis) =
+  let poor = a.Violet.Pipeline.diff.Vmodel.Diff_analysis.poor_state_ids in
+  check Alcotest.bool "analysis finds poor states" true (poor <> []);
+  match
+    Stats.first_completion a.Violet.Pipeline.result.Ex.sched
+      ~satisfying:(fun id -> List.mem id poor)
+  with
+  | Some c -> c.Stats.at_step
+  | None -> Alcotest.fail "no poor state ever completed"
+
+let test_guided_beats_bfs () =
+  let bfs = steps_to_first_poor (mysql_analysis Ex.Bfs ~solver_cache:true) in
+  let coverage = steps_to_first_poor (mysql_analysis Ex.Coverage_guided ~solver_cache:true) in
+  let impact =
+    steps_to_first_poor
+      (mysql_analysis (Ex.Config_impact { related = [] }) ~solver_cache:true)
+  in
+  check Alcotest.bool
+    (Printf.sprintf "coverage (%d) < bfs (%d)" coverage bfs)
+    true (coverage < bfs);
+  check Alcotest.bool
+    (Printf.sprintf "config-impact (%d) < bfs (%d)" impact bfs)
+    true (impact < bfs)
+
+let test_cache_transparent_end_to_end () =
+  let strip (a : Violet.Pipeline.analysis) =
+    Vmodel.Impact_model.to_string
+      { a.Violet.Pipeline.model with Vmodel.Impact_model.analysis_wall_s = 0. }
+  in
+  let on = mysql_analysis Ex.Dfs ~solver_cache:true in
+  let off = mysql_analysis Ex.Dfs ~solver_cache:false in
+  check Alcotest.string "identical impact model" (strip off) (strip on);
+  let sched = on.Violet.Pipeline.result.Ex.sched in
+  (match sched.Stats.cache with
+  | None -> Alcotest.fail "cache stats missing with the cache on"
+  | Some c ->
+    check Alcotest.bool "nonzero hit rate" true (Cache.hit_rate c > 0.);
+    check Alcotest.bool "fewer solves than queries" true
+      (sched.Stats.solver_solves < sched.Stats.solver_queries));
+  let sched_off = off.Violet.Pipeline.result.Ex.sched in
+  check Alcotest.bool "cache off reports no stats" true (sched_off.Stats.cache = None);
+  check Alcotest.int "cache off solves every query" sched_off.Stats.solver_queries
+    sched_off.Stats.solver_solves;
+  (* query counts are cache-independent, so virtual-time accounting is too *)
+  check Alcotest.int "query count unchanged" sched_off.Stats.solver_queries
+    sched.Stats.solver_queries
+
+let tests =
+  [
+    tc "searcher of_string roundtrip" test_of_string_roundtrip;
+    tc "all searchers explore dfs's path set" test_same_path_set_as_dfs;
+    tc "completion order deterministic" test_deterministic_ordering;
+    tc "telemetry consistent" test_telemetry_consistent;
+    QCheck_alcotest.to_alcotest prop_cache_matches_solver;
+    tc "cache hit counters" test_cache_hits_accumulate;
+    tc "guided searchers beat bfs to the specious path" test_guided_beats_bfs;
+    tc "solver cache transparent end to end" test_cache_transparent_end_to_end;
+  ]
