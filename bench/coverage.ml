@@ -17,7 +17,11 @@ type system_coverage = {
 }
 
 let sweep_opts =
-  { Violet.Pipeline.default_options with Violet.Pipeline.max_states = 512 }
+  {
+    Violet.Pipeline.default_options with
+    Violet.Pipeline.budget =
+      Vresilience.Budget.with_max_states Vresilience.Budget.default 512;
+  }
 
 let run_system (target : Violet.Pipeline.target) =
   let params = Vruntime.Config_registry.params target.Violet.Pipeline.registry in

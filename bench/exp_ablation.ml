@@ -35,7 +35,11 @@ let ablation_symbolic_set () =
       row "target only" { P.default_options with P.include_related = false };
       row "target + related (default)" P.default_options;
       row "all hookable params"
-        { P.default_options with P.all_symbolic = true; P.max_states = 2048 };
+        {
+          P.default_options with
+          P.all_symbolic = true;
+          P.budget = Vresilience.Budget.with_max_states P.default_options.P.budget 2048;
+        };
     ]
 
 let ablation_pairing () =

@@ -39,7 +39,7 @@ let run () =
         in
         match Violet.Pipeline.analyze ~opts target param with
         | Error e ->
-          Some [ system; param; "error: " ^ e; "-"; "-" ]
+          Some [ system; param; "error: " ^ Violet.Pipeline.error_to_string e; "-"; "-" ]
         | Ok a ->
           let pairs = a.Violet.Pipeline.diff.Vmodel.Diff_analysis.pairs in
           let sample = List.filteri (fun i _ -> i < 25) pairs in

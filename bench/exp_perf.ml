@@ -14,9 +14,7 @@ let checker_inputs () =
         String.concat "\n"
           (List.map (fun (k, v) -> k ^ " = " ^ v) c.Targets.Cases.poor_setting)
       in
-      match Vchecker.Config_file.parse text with
-      | Ok file -> Some (c, target, a, file)
-      | Error _ -> None)
+      Some (c, target, a, Vchecker.Config_file.parse text))
     [ "c1"; "c3"; "c5"; "c7"; "c12"; "c16" ]
 
 let wall_measurements () =
@@ -57,9 +55,7 @@ let micro_benchmarks () =
   let target = Targets.Mysql_model.target in
   let registry = target.Violet.Pipeline.registry in
   let file =
-    match Vchecker.Config_file.parse "autocommit = ON\ninnodb_flush_log_at_trx_commit = 1" with
-    | Ok f -> f
-    | Error e -> failwith e
+    Vchecker.Config_file.parse "autocommit = ON\ninnodb_flush_log_at_trx_commit = 1"
   in
   let constraints =
     let open Vsmt.Expr in

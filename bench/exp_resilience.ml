@@ -1,0 +1,141 @@
+(* Resilience experiment (DESIGN.md Section 5d): what do the robustness
+   features cost, and what does a degraded model still know?
+
+   1. checkpoint overhead: wall-clock cost of periodic frontier snapshots
+      as a percentage of an uncheckpointed run;
+   2. resume fidelity: a run continued from its last mid-run checkpoint
+      must produce a byte-identical impact model;
+   3. degradation fidelity: cut the same analysis off at decreasing
+      fractions of its natural clock-sample count and report what each
+      deadline leaves of the model (states, cost-table rows, dropped
+      paths, rungs entered, and whether c1 is still detected). *)
+
+module P = Violet.Pipeline
+module B = Vresilience.Budget
+module M = Vmodel.Impact_model
+module Ex = Vsymexec.Executor
+
+let target = Targets.Mysql_model.target
+let param = "autocommit"
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  r, Unix.gettimeofday () -. t0
+
+(* wall time pinned to zero so two runs can be compared byte-for-byte *)
+let frozen = B.with_clock B.default (fun () -> 0.)
+
+(* pressure ramps linearly from 0 to 1 across [expire_at] clock samples, so
+   the degradation ladder gets to walk its rungs before the deadline lands *)
+let ramp_clock ~deadline ~expire_at =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    deadline *. float_of_int !n /. float_of_int expire_at
+
+let checkpoint_overhead () =
+  Fmt.pr "@.1. checkpoint overhead (mysql/%s):@." param;
+  let median_wall opts =
+    let walls =
+      List.init 3 (fun _ -> snd (timed (fun () -> P.analyze_exn ~opts target param)))
+    in
+    List.nth (List.sort compare walls) 1
+  in
+  let base = median_wall P.default_options in
+  let path = Filename.temp_file "violet_resilience" ".ckpt" in
+  let rows =
+    List.map
+      (fun every ->
+        let wall =
+          median_wall
+            { P.default_options with P.checkpoint = Some { P.path; every_picks = every } }
+        in
+        [
+          Printf.sprintf "every %d picks" every;
+          Util.f2 wall;
+          Printf.sprintf "%+.1f%%" (100. *. (wall -. base) /. base);
+        ])
+      [ 64; 16; 4; 1 ]
+  in
+  if Sys.file_exists path then Sys.remove path;
+  Util.print_table
+    ~header:[ "checkpointing"; "wall s"; "overhead" ]
+    ([ "none (baseline)"; Util.f2 base; "-" ] :: rows)
+
+let resume_fidelity () =
+  Fmt.pr "@.2. resume fidelity (mysql/%s):@." param;
+  let path = Filename.temp_file "violet_resilience" ".ckpt" in
+  Sys.remove path;
+  let opts ~resume =
+    {
+      P.default_options with
+      P.budget = frozen;
+      checkpoint = Some { P.path; every_picks = 4 };
+      resume;
+    }
+  in
+  let full = P.analyze_exn ~opts:(opts ~resume:false) target param in
+  let resumed = P.analyze_exn ~opts:(opts ~resume:true) target param in
+  Util.record_sched resumed.P.result.Ex.sched;
+  Util.note "resumed model byte-identical: %s"
+    (Util.yes_no (M.to_string full.P.model = M.to_string resumed.P.model));
+  if Sys.file_exists path then Sys.remove path
+
+let degradation_fidelity () =
+  Fmt.pr "@.3. model fidelity under deadline degradation (mysql/%s):@." param;
+  let case = Targets.Cases.find_known "c1" in
+  (* calibrate: how many clock samples does the full analysis take?  The
+     calibration budget needs a (never-firing) deadline — without one the
+     engine skips the clock on every deadline check and the count collapses
+     to a handful of reads *)
+  let reads = ref 0 in
+  let counting =
+    B.with_clock
+      (B.with_deadline B.default (Some 1e12))
+      (fun () ->
+        incr reads;
+        0.)
+  in
+  ignore (P.analyze_exn ~opts:{ P.default_options with P.budget = counting } target param);
+  let total = !reads in
+  let row frac =
+    let budget =
+      if frac >= 1. then frozen
+      else
+        B.with_clock
+          (B.with_deadline B.default (Some 60.))
+          (ramp_clock ~deadline:60.
+             ~expire_at:(max 10 (int_of_float (float_of_int total *. frac))))
+    in
+    let a = P.analyze_exn ~opts:{ P.default_options with P.budget } target param in
+    Util.record_sched a.P.result.Ex.sched;
+    let detected =
+      Violet.Detect.detected target.P.registry a ~poor:case.Targets.Cases.poor_setting
+    in
+    let dropped, rungs =
+      match a.P.model.M.degradation with
+      | None -> 0, "-"
+      | Some d ->
+        ( List.length d.M.dropped_paths,
+          if d.M.rungs = [] then "-" else String.concat "+" d.M.rungs )
+    in
+    [
+      (if frac >= 1. then "no deadline" else Printf.sprintf "cut at %.0f%%" (frac *. 100.));
+      Util.i0 a.P.model.M.explored_states;
+      Util.i0 (List.length a.P.rows);
+      Util.i0 dropped;
+      rungs;
+      Util.yes_no (M.is_degraded a.P.model);
+      Util.yes_no detected;
+    ]
+  in
+  Util.print_table
+    ~header:[ "budget"; "states"; "rows"; "dropped"; "rungs"; "degraded"; "c1 detected" ]
+    (List.map row [ 1.0; 0.75; 0.5; 0.25 ])
+
+let run () =
+  Util.section "Resilience: checkpoint overhead, resume and degradation fidelity";
+  checkpoint_overhead ();
+  resume_fidelity ();
+  degradation_fidelity ()

@@ -41,11 +41,7 @@ let checker_verdicts () =
       let file_text =
         String.concat "\n" (List.map (fun (k, v) -> k ^ " = " ^ v) setting)
       in
-      let file =
-        match Vchecker.Config_file.parse file_text with
-        | Ok f -> f
-        | Error e -> failwith e
-      in
+      let file = Vchecker.Config_file.parse file_text in
       let report =
         match
           Checker.check_current ~model:analysis.Violet.Pipeline.model ~registry ~file

@@ -25,6 +25,7 @@ let experiments =
     "perf", ("Section 7.9: toolchain performance", Exp_perf.run);
     "ablation", ("Design-choice ablations", Exp_ablation.run);
     "sched", ("Searcher comparison + solver-cache ablation", Exp_sched.run);
+    "resilience", ("Checkpoint overhead + degradation fidelity", Exp_resilience.run);
   ]
 
 (* strip [--stats-out FILE] before dispatching on experiment names *)

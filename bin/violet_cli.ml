@@ -22,7 +22,12 @@ let param_arg pos_idx =
   Arg.(required & pos pos_idx (some string) None & info [] ~docv:"PARAM" ~doc)
 
 let target_of_system system =
-  try Ok (Targets.Cases.target_of system) with Failure msg -> Error msg
+  match Targets.Cases.find_target system with
+  | Some t -> Ok t
+  | None ->
+    Error
+      (Printf.sprintf "unknown system %s (expected one of: %s)" system
+         (String.concat ", " Targets.Cases.systems))
 
 let or_die = function
   | Ok v -> v
@@ -68,26 +73,47 @@ let related system param =
   Fmt.pr "related:    [%s]@." (String.concat ", " r.Vanalysis.Related_config.related);
   0
 
-let analyze system param save max_states threshold no_related searcher solver_cache =
+let analyze system param save max_states threshold no_related searcher solver_cache
+    deadline checkpoint resume chaos =
   let target = or_die (target_of_system system) in
+  let chaos =
+    match chaos with
+    | None -> None
+    | Some spec -> Some (or_die (Vresilience.Chaos.of_string spec))
+  in
+  let budget =
+    Vresilience.Budget.with_deadline
+      (Vresilience.Budget.with_max_states Vresilience.Budget.default max_states)
+      deadline
+  in
   let opts =
     {
       Violet.Pipeline.default_options with
-      Violet.Pipeline.max_states;
+      Violet.Pipeline.budget;
       threshold;
       include_related = not no_related;
       policy = searcher;
       solver_cache;
+      checkpoint =
+        Option.map
+          (fun path -> { Violet.Pipeline.path; every_picks = 32 })
+          checkpoint;
+      resume;
+      chaos;
     }
   in
   match Violet.Pipeline.analyze ~opts target param with
-  | Error msg ->
-    Fmt.epr "violet: %s@." msg;
+  | Error e ->
+    Fmt.epr "violet: %s@." (Violet.Pipeline.error_to_string e);
     1
   | Ok a ->
     Fmt.pr "%a" Violet.Report.pp_analysis a;
     let sched = a.Violet.Pipeline.result.Vsymexec.Executor.sched in
     Fmt.pr "exploration: %a@." Vsched.Exploration_stats.pp sched;
+    (if Vmodel.Impact_model.is_degraded a.Violet.Pipeline.model then
+       Fmt.pr
+         "WARNING: analysis was degraded under budget pressure; the model is \
+          conservative, not complete@.");
     (match save with
     | Some path ->
       Vmodel.Impact_model.save a.Violet.Pipeline.model path;
@@ -99,14 +125,22 @@ let load_model_or_analyze target param model_path =
   match model_path with
   | Some path -> Vmodel.Impact_model.load path
   | None ->
-    Result.map
-      (fun (a : Violet.Pipeline.analysis) -> a.Violet.Pipeline.model)
-      (Violet.Pipeline.analyze target param)
+    Result.map_error Violet.Pipeline.error_to_string
+      (Result.map
+         (fun (a : Violet.Pipeline.analysis) -> a.Violet.Pipeline.model)
+         (Violet.Pipeline.analyze target param))
+
+let load_config_file path =
+  let file = or_die (Vchecker.Config_file.load path) in
+  List.iter
+    (fun (line, msg) -> Fmt.epr "violet: %s:%d: %s (line skipped)@." path line msg)
+    (Vchecker.Config_file.issues file);
+  file
 
 let check system param file model_path =
   let target = or_die (target_of_system system) in
   let model = or_die (load_model_or_analyze target param model_path) in
-  let file = or_die (Vchecker.Config_file.load file) in
+  let file = load_config_file file in
   let report =
     or_die
       (Vchecker.Checker.check_current ~model ~registry:target.Violet.Pipeline.registry ~file)
@@ -117,8 +151,8 @@ let check system param file model_path =
 let check_update system param old_file new_file model_path =
   let target = or_die (target_of_system system) in
   let model = or_die (load_model_or_analyze target param model_path) in
-  let old_file = or_die (Vchecker.Config_file.load old_file) in
-  let new_file = or_die (Vchecker.Config_file.load new_file) in
+  let old_file = load_config_file old_file in
+  let new_file = load_config_file new_file in
   let report =
     or_die
       (Vchecker.Checker.check_update ~model ~registry:target.Violet.Pipeline.registry
@@ -131,7 +165,13 @@ let coverage system =
   let target = or_die (target_of_system system) in
   let params = Vruntime.Config_registry.params target.Violet.Pipeline.registry in
   let analyzable = Violet.Pipeline.analyzable_params target in
-  let opts = { Violet.Pipeline.default_options with Violet.Pipeline.max_states = 512 } in
+  let opts =
+    {
+      Violet.Pipeline.default_options with
+      Violet.Pipeline.budget =
+        Vresilience.Budget.with_max_states Vresilience.Budget.default 512;
+    }
+  in
   let derived =
     List.filter
       (fun p ->
@@ -149,8 +189,8 @@ let coverage system =
 let dump_trace system param out =
   let target = or_die (target_of_system system) in
   match Violet.Pipeline.analyze target param with
-  | Error msg ->
-    Fmt.epr "violet: %s@." msg;
+  | Error e ->
+    Fmt.epr "violet: %s@." (Violet.Pipeline.error_to_string e);
     1
   | Ok a ->
     let traces = Vtrace.Trace_file.of_result a.Violet.Pipeline.result in
@@ -235,11 +275,49 @@ let analyze_cmd =
       & info [ "solver-cache" ] ~docv:"BOOL"
           ~doc:"Cache constraint-solver queries (branch + counterexample caches).")
   in
+  let deadline =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline" ] ~docv:"SECONDS"
+          ~doc:
+            "Wall-clock budget.  Exploration degrades gracefully as the deadline \
+             nears and always terminates by it; a degraded model is flagged.")
+  in
+  let checkpoint =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"FILE"
+          ~doc:
+            "Periodically snapshot the exploration frontier to $(docv) (atomic, \
+             versioned, checksummed), so a killed run can be continued with \
+             $(b,--resume).")
+  in
+  let resume =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "Continue from the $(b,--checkpoint) file instead of starting fresh.  The \
+             resumed run's impact model is byte-identical to an uninterrupted one.")
+  in
+  let chaos =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "chaos" ] ~docv:"SEED[:PROB]"
+          ~doc:
+            "Engine-fault injection for robustness testing: with the given seed, \
+             solver queries return unknown, tracer signals are dropped or delayed \
+             and checkpoint files are truncated, each with its default (or $(i,PROB)) \
+             probability.")
+  in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Symbolically analyze a parameter's performance impact")
     Term.(
       const analyze $ system_arg $ param_arg 1 $ save $ max_states $ threshold $ no_related
-      $ searcher $ solver_cache)
+      $ searcher $ solver_cache $ deadline $ checkpoint $ resume $ chaos)
 
 let model_opt =
   Arg.(

@@ -1,6 +1,8 @@
 module Reg = Vruntime.Config_registry
 module Wl = Vruntime.Workload
 module Ex = Vsymexec.Executor
+module B = Vresilience.Budget
+module D = Vresilience.Degradation
 
 type target = {
   name : string;
@@ -9,10 +11,41 @@ type target = {
   workloads : Wl.template list;
 }
 
+(* ------------------------------------------------------------------ *)
+(* Typed errors                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type error =
+  | Unknown_parameter of { system : string; param : string }
+  | Not_hookable of { system : string; param : string }
+  | Unused_parameter of { system : string; param : string }
+  | Checkpoint_failed of { path : string; reason : Vresilience.Checkpoint.error }
+  | Engine_failure of string
+
+exception Pipeline_error of error
+
+let error_to_string = function
+  | Unknown_parameter { system; param } ->
+    Printf.sprintf "%s: unknown parameter %s" system param
+  | Not_hookable { system; param } ->
+    Printf.sprintf "%s: no symbolic hook can be attached to %s" system param
+  | Unused_parameter { system; param } ->
+    Printf.sprintf "%s: parameter %s is never used by the code" system param
+  | Checkpoint_failed { path; reason } ->
+    Printf.sprintf "checkpoint %s: %s" path (Vresilience.Checkpoint.error_to_string reason)
+  | Engine_failure msg -> Printf.sprintf "engine failure: %s" msg
+
+let pp_error ppf e = Fmt.string ppf (error_to_string e)
+
+(* ------------------------------------------------------------------ *)
+(* Options                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type checkpointing = { path : string; every_picks : int }
+
 type options = {
   threshold : float;
-  max_states : int;
-  fuel : int;
+  budget : B.t;
   env : Vruntime.Hw_env.t;
   workload_template : string option;
   sym_workload_params : string list;
@@ -23,19 +56,21 @@ type options = {
   max_related : int;
   policy : Ex.policy;
   solver_cache : bool;
-  solver_max_nodes : int;
   state_switching : bool;
   noise : Ex.noise option;
   relaxation_rules : bool;
   fault_injection : bool;
   startup_virtual_s : float;
+  checkpoint : checkpointing option;
+  resume : bool;
+  chaos : Vresilience.Chaos.t option;
+  degradation : D.policy;
 }
 
 let default_options =
   {
     threshold = 1.0;
-    max_states = 4096;
-    fuel = 200_000;
+    budget = B.default;
     env = Vruntime.Hw_env.hdd_server;
     workload_template = None;
     sym_workload_params = [];
@@ -46,12 +81,15 @@ let default_options =
     max_related = 8;
     policy = Ex.Dfs;
     solver_cache = true;
-    solver_max_nodes = 4_000;
     state_switching = false;
     noise = None;
     relaxation_rules = true;
     fault_injection = false;
     startup_virtual_s = -1.;
+    checkpoint = None;
+    resume = false;
+    chaos = None;
+    degradation = D.default_policy;
   }
 
 type analysis = {
@@ -84,19 +122,72 @@ let pick_template target opts =
   | Some name -> List.find_opt (fun t -> String.equal t.Wl.tname name) target.workloads
   | None -> ( match target.workloads with t :: _ -> Some t | [] -> None)
 
+(* Checkpointing is best-effort mid-run: a failed save must not abort the
+   exploration it is trying to protect.  Under chaos, a freshly written file
+   may immediately be truncated — exactly the corruption --resume has to
+   survive via typed errors. *)
+let checkpoint_hook opts =
+  match opts.checkpoint with
+  | None -> None
+  | Some c when c.every_picks <= 0 -> None
+  | Some c ->
+    Some
+      (fun snap ->
+        match Ex.save_snapshot ~path:c.path snap with
+        | Error _ -> ()
+        | Ok () -> begin
+          match opts.chaos with
+          | Some chaos -> ignore (Vresilience.Chaos.truncate_file chaos c.path)
+          | None -> ()
+        end)
+
+let load_resume_snapshot opts =
+  if not opts.resume then Ok None
+  else
+    match opts.checkpoint with
+    | None -> Error (Engine_failure "resume requested but no checkpoint path configured")
+    | Some c -> begin
+      match Ex.load_snapshot ~path:c.path with
+      | Ok snap -> Ok (Some snap)
+      | Error reason -> Error (Checkpoint_failed { path = c.path; reason })
+    end
+
+let degradation_summary (result : Ex.result) =
+  let dropped_paths =
+    List.filter_map
+      (fun (st : Vsymexec.Sym_state.t) ->
+        match st.Vsymexec.Sym_state.status with
+        | Vsymexec.Sym_state.Killed reason when Ex.is_budget_kill reason ->
+          Some
+            {
+              Vmodel.Impact_model.dp_state_id = st.Vsymexec.Sym_state.id;
+              dp_config_constraints = Vsymexec.Sym_state.config_constraints st;
+              dp_latency_so_far_us = st.Vsymexec.Sym_state.clock;
+            }
+        | _ -> None)
+      result.Ex.states
+  in
+  let rungs =
+    List.map
+      (fun (e : D.event) -> D.rung_to_string e.D.rung)
+      result.Ex.sched.Vsched.Exploration_stats.degradation
+  in
+  let deadline_hit = result.Ex.stats.Ex.deadline_hit in
+  if rungs = [] && (not deadline_hit) && dropped_paths = [] then None
+  else Some { Vmodel.Impact_model.rungs; deadline_hit; dropped_paths }
+
 let analyze ?(opts = default_options) target param =
   match Reg.find_opt target.registry param with
-  | None -> Error (Printf.sprintf "%s: unknown parameter %s" target.name param)
+  | None -> Error (Unknown_parameter { system = target.name; param })
   | Some p when p.Reg.hook <> Reg.Hooked ->
-    Error
-      (Printf.sprintf "%s: no symbolic hook can be attached to %s" target.name param)
+    Error (Not_hookable { system = target.name; param })
   | Some _ -> begin
-    let wall0 = Unix.gettimeofday () in
+    let wall0 = opts.budget.B.now () in
     (* stage 1: static analysis *)
     let related = related_params target param in
     let usage = Vanalysis.Usage.analyze target.program in
     if not (List.mem param (Vanalysis.Usage.all_params usage)) then
-      Error (Printf.sprintf "%s: parameter %s is never used by the code" target.name param)
+      Error (Unused_parameter { system = target.name; param })
     else begin
       (* stage 2: choose the symbolic set *)
       let related_hooked =
@@ -155,63 +246,88 @@ let analyze ?(opts = default_options) target param =
           concrete_config = (fun n -> Reg.Values.lookup base_values n 0);
           sym_workloads;
           concrete_workload;
-          max_states = opts.max_states;
+          budget = opts.budget;
           max_loop_unroll = 48;
-          fuel = opts.fuel;
           policy;
           state_switching = opts.state_switching;
           time_slice = 64;
-          solver_max_nodes = opts.solver_max_nodes;
           solver_cache = opts.solver_cache;
           noise = opts.noise;
           enable_tracer = true;
           relaxation_rules = opts.relaxation_rules;
           fault_injection = opts.fault_injection;
+          chaos = opts.chaos;
+          degradation = opts.degradation;
+          checkpoint_every =
+            (match opts.checkpoint with Some c -> c.every_picks | None -> 0);
+          on_checkpoint = checkpoint_hook opts;
         }
       in
-      let result = Ex.run exec_opts target.program in
-      (* stage 4: trace analysis *)
-      let profiles = Vtrace.Profile.of_result result in
-      let rows = List.map Vmodel.Cost_row.of_profile profiles in
-      let diff =
-        Vmodel.Diff_analysis.analyze ~threshold:opts.threshold
-          ~max_nodes:opts.solver_max_nodes rows
-      in
-      (* engine boot + target start-up inside the guest differs per system:
-         MySQL starts "within one minute" (Section 5.1); Apache's prefork
-         boot under the engine is the slowest in the paper's Figure 14 *)
-      let startup_virtual_s =
-        if opts.startup_virtual_s >= 0. then opts.startup_virtual_s
-        else
-          match target.name with
-          | "mysql" -> 55.
-          | "postgres" -> 35.
-          | "apache" -> 340.
-          | "squid" -> 150.
-          | _ -> 45.
-      in
-      let virtual_analysis_s =
-        startup_virtual_s
-        +. List.fold_left
-             (fun acc (st : Vsymexec.Sym_state.t) -> acc +. (st.Vsymexec.Sym_state.clock /. 1e6))
-             0. result.Ex.states
-        +. (0.05 *. float_of_int result.Ex.stats.Ex.solver_calls)
-      in
-      (* the model records the symbolic companions actually used *)
-      let used_related = List.filter (fun n -> n <> param) sym_param_names in
-      let model =
-        Vmodel.Impact_model.build ~system:target.name ~target:param
-          ~related:used_related ~rows ~analysis:diff
-          ~explored_states:
-            (result.Ex.stats.Ex.states_terminated + result.Ex.stats.Ex.states_killed)
-          ~analysis_wall_s:(Unix.gettimeofday () -. wall0)
-          ~virtual_analysis_s
-      in
-      Ok { model; related; result; rows; diff }
+      match load_resume_snapshot opts with
+      | Error e -> Error e
+      | Ok resume -> begin
+        (* stages 3–4 are the moving parts chaos attacks; any escape becomes
+           a typed error so the continuous checker can report-and-continue *)
+        match
+          try
+            let result = Ex.run ?resume exec_opts target.program in
+            (* stage 4: trace analysis *)
+            let profiles = Vtrace.Profile.of_result result in
+            let rows = List.map Vmodel.Cost_row.of_profile profiles in
+            let diff =
+              Vmodel.Diff_analysis.analyze ~threshold:opts.threshold
+                ~max_nodes:opts.budget.B.solver_max_nodes rows
+            in
+            Ok (result, rows, diff)
+          with e -> Error (Engine_failure (Printexc.to_string e))
+        with
+        | Error e -> Error e
+        | Ok (result, rows, diff) ->
+          (* engine boot + target start-up inside the guest differs per
+             system: MySQL starts "within one minute" (Section 5.1);
+             Apache's prefork boot under the engine is the slowest in the
+             paper's Figure 14 *)
+          let startup_virtual_s =
+            if opts.startup_virtual_s >= 0. then opts.startup_virtual_s
+            else
+              match target.name with
+              | "mysql" -> 55.
+              | "postgres" -> 35.
+              | "apache" -> 340.
+              | "squid" -> 150.
+              | _ -> 45.
+          in
+          let virtual_analysis_s =
+            startup_virtual_s
+            +. List.fold_left
+                 (fun acc (st : Vsymexec.Sym_state.t) ->
+                   acc +. (st.Vsymexec.Sym_state.clock /. 1e6))
+                 0. result.Ex.states
+            +. (0.05 *. float_of_int result.Ex.stats.Ex.solver_calls)
+          in
+          (* the model records the symbolic companions actually used *)
+          let used_related = List.filter (fun n -> n <> param) sym_param_names in
+          let model =
+            Vmodel.Impact_model.build
+              ?degradation:(degradation_summary result)
+              ~system:target.name ~target:param
+              ~related:used_related ~rows ~analysis:diff
+              ~explored_states:
+                (result.Ex.stats.Ex.states_terminated + result.Ex.stats.Ex.states_killed)
+              ~analysis_wall_s:(opts.budget.B.now () -. wall0)
+              ~virtual_analysis_s ()
+          in
+          Ok { model; related; result; rows; diff }
+      end
     end
   end
 
 let analyze_exn ?opts target param =
   match analyze ?opts target param with
   | Ok a -> a
-  | Error msg -> failwith msg
+  | Error e -> raise (Pipeline_error e)
+
+let () =
+  Printexc.register_printer (function
+    | Pipeline_error e -> Some ("Pipeline_error: " ^ error_to_string e)
+    | _ -> None)

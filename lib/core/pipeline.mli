@@ -13,7 +13,14 @@
     + the result is a serializable configuration performance impact model.
 
     A {!target} packages what the paper calls "the target system": the
-    (modelled) program, its configuration registry and workload templates. *)
+    (modelled) program, its configuration registry and workload templates.
+
+    Resource limits are carried by one {!Vresilience.Budget.t}.  A run can be
+    checkpointed ({!options.checkpoint}) and resumed ({!options.resume});
+    a resumed run produces an impact model byte-identical to the
+    uninterrupted one.  Under budget pressure the executor walks the
+    {!Vresilience.Degradation} ladder, and the resulting model carries a
+    degradation summary instead of silently posing as complete. *)
 
 type target = {
   name : string;
@@ -22,10 +29,35 @@ type target = {
   workloads : Vruntime.Workload.template list;
 }
 
+(** Everything [analyze] can fail with, as data: the continuous checker
+    reports and continues instead of crashing on a [failwith]. *)
+type error =
+  | Unknown_parameter of { system : string; param : string }
+  | Not_hookable of { system : string; param : string }
+      (** no symbolic hook can be attached (paper Section 4.1) *)
+  | Unused_parameter of { system : string; param : string }
+      (** the program never reads the parameter *)
+  | Checkpoint_failed of { path : string; reason : Vresilience.Checkpoint.error }
+      (** [--resume] could not load the snapshot (missing, truncated,
+          corrupt, version mismatch) *)
+  | Engine_failure of string
+      (** an exception escaped the exploration or trace-analysis stages *)
+
+exception Pipeline_error of error
+
+val error_to_string : error -> string
+val pp_error : error Fmt.t
+
+type checkpointing = {
+  path : string;  (** snapshot file, atomically rewritten *)
+  every_picks : int;  (** checkpoint every N state picks *)
+}
+
 type options = {
   threshold : float;  (** differential threshold, default 1.0 (=100%) *)
-  max_states : int;
-  fuel : int;
+  budget : Vresilience.Budget.t;
+      (** unified resource budget (deadline, state cap, fuel, solver nodes);
+          replaces the old [max_states]/[fuel]/[solver_max_nodes] fields *)
   env : Vruntime.Hw_env.t;
   workload_template : string option;
       (** template whose parameters the program reads; defaults to the
@@ -48,9 +80,6 @@ type options = {
   solver_cache : bool;
       (** enable the {!Vsched.Solver_cache} layer (default true); hit rates
           surface in [analysis.result.sched] *)
-  solver_max_nodes : int;
-      (** solver search budget threaded to every executor query (default
-          4_000) *)
   state_switching : bool;
   noise : Vsymexec.Executor.noise option;
   relaxation_rules : bool;  (** false: Section 5.4 relaxation-rule ablation *)
@@ -60,6 +89,13 @@ type options = {
       (** virtual engine start-up cost (booting the guest and the target
           system; about a minute for MySQL in the paper, Section 5.1);
           negative = per-target default *)
+  checkpoint : checkpointing option;  (** periodic frontier snapshots *)
+  resume : bool;
+      (** continue from [checkpoint.path] instead of starting fresh *)
+  chaos : Vresilience.Chaos.t option;
+      (** engine-fault injection (solver unknowns, dropped signals,
+          truncated checkpoints) — the chaos harness's hook *)
+  degradation : Vresilience.Degradation.policy;
 }
 
 val default_options : options
@@ -81,8 +117,9 @@ val analyzable_params : target -> string list
 (** Parameters eligible for the coverage experiment: performance-related,
     hookable, and actually read by the program (Section 7.6). *)
 
-val analyze : ?opts:options -> target -> string -> (analysis, string) result
-(** Analyze one target parameter.  [Error] for unknown, non-hookable or
-    unused parameters. *)
+val analyze : ?opts:options -> target -> string -> (analysis, error) result
+(** Analyze one target parameter.  Never raises: bad parameters, unloadable
+    snapshots and engine escapes all come back as typed {!error}s. *)
 
 val analyze_exn : ?opts:options -> target -> string -> analysis
+(** Raises {!Pipeline_error}. *)

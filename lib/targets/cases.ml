@@ -318,12 +318,19 @@ let unknown =
     };
   ]
 
-let target_of = function
-  | "mysql" -> Mysql_model.target
-  | "postgres" -> Postgres_model.target
-  | "apache" -> Apache_model.target
-  | "squid" -> Squid_model.target
-  | s -> failwith ("Cases.target_of: unknown system " ^ s)
+let systems = [ "mysql"; "postgres"; "apache"; "squid" ]
+
+let find_target = function
+  | "mysql" -> Some Mysql_model.target
+  | "postgres" -> Some Postgres_model.target
+  | "apache" -> Some Apache_model.target
+  | "squid" -> Some Squid_model.target
+  | _ -> None
+
+let target_of s =
+  match find_target s with
+  | Some t -> t
+  | None -> failwith ("Cases.target_of: unknown system " ^ s)
 
 let standard_workloads_of = function
   | "mysql" -> Mysql_model.standard_workloads

@@ -34,8 +34,16 @@ type unknown_case = {
 val known : known_case list
 val unknown : unknown_case list
 
+val systems : string list
+(** The bundled system names: mysql, postgres, apache, squid. *)
+
+val find_target : string -> Violet.Pipeline.target option
+(** Target bundle by system name; [None] for unknown systems — the
+    crash-free lookup command-line tools should use. *)
+
 val target_of : string -> Violet.Pipeline.target
-(** Target bundle by system name ("mysql", "postgres", "apache", "squid"). *)
+(** Like {!find_target} but raises [Failure] — for callers with a
+    statically known system name. *)
 
 val standard_workloads_of :
   string -> (string * (Vruntime.Workload.instance * float) list) list

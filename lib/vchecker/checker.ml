@@ -101,6 +101,47 @@ let finding_of ?require_joint_input ?configs model ~param ~message slow fast =
       { param; message; slow_row = slow; fast_row = Some fast; ratio; trigger;
         critical_path; test_case }
 
+(* Conservative widening for degraded models (built under budget pressure):
+   every path the engine dropped is a configuration region with *unknown*
+   cost, so the checker flags it rather than silently passing it.  The
+   reported set can only grow relative to the complete model — degradation
+   never hides a finding, it adds conservative ones. *)
+let row_of_dropped (dp : M.dropped_path) =
+  {
+    Row.state_id = dp.M.dp_state_id;
+    config_constraints = dp.M.dp_config_constraints;
+    workload_pred = [];
+    cost = { Vruntime.Cost.zero with Vruntime.Cost.latency_us = dp.M.dp_latency_so_far_us };
+    traced_latency_us = dp.M.dp_latency_so_far_us;
+    chain = [];
+    nodes = [];
+    critical_ops = [];
+  }
+
+let degraded_findings (model : M.t) =
+  match model.M.degradation with
+  | None -> []
+  | Some d ->
+    List.map
+      (fun (dp : M.dropped_path) ->
+        {
+          param = model.M.target;
+          message =
+            Printf.sprintf
+              "analysis was degraded (%s%s): path %d was dropped before completion, so \
+               its configuration region has unknown cost — treat as potentially specious"
+              (String.concat " -> " d.M.rungs)
+              (if d.M.deadline_hit then ", deadline hit" else "")
+              dp.M.dp_state_id;
+          slow_row = row_of_dropped dp;
+          fast_row = None;
+          ratio = 0.;
+          trigger = "degraded";
+          critical_path = [];
+          test_case = None;
+        })
+      d.M.dropped_paths
+
 let check_update ~model ~registry ~old_file ~new_file =
   let* old_assignment, _ = Config_file.to_assignment registry old_file in
   let* new_assignment, _ = Config_file.to_assignment registry new_file in
@@ -134,7 +175,8 @@ let check_update ~model ~registry ~old_file ~new_file =
                      slow fast)
                  (comparison_order slow old_rows))
              new_rows
-         end))
+         end
+         @ degraded_findings model))
 
 (* Representative alternative values of a parameter: full enumeration for
    small domains, boundary values plus the default otherwise. *)
@@ -185,7 +227,8 @@ let check_current ~model ~registry ~file =
                           model.M.target)
                      slow fast)
                  (comparison_order slow fast_rows))
-           current_rows))
+           current_rows
+         @ degraded_findings model))
 
 let check_upgrade ~old_model ~new_model =
   timed (fun () ->

@@ -30,6 +30,13 @@ type finding = {
 
 type report = { findings : finding list; checked_in_s : float }
 
+val degraded_findings : Vmodel.Impact_model.t -> finding list
+(** Conservative findings for a model built under budget degradation: one
+    per dropped path (its configuration region has unknown cost, [fast_row =
+    None], [trigger = "degraded"]).  Included by {!check_current} and
+    {!check_update} automatically, so degradation can only {e widen} the
+    reported specious set, never shrink it. *)
+
 val check_update :
   model:Vmodel.Impact_model.t ->
   registry:Vruntime.Config_registry.t ->

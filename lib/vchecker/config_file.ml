@@ -1,9 +1,15 @@
-type t = { entries : (string * string) list }
+type t = {
+  entries : (string * string) list;
+  issues : (int * string) list;
+}
 
+(* Per-line error recovery: a malformed line is recorded as an issue and
+   skipped, never aborting the whole file — a checker pointed at a config
+   with one corrupt line should still validate the other 400 settings. *)
 let parse content =
   let lines = String.split_on_char '\n' content in
-  let rec go entries lineno = function
-    | [] -> Ok { entries = List.rev entries }
+  let rec go entries issues lineno = function
+    | [] -> { entries = List.rev entries; issues = List.rev issues }
     | line :: rest ->
       let lineno = lineno + 1 in
       let line =
@@ -12,23 +18,36 @@ let parse content =
         | None -> line
       in
       let trimmed = String.trim line in
-      if trimmed = "" || trimmed.[0] = ';' then go entries lineno rest
+      if trimmed = "" || trimmed.[0] = ';' then go entries issues lineno rest
       else if trimmed.[0] = '[' then
-        if trimmed.[String.length trimmed - 1] = ']' then go entries lineno rest
-        else Error (Printf.sprintf "line %d: malformed section header" lineno)
+        if trimmed.[String.length trimmed - 1] = ']' then go entries issues lineno rest
+        else go entries ((lineno, "malformed section header") :: issues) lineno rest
       else begin
         match String.index_opt trimmed '=' with
-        | None -> go ((trimmed, "ON") :: entries) lineno rest
+        | None ->
+          (* bare keys are flag-style options (skip-networking) *)
+          if
+            String.for_all
+              (fun c ->
+                c = '_' || c = '-' || c = '.'
+                || (c >= 'a' && c <= 'z')
+                || (c >= 'A' && c <= 'Z')
+                || (c >= '0' && c <= '9'))
+              trimmed
+          then go ((trimmed, "ON") :: entries) issues lineno rest
+          else go entries ((lineno, "unparseable line") :: issues) lineno rest
         | Some i ->
           let key = String.trim (String.sub trimmed 0 i) in
           let value =
             String.trim (String.sub trimmed (i + 1) (String.length trimmed - i - 1))
           in
-          if key = "" then Error (Printf.sprintf "line %d: empty key" lineno)
-          else go ((key, value) :: entries) lineno rest
+          if key = "" then go entries ((lineno, "empty key") :: issues) lineno rest
+          else go ((key, value) :: entries) issues lineno rest
       end
   in
-  go [] 0 lines
+  go [] [] 0 lines
+
+let issues t = t.issues
 
 let load path =
   match open_in path with
@@ -38,7 +57,7 @@ let load path =
       Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
           really_input_string ic (in_channel_length ic))
     in
-    parse content
+    Ok (parse content)
 
 (* later assignments win; file order is preserved for the survivors *)
 let bindings t =

@@ -7,11 +7,19 @@
 
 type t
 
-val parse : string -> (t, string) result
-(** Parse file contents.  Malformed lines produce [Error] with the 1-based
-    line number. *)
+val parse : string -> t
+(** Parse file contents with per-line error recovery: a malformed line
+    (broken section header, empty key, line that is neither a comment, a
+    [key = value] pair, nor a bare flag name) is skipped and recorded in
+    {!issues} with its 1-based line number.  [parse] never fails — a config
+    file with one corrupt line still yields every well-formed binding. *)
+
+val issues : t -> (int * string) list
+(** Recovered-from parse problems, in line order; [[]] for a clean file. *)
 
 val load : string -> (t, string) result
+(** [Error] only on I/O failure; parse problems surface via {!issues}. *)
+
 val bindings : t -> (string * string) list
 val lookup : t -> string -> string option
 

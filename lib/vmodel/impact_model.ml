@@ -11,6 +11,18 @@ type poor_pair_summary = {
   max_differential_us : float;
 }
 
+type dropped_path = {
+  dp_state_id : int;
+  dp_config_constraints : Vsmt.Expr.t list;
+  dp_latency_so_far_us : float;
+}
+
+type degradation_summary = {
+  rungs : string list;
+  deadline_hit : bool;
+  dropped_paths : dropped_path list;
+}
+
 type t = {
   system : string;
   target : string;
@@ -23,7 +35,13 @@ type t = {
   explored_states : int;
   analysis_wall_s : float;
   virtual_analysis_s : float;
+  degradation : degradation_summary option;
 }
+
+let is_degraded t =
+  match t.degradation with
+  | None -> false
+  | Some d -> d.deadline_hit || d.rungs <> [] || d.dropped_paths <> []
 
 let summarize_pair (p : Diff_analysis.poor_pair) =
   {
@@ -36,9 +54,10 @@ let summarize_pair (p : Diff_analysis.poor_pair) =
     max_differential_us = p.Diff_analysis.diff.Critical_path.max_differential_us;
   }
 
-let build ~system ~target ~related ~rows ~analysis ~explored_states ~analysis_wall_s
-    ~virtual_analysis_s =
+let build ?degradation ~system ~target ~related ~rows ~analysis ~explored_states
+    ~analysis_wall_s ~virtual_analysis_s () =
   {
+    degradation;
     system;
     target;
     related;
@@ -186,28 +205,75 @@ let pair_of_sexp = function
   end
   | s -> Error ("pair: unrecognized " ^ Sexp.to_string s)
 
-let to_sexp t =
-  Sexp.list
-    [
-      Sexp.atom "impact-model";
-      Sexp.list [ Sexp.atom "system"; Sexp.atom t.system ];
-      Sexp.list [ Sexp.atom "target"; Sexp.atom t.target ];
-      Sexp.list (Sexp.atom "related" :: List.map Sexp.atom t.related);
-      Sexp.list [ Sexp.atom "threshold"; Sexp.float t.threshold ];
-      Sexp.list (Sexp.atom "rows" :: List.map row_to_sexp t.rows);
-      Sexp.list (Sexp.atom "pairs" :: List.map pair_to_sexp t.poor_pairs);
-      Sexp.list (Sexp.atom "poor-states" :: List.map Sexp.int t.poor_state_ids);
-      Sexp.list [ Sexp.atom "max-ratio"; Sexp.float t.max_ratio ];
-      Sexp.list [ Sexp.atom "explored-states"; Sexp.int t.explored_states ];
-      Sexp.list [ Sexp.atom "analysis-wall-s"; Sexp.float t.analysis_wall_s ];
-      Sexp.list [ Sexp.atom "virtual-analysis-s"; Sexp.float t.virtual_analysis_s ];
-    ]
-
-let to_string t = Sexp.to_string (to_sexp t)
-
 let field name = function
   | Sexp.List (Sexp.Atom tag :: rest) when String.equal tag name -> Some rest
   | _ -> None
+
+let dropped_path_to_sexp dp =
+  Sexp.list
+    [
+      Sexp.atom "dp";
+      Sexp.int dp.dp_state_id;
+      Sexp.list (List.map Serial.expr_to_sexp dp.dp_config_constraints);
+      Sexp.float dp.dp_latency_so_far_us;
+    ]
+
+let dropped_path_of_sexp = function
+  | Sexp.List [ Sexp.Atom "dp"; id; configs; lat ] -> begin
+    match Sexp.to_int id, Sexp.to_float lat with
+    | Some dp_state_id, Some dp_latency_so_far_us ->
+      let* dp_config_constraints = exprs_of_sexp configs in
+      Ok { dp_state_id; dp_config_constraints; dp_latency_so_far_us }
+    | _ -> Error "dropped-path: malformed field"
+  end
+  | s -> Error ("dropped-path: unrecognized " ^ Sexp.to_string s)
+
+let degradation_to_sexp d =
+  Sexp.list
+    [
+      Sexp.atom "degradation";
+      Sexp.list (Sexp.atom "rungs" :: List.map Sexp.atom d.rungs);
+      Sexp.list [ Sexp.atom "deadline-hit"; Sexp.atom (string_of_bool d.deadline_hit) ];
+      Sexp.list (Sexp.atom "dropped" :: List.map dropped_path_to_sexp d.dropped_paths);
+    ]
+
+let degradation_of_fields fields =
+  let get name =
+    match List.find_map (field name) fields with
+    | Some rest -> Ok rest
+    | None -> Error ("degradation: missing field " ^ name)
+  in
+  let* rungs = let* f = get "rungs" in atoms_of_sexp (Sexp.List f) in
+  let* deadline_hit = let* f = get "deadline-hit" in
+    match f with
+    | [ Sexp.Atom ("true" | "false") as b ] ->
+      Ok (Sexp.to_atom b = Some "true")
+    | _ -> Error "degradation: bad deadline-hit" in
+  let* dropped_paths = let* f = get "dropped" in
+    List.fold_left
+      (fun acc s -> let* acc = acc in let* dp = dropped_path_of_sexp s in Ok (acc @ [ dp ]))
+      (Ok []) f in
+  Ok { rungs; deadline_hit; dropped_paths }
+
+let to_sexp t =
+  Sexp.list
+    ([
+       Sexp.atom "impact-model";
+       Sexp.list [ Sexp.atom "system"; Sexp.atom t.system ];
+       Sexp.list [ Sexp.atom "target"; Sexp.atom t.target ];
+       Sexp.list (Sexp.atom "related" :: List.map Sexp.atom t.related);
+       Sexp.list [ Sexp.atom "threshold"; Sexp.float t.threshold ];
+       Sexp.list (Sexp.atom "rows" :: List.map row_to_sexp t.rows);
+       Sexp.list (Sexp.atom "pairs" :: List.map pair_to_sexp t.poor_pairs);
+       Sexp.list (Sexp.atom "poor-states" :: List.map Sexp.int t.poor_state_ids);
+       Sexp.list [ Sexp.atom "max-ratio"; Sexp.float t.max_ratio ];
+       Sexp.list [ Sexp.atom "explored-states"; Sexp.int t.explored_states ];
+       Sexp.list [ Sexp.atom "analysis-wall-s"; Sexp.float t.analysis_wall_s ];
+       Sexp.list [ Sexp.atom "virtual-analysis-s"; Sexp.float t.virtual_analysis_s ];
+     ]
+    @ match t.degradation with None -> [] | Some d -> [ degradation_to_sexp d ])
+
+let to_string t = Sexp.to_string (to_sexp t)
 
 let of_sexp = function
   | Sexp.List (Sexp.Atom "impact-model" :: fields) ->
@@ -245,6 +311,13 @@ let of_sexp = function
     let* explored_states = int_field "explored-states" in
     let* analysis_wall_s = float_field "analysis-wall-s" in
     let* virtual_analysis_s = float_field "virtual-analysis-s" in
+    (* optional: models written before the resilience layer have no
+       degradation section and load as complete (non-degraded) models *)
+    let* degradation =
+      match List.find_map (field "degradation") fields with
+      | None -> Ok None
+      | Some rest -> let* d = degradation_of_fields rest in Ok (Some d)
+    in
     Ok
       {
         system;
@@ -258,6 +331,7 @@ let of_sexp = function
         explored_states;
         analysis_wall_s;
         virtual_analysis_s;
+        degradation;
       }
   | s -> Error ("model: unrecognized " ^ Sexp.to_string s)
 

@@ -18,6 +18,24 @@ type poor_pair_summary = {
   max_differential_us : float;
 }
 
+type dropped_path = {
+  dp_state_id : int;
+  dp_config_constraints : Vsmt.Expr.t list;
+      (** the configuration region whose behavior the model does {e not}
+          cover because the path was dropped under budget pressure *)
+  dp_latency_so_far_us : float;
+}
+
+type degradation_summary = {
+  rungs : string list;
+      (** {!Vresilience.Degradation} rung names entered, oldest first *)
+  deadline_hit : bool;
+  dropped_paths : dropped_path list;
+}
+(** How exploration was degraded while this model was built.  A model with a
+    summary is still sound for the paths it contains, but incomplete: the
+    checker treats [dropped_paths] as conservative "unknown cost" regions. *)
+
 type t = {
   system : string;
   target : string;
@@ -32,9 +50,15 @@ type t = {
   virtual_analysis_s : float;
       (** simulated end-to-end analysis time on the virtual clock (sum of
           all states' symbolic-execution clocks); the Figure 14 metric *)
+  degradation : degradation_summary option;
+      (** [None] = complete run (also for models saved before this field
+          existed) *)
 }
 
+val is_degraded : t -> bool
+
 val build :
+  ?degradation:degradation_summary ->
   system:string ->
   target:string ->
   related:string list ->
@@ -43,6 +67,7 @@ val build :
   explored_states:int ->
   analysis_wall_s:float ->
   virtual_analysis_s:float ->
+  unit ->
   t
 
 val row_by_id : t -> int -> Cost_row.t option

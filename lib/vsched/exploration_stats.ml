@@ -16,6 +16,9 @@ type t = {
   completions : completion list;
   queue_samples : sample list;
   wall_time_s : float;
+  degradation : Vresilience.Degradation.event list;
+  deadline_hit : bool;
+  resumed : bool;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -23,11 +26,13 @@ type t = {
 type recorder = {
   r_searcher : string;
   r_cache_enabled : bool;
+  mutable r_resumed : bool;
   mutable r_steps : int;
   mutable r_forks : int;
   mutable r_completions : completion list;  (* newest first *)
   mutable r_samples : sample list;  (* newest first *)
   mutable r_last_sample_step : int;
+  mutable r_degradation : Vresilience.Degradation.event list;  (* newest first *)
 }
 
 let sample_every = 64
@@ -36,15 +41,21 @@ let recorder ~searcher ~solver_cache_enabled () =
   {
     r_searcher = searcher;
     r_cache_enabled = solver_cache_enabled;
+    r_resumed = false;
     r_steps = 0;
     r_forks = 0;
     r_completions = [];
     r_samples = [];
     r_last_sample_step = -sample_every;  (* so the very first pick samples *)
+    r_degradation = [];
   }
 
 let on_step r = r.r_steps <- r.r_steps + 1
 let on_fork r = r.r_forks <- r.r_forks + 1
+let on_degrade r ev = r.r_degradation <- ev :: r.r_degradation
+let mark_resumed r = r.r_resumed <- true
+let steps r = r.r_steps
+let copy r = { r with r_steps = r.r_steps }
 
 let on_pick r ~queue_depth =
   if r.r_steps - r.r_last_sample_step >= sample_every then begin
@@ -55,7 +66,8 @@ let on_pick r ~queue_depth =
 let on_complete r ~state_id ~dropped =
   r.r_completions <- { state_id; at_step = r.r_steps; dropped } :: r.r_completions
 
-let finish r ~states_created ~solver_queries ~solver_solves ~cache ~wall_time_s =
+let finish ?(deadline_hit = false) r ~states_created ~solver_queries ~solver_solves ~cache
+    ~wall_time_s =
   let completions = List.rev r.r_completions in
   let dropped = List.length (List.filter (fun c -> c.dropped) completions) in
   {
@@ -73,6 +85,9 @@ let finish r ~states_created ~solver_queries ~solver_solves ~cache ~wall_time_s 
     completions;
     queue_samples = List.rev r.r_samples;
     wall_time_s;
+    degradation = List.rev r.r_degradation;
+    deadline_hit;
+    resumed = r.r_resumed;
   }
 
 let first_completion t ~satisfying =
@@ -106,6 +121,15 @@ let cache_to_json (c : Solver_cache.stats) =
     c.Solver_cache.stored_cores
     (json_float (Solver_cache.hit_rate c))
 
+let degradation_to_json evs =
+  evs
+  |> List.map (fun (e : Vresilience.Degradation.event) ->
+         Printf.sprintf "{\"rung\":\"%s\",\"at_step\":%d,\"pressure\":%s}"
+           (Vresilience.Degradation.rung_to_string e.Vresilience.Degradation.rung)
+           e.Vresilience.Degradation.at_step
+           (json_float e.Vresilience.Degradation.pressure))
+  |> String.concat ","
+
 let to_json t =
   let completions =
     t.completions
@@ -120,11 +144,13 @@ let to_json t =
     |> String.concat ","
   in
   Printf.sprintf
-    "{\"searcher\":\"%s\",\"solver_cache_enabled\":%b,\"states_created\":%d,\"states_completed\":%d,\"states_dropped\":%d,\"forks\":%d,\"steps\":%d,\"fork_rate\":%s,\"solver_queries\":%d,\"solver_solves\":%d,\"cache\":%s,\"completions\":[%s],\"queue_samples\":[%s],\"wall_time_s\":%s}"
+    "{\"searcher\":\"%s\",\"solver_cache_enabled\":%b,\"states_created\":%d,\"states_completed\":%d,\"states_dropped\":%d,\"forks\":%d,\"steps\":%d,\"fork_rate\":%s,\"solver_queries\":%d,\"solver_solves\":%d,\"cache\":%s,\"completions\":[%s],\"queue_samples\":[%s],\"wall_time_s\":%s,\"degradation\":[%s],\"deadline_hit\":%b,\"resumed\":%b}"
     (json_escape t.searcher) t.solver_cache_enabled t.states_created t.states_completed
     t.states_dropped t.forks t.steps (json_float t.fork_rate) t.solver_queries t.solver_solves
     (match t.cache with None -> "null" | Some c -> cache_to_json c)
     completions samples (json_float t.wall_time_s)
+    (degradation_to_json t.degradation)
+    t.deadline_hit t.resumed
 
 let save ~path ts =
   let oc = open_out path in
@@ -141,10 +167,22 @@ let save ~path ts =
 
 let pp ppf t =
   Fmt.pf ppf
-    "searcher=%s states=%d (%d completed, %d dropped) forks=%d steps=%d fork_rate=%.4f solver=%d/%d%a"
+    "searcher=%s states=%d (%d completed, %d dropped) forks=%d steps=%d fork_rate=%.4f solver=%d/%d%a%a%s%s"
     t.searcher t.states_created t.states_completed t.states_dropped t.forks t.steps t.fork_rate
     t.solver_solves t.solver_queries
     (fun ppf -> function
       | None -> ()
       | Some c -> Fmt.pf ppf " cache[%a]" Solver_cache.pp_stats c)
     t.cache
+    (fun ppf -> function
+      | [] -> ()
+      | evs ->
+        Fmt.pf ppf " degraded[%s]"
+          (String.concat " -> "
+             (List.map
+                (fun (e : Vresilience.Degradation.event) ->
+                  Vresilience.Degradation.rung_to_string e.Vresilience.Degradation.rung)
+                evs)))
+    t.degradation
+    (if t.deadline_hit then " DEADLINE" else "")
+    (if t.resumed then " resumed" else "")

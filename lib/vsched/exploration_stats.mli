@@ -32,6 +32,11 @@ type t = {
   completions : completion list;  (** in completion order *)
   queue_samples : sample list;  (** (step, frontier depth) over time *)
   wall_time_s : float;
+  degradation : Vresilience.Degradation.event list;
+      (** every degradation-ladder rung entered, oldest first — the
+          [degradation] section of the JSON dump.  Empty = complete run. *)
+  deadline_hit : bool;  (** exploration was cut short by the deadline *)
+  resumed : bool;  (** this run continued from a checkpoint *)
 }
 
 (** {1 Recording} *)
@@ -48,7 +53,17 @@ val on_pick : recorder -> queue_depth:int -> unit
 
 val on_complete : recorder -> state_id:int -> dropped:bool -> unit
 
+val on_degrade : recorder -> Vresilience.Degradation.event -> unit
+val mark_resumed : recorder -> unit
+val steps : recorder -> int
+(** Current step count — the timestamp currency for degradation events. *)
+
+val copy : recorder -> recorder
+(** A snapshot of the recorder, decoupled from further mutation — what the
+    executor puts in a checkpoint. *)
+
 val finish :
+  ?deadline_hit:bool ->
   recorder ->
   states_created:int ->
   solver_queries:int ->

@@ -53,16 +53,39 @@ let run_to_completion = function
    - Random_path appended at the back and removed a uniformly random index,
      with the rng seeded [| seed; 77 |] as before. *)
 
+(* A checkpointable image of a frontier: the queued states in internal
+   order, the selection rng (Random_path only) and the covered branch set
+   (Coverage_guided only).  Restoring a dump into a fresh frontier of the
+   same policy reproduces the selection sequence exactly — the property the
+   resume path relies on. *)
+type 'a dump = {
+  d_states : 'a list;
+  d_rng : Random.State.t option;
+  d_covered : Ast.expr list;
+}
+
 type 'a impl = {
   i_add : preempted:bool -> 'a -> unit;
   i_select : unit -> 'a option;
   i_length : unit -> int;
   i_mark_covered : Ast.expr -> unit;
+  i_dump : unit -> 'a dump;
+  i_restore : 'a dump -> unit;
+  i_drop : keep:int -> 'a list;
 }
 
 type 'a frontier = { policy : t; impl : 'a impl }
 
 let no_coverage _ = ()
+
+(* first [keep] elements kept, the rest returned as dropped *)
+let split_keep keep l =
+  let rec go i acc = function
+    | rest when i >= keep -> List.rev acc, rest
+    | [] -> List.rev acc, []
+    | x :: rest -> go (i + 1) (x :: acc) rest
+  in
+  go 0 [] l
 
 let dfs_impl () =
   let q = ref [] in
@@ -77,6 +100,15 @@ let dfs_impl () =
           Some st);
     i_length = (fun () -> List.length !q);
     i_mark_covered = no_coverage;
+    i_dump = (fun () -> { d_states = !q; d_rng = None; d_covered = [] });
+    i_restore = (fun d -> q := d.d_states);
+    i_drop =
+      (fun ~keep ->
+        (* picks come from the front, so the back of the stack is the
+           lowest-priority end *)
+        let kept, dropped = split_keep keep !q in
+        q := kept;
+        dropped);
   }
 
 let take_last states =
@@ -101,10 +133,20 @@ let bfs_impl () =
           Some st);
     i_length = (fun () -> List.length !q);
     i_mark_covered = no_coverage;
+    i_dump = (fun () -> { d_states = !q; d_rng = None; d_covered = [] });
+    i_restore = (fun d -> q := d.d_states);
+    i_drop =
+      (fun ~keep ->
+        (* picks come from the back, so the front of the queue is the
+           lowest-priority end *)
+        let n = List.length !q in
+        let dropped, kept = split_keep (max 0 (n - keep)) !q in
+        q := kept;
+        dropped);
   }
 
 let random_impl seed =
-  let rng = Random.State.make [| seed; 77 |] in
+  let rng = ref (Random.State.make [| seed; 77 |]) in
   let q = ref [] in
   {
     i_add = (fun ~preempted:_ st -> q := !q @ [ st ]);
@@ -113,12 +155,25 @@ let random_impl seed =
         match !q with
         | [] -> None
         | states ->
-          let k = Random.State.int rng (List.length states) in
+          let k = Random.State.int !rng (List.length states) in
           let st = List.nth states k in
           q := List.filteri (fun i _ -> i <> k) states;
           Some st);
     i_length = (fun () -> List.length !q);
     i_mark_covered = no_coverage;
+    i_dump =
+      (fun () -> { d_states = !q; d_rng = Some (Random.State.copy !rng); d_covered = [] });
+    i_restore =
+      (fun d ->
+        q := d.d_states;
+        match d.d_rng with Some s -> rng := Random.State.copy s | None -> ());
+    i_drop =
+      (fun ~keep ->
+        (* no priority order: drop the oldest states *)
+        let n = List.length !q in
+        let dropped, kept = split_keep (max 0 (n - keep)) !q in
+        q := kept;
+        dropped);
   }
 
 (* Scored frontiers keep entries newest first and select the entry with the
@@ -128,7 +183,8 @@ let random_impl seed =
    select is a cheap scan even over deep frontiers. *)
 type ('a, 'v) entry = { st : 'a; v : 'v; mutable s : float; mutable at : int }
 
-let scored_impl ~view ~score ~mark =
+let scored_impl ~view ~score ~mark ?(dump_cov = fun () -> []) ?(restore_cov = fun _ -> ()) ()
+    =
   let epoch = ref 0 in
   let invalidate () = incr epoch in
   let entries = ref [] in
@@ -163,6 +219,39 @@ let scored_impl ~view ~score ~mark =
           Some e.st);
     i_length = (fun () -> List.length !entries);
     i_mark_covered = (fun cond -> mark ~invalidate cond);
+    i_dump =
+      (fun () ->
+        {
+          d_states = List.map (fun e -> e.st) !entries;
+          d_rng = None;
+          d_covered = dump_cov ();
+        });
+    i_restore =
+      (fun d ->
+        restore_cov d.d_covered;
+        invalidate ();
+        (* rebuild in dump order so newest-first tie-breaking is preserved *)
+        entries := List.map (fun st -> let v = view st in { st; v; s = score v; at = !epoch }) d.d_states);
+    i_drop =
+      (fun ~keep ->
+        (* keep the [keep] best-scored entries; on ties, list position
+           (newest first) wins, mirroring selection order *)
+        let scored = List.mapi (fun i e -> rescore e, i, e) !entries in
+        let ranked =
+          List.stable_sort
+            (fun (sa, ia, _) (sb, ib, _) ->
+              if sa <> sb then Float.compare sb sa else Int.compare ia ib)
+            scored
+        in
+        let keep_idx =
+          ranked |> List.filteri (fun i _ -> i < keep) |> List.map (fun (_, i, _) -> i)
+        in
+        let dropped =
+          List.filteri (fun i _ -> not (List.mem i keep_idx)) !entries
+          |> List.map (fun e -> e.st)
+        in
+        entries := List.filteri (fun i _ -> List.mem i keep_idx) !entries;
+        dropped);
   }
 
 (* Positional discount: a pending branch [i] conditions away contributes
@@ -188,6 +277,11 @@ let coverage_impl ~view () =
         Hashtbl.replace covered cond ();
         invalidate ()
       end)
+    ~dump_cov:(fun () -> Hashtbl.fold (fun cond () acc -> cond :: acc) covered [])
+    ~restore_cov:(fun conds ->
+      Hashtbl.reset covered;
+      List.iter (fun c -> Hashtbl.replace covered c ()) conds)
+    ()
 
 let config_impact_impl ~view ~related () =
   let interesting =
@@ -201,6 +295,7 @@ let config_impact_impl ~view ~related () =
   scored_impl ~view
     ~score:(fun v -> positional_score weight v.pending)
     ~mark:(fun ~invalidate:_ _ -> ())
+    ()
 
 let frontier ~view policy =
   let impl =
@@ -218,3 +313,6 @@ let select f = f.impl.i_select ()
 let length f = f.impl.i_length ()
 let mark_covered f cond = f.impl.i_mark_covered cond
 let frontier_name f = name f.policy
+let dump f = f.impl.i_dump ()
+let restore f d = f.impl.i_restore d
+let drop_weakest f ~keep = f.impl.i_drop ~keep

@@ -79,3 +79,28 @@ val mark_covered : 'a frontier -> Vir.Ast.expr -> unit
     actually executes.  Only {!Coverage_guided} frontiers retain it. *)
 
 val frontier_name : 'a frontier -> string
+
+(** {1 Checkpointing and degradation} *)
+
+type 'a dump = {
+  d_states : 'a list;  (** queued states, internal order *)
+  d_rng : Random.State.t option;  (** {!Random_path} selection rng *)
+  d_covered : Vir.Ast.expr list;  (** {!Coverage_guided} covered set *)
+}
+(** A frontier's full scheduling state.  Restoring a dump into a fresh
+    frontier of the same policy reproduces the original's future selection
+    sequence exactly — the property checkpoint/resume relies on. *)
+
+val dump : 'a frontier -> 'a dump
+(** Read-only: the frontier is left untouched. *)
+
+val restore : 'a frontier -> 'a dump -> unit
+(** Replace the frontier's contents (and rng/covered set where the policy
+    has one) with the dump's. *)
+
+val drop_weakest : 'a frontier -> keep:int -> 'a list
+(** Degradation rung 3: shrink the frontier to its [keep] highest-priority
+    states and return the dropped ones.  "Weakest" follows each policy's own
+    selection order: the back of the Dfs stack, the front of the Bfs queue,
+    the oldest states for Random_path, the lowest-scored entries for the
+    scored policies. *)

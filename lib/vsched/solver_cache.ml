@@ -109,7 +109,15 @@ let record t memo key ~max_nodes result =
   | Solver.Unsat -> ()
   | Solver.Unknown -> ()
 
-let check_model t ~max_nodes cs =
+(* A result computed after the deadline passed may be a deadline-induced
+   [Unknown] — a property of *this* run's clock, not of the query.  Caching
+   it would poison replay (and break checkpoint/resume determinism), so
+   post-expiry results are returned but never recorded. *)
+let expired = function
+  | None -> false
+  | Some b -> Vresilience.Budget.expired b
+
+let check_model t ?budget ~max_nodes cs =
   t.n_lookups <- t.n_lookups + 1;
   let cs = Vsmt.Simplify.simplify_conj cs in
   let key = key_of cs in
@@ -119,11 +127,11 @@ let check_model t ~max_nodes cs =
     e.result
   | _ ->
     t.n_misses <- t.n_misses + 1;
-    let result = Solver.check ~max_nodes cs in
-    record t t.model_memo key ~max_nodes result;
+    let result = Solver.check ?budget ~max_nodes cs in
+    if not (expired budget) then record t t.model_memo key ~max_nodes result;
     result
 
-let is_feasible t ~max_nodes cs =
+let is_feasible t ?budget ~max_nodes cs =
   t.n_lookups <- t.n_lookups + 1;
   let cs = Vsmt.Simplify.simplify_conj cs in
   let canon = List.sort_uniq E.compare cs in
@@ -149,12 +157,26 @@ let is_feasible t ~max_nodes cs =
       end
       else begin
         t.n_misses <- t.n_misses + 1;
-        let result = Solver.check ~max_nodes canon in
-        record t t.feas_memo key ~max_nodes result;
-        if result = Solver.Unsat then store_core t qset;
+        let result = Solver.check ?budget ~max_nodes canon in
+        if not (expired budget) then begin
+          record t t.feas_memo key ~max_nodes result;
+          if result = Solver.Unsat then store_core t qset
+        end;
         feasible result
       end
   end
+
+(* ------------------------------------------------------------------ *)
+(* Checkpointing                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type dump = t
+
+let dump t =
+  { t with model_memo = Hashtbl.copy t.model_memo; feas_memo = Hashtbl.copy t.feas_memo }
+
+let restore d =
+  { d with model_memo = Hashtbl.copy d.model_memo; feas_memo = Hashtbl.copy d.feas_memo }
 
 let stats t =
   {

@@ -37,13 +37,32 @@ val create : ?max_models:int -> ?max_cores:int -> unit -> t
     64, most recently stored first); [max_cores] bounds the stored
     unsatisfiable sets (default 256). *)
 
-val check_model : t -> max_nodes:int -> Vsmt.Expr.t list -> Vsmt.Solver.result
+val check_model :
+  t -> ?budget:Vresilience.Budget.armed -> max_nodes:int -> Vsmt.Expr.t list ->
+  Vsmt.Solver.result
 (** Decide the conjunction, exact-memoized.  Identical to
-    [Vsmt.Solver.check ~max_nodes] on every call, hit or miss. *)
+    [Vsmt.Solver.check ~max_nodes] on every call, hit or miss.  An armed
+    [budget] is threaded to the solver for its cooperative deadline; results
+    computed after the deadline expired are returned but {e not} recorded
+    (a deadline [Unknown] describes this run's clock, not the query). *)
 
-val is_feasible : t -> max_nodes:int -> Vsmt.Expr.t list -> bool
+val is_feasible :
+  t -> ?budget:Vresilience.Budget.armed -> max_nodes:int -> Vsmt.Expr.t list -> bool
 (** True when the constraint set is satisfiable or undecided, like
-    {!Vsmt.Solver.is_feasible}, with all cache probes enabled. *)
+    {!Vsmt.Solver.is_feasible}, with all cache probes enabled.  Same
+    [budget] semantics as {!check_model}. *)
+
+(** {1 Checkpointing} *)
+
+type dump
+(** A self-contained copy of the cache's contents (memo tables,
+    counterexample models, unsat cores, counters), safe to [Marshal] into a
+    checkpoint: it shares no mutable structure with the live cache. *)
+
+val dump : t -> dump
+val restore : dump -> t
+(** A fresh cache primed with the dumped contents; replaying the same query
+    sequence against it answers exactly as the original would have. *)
 
 type stats = {
   lookups : int;

@@ -214,10 +214,24 @@ let fixpoint env cs =
   go (propagate env cs) 8
 
 let default_max_nodes = 20_000
-let check ?(max_nodes = default_max_nodes) cs =
+
+(* how many search nodes between two reads of the deadline clock *)
+let deadline_check_period = 64
+
+let check ?budget ?max_nodes cs =
+  let max_nodes =
+    match max_nodes, budget with
+    | Some n, _ -> n
+    | None, Some b -> (Vresilience.Budget.spec b).Vresilience.Budget.solver_max_nodes
+    | None, None -> default_max_nodes
+  in
   let cs = Simplify.simplify_conj cs in
   match cs with
   | [ Const 0 ] -> Unsat
+  | _ when (match budget with Some b -> Vresilience.Budget.expired b | None -> false) ->
+    (* cooperative deadline: once time is up every undecided query is
+       Unknown, immediately — the solver never hangs past the deadline *)
+    Unknown
   | _ -> begin
     let all_vars =
       let tbl = Hashtbl.create 16 in
@@ -227,7 +241,8 @@ let check ?(max_nodes = default_max_nodes) cs =
       Hashtbl.fold (fun _ v acc -> v :: acc) tbl []
     in
     let cands = candidate_constants cs in
-    let budget = ref max_nodes in
+    let budget_nodes = ref max_nodes in
+    let nodes_since_clock = ref 0 in
     (* set when a large domain was sampled rather than enumerated: an
        exhausted search then means Unknown, not Unsat *)
     let sampled = ref false in
@@ -239,9 +254,21 @@ let check ?(max_nodes = default_max_nodes) cs =
       List.for_all (fun c -> eval lookup c <> 0) cs
     in
     let exception Found of model in
+    let check_deadline =
+      match budget with
+      | None -> fun () -> ()
+      | Some b ->
+        fun () ->
+          if !nodes_since_clock >= deadline_check_period then begin
+            nodes_since_clock := 0;
+            if Vresilience.Budget.expired b then raise Exit
+          end
+    in
     let rec search env cs =
-      if !budget <= 0 then raise Exit;
-      decr budget;
+      if !budget_nodes <= 0 then raise Exit;
+      decr budget_nodes;
+      incr nodes_since_clock;
+      check_deadline ();
       let env = fixpoint env cs in
       (* drop conjuncts already decided true; fail on decided false *)
       let remaining =
@@ -334,8 +361,8 @@ let check ?(max_nodes = default_max_nodes) cs =
     | Exit -> Unknown
   end
 
-let is_feasible ?max_nodes cs =
-  match check ?max_nodes cs with Sat _ | Unknown -> true | Unsat -> false
+let is_feasible ?budget ?max_nodes cs =
+  match check ?budget ?max_nodes cs with Sat _ | Unknown -> true | Unsat -> false
 
 let model_value m name = List.assoc_opt name m
 

@@ -23,11 +23,18 @@ val default_max_nodes : int
     Callers on a configured path (executor, pipeline) should thread their own
     budget instead of relying on this fallback. *)
 
-val check : ?max_nodes:int -> Expr.t list -> result
+val check : ?budget:Vresilience.Budget.armed -> ?max_nodes:int -> Expr.t list -> result
 (** Decide the conjunction of the given constraints.  [max_nodes] bounds the
-    number of branching steps (default {!default_max_nodes}). *)
+    number of branching steps; when absent it defaults to the [budget]'s
+    [solver_max_nodes] (or {!default_max_nodes} without either).  An armed
+    [budget] also adds a cooperative wall-clock deadline: the search polls
+    the budget clock every few dozen nodes and returns [Unknown] once the
+    deadline has passed, so a solver call never outlives the run's deadline.
+    Deadline-induced [Unknown]s are indistinguishable from budget-exhaustion
+    ones to the caller; cache layers must avoid recording results produced
+    after expiry (see {!Vsched.Solver_cache}). *)
 
-val is_feasible : ?max_nodes:int -> Expr.t list -> bool
+val is_feasible : ?budget:Vresilience.Budget.armed -> ?max_nodes:int -> Expr.t list -> bool
 (** True when {!check} returns [Sat] or [Unknown]. *)
 
 val model_value : model -> string -> int option

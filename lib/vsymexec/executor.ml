@@ -1,6 +1,9 @@
 module E = Vsmt.Expr
 module Ast = Vir.Ast
 module S = Sym_state
+module B = Vresilience.Budget
+module D = Vresilience.Degradation
+module Chaos = Vresilience.Chaos
 
 (* The policy type *is* the vsched searcher: the old [Dfs]/[Bfs]/
    [Random_path] spellings stay valid as constructors of the re-exported
@@ -19,24 +22,50 @@ type noise = {
   seed : int;
 }
 
+(* Everything the scheduling loop needs to pick up where a previous run
+   stopped: the frontier (with the searcher's rng/covered set), the finished
+   states, every engine counter that feeds the impact model, the solver-cache
+   contents and the telemetry recorder.  All fields are closure-free data, so
+   the whole record round-trips through [Marshal] with flags []. *)
+type snapshot = {
+  snap_program : string;
+  snap_policy : string;
+  snap_next_state_id : int;
+  snap_next_symbol : int;
+  snap_n_forks : int;
+  snap_n_solver_calls : int;
+  snap_n_concretizations : int;
+  snap_terminated : int;
+  snap_killed : int;
+  snap_last_run_id : int;
+  snap_finished : Sym_state.t list;  (* newest first *)
+  snap_frontier : Sym_state.t Vsched.Searcher.dump;
+  snap_noise_rng : Random.State.t option;
+  snap_cache : Vsched.Solver_cache.dump option;
+  snap_recorder : Vsched.Exploration_stats.recorder;
+  snap_degradation : D.event list;  (* ladder history, oldest first *)
+}
+
 type options = {
   env : Vruntime.Hw_env.t;
   sym_configs : (string * E.var) list;
   concrete_config : string -> int;
   sym_workloads : (string * E.var) list;
   concrete_workload : string -> int;
-  max_states : int;
+  budget : B.t;
   max_loop_unroll : int;
-  fuel : int;
   policy : policy;
   state_switching : bool;
   time_slice : int;
-  solver_max_nodes : int;
   solver_cache : bool;
   noise : noise option;
   enable_tracer : bool;
   relaxation_rules : bool;
   fault_injection : bool;
+  chaos : Chaos.t option;
+  degradation : D.policy;
+  checkpoint_every : int;
+  on_checkpoint : (snapshot -> unit) option;
 }
 
 let default_options ?(env = Vruntime.Hw_env.hdd_server) ~config ~workload () =
@@ -46,18 +75,20 @@ let default_options ?(env = Vruntime.Hw_env.hdd_server) ~config ~workload () =
     concrete_config = config;
     sym_workloads = [];
     concrete_workload = workload;
-    max_states = 512;
+    budget = B.with_max_states B.default 512;
     max_loop_unroll = 48;
-    fuel = 200_000;
     policy = Dfs;
     state_switching = false;
     time_slice = 64;
-    solver_max_nodes = 4_000;
     solver_cache = true;
     noise = None;
     enable_tracer = true;
     relaxation_rules = true;
     fault_injection = false;
+    chaos = None;
+    degradation = D.default_policy;
+    checkpoint_every = 0;
+    on_checkpoint = None;
   }
 
 type stats = {
@@ -68,6 +99,7 @@ type stats = {
   solver_calls : int;
   concretizations : int;
   wall_time_s : float;
+  deadline_hit : bool;
 }
 
 type result = {
@@ -89,11 +121,21 @@ let sym_workload_var tmpl name =
 type engine = {
   opts : options;
   program : Ast.program;
+  armed : B.armed;
+  ladder : D.controller;
   mutable next_state_id : int;
   mutable next_symbol : int;
   mutable n_forks : int;
   mutable n_solver_calls : int;
   mutable n_concretizations : int;
+  mutable terminated : int;
+  mutable killed : int;
+  mutable finished : Sym_state.t list;  (* newest first *)
+  mutable last_run_id : int;
+  mutable picks_to_ckpt : int;
+  (* effective knobs, tightened by the degradation ladder *)
+  mutable eff_max_unroll : int;
+  mutable eff_concretize_all : bool;
   rng : Random.State.t option;
   cache : Vsched.Solver_cache.t option;
   frontier : Sym_state.t Vsched.Searcher.frontier;
@@ -173,40 +215,66 @@ let charge eng (st : S.t) ?(serial = false) (c : Vruntime.Cost.t) =
 let emit eng (st : S.t) kind fname =
   if (not st.S.tracing) || not eng.opts.enable_tracer then st
   else begin
-    let ts =
-      match kind, eng.rng, eng.opts.noise with
-      | Signals.Ret _, Some rng, Some n
-        when n.signal_delay_prob > 0. && Random.State.float rng 1.0 < n.signal_delay_prob ->
-        st.S.clock +. n.signal_delay_us
-      | _ -> st.S.clock
-    in
-    let r = { Signals.kind; fname; ts; thread = st.S.thread; cid = st.S.next_cid } in
-    {
-      st with
-      S.signals = r :: st.S.signals;
-      next_cid = st.S.next_cid + 1;
-      clock = st.S.clock +. eng.opts.env.Vruntime.Hw_env.tracer_signal_us;
-    }
+    match eng.opts.chaos with
+    | Some c when Chaos.flip c c.Chaos.signal_drop_p ->
+      (* chaos: the signal is emitted (the guest pays for it) but never
+         reaches the tracer *)
+      {
+        st with
+        S.next_cid = st.S.next_cid + 1;
+        clock = st.S.clock +. eng.opts.env.Vruntime.Hw_env.tracer_signal_us;
+      }
+    | chaos ->
+      let ts =
+        match kind, eng.rng, eng.opts.noise with
+        | Signals.Ret _, Some rng, Some n
+          when n.signal_delay_prob > 0. && Random.State.float rng 1.0 < n.signal_delay_prob ->
+          st.S.clock +. n.signal_delay_us
+        | _ -> st.S.clock
+      in
+      let ts =
+        match chaos with
+        | Some c when Chaos.flip c c.Chaos.signal_delay_p -> ts +. c.Chaos.signal_delay_us
+        | _ -> ts
+      in
+      let r = { Signals.kind; fname; ts; thread = st.S.thread; cid = st.S.next_cid } in
+      {
+        st with
+        S.signals = r :: st.S.signals;
+        next_cid = st.S.next_cid + 1;
+        clock = st.S.clock +. eng.opts.env.Vruntime.Hw_env.tracer_signal_us;
+      }
   end
+
+let chaos_unknown eng =
+  match eng.opts.chaos with
+  | Some c -> Chaos.flip c c.Chaos.solver_unknown_p
+  | None -> false
 
 let is_feasible eng pc =
   eng.n_solver_calls <- eng.n_solver_calls + 1;
-  let max_nodes = eng.opts.solver_max_nodes in
-  match eng.cache with
-  | Some cache -> Vsched.Solver_cache.is_feasible cache ~max_nodes pc
-  | None -> Vsmt.Solver.is_feasible ~max_nodes pc
+  if chaos_unknown eng then true (* forced Unknown over-approximates to feasible *)
+  else begin
+    let max_nodes = eng.opts.budget.B.solver_max_nodes in
+    match eng.cache with
+    | Some cache -> Vsched.Solver_cache.is_feasible cache ~budget:eng.armed ~max_nodes pc
+    | None -> Vsmt.Solver.is_feasible ~budget:eng.armed ~max_nodes pc
+  end
 
 let model_of eng pc =
   eng.n_solver_calls <- eng.n_solver_calls + 1;
-  let max_nodes = eng.opts.solver_max_nodes in
-  let result =
-    match eng.cache with
-    | Some cache -> Vsched.Solver_cache.check_model cache ~max_nodes pc
-    | None -> Vsmt.Solver.check ~max_nodes pc
-  in
-  match result with
-  | Vsmt.Solver.Sat m -> Some m
-  | Vsmt.Solver.Unsat | Vsmt.Solver.Unknown -> None
+  if chaos_unknown eng then None
+  else begin
+    let max_nodes = eng.opts.budget.B.solver_max_nodes in
+    let result =
+      match eng.cache with
+      | Some cache -> Vsched.Solver_cache.check_model cache ~budget:eng.armed ~max_nodes pc
+      | None -> Vsmt.Solver.check ~budget:eng.armed ~max_nodes pc
+    in
+    match result with
+    | Vsmt.Solver.Sat m -> Some m
+    | Vsmt.Solver.Unsat | Vsmt.Solver.Unknown -> None
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Symbolic evaluation of IR expressions.                              *)
@@ -365,7 +433,11 @@ let call_library eng (st : S.t) ~dest ~ret_addr (f : Ast.func) lib args =
       E.Const (semantics vals), st
     end
     else begin
-      let effective = if eng.opts.relaxation_rules then effect else Ast.Effectful in
+      (* degradation rung 2 forces [concretizeAll] semantics on every call *)
+      let effective =
+        if eng.opts.relaxation_rules && not eng.eff_concretize_all then effect
+        else Ast.Effectful
+      in
       match effective with
       | Ast.Pure ->
         (* relaxation rule 1: no side effect; keep args symbolic, return a
@@ -398,7 +470,7 @@ let exec_branch eng (st : S.t) cond ~on_true ~on_false =
   | None -> begin
     let pc_true = Vsmt.Simplify.simplify_conj (st.S.pc @ [ c ]) in
     let pc_false = Vsmt.Simplify.simplify_conj (st.S.pc @ [ E.Not c ]) in
-    let can_fork = eng.next_state_id < eng.opts.max_states in
+    let can_fork = eng.next_state_id < eng.opts.budget.B.max_states in
     let t_ok = is_feasible eng pc_true in
     let f_ok = is_feasible eng pc_false in
     match t_ok, f_ok with
@@ -447,7 +519,7 @@ let step eng (st : S.t) : step_result =
     | [] -> Done { st with S.status = S.Terminated None }
     | S.Kret _ :: _ -> do_return eng st None  (* function body fell through *)
     | S.Kloop { cond; body; iter } :: rest ->
-      if iter >= eng.opts.max_loop_unroll then begin
+      if iter >= eng.eff_max_unroll then begin
         (* force loop exit if feasible, else kill: bounded unrolling *)
         let c = sym_eval_simpl eng st cond in
         match E.is_const c with
@@ -492,7 +564,8 @@ let step eng (st : S.t) : step_result =
           (* Section 8: specious configuration used only in error handling
              needs faults to surface; fault injection forks a state where
              the library call fails with -1 *)
-          if eng.opts.fault_injection && dest <> None && eng.next_state_id < eng.opts.max_states
+          if eng.opts.fault_injection && dest <> None
+             && eng.next_state_id < eng.opts.budget.B.max_states
           then begin
             eng.n_forks <- eng.n_forks + 1;
             Vsched.Exploration_stats.on_fork eng.recorder;
@@ -543,103 +616,265 @@ let step eng (st : S.t) : step_result =
 (* Scheduling loop                                                     *)
 (* ------------------------------------------------------------------ *)
 
-let run opts program =
-  let t0 = Unix.gettimeofday () in
+(* kill reasons the pipeline recognizes as budget-induced drops; such states
+   become dropped-path entries in the model's degradation summary *)
+let budget_kill_prefix = "budget:"
+let deadline_reason = budget_kill_prefix ^ " deadline"
+let degraded_drop_reason = budget_kill_prefix ^ " degraded frontier drop"
+
+let is_budget_kill reason =
+  String.length reason >= String.length budget_kill_prefix
+  && String.sub reason 0 (String.length budget_kill_prefix) = budget_kill_prefix
+
+let finish_state eng (st : S.t) =
+  begin
+    match st.S.status with
+    | S.Terminated _ -> eng.terminated <- eng.terminated + 1
+    | S.Killed _ -> eng.killed <- eng.killed + 1
+    | S.Running -> assert false
+  end;
+  Vsched.Exploration_stats.on_complete eng.recorder ~state_id:st.S.id
+    ~dropped:(match st.S.status with S.Killed _ -> true | _ -> false);
+  eng.finished <- st :: eng.finished
+
+let drop_state eng (st : S.t) reason =
+  finish_state eng { st with S.status = S.Killed reason }
+
+let drain_frontier eng reason =
+  let rec go () =
+    match Vsched.Searcher.select eng.frontier with
+    | None -> ()
+    | Some st ->
+      drop_state eng st reason;
+      go ()
+  in
+  go ()
+
+let snapshot_of eng =
+  {
+    snap_program = eng.program.Ast.pname;
+    snap_policy = Vsched.Searcher.to_string eng.opts.policy;
+    snap_next_state_id = eng.next_state_id;
+    snap_next_symbol = eng.next_symbol;
+    snap_n_forks = eng.n_forks;
+    snap_n_solver_calls = eng.n_solver_calls;
+    snap_n_concretizations = eng.n_concretizations;
+    snap_terminated = eng.terminated;
+    snap_killed = eng.killed;
+    snap_last_run_id = eng.last_run_id;
+    snap_finished = eng.finished;
+    snap_frontier = Vsched.Searcher.dump eng.frontier;
+    snap_noise_rng = Option.map Random.State.copy eng.rng;
+    snap_cache = Option.map Vsched.Solver_cache.dump eng.cache;
+    snap_recorder = Vsched.Exploration_stats.copy eng.recorder;
+    snap_degradation = D.events eng.ladder;
+  }
+
+let snapshot_version = 1
+let snapshot_kind = "executor-frontier"
+
+let save_snapshot ~path snap =
+  Vresilience.Checkpoint.write ~path ~kind:snapshot_kind ~version:snapshot_version
+    (Marshal.to_string snap [])
+
+let load_snapshot ~path =
+  match Vresilience.Checkpoint.read ~path ~kind:snapshot_kind ~version:snapshot_version with
+  | Error e -> Error e
+  | Ok payload -> begin
+    match (Marshal.from_string payload 0 : snapshot) with
+    | snap -> Ok snap
+    | exception _ -> Error Vresilience.Checkpoint.Corrupt
+  end
+
+(* entering a degradation rung tightens the engine's effective knobs *)
+let tighten_knobs eng (rung : D.rung) =
+  match rung with
+  | D.Full -> ()
+  | D.Reduced_unroll ->
+    eng.eff_max_unroll <- min eng.eff_max_unroll (max 2 (eng.opts.max_loop_unroll / 8))
+  | D.Concretize_all -> eng.eff_concretize_all <- true
+  | D.Drop_states ->
+    let len = Vsched.Searcher.length eng.frontier in
+    let keep =
+      max 1
+        (int_of_float
+           (ceil (float_of_int len *. eng.opts.degradation.D.drop_keep_fraction)))
+    in
+    if len > keep then
+      List.iter
+        (fun st -> drop_state eng st degraded_drop_reason)
+        (Vsched.Searcher.drop_weakest eng.frontier ~keep)
+
+let run ?resume opts program =
+  begin
+    match resume with
+    | Some s when not (String.equal s.snap_program program.Ast.pname) ->
+      invalid_arg
+        (Printf.sprintf "Executor.run: snapshot is for program %S, not %S" s.snap_program
+           program.Ast.pname)
+    | Some s when not (String.equal s.snap_policy (Vsched.Searcher.to_string opts.policy)) ->
+      invalid_arg
+        (Printf.sprintf "Executor.run: snapshot used searcher %s, options say %s"
+           s.snap_policy
+           (Vsched.Searcher.to_string opts.policy))
+    | _ -> ()
+  end;
+  let t0 = opts.budget.B.now () in
   let eng =
     {
       opts;
       program;
+      armed = B.arm opts.budget;
+      ladder = D.controller opts.degradation;
       next_state_id = 1;
       next_symbol = 0;
       n_forks = 0;
       n_solver_calls = 0;
       n_concretizations = 0;
+      terminated = 0;
+      killed = 0;
+      finished = [];
+      last_run_id = -1;
+      picks_to_ckpt = 0;
+      eff_max_unroll = opts.max_loop_unroll;
+      eff_concretize_all = false;
       rng =
-        (match opts.noise with
-        | Some n -> Some (Random.State.make [| n.seed |])
-        | None -> None);
-      cache = (if opts.solver_cache then Some (Vsched.Solver_cache.create ()) else None);
+        (match resume, opts.noise with
+        | Some s, _ -> Option.map Random.State.copy s.snap_noise_rng
+        | None, Some n -> Some (Random.State.make [| n.seed |])
+        | None, None -> None);
+      cache =
+        (match resume with
+        | Some { snap_cache = Some d; _ } when opts.solver_cache ->
+          Some (Vsched.Solver_cache.restore d)
+        | _ -> if opts.solver_cache then Some (Vsched.Solver_cache.create ()) else None);
       frontier = Vsched.Searcher.frontier ~view:(make_state_view program) opts.policy;
       recorder =
-        Vsched.Exploration_stats.recorder
-          ~searcher:(Vsched.Searcher.name opts.policy)
-          ~solver_cache_enabled:opts.solver_cache ();
+        (match resume with
+        | Some s -> Vsched.Exploration_stats.copy s.snap_recorder
+        | None ->
+          Vsched.Exploration_stats.recorder
+            ~searcher:(Vsched.Searcher.name opts.policy)
+            ~solver_cache_enabled:opts.solver_cache ());
     }
   in
-  let entry = Ast.find_func program program.Ast.entry in
-  (* tracing starts disabled only when a reachable Trace_on hook will turn
-     it on later (Section 5.3, optimization 1) *)
-  let reachable =
-    Vir.Callgraph.reachable (Vir.Callgraph.build program) ~from:program.Ast.entry
-  in
-  let has_trace_on =
-    List.exists
-      (fun (f : Ast.func) ->
-        List.mem f.Ast.fname reachable
-        &&
-        let found = ref false in
-        Ast.iter_stmts (function Ast.Trace_on -> found := true | _ -> ()) (Ast.func_body f);
-        !found)
-      program.Ast.funcs
-  in
-  let root_ret_addr = 0x10 in
-  let st0 =
-    S.initial ~id:0
-      ~store:(Sym_store.with_globals program.Ast.globals)
-      ~work:[] ~fuel:opts.fuel ~tracing:(not has_trace_on)
-  in
-  let st0 = enter_function eng st0 ~dest:None ~ret_addr:root_ret_addr entry [] in
+  begin
+    match resume with
+    | Some s ->
+      eng.next_state_id <- s.snap_next_state_id;
+      eng.next_symbol <- s.snap_next_symbol;
+      eng.n_forks <- s.snap_n_forks;
+      eng.n_solver_calls <- s.snap_n_solver_calls;
+      eng.n_concretizations <- s.snap_n_concretizations;
+      eng.terminated <- s.snap_terminated;
+      eng.killed <- s.snap_killed;
+      eng.finished <- s.snap_finished;
+      eng.last_run_id <- s.snap_last_run_id;
+      Vsched.Searcher.restore eng.frontier s.snap_frontier;
+      D.restore eng.ladder s.snap_degradation;
+      (* re-derive the effective knobs from the restored ladder position
+         (frontier drops already happened before the snapshot) *)
+      List.iter
+        (fun (ev : D.event) ->
+          match ev.D.rung with
+          | D.Drop_states -> ()
+          | rung -> tighten_knobs eng rung)
+        s.snap_degradation;
+      Vsched.Exploration_stats.mark_resumed eng.recorder
+    | None ->
+      let entry = Ast.find_func program program.Ast.entry in
+      (* tracing starts disabled only when a reachable Trace_on hook will
+         turn it on later (Section 5.3, optimization 1) *)
+      let reachable =
+        Vir.Callgraph.reachable (Vir.Callgraph.build program) ~from:program.Ast.entry
+      in
+      let has_trace_on =
+        List.exists
+          (fun (f : Ast.func) ->
+            List.mem f.Ast.fname reachable
+            &&
+            let found = ref false in
+            Ast.iter_stmts
+              (function Ast.Trace_on -> found := true | _ -> ())
+              (Ast.func_body f);
+            !found)
+          program.Ast.funcs
+      in
+      let root_ret_addr = 0x10 in
+      let st0 =
+        S.initial ~id:0
+          ~store:(Sym_store.with_globals program.Ast.globals)
+          ~work:[] ~fuel:opts.budget.B.fuel ~tracing:(not has_trace_on)
+      in
+      let st0 = enter_function eng st0 ~dest:None ~ret_addr:root_ret_addr entry [] in
+      Vsched.Searcher.add eng.frontier ~preempted:false st0
+  end;
   (* frontier of runnable states, ordered by the plugged-in searcher *)
   let frontier = eng.frontier in
-  Vsched.Searcher.add frontier ~preempted:false st0;
-  let finished = ref [] in
-  let killed = ref 0 and terminated = ref 0 in
-  let last_run_id = ref (-1) in
+  let deadline_hit = ref false in
   let switch_cost (st : S.t) =
-    if opts.state_switching && !last_run_id <> st.S.id && !last_run_id >= 0 then
+    if opts.state_switching && eng.last_run_id <> st.S.id && eng.last_run_id >= 0 then
       { st with S.clock = st.S.clock +. opts.env.Vruntime.Hw_env.state_switch_us }
     else st
   in
-  let budget =
+  let slice =
     if Vsched.Searcher.run_to_completion opts.policy then max_int else opts.time_slice
   in
+  let maybe_checkpoint () =
+    match opts.on_checkpoint with
+    | Some hook when opts.checkpoint_every > 0 ->
+      eng.picks_to_ckpt <- eng.picks_to_ckpt + 1;
+      if eng.picks_to_ckpt >= opts.checkpoint_every then begin
+        eng.picks_to_ckpt <- 0;
+        hook (snapshot_of eng)
+      end
+    | _ -> ()
+  in
   let rec drive () =
-    match Vsched.Searcher.select frontier with
-    | None -> ()
-    | Some st ->
-      Vsched.Exploration_stats.on_pick eng.recorder
-        ~queue_depth:(Vsched.Searcher.length frontier);
-      let st = switch_cost st in
-      last_run_id := st.S.id;
-      let rec run_state st steps =
-        if steps = 0 then Vsched.Searcher.add frontier ~preempted:true st
-        else begin
-          match
-            try step eng st
-            with Stuck reason -> Done { st with S.status = S.Killed ("stuck: " ^ reason) }
-          with
-          | One st -> run_state st (steps - 1)
-          | Two (a, b) ->
-            (* run the first child now; queue the second *)
-            Vsched.Searcher.add frontier ~preempted:false b;
-            run_state a (steps - 1)
-          | Done st ->
-            begin
-              match st.S.status with
-              | S.Terminated _ -> incr terminated
-              | S.Killed _ -> incr killed
-              | S.Running -> assert false
-            end;
-            Vsched.Exploration_stats.on_complete eng.recorder ~state_id:st.S.id
-              ~dropped:(match st.S.status with S.Killed _ -> true | _ -> false);
-            finished := st :: !finished
-        end
-      in
-      run_state st budget;
-      drive ()
+    if B.expired eng.armed then begin
+      deadline_hit := true;
+      drain_frontier eng deadline_reason
+    end
+    else begin
+      List.iter
+        (fun (ev : D.event) ->
+          Vsched.Exploration_stats.on_degrade eng.recorder ev;
+          tighten_knobs eng ev.D.rung)
+        (D.observe eng.ladder ~pressure:(B.pressure eng.armed)
+           ~step:(Vsched.Exploration_stats.steps eng.recorder));
+      maybe_checkpoint ();
+      match Vsched.Searcher.select frontier with
+      | None -> ()
+      | Some st ->
+        Vsched.Exploration_stats.on_pick eng.recorder
+          ~queue_depth:(Vsched.Searcher.length frontier);
+        let st = switch_cost st in
+        eng.last_run_id <- st.S.id;
+        let rec run_state st steps =
+          if B.expired eng.armed then begin
+            deadline_hit := true;
+            drop_state eng st deadline_reason
+          end
+          else if steps = 0 then Vsched.Searcher.add frontier ~preempted:true st
+          else begin
+            match
+              try step eng st
+              with Stuck reason -> Done { st with S.status = S.Killed ("stuck: " ^ reason) }
+            with
+            | One st -> run_state st (steps - 1)
+            | Two (a, b) ->
+              (* run the first child now; queue the second *)
+              Vsched.Searcher.add frontier ~preempted:false b;
+              run_state a (steps - 1)
+            | Done st -> finish_state eng st
+          end
+        in
+        run_state st slice;
+        drive ()
+    end
   in
   drive ();
-  let wall_time_s = Unix.gettimeofday () -. t0 in
+  let wall_time_s = opts.budget.B.now () -. t0 in
   let cache_stats = Option.map Vsched.Solver_cache.stats eng.cache in
   let solver_solves =
     match cache_stats with
@@ -647,18 +882,20 @@ let run opts program =
     | None -> eng.n_solver_calls
   in
   {
-    states = List.rev !finished;
+    states = List.rev eng.finished;
     stats =
       {
         states_created = eng.next_state_id;
-        states_terminated = !terminated;
-        states_killed = !killed;
+        states_terminated = eng.terminated;
+        states_killed = eng.killed;
         forks = eng.n_forks;
         solver_calls = eng.n_solver_calls;
         concretizations = eng.n_concretizations;
         wall_time_s;
+        deadline_hit = !deadline_hit;
       };
     sched =
-      Vsched.Exploration_stats.finish eng.recorder ~states_created:eng.next_state_id
-        ~solver_queries:eng.n_solver_calls ~solver_solves ~cache:cache_stats ~wall_time_s;
+      Vsched.Exploration_stats.finish ~deadline_hit:!deadline_hit eng.recorder
+        ~states_created:eng.next_state_id ~solver_queries:eng.n_solver_calls ~solver_solves
+        ~cache:cache_stats ~wall_time_s;
   }

@@ -20,7 +20,11 @@
     - {e profiling controls} (Section 5.3): tracing starts/stops on the
       [Trace_on]/[Trace_off] hooks, state-switch costs are only charged when
       state switching is enabled, and optional latency jitter models
-      measurement noise in the engine. *)
+      measurement noise in the engine;
+    - {e resilience} (the [vresilience] layer): every resource cap lives in
+      one {!Vresilience.Budget.t}, exploration can be checkpointed to a
+      {!snapshot} and resumed, and budget pressure walks a
+      {!Vresilience.Degradation} ladder instead of aborting. *)
 
 (** The state-selection policy is the {!Vsched.Searcher} type, re-exported so
     the historical [Executor.Dfs]-style spellings keep working.  The live
@@ -44,21 +48,30 @@ type noise = {
   seed : int;
 }
 
+type snapshot
+(** A self-contained, [Marshal]-safe image of a paused exploration: every
+    engine counter, the searcher frontier (including its RNG and coverage
+    state), the solver-cache contents, the telemetry recorder, and the
+    degradation-ladder history.  Resuming from a snapshot and running to
+    completion produces the same states — and therefore a byte-identical
+    impact model — as the uninterrupted run. *)
+
 type options = {
   env : Vruntime.Hw_env.t;
   sym_configs : (string * Vsmt.Expr.var) list;
   concrete_config : string -> int;
   sym_workloads : (string * Vsmt.Expr.var) list;
   concrete_workload : string -> int;
-  max_states : int;  (** cap on states ever created (forks + initial) *)
+  budget : Vresilience.Budget.t;
+      (** unified resource budget: wall-clock deadline, state cap, per-state
+          fuel, and solver node budget (replaces the old scattered
+          [max_states]/[fuel]/[solver_max_nodes] fields) *)
   max_loop_unroll : int;  (** iterations of a symbolic-condition loop *)
-  fuel : int;  (** per-state statement budget *)
   policy : policy;
   state_switching : bool;
       (** charge {!Vruntime.Hw_env.t.state_switch_us} on every switch; the
           tracer disables this when it would distort latency (Section 5.3) *)
   time_slice : int;  (** steps before a preemptive switch (non-Dfs) *)
-  solver_max_nodes : int;
   solver_cache : bool;
       (** route every feasibility/model query through a per-run
           {!Vsched.Solver_cache}; cache statistics surface in
@@ -73,6 +86,16 @@ type options = {
       (** fork an error-return (-1) state at every library call with a
           destination — the paper's Section 8 extension for specious
           configuration that only matters in error handling *)
+  chaos : Vresilience.Chaos.t option;
+      (** engine-level fault injection (distinct from [fault_injection],
+          which models faults in the analyzed program): probabilistic solver
+          [Unknown]s, dropped/delayed tracer signals *)
+  degradation : Vresilience.Degradation.policy;
+      (** graceful-degradation ladder walked under budget pressure; each
+          rung entered is recorded in {!result.sched} *)
+  checkpoint_every : int;
+      (** invoke [on_checkpoint] every N state picks; [0] disables *)
+  on_checkpoint : (snapshot -> unit) option;
 }
 
 val default_options :
@@ -81,8 +104,9 @@ val default_options :
   workload:(string -> int) ->
   unit ->
   options
-(** No symbolic variables, DFS, no switching, no noise; suitable defaults
-    for [max_states] (512), [max_loop_unroll] (48), [fuel] (200_000). *)
+(** No symbolic variables, DFS, no switching, no noise, no chaos, default
+    degradation policy, checkpointing off; the default budget caps states at
+    512 with no deadline. *)
 
 type stats = {
   states_created : int;
@@ -92,6 +116,7 @@ type stats = {
   solver_calls : int;
   concretizations : int;
   wall_time_s : float;
+  deadline_hit : bool;  (** exploration was cut short by the budget deadline *)
 }
 
 type result = {
@@ -103,9 +128,37 @@ type result = {
     order.  [stats] keeps the historical headline counters ([solver_calls]
     counts {e queries}, cached or not, so virtual-time accounting is
     cache-independent); [sched] is the full exploration telemetry including
-    solver-cache hit rates and per-state completion steps. *)
+    solver-cache hit rates, degradation events, and per-state completion
+    steps. *)
 
-val run : options -> Vir.Ast.program -> result
+val run : ?resume:snapshot -> options -> Vir.Ast.program -> result
+(** Explore [program].  With [?resume], continue a checkpointed exploration
+    instead of starting fresh; raises [Invalid_argument] when the snapshot
+    was taken for a different program or searcher policy. *)
+
+(** {1 Budget-kill conventions}
+
+    States dropped for resource reasons are [Killed] with a reason starting
+    with ["budget:"], so downstream layers can distinguish resource drops
+    (which widen the model conservatively) from semantic kills
+    (infeasibility, stuck statements). *)
+
+val deadline_reason : string
+val degraded_drop_reason : string
+val is_budget_kill : string -> bool
+
+(** {1 Checkpoint persistence} *)
+
+val snapshot_version : int
+
+val save_snapshot :
+  path:string -> snapshot -> (unit, Vresilience.Checkpoint.error) Stdlib.result
+(** Atomic (write-to-temp + rename) versioned, checksummed snapshot file. *)
+
+val load_snapshot :
+  path:string -> (snapshot, Vresilience.Checkpoint.error) Stdlib.result
+(** Never raises on a truncated, corrupt, or mismatched file — every failure
+    mode is a typed {!Vresilience.Checkpoint.error}. *)
 
 val sym_config_var : Vruntime.Config_registry.t -> string -> string * Vsmt.Expr.var
 (** Convenience: the [(name, var)] pair for a registry parameter, using its

@@ -82,6 +82,36 @@ let test_pipeline_fault_injection () =
   check Alcotest.bool "poor state under faults" true
     (faulty.P.model.Vmodel.Impact_model.poor_state_ids <> [])
 
+let test_fault_paths_in_cost_table () =
+  (* the forked -1 error paths must land in the cost table as rows of their
+     own, carrying their own configuration constraints — not be folded into
+     the happy path *)
+  let plain = P.analyze_exn target "retry_sync" in
+  let faulty =
+    P.analyze_exn ~opts:{ P.default_options with P.fault_injection = true } target
+      "retry_sync"
+  in
+  check Alcotest.bool "fault injection adds cost-table rows" true
+    (List.length faulty.P.rows > List.length plain.P.rows);
+  let mentions_retry (r : Vmodel.Cost_row.t) =
+    List.exists
+      (fun e ->
+        let s = Vsmt.Expr.to_string e in
+        let rec has i =
+          i + 10 <= String.length s && (String.sub s i 10 = "retry_sync" || has (i + 1))
+        in
+        has 0)
+      r.Vmodel.Cost_row.config_constraints
+  in
+  match
+    List.find_opt
+      (fun (r : Vmodel.Cost_row.t) -> r.Vmodel.Cost_row.cost.Vruntime.Cost.io_calls >= 3)
+      faulty.P.rows
+  with
+  | None -> Alcotest.fail "slow error-handling path missing from the cost table"
+  | Some r ->
+    check Alcotest.bool "fault row carries its own constraints" true (mentions_retry r)
+
 let test_environment_extrapolation () =
   (* the same poor pair shrinks dramatically on a ramdisk, while logical
      metrics stay identical — the extrapolation story of Section 4.5 *)
@@ -112,5 +142,6 @@ let tests =
     tc "error path invisible without faults" test_without_faults_invisible;
     tc "fault injection exposes error path" test_with_faults_exposed;
     tc "pipeline fault injection" test_pipeline_fault_injection;
+    tc "fault paths land in the cost table" test_fault_paths_in_cost_table;
     tc "environment extrapolation" test_environment_extrapolation;
   ]

@@ -18,6 +18,7 @@ let () =
       ("patterns", Test_patterns.tests);
       ("subsystems", Test_subsystems.tests);
       ("vsched", Test_vsched.tests);
+      ("vresilience", Test_vresilience.tests);
       ("endtoend", Test_endtoend.tests);
       ("smoke", Test_smoke.tests);
     ]

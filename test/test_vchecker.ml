@@ -9,7 +9,7 @@ module M = Vmodel.Impact_model
 let check = Alcotest.check
 let tc name f = Alcotest.test_case name `Quick f
 
-let parse_exn text = match CF.parse text with Ok f -> f | Error e -> Alcotest.fail e
+let parse_exn text = CF.parse text
 
 (* ------------------------------------------------------------------ *)
 (* Config_file                                                         *)
@@ -33,8 +33,15 @@ let test_parse_later_wins () =
   check Alcotest.int "single binding" 1 (List.length (CF.bindings f))
 
 let test_parse_errors () =
-  check Alcotest.bool "empty key" true (Result.is_error (CF.parse " = 3\n"));
-  check Alcotest.bool "bad section" true (Result.is_error (CF.parse "[oops\n"))
+  (* recovery: bad lines become issues, good lines survive *)
+  let f = CF.parse " = 3\n[oops\nok = 1\n" in
+  check Alcotest.int "two issues" 2 (List.length (CF.issues f));
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.string))
+    "issue lines"
+    [ 1, "empty key"; 2, "malformed section header" ]
+    (CF.issues f);
+  check (Alcotest.option Alcotest.string) "good line survives" (Some "1") (CF.lookup f "ok")
 
 let test_changed_keys () =
   let old_file = parse_exn "a = 1\nb = 2\nc = 3\n" in

@@ -213,7 +213,7 @@ let sample_model () =
   in
   let analysis = Diff.analyze rows in
   M.build ~system:"t" ~target:"flag" ~related:[ "size" ] ~rows ~analysis
-    ~explored_states:2 ~analysis_wall_s:0.1 ~virtual_analysis_s:60.
+    ~explored_states:2 ~analysis_wall_s:0.1 ~virtual_analysis_s:60. ()
 
 let test_model_queries () =
   let m = sample_model () in

@@ -124,7 +124,8 @@ let test_max_states_cap () =
   let r =
     run
       ~sym_configs:[ bool_var "a"; bool_var "b"; bool_var "c" ]
-      ~tweak:(fun o -> { o with Ex.max_states = 4 })
+      ~tweak:(fun o ->
+        { o with Ex.budget = Vresilience.Budget.with_max_states o.Ex.budget 4 })
       p
   in
   check Alcotest.bool "capped" true (List.length (terminated r) <= 4)
