@@ -1,0 +1,130 @@
+(* Domain-parallel exploration (DESIGN.md Section 5d): end-to-end speedup of
+   the MySQL autocommit analysis at --jobs 1/2/4/8, solver-cache hit rates
+   per job count, and the determinism contract — the impact model must be
+   byte-identical for every job count (modulo the real-wall-clock field,
+   which no scheduling can pin).
+
+   Emits BENCH_par.json next to the console table. *)
+
+let target = Targets.Mysql_model.target
+let param = "autocommit"
+let job_counts = [ 1; 2; 4; 8 ]
+let runs_per_point = 3
+
+(* the one legitimately run-dependent model field *)
+let scrub_wall_s text =
+  let marker = "(analysis-wall-s " in
+  match String.index_opt text '(' with
+  | None -> text
+  | Some _ -> begin
+    let b = Buffer.create (String.length text) in
+    let rec copy i =
+      if i >= String.length text then Buffer.contents b
+      else begin
+        let is_marker =
+          i + String.length marker <= String.length text
+          && String.sub text i (String.length marker) = marker
+        in
+        if is_marker then begin
+          Buffer.add_string b "(analysis-wall-s 0)";
+          let j = ref (i + String.length marker) in
+          while !j < String.length text && text.[!j] <> ')' do
+            incr j
+          done;
+          copy (!j + 1)
+        end
+        else begin
+          Buffer.add_char b text.[i];
+          copy (i + 1)
+        end
+      end
+    in
+    copy 0
+  end
+
+type point = {
+  p_jobs : int;
+  p_wall_s : float;  (** median over [runs_per_point] *)
+  p_speedup : float;
+  p_cache_hit_rate : float;
+  p_steals : int;
+  p_model : string;  (** scrubbed serialized model *)
+}
+
+let run_point ~jobs =
+  let opts = { Violet.Pipeline.default_options with Violet.Pipeline.jobs } in
+  let results =
+    List.init runs_per_point (fun _ ->
+        let t0 = Unix.gettimeofday () in
+        let a = Violet.Pipeline.analyze_exn ~opts target param in
+        let wall = Unix.gettimeofday () -. t0 in
+        wall, a)
+  in
+  let walls = List.sort Float.compare (List.map fst results) in
+  let median = List.nth walls (List.length walls / 2) in
+  let _, a = List.hd results in
+  let sched = a.Violet.Pipeline.result.Vsymexec.Executor.sched in
+  Util.record_sched sched;
+  let hit_rate =
+    match sched.Vsched.Exploration_stats.cache with
+    | Some c -> Vsched.Solver_cache.hit_rate c
+    | None -> 0.
+  in
+  let steals =
+    List.fold_left
+      (fun acc (w : Vsched.Exploration_stats.worker) ->
+        acc + w.Vsched.Exploration_stats.w_steals)
+      0 sched.Vsched.Exploration_stats.workers
+  in
+  {
+    p_jobs = jobs;
+    p_wall_s = median;
+    p_speedup = 1.0;
+    p_cache_hit_rate = hit_rate;
+    p_steals = steals;
+    p_model = scrub_wall_s (Vmodel.Impact_model.to_string a.Violet.Pipeline.model);
+  }
+
+let json_of points ~cores ~deterministic =
+  let row p =
+    Printf.sprintf
+      "{\"jobs\":%d,\"wall_s\":%.4f,\"speedup\":%.3f,\"cache_hit_rate\":%.4f,\"steals\":%d}"
+      p.p_jobs p.p_wall_s p.p_speedup p.p_cache_hit_rate p.p_steals
+  in
+  Printf.sprintf
+    "{\"experiment\":\"par\",\"system\":\"mysql\",\"param\":%S,\"cores\":%d,\"deterministic\":%b,\"points\":[%s]}"
+    param cores deterministic
+    (String.concat "," (List.map row points))
+
+let run () =
+  Util.section "Parallel exploration: speedup, cache hit rates, determinism";
+  let points = List.map (fun jobs -> run_point ~jobs) job_counts in
+  let base = (List.hd points).p_wall_s in
+  let points =
+    List.map (fun p -> { p with p_speedup = base /. Float.max p.p_wall_s 1e-9 }) points
+  in
+  let reference = (List.hd points).p_model in
+  let deterministic = List.for_all (fun p -> String.equal p.p_model reference) points in
+  let cores = Domain.recommended_domain_count () in
+  Util.print_table
+    ~header:[ "jobs"; "wall (median of 3)"; "speedup"; "cache hit rate"; "steals"; "model" ]
+    (List.map
+       (fun p ->
+         [
+           Util.i0 p.p_jobs;
+           Printf.sprintf "%.3f s" p.p_wall_s;
+           Util.fx p.p_speedup;
+           Printf.sprintf "%.1f%%" (100. *. p.p_cache_hit_rate);
+           Util.i0 p.p_steals;
+           (if String.equal p.p_model reference then "identical" else "DIVERGED");
+         ])
+       points);
+  Util.note "machine has %d core(s); speedup past 1.0x needs real cores" cores;
+  if not deterministic then
+    Util.note "WARNING: impact model diverged across job counts — determinism bug";
+  let json = json_of points ~cores ~deterministic in
+  let oc = open_out "BENCH_par.json" in
+  output_string oc json;
+  output_char oc '\n';
+  close_out oc;
+  Util.note "wrote BENCH_par.json"

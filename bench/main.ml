@@ -26,6 +26,7 @@ let experiments =
     "ablation", ("Design-choice ablations", Exp_ablation.run);
     "sched", ("Searcher comparison + solver-cache ablation", Exp_sched.run);
     "resilience", ("Checkpoint overhead + degradation fidelity", Exp_resilience.run);
+    "par", ("Parallel exploration: speedup + determinism", Exp_par.run);
   ]
 
 (* strip [--stats-out FILE] before dispatching on experiment names *)

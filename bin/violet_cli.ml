@@ -74,7 +74,7 @@ let related system param =
   0
 
 let analyze system param save max_states threshold no_related searcher solver_cache
-    deadline checkpoint resume chaos =
+    deadline checkpoint resume chaos jobs =
   let target = or_die (target_of_system system) in
   let chaos =
     match chaos with
@@ -100,6 +100,7 @@ let analyze system param save max_states threshold no_related searcher solver_ca
           checkpoint;
       resume;
       chaos;
+      jobs = (match jobs with Some j -> j | None -> Vpar.Pool.default_jobs ());
     }
   in
   match Violet.Pipeline.analyze ~opts target param with
@@ -313,11 +314,23 @@ let analyze_cmd =
              and checkpoint files are truncated, each with its default (or $(i,PROB)) \
              probability.")
   in
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Worker domains exploring paths in parallel.  The impact model is \
+             byte-identical for any $(docv) as \
+             long as neither the state cap nor the deadline cuts exploration \
+             short.  Defaults to $(b,VIOLET_JOBS) or 1.  Checkpointing and \
+             $(b,--resume) force sequential exploration.")
+  in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Symbolically analyze a parameter's performance impact")
     Term.(
       const analyze $ system_arg $ param_arg 1 $ save $ max_states $ threshold $ no_related
-      $ searcher $ solver_cache $ deadline $ checkpoint $ resume $ chaos)
+      $ searcher $ solver_cache $ deadline $ checkpoint $ resume $ chaos $ jobs)
 
 let model_opt =
   Arg.(

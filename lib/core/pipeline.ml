@@ -65,6 +65,7 @@ type options = {
   resume : bool;
   chaos : Vresilience.Chaos.t option;
   degradation : D.policy;
+  jobs : int;
 }
 
 let default_options =
@@ -90,6 +91,7 @@ let default_options =
     resume = false;
     chaos = None;
     degradation = D.default_policy;
+    jobs = Vpar.Pool.default_jobs ();
   }
 
 type analysis = {
@@ -261,6 +263,7 @@ let analyze ?(opts = default_options) target param =
           checkpoint_every =
             (match opts.checkpoint with Some c -> c.every_picks | None -> 0);
           on_checkpoint = checkpoint_hook opts;
+          jobs = opts.jobs;
         }
       in
       match load_resume_snapshot opts with
@@ -276,7 +279,7 @@ let analyze ?(opts = default_options) target param =
             let rows = List.map Vmodel.Cost_row.of_profile profiles in
             let diff =
               Vmodel.Diff_analysis.analyze ~threshold:opts.threshold
-                ~max_nodes:opts.budget.B.solver_max_nodes rows
+                ~max_nodes:opts.budget.B.solver_max_nodes ~jobs:opts.jobs rows
             in
             Ok (result, rows, diff)
           with e -> Error (Engine_failure (Printexc.to_string e))

@@ -96,6 +96,12 @@ type options = {
       (** engine-fault injection (solver unknowns, dropped signals,
           truncated checkpoints) — the chaos harness's hook *)
   degradation : Vresilience.Degradation.policy;
+  jobs : int;
+      (** worker domains for exploration and the pairwise diff screen;
+          threaded to {!Vsymexec.Executor.options.jobs} and
+          {!Vmodel.Diff_analysis.analyze}.  The default reads the
+          [VIOLET_JOBS] environment variable (falling back to 1), clamped to
+          the machine's recommended domain count. *)
 }
 
 val default_options : options

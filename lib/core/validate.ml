@@ -21,7 +21,7 @@ let solve_with constraints ~pin =
         Vsmt.Expr.subst
           (fun v ->
             match List.assoc_opt v.Vsmt.Expr.name pin with
-            | Some x -> Some (Vsmt.Expr.Const x)
+            | Some x -> Some (Vsmt.Expr.const x)
             | None -> None)
           c)
       constraints

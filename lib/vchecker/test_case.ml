@@ -41,7 +41,7 @@ let residuals assignment constraints =
           (Vsmt.Expr.subst
              (fun v ->
                match List.assoc_opt v.Vsmt.Expr.name assignment with
-               | Some x -> Some (Vsmt.Expr.Const x)
+               | Some x -> Some (Vsmt.Expr.const x)
                | None -> None)
              c)
       in

@@ -48,7 +48,7 @@ let of_profile (p : Vtrace.Profile.t) =
 
 (* joined with " && " by callers, so Or-rooted constraints need parens *)
 let pp_constraint ppf e =
-  match e with
+  match Vsmt.Expr.view e with
   | Vsmt.Expr.Binop (Vsmt.Expr.Or, _, _) -> Fmt.pf ppf "(%a)" Vsmt.Expr.pp_friendly e
   | _ -> Vsmt.Expr.pp_friendly ppf e
 
@@ -68,7 +68,7 @@ let all_satisfied ?(max_nodes = residual_max_nodes) constraints assignment =
           (Vsmt.Expr.subst
              (fun v ->
                match List.assoc_opt v.Vsmt.Expr.name assignment with
-               | Some x -> Some (Vsmt.Expr.Const x)
+               | Some x -> Some (Vsmt.Expr.const x)
                | None -> None)
              c))
       constraints

@@ -59,19 +59,25 @@ let compare_pair ~threshold ~(slow : Cost_row.t) ~(fast : Cost_row.t) =
    single input class can trigger both states, i.e. the conjunction of the
    two input predicates is satisfiable.  Comparing an INSERT-only state
    against a SELECT-only state would not isolate the configuration effect. *)
-(* Workload classes repeat heavily across states, so joint-satisfiability
-   verdicts are memoized on the canonical text of the conjunction. *)
+(* Expressions are hash-consed, so a constraint set's identity is its sorted
+   list of node ids — O(set size) to build, O(1) per element to compare —
+   instead of the rendered text the pre-hashconsing code compared.  The
+   structural sort makes the key independent of the order constraints were
+   recorded in.  Workload classes repeat heavily across states, so
+   joint-satisfiability verdicts are memoized on the merged id key. *)
 let joint_sat_max_nodes = 1_000
+
+let constraint_key cs = List.map Vsmt.Expr.id (List.sort_uniq Vsmt.Expr.compare cs)
 
 let make_comparable ~max_nodes rows =
   let tbl = Hashtbl.create 64 in
   List.iter
     (fun r ->
       Hashtbl.replace tbl r.Cost_row.state_id
-        ( List.sort compare (List.map Vsmt.Expr.to_string r.Cost_row.config_constraints),
-          List.sort compare (List.map Vsmt.Expr.to_string r.Cost_row.workload_pred) ))
+        ( constraint_key r.Cost_row.config_constraints,
+          constraint_key r.Cost_row.workload_pred ))
     rows;
-  let sat_cache = Hashtbl.create 256 in
+  let sat_cache : (int list, bool) Hashtbl.t = Hashtbl.create 256 in
   fun a b ->
     let ca, wa = Hashtbl.find tbl a.Cost_row.state_id in
     let cb, wb = Hashtbl.find tbl b.Cost_row.state_id in
@@ -81,7 +87,7 @@ let make_comparable ~max_nodes rows =
          let subset x y = List.for_all (fun c -> List.mem c y) x in
          subset wa wb || subset wb wa
          ||
-         let key = String.concat ";" (List.sort_uniq compare (wa @ wb)) in
+         let key = List.sort_uniq Int.compare (wa @ wb) in
          match Hashtbl.find_opt sat_cache key with
          | Some v -> v
          | None ->
@@ -119,37 +125,42 @@ let pair_triggers ~threshold a b =
   if triggers = [] then None else Some (slow, fast, !worst, triggers)
 
 let analyze ?(threshold = 1.0) ?(min_similarity = 0) ?(max_nodes = joint_sat_max_nodes)
-    rows =
+    ?(jobs = 1) rows =
   let comparable = make_comparable ~max_nodes rows in
-  (* pass 1: cheap metric screen over all pairs; only triggered pairs are
-     ranked and checked for comparability *)
+  (* pass 1: cheap metric screen over all pairs — the O(n²) stage.  Rows are
+     fanned out over the worker pool by slow-side index; each worker emits
+     its row's hits in ascending-j order and the rows are concatenated in
+     ascending-i order, so the triggered list is in ascending (i, j)
+     lexicographic order for any job count. *)
   let arr = Array.of_list rows in
   let n = Array.length arr in
-  let triggered = ref [] in
-  for i = 0 to n - 1 do
-    for j = i + 1 to n - 1 do
-      match pair_triggers ~threshold arr.(i) arr.(j) with
-      | Some hit -> triggered := (arr.(i), arr.(j), hit) :: !triggered
-      | None -> ()
-    done
-  done;
-  (* pass 2: rank the surviving pairs most-similar first; constraint text
-     is rendered once per row, not once per pair *)
-  let strs = Hashtbl.create 64 in
-  List.iter
-    (fun r ->
-      Hashtbl.replace strs r.Cost_row.state_id
-        ( List.map Vsmt.Expr.to_string r.Cost_row.config_constraints,
-          List.map Vsmt.Expr.to_string r.Cost_row.workload_pred ))
-    rows;
-  let appearance x y = List.fold_left (fun acc c -> if List.mem c y then acc + 1 else acc) 0 x in
+  let jobs = Vpar.Pool.clamp_jobs jobs in
+  let per_row =
+    Vpar.Pool.map_array ~jobs
+      (fun i ->
+        let hits = ref [] in
+        for j = n - 1 downto i + 1 do
+          match pair_triggers ~threshold arr.(i) arr.(j) with
+          | Some hit -> hits := (arr.(i), arr.(j), hit) :: !hits
+          | None -> ()
+        done;
+        !hits)
+      (Array.init n (fun i -> i))
+  in
+  let triggered = List.concat (Array.to_list per_row) in
+  (* pass 2: rank the surviving pairs most-similar first.  Hash-consing
+     makes constraint equality physical equality, so similarity counts
+     shared nodes directly — no per-row text rendering. *)
+  let appearance x y = List.fold_left (fun acc c -> if List.memq c y then acc + 1 else acc) 0 x in
   let scored =
-    List.rev_map
+    List.map
       (fun (a, b, hit) ->
-        let ca, wa = Hashtbl.find strs a.Cost_row.state_id in
-        let cb, wb = Hashtbl.find strs b.Cost_row.state_id in
-        a, b, hit, appearance ca cb + appearance wa wb)
-      !triggered
+        let s =
+          appearance a.Cost_row.config_constraints b.Cost_row.config_constraints
+          + appearance a.Cost_row.workload_pred b.Cost_row.workload_pred
+        in
+        a, b, hit, s)
+      triggered
   in
   let scored =
     List.stable_sort (fun (_, _, _, s1) (_, _, _, s2) -> Int.compare s2 s1) scored

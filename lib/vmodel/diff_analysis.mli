@@ -33,13 +33,21 @@ val compare_pair :
     pairs (old vs new value, old vs new version). *)
 
 val analyze :
-  ?threshold:float -> ?min_similarity:int -> ?max_nodes:int -> Cost_row.t list -> t
+  ?threshold:float ->
+  ?min_similarity:int ->
+  ?max_nodes:int ->
+  ?jobs:int ->
+  Cost_row.t list ->
+  t
 (** [threshold] is the relative difference that makes a pair suspicious:
     1.0 means the slow state is worse by ≥100%.  [min_similarity] skips
     pairs less similar than the bound (default 0: compare all pairs and let
     ranking order them, as the fallback mode of Section 4.6).  [max_nodes]
     bounds the joint-input satisfiability queries (default 1_000); the
-    pipeline threads its configured solver budget here. *)
+    pipeline threads its configured solver budget here.  [jobs] fans the
+    O(n²) pairwise metric screen out over a {!Vpar.Pool} (default 1); the
+    result is identical for any job count — hits are re-assembled in
+    ascending pair order before ranking. *)
 
 val trigger_label : trigger list -> string
 (** Table 4 style: ["Latency"], ["I/O"], ["Lat.&Sync."], ... *)

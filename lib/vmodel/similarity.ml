@@ -1,36 +1,26 @@
-let constraint_strings cs = List.map Vsmt.Expr.to_string cs
-
+(* Expressions are hash-consed, so "the same constraint appears in both
+   rows" is physical equality — no text rendering, no structural walks.
+   [List.memq] keeps the historical appearance-count semantics: the
+   pre-hashconsing code compared rendered constraint text, and two
+   constraints print alike exactly when they are the same node. *)
 let appearance_count a b =
-  List.fold_left (fun acc c -> if List.mem c b then acc + 1 else acc) 0 a
+  List.fold_left (fun acc c -> if List.memq c b then acc + 1 else acc) 0 a
 
 let score (a : Cost_row.t) (b : Cost_row.t) =
-  appearance_count
-    (constraint_strings a.Cost_row.config_constraints)
-    (constraint_strings b.Cost_row.config_constraints)
+  appearance_count a.Cost_row.config_constraints b.Cost_row.config_constraints
 
 let workload_score (a : Cost_row.t) (b : Cost_row.t) =
-  appearance_count
-    (constraint_strings a.Cost_row.workload_pred)
-    (constraint_strings b.Cost_row.workload_pred)
+  appearance_count a.Cost_row.workload_pred b.Cost_row.workload_pred
 
-(* Pre-render every row's constraints once: ranking is quadratic in the
-   number of states, so per-pair work must stay cheap. *)
+(* Ranking is quadratic in the number of states; per-pair work is now a few
+   pointer comparisons per constraint. *)
 let rank_pairs rows =
   let arr = Array.of_list rows in
-  let config_strs =
-    Array.map (fun r -> constraint_strings r.Cost_row.config_constraints) arr
-  in
-  let workload_strs =
-    Array.map (fun r -> constraint_strings r.Cost_row.workload_pred) arr
-  in
   let n = Array.length arr in
   let pairs = ref [] in
   for i = 0 to n - 1 do
     for j = i + 1 to n - 1 do
-      let s =
-        appearance_count config_strs.(i) config_strs.(j)
-        + appearance_count workload_strs.(i) workload_strs.(j)
-      in
+      let s = score arr.(i) arr.(j) + workload_score arr.(i) arr.(j) in
       pairs := (arr.(i), arr.(j), s) :: !pairs
     done
   done;

@@ -6,7 +6,9 @@
     analyzer compares most-similar pairs first.  Similarity is the paper's
     deliberately simple appearance count: for each constraint involving a
     related parameter in one state's formula, add one if the {e same}
-    constraint (printed form) appears in the other state's formula. *)
+    constraint appears in the other state's formula.  Expressions are
+    hash-consed, so "the same constraint" is a pointer comparison (and
+    coincides with the printed-form equality earlier versions used). *)
 
 val score : Cost_row.t -> Cost_row.t -> int
 

@@ -1,6 +1,16 @@
 type sample = { step : int; queue_depth : int }
 type completion = { state_id : int; at_step : int; dropped : bool }
 
+type worker = {
+  w_id : int;
+  w_steps : int;
+  w_forks : int;
+  w_steals : int;
+  w_solver_queries : int;
+  w_cache_hits : int;
+  w_solver_time_s : float;
+}
+
 type t = {
   searcher : string;
   solver_cache_enabled : bool;
@@ -19,6 +29,8 @@ type t = {
   degradation : Vresilience.Degradation.event list;
   deadline_hit : bool;
   resumed : bool;
+  jobs : int;
+  workers : worker list;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -66,8 +78,22 @@ let on_pick r ~queue_depth =
 let on_complete r ~state_id ~dropped =
   r.r_completions <- { state_id; at_step = r.r_steps; dropped } :: r.r_completions
 
-let finish ?(deadline_hit = false) r ~states_created ~solver_queries ~solver_solves ~cache
-    ~wall_time_s =
+(* Fold a worker's recorder into the main one when a parallel run quiesces.
+   Counters sum; event logs concatenate (the executor re-sorts completions
+   into canonical order afterwards via {!set_completions}). *)
+let merge ~into r =
+  into.r_steps <- into.r_steps + r.r_steps;
+  into.r_forks <- into.r_forks + r.r_forks;
+  into.r_completions <- r.r_completions @ into.r_completions;
+  into.r_samples <- r.r_samples @ into.r_samples;
+  into.r_degradation <- r.r_degradation @ into.r_degradation;
+  if r.r_resumed then into.r_resumed <- true
+
+let completions r = List.rev r.r_completions
+let set_completions r cs = r.r_completions <- List.rev cs
+
+let finish ?(deadline_hit = false) ?(jobs = 1) ?(workers = []) r ~states_created
+    ~solver_queries ~solver_solves ~cache ~wall_time_s =
   let completions = List.rev r.r_completions in
   let dropped = List.length (List.filter (fun c -> c.dropped) completions) in
   {
@@ -88,6 +114,8 @@ let finish ?(deadline_hit = false) r ~states_created ~solver_queries ~solver_sol
     degradation = List.rev r.r_degradation;
     deadline_hit;
     resumed = r.r_resumed;
+    jobs;
+    workers;
   }
 
 let first_completion t ~satisfying =
@@ -130,6 +158,12 @@ let degradation_to_json evs =
            (json_float e.Vresilience.Degradation.pressure))
   |> String.concat ","
 
+let worker_to_json w =
+  Printf.sprintf
+    "{\"id\":%d,\"steps\":%d,\"forks\":%d,\"steals\":%d,\"solver_queries\":%d,\"cache_hits\":%d,\"solver_time_s\":%s}"
+    w.w_id w.w_steps w.w_forks w.w_steals w.w_solver_queries w.w_cache_hits
+    (json_float w.w_solver_time_s)
+
 let to_json t =
   let completions =
     t.completions
@@ -144,13 +178,14 @@ let to_json t =
     |> String.concat ","
   in
   Printf.sprintf
-    "{\"searcher\":\"%s\",\"solver_cache_enabled\":%b,\"states_created\":%d,\"states_completed\":%d,\"states_dropped\":%d,\"forks\":%d,\"steps\":%d,\"fork_rate\":%s,\"solver_queries\":%d,\"solver_solves\":%d,\"cache\":%s,\"completions\":[%s],\"queue_samples\":[%s],\"wall_time_s\":%s,\"degradation\":[%s],\"deadline_hit\":%b,\"resumed\":%b}"
+    "{\"searcher\":\"%s\",\"solver_cache_enabled\":%b,\"states_created\":%d,\"states_completed\":%d,\"states_dropped\":%d,\"forks\":%d,\"steps\":%d,\"fork_rate\":%s,\"solver_queries\":%d,\"solver_solves\":%d,\"cache\":%s,\"completions\":[%s],\"queue_samples\":[%s],\"wall_time_s\":%s,\"degradation\":[%s],\"deadline_hit\":%b,\"resumed\":%b,\"jobs\":%d,\"workers\":[%s]}"
     (json_escape t.searcher) t.solver_cache_enabled t.states_created t.states_completed
     t.states_dropped t.forks t.steps (json_float t.fork_rate) t.solver_queries t.solver_solves
     (match t.cache with None -> "null" | Some c -> cache_to_json c)
     completions samples (json_float t.wall_time_s)
     (degradation_to_json t.degradation)
-    t.deadline_hit t.resumed
+    t.deadline_hit t.resumed t.jobs
+    (String.concat "," (List.map worker_to_json t.workers))
 
 let save ~path ts =
   let oc = open_out path in
@@ -185,4 +220,12 @@ let pp ppf t =
                 evs)))
     t.degradation
     (if t.deadline_hit then " DEADLINE" else "")
-    (if t.resumed then " resumed" else "")
+    (if t.resumed then " resumed" else "");
+  if t.jobs > 1 then begin
+    Fmt.pf ppf " jobs=%d" t.jobs;
+    List.iter
+      (fun w ->
+        Fmt.pf ppf " w%d[steps=%d steals=%d cache_hits=%d solver=%.3fs]" w.w_id w.w_steps
+          w.w_steals w.w_cache_hits w.w_solver_time_s)
+      t.workers
+  end

@@ -16,6 +16,17 @@ type completion = {
   dropped : bool;  (** killed rather than terminated *)
 }
 
+type worker = {
+  w_id : int;  (** worker index, 0 = the driving domain *)
+  w_steps : int;
+  w_forks : int;
+  w_steals : int;  (** states this worker stole from other frontiers *)
+  w_solver_queries : int;
+  w_cache_hits : int;  (** solver-cache hits in this worker's segment *)
+  w_solver_time_s : float;  (** wall time inside solver/cache queries *)
+}
+(** Per-worker counters of a parallel ([--jobs N]) run. *)
+
 type t = {
   searcher : string;
   solver_cache_enabled : bool;
@@ -37,6 +48,8 @@ type t = {
           [degradation] section of the JSON dump.  Empty = complete run. *)
   deadline_hit : bool;  (** exploration was cut short by the deadline *)
   resumed : bool;  (** this run continued from a checkpoint *)
+  jobs : int;  (** worker count of the run (1 = sequential) *)
+  workers : worker list;  (** per-worker counters; empty for sequential runs *)
 }
 
 (** {1 Recording} *)
@@ -62,8 +75,24 @@ val copy : recorder -> recorder
 (** A snapshot of the recorder, decoupled from further mutation — what the
     executor puts in a checkpoint. *)
 
+val merge : into:recorder -> recorder -> unit
+(** Fold one worker's recorder into [into] when a parallel run quiesces:
+    counters sum, event logs concatenate.  [into] typically belongs to
+    worker 0; completion order across workers is arbitrary, so callers that
+    need a canonical order rewrite it with {!set_completions}. *)
+
+val completions : recorder -> completion list
+(** Completion log so far, oldest first. *)
+
+val set_completions : recorder -> completion list -> unit
+(** Replace the completion log (oldest first) — parallel runs renumber state
+    ids and re-sort completions into a deterministic order before
+    {!finish}. *)
+
 val finish :
   ?deadline_hit:bool ->
+  ?jobs:int ->
+  ?workers:worker list ->
   recorder ->
   states_created:int ->
   solver_queries:int ->

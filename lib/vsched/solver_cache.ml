@@ -7,8 +7,9 @@ type entry = { result : Solver.result; budget : int }
 type t = {
   max_models : int;
   max_cores : int;
-  (* order-sensitive memo for model queries; order-insensitive for
-     feasibility queries *)
+  (* both memos key on the *sorted* constraint set, so permuted path
+     conditions (same constraints discovered in a different branch order)
+     hit the same entry *)
   model_memo : (string, entry) Hashtbl.t;
   feas_memo : (string, entry) Hashtbl.t;
   mutable models : Solver.model list;  (* newest first *)
@@ -45,6 +46,9 @@ let create ?(max_models = 64) ?(max_cores = 256) () =
     n_misses = 0;
   }
 
+(* [E.to_string] is memoized per unique node, so keying stays cheap; string
+   keys (rather than hashcons ids) keep dumps valid across processes, where
+   ids are reassigned. *)
 let key_of cs = String.concat "\x00" (List.map E.to_string cs)
 
 (* A cached Sat/Unsat is a completed proof and is a *sound* verdict under any
@@ -120,14 +124,17 @@ let expired = function
 let check_model t ?budget ~max_nodes cs =
   t.n_lookups <- t.n_lookups + 1;
   let cs = Vsmt.Simplify.simplify_conj cs in
-  let key = key_of cs in
+  (* solve the sorted set, not just key on it: permuted queries then share
+     one entry AND a miss computes the very result a permuted hit replays *)
+  let canon = List.sort_uniq E.compare cs in
+  let key = key_of canon in
   match Hashtbl.find_opt t.model_memo key with
   | Some e when identical_replay e ~max_nodes ->
     t.n_exact_hits <- t.n_exact_hits + 1;
     e.result
   | _ ->
     t.n_misses <- t.n_misses + 1;
-    let result = Solver.check ?budget ~max_nodes cs in
+    let result = Solver.check ?budget ~max_nodes canon in
     if not (expired budget) then record t t.model_memo key ~max_nodes result;
     result
 
@@ -177,6 +184,37 @@ let dump t =
 
 let restore d =
   { d with model_memo = Hashtbl.copy d.model_memo; feas_memo = Hashtbl.copy d.feas_memo }
+
+(* ------------------------------------------------------------------ *)
+(* Shard merging                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Fold one worker's cache segment into another.  Entries are sound
+   regardless of which worker computed them, so a conflict keeps whichever
+   entry is stronger: a decided verdict beats Unknown, and among Unknowns
+   the larger budget subsumes the smaller. *)
+let merge_entry memo key (e : entry) =
+  match Hashtbl.find_opt memo key with
+  | None -> Hashtbl.replace memo key e
+  | Some cur -> begin
+    match cur.result, e.result with
+    | Solver.Unknown, (Solver.Sat _ | Solver.Unsat) -> Hashtbl.replace memo key e
+    | Solver.Unknown, Solver.Unknown when e.budget > cur.budget ->
+      Hashtbl.replace memo key e
+    | _ -> ()
+  end
+
+let merge_into ~src ~dst =
+  Hashtbl.iter (merge_entry dst.model_memo) src.model_memo;
+  Hashtbl.iter (merge_entry dst.feas_memo) src.feas_memo;
+  (* oldest first so dst's recency order roughly matches discovery order *)
+  List.iter (store_model dst) (List.rev src.models);
+  List.iter (store_core dst) (List.rev src.cores);
+  dst.n_lookups <- dst.n_lookups + src.n_lookups;
+  dst.n_exact_hits <- dst.n_exact_hits + src.n_exact_hits;
+  dst.n_cex_hits <- dst.n_cex_hits + src.n_cex_hits;
+  dst.n_subsumption_hits <- dst.n_subsumption_hits + src.n_subsumption_hits;
+  dst.n_misses <- dst.n_misses + src.n_misses
 
 let stats t =
   {

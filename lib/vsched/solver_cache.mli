@@ -5,10 +5,12 @@
     different soundness obligations:
 
     - {!check_model} serves the executor's model-generation queries (silent
-      concretization).  It uses {e exact, order-sensitive} memoization only:
-      the solver is deterministic, so a hit returns byte-for-byte the model a
-      fresh solve would, and concretization values — and therefore the
-      derived impact model — are identical with the cache on or off.
+      concretization).  It uses exact memoization only, keyed on the
+      {e sorted} constraint set (permuted path conditions share one entry);
+      the solver is deterministic and a miss solves that same sorted set, so
+      a hit returns byte-for-byte the model a fresh solve would, and
+      concretization values — and therefore the derived impact model — are
+      identical with the cache on or off.
     - {!is_feasible} serves the executor's branch-feasibility queries, where
       only the Sat/Unsat verdict matters.  On top of (order-insensitive)
       exact memoization it runs the two KLEE counterexample-cache probes:
@@ -63,6 +65,13 @@ val dump : t -> dump
 val restore : dump -> t
 (** A fresh cache primed with the dumped contents; replaying the same query
     sequence against it answers exactly as the original would have. *)
+
+val merge_into : src:t -> dst:t -> unit
+(** Fold one worker's cache segment into another (parallel exploration
+    merges per-domain segments on quiesce).  Every entry is sound in any
+    cache, so merging keeps the stronger of two conflicting entries (a
+    decided verdict over [Unknown]; the larger-budget [Unknown] otherwise).
+    Counters are summed; [src] is left unchanged. *)
 
 type stats = {
   lookups : int;

@@ -4,7 +4,16 @@ type var = { name : string; dom : Dom.t; origin : origin }
 
 type binop = Add | Sub | Mul | Div | Mod | Eq | Ne | Lt | Le | Gt | Ge | And | Or
 
-type t =
+(* Hash-consed expressions: every structurally distinct expression exists
+   exactly once per process, so equality is an integer comparison, hashing
+   is a field read, and tables keyed on expressions never re-serialize
+   them.  [node] is the shape; [t] wraps it with the unique id and the
+   structural hash.  [str] memoizes the rendered form ("" = not yet
+   rendered) — the rendering is a pure function of the structure, so a
+   racy double-write from two domains stores equal strings. *)
+type t = { id : int; hkey : int; node : node; mutable str : string }
+
+and node =
   | Const of int
   | Var of var
   | Not of t
@@ -12,29 +21,171 @@ type t =
   | Binop of binop * t * t
   | Ite of t * t * t
 
-let var ?(origin = Config) name dom = Var { name; dom; origin }
-let const v = Const v
-let bool_ b = Const (if b then 1 else 0)
-let tru = Const 1
-let fls = Const 0
+let view e = e.node
+let id e = e.id
 
-let ( ==. ) a b = Binop (Eq, a, b)
-let ( <>. ) a b = Binop (Ne, a, b)
-let ( <. ) a b = Binop (Lt, a, b)
-let ( <=. ) a b = Binop (Le, a, b)
-let ( >. ) a b = Binop (Gt, a, b)
-let ( >=. ) a b = Binop (Ge, a, b)
-let ( &&. ) a b = Binop (And, a, b)
-let ( ||. ) a b = Binop (Or, a, b)
-let ( +. ) a b = Binop (Add, a, b)
-let ( -. ) a b = Binop (Sub, a, b)
-let ( *. ) a b = Binop (Mul, a, b)
-let ( /. ) a b = Binop (Div, a, b)
-let ( %. ) a b = Binop (Mod, a, b)
-let not_ e = Not e
-let ite c a b = Ite (c, a, b)
+(* ------------------------------------------------------------------ *)
+(* The intern table: striped by hash so concurrent domains building    *)
+(* expressions contend only when they hash to the same stripe.         *)
+(* ------------------------------------------------------------------ *)
 
-let is_const = function Const v -> Some v | Var _ | Not _ | Neg _ | Binop _ | Ite _ -> None
+let binop_tag = function
+  | Add -> 0 | Sub -> 1 | Mul -> 2 | Div -> 3 | Mod -> 4 | Eq -> 5 | Ne -> 6
+  | Lt -> 7 | Le -> 8 | Gt -> 9 | Ge -> 10 | And -> 11 | Or -> 12
+
+let mix h v = (h * 0x01000193) lxor v land max_int
+
+let node_hash = function
+  | Const v -> mix 0x11 v
+  | Var v -> mix 0x22 (Hashtbl.hash v.name)
+  | Not a -> mix 0x33 a.id
+  | Neg a -> mix 0x44 a.id
+  | Binop (op, a, b) -> mix (mix (mix 0x55 (binop_tag op)) a.id) b.id
+  | Ite (c, a, b) -> mix (mix (mix 0x66 c.id) a.id) b.id
+
+(* children are already interned, so one level of physical comparison
+   decides structural equality *)
+let node_equal n1 n2 =
+  match n1, n2 with
+  | Const a, Const b -> a = b
+  | Var a, Var b ->
+    String.equal a.name b.name && a.origin = b.origin && a.dom = b.dom
+  | Not a, Not b | Neg a, Neg b -> a == b
+  | Binop (o1, a1, b1), Binop (o2, a2, b2) -> o1 = o2 && a1 == a2 && b1 == b2
+  | Ite (c1, a1, b1), Ite (c2, a2, b2) -> c1 == c2 && a1 == a2 && b1 == b2
+  | (Const _ | Var _ | Not _ | Neg _ | Binop _ | Ite _), _ -> false
+
+type stripe = { lock : Mutex.t; buckets : (int, t list) Hashtbl.t }
+
+let n_stripes = 64
+let stripes =
+  Array.init n_stripes (fun _ -> { lock = Mutex.create (); buckets = Hashtbl.create 1024 })
+
+let next_id = Atomic.make 0
+
+let intern node =
+  let hkey = node_hash node in
+  let s = stripes.(hkey land (n_stripes - 1)) in
+  Mutex.lock s.lock;
+  let found =
+    match Hashtbl.find_opt s.buckets hkey with
+    | None -> None
+    | Some bucket -> List.find_opt (fun e -> node_equal e.node node) bucket
+  in
+  let e =
+    match found with
+    | Some e -> e
+    | None ->
+      let e = { id = Atomic.fetch_and_add next_id 1; hkey; node; str = "" } in
+      let bucket = match Hashtbl.find_opt s.buckets hkey with Some b -> b | None -> [] in
+      Hashtbl.replace s.buckets hkey (e :: bucket);
+      e
+  in
+  Mutex.unlock s.lock;
+  e
+
+(* current number of live interned nodes — telemetry only *)
+let interned_count () = Atomic.get next_id
+
+(* ------------------------------------------------------------------ *)
+(* Constructors                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let const v = intern (Const v)
+let of_var v = intern (Var v)
+let var ?(origin = Config) name dom = of_var { name; dom; origin }
+let bool_ b = const (if b then 1 else 0)
+let tru = const 1
+let fls = const 0
+let not_ e = intern (Not e)
+let neg e = intern (Neg e)
+let binop op a b = intern (Binop (op, a, b))
+let ite c a b = intern (Ite (c, a, b))
+
+let ( ==. ) a b = binop Eq a b
+let ( <>. ) a b = binop Ne a b
+let ( <. ) a b = binop Lt a b
+let ( <=. ) a b = binop Le a b
+let ( >. ) a b = binop Gt a b
+let ( >=. ) a b = binop Ge a b
+let ( &&. ) a b = binop And a b
+let ( ||. ) a b = binop Or a b
+let ( +. ) a b = binop Add a b
+let ( -. ) a b = binop Sub a b
+let ( *. ) a b = binop Mul a b
+let ( /. ) a b = binop Div a b
+let ( %. ) a b = binop Mod a b
+
+(* Re-intern an expression whose nodes came from another process
+   (e.g. a checkpoint loaded with [Marshal]): the marshalled ids are
+   meaningless here, so rebuild bottom-up through the intern table.
+   The memo is keyed on the *marshalled* ids, which are consistent
+   within one unmarshalled value. *)
+let rehash e =
+  let memo = Hashtbl.create 64 in
+  let rec go e =
+    match Hashtbl.find_opt memo e.id with
+    | Some e' -> e'
+    | None ->
+      let e' =
+        match e.node with
+        | Const v -> const v
+        | Var v -> of_var v
+        | Not a -> not_ (go a)
+        | Neg a -> neg (go a)
+        | Binop (op, a, b) -> binop op (go a) (go b)
+        | Ite (c, a, b) -> ite (go c) (go a) (go b)
+      in
+      Hashtbl.add memo e.id e';
+      e'
+  in
+  go e
+
+(* ------------------------------------------------------------------ *)
+(* Equality, hashing, ordering                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* O(1): interning makes structural and physical equality coincide *)
+let equal a b = a == b
+let hash e = e.hkey
+
+(* Structural (not id) order so sorts are stable across processes and
+   across runs — the deterministic-reduction step of the parallel
+   executor sorts with this. *)
+let node_tag = function
+  | Const _ -> 0 | Var _ -> 1 | Not _ -> 2 | Neg _ -> 3 | Binop _ -> 4 | Ite _ -> 5
+
+let rec compare a b =
+  if a == b then 0
+  else
+    match a.node, b.node with
+    | Const x, Const y -> Int.compare x y
+    | Var x, Var y ->
+      let c = String.compare x.name y.name in
+      if c <> 0 then c
+      else
+        let c = Stdlib.compare x.origin y.origin in
+        if c <> 0 then c else Stdlib.compare x.dom y.dom
+    | Not x, Not y | Neg x, Neg y -> compare x y
+    | Binop (o1, a1, b1), Binop (o2, a2, b2) ->
+      let c = Int.compare (binop_tag o1) (binop_tag o2) in
+      if c <> 0 then c
+      else
+        let c = compare a1 a2 in
+        if c <> 0 then c else compare b1 b2
+    | Ite (c1, a1, b1), Ite (c2, a2, b2) ->
+      let c = compare c1 c2 in
+      if c <> 0 then c
+      else
+        let c = compare a1 a2 in
+        if c <> 0 then c else compare b1 b2
+    | n1, n2 -> Int.compare (node_tag n1) (node_tag n2)
+
+(* ------------------------------------------------------------------ *)
+(* Semantics                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let is_const e = match e.node with Const v -> Some v | Var _ | Not _ | Neg _ | Binop _ | Ite _ -> None
 
 let truthy v = v <> 0
 
@@ -54,7 +205,8 @@ let apply_binop op a b =
   | And -> if truthy a && truthy b then 1 else 0
   | Or -> if truthy a || truthy b then 1 else 0
 
-let rec eval env = function
+let rec eval env e =
+  match e.node with
   | Const v -> v
   | Var v -> env v
   | Not e -> if truthy (eval env e) then 0 else 1
@@ -67,7 +219,8 @@ let rec eval env = function
 let vars e =
   let seen = Hashtbl.create 8 in
   let acc = ref [] in
-  let rec go = function
+  let rec go e =
+    match e.node with
     | Const _ -> ()
     | Var v ->
       if not (Hashtbl.mem seen v.name) then begin
@@ -81,23 +234,26 @@ let vars e =
   go e;
   List.rev !acc
 
-let rec has_var = function
+let rec has_var e =
+  match e.node with
   | Const _ -> false
   | Var _ -> true
   | Not e | Neg e -> has_var e
   | Binop (_, a, b) -> has_var a || has_var b
   | Ite (c, a, b) -> has_var c || has_var a || has_var b
 
-let rec subst f = function
-  | Const _ as e -> e
-  | Var v as e -> ( match f v with Some e' -> e' | None -> e)
-  | Not e -> Not (subst f e)
-  | Neg e -> Neg (subst f e)
-  | Binop (op, a, b) -> Binop (op, subst f a, subst f b)
-  | Ite (c, a, b) -> Ite (subst f c, subst f a, subst f b)
+let rec subst f e =
+  match e.node with
+  | Const _ -> e
+  | Var v -> ( match f v with Some e' -> e' | None -> e)
+  | Not a -> not_ (subst f a)
+  | Neg a -> neg (subst f a)
+  | Binop (op, a, b) -> binop op (subst f a) (subst f b)
+  | Ite (c, a, b) -> ite (subst f c) (subst f a) (subst f b)
 
-let compare = Stdlib.compare
-let equal a b = compare a b = 0
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+(* ------------------------------------------------------------------ *)
 
 let binop_to_string = function
   | Add -> "+"
@@ -124,14 +280,16 @@ let prec = function
 (* [friendly] renders var-vs-constant comparisons in domain vocabulary. *)
 let pp_gen ~friendly ppf e =
   let rec go ppf ~ctx e =
-    match e with
+    match e.node with
     | Const v -> Fmt.int ppf v
     | Var v -> Fmt.string ppf v.name
     | Not e -> Fmt.pf ppf "!%a" (fun ppf -> go ppf ~ctx:9) e
     | Neg e -> Fmt.pf ppf "-%a" (fun ppf -> go ppf ~ctx:9) e
-    | Binop (((Eq | Ne | Lt | Le | Gt | Ge) as op), Var v, Const c) when friendly ->
+    | Binop (((Eq | Ne | Lt | Le | Gt | Ge) as op), { node = Var v; _ }, { node = Const c; _ })
+      when friendly ->
       Fmt.pf ppf "%s%s%s" v.name (binop_to_string op) (Dom.value_to_string v.dom c)
-    | Binop (((Eq | Ne | Lt | Le | Gt | Ge) as op), Const c, Var v) when friendly ->
+    | Binop (((Eq | Ne | Lt | Le | Gt | Ge) as op), { node = Const c; _ }, { node = Var v; _ })
+      when friendly ->
       Fmt.pf ppf "%s%s%s" (Dom.value_to_string v.dom c) (binop_to_string op) v.name
     | Binop (op, a, b) ->
       let p = prec op in
@@ -156,4 +314,13 @@ let pp_gen ~friendly ppf e =
 
 let pp ppf e = pp_gen ~friendly:false ppf e
 let pp_friendly ppf e = pp_gen ~friendly:true ppf e
-let to_string e = Fmt.str "%a" pp e
+
+(* Rendered once per unique node, then read off the memo field.  Used as
+   the portable (cross-process) cache key by [Vsched.Solver_cache]. *)
+let to_string e =
+  if e.str <> "" then e.str
+  else begin
+    let s = Fmt.str "%a" pp e in
+    e.str <- s;
+    s
+  end

@@ -28,7 +28,18 @@ type binop =
   | And
   | Or
 
-type t =
+(** Expressions are hash-consed: every structurally distinct expression is
+    interned exactly once per process, so {!equal} is physical equality,
+    {!hash} is a field read, and rendered forms ({!to_string}) are computed
+    once per unique node.  The intern table is striped and mutex-protected,
+    so expressions can be built and shared freely across domains.
+
+    [t] is [private]: build via the smart constructors below, destructure
+    via {!view} (or direct [e.node] record patterns). *)
+
+type t = private { id : int; hkey : int; node : node; mutable str : string }
+
+and node =
   | Const of int
   | Var of var
   | Not of t
@@ -36,7 +47,23 @@ type t =
   | Binop of binop * t * t
   | Ite of t * t * t
 
+val view : t -> node
+(** The top node of [e]; children are themselves interned. *)
+
+val id : t -> int
+(** Unique id of the interned node.  Stable within a process run; NOT stable
+    across processes or across [Marshal] — see {!rehash}. *)
+
+val rehash : t -> t
+(** Re-intern an expression whose nodes bypassed the constructors (i.e. came
+    from [Marshal]).  Must be applied to every expression loaded from a
+    snapshot before it is mixed with live expressions. *)
+
+val interned_count : unit -> int
+(** Number of distinct expressions interned so far (telemetry). *)
+
 val var : ?origin:origin -> string -> Dom.t -> t
+val of_var : var -> t
 val const : int -> t
 val bool_ : bool -> t
 val tru : t
@@ -60,6 +87,8 @@ val ( *. ) : t -> t -> t
 val ( /. ) : t -> t -> t
 val ( %. ) : t -> t -> t
 val not_ : t -> t
+val neg : t -> t
+val binop : binop -> t -> t -> t
 val ite : t -> t -> t -> t
 
 val apply_binop : binop -> int -> int -> int
@@ -83,7 +112,15 @@ val subst : (var -> t option) -> t -> t
     returns [Some]. *)
 
 val compare : t -> t -> int
+(** Structural order — stable across processes and runs (ids are not), so
+    sorted constraint sets serialize deterministically. *)
+
 val equal : t -> t -> bool
+(** O(1): interning makes structural and physical equality coincide. *)
+
+val hash : t -> int
+(** O(1) structural hash, usable as a table key together with {!equal}. *)
+
 val pp : t Fmt.t
 val to_string : t -> string
 

@@ -76,7 +76,8 @@ let binop_of_atom = function
   | "||" -> Ok Expr.Or
   | s -> Error ("expr: unknown operator " ^ s)
 
-let rec expr_to_sexp = function
+let rec expr_to_sexp e =
+  match Expr.view e with
   | Expr.Const v -> Sexp.list [ Sexp.atom "const"; Sexp.int v ]
   | Expr.Var v -> var_to_sexp v
   | Expr.Not e -> Sexp.list [ Sexp.atom "not"; expr_to_sexp e ]
@@ -86,29 +87,31 @@ let rec expr_to_sexp = function
   | Expr.Ite (c, a, b) ->
     Sexp.list [ Sexp.atom "ite"; expr_to_sexp c; expr_to_sexp a; expr_to_sexp b ]
 
+(* decoding goes through the smart constructors, so expressions read back
+   from disk are interned like any other *)
 let rec expr_of_sexp = function
   | Sexp.List [ Sexp.Atom "const"; v ] -> begin
     match Sexp.to_int v with
-    | Some v -> Ok (Expr.Const v)
+    | Some v -> Ok (Expr.const v)
     | None -> Error "expr: malformed const"
   end
   | Sexp.List (Sexp.Atom "var" :: _) as s ->
     let* v = var_of_sexp s in
-    Ok (Expr.Var v)
+    Ok (Expr.of_var v)
   | Sexp.List [ Sexp.Atom "not"; e ] ->
     let* e = expr_of_sexp e in
-    Ok (Expr.Not e)
+    Ok (Expr.not_ e)
   | Sexp.List [ Sexp.Atom "neg"; e ] ->
     let* e = expr_of_sexp e in
-    Ok (Expr.Neg e)
+    Ok (Expr.neg e)
   | Sexp.List [ Sexp.Atom "ite"; c; a; b ] ->
     let* c = expr_of_sexp c in
     let* a = expr_of_sexp a in
     let* b = expr_of_sexp b in
-    Ok (Expr.Ite (c, a, b))
+    Ok (Expr.ite c a b)
   | Sexp.List [ Sexp.Atom op; a; b ] ->
     let* op = binop_of_atom op in
     let* a = expr_of_sexp a in
     let* b = expr_of_sexp b in
-    Ok (Expr.Binop (op, a, b))
+    Ok (Expr.binop op a b)
   | s -> Error ("expr: unrecognized " ^ Sexp.to_string s)

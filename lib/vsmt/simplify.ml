@@ -2,75 +2,96 @@ open Expr
 
 let truthy v = v <> 0
 
+(* Hash-consing gives every expression a stable id, so simplification is
+   memoized per domain: the table is domain-local (no locking on the hot
+   path) and two domains at worst duplicate work on a shared node. *)
+let memo_key = Domain.DLS.new_key (fun () : (int, t) Hashtbl.t -> Hashtbl.create 4096)
+
 (* One rewriting pass, bottom-up.  Kept to local rules so each is obviously
    semantics-preserving; the qcheck suite checks the composition. *)
 let rec simplify e =
-  match e with
+  let memo = Domain.DLS.get memo_key in
+  match Hashtbl.find_opt memo (id e) with
+  | Some e' -> e'
+  | None ->
+    let e' = simplify_uncached e in
+    Hashtbl.replace memo (id e) e';
+    (* a fixpoint result maps to itself so re-simplifying is free *)
+    if not (equal e e') then Hashtbl.replace memo (id e') e';
+    e'
+
+and simplify_uncached e =
+  match view e with
   | Const _ | Var _ -> e
   | Not a -> begin
-    match simplify a with
-    | Const v -> Const (if truthy v then 0 else 1)
+    let a' = simplify a in
+    match view a' with
+    | Const v -> const (if truthy v then 0 else 1)
     | Not b -> simplify_bool b
-    | Binop (Eq, x, y) -> Binop (Ne, x, y)
-    | Binop (Ne, x, y) -> Binop (Eq, x, y)
-    | Binop (Lt, x, y) -> Binop (Ge, x, y)
-    | Binop (Le, x, y) -> Binop (Gt, x, y)
-    | Binop (Gt, x, y) -> Binop (Le, x, y)
-    | Binop (Ge, x, y) -> Binop (Lt, x, y)
-    | a' -> Not a'
+    | Binop (Eq, x, y) -> binop Ne x y
+    | Binop (Ne, x, y) -> binop Eq x y
+    | Binop (Lt, x, y) -> binop Ge x y
+    | Binop (Le, x, y) -> binop Gt x y
+    | Binop (Gt, x, y) -> binop Le x y
+    | Binop (Ge, x, y) -> binop Lt x y
+    | _ -> not_ a'
   end
   | Neg a -> begin
-    match simplify a with
-    | Const v -> Const (-v)
+    let a' = simplify a in
+    match view a' with
+    | Const v -> const (-v)
     | Neg b -> b
-    | a' -> Neg a'
+    | _ -> neg a'
   end
   | Binop (op, a, b) -> simplify_binop op (simplify a) (simplify b)
   | Ite (c, a, b) -> begin
-    match simplify c with
+    let c' = simplify c in
+    match view c' with
     | Const v -> if truthy v then simplify a else simplify b
-    | c' ->
+    | _ ->
       let a' = simplify a and b' = simplify b in
-      if equal a' b' then a' else Ite (c', a', b')
+      if equal a' b' then a' else ite c' a' b'
   end
 
 (* [Not] distinguishes 0 from non-zero; double negation only collapses to the
    operand when the operand is known boolean-valued (0/1). *)
 and simplify_bool e =
-  match e with
-  | Const v -> Const (if truthy v then 1 else 0)
+  match view e with
+  | Const v -> const (if truthy v then 1 else 0)
   | Not _ | Binop ((Eq | Ne | Lt | Le | Gt | Ge | And | Or), _, _) -> e
   | Var v when Dom.equal v.dom Dom.bool -> e
-  | Var _ | Neg _ | Binop _ | Ite _ -> Not (Not e)
+  | Var _ | Neg _ | Binop _ | Ite _ -> not_ (not_ e)
 
 and simplify_binop op a b =
-  match op, a, b with
-  | _, Const x, Const y -> Const (apply_binop op x y)
-  | Add, e, Const 0 | Add, Const 0, e -> e
-  | Sub, e, Const 0 -> e
-  | Sub, e1, e2 when equal e1 e2 -> Const 0
-  | Mul, _, Const 0 | Mul, Const 0, _ -> Const 0
-  | Mul, e, Const 1 | Mul, Const 1, e -> e
-  | Div, e, Const 1 -> e
-  | Div, Const 0, _ -> Const 0
-  | Mod, _, Const 1 -> Const 0
-  | And, e, Const c | And, Const c, e ->
-    if truthy c then simplify_bool e else Const 0
-  | Or, e, Const c | Or, Const c, e ->
-    if truthy c then Const 1 else simplify_bool e
-  | And, e1, e2 when equal e1 e2 -> simplify_bool e1
-  | Or, e1, e2 when equal e1 e2 -> simplify_bool e1
-  | Eq, e1, e2 when equal e1 e2 -> Const 1
-  | Ne, e1, e2 when equal e1 e2 -> Const 0
-  | Le, e1, e2 when equal e1 e2 -> Const 1
-  | Ge, e1, e2 when equal e1 e2 -> Const 1
-  | Lt, e1, e2 when equal e1 e2 -> Const 0
-  | Gt, e1, e2 when equal e1 e2 -> Const 0
+  match op, view a, view b with
+  | _, Const x, Const y -> const (apply_binop op x y)
+  | Add, _, Const 0 -> a
+  | Add, Const 0, _ -> b
+  | Sub, _, Const 0 -> a
+  | Sub, _, _ when equal a b -> const 0
+  | Mul, _, Const 0 | Mul, Const 0, _ -> const 0
+  | Mul, _, Const 1 -> a
+  | Mul, Const 1, _ -> b
+  | Div, _, Const 1 -> a
+  | Div, Const 0, _ -> const 0
+  | Mod, _, Const 1 -> const 0
+  | And, _, Const c -> if truthy c then simplify_bool a else const 0
+  | And, Const c, _ -> if truthy c then simplify_bool b else const 0
+  | Or, _, Const c -> if truthy c then const 1 else simplify_bool a
+  | Or, Const c, _ -> if truthy c then const 1 else simplify_bool b
+  | And, _, _ when equal a b -> simplify_bool a
+  | Or, _, _ when equal a b -> simplify_bool a
+  | Eq, _, _ when equal a b -> const 1
+  | Ne, _, _ when equal a b -> const 0
+  | Le, _, _ when equal a b -> const 1
+  | Ge, _, _ when equal a b -> const 1
+  | Lt, _, _ when equal a b -> const 0
+  | Gt, _, _ when equal a b -> const 0
   (* domain-based comparison folding: x cmp c decided by x's range *)
-  | (Eq | Ne | Lt | Le | Gt | Ge), Var v, Const c -> fold_cmp op v c (Binop (op, a, b))
+  | (Eq | Ne | Lt | Le | Gt | Ge), Var v, Const c -> fold_cmp op v c (binop op a b)
   | (Eq | Ne | Lt | Le | Gt | Ge), Const c, Var v ->
-    fold_cmp (flip op) v c (Binop (op, a, b))
-  | _, _, _ -> Binop (op, a, b)
+    fold_cmp (flip op) v c (binop op a b)
+  | _, _, _ -> binop op a b
 
 and flip = function
   | Lt -> Gt
@@ -81,7 +102,7 @@ and flip = function
 
 and fold_cmp op v c keep =
   let lo = Dom.lo v.dom and hi = Dom.hi v.dom in
-  let decided b = Const (if b then 1 else 0) in
+  let decided b = const (if b then 1 else 0) in
   match op with
   | Eq -> if c < lo || c > hi then decided false else if lo = hi then decided (lo = c) else keep
   | Ne -> if c < lo || c > hi then decided true else if lo = hi then decided (lo <> c) else keep
@@ -92,9 +113,9 @@ and fold_cmp op v c keep =
   | Add | Sub | Mul | Div | Mod | And | Or -> keep
 
 let rec flatten_and e acc =
-  match e with
+  match view e with
   | Binop (And, a, b) -> flatten_and a (flatten_and b acc)
-  | e -> e :: acc
+  | _ -> e :: acc
 
 let simplify_conj cs =
   let cs = List.concat_map (fun c -> flatten_and (simplify c) []) cs in
@@ -102,14 +123,14 @@ let simplify_conj cs =
      false — catches complementary branch conditions over non-invertible
      shapes (e.g. [x*y > c] with [x*y <= c]) that interval propagation
      cannot decide *)
-  let negation_of c = simplify (Not c) in
+  let negation_of c = simplify (not_ c) in
   let rec dedup seen = function
     | [] -> List.rev seen
     | c :: rest -> begin
-      match c with
+      match view c with
       | Const v when truthy v -> dedup seen rest
       | Const _ -> [ fls ]
-      | c ->
+      | _ ->
         if List.exists (equal (negation_of c)) seen then [ fls ]
         else if List.exists (equal c) seen then dedup seen rest
         else dedup (c :: seen) rest

@@ -13,7 +13,7 @@ exception Empty_domain
 (* ------------------------------------------------------------------ *)
 
 let rec ieval env e =
-  match e with
+  match view e with
   | Const v -> I.point v
   | Var v -> ( match Smap.find_opt v.name env with Some i -> i | None -> I.of_dom v.dom)
   | Not e -> I.logical_not (nonzero_interval (ieval env e))
@@ -61,24 +61,25 @@ let refine_var env v want =
    the invertible shapes that branch conditions actually use: variables,
    var +- const, var * const, and negation. *)
 let rec require env e want =
-  match e with
+  match view e with
   | Const v -> if I.mem v want then env else raise Empty_domain
   | Var v -> refine_var env v want
   | Neg a -> require env a (I.neg want)
-  | Binop (Add, a, Const c) -> require env a (I.sub want (I.point c))
-  | Binop (Add, Const c, a) -> require env a (I.sub want (I.point c))
-  | Binop (Sub, a, Const c) -> require env a (I.add want (I.point c))
-  | Binop (Sub, Const c, a) -> require env a (I.sub (I.point c) want)
-  | Binop (Mul, a, Const c) when c > 0 ->
+  | Binop (Add, a, { node = Const c; _ }) -> require env a (I.sub want (I.point c))
+  | Binop (Add, { node = Const c; _ }, a) -> require env a (I.sub want (I.point c))
+  | Binop (Sub, a, { node = Const c; _ }) -> require env a (I.add want (I.point c))
+  | Binop (Sub, { node = Const c; _ }, a) -> require env a (I.sub (I.point c) want)
+  | Binop (Mul, a, { node = Const c; _ }) when c > 0 ->
     (* a*c in [lo..hi]  =>  a in [ceil(lo/c) .. floor(hi/c)] *)
     let lo = if want.I.lo >= 0 then (want.I.lo + c - 1) / c else want.I.lo / c in
     let hi = if want.I.hi >= 0 then want.I.hi / c else (want.I.hi - c + 1) / c in
     if lo > hi then raise Empty_domain else require env a (I.make lo hi)
-  | Binop (Mul, Const c, a) when c > 0 -> require env (Binop (Mul, a, Const c)) want
+  | Binop (Mul, ({ node = Const c; _ } as kc), a) when c > 0 ->
+    require env (binop Mul a kc) want
   | Not _ | Binop _ | Ite _ -> env
 
 let rec assume_true env e =
-  match e with
+  match view e with
   | Const v -> if v <> 0 then env else raise Empty_domain
   | Var v ->
     let d = I.of_dom v.dom in
@@ -107,8 +108,8 @@ let rec assume_true env e =
     let ib = ieval env b and ia = ieval env a in
     let env = require env a (I.make I.neg_inf ib.I.hi) in
     require env b (I.make ia.I.lo I.pos_inf)
-  | Binop (Gt, a, b) -> assume_true env (Binop (Lt, b, a))
-  | Binop (Ge, a, b) -> assume_true env (Binop (Le, b, a))
+  | Binop (Gt, a, b) -> assume_true env (binop Lt b a)
+  | Binop (Ge, a, b) -> assume_true env (binop Le b a)
   | Neg _ | Binop ((Add | Sub | Mul | Div | Mod), _, _) ->
     (* arithmetic used as a condition: truthy = nonzero; no useful refinement *)
     if I.equal (nonzero_interval (ieval env e)) (I.point 0) then raise Empty_domain else env
@@ -120,7 +121,7 @@ let rec assume_true env e =
   end
 
 and assume_false env e =
-  match e with
+  match view e with
   | Const v -> if v = 0 then env else raise Empty_domain
   | Var v -> refine_var env v (I.point 0)
   | Not a -> assume_true env a
@@ -132,11 +133,11 @@ and assume_false env e =
     | _, _ -> env
   end
   | Binop (Eq, a, b) -> assume_ne env a b
-  | Binop (Ne, a, b) -> assume_true env (Binop (Eq, a, b))
-  | Binop (Lt, a, b) -> assume_true env (Binop (Ge, a, b))
-  | Binop (Le, a, b) -> assume_true env (Binop (Gt, a, b))
-  | Binop (Gt, a, b) -> assume_true env (Binop (Le, a, b))
-  | Binop (Ge, a, b) -> assume_true env (Binop (Lt, a, b))
+  | Binop (Ne, a, b) -> assume_true env (binop Eq a b)
+  | Binop (Lt, a, b) -> assume_true env (binop Ge a b)
+  | Binop (Le, a, b) -> assume_true env (binop Gt a b)
+  | Binop (Gt, a, b) -> assume_true env (binop Le a b)
+  | Binop (Ge, a, b) -> assume_true env (binop Lt a b)
   | Neg _ | Binop ((Add | Sub | Mul | Div | Mod), _, _) -> require env e (I.point 0)
   | Ite (c, a, b) -> begin
     match nonzero_interval (ieval env c) with
@@ -147,7 +148,7 @@ and assume_false env e =
 
 and assume_ne env a b =
   let shave env e other =
-    match e with
+    match view e with
     | Var v when I.is_point other ->
       let c = other.I.lo in
       let cur = match Smap.find_opt v.name env with Some i -> i | None -> I.of_dom v.dom in
@@ -180,18 +181,21 @@ let candidate_constants cs =
     in
     r := (c - 1) :: c :: (c + 1) :: !r
   in
-  let rec scan = function
+  let rec scan e =
+    match view e with
     | Const _ -> ()
     | Var _ -> ()
     | Not e | Neg e -> scan e
     | Binop (_, a, b) -> begin
       scan a;
       scan b;
-      match a, b with
+      match view a, view b with
       | Var v, Const c | Const c, Var v -> add v c
-      | Binop (Add, Var v, Const k), Const c | Const c, Binop (Add, Var v, Const k) ->
+      | Binop (Add, { node = Var v; _ }, { node = Const k; _ }), Const c
+      | Const c, Binop (Add, { node = Var v; _ }, { node = Const k; _ }) ->
         add v (c - k)
-      | Binop (Sub, Var v, Const k), Const c | Const c, Binop (Sub, Var v, Const k) ->
+      | Binop (Sub, { node = Var v; _ }, { node = Const k; _ }), Const c
+      | Const c, Binop (Sub, { node = Var v; _ }, { node = Const k; _ }) ->
         add v (c + k)
       | _, _ -> ()
     end
@@ -227,7 +231,7 @@ let check ?budget ?max_nodes cs =
   in
   let cs = Simplify.simplify_conj cs in
   match cs with
-  | [ Const 0 ] -> Unsat
+  | [ { node = Const 0; _ } ] -> Unsat
   | _ when (match budget with Some b -> Vresilience.Budget.expired b | None -> false) ->
     (* cooperative deadline: once time is up every undecided query is
        Unknown, immediately — the solver never hangs past the deadline *)
@@ -344,7 +348,7 @@ let check ?budget ?max_nodes cs =
                 let env' = Smap.add v.name (I.point x) env in
                 let sub =
                   List.map
-                    (Expr.subst (fun w -> if w.name = v.name then Some (Const x) else None))
+                    (Expr.subst (fun w -> if w.name = v.name then Some (const x) else None))
                     remaining
                 in
                 search env' (Simplify.simplify_conj sub)

@@ -4,6 +4,7 @@ module S = Sym_state
 module B = Vresilience.Budget
 module D = Vresilience.Degradation
 module Chaos = Vresilience.Chaos
+module ES = Vsched.Exploration_stats
 
 (* The policy type *is* the vsched searcher: the old [Dfs]/[Bfs]/
    [Random_path] spellings stay valid as constructors of the re-exported
@@ -26,12 +27,13 @@ type noise = {
    stopped: the frontier (with the searcher's rng/covered set), the finished
    states, every engine counter that feeds the impact model, the solver-cache
    contents and the telemetry recorder.  All fields are closure-free data, so
-   the whole record round-trips through [Marshal] with flags []. *)
+   the whole record round-trips through [Marshal] with flags [].  Expressions
+   inside the states carry hashcons ids from the process that wrote them, so
+   loading re-interns every expression ({!rehash_snapshot}). *)
 type snapshot = {
   snap_program : string;
   snap_policy : string;
   snap_next_state_id : int;
-  snap_next_symbol : int;
   snap_n_forks : int;
   snap_n_solver_calls : int;
   snap_n_concretizations : int;
@@ -66,6 +68,7 @@ type options = {
   degradation : D.policy;
   checkpoint_every : int;
   on_checkpoint : (snapshot -> unit) option;
+  jobs : int;
 }
 
 let default_options ?(env = Vruntime.Hw_env.hdd_server) ~config ~workload () =
@@ -89,6 +92,7 @@ let default_options ?(env = Vruntime.Hw_env.hdd_server) ~config ~workload () =
     degradation = D.default_policy;
     checkpoint_every = 0;
     on_checkpoint = None;
+    jobs = 1;
   }
 
 type stats = {
@@ -118,13 +122,20 @@ let sym_workload_var tmpl name =
 
 (* ------------------------------------------------------------------ *)
 
+(* State-id allocation.  Sequential runs use a plain counter (and snapshot
+   it); parallel runs share one atomic counter across workers, so raw ids
+   are allocation-order dependent — the deterministic reduction at the end
+   of the run renumbers every finished state by its fork path, which is
+   scheduling-independent. *)
+type id_source = Seq_ids of { mutable next : int } | Par_ids of int Atomic.t
+
 type engine = {
   opts : options;
+  worker : int;  (* worker index; 0 for sequential runs *)
   program : Ast.program;
   armed : B.armed;
   ladder : D.controller;
-  mutable next_state_id : int;
-  mutable next_symbol : int;
+  ids : id_source;
   mutable n_forks : int;
   mutable n_solver_calls : int;
   mutable n_concretizations : int;
@@ -133,14 +144,28 @@ type engine = {
   mutable finished : Sym_state.t list;  (* newest first *)
   mutable last_run_id : int;
   mutable picks_to_ckpt : int;
+  mutable n_steals : int;
+  mutable solver_time_s : float;
   (* effective knobs, tightened by the degradation ladder *)
   mutable eff_max_unroll : int;
   mutable eff_concretize_all : bool;
   rng : Random.State.t option;
+  chaos : Chaos.t option;
   cache : Vsched.Solver_cache.t option;
   frontier : Sym_state.t Vsched.Searcher.frontier;
   recorder : Vsched.Exploration_stats.recorder;
 }
+
+let fresh_id eng =
+  match eng.ids with
+  | Seq_ids r ->
+    let id = r.next in
+    r.next <- id + 1;
+    id
+  | Par_ids a -> Atomic.fetch_and_add a 1
+
+let ids_created eng =
+  match eng.ids with Seq_ids r -> r.next | Par_ids a -> Atomic.get a
 
 (* The searcher's window into a state: how deep it is and which branch
    conditions are still syntactically ahead of it.  Only the scored searchers
@@ -185,14 +210,20 @@ let make_state_view program =
     in
     { Vsched.Searcher.depth = List.length st.S.branch_trail; pending }
 
-let fresh_symbol eng prefix =
-  let n = eng.next_symbol in
-  eng.next_symbol <- n + 1;
-  {
-    E.name = Printf.sprintf "%s#%d" prefix n;
-    dom = Vsmt.Dom.int_range (-1048576) 1048576;
-    origin = E.Internal;
-  }
+(* Fresh symbols are named after the creating state's fork path and its own
+   symbol counter, so the name depends only on the path's execution history —
+   identical under any worker interleaving — and never collides across
+   states. *)
+let fresh_symbol (st : S.t) prefix =
+  let n = st.S.next_symbol in
+  let v =
+    {
+      E.name = Printf.sprintf "%s#%s:%d" prefix st.S.path n;
+      dom = Vsmt.Dom.int_range (-1048576) 1048576;
+      origin = E.Internal;
+    }
+  in
+  v, { st with S.next_symbol = n + 1 }
 
 let jittered eng us =
   match eng.rng, eng.opts.noise with
@@ -215,7 +246,7 @@ let charge eng (st : S.t) ?(serial = false) (c : Vruntime.Cost.t) =
 let emit eng (st : S.t) kind fname =
   if (not st.S.tracing) || not eng.opts.enable_tracer then st
   else begin
-    match eng.opts.chaos with
+    match eng.chaos with
     | Some c when Chaos.flip c c.Chaos.signal_drop_p ->
       (* chaos: the signal is emitted (the guest pays for it) but never
          reaches the tracer *)
@@ -247,34 +278,42 @@ let emit eng (st : S.t) kind fname =
   end
 
 let chaos_unknown eng =
-  match eng.opts.chaos with
+  match eng.chaos with
   | Some c -> Chaos.flip c c.Chaos.solver_unknown_p
   | None -> false
+
+(* solver time is telemetry, so it reads the real clock even when the
+   budget runs on an injected one *)
+let timed eng f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  eng.solver_time_s <- eng.solver_time_s +. (Unix.gettimeofday () -. t0);
+  r
 
 let is_feasible eng pc =
   eng.n_solver_calls <- eng.n_solver_calls + 1;
   if chaos_unknown eng then true (* forced Unknown over-approximates to feasible *)
-  else begin
-    let max_nodes = eng.opts.budget.B.solver_max_nodes in
-    match eng.cache with
-    | Some cache -> Vsched.Solver_cache.is_feasible cache ~budget:eng.armed ~max_nodes pc
-    | None -> Vsmt.Solver.is_feasible ~budget:eng.armed ~max_nodes pc
-  end
+  else
+    timed eng (fun () ->
+        let max_nodes = eng.opts.budget.B.solver_max_nodes in
+        match eng.cache with
+        | Some cache -> Vsched.Solver_cache.is_feasible cache ~budget:eng.armed ~max_nodes pc
+        | None -> Vsmt.Solver.is_feasible ~budget:eng.armed ~max_nodes pc)
 
 let model_of eng pc =
   eng.n_solver_calls <- eng.n_solver_calls + 1;
   if chaos_unknown eng then None
-  else begin
-    let max_nodes = eng.opts.budget.B.solver_max_nodes in
-    let result =
-      match eng.cache with
-      | Some cache -> Vsched.Solver_cache.check_model cache ~budget:eng.armed ~max_nodes pc
-      | None -> Vsmt.Solver.check ~budget:eng.armed ~max_nodes pc
-    in
-    match result with
-    | Vsmt.Solver.Sat m -> Some m
-    | Vsmt.Solver.Unsat | Vsmt.Solver.Unknown -> None
-  end
+  else
+    timed eng (fun () ->
+        let max_nodes = eng.opts.budget.B.solver_max_nodes in
+        let result =
+          match eng.cache with
+          | Some cache -> Vsched.Solver_cache.check_model cache ~budget:eng.armed ~max_nodes pc
+          | None -> Vsmt.Solver.check ~budget:eng.armed ~max_nodes pc
+        in
+        match result with
+        | Vsmt.Solver.Sat m -> Some m
+        | Vsmt.Solver.Unsat | Vsmt.Solver.Unknown -> None)
 
 (* ------------------------------------------------------------------ *)
 (* Symbolic evaluation of IR expressions.                              *)
@@ -284,16 +323,16 @@ exception Stuck of string
 
 let rec sym_eval eng (st : S.t) (e : Ast.expr) : E.t =
   match e with
-  | Ast.Const v -> E.Const v
+  | Ast.Const v -> E.const v
   | Ast.Config n -> begin
     match List.assoc_opt n eng.opts.sym_configs with
-    | Some v -> E.Var v
-    | None -> E.Const (eng.opts.concrete_config n)
+    | Some v -> E.of_var v
+    | None -> E.const (eng.opts.concrete_config n)
   end
   | Ast.Workload n -> begin
     match List.assoc_opt n eng.opts.sym_workloads with
-    | Some v -> E.Var v
-    | None -> E.Const (eng.opts.concrete_workload n)
+    | Some v -> E.of_var v
+    | None -> E.const (eng.opts.concrete_workload n)
   end
   | Ast.Local n -> begin
     match Sym_store.get_local st.S.store n with
@@ -305,10 +344,10 @@ let rec sym_eval eng (st : S.t) (e : Ast.expr) : E.t =
     | Some v -> v
     | None -> raise (Stuck (Printf.sprintf "unknown global %s" n))
   end
-  | Ast.Not e -> E.Not (sym_eval eng st e)
-  | Ast.Neg e -> E.Neg (sym_eval eng st e)
-  | Ast.Binop (op, a, b) -> E.Binop (op, sym_eval eng st a, sym_eval eng st b)
-  | Ast.Ite (c, a, b) -> E.Ite (sym_eval eng st c, sym_eval eng st a, sym_eval eng st b)
+  | Ast.Not e -> E.not_ (sym_eval eng st e)
+  | Ast.Neg e -> E.neg (sym_eval eng st e)
+  | Ast.Binop (op, a, b) -> E.binop op (sym_eval eng st a) (sym_eval eng st b)
+  | Ast.Ite (c, a, b) -> E.ite (sym_eval eng st c) (sym_eval eng st a) (sym_eval eng st b)
 
 let sym_eval_simpl eng st e = Vsmt.Simplify.simplify (sym_eval eng st e)
 
@@ -342,14 +381,15 @@ let concretize eng (st : S.t) ~add_constraint e =
       let subst (w : E.var) =
         List.find_map
           (fun ((var : E.var), x) ->
-            if String.equal var.E.name w.E.name then Some (E.Const x) else None)
+            if String.equal var.E.name w.E.name then Some (E.const x) else None)
           pinned
       in
       let store = Sym_store.substitute_everywhere st.S.store subst in
       let pc =
         if add_constraint then
           Vsmt.Simplify.simplify_conj
-            (st.S.pc @ List.map (fun ((vr : E.var), x) -> E.Binop (E.Eq, E.Var vr, E.Const x)) pinned)
+            (st.S.pc
+            @ List.map (fun ((vr : E.var), x) -> E.binop E.Eq (E.of_var vr) (E.const x)) pinned)
         else st.S.pc
       in
       v, { st with S.store; pc }
@@ -365,11 +405,6 @@ type step_result =
   | Done of S.t  (** reached a terminal status *)
 
 let kill st reason = Done { st with S.status = S.Killed reason }
-
-let fresh_id eng =
-  let id = eng.next_state_id in
-  eng.next_state_id <- id + 1;
-  id
 
 (* Unwind the work stack to the nearest [Kret]; emit the return signal and
    bind the returned value.  [None] work means the entry returned. *)
@@ -392,7 +427,7 @@ let do_return eng (st : S.t) value =
       let st =
         match dest with
         | Some d ->
-          let v = match value with Some v -> v | None -> E.Const 0 in
+          let v = match value with Some v -> v | None -> E.const 0 in
           { st with S.store = Sym_store.set_local st.S.store d v }
         | None -> st
       in
@@ -405,7 +440,7 @@ let enter_function eng (st : S.t) ~dest ~ret_addr (f : Ast.func) args =
   let store =
     List.fold_left
       (fun store (i, name) ->
-        let v = try List.nth args i with Failure _ | Invalid_argument _ -> E.Const 0 in
+        let v = try List.nth args i with Failure _ | Invalid_argument _ -> E.const 0 in
         Sym_store.set_local store name v)
       store
       (List.mapi (fun i n -> i, n) f.Ast.params)
@@ -430,7 +465,7 @@ let call_library eng (st : S.t) ~dest ~ret_addr (f : Ast.func) lib args =
   let ret_value, st =
     if all_const then begin
       let vals = List.map (fun a -> match E.is_const a with Some v -> v | None -> 0) args in
-      E.Const (semantics vals), st
+      E.const (semantics vals), st
     end
     else begin
       (* degradation rung 2 forces [concretizeAll] semantics on every call *)
@@ -442,7 +477,8 @@ let call_library eng (st : S.t) ~dest ~ret_addr (f : Ast.func) lib args =
       | Ast.Pure ->
         (* relaxation rule 1: no side effect; keep args symbolic, return a
            fresh symbol, no concretization constraint *)
-        E.Var (fresh_symbol eng f.Ast.fname), st
+        let v, st = fresh_symbol st f.Ast.fname in
+        E.of_var v, st
       | Ast.Benign | Ast.Effectful ->
         let add_constraint = effective = Ast.Effectful in
         let vals, st =
@@ -452,7 +488,7 @@ let call_library eng (st : S.t) ~dest ~ret_addr (f : Ast.func) lib args =
               vals @ [ v ], st)
             ([], st) args
         in
-        E.Const (semantics vals), st
+        E.const (semantics vals), st
     end
   in
   let st = emit eng st (Signals.Ret { ret_addr }) f.Ast.fname in
@@ -469,15 +505,15 @@ let exec_branch eng (st : S.t) cond ~on_true ~on_false =
   | Some v -> One (if v <> 0 then on_true st else on_false st)
   | None -> begin
     let pc_true = Vsmt.Simplify.simplify_conj (st.S.pc @ [ c ]) in
-    let pc_false = Vsmt.Simplify.simplify_conj (st.S.pc @ [ E.Not c ]) in
-    let can_fork = eng.next_state_id < eng.opts.budget.B.max_states in
+    let pc_false = Vsmt.Simplify.simplify_conj (st.S.pc @ [ E.not_ c ]) in
+    let can_fork = ids_created eng < eng.opts.budget.B.max_states in
     let t_ok = is_feasible eng pc_true in
     let f_ok = is_feasible eng pc_false in
     match t_ok, f_ok with
     | true, false ->
       One (on_true { st with S.pc = pc_true; branch_trail = c :: st.S.branch_trail })
     | false, true ->
-      One (on_false { st with S.pc = pc_false; branch_trail = E.Not c :: st.S.branch_trail })
+      One (on_false { st with S.pc = pc_false; branch_trail = E.not_ c :: st.S.branch_trail })
     | false, false -> kill st "infeasible path condition"
     | true, true ->
       if can_fork then begin
@@ -488,6 +524,7 @@ let exec_branch eng (st : S.t) cond ~on_true ~on_false =
             st with
             S.id = fresh_id eng;
             parent = Some st.S.id;
+            path = st.S.path ^ "t";
             pc = pc_true;
             branch_trail = c :: st.S.branch_trail;
           }
@@ -497,8 +534,9 @@ let exec_branch eng (st : S.t) cond ~on_true ~on_false =
             st with
             S.id = fresh_id eng;
             parent = Some st.S.id;
+            path = st.S.path ^ "f";
             pc = pc_false;
-            branch_trail = E.Not c :: st.S.branch_trail;
+            branch_trail = E.not_ c :: st.S.branch_trail;
           }
         in
         Two (on_true st_t, on_false st_f)
@@ -526,7 +564,7 @@ let step eng (st : S.t) : step_result =
         | Some v when v <> 0 -> kill st "loop unroll limit"
         | Some _ -> One { st with S.work = rest }
         | None ->
-          let pc_false = Vsmt.Simplify.simplify_conj (st.S.pc @ [ E.Not c ]) in
+          let pc_false = Vsmt.Simplify.simplify_conj (st.S.pc @ [ E.not_ c ]) in
           if is_feasible eng pc_false then One { st with S.pc = pc_false; work = rest }
           else kill st "loop unroll limit"
       end
@@ -565,7 +603,7 @@ let step eng (st : S.t) : step_result =
              needs faults to surface; fault injection forks a state where
              the library call fails with -1 *)
           if eng.opts.fault_injection && dest <> None
-             && eng.next_state_id < eng.opts.budget.B.max_states
+             && ids_created eng < eng.opts.budget.B.max_states
           then begin
             eng.n_forks <- eng.n_forks + 1;
             Vsched.Exploration_stats.on_fork eng.recorder;
@@ -577,11 +615,14 @@ let step eng (st : S.t) : step_result =
                 { st with
                   S.id = fresh_id eng;
                   parent = Some st.S.id;
-                  store = Sym_store.set_local st.S.store d (E.Const (-1));
+                  path = st.S.path ^ "x";
+                  store = Sym_store.set_local st.S.store d (E.const (-1));
                 }
               | None -> st
             in
-            Two ({ ok with S.id = fresh_id eng; parent = Some st.S.id }, failed)
+            Two
+              ( { ok with S.id = fresh_id eng; parent = Some st.S.id; path = st.S.path ^ "s" },
+                failed )
           end
           else One ok
       end
@@ -654,8 +695,7 @@ let snapshot_of eng =
   {
     snap_program = eng.program.Ast.pname;
     snap_policy = Vsched.Searcher.to_string eng.opts.policy;
-    snap_next_state_id = eng.next_state_id;
-    snap_next_symbol = eng.next_symbol;
+    snap_next_state_id = ids_created eng;
     snap_n_forks = eng.n_forks;
     snap_n_solver_calls = eng.n_solver_calls;
     snap_n_concretizations = eng.n_concretizations;
@@ -670,19 +710,36 @@ let snapshot_of eng =
     snap_degradation = D.events eng.ladder;
   }
 
-let snapshot_version = 1
+(* version 2: Sym_state gained [path]/[next_symbol], the global symbol
+   counter left the snapshot *)
+let snapshot_version = 2
 let snapshot_kind = "executor-frontier"
 
 let save_snapshot ~path snap =
   Vresilience.Checkpoint.write ~path ~kind:snapshot_kind ~version:snapshot_version
     (Marshal.to_string snap [])
 
+(* Marshalled expressions carry the hashcons ids of the process that wrote
+   the snapshot; re-intern every expression so they can be mixed with this
+   process's. *)
+let rehash_snapshot snap =
+  let rs = S.map_exprs E.rehash in
+  {
+    snap with
+    snap_finished = List.map rs snap.snap_finished;
+    snap_frontier =
+      {
+        snap.snap_frontier with
+        Vsched.Searcher.d_states = List.map rs snap.snap_frontier.Vsched.Searcher.d_states;
+      };
+  }
+
 let load_snapshot ~path =
   match Vresilience.Checkpoint.read ~path ~kind:snapshot_kind ~version:snapshot_version with
   | Error e -> Error e
   | Ok payload -> begin
     match (Marshal.from_string payload 0 : snapshot) with
-    | snap -> Ok snap
+    | snap -> Ok (rehash_snapshot snap)
     | exception _ -> Error Vresilience.Checkpoint.Corrupt
   end
 
@@ -705,64 +762,113 @@ let tighten_knobs eng (rung : D.rung) =
         (fun st -> drop_state eng st degraded_drop_reason)
         (Vsched.Searcher.drop_weakest eng.frontier ~keep)
 
-let run ?resume opts program =
-  begin
-    match resume with
-    | Some s when not (String.equal s.snap_program program.Ast.pname) ->
-      invalid_arg
-        (Printf.sprintf "Executor.run: snapshot is for program %S, not %S" s.snap_program
-           program.Ast.pname)
-    | Some s when not (String.equal s.snap_policy (Vsched.Searcher.to_string opts.policy)) ->
-      invalid_arg
-        (Printf.sprintf "Executor.run: snapshot used searcher %s, options say %s"
-           s.snap_policy
-           (Vsched.Searcher.to_string opts.policy))
-    | _ -> ()
-  end;
-  let t0 = opts.budget.B.now () in
-  let eng =
-    {
-      opts;
-      program;
-      armed = B.arm opts.budget;
-      ladder = D.controller opts.degradation;
-      next_state_id = 1;
-      next_symbol = 0;
-      n_forks = 0;
-      n_solver_calls = 0;
-      n_concretizations = 0;
-      terminated = 0;
-      killed = 0;
-      finished = [];
-      last_run_id = -1;
-      picks_to_ckpt = 0;
-      eff_max_unroll = opts.max_loop_unroll;
-      eff_concretize_all = false;
-      rng =
-        (match resume, opts.noise with
-        | Some s, _ -> Option.map Random.State.copy s.snap_noise_rng
-        | None, Some n -> Some (Random.State.make [| n.seed |])
-        | None, None -> None);
-      cache =
-        (match resume with
-        | Some { snap_cache = Some d; _ } when opts.solver_cache ->
-          Some (Vsched.Solver_cache.restore d)
-        | _ -> if opts.solver_cache then Some (Vsched.Solver_cache.create ()) else None);
-      frontier = Vsched.Searcher.frontier ~view:(make_state_view program) opts.policy;
-      recorder =
-        (match resume with
-        | Some s -> Vsched.Exploration_stats.copy s.snap_recorder
-        | None ->
-          Vsched.Exploration_stats.recorder
-            ~searcher:(Vsched.Searcher.name opts.policy)
-            ~solver_cache_enabled:opts.solver_cache ());
-    }
+(* ------------------------------------------------------------------ *)
+(* Engine construction and the deterministic reduction                 *)
+(* ------------------------------------------------------------------ *)
+
+let make_engine ~worker ~ids ~armed opts program =
+  {
+    opts;
+    worker;
+    program;
+    armed;
+    ladder = D.controller opts.degradation;
+    ids;
+    n_forks = 0;
+    n_solver_calls = 0;
+    n_concretizations = 0;
+    terminated = 0;
+    killed = 0;
+    finished = [];
+    last_run_id = -1;
+    picks_to_ckpt = 0;
+    n_steals = 0;
+    solver_time_s = 0.;
+    eff_max_unroll = opts.max_loop_unroll;
+    eff_concretize_all = false;
+    rng =
+      (match opts.noise with
+      | Some n when worker = 0 -> Some (Random.State.make [| n.seed |])
+      | Some n -> Some (Random.State.make [| n.seed; worker |])
+      | None -> None);
+    chaos =
+      (if worker = 0 then opts.chaos else Option.map (Chaos.fork ~salt:worker) opts.chaos);
+    cache = (if opts.solver_cache then Some (Vsched.Solver_cache.create ()) else None);
+    frontier = Vsched.Searcher.frontier ~view:(make_state_view program) opts.policy;
+    recorder =
+      Vsched.Exploration_stats.recorder
+        ~searcher:(Vsched.Searcher.name opts.policy)
+        ~solver_cache_enabled:opts.solver_cache ();
+  }
+
+let root_state eng program opts =
+  let entry = Ast.find_func program program.Ast.entry in
+  (* tracing starts disabled only when a reachable Trace_on hook will
+     turn it on later (Section 5.3, optimization 1) *)
+  let reachable =
+    Vir.Callgraph.reachable (Vir.Callgraph.build program) ~from:program.Ast.entry
   in
+  let has_trace_on =
+    List.exists
+      (fun (f : Ast.func) ->
+        List.mem f.Ast.fname reachable
+        &&
+        let found = ref false in
+        Ast.iter_stmts
+          (function Ast.Trace_on -> found := true | _ -> ())
+          (Ast.func_body f);
+        !found)
+      program.Ast.funcs
+  in
+  let root_ret_addr = 0x10 in
+  let st0 =
+    S.initial ~id:0
+      ~store:(Sym_store.with_globals program.Ast.globals)
+      ~work:[] ~fuel:opts.budget.B.fuel ~tracing:(not has_trace_on)
+  in
+  enter_function eng st0 ~dest:None ~ret_addr:root_ret_addr entry []
+
+(* The deterministic reduction: finished states are sorted by fork path
+   (unique, scheduling-independent) and renumbered 0..n-1 in that order, so
+   the state ids that appear in the serialized impact model — rows, pairs,
+   dropped paths — do not depend on worker interleaving or searcher policy
+   timing.  The recorder's completion log is rewritten to the same ids.
+   Parent pointers refer to pre-fork states that never reach the finished
+   list, so lineage collapses to [None] uniformly in every mode. *)
+let canonicalize_states eng finished =
+  let sorted =
+    List.stable_sort (fun (a : S.t) b -> String.compare a.S.path b.S.path) finished
+  in
+  let remap = Hashtbl.create (List.length sorted * 2) in
+  List.iteri (fun i (st : S.t) -> Hashtbl.replace remap st.S.id i) sorted;
+  let states =
+    List.mapi
+      (fun i (st : S.t) ->
+        { st with S.id = i; parent = Option.bind st.S.parent (Hashtbl.find_opt remap) })
+      sorted
+  in
+  let completions =
+    List.filter_map
+      (fun (c : ES.completion) ->
+        match Hashtbl.find_opt remap c.ES.state_id with
+        | Some id -> Some { c with ES.state_id = id }
+        | None -> None)
+      (ES.completions eng.recorder)
+  in
+  ES.set_completions eng.recorder completions;
+  states
+
+(* ------------------------------------------------------------------ *)
+(* Sequential driver                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let run_sequential ?resume opts program eng =
+  let deadline_hit = ref false in
+  let frontier = eng.frontier in
   begin
     match resume with
     | Some s ->
-      eng.next_state_id <- s.snap_next_state_id;
-      eng.next_symbol <- s.snap_next_symbol;
+      (match eng.ids with Seq_ids r -> r.next <- s.snap_next_state_id | Par_ids _ -> ());
       eng.n_forks <- s.snap_n_forks;
       eng.n_solver_calls <- s.snap_n_solver_calls;
       eng.n_concretizations <- s.snap_n_concretizations;
@@ -781,37 +887,8 @@ let run ?resume opts program =
           | rung -> tighten_knobs eng rung)
         s.snap_degradation;
       Vsched.Exploration_stats.mark_resumed eng.recorder
-    | None ->
-      let entry = Ast.find_func program program.Ast.entry in
-      (* tracing starts disabled only when a reachable Trace_on hook will
-         turn it on later (Section 5.3, optimization 1) *)
-      let reachable =
-        Vir.Callgraph.reachable (Vir.Callgraph.build program) ~from:program.Ast.entry
-      in
-      let has_trace_on =
-        List.exists
-          (fun (f : Ast.func) ->
-            List.mem f.Ast.fname reachable
-            &&
-            let found = ref false in
-            Ast.iter_stmts
-              (function Ast.Trace_on -> found := true | _ -> ())
-              (Ast.func_body f);
-            !found)
-          program.Ast.funcs
-      in
-      let root_ret_addr = 0x10 in
-      let st0 =
-        S.initial ~id:0
-          ~store:(Sym_store.with_globals program.Ast.globals)
-          ~work:[] ~fuel:opts.budget.B.fuel ~tracing:(not has_trace_on)
-      in
-      let st0 = enter_function eng st0 ~dest:None ~ret_addr:root_ret_addr entry [] in
-      Vsched.Searcher.add eng.frontier ~preempted:false st0
+    | None -> Vsched.Searcher.add frontier ~preempted:false (root_state eng program opts)
   end;
-  (* frontier of runnable states, ordered by the plugged-in searcher *)
-  let frontier = eng.frontier in
-  let deadline_hit = ref false in
   let switch_cost (st : S.t) =
     if opts.state_switching && eng.last_run_id <> st.S.id && eng.last_run_id >= 0 then
       { st with S.clock = st.S.clock +. opts.env.Vruntime.Hw_env.state_switch_us }
@@ -874,6 +951,221 @@ let run ?resume opts program =
     end
   in
   drive ();
+  !deadline_hit
+
+(* ------------------------------------------------------------------ *)
+(* Parallel driver                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Each worker owns a frontier (guarded by its mutex), a solver-cache
+   segment, a recorder, and its own noise/chaos streams; the state-id
+   counter is the only hot shared cell.  An idle worker steals from the
+   cold end of a victim's frontier.  Termination: [in_flight] counts states
+   that exist but have not reached a terminal status; when it hits zero no
+   worker can ever receive work again.
+
+   On quiesce, worker segments merge into worker 0's engine and the
+   deterministic reduction renumbers the union of finished states, so the
+   result is byte-identical to the sequential run's (as long as neither the
+   state cap nor the wall-clock deadline binds — both are inherently
+   timing-dependent cut-offs, and noise/chaos streams are per-worker). *)
+let run_parallel opts program engines =
+  let jobs = Array.length engines in
+  let locks = Array.init jobs (fun _ -> Mutex.create ()) in
+  let in_flight = Atomic.make 1 in
+  let deadline_hit = Atomic.make false in
+  let with_lock w f =
+    Mutex.lock locks.(w);
+    Fun.protect ~finally:(fun () -> Mutex.unlock locks.(w)) f
+  in
+  Vsched.Searcher.add engines.(0).frontier ~preempted:false
+    (root_state engines.(0) program opts);
+  let slice =
+    if Vsched.Searcher.run_to_completion opts.policy then max_int else opts.time_slice
+  in
+  let worker w =
+    let eng = engines.(w) in
+    let switch_cost (st : S.t) =
+      if opts.state_switching && eng.last_run_id <> st.S.id && eng.last_run_id >= 0 then
+        { st with S.clock = st.S.clock +. opts.env.Vruntime.Hw_env.state_switch_us }
+      else st
+    in
+    let rec run_state st steps =
+      if B.expired eng.armed then begin
+        Atomic.set deadline_hit true;
+        drop_state eng st deadline_reason;
+        Atomic.decr in_flight
+      end
+      else if steps = 0 then with_lock w (fun () -> Vsched.Searcher.add eng.frontier ~preempted:true st)
+      else begin
+        match
+          try step eng st
+          with Stuck reason -> Done { st with S.status = S.Killed ("stuck: " ^ reason) }
+        with
+        | One st -> run_state st (steps - 1)
+        | Two (a, b) ->
+          (* run the first child now; queue the second on our own frontier *)
+          Atomic.incr in_flight;
+          with_lock w (fun () -> Vsched.Searcher.add eng.frontier ~preempted:false b);
+          run_state a (steps - 1)
+        | Done st ->
+          finish_state eng st;
+          Atomic.decr in_flight
+      end
+    in
+    let try_steal () =
+      let rec go i =
+        if i >= jobs then None
+        else begin
+          let v = (w + i) mod jobs in
+          match with_lock v (fun () -> Vsched.Searcher.steal engines.(v).frontier) with
+          | Some st ->
+            eng.n_steals <- eng.n_steals + 1;
+            Some st
+          | None -> go (i + 1)
+        end
+      in
+      go 1
+    in
+    let rec loop () =
+      if Atomic.get in_flight <= 0 then ()
+      else if B.expired eng.armed then begin
+        Atomic.set deadline_hit true;
+        (* drain our own frontier; every other worker drains its own *)
+        let rec drain () =
+          match with_lock w (fun () -> Vsched.Searcher.select eng.frontier) with
+          | None -> ()
+          | Some st ->
+            drop_state eng st deadline_reason;
+            Atomic.decr in_flight;
+            drain ()
+        in
+        drain ();
+        if Atomic.get in_flight > 0 then begin
+          Domain.cpu_relax ();
+          loop ()
+        end
+      end
+      else begin
+        List.iter
+          (fun (ev : D.event) ->
+            Vsched.Exploration_stats.on_degrade eng.recorder ev;
+            tighten_knobs eng ev.D.rung)
+          (D.observe eng.ladder ~pressure:(B.pressure eng.armed)
+             ~step:(Vsched.Exploration_stats.steps eng.recorder));
+        match with_lock w (fun () -> Vsched.Searcher.select eng.frontier) with
+        | Some st ->
+          Vsched.Exploration_stats.on_pick eng.recorder
+            ~queue_depth:(Vsched.Searcher.length eng.frontier);
+          let st = switch_cost st in
+          eng.last_run_id <- st.S.id;
+          run_state st slice;
+          loop ()
+        | None -> begin
+          match try_steal () with
+          | Some st ->
+            Vsched.Exploration_stats.on_pick eng.recorder ~queue_depth:0;
+            let st = switch_cost st in
+            eng.last_run_id <- st.S.id;
+            run_state st slice;
+            loop ()
+          | None ->
+            Domain.cpu_relax ();
+            loop ()
+        end
+      end
+    in
+    loop ()
+  in
+  Vpar.Pool.run ~jobs worker;
+  Atomic.get deadline_hit
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let run ?resume opts program =
+  begin
+    match resume with
+    | Some s when not (String.equal s.snap_program program.Ast.pname) ->
+      invalid_arg
+        (Printf.sprintf "Executor.run: snapshot is for program %S, not %S" s.snap_program
+           program.Ast.pname)
+    | Some s when not (String.equal s.snap_policy (Vsched.Searcher.to_string opts.policy)) ->
+      invalid_arg
+        (Printf.sprintf "Executor.run: snapshot used searcher %s, options say %s"
+           s.snap_policy
+           (Vsched.Searcher.to_string opts.policy))
+    | _ -> ()
+  end;
+  let t0 = opts.budget.B.now () in
+  (* checkpointing and resume walk a single engine's frontier, so they force
+     the sequential driver regardless of [jobs] *)
+  let jobs =
+    if resume <> None || opts.on_checkpoint <> None then 1
+    else Vpar.Pool.clamp_jobs opts.jobs
+  in
+  let armed = B.arm opts.budget in
+  let parallel = jobs > 1 in
+  let ids = if parallel then Par_ids (Atomic.make 1) else Seq_ids { next = 1 } in
+  let engines = Array.init jobs (fun w -> make_engine ~worker:w ~ids ~armed opts program) in
+  let eng = engines.(0) in
+  begin
+    match resume with
+    | Some { snap_cache = Some d; _ } when opts.solver_cache -> begin
+      (* prime worker 0's cache with the snapshot's *)
+      match eng.cache with
+      | Some cache -> Vsched.Solver_cache.merge_into ~src:(Vsched.Solver_cache.restore d) ~dst:cache
+      | None -> ()
+    end
+    | _ -> ()
+  end;
+  begin
+    match resume with
+    | Some s ->
+      (* replace worker 0's fresh recorder with the snapshot's *)
+      Vsched.Exploration_stats.merge ~into:eng.recorder
+        (Vsched.Exploration_stats.copy s.snap_recorder)
+    | None -> ()
+  end;
+  let deadline_hit =
+    if parallel then run_parallel opts program engines
+    else run_sequential ?resume opts program eng
+  in
+  (* quiesce: merge worker segments into worker 0 *)
+  let per_worker =
+    Array.to_list
+      (Array.map
+         (fun (weng : engine) ->
+           {
+             ES.w_id = weng.worker;
+             w_steps = Vsched.Exploration_stats.steps weng.recorder;
+             w_forks = weng.n_forks;
+             w_steals = weng.n_steals;
+             w_solver_queries = weng.n_solver_calls;
+             w_cache_hits =
+               (match weng.cache with
+               | Some c -> Vsched.Solver_cache.hits (Vsched.Solver_cache.stats c)
+               | None -> 0);
+             w_solver_time_s = weng.solver_time_s;
+           })
+         engines)
+  in
+  for w = 1 to jobs - 1 do
+    let weng = engines.(w) in
+    eng.n_forks <- eng.n_forks + weng.n_forks;
+    eng.n_solver_calls <- eng.n_solver_calls + weng.n_solver_calls;
+    eng.n_concretizations <- eng.n_concretizations + weng.n_concretizations;
+    eng.terminated <- eng.terminated + weng.terminated;
+    eng.killed <- eng.killed + weng.killed;
+    eng.finished <- weng.finished @ eng.finished;
+    (match eng.cache, weng.cache with
+    | Some dst, Some src -> Vsched.Solver_cache.merge_into ~src ~dst
+    | _ -> ());
+    Vsched.Exploration_stats.merge ~into:eng.recorder weng.recorder
+  done;
+  (* the deterministic reduction: path-sorted, renumbered states *)
+  let states = canonicalize_states eng (List.rev eng.finished) in
   let wall_time_s = opts.budget.B.now () -. t0 in
   let cache_stats = Option.map Vsched.Solver_cache.stats eng.cache in
   let solver_solves =
@@ -882,20 +1174,21 @@ let run ?resume opts program =
     | None -> eng.n_solver_calls
   in
   {
-    states = List.rev eng.finished;
+    states;
     stats =
       {
-        states_created = eng.next_state_id;
+        states_created = ids_created eng;
         states_terminated = eng.terminated;
         states_killed = eng.killed;
         forks = eng.n_forks;
         solver_calls = eng.n_solver_calls;
         concretizations = eng.n_concretizations;
         wall_time_s;
-        deadline_hit = !deadline_hit;
+        deadline_hit;
       };
     sched =
-      Vsched.Exploration_stats.finish ~deadline_hit:!deadline_hit eng.recorder
-        ~states_created:eng.next_state_id ~solver_queries:eng.n_solver_calls ~solver_solves
-        ~cache:cache_stats ~wall_time_s;
+      Vsched.Exploration_stats.finish ~deadline_hit ~jobs
+        ~workers:(if parallel then per_worker else [])
+        eng.recorder ~states_created:(ids_created eng) ~solver_queries:eng.n_solver_calls
+        ~solver_solves ~cache:cache_stats ~wall_time_s;
   }

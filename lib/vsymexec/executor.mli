@@ -96,6 +96,17 @@ type options = {
   checkpoint_every : int;
       (** invoke [on_checkpoint] every N state picks; [0] disables *)
   on_checkpoint : (snapshot -> unit) option;
+  jobs : int;
+      (** number of worker domains exploring the frontier in parallel
+          (clamped to [Vpar.Pool.clamp_jobs]).  [1] — the default — runs the
+          historical sequential driver.  With [jobs > 1] each worker owns a
+          frontier, a solver-cache segment and its own noise/chaos streams;
+          idle workers steal from the cold end of a victim's frontier, and on
+          quiesce the segments merge and finished states are renumbered by
+          fork path, so the result (and therefore the impact model) is
+          byte-identical to the sequential run's as long as neither the state
+          cap nor the deadline binds.  Checkpointing and resume force the
+          sequential driver regardless of this field. *)
 }
 
 val default_options :
@@ -105,8 +116,8 @@ val default_options :
   unit ->
   options
 (** No symbolic variables, DFS, no switching, no noise, no chaos, default
-    degradation policy, checkpointing off; the default budget caps states at
-    512 with no deadline. *)
+    degradation policy, checkpointing off, [jobs = 1]; the default budget
+    caps states at 512 with no deadline. *)
 
 type stats = {
   states_created : int;
@@ -124,12 +135,14 @@ type result = {
   stats : stats;
   sched : Vsched.Exploration_stats.t;
 }
-(** [states] holds every state that reached a terminal status, in completion
-    order.  [stats] keeps the historical headline counters ([solver_calls]
-    counts {e queries}, cached or not, so virtual-time accounting is
-    cache-independent); [sched] is the full exploration telemetry including
-    solver-cache hit rates, degradation events, and per-state completion
-    steps. *)
+(** [states] holds every state that reached a terminal status, renumbered
+    0..n-1 in fork-path order — a canonical, scheduling-independent order
+    shared by the sequential and parallel drivers.  [stats] keeps the
+    historical headline counters ([solver_calls] counts {e queries}, cached
+    or not, so virtual-time accounting is cache-independent); [sched] is the
+    full exploration telemetry including solver-cache hit rates, degradation
+    events, per-state completion steps and — for parallel runs — per-worker
+    counters. *)
 
 val run : ?resume:snapshot -> options -> Vir.Ast.program -> result
 (** Explore [program].  With [?resume], continue a checkpointed exploration

@@ -8,6 +8,15 @@ type status = Running | Terminated of Vsmt.Expr.t option | Killed of string
 type t = {
   id : int;
   parent : int option;
+  path : string;
+      (* fork history from the root: one character appended per fork the
+         lineage survived ('t'/'f' for a branch, 's'/'x' for fault
+         injection).  Unique per state and independent of scheduling order —
+         the sort key of the executor's deterministic reduction. *)
+  next_symbol : int;
+      (* per-state counter for fresh Internal symbols, so symbol names
+         depend only on the state's own execution history, never on a
+         global allocation order *)
   work : kont list;
   store : Sym_store.t;
   pc : Vsmt.Expr.t list;
@@ -27,6 +36,8 @@ let initial ~id ~store ~work ~fuel ~tracing =
   {
     id;
     parent = None;
+    path = "";
+    next_symbol = 0;
     work;
     store;
     pc = [];
@@ -40,6 +51,18 @@ let initial ~id ~store ~work ~fuel ~tracing =
     tracing;
     fuel;
     status = Running;
+  }
+
+(* Apply [f] to every expression the state holds — the executor's
+   rehash-on-load hook for marshalled snapshots, whose interned nodes carry
+   another process's ids. *)
+let map_exprs f t =
+  {
+    t with
+    store = Sym_store.map_exprs f t.store;
+    pc = List.map f t.pc;
+    branch_trail = List.map f t.branch_trail;
+    status = (match t.status with Terminated (Some e) -> Terminated (Some (f e)) | s -> s);
   }
 
 let mentions_origin origin e =

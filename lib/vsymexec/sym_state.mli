@@ -21,6 +21,14 @@ type status =
 type t = {
   id : int;
   parent : int option;
+  path : string;
+      (** fork history from the root, one character per fork survived
+          (['t']/['f'] for a branch, ['s']/['x'] for fault injection).
+          Unique per state and independent of exploration order — the sort
+          key of the executor's deterministic parallel reduction. *)
+  next_symbol : int;
+      (** per-state fresh-symbol counter: symbol names derive from the
+          state's own history, not from a global allocation order *)
   work : kont list;
   store : Sym_store.t;
   pc : Vsmt.Expr.t list;  (** path constraints, conjunction *)
@@ -50,3 +58,8 @@ val workload_constraints : t -> Vsmt.Expr.t list
 
 val signals_in_order : t -> Signals.record list
 val pp_status : status Fmt.t
+
+val map_exprs : (Vsmt.Expr.t -> Vsmt.Expr.t) -> t -> t
+(** Apply a function to every expression in the state (store, path
+    constraints, branch trail, terminal value).  Used to re-intern
+    ({!Vsmt.Expr.rehash}) states loaded from a marshalled snapshot. *)

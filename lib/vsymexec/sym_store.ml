@@ -36,3 +36,6 @@ let get_global t name = Smap.find_opt name t.globals
 let substitute_everywhere t f =
   let sub m = Smap.map (fun e -> Vsmt.Simplify.simplify (Vsmt.Expr.subst f e)) m in
   { frames = List.map sub t.frames; globals = sub t.globals }
+
+let map_exprs f t =
+  { frames = List.map (Smap.map f) t.frames; globals = Smap.map f t.globals }

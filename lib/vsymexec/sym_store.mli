@@ -24,3 +24,7 @@ val substitute_everywhere : t -> (Vsmt.Expr.var -> Vsmt.Expr.t option) -> t
     globals.  This is the repository-side of [concretizeAll] (Section 5.4):
     concretizing a symbolic variable also concretizes the locations it
     tainted. *)
+
+val map_exprs : (Vsmt.Expr.t -> Vsmt.Expr.t) -> t -> t
+(** Apply a function to every stored value verbatim (no simplification) —
+    the snapshot-load rehash hook. *)

@@ -18,7 +18,10 @@ let () =
       ("patterns", Test_patterns.tests);
       ("subsystems", Test_subsystems.tests);
       ("vsched", Test_vsched.tests);
+      (* vresilience before vpar: its kill -9 test needs [Unix.fork], which
+         OCaml 5 forbids once any domain has been spawned *)
       ("vresilience", Test_vresilience.tests);
+      ("vpar", Test_vpar.tests);
       ("endtoend", Test_endtoend.tests);
       ("smoke", Test_smoke.tests);
     ]

@@ -80,7 +80,7 @@ let test_testcase_generation () =
   let kind =
     Vsmt.Expr.{ name = "kind"; dom = Vsmt.Dom.enum "kind" [ "R"; "W" ]; origin = Workload }
   in
-  match TC.of_predicate Vsmt.Expr.[ Var kind ==. const 1 ] with
+  match TC.of_predicate Vsmt.Expr.[ of_var kind ==. const 1 ] with
   | Some tcase ->
     check (Alcotest.option Alcotest.int) "solved" (Some 1)
       (List.assoc_opt "kind" tcase.TC.workload);
@@ -100,7 +100,7 @@ let test_testcase_unsat () =
     Vsmt.Expr.{ name = "kind"; dom = Vsmt.Dom.bool; origin = Workload }
   in
   check Alcotest.bool "unsat gives none" true
-    (TC.of_predicate Vsmt.Expr.[ Var kind ==. const 1; Var kind ==. const 0 ] = None)
+    (TC.of_predicate Vsmt.Expr.[ of_var kind ==. const 1; of_var kind ==. const 0 ] = None)
 
 (* ------------------------------------------------------------------ *)
 (* Checker modes, on the Figure-3 fixture                              *)

@@ -35,25 +35,25 @@ let row ?(id = 0) ?(configs = []) ?(workload = []) ?(latency = 100.) ?(cost = Co
 (* ------------------------------------------------------------------ *)
 
 let test_satisfied_by () =
-  let r = row ~configs:E.[ Var flag ==. const 1; Var size >. const 10 ] () in
+  let r = row ~configs:E.[ of_var flag ==. const 1; of_var size >. const 10 ] () in
   check Alcotest.bool "sat" true (Row.satisfied_by r [ "flag", 1; "size", 50 ]);
   check Alcotest.bool "unsat" false (Row.satisfied_by r [ "flag", 0; "size", 50 ]);
   (* an unassigned parameter is a free variable: satisfiable residual *)
   check Alcotest.bool "missing var leaves residual satisfiable" true
     (Row.satisfied_by r [ "flag", 1 ]);
   check Alcotest.bool "unsat residual" false
-    (Row.satisfied_by (row ~configs:E.[ Var size >. const 5000 ] ()) [])
+    (Row.satisfied_by (row ~configs:E.[ of_var size >. const 5000 ] ()) [])
 
 let test_satisfied_by_mixed_constraint () =
   (* config constraints can mention workload vars (the c6 shape): the
      setting satisfies the row when the residual is satisfiable *)
-  let r = row ~configs:E.[ Binop (Gt, Var kind, Var size) ] () in
+  let r = row ~configs:E.[ binop Gt (of_var kind) (of_var size) ] () in
   (* kind in [0..1]: with size=0 residual kind>0 is satisfiable *)
   check Alcotest.bool "residual sat" true (Row.satisfied_by r [ "size", 0 ]);
   check Alcotest.bool "residual unsat" false (Row.satisfied_by r [ "size", 500 ])
 
 let test_constraint_string () =
-  let r = row ~configs:E.[ Var flag ==. const 1 ] () in
+  let r = row ~configs:E.[ of_var flag ==. const 1 ] () in
   check Alcotest.string "friendly" "flag==ON" (Row.constraint_string r);
   check Alcotest.string "empty is true" "true" (Row.constraint_string (row ()))
 
@@ -62,16 +62,16 @@ let test_constraint_string () =
 (* ------------------------------------------------------------------ *)
 
 let test_similarity_counts () =
-  let a = row ~configs:E.[ Var flag ==. const 1; Var size >. const 5 ] () in
-  let b = row ~configs:E.[ Var flag ==. const 1; Var size >. const 7 ] () in
+  let a = row ~configs:E.[ of_var flag ==. const 1; of_var size >. const 5 ] () in
+  let b = row ~configs:E.[ of_var flag ==. const 1; of_var size >. const 7 ] () in
   check Alcotest.int "one shared appearance" 1 (Vmodel.Similarity.score a b);
-  let c = row ~configs:E.[ Var flag ==. const 1; Var size >. const 5 ] () in
+  let c = row ~configs:E.[ of_var flag ==. const 1; of_var size >. const 5 ] () in
   check Alcotest.int "two shared" 2 (Vmodel.Similarity.score a c)
 
 let test_rank_pairs_order () =
-  let a = row ~id:1 ~configs:E.[ Var flag ==. const 1 ] () in
-  let b = row ~id:2 ~configs:E.[ Var flag ==. const 1 ] () in
-  let c = row ~id:3 ~configs:E.[ Var size >. const 5 ] () in
+  let a = row ~id:1 ~configs:E.[ of_var flag ==. const 1 ] () in
+  let b = row ~id:2 ~configs:E.[ of_var flag ==. const 1 ] () in
+  let c = row ~id:3 ~configs:E.[ of_var size >. const 5 ] () in
   match Vmodel.Similarity.rank_pairs [ a; b; c ] with
   | (x, y, s) :: _ ->
     check Alcotest.int "most similar first" 1 s;
@@ -115,9 +115,9 @@ let test_lcs_example () =
 
 let test_threshold_boundary () =
   (* 100% threshold: 2x latency is not strictly above, 2.01x is *)
-  let fast = row ~id:1 ~configs:E.[ Var flag ==. const 0 ] ~latency:100. () in
-  let at = row ~id:2 ~configs:E.[ Var flag ==. const 1 ] ~latency:200. () in
-  let above = row ~id:3 ~configs:E.[ Var flag ==. const 1 ] ~latency:201. () in
+  let fast = row ~id:1 ~configs:E.[ of_var flag ==. const 0 ] ~latency:100. () in
+  let at = row ~id:2 ~configs:E.[ of_var flag ==. const 1 ] ~latency:200. () in
+  let above = row ~id:3 ~configs:E.[ of_var flag ==. const 1 ] ~latency:201. () in
   let d1 = Diff.analyze [ fast; at ] in
   check Alcotest.int "2x not flagged" 0 (List.length d1.Diff.pairs);
   let d2 = Diff.analyze [ fast; above ] in
@@ -126,30 +126,57 @@ let test_threshold_boundary () =
 
 let test_equal_config_sets_not_compared () =
   (* same configuration constraints: the difference is input-driven *)
-  let a = row ~id:1 ~configs:E.[ Var flag ==. const 1 ]
-      ~workload:E.[ Var kind ==. const 0 ] ~latency:100. () in
-  let b = row ~id:2 ~configs:E.[ Var flag ==. const 1 ]
-      ~workload:E.[ Var kind ==. const 1 ] ~latency:1000. () in
+  let a = row ~id:1 ~configs:E.[ of_var flag ==. const 1 ]
+      ~workload:E.[ of_var kind ==. const 0 ] ~latency:100. () in
+  let b = row ~id:2 ~configs:E.[ of_var flag ==. const 1 ]
+      ~workload:E.[ of_var kind ==. const 1 ] ~latency:1000. () in
   let d = Diff.analyze [ a; b ] in
   check Alcotest.int "not compared" 0 (List.length d.Diff.pairs)
 
+(* regression for the hashconsed grouping keys: structurally equal
+   constraint sets that were built separately and listed in different orders
+   must land in one group (skipped as same-config), while a genuinely
+   different set in the same run is still compared *)
+let test_group_membership_order_insensitive () =
+  let a =
+    row ~id:1 ~configs:E.[ of_var flag ==. const 1; of_var size >. const 5 ]
+      ~latency:100. ()
+  in
+  let b =
+    (* same set, rebuilt from scratch in the opposite order, 9x slower *)
+    row ~id:2 ~configs:E.[ of_var size >. const 5; of_var flag ==. const 1 ]
+      ~latency:900. ()
+  in
+  let c = row ~id:3 ~configs:E.[ of_var flag ==. const 0 ] ~latency:100. () in
+  let d = Diff.analyze [ a; b; c ] in
+  check Alcotest.bool "a-b (same set, reordered) never paired" false
+    (List.exists
+       (fun (p : Diff.poor_pair) ->
+         p.Diff.slow.Row.state_id = 2 && p.Diff.fast.Row.state_id = 1)
+       d.Diff.pairs);
+  check Alcotest.bool "b still flagged against the other group" true (Diff.is_poor d 2);
+  check Alcotest.bool "a never flagged" false (Diff.is_poor d 1);
+  (* the similarity metric also sees rebuilt constraints as shared *)
+  check Alcotest.int "similarity counts shared nodes across separate builds" 2
+    (Vmodel.Similarity.score a b)
+
 let test_incompatible_inputs_not_compared () =
   (* no single input class triggers both states *)
-  let a = row ~id:1 ~configs:E.[ Var flag ==. const 1 ]
-      ~workload:E.[ Var kind ==. const 0 ] ~latency:1000. () in
-  let b = row ~id:2 ~configs:E.[ Var flag ==. const 0 ]
-      ~workload:E.[ Var kind ==. const 1 ] ~latency:100. () in
+  let a = row ~id:1 ~configs:E.[ of_var flag ==. const 1 ]
+      ~workload:E.[ of_var kind ==. const 0 ] ~latency:1000. () in
+  let b = row ~id:2 ~configs:E.[ of_var flag ==. const 0 ]
+      ~workload:E.[ of_var kind ==. const 1 ] ~latency:100. () in
   let d = Diff.analyze [ a; b ] in
   check Alcotest.int "not compared" 0 (List.length d.Diff.pairs)
 
 let test_logical_metric_triggers () =
   (* latency similar, I/O calls differ: the c6/c17 pattern *)
   let a =
-    row ~id:1 ~configs:E.[ Var flag ==. const 1 ] ~latency:100.
+    row ~id:1 ~configs:E.[ of_var flag ==. const 1 ] ~latency:100.
       ~cost:{ Cost.zero with Cost.io_calls = 5 } ()
   in
   let b =
-    row ~id:2 ~configs:E.[ Var flag ==. const 0 ] ~latency:105.
+    row ~id:2 ~configs:E.[ of_var flag ==. const 0 ] ~latency:105.
       ~cost:{ Cost.zero with Cost.io_calls = 1 } ()
   in
   let d = Diff.analyze [ a; b ] in
@@ -205,9 +232,9 @@ let test_differential_critical_path () =
 let sample_model () =
   let rows =
     [
-      row ~id:1 ~configs:E.[ Var flag ==. const 1 ] ~workload:E.[ Var kind ==. const 1 ]
+      row ~id:1 ~configs:E.[ of_var flag ==. const 1 ] ~workload:E.[ of_var kind ==. const 1 ]
         ~latency:900. ();
-      row ~id:2 ~configs:E.[ Var flag ==. const 0 ] ~workload:E.[ Var kind ==. const 1 ]
+      row ~id:2 ~configs:E.[ of_var flag ==. const 0 ] ~workload:E.[ of_var kind ==. const 1 ]
         ~latency:100. ();
     ]
   in
@@ -261,6 +288,7 @@ let tests =
     tc "lcs example" test_lcs_example;
     tc "threshold boundary" test_threshold_boundary;
     tc "equal config sets skipped" test_equal_config_sets_not_compared;
+    tc "group membership ignores build order" test_group_membership_order_insensitive;
     tc "incompatible inputs skipped" test_incompatible_inputs_not_compared;
     tc "logical metric triggers" test_logical_metric_triggers;
     tc "trigger labels" test_trigger_labels;

@@ -186,11 +186,11 @@ let test_solver_deadline () =
   let now, advance = B.manual_clock () in
   let armed = B.arm (B.with_clock (B.with_deadline B.default (Some 1.)) now) in
   let x = Vsmt.Expr.{ name = "x"; dom = Vsmt.Dom.int_range 0 100; origin = Config } in
-  (match Vsmt.Solver.check ~budget:armed Vsmt.Expr.[ Var x >. const 3 ] with
+  (match Vsmt.Solver.check ~budget:armed Vsmt.Expr.[ of_var x >. const 3 ] with
   | Vsmt.Solver.Sat _ -> ()
   | Vsmt.Solver.Unsat | Vsmt.Solver.Unknown -> Alcotest.fail "sat expected before deadline");
   advance 2.;
-  match Vsmt.Solver.check ~budget:armed Vsmt.Expr.[ Var x >. const 3 ] with
+  match Vsmt.Solver.check ~budget:armed Vsmt.Expr.[ of_var x >. const 3 ] with
   | Vsmt.Solver.Unknown -> ()
   | Vsmt.Solver.Sat _ | Vsmt.Solver.Unsat -> Alcotest.fail "expired budget must give Unknown"
 
@@ -228,6 +228,11 @@ let test_resume_byte_identical () =
   Sys.remove path
 
 let test_kill9_resume_byte_identical () =
+  (* OCaml 5 forbids Unix.fork once the runtime has gone multicore; if an
+     earlier suite already spawned domains (e.g. VIOLET_JOBS > 1 made the
+     pipeline parallel), only this fork-based harness is unavailable — the
+     resume contract itself is covered by the in-process test above *)
+  if Vpar.Pool.spawned_domains () then Alcotest.skip ();
   let path = tmp_path () in
   let opts ~resume =
     opts_with ~checkpoint:{ P.path; every_picks = 1 } ~resume ()

@@ -142,9 +142,9 @@ let atom_gen =
     oneof
       [
         (v >>= fun x -> cmp >>= fun op -> int_range 0 8 >>= fun k ->
-         return (op (Var x) (Const k)));
+         return (op (of_var x) (const k)));
         (v >>= fun x -> v >>= fun y -> cmp >>= fun op -> int_range 0 12 >>= fun k ->
-         return (op (Binop (Add, Var x, Var y)) (Const k)));
+         return (op (binop Add (of_var x) (of_var y)) (const k)));
       ])
 
 let query_gen = QCheck2.Gen.(list_size (int_range 0 5) atom_gen)
@@ -171,23 +171,64 @@ let prop_cache_matches_solver =
 
 let test_cache_hits_accumulate () =
   let cache = Cache.create () in
-  let cs = E.[ Var qb >. Const 3; Var qb <. Const 6 ] in
+  let cs = E.[ of_var qb >. const 3; of_var qb <. const 6 ] in
   ignore (Cache.is_feasible cache ~max_nodes:4_000 cs);
   ignore (Cache.is_feasible cache ~max_nodes:4_000 cs);
   (* a superset of a satisfiable set: served by the counterexample probe
      without a new solve whenever the stored model satisfies it *)
-  ignore (Cache.is_feasible cache ~max_nodes:4_000 (E.(Var qa >=. Const 0) :: cs));
+  ignore (Cache.is_feasible cache ~max_nodes:4_000 (E.(of_var qa >=. const 0) :: cs));
   let s = Cache.stats cache in
   check Alcotest.int "lookups" 3 s.Cache.lookups;
   check Alcotest.bool "hits" true (Cache.hits s >= 1);
   check Alcotest.bool "rate" true (Cache.hit_rate s > 0.);
   (* an unsat set, then a superset of it: subsumption *)
-  let unsat = E.[ Var qb >. Const 5; Var qb <. Const 3 ] in
+  let unsat = E.[ of_var qb >. const 5; of_var qb <. const 3 ] in
   check Alcotest.bool "unsat" false (Cache.is_feasible cache ~max_nodes:4_000 unsat);
   check Alcotest.bool "superset unsat" false
-    (Cache.is_feasible cache ~max_nodes:4_000 (E.(Var qa ==. Const 1) :: unsat));
+    (Cache.is_feasible cache ~max_nodes:4_000 (E.(of_var qa ==. const 1) :: unsat));
   let s = Cache.stats cache in
   check Alcotest.bool "subsumption used" true (s.Cache.subsumption_hits >= 1)
+
+(* regression: entries are keyed on the sorted constraint set, so a permuted
+   path condition is the same query — an exact hit, identical verdict and
+   model, no new solve *)
+let test_cache_key_order_insensitive () =
+  let cache = Cache.create () in
+  let cs = E.[ of_var qb >. const 3; of_var qa ==. const 1; of_var qc <. const 5 ] in
+  let direct = Cache.check_model cache ~max_nodes:4_000 cs in
+  let s0 = Cache.stats cache in
+  let permuted = [ List.nth cs 2; List.nth cs 0; List.nth cs 1 ] in
+  let again = Cache.check_model cache ~max_nodes:4_000 permuted in
+  let s1 = Cache.stats cache in
+  check Alcotest.bool "permuted query returns the identical result" true
+    (again = direct);
+  check Alcotest.int "permuted query does not re-solve" s0.Cache.misses s1.Cache.misses;
+  check Alcotest.bool "it is an exact hit" true (s1.Cache.exact_hits > s0.Cache.exact_hits);
+  (* same contract on the feasibility path *)
+  let feas = Cache.is_feasible cache ~max_nodes:4_000 cs in
+  let s2 = Cache.stats cache in
+  check Alcotest.bool "reversed feasibility query agrees" feas
+    (Cache.is_feasible cache ~max_nodes:4_000 (List.rev cs));
+  let s3 = Cache.stats cache in
+  check Alcotest.int "reversed feasibility query does not re-solve" s2.Cache.misses
+    s3.Cache.misses
+
+(* merging a worker shard must make its entries serve future queries on the
+   destination — the mechanism behind the parallel executor's quiesce *)
+let test_cache_merge_serves_shard_entries () =
+  let dst = Cache.create () in
+  let src = Cache.create () in
+  let cs_dst = E.[ of_var qb >. const 3 ] in
+  let cs_src = E.[ of_var qc <. const 2; of_var qa ==. const 0 ] in
+  ignore (Cache.check_model dst ~max_nodes:4_000 cs_dst);
+  let expected = Cache.check_model src ~max_nodes:4_000 cs_src in
+  Cache.merge_into ~src ~dst;
+  let s0 = Cache.stats dst in
+  let got = Cache.check_model dst ~max_nodes:4_000 (List.rev cs_src) in
+  let s1 = Cache.stats dst in
+  check Alcotest.bool "merged entry answers, order-insensitively" true
+    (got = expected);
+  check Alcotest.int "without a new solve" s0.Cache.misses s1.Cache.misses
 
 (* ------------------------------------------------------------------ *)
 (* End-to-end: guided searchers beat Bfs to the specious path, and the *)
@@ -264,6 +305,8 @@ let tests =
     tc "telemetry consistent" test_telemetry_consistent;
     QCheck_alcotest.to_alcotest prop_cache_matches_solver;
     tc "cache hit counters" test_cache_hits_accumulate;
+    tc "cache keys ignore constraint order" test_cache_key_order_insensitive;
+    tc "merged shard entries serve queries" test_cache_merge_serves_shard_entries;
     tc "guided searchers beat bfs to the specious path" test_guided_beats_bfs;
     tc "solver cache transparent end to end" test_cache_transparent_end_to_end;
   ]

@@ -36,8 +36,8 @@ let expr_gen =
   let open QCheck2.Gen in
   let leaf =
     oneof
-      [ (int_range (-30) 30 >>= fun v -> return (E.Const v));
-        (oneofl var_pool >>= fun v -> return (E.Var v)) ]
+      [ (int_range (-30) 30 >>= fun v -> return (E.const v));
+        (oneofl var_pool >>= fun v -> return (E.of_var v)) ]
   in
   let binop =
     oneofl
@@ -51,12 +51,12 @@ let expr_gen =
             leaf;
             (binop >>= fun op ->
              self (n / 2) >>= fun a ->
-             self (n / 2) >>= fun b -> return (E.Binop (op, a, b)));
-            (self (n - 1) >>= fun a -> return (E.Not a));
-            (self (n - 1) >>= fun a -> return (E.Neg a));
+             self (n / 2) >>= fun b -> return (E.binop op a b));
+            (self (n - 1) >>= fun a -> return (E.not_ a));
+            (self (n - 1) >>= fun a -> return (E.neg a));
             (self (n / 3) >>= fun c ->
              self (n / 3) >>= fun a ->
-             self (n / 3) >>= fun b -> return (E.Ite (c, a, b)));
+             self (n / 3) >>= fun b -> return (E.ite c a b));
           ])
 
 let env_gen =
@@ -130,12 +130,12 @@ let test_eval_basics () =
 
 let test_vars_dedup () =
   let v = List.hd var_pool in
-  let e = E.(Var v +. Var v *. Var v) in
+  let e = E.(of_var v +. (of_var v *. of_var v)) in
   check Alcotest.int "single var" 1 (List.length (E.vars e))
 
 let test_subst () =
   let v = List.hd var_pool in
-  let e = E.(Var v +. const 1) in
+  let e = E.(of_var v +. const 1) in
   let e' = E.subst (fun w -> if w.E.name = "a" then Some (E.const 4) else None) e in
   check Alcotest.int "substituted" 5 (E.eval (fun _ -> 0) e')
 
@@ -169,7 +169,7 @@ let prop_simplify_idempotent =
 
 let test_simplify_rules () =
   let b = List.nth var_pool 1 in
-  let x = E.Var b in
+  let x = E.of_var b in
   let s e = Simplify.simplify e in
   check Alcotest.bool "x+0" true (E.equal x (s E.(x +. const 0)));
   check Alcotest.bool "x*1" true (E.equal x (s E.(x *. const 1)));
@@ -185,7 +185,7 @@ let test_simplify_rules () =
 
 let test_simplify_conj () =
   let b = List.nth var_pool 1 in
-  let x = E.Var b in
+  let x = E.of_var b in
   let cs = Simplify.simplify_conj E.[ x >. const 2; const 1; x >. const 2 ] in
   check Alcotest.int "dedup + drop true" 1 (List.length cs);
   let cs = Simplify.simplify_conj E.[ x >. const 2; const 0 ] in
@@ -246,7 +246,7 @@ let is_sat = function Solver.Sat _ -> true | Solver.Unsat | Solver.Unknown -> fa
 
 let test_solver_simple () =
   let b = List.nth var_pool 1 in
-  let x = E.Var b in
+  let x = E.of_var b in
   check Alcotest.bool "range sat" true (is_sat (Solver.check E.[ x >. const 3; x <. const 6 ]));
   check Alcotest.bool "range unsat" false
     (is_sat (Solver.check E.[ x >. const 6; x <. const 3 ]));
@@ -255,7 +255,7 @@ let test_solver_simple () =
     (is_sat (Solver.check E.[ x ==. const 4; x +. const 1 ==. const 5 ]))
 
 let test_solver_multi_var () =
-  let a = E.Var (List.hd var_pool) and b = E.Var (List.nth var_pool 1) in
+  let a = E.of_var (List.hd var_pool) and b = E.of_var (List.nth var_pool 1) in
   check Alcotest.bool "linked sat" true
     (is_sat (Solver.check E.[ a ==. const 1; b >. const 4; (a ==. const 0) ||. (b <. const 8) ]));
   check Alcotest.bool "linked unsat" false
@@ -345,6 +345,44 @@ let prop_serial_via_text =
       | Ok s -> ( match Vsmt.Serial.expr_of_sexp s with Ok e' -> E.equal e e' | Error _ -> false)
       | Error _ -> false)
 
+(* ------------------------------------------------------------------ *)
+(* Hash-consing                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let hvar = List.nth var_pool 1 (* "b", int 0..10 *)
+
+let test_hashcons_physical_equality () =
+  let e1 = E.(binop Add (of_var hvar) (const 3)) in
+  let e2 = E.(binop Add (of_var hvar) (const 3)) in
+  check Alcotest.bool "separately built equal exprs share one node" true (e1 == e2);
+  check Alcotest.int "and therefore one id" (E.id e1) (E.id e2);
+  let e3 = E.(binop Add (of_var hvar) (const 4)) in
+  check Alcotest.bool "distinct exprs get distinct ids" true (E.id e1 <> E.id e3);
+  check Alcotest.bool "structural compare still orders them" true
+    (E.compare e1 e3 <> 0)
+
+let rec rebuild e =
+  match E.view e with
+  | E.Const v -> E.const v
+  | E.Var v -> E.of_var v
+  | E.Not a -> E.not_ (rebuild a)
+  | E.Neg a -> E.neg (rebuild a)
+  | E.Binop (op, a, b) -> E.binop op (rebuild a) (rebuild b)
+  | E.Ite (c, a, b) -> E.ite (rebuild c) (rebuild a) (rebuild b)
+
+let prop_hashcons_canonical =
+  QCheck2.Test.make ~name:"rebuilding any expr via view yields the same node"
+    ~count:300 expr_gen (fun e -> rebuild e == e)
+
+let test_hashcons_rehash () =
+  (* Marshal duplicates the structure, bypassing the intern table; [rehash]
+     must bring the copy back to the canonical live node (the snapshot-load
+     path in the executor depends on this) *)
+  let e = E.(ite (binop Lt (of_var hvar) (const 7)) (const 1) (neg (of_var hvar))) in
+  let copied : E.t = Marshal.from_string (Marshal.to_string e []) 0 in
+  check Alcotest.bool "marshalling breaks sharing" true (copied != e);
+  check Alcotest.bool "rehash re-interns to the live node" true (E.rehash copied == e)
+
 let qt = QCheck_alcotest.to_alcotest
 
 let tests =
@@ -376,4 +414,7 @@ let tests =
     tc "sexp errors" test_sexp_errors;
     qt prop_serial_roundtrip;
     qt prop_serial_via_text;
+    tc "hashcons physical equality" test_hashcons_physical_equality;
+    qt prop_hashcons_canonical;
+    tc "hashcons rehash after marshal" test_hashcons_rehash;
   ]
