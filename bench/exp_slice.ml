@@ -1,0 +1,135 @@
+(* Independence slicing (DESIGN.md Section 5f): how much of each path
+   condition actually reaches the solver once queries are restricted to the
+   symbol-disjoint slices touching the branch condition — measured on the
+   four target systems, slicing on vs off.
+
+   Two contracts are checked and recorded in BENCH_slice.json:
+   - node_guard: slicing never increases the total constraint nodes sent to
+     the solver (the nightly CI job greps for "node_guard_ok":true);
+   - deterministic: the impact model is byte-identical with slicing on or
+     off (modulo the real-wall-clock field). *)
+
+let cases =
+  [
+    "mysql", "autocommit";
+    "postgres", "wal_sync_method";
+    "apache", "HostnameLookups";
+    "squid", "cache";
+  ]
+
+type run_stats = {
+  r_wall_s : float;
+  r_solver_calls : int;
+  r_pre_constraints : int;
+  r_pre_nodes : int;
+  r_sent_constraints : int;
+  r_sent_nodes : int;
+  r_sliced_queries : int;
+  r_cache_hit_rate : float;
+  r_model : string;  (** scrubbed serialized model *)
+}
+
+let run_once ~slice target param =
+  let opts = { Violet.Pipeline.default_options with Violet.Pipeline.slice } in
+  let t0 = Unix.gettimeofday () in
+  let a = Violet.Pipeline.analyze_exn ~opts target param in
+  let wall = Unix.gettimeofday () -. t0 in
+  let sched = a.Violet.Pipeline.result.Vsymexec.Executor.sched in
+  Util.record_sched sched;
+  let q = sched.Vsched.Exploration_stats.query_sizes in
+  let hit_rate =
+    match sched.Vsched.Exploration_stats.cache with
+    | Some c -> Vsched.Solver_cache.hit_rate c
+    | None -> 0.
+  in
+  {
+    r_wall_s = wall;
+    r_solver_calls = sched.Vsched.Exploration_stats.solver_queries;
+    r_pre_constraints = q.Vsched.Exploration_stats.pre_constraints;
+    r_pre_nodes = q.Vsched.Exploration_stats.pre_nodes;
+    r_sent_constraints = q.Vsched.Exploration_stats.sent_constraints;
+    r_sent_nodes = q.Vsched.Exploration_stats.sent_nodes;
+    r_sliced_queries = q.Vsched.Exploration_stats.sliced;
+    r_cache_hit_rate = hit_rate;
+    r_model = Exp_par.scrub_wall_s (Vmodel.Impact_model.to_string a.Violet.Pipeline.model);
+  }
+
+type point = {
+  p_system : string;
+  p_param : string;
+  p_on : run_stats;
+  p_off : run_stats;
+  p_guard_ok : bool;  (** sent nodes with slicing <= sent nodes without *)
+  p_identical : bool;  (** impact models byte-identical on vs off *)
+}
+
+let run_case (system, param) =
+  let target = Targets.Cases.target_of system in
+  let on = run_once ~slice:true target param in
+  let off = run_once ~slice:false target param in
+  {
+    p_system = system;
+    p_param = param;
+    p_on = on;
+    p_off = off;
+    p_guard_ok = on.r_sent_nodes <= off.r_sent_nodes;
+    p_identical = String.equal on.r_model off.r_model;
+  }
+
+let json_of points ~node_guard_ok ~deterministic =
+  let side r =
+    Printf.sprintf
+      "{\"wall_s\":%.4f,\"solver_calls\":%d,\"pre_constraints\":%d,\"pre_nodes\":%d,\"sent_constraints\":%d,\"sent_nodes\":%d,\"sliced_queries\":%d,\"cache_hit_rate\":%.4f}"
+      r.r_wall_s r.r_solver_calls r.r_pre_constraints r.r_pre_nodes r.r_sent_constraints
+      r.r_sent_nodes r.r_sliced_queries r.r_cache_hit_rate
+  in
+  let row p =
+    Printf.sprintf
+      "{\"system\":%S,\"param\":%S,\"slice_on\":%s,\"slice_off\":%s,\"guard_ok\":%b,\"model_identical\":%b}"
+      p.p_system p.p_param (side p.p_on) (side p.p_off) p.p_guard_ok p.p_identical
+  in
+  Printf.sprintf
+    "{\"experiment\":\"slice\",\"node_guard_ok\":%b,\"deterministic\":%b,\"points\":[%s]}"
+    node_guard_ok deterministic
+    (String.concat "," (List.map row points))
+
+let run () =
+  Util.section "Independence slicing: solver work on vs off, model identity";
+  let points = List.map run_case cases in
+  let node_guard_ok = List.for_all (fun p -> p.p_guard_ok) points in
+  let deterministic = List.for_all (fun p -> p.p_identical) points in
+  Util.print_table
+    ~header:
+      [ "system"; "param"; "nodes sent (off)"; "nodes sent (on)"; "reduction";
+        "sliced queries"; "model" ]
+    (List.map
+       (fun p ->
+         let reduction =
+           if p.p_off.r_sent_nodes = 0 then "n/a"
+           else
+             Printf.sprintf "%.1f%%"
+               (100.
+               *. (1.
+                  -. (float_of_int p.p_on.r_sent_nodes
+                     /. float_of_int p.p_off.r_sent_nodes)))
+         in
+         [
+           p.p_system;
+           p.p_param;
+           Util.i0 p.p_off.r_sent_nodes;
+           Util.i0 p.p_on.r_sent_nodes;
+           reduction;
+           Util.i0 p.p_on.r_sliced_queries;
+           (if p.p_identical then "identical" else "DIVERGED");
+         ])
+       points);
+  if not node_guard_ok then
+    Util.note "WARNING: slicing increased total solver nodes on some case — guard violated";
+  if not deterministic then
+    Util.note "WARNING: impact model diverged between slicing on and off";
+  let json = json_of points ~node_guard_ok ~deterministic in
+  let oc = open_out "BENCH_slice.json" in
+  output_string oc json;
+  output_char oc '\n';
+  close_out oc;
+  Util.note "wrote BENCH_slice.json"

@@ -27,6 +27,7 @@ let experiments =
     "sched", ("Searcher comparison + solver-cache ablation", Exp_sched.run);
     "resilience", ("Checkpoint overhead + degradation fidelity", Exp_resilience.run);
     "par", ("Parallel exploration: speedup + determinism", Exp_par.run);
+    "slice", ("Independence slicing: solver work + model identity", Exp_slice.run);
   ]
 
 (* strip [--stats-out FILE] before dispatching on experiment names *)

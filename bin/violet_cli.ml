@@ -74,7 +74,7 @@ let related system param =
   0
 
 let analyze system param save max_states threshold no_related searcher solver_cache
-    deadline checkpoint resume chaos jobs =
+    no_slice deadline checkpoint resume chaos jobs =
   let target = or_die (target_of_system system) in
   let chaos =
     match chaos with
@@ -94,6 +94,7 @@ let analyze system param save max_states threshold no_related searcher solver_ca
       include_related = not no_related;
       policy = searcher;
       solver_cache;
+      slice = not no_slice;
       checkpoint =
         Option.map
           (fun path -> { Violet.Pipeline.path; every_picks = 32 })
@@ -276,6 +277,16 @@ let analyze_cmd =
       & info [ "solver-cache" ] ~docv:"BOOL"
           ~doc:"Cache constraint-solver queries (branch + counterexample caches).")
   in
+  let no_slice =
+    Arg.(
+      value & flag
+      & info [ "no-slice" ]
+          ~doc:
+            "Disable independence slicing: send the full path condition on \
+             every solver query instead of only the symbol-disjoint slices \
+             that overlap the branch condition.  Impact models are \
+             byte-identical either way; the flag exists for A/B measurement.")
+  in
   let deadline =
     Arg.(
       value
@@ -330,7 +341,7 @@ let analyze_cmd =
     (Cmd.info "analyze" ~doc:"Symbolically analyze a parameter's performance impact")
     Term.(
       const analyze $ system_arg $ param_arg 1 $ save $ max_states $ threshold $ no_related
-      $ searcher $ solver_cache $ deadline $ checkpoint $ resume $ chaos $ jobs)
+      $ searcher $ solver_cache $ no_slice $ deadline $ checkpoint $ resume $ chaos $ jobs)
 
 let model_opt =
   Arg.(

@@ -56,6 +56,7 @@ type options = {
   max_related : int;
   policy : Ex.policy;
   solver_cache : bool;
+  slice : bool;
   state_switching : bool;
   noise : Ex.noise option;
   relaxation_rules : bool;
@@ -82,6 +83,7 @@ let default_options =
     max_related = 8;
     policy = Ex.Dfs;
     solver_cache = true;
+    slice = true;
     state_switching = false;
     noise = None;
     relaxation_rules = true;
@@ -254,6 +256,7 @@ let analyze ?(opts = default_options) target param =
           state_switching = opts.state_switching;
           time_slice = 64;
           solver_cache = opts.solver_cache;
+          slice = opts.slice;
           noise = opts.noise;
           enable_tracer = true;
           relaxation_rules = opts.relaxation_rules;
@@ -279,7 +282,8 @@ let analyze ?(opts = default_options) target param =
             let rows = List.map Vmodel.Cost_row.of_profile profiles in
             let diff =
               Vmodel.Diff_analysis.analyze ~threshold:opts.threshold
-                ~max_nodes:opts.budget.B.solver_max_nodes ~jobs:opts.jobs rows
+                ~max_nodes:opts.budget.B.solver_max_nodes ~jobs:opts.jobs ~slice:opts.slice
+                rows
             in
             Ok (result, rows, diff)
           with e -> Error (Engine_failure (Printexc.to_string e))

@@ -80,6 +80,13 @@ type options = {
   solver_cache : bool;
       (** enable the {!Vsched.Solver_cache} layer (default true); hit rates
           surface in [analysis.result.sched] *)
+  slice : bool;
+      (** independence slicing across the stack (default true): the executor
+          sends only the relevant symbol-disjoint slices of each path
+          condition to the solver, composes per-slice models, and the
+          differential analysis decomposes joint-sat queries over disjoint
+          input classes.  Impact models are byte-identical with slicing on
+          or off ([--no-slice] is an A/B measurement hatch). *)
   state_switching : bool;
   noise : Vsymexec.Executor.noise option;
   relaxation_rules : bool;  (** false: Section 5.4 relaxation-rule ablation *)

@@ -69,18 +69,30 @@ let joint_sat_max_nodes = 1_000
 
 let constraint_key cs = List.map Vsmt.Expr.id (List.sort_uniq Vsmt.Expr.compare cs)
 
-let make_comparable ~max_nodes rows =
+let make_comparable ~max_nodes ~slice rows =
   let tbl = Hashtbl.create 64 in
   List.iter
     (fun r ->
       Hashtbl.replace tbl r.Cost_row.state_id
         ( constraint_key r.Cost_row.config_constraints,
-          constraint_key r.Cost_row.workload_pred ))
+          constraint_key r.Cost_row.workload_pred,
+          Vsmt.Footprint.of_list r.Cost_row.workload_pred ))
     rows;
   let sat_cache : (int list, bool) Hashtbl.t = Hashtbl.create 256 in
+  (* per-side verdicts for the disjoint-footprint fast path, keyed on one
+     row's predicate identity *)
+  let side_cache : (int list, bool) Hashtbl.t = Hashtbl.create 64 in
+  let side_sat wkey pred =
+    match Hashtbl.find_opt side_cache wkey with
+    | Some v -> v
+    | None ->
+      let v = Vsmt.Solver.is_feasible ~max_nodes pred in
+      Hashtbl.add side_cache wkey v;
+      v
+  in
   fun a b ->
-    let ca, wa = Hashtbl.find tbl a.Cost_row.state_id in
-    let cb, wb = Hashtbl.find tbl b.Cost_row.state_id in
+    let ca, wa, fa = Hashtbl.find tbl a.Cost_row.state_id in
+    let cb, wb, fb = Hashtbl.find tbl b.Cost_row.state_id in
     ca <> cb
     && begin
          (* one predicate subsuming the other is trivially jointly sat *)
@@ -92,8 +104,15 @@ let make_comparable ~max_nodes rows =
          | Some v -> v
          | None ->
            let v =
-             Vsmt.Solver.is_feasible ~max_nodes
-               (a.Cost_row.workload_pred @ b.Cost_row.workload_pred)
+             (* symbol-disjoint predicates constrain different input
+                variables: the conjunction is satisfiable iff each side is,
+                and the per-side verdicts are shared across every pairing of
+                that input class *)
+             if slice && not (Vsmt.Footprint.overlaps fa fb) then
+               side_sat wa a.Cost_row.workload_pred && side_sat wb b.Cost_row.workload_pred
+             else
+               Vsmt.Solver.is_feasible ~max_nodes
+                 (a.Cost_row.workload_pred @ b.Cost_row.workload_pred)
            in
            Hashtbl.add sat_cache key v;
            v
@@ -125,8 +144,8 @@ let pair_triggers ~threshold a b =
   if triggers = [] then None else Some (slow, fast, !worst, triggers)
 
 let analyze ?(threshold = 1.0) ?(min_similarity = 0) ?(max_nodes = joint_sat_max_nodes)
-    ?(jobs = 1) rows =
-  let comparable = make_comparable ~max_nodes rows in
+    ?(jobs = 1) ?(slice = true) rows =
+  let comparable = make_comparable ~max_nodes ~slice rows in
   (* pass 1: cheap metric screen over all pairs — the O(n²) stage.  Rows are
      fanned out over the worker pool by slow-side index; each worker emits
      its row's hits in ascending-j order and the rows are concatenated in
@@ -152,12 +171,27 @@ let analyze ?(threshold = 1.0) ?(min_similarity = 0) ?(max_nodes = joint_sat_max
      makes constraint equality physical equality, so similarity counts
      shared nodes directly — no per-row text rendering. *)
   let appearance x y = List.fold_left (fun acc c -> if List.memq c y then acc + 1 else acc) 0 x in
+  (* footprint screen: config/workload constraints always mention a variable,
+     so rows with symbol-disjoint footprints cannot share a constraint node —
+     their appearance count is 0 without any memq walk *)
+  let foots = Hashtbl.create 64 in
+  List.iter
+    (fun r ->
+      Hashtbl.replace foots r.Cost_row.state_id
+        ( Vsmt.Footprint.of_list r.Cost_row.config_constraints,
+          Vsmt.Footprint.of_list r.Cost_row.workload_pred ))
+    rows;
   let scored =
     List.map
       (fun (a, b, hit) ->
+        let cfa, wfa = Hashtbl.find foots a.Cost_row.state_id in
+        let cfb, wfb = Hashtbl.find foots b.Cost_row.state_id in
+        let count fa fb x y =
+          if slice && not (Vsmt.Footprint.overlaps fa fb) then 0 else appearance x y
+        in
         let s =
-          appearance a.Cost_row.config_constraints b.Cost_row.config_constraints
-          + appearance a.Cost_row.workload_pred b.Cost_row.workload_pred
+          count cfa cfb a.Cost_row.config_constraints b.Cost_row.config_constraints
+          + count wfa wfb a.Cost_row.workload_pred b.Cost_row.workload_pred
         in
         a, b, hit, s)
       triggered

@@ -37,6 +37,7 @@ val analyze :
   ?min_similarity:int ->
   ?max_nodes:int ->
   ?jobs:int ->
+  ?slice:bool ->
   Cost_row.t list ->
   t
 (** [threshold] is the relative difference that makes a pair suspicious:
@@ -47,7 +48,13 @@ val analyze :
     pipeline threads its configured solver budget here.  [jobs] fans the
     O(n²) pairwise metric screen out over a {!Vpar.Pool} (default 1); the
     result is identical for any job count — hits are re-assembled in
-    ascending pair order before ranking. *)
+    ascending pair order before ranking.  [slice] (default [true]) enables
+    the footprint fast paths: joint-input satisfiability of symbol-disjoint
+    workload predicates decomposes into per-side queries (memoized per
+    input class), and similarity scoring skips the shared-constraint walk
+    for rows whose footprints cannot intersect — both provably identical to
+    the unsliced verdicts, since every config/workload constraint mentions
+    a variable. *)
 
 val trigger_label : trigger list -> string
 (** Table 4 style: ["Latency"], ["I/O"], ["Lat.&Sync."], ... *)

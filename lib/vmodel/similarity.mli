@@ -8,7 +8,10 @@
     related parameter in one state's formula, add one if the {e same}
     constraint appears in the other state's formula.  Expressions are
     hash-consed, so "the same constraint" is a pointer comparison (and
-    coincides with the printed-form equality earlier versions used). *)
+    coincides with the printed-form equality earlier versions used).
+    Pairs whose {!Vsmt.Footprint}s are symbol-disjoint score 0 without
+    walking either list: every config/workload constraint mentions a
+    variable, so disjoint footprints rule out any shared node. *)
 
 val score : Cost_row.t -> Cost_row.t -> int
 

@@ -1,6 +1,29 @@
 type sample = { step : int; queue_depth : int }
 type completion = { state_id : int; at_step : int; dropped : bool }
 
+(* Query-size histogram buckets: a query with [n] constraints lands in the
+   first bucket whose threshold is >= n; the final bucket catches the rest. *)
+let hist_thresholds = [| 1; 2; 4; 8; 16; 32; 64 |]
+let n_hist_buckets = Array.length hist_thresholds + 1
+
+let hist_bucket n =
+  let rec go i =
+    if i >= Array.length hist_thresholds then i
+    else if n <= hist_thresholds.(i) then i
+    else go (i + 1)
+  in
+  go 0
+
+type query_sizes = {
+  pre_constraints : int;  (* conjuncts across all queries, before slicing *)
+  pre_nodes : int;  (* expression tree nodes, before slicing *)
+  sent_constraints : int;  (* conjuncts actually sent (after slicing) *)
+  sent_nodes : int;
+  sliced : int;  (* queries where slicing removed at least one conjunct *)
+  hist_pre : int array;  (* constraints-per-query histogram, before slicing *)
+  hist_sent : int array;  (* same, after slicing *)
+}
+
 type worker = {
   w_id : int;
   w_steps : int;
@@ -31,6 +54,8 @@ type t = {
   resumed : bool;
   jobs : int;
   workers : worker list;
+  query_sizes : query_sizes;
+  memo_sizes : (string * int) list;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -45,6 +70,13 @@ type recorder = {
   mutable r_samples : sample list;  (* newest first *)
   mutable r_last_sample_step : int;
   mutable r_degradation : Vresilience.Degradation.event list;  (* newest first *)
+  mutable r_q_pre_constraints : int;
+  mutable r_q_pre_nodes : int;
+  mutable r_q_sent_constraints : int;
+  mutable r_q_sent_nodes : int;
+  mutable r_q_sliced : int;
+  r_hist_pre : int array;
+  r_hist_sent : int array;
 }
 
 let sample_every = 64
@@ -60,6 +92,13 @@ let recorder ~searcher ~solver_cache_enabled () =
     r_samples = [];
     r_last_sample_step = -sample_every;  (* so the very first pick samples *)
     r_degradation = [];
+    r_q_pre_constraints = 0;
+    r_q_pre_nodes = 0;
+    r_q_sent_constraints = 0;
+    r_q_sent_nodes = 0;
+    r_q_sliced = 0;
+    r_hist_pre = Array.make n_hist_buckets 0;
+    r_hist_sent = Array.make n_hist_buckets 0;
   }
 
 let on_step r = r.r_steps <- r.r_steps + 1
@@ -67,7 +106,19 @@ let on_fork r = r.r_forks <- r.r_forks + 1
 let on_degrade r ev = r.r_degradation <- ev :: r.r_degradation
 let mark_resumed r = r.r_resumed <- true
 let steps r = r.r_steps
-let copy r = { r with r_steps = r.r_steps }
+
+let copy r =
+  { r with r_hist_pre = Array.copy r.r_hist_pre; r_hist_sent = Array.copy r.r_hist_sent }
+
+let on_query r ~pre_constraints ~pre_nodes ~sent_constraints ~sent_nodes =
+  r.r_q_pre_constraints <- r.r_q_pre_constraints + pre_constraints;
+  r.r_q_pre_nodes <- r.r_q_pre_nodes + pre_nodes;
+  r.r_q_sent_constraints <- r.r_q_sent_constraints + sent_constraints;
+  r.r_q_sent_nodes <- r.r_q_sent_nodes + sent_nodes;
+  if sent_constraints < pre_constraints then r.r_q_sliced <- r.r_q_sliced + 1;
+  let bp = hist_bucket pre_constraints and bs = hist_bucket sent_constraints in
+  r.r_hist_pre.(bp) <- r.r_hist_pre.(bp) + 1;
+  r.r_hist_sent.(bs) <- r.r_hist_sent.(bs) + 1
 
 let on_pick r ~queue_depth =
   if r.r_steps - r.r_last_sample_step >= sample_every then begin
@@ -87,13 +138,20 @@ let merge ~into r =
   into.r_completions <- r.r_completions @ into.r_completions;
   into.r_samples <- r.r_samples @ into.r_samples;
   into.r_degradation <- r.r_degradation @ into.r_degradation;
+  into.r_q_pre_constraints <- into.r_q_pre_constraints + r.r_q_pre_constraints;
+  into.r_q_pre_nodes <- into.r_q_pre_nodes + r.r_q_pre_nodes;
+  into.r_q_sent_constraints <- into.r_q_sent_constraints + r.r_q_sent_constraints;
+  into.r_q_sent_nodes <- into.r_q_sent_nodes + r.r_q_sent_nodes;
+  into.r_q_sliced <- into.r_q_sliced + r.r_q_sliced;
+  Array.iteri (fun i v -> into.r_hist_pre.(i) <- into.r_hist_pre.(i) + v) r.r_hist_pre;
+  Array.iteri (fun i v -> into.r_hist_sent.(i) <- into.r_hist_sent.(i) + v) r.r_hist_sent;
   if r.r_resumed then into.r_resumed <- true
 
 let completions r = List.rev r.r_completions
 let set_completions r cs = r.r_completions <- List.rev cs
 
-let finish ?(deadline_hit = false) ?(jobs = 1) ?(workers = []) r ~states_created
-    ~solver_queries ~solver_solves ~cache ~wall_time_s =
+let finish ?(deadline_hit = false) ?(jobs = 1) ?(workers = []) ?(memo_sizes = []) r
+    ~states_created ~solver_queries ~solver_solves ~cache ~wall_time_s =
   let completions = List.rev r.r_completions in
   let dropped = List.length (List.filter (fun c -> c.dropped) completions) in
   {
@@ -116,6 +174,17 @@ let finish ?(deadline_hit = false) ?(jobs = 1) ?(workers = []) r ~states_created
     resumed = r.r_resumed;
     jobs;
     workers;
+    query_sizes =
+      {
+        pre_constraints = r.r_q_pre_constraints;
+        pre_nodes = r.r_q_pre_nodes;
+        sent_constraints = r.r_q_sent_constraints;
+        sent_nodes = r.r_q_sent_nodes;
+        sliced = r.r_q_sliced;
+        hist_pre = Array.copy r.r_hist_pre;
+        hist_sent = Array.copy r.r_hist_sent;
+      };
+    memo_sizes;
   }
 
 let first_completion t ~satisfying =
@@ -143,11 +212,27 @@ let json_float f =
 
 let cache_to_json (c : Solver_cache.stats) =
   Printf.sprintf
-    "{\"lookups\":%d,\"exact_hits\":%d,\"cex_hits\":%d,\"subsumption_hits\":%d,\"misses\":%d,\"stored_models\":%d,\"stored_cores\":%d,\"hit_rate\":%s}"
+    "{\"lookups\":%d,\"exact_hits\":%d,\"cex_hits\":%d,\"subsumption_hits\":%d,\"misses\":%d,\"stored_models\":%d,\"stored_cores\":%d,\"hit_rate\":%s,\"solver_constraints\":%d,\"solver_nodes\":%d,\"unknown_purged\":%d}"
     c.Solver_cache.lookups c.Solver_cache.exact_hits c.Solver_cache.cex_hits
     c.Solver_cache.subsumption_hits c.Solver_cache.misses c.Solver_cache.stored_models
     c.Solver_cache.stored_cores
     (json_float (Solver_cache.hit_rate c))
+    c.Solver_cache.solver_constraints c.Solver_cache.solver_nodes c.Solver_cache.unknown_purged
+
+let hist_to_json h =
+  "[" ^ String.concat "," (List.map string_of_int (Array.to_list h)) ^ "]"
+
+let query_sizes_to_json q =
+  Printf.sprintf
+    "{\"pre_constraints\":%d,\"pre_nodes\":%d,\"sent_constraints\":%d,\"sent_nodes\":%d,\"sliced_queries\":%d,\"hist_thresholds\":%s,\"hist_pre\":%s,\"hist_sent\":%s}"
+    q.pre_constraints q.pre_nodes q.sent_constraints q.sent_nodes q.sliced
+    (hist_to_json hist_thresholds) (hist_to_json q.hist_pre) (hist_to_json q.hist_sent)
+
+let memo_sizes_to_json ms =
+  "{"
+  ^ String.concat ","
+      (List.map (fun (name, n) -> Printf.sprintf "\"%s\":%d" (json_escape name) n) ms)
+  ^ "}"
 
 let degradation_to_json evs =
   evs
@@ -178,7 +263,7 @@ let to_json t =
     |> String.concat ","
   in
   Printf.sprintf
-    "{\"searcher\":\"%s\",\"solver_cache_enabled\":%b,\"states_created\":%d,\"states_completed\":%d,\"states_dropped\":%d,\"forks\":%d,\"steps\":%d,\"fork_rate\":%s,\"solver_queries\":%d,\"solver_solves\":%d,\"cache\":%s,\"completions\":[%s],\"queue_samples\":[%s],\"wall_time_s\":%s,\"degradation\":[%s],\"deadline_hit\":%b,\"resumed\":%b,\"jobs\":%d,\"workers\":[%s]}"
+    "{\"searcher\":\"%s\",\"solver_cache_enabled\":%b,\"states_created\":%d,\"states_completed\":%d,\"states_dropped\":%d,\"forks\":%d,\"steps\":%d,\"fork_rate\":%s,\"solver_queries\":%d,\"solver_solves\":%d,\"cache\":%s,\"completions\":[%s],\"queue_samples\":[%s],\"wall_time_s\":%s,\"degradation\":[%s],\"deadline_hit\":%b,\"resumed\":%b,\"jobs\":%d,\"workers\":[%s],\"query_sizes\":%s,\"memo_sizes\":%s}"
     (json_escape t.searcher) t.solver_cache_enabled t.states_created t.states_completed
     t.states_dropped t.forks t.steps (json_float t.fork_rate) t.solver_queries t.solver_solves
     (match t.cache with None -> "null" | Some c -> cache_to_json c)
@@ -186,6 +271,8 @@ let to_json t =
     (degradation_to_json t.degradation)
     t.deadline_hit t.resumed t.jobs
     (String.concat "," (List.map worker_to_json t.workers))
+    (query_sizes_to_json t.query_sizes)
+    (memo_sizes_to_json t.memo_sizes)
 
 let save ~path ts =
   let oc = open_out path in
@@ -221,6 +308,13 @@ let pp ppf t =
     t.degradation
     (if t.deadline_hit then " DEADLINE" else "")
     (if t.resumed then " resumed" else "");
+  if t.query_sizes.pre_constraints > 0 then
+    Fmt.pf ppf " slice[constraints=%d/%d nodes=%d/%d sliced_queries=%d]"
+      t.query_sizes.sent_constraints t.query_sizes.pre_constraints t.query_sizes.sent_nodes
+      t.query_sizes.pre_nodes t.query_sizes.sliced;
+  if t.memo_sizes <> [] then
+    Fmt.pf ppf " memo[%s]"
+      (String.concat " " (List.map (fun (n, s) -> Printf.sprintf "%s=%d" n s) t.memo_sizes));
   if t.jobs > 1 then begin
     Fmt.pf ppf " jobs=%d" t.jobs;
     List.iter

@@ -27,6 +27,24 @@ type worker = {
 }
 (** Per-worker counters of a parallel ([--jobs N]) run. *)
 
+type query_sizes = {
+  pre_constraints : int;  (** conjuncts across all queries, before slicing *)
+  pre_nodes : int;  (** expression tree nodes across all queries, before slicing *)
+  sent_constraints : int;  (** conjuncts actually sent to the solver layer *)
+  sent_nodes : int;  (** tree nodes actually sent to the solver layer *)
+  sliced : int;  (** queries where slicing removed at least one conjunct *)
+  hist_pre : int array;  (** constraints-per-query histogram, before slicing *)
+  hist_sent : int array;  (** constraints-per-query histogram, after slicing *)
+}
+(** Query-size accounting, measured at the executor (cache-independent):
+    "pre" is the full simplified path condition a query would classically
+    send, "sent" is what the independence slicer actually sent.  Histogram
+    buckets are bounded by {!hist_thresholds} (last bucket = overflow). *)
+
+val hist_thresholds : int array
+(** Upper bounds of the histogram buckets ([[|1;2;4;8;16;32;64|]]); a query
+    with [n] constraints lands in the first bucket with threshold >= [n]. *)
+
 type t = {
   searcher : string;
   solver_cache_enabled : bool;
@@ -50,6 +68,11 @@ type t = {
   resumed : bool;  (** this run continued from a checkpoint *)
   jobs : int;  (** worker count of the run (1 = sequential) *)
   workers : worker list;  (** per-worker counters; empty for sequential runs *)
+  query_sizes : query_sizes;
+  memo_sizes : (string * int) list;
+      (** sizes of the process's expression-level memo tables at finish
+          time (simplify memo, footprint memo, rendered strings, interned
+          nodes) — the observability hook for the bounded-memo policy *)
 }
 
 (** {1 Recording} *)
@@ -65,6 +88,17 @@ val on_pick : recorder -> queue_depth:int -> unit
     steps (plus the first), so long runs stay small. *)
 
 val on_complete : recorder -> state_id:int -> dropped:bool -> unit
+
+val on_query :
+  recorder ->
+  pre_constraints:int ->
+  pre_nodes:int ->
+  sent_constraints:int ->
+  sent_nodes:int ->
+  unit
+(** Called once per logical solver query (feasibility or model) with the
+    query's size before and after independence slicing.  With slicing off
+    the executor reports [sent = pre]. *)
 
 val on_degrade : recorder -> Vresilience.Degradation.event -> unit
 val mark_resumed : recorder -> unit
@@ -93,6 +127,7 @@ val finish :
   ?deadline_hit:bool ->
   ?jobs:int ->
   ?workers:worker list ->
+  ?memo_sizes:(string * int) list ->
   recorder ->
   states_created:int ->
   solver_queries:int ->

@@ -2,7 +2,10 @@ module E = Vsmt.Expr
 module Solver = Vsmt.Solver
 module Sset = Set.Make (String)
 
-type entry = { result : Solver.result; budget : int }
+(* [foot] is the query's symbol footprint as sorted names — names, not
+   footprint ids, so dumped caches stay valid across processes.  It scopes
+   the Unknown-reclaim below to the slice that was actually re-solved. *)
+type entry = { result : Solver.result; budget : int; foot : string list }
 
 type t = {
   max_models : int;
@@ -19,6 +22,10 @@ type t = {
   mutable n_cex_hits : int;
   mutable n_subsumption_hits : int;
   mutable n_misses : int;
+  (* work that actually reached the solver (cache misses only) *)
+  mutable n_solver_constraints : int;
+  mutable n_solver_nodes : int;
+  mutable n_unknown_purged : int;
 }
 
 type stats = {
@@ -29,6 +36,9 @@ type stats = {
   misses : int;
   stored_models : int;
   stored_cores : int;
+  solver_constraints : int;  (** conjuncts sent to the solver across all misses *)
+  solver_nodes : int;  (** expression tree nodes sent to the solver across all misses *)
+  unknown_purged : int;  (** stale Unknown entries reclaimed by decided re-solves *)
 }
 
 let create ?(max_models = 64) ?(max_cores = 256) () =
@@ -44,6 +54,9 @@ let create ?(max_models = 64) ?(max_cores = 256) () =
     n_cex_hits = 0;
     n_subsumption_hits = 0;
     n_misses = 0;
+    n_solver_constraints = 0;
+    n_solver_nodes = 0;
+    n_unknown_purged = 0;
   }
 
 (* [E.to_string] is memoized per unique node, so keying stays cheap; string
@@ -74,6 +87,7 @@ let all_vars cs =
   let tbl = Hashtbl.create 16 in
   List.iter (fun c -> List.iter (fun (v : E.var) -> Hashtbl.replace tbl v.E.name v) (E.vars c)) cs;
   Hashtbl.fold (fun _ v acc -> v :: acc) tbl []
+  |> List.sort (fun (a : E.var) (b : E.var) -> String.compare a.E.name b.E.name)
 
 (* Probe a stored satisfying assignment against the query: complete it over
    the query's variables and verify every conjunct by evaluation, so a hit is
@@ -106,12 +120,55 @@ let store_core t set =
       t.cores <- List.filteri (fun i _ -> i < t.max_cores) t.cores
   end
 
-let record t memo key ~max_nodes result =
-  Hashtbl.replace memo key { result; budget = max_nodes };
+(* Subset test over sorted name lists. *)
+let rec foot_subset a b =
+  match (a, b) with
+  | [], _ -> true
+  | _ :: _, [] -> false
+  | x :: xs, y :: ys ->
+    let c = String.compare x y in
+    if c = 0 then foot_subset xs ys else if c > 0 then foot_subset a ys else false
+
+let query_foot cs = Vsmt.Footprint.names (Vsmt.Footprint.of_list cs)
+
+(* Reclaim Unknown entries superseded by a decided re-solve: once a query
+   over some symbols is decided at budget [b], Unknown entries recorded at
+   smaller budgets whose footprint lies inside those symbols are stale
+   hints — keeping them only delays their inevitable replacement.  The
+   footprint guard is the point: without it this reclaim would also evict
+   Unknown entries of *unrelated* slices, throwing away budget-exhaustion
+   evidence the next path still needs. *)
+let purge_stale_unknowns t memo ~budget ~foot =
+  let stale =
+    Hashtbl.fold
+      (fun key e acc ->
+        match e.result with
+        | Solver.Unknown when e.budget < budget && foot_subset e.foot foot -> key :: acc
+        | _ -> acc)
+      memo []
+  in
+  List.iter (Hashtbl.remove memo) stale;
+  t.n_unknown_purged <- t.n_unknown_purged + List.length stale
+
+let record t memo key ~max_nodes ~foot result =
+  let superseded_unknown =
+    match Hashtbl.find_opt memo key with
+    | Some { result = Solver.Unknown; _ } -> ( match result with Solver.Unknown -> false | _ -> true)
+    | _ -> false
+  in
+  Hashtbl.replace memo key { result; budget = max_nodes; foot };
+  (* scan only on an actual larger-budget re-solve of a previously-Unknown
+     query — the rare event the reclaim exists for; ordinary misses never
+     pay an O(cache) sweep *)
+  if superseded_unknown then purge_stale_unknowns t memo ~budget:max_nodes ~foot;
   match result with
   | Solver.Sat m -> store_model t m
   | Solver.Unsat -> ()
   | Solver.Unknown -> ()
+
+let count_solver_work t cs =
+  t.n_solver_constraints <- t.n_solver_constraints + List.length cs;
+  t.n_solver_nodes <- t.n_solver_nodes + List.fold_left (fun a c -> a + E.tree_size c) 0 cs
 
 (* A result computed after the deadline passed may be a deadline-induced
    [Unknown] — a property of *this* run's clock, not of the query.  Caching
@@ -134,8 +191,10 @@ let check_model t ?budget ~max_nodes cs =
     e.result
   | _ ->
     t.n_misses <- t.n_misses + 1;
+    count_solver_work t canon;
     let result = Solver.check ?budget ~max_nodes canon in
-    if not (expired budget) then record t t.model_memo key ~max_nodes result;
+    if not (expired budget) then
+      record t t.model_memo key ~max_nodes ~foot:(query_foot canon) result;
     result
 
 let is_feasible t ?budget ~max_nodes cs =
@@ -153,20 +212,23 @@ let is_feasible t ?budget ~max_nodes cs =
     match probe_models t canon with
     | Some m ->
       t.n_cex_hits <- t.n_cex_hits + 1;
-      Hashtbl.replace t.feas_memo key { result = Solver.Sat m; budget = max_nodes };
+      Hashtbl.replace t.feas_memo key
+        { result = Solver.Sat m; budget = max_nodes; foot = query_foot canon };
       true
     | None ->
       let qset = Sset.of_list conjunct_keys in
       if List.exists (fun core -> Sset.subset core qset) t.cores then begin
         t.n_subsumption_hits <- t.n_subsumption_hits + 1;
-        Hashtbl.replace t.feas_memo key { result = Solver.Unsat; budget = max_nodes };
+        Hashtbl.replace t.feas_memo key
+          { result = Solver.Unsat; budget = max_nodes; foot = query_foot canon };
         false
       end
       else begin
         t.n_misses <- t.n_misses + 1;
+        count_solver_work t canon;
         let result = Solver.check ?budget ~max_nodes canon in
         if not (expired budget) then begin
-          record t t.feas_memo key ~max_nodes result;
+          record t t.feas_memo key ~max_nodes ~foot:(query_foot canon) result;
           if result = Solver.Unsat then store_core t qset
         end;
         feasible result
@@ -214,7 +276,10 @@ let merge_into ~src ~dst =
   dst.n_exact_hits <- dst.n_exact_hits + src.n_exact_hits;
   dst.n_cex_hits <- dst.n_cex_hits + src.n_cex_hits;
   dst.n_subsumption_hits <- dst.n_subsumption_hits + src.n_subsumption_hits;
-  dst.n_misses <- dst.n_misses + src.n_misses
+  dst.n_misses <- dst.n_misses + src.n_misses;
+  dst.n_solver_constraints <- dst.n_solver_constraints + src.n_solver_constraints;
+  dst.n_solver_nodes <- dst.n_solver_nodes + src.n_solver_nodes;
+  dst.n_unknown_purged <- dst.n_unknown_purged + src.n_unknown_purged
 
 let stats t =
   {
@@ -225,6 +290,9 @@ let stats t =
     misses = t.n_misses;
     stored_models = List.length t.models;
     stored_cores = List.length t.cores;
+    solver_constraints = t.n_solver_constraints;
+    solver_nodes = t.n_solver_nodes;
+    unknown_purged = t.n_unknown_purged;
   }
 
 let hits s = s.exact_hits + s.cex_hits + s.subsumption_hits
@@ -232,6 +300,8 @@ let hits s = s.exact_hits + s.cex_hits + s.subsumption_hits
 let hit_rate s = if s.lookups = 0 then 0. else float_of_int (hits s) /. float_of_int s.lookups
 
 let pp_stats ppf s =
-  Fmt.pf ppf "%d lookups, %d hits (%.0f%%: %d exact, %d cex, %d subsumption), %d misses"
+  Fmt.pf ppf
+    "%d lookups, %d hits (%.0f%%: %d exact, %d cex, %d subsumption), %d misses \
+     (%d constraints / %d nodes solved, %d stale unknowns purged)"
     s.lookups (hits s) (100. *. hit_rate s) s.exact_hits s.cex_hits s.subsumption_hits
-    s.misses
+    s.misses s.solver_constraints s.solver_nodes s.unknown_purged

@@ -26,6 +26,19 @@
     overwrites the entry.  [Sat]/[Unsat] are proofs and replay for any
     budget.
 
+    Every entry is additionally tagged with the query's symbol footprint
+    (sorted names, so dumps stay process-portable).  When a larger-budget
+    re-solve {e decides} a previously-[Unknown] query, smaller-budget
+    [Unknown] entries whose footprint lies within the decided query's are
+    reclaimed as stale; the footprint guard keeps the reclaim from evicting
+    [Unknown] entries of unrelated slices (which still carry useful
+    budget-exhaustion evidence for other paths).
+
+    With query slicing on (see {!Vsmt.Partition}) the executor sends one
+    query per touched slice, so entries are naturally slice-keyed: a verdict
+    for an untouched slice replays across every path that shares it, which
+    is where the hit-rate win lives.
+
     When the underlying solver is decisive (never returns [Unknown]) the
     cache is answer-preserving.  When the solver would return [Unknown] on
     the full query, a subsumption hit can be {e more precise} (a genuine
@@ -81,6 +94,9 @@ type stats = {
   misses : int;  (** fell through to {!Vsmt.Solver} *)
   stored_models : int;
   stored_cores : int;
+  solver_constraints : int;  (** conjuncts sent to the solver across all misses *)
+  solver_nodes : int;  (** expression tree nodes sent to the solver across all misses *)
+  unknown_purged : int;  (** stale [Unknown] entries reclaimed by decided re-solves *)
 }
 
 val stats : t -> stats

@@ -324,3 +324,49 @@ let to_string e =
     e.str <- s;
     s
   end
+
+let rendered_count () =
+  Array.fold_left
+    (fun acc s ->
+      Mutex.lock s.lock;
+      let acc =
+        Hashtbl.fold
+          (fun _ bucket acc ->
+            List.fold_left (fun acc e -> if e.str = "" then acc else acc + 1) acc bucket)
+          s.buckets acc
+      in
+      Mutex.unlock s.lock;
+      acc)
+    0 stripes
+
+(* Racy against a concurrent [to_string] only in the benign direction: a
+   string written after we pass its node simply survives the sweep. *)
+let clear_rendered () =
+  Array.iter
+    (fun s ->
+      Mutex.lock s.lock;
+      Hashtbl.iter (fun _ bucket -> List.iter (fun e -> e.str <- "") bucket) s.buckets;
+      Mutex.unlock s.lock)
+    stripes
+
+(* Tree node count — the honest measure of solver work, since interval
+   propagation walks constraint trees (shared subtrees re-visited).  The
+   count itself is memoized per DAG node, domain-locally and capped. *)
+let size_memo_key = Domain.DLS.new_key (fun () : (int, int) Hashtbl.t -> Hashtbl.create 4096)
+let size_memo_cap = 1 lsl 17
+
+let rec tree_size e =
+  let memo = Domain.DLS.get size_memo_key in
+  match Hashtbl.find_opt memo e.id with
+  | Some n -> n
+  | None ->
+    let n =
+      match e.node with
+      | Const _ | Var _ -> 1
+      | Not a | Neg a -> 1 + tree_size a
+      | Binop (_, a, b) -> 1 + tree_size a + tree_size b
+      | Ite (c, a, b) -> 1 + tree_size c + tree_size a + tree_size b
+    in
+    if Hashtbl.length memo >= size_memo_cap then Hashtbl.reset memo;
+    Hashtbl.replace memo e.id n;
+    n

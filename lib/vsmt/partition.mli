@@ -1,0 +1,60 @@
+(** Symbol-disjoint partition of a path condition.
+
+    Groups a constraint list into slices such that constraints in
+    different slices share no symbols (the KLEE constraint-independence
+    factoring).  A feasibility query for a branch condition then needs
+    only the slices overlapping the condition's footprint — the rest of
+    the path condition cannot affect the verdict — and a model for the
+    full conjunction is the composition of independent per-slice models.
+
+    The structure is persistent and maintained incrementally: {!extend}
+    folds in only the new suffix when the constraint list grew (which is
+    how [Simplify.simplify_conj] evolves a path condition), so forked
+    states share their common prefix's partition.
+
+    Determinism: every slice, and every {!relevant} result, lists its
+    constraints in original path order, and {!slices} enumerates slices
+    by the position of their earliest constraint.  Both orders are pure
+    functions of the input constraint sequence — no symbol or expression
+    id (process-local allocation order) ever leaks into them. *)
+
+type t
+
+val empty : t
+
+val of_list : Expr.t list -> t
+(** Partition a constraint list from scratch. *)
+
+val extend : t -> Expr.t list -> t
+(** [extend part cs] is the partition of [cs], reusing [part] when [cs]
+    extends the list [part] was built from (the common case in the
+    executor); otherwise equivalent to [of_list cs]. *)
+
+val relevant : t -> Footprint.t -> Expr.t list
+(** Constraints of every slice whose footprint overlaps the given one
+    (plus any ground leftovers), in original path order.  On a
+    {!falsified} partition returns [[Expr.fls]]. *)
+
+val slices : t -> (Expr.t list * Footprint.t) list
+(** All slices in canonical order (by earliest-constraint position),
+    each as (constraints in path order, slice footprint).  A falsified
+    partition yields the single slice [([Expr.fls], Footprint.empty)].
+    Ground leftovers are {e not} included — check {!clean} first. *)
+
+val ground : t -> Expr.t list
+(** Var-free, non-literal constraints that fit no slice, in path order.
+    Empty for any simplified path condition. *)
+
+val falsified : t -> bool
+(** True once a literal-false constraint was folded in. *)
+
+val clean : t -> bool
+(** [ground t = [] && not (falsified t)] — the precondition for
+    composing per-slice models into a full model. *)
+
+val count : t -> int
+(** Number of constraints folded in. *)
+
+val n_slices : t -> int
+
+val pp : t Fmt.t

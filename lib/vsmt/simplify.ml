@@ -4,8 +4,16 @@ let truthy v = v <> 0
 
 (* Hash-consing gives every expression a stable id, so simplification is
    memoized per domain: the table is domain-local (no locking on the hot
-   path) and two domains at worst duplicate work on a shared node. *)
+   path) and two domains at worst duplicate work on a shared node.  The
+   table is capped — reset wholesale at the cap — so unbounded interning
+   on long runs cannot grow it without bound. *)
 let memo_key = Domain.DLS.new_key (fun () : (int, t) Hashtbl.t -> Hashtbl.create 4096)
+
+let default_memo_cap = 1 lsl 18
+let memo_cap = ref default_memo_cap
+let set_memo_cap n = memo_cap := max 1024 n
+let memo_size () = Hashtbl.length (Domain.DLS.get memo_key)
+let clear_memo () = Hashtbl.reset (Domain.DLS.get memo_key)
 
 (* One rewriting pass, bottom-up.  Kept to local rules so each is obviously
    semantics-preserving; the qcheck suite checks the composition. *)
@@ -15,6 +23,7 @@ let rec simplify e =
   | Some e' -> e'
   | None ->
     let e' = simplify_uncached e in
+    if Hashtbl.length memo >= !memo_cap then Hashtbl.reset memo;
     Hashtbl.replace memo (id e) e';
     (* a fixpoint result maps to itself so re-simplifying is free *)
     if not (equal e e') then Hashtbl.replace memo (id e') e';

@@ -11,4 +11,19 @@ val simplify : Expr.t -> Expr.t
 val simplify_conj : Expr.t list -> Expr.t list
 (** Simplify a conjunction of constraints: simplifies each conjunct, flattens
     nested [&&], drops duplicates and trivially-true conjuncts.  If any
-    conjunct is trivially false the result is [[Expr.fls]]. *)
+    conjunct is trivially false the result is [[Expr.fls]].
+
+    A list that is already fully simplified comes back with itself as a
+    prefix (each conjunct is a fixpoint, non-[And], and deduplication keeps
+    first occurrences) — the property [Partition.extend] relies on to stay
+    incremental. *)
+
+val memo_size : unit -> int
+(** Entries in this domain's simplification memo (telemetry). *)
+
+val clear_memo : unit -> unit
+(** Drop this domain's simplification memo (results recompute on demand). *)
+
+val set_memo_cap : int -> unit
+(** Cap the per-domain memo; at the cap the table is reset wholesale.
+    Clamped to at least 1024.  Default [262144]. *)

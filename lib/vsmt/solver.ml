@@ -237,12 +237,19 @@ let check ?budget ?max_nodes cs =
        Unknown, immediately — the solver never hangs past the deadline *)
     Unknown
   | _ -> begin
+    (* Sorted by name: a canonical variable order makes the search (and
+       hence the model found first) a pure function of the constraint
+       set.  In particular, solving a symbol-disjoint slice alone visits
+       its variables in the same relative order as solving the full
+       conjunction, which is what lets sliced model generation compose
+       byte-identical models (see Partition). *)
     let all_vars =
       let tbl = Hashtbl.create 16 in
       List.iter
         (fun c -> List.iter (fun v -> Hashtbl.replace tbl v.name v) (vars c))
         cs;
       Hashtbl.fold (fun _ v acc -> v :: acc) tbl []
+      |> List.sort (fun a b -> String.compare a.name b.name)
     in
     let cands = candidate_constants cs in
     let budget_nodes = ref max_nodes in

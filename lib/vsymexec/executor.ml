@@ -60,6 +60,7 @@ type options = {
   state_switching : bool;
   time_slice : int;
   solver_cache : bool;
+  slice : bool;
   noise : noise option;
   enable_tracer : bool;
   relaxation_rules : bool;
@@ -84,6 +85,7 @@ let default_options ?(env = Vruntime.Hw_env.hdd_server) ~config ~workload () =
     state_switching = false;
     time_slice = 64;
     solver_cache = true;
+    slice = true;
     noise = None;
     enable_tracer = true;
     relaxation_rules = true;
@@ -290,30 +292,78 @@ let timed eng f =
   eng.solver_time_s <- eng.solver_time_s +. (Unix.gettimeofday () -. t0);
   r
 
-let is_feasible eng pc =
+let count_constraints cs =
+  (List.length cs, List.fold_left (fun a c -> a + E.tree_size c) 0 cs)
+
+(* One call per *logical* query, whatever the slicer sent: [n_solver_calls]
+   feeds the virtual-clock analysis cost in the impact model, so it must not
+   depend on how many slices a query happened to split into. *)
+let record_query eng ~pre ~sent =
+  let pre_constraints, pre_nodes = count_constraints pre in
+  let sent_constraints, sent_nodes = count_constraints sent in
+  Vsched.Exploration_stats.on_query eng.recorder ~pre_constraints ~pre_nodes ~sent_constraints
+    ~sent_nodes
+
+(* Branch-feasibility query.  [sliced] carries the candidate path
+   condition's partition and the branch condition's footprint: only the
+   slices overlapping that footprint are sent.  Sound because every
+   untouched slice is inherited from the (feasible) parent path condition,
+   so it cannot flip the verdict; on an undecided (budget-bound) solver the
+   sliced query can only be *more* decided, never wrongly Unsat. *)
+let is_feasible ?sliced eng pc =
   eng.n_solver_calls <- eng.n_solver_calls + 1;
+  let sent =
+    match sliced with
+    | Some (part, fp) when eng.opts.slice -> Vsmt.Partition.relevant part fp
+    | _ -> pc
+  in
+  record_query eng ~pre:pc ~sent;
   if chaos_unknown eng then true (* forced Unknown over-approximates to feasible *)
   else
     timed eng (fun () ->
         let max_nodes = eng.opts.budget.B.solver_max_nodes in
         match eng.cache with
-        | Some cache -> Vsched.Solver_cache.is_feasible cache ~budget:eng.armed ~max_nodes pc
-        | None -> Vsmt.Solver.is_feasible ~budget:eng.armed ~max_nodes pc)
+        | Some cache -> Vsched.Solver_cache.is_feasible cache ~budget:eng.armed ~max_nodes sent
+        | None -> Vsmt.Solver.is_feasible ~budget:eng.armed ~max_nodes sent)
 
-let model_of eng pc =
+(* Model-generation query.  With [sliced] (the path condition's partition),
+   each symbol-disjoint slice is solved independently and the per-slice
+   models are concatenated and name-sorted.  Sound: slices share no
+   symbols, so the union assignment satisfies every slice.  Deterministic:
+   the solver visits variables in name order (see [Solver.check]), so the
+   model it finds for a slice alone is the projection of the model it would
+   find for the full conjunction — composing slices in canonical order and
+   name-sorting reproduces the unsliced model byte for byte (on decisive
+   queries; a budget-bound Unknown can differ, as with any budget change). *)
+let model_of ?sliced eng pc =
   eng.n_solver_calls <- eng.n_solver_calls + 1;
+  (* every slice is solved, so the whole condition counts as sent *)
+  record_query eng ~pre:pc ~sent:pc;
   if chaos_unknown eng then None
   else
     timed eng (fun () ->
         let max_nodes = eng.opts.budget.B.solver_max_nodes in
-        let result =
+        let check cs =
           match eng.cache with
-          | Some cache -> Vsched.Solver_cache.check_model cache ~budget:eng.armed ~max_nodes pc
-          | None -> Vsmt.Solver.check ~budget:eng.armed ~max_nodes pc
+          | Some cache -> Vsched.Solver_cache.check_model cache ~budget:eng.armed ~max_nodes cs
+          | None -> Vsmt.Solver.check ~budget:eng.armed ~max_nodes cs
         in
-        match result with
-        | Vsmt.Solver.Sat m -> Some m
-        | Vsmt.Solver.Unsat | Vsmt.Solver.Unknown -> None)
+        match sliced with
+        | Some part when eng.opts.slice && Vsmt.Partition.clean part ->
+          let rec compose acc = function
+            | [] -> Some (List.sort (fun (a, _) (b, _) -> String.compare a b) acc)
+            | (cs, _) :: rest -> begin
+              match check cs with
+              | Vsmt.Solver.Sat m -> compose (m @ acc) rest
+              | Vsmt.Solver.Unsat | Vsmt.Solver.Unknown -> None
+            end
+          in
+          compose [] (Vsmt.Partition.slices part)
+        | _ -> begin
+          match check pc with
+          | Vsmt.Solver.Sat m -> Some m
+          | Vsmt.Solver.Unsat | Vsmt.Solver.Unknown -> None
+        end)
 
 (* ------------------------------------------------------------------ *)
 (* Symbolic evaluation of IR expressions.                              *)
@@ -362,7 +412,7 @@ let concretize eng (st : S.t) ~add_constraint e =
   | Some v -> v, st
   | None -> begin
     let vars = E.vars e in
-    match model_of eng (st.S.pc @ [ E.tru ]) with
+    match model_of ~sliced:st.S.pc_part eng (st.S.pc @ [ E.tru ]) with
     | None ->
       (* path condition infeasible or unknown: fall back to domain minima *)
       let m = Vsmt.Solver.complete ~vars [] in
@@ -392,7 +442,7 @@ let concretize eng (st : S.t) ~add_constraint e =
             @ List.map (fun ((vr : E.var), x) -> E.binop E.Eq (E.of_var vr) (E.const x)) pinned)
         else st.S.pc
       in
-      v, { st with S.store; pc }
+      v, S.with_pc { st with S.store } pc
   end
 
 (* ------------------------------------------------------------------ *)
@@ -506,14 +556,29 @@ let exec_branch eng (st : S.t) cond ~on_true ~on_false =
   | None -> begin
     let pc_true = Vsmt.Simplify.simplify_conj (st.S.pc @ [ c ]) in
     let pc_false = Vsmt.Simplify.simplify_conj (st.S.pc @ [ E.not_ c ]) in
+    (* both sides share the branch condition's footprint ([not_ c] reads the
+       same symbols), and it covers every conjunct simplification can derive
+       from [c], so it bounds the slices either side's verdict depends on *)
+    let fp = Vsmt.Footprint.of_expr c in
+    let part_true = Vsmt.Partition.extend st.S.pc_part pc_true in
+    let part_false = Vsmt.Partition.extend st.S.pc_part pc_false in
     let can_fork = ids_created eng < eng.opts.budget.B.max_states in
-    let t_ok = is_feasible eng pc_true in
-    let f_ok = is_feasible eng pc_false in
+    let t_ok = is_feasible ~sliced:(part_true, fp) eng pc_true in
+    let f_ok = is_feasible ~sliced:(part_false, fp) eng pc_false in
     match t_ok, f_ok with
     | true, false ->
-      One (on_true { st with S.pc = pc_true; branch_trail = c :: st.S.branch_trail })
+      One
+        (on_true
+           { st with S.pc = pc_true; pc_part = part_true; branch_trail = c :: st.S.branch_trail })
     | false, true ->
-      One (on_false { st with S.pc = pc_false; branch_trail = E.not_ c :: st.S.branch_trail })
+      One
+        (on_false
+           {
+             st with
+             S.pc = pc_false;
+             pc_part = part_false;
+             branch_trail = E.not_ c :: st.S.branch_trail;
+           })
     | false, false -> kill st "infeasible path condition"
     | true, true ->
       if can_fork then begin
@@ -526,6 +591,7 @@ let exec_branch eng (st : S.t) cond ~on_true ~on_false =
             parent = Some st.S.id;
             path = st.S.path ^ "t";
             pc = pc_true;
+            pc_part = part_true;
             branch_trail = c :: st.S.branch_trail;
           }
         in
@@ -536,6 +602,7 @@ let exec_branch eng (st : S.t) cond ~on_true ~on_false =
             parent = Some st.S.id;
             path = st.S.path ^ "f";
             pc = pc_false;
+            pc_part = part_false;
             branch_trail = E.not_ c :: st.S.branch_trail;
           }
         in
@@ -544,7 +611,9 @@ let exec_branch eng (st : S.t) cond ~on_true ~on_false =
       else
         (* state cap reached: concretize the branch like a silent
            concretization and continue down one side *)
-        One (on_true { st with S.pc = pc_true; branch_trail = c :: st.S.branch_trail })
+        One
+          (on_true
+             { st with S.pc = pc_true; pc_part = part_true; branch_trail = c :: st.S.branch_trail })
   end
 
 let step eng (st : S.t) : step_result =
@@ -565,7 +634,9 @@ let step eng (st : S.t) : step_result =
         | Some _ -> One { st with S.work = rest }
         | None ->
           let pc_false = Vsmt.Simplify.simplify_conj (st.S.pc @ [ E.not_ c ]) in
-          if is_feasible eng pc_false then One { st with S.pc = pc_false; work = rest }
+          let part_false = Vsmt.Partition.extend st.S.pc_part pc_false in
+          if is_feasible ~sliced:(part_false, Vsmt.Footprint.of_expr c) eng pc_false then
+            One { st with S.pc = pc_false; pc_part = part_false; work = rest }
           else kill st "loop unroll limit"
       end
       else
@@ -1189,6 +1260,13 @@ let run ?resume opts program =
     sched =
       Vsched.Exploration_stats.finish ~deadline_hit ~jobs
         ~workers:(if parallel then per_worker else [])
+        ~memo_sizes:
+          [
+            "simplify_memo", Vsmt.Simplify.memo_size ();
+            "footprint_memo", Vsmt.Footprint.memo_size ();
+            "rendered_strings", Vsmt.Expr.rendered_count ();
+            "interned_exprs", Vsmt.Expr.interned_count ();
+          ]
         eng.recorder ~states_created:(ids_created eng) ~solver_queries:eng.n_solver_calls
         ~solver_solves ~cache:cache_stats ~wall_time_s;
   }

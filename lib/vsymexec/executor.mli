@@ -76,6 +76,17 @@ type options = {
       (** route every feasibility/model query through a per-run
           {!Vsched.Solver_cache}; cache statistics surface in
           {!result.sched} *)
+  slice : bool;
+      (** independence slicing (KLEE lineage): feasibility queries send only
+          the symbol-disjoint slices of the path condition that overlap the
+          branch condition's footprint, and model queries solve each slice
+          independently and compose the per-slice models in name order.
+          Sound (untouched slices are inherited from the feasible parent;
+          slices share no symbols) and deterministic (the solver's
+          name-ordered search makes a slice's model the projection of the
+          full query's, so impact models are byte-identical with slicing on
+          or off while every query shrinks — the [--no-slice] escape hatch
+          exists for A/B measurement, not correctness).  Default [true]. *)
   noise : noise option;
   enable_tracer : bool;
       (** false = "vanilla S²E": no signals are captured at all (Table 7) *)

@@ -32,6 +32,10 @@ type t = {
   work : kont list;
   store : Sym_store.t;
   pc : Vsmt.Expr.t list;  (** path constraints, conjunction *)
+  pc_part : Vsmt.Partition.t;
+      (** symbol-disjoint partition of [pc], maintained incrementally by
+          {!with_pc} (persistent — forks share the common prefix's
+          structure).  The executor slices solver queries with it. *)
   branch_trail : Vsmt.Expr.t list;
       (** every branch condition taken in order, including non-forking ones —
           richer than [pc] for similarity analysis *)
@@ -48,6 +52,12 @@ type t = {
 
 val initial :
   id:int -> store:Sym_store.t -> work:kont list -> fuel:int -> tracing:bool -> t
+
+val with_pc : t -> Vsmt.Expr.t list -> t
+(** Replace the path condition, updating [pc_part] incrementally (cheap
+    when the new list extends the old one, which is how the executor
+    grows path conditions).  Every [pc] write must go through here so
+    the partition never drifts from the constraints. *)
 
 val config_constraints : t -> Vsmt.Expr.t list
 (** Path constraints that mention at least one configuration variable. *)

@@ -22,6 +22,7 @@ let () =
          OCaml 5 forbids once any domain has been spawned *)
       ("vresilience", Test_vresilience.tests);
       ("vpar", Test_vpar.tests);
+      ("vslice", Test_vslice.tests);
       ("endtoend", Test_endtoend.tests);
       ("smoke", Test_smoke.tests);
     ]

@@ -237,7 +237,10 @@ let test_cache_merge_serves_shard_entries () =
 
 let mysql_analysis =
   let run (policy, solver_cache) =
-    let opts = { Violet.Pipeline.default_options with policy; solver_cache } in
+    (* jobs pinned to 1: the guided-vs-bfs comparison below measures
+       *completion step* ordering, which parallel workers legitimately
+       scramble (a VIOLET_JOBS=4 environment would make it flaky) *)
+    let opts = { Violet.Pipeline.default_options with policy; solver_cache; jobs = 1 } in
     Violet.Pipeline.analyze_exn ~opts Targets.Mysql_model.target "autocommit"
   in
   let memo = Hashtbl.create 4 in
