@@ -1,0 +1,212 @@
+(* The serving layer under load (DESIGN.md Section 5g): an in-process daemon
+   on a Unix socket, concurrent client domains, three phases:
+
+   - batching A/B: the same concurrent load with request batching on and
+     off.  Identical requests coalesce inside a batch, so the batched p99
+     must not exceed the unbatched p99 — recorded as "batch_p99_ok":true,
+     the nightly CI gate;
+   - saturation: a tiny admission queue under many clients; the shed counter
+     must be non-zero ("shed_nonzero":true, also gated);
+   - overload degradation: a microscopic per-request deadline, so queue wait
+     pushes every request past the shed pressure and the daemon answers with
+     the conservative widening instead of erroring.
+
+   Results go to BENCH_serve.json. *)
+
+module M = Vmodel.Impact_model
+module P = Vserve.Protocol
+module Server = Vserve.Server
+module Client = Vserve.Client
+module Reg = Vserve.Registry
+
+let or_die = function
+  | Ok v -> v
+  | Error e ->
+    Fmt.epr "bench serve: %s@." e;
+    exit 1
+
+let mk_tmpdir () =
+  let path = Filename.temp_file "vserve_bench" "" in
+  Sys.remove path;
+  Unix.mkdir path 0o700;
+  path
+
+let percentile xs q =
+  match xs with
+  | [] -> 0.
+  | _ ->
+    let a = Array.of_list xs in
+    Array.sort Float.compare a;
+    let n = Array.length a in
+    let idx = int_of_float (Float.ceil (q *. float_of_int n) -. 1.) in
+    a.(max 0 (min (n - 1) idx))
+
+type phase = {
+  ph_label : string;
+  ph_requests : int;  (** responses received (reports + sheds) *)
+  ph_reports : int;
+  ph_shed : int;  (** [overloaded] responses *)
+  ph_degraded : int;  (** reports served degraded-only *)
+  ph_wall_s : float;
+  ph_req_per_s : float;
+  ph_p50_us : float;
+  ph_p99_us : float;
+  ph_batches : int;  (** from server stats *)
+  ph_coalesced : int;
+}
+
+let resolve_registry (m : M.t) =
+  Option.map
+    (fun t -> t.Violet.Pipeline.registry)
+    (Targets.Cases.find_target m.M.system)
+
+let rec await_model c =
+  match or_die (Client.call c P.Health) with
+  | P.Health_info { models = _ :: _; _ } -> ()
+  | _ ->
+    Unix.sleepf 0.02;
+    await_model c
+
+let stat_int w name =
+  match Option.bind (Vserve.Wire.member name w) Vserve.Wire.to_int with
+  | Some n -> n
+  | None -> 0
+
+let drive ~label ~models_dir ~batching ~max_queue ~deadline ~clients ~per_client =
+  let sock = Filename.temp_file "vserve_bench" ".sock" in
+  Sys.remove sock;
+  let opts =
+    {
+      (Server.default_options ~addr:(`Unix sock) ~models_dir) with
+      Server.resolve_registry;
+      batching;
+      max_queue;
+      request_deadline_s = deadline;
+      refresh_every_s = 0.05;
+      jobs = 2;
+    }
+  in
+  let srv = Domain.spawn (fun () -> Server.run opts) in
+  let control = or_die (Client.connect_retry (`Unix sock)) in
+  await_model control;
+  let req = P.Check_current { key = "mysql-autocommit"; config = "" } in
+  let t0 = Unix.gettimeofday () in
+  let workers =
+    List.init clients (fun _ ->
+        Domain.spawn (fun () ->
+            let c = or_die (Client.connect (`Unix sock)) in
+            let lat = ref [] and reports = ref 0 and shed = ref 0 and degraded = ref 0 in
+            for _ = 1 to per_client do
+              let t = Unix.gettimeofday () in
+              match Client.call c req with
+              | Ok (P.Report o) ->
+                incr reports;
+                if o.P.degraded then incr degraded;
+                lat := (Unix.gettimeofday () -. t) *. 1e6 :: !lat
+              | Ok (P.Error_resp { code = P.Overloaded; _ }) -> incr shed
+              | Ok _ | Error _ -> ()
+            done;
+            Client.close c;
+            (!lat, !reports, !shed, !degraded)))
+  in
+  let results = List.map Domain.join workers in
+  let wall = Unix.gettimeofday () -. t0 in
+  let lats = List.concat_map (fun (l, _, _, _) -> l) results in
+  let sum f = List.fold_left (fun acc r -> acc + f r) 0 results in
+  let reports = sum (fun (_, r, _, _) -> r) in
+  let shed = sum (fun (_, _, s, _) -> s) in
+  let degraded = sum (fun (_, _, _, d) -> d) in
+  let batches, coalesced =
+    match or_die (Client.call control P.Stats) with
+    | P.Stats_info w -> (stat_int w "batches", stat_int w "coalesced")
+    | _ -> (0, 0)
+  in
+  ignore (Client.call control P.Shutdown);
+  Client.close control;
+  (match Domain.join srv with
+  | Ok () -> ()
+  | Error e -> Fmt.epr "bench serve: server exited with %s@." e);
+  let answered = reports + shed in
+  {
+    ph_label = label;
+    ph_requests = answered;
+    ph_reports = reports;
+    ph_shed = shed;
+    ph_degraded = degraded;
+    ph_wall_s = wall;
+    ph_req_per_s = (if wall > 0. then float_of_int answered /. wall else 0.);
+    ph_p50_us = percentile lats 0.50;
+    ph_p99_us = percentile lats 0.99;
+    ph_batches = batches;
+    ph_coalesced = coalesced;
+  }
+
+let phase_json p =
+  Printf.sprintf
+    "{\"requests\":%d,\"reports\":%d,\"shed\":%d,\"degraded\":%d,\"wall_s\":%.4f,\"req_per_s\":%.1f,\"p50_us\":%.1f,\"p99_us\":%.1f,\"batches\":%d,\"coalesced\":%d,\"shed_rate\":%.4f}"
+    p.ph_requests p.ph_reports p.ph_shed p.ph_degraded p.ph_wall_s p.ph_req_per_s
+    p.ph_p50_us p.ph_p99_us p.ph_batches p.ph_coalesced
+    (if p.ph_requests = 0 then 0.
+     else float_of_int p.ph_shed /. float_of_int p.ph_requests)
+
+let run () =
+  Util.section "Serving: batching A/B, admission control, overload degradation";
+  let models_dir = mk_tmpdir () in
+  let target = Targets.Cases.target_of "mysql" in
+  let model = (Violet.Pipeline.analyze_exn target "autocommit").Violet.Pipeline.model in
+  or_die
+    (Violet.Pipeline.export_model model
+       (Reg.model_file ~dir:models_dir ~key:"mysql-autocommit"));
+  let batched =
+    drive ~label:"batched" ~models_dir ~batching:true ~max_queue:64 ~deadline:None
+      ~clients:4 ~per_client:25
+  in
+  let unbatched =
+    drive ~label:"unbatched" ~models_dir ~batching:false ~max_queue:64 ~deadline:None
+      ~clients:4 ~per_client:25
+  in
+  let saturated =
+    drive ~label:"saturated" ~models_dir ~batching:true ~max_queue:2 ~deadline:None
+      ~clients:8 ~per_client:30
+  in
+  let degraded =
+    drive ~label:"deadline" ~models_dir ~batching:true ~max_queue:64
+      ~deadline:(Some 1e-6) ~clients:2 ~per_client:10
+  in
+  let phases = [ batched; unbatched; saturated; degraded ] in
+  Util.print_table
+    ~header:
+      [ "phase"; "requests"; "req/s"; "p50 us"; "p99 us"; "shed"; "degraded"; "coalesced" ]
+    (List.map
+       (fun p ->
+         [
+           p.ph_label;
+           Util.i0 p.ph_requests;
+           Util.f1 p.ph_req_per_s;
+           Util.f1 p.ph_p50_us;
+           Util.f1 p.ph_p99_us;
+           Util.i0 p.ph_shed;
+           Util.i0 p.ph_degraded;
+           Util.i0 p.ph_coalesced;
+         ])
+       phases);
+  let batch_p99_ok = batched.ph_p99_us <= unbatched.ph_p99_us in
+  let shed_nonzero = saturated.ph_shed > 0 in
+  let degraded_served = degraded.ph_degraded > 0 in
+  if not batch_p99_ok then
+    Util.note "WARNING: batched p99 exceeded unbatched p99";
+  if not shed_nonzero then
+    Util.note "WARNING: saturation shed no load — admission control untested";
+  if not degraded_served then
+    Util.note "WARNING: deadline pressure produced no degraded answers";
+  let json =
+    Printf.sprintf
+      "{\"experiment\":\"serve\",\"batch_p99_ok\":%b,\"shed_nonzero\":%b,\"degraded_served\":%b,\"batched\":%s,\"unbatched\":%s,\"saturated\":%s,\"deadline\":%s}"
+      batch_p99_ok shed_nonzero degraded_served (phase_json batched)
+      (phase_json unbatched) (phase_json saturated) (phase_json degraded)
+  in
+  let oc = open_out "BENCH_serve.json" in
+  output_string oc json;
+  output_char oc '\n';
+  close_out oc;
+  Util.note "wrote BENCH_serve.json"

@@ -28,6 +28,7 @@ let experiments =
     "resilience", ("Checkpoint overhead + degradation fidelity", Exp_resilience.run);
     "par", ("Parallel exploration: speedup + determinism", Exp_par.run);
     "slice", ("Independence slicing: solver work + model identity", Exp_slice.run);
+    "serve", ("Serving: batching A/B + admission control", Exp_serve.run);
   ]
 
 (* strip [--stats-out FILE] before dispatching on experiment names *)

@@ -6,10 +6,14 @@
      violet analyze <system> <param>        run the pipeline, print the report
      violet check <system> <param> <file>   checker mode 2 on a config file
      violet check-update <system> <param> <old> <new>   checker mode 1
+     violet serve --models <dir>            continuous-checking daemon
+     violet client <verb> ...               talk to a running daemon
 
    Systems are the bundled target models: mysql, postgres, apache, squid.
    Models can be saved with --save and reused by the checker with --model,
-   the deployment the paper describes (analyze once, check continuously). *)
+   the deployment the paper describes (analyze once, check continuously) —
+   or exported with --export into a model-registry directory served by the
+   vserve daemon. *)
 
 open Cmdliner
 
@@ -73,7 +77,7 @@ let related system param =
   Fmt.pr "related:    [%s]@." (String.concat ", " r.Vanalysis.Related_config.related);
   0
 
-let analyze system param save max_states threshold no_related searcher solver_cache
+let analyze system param save export max_states threshold no_related searcher solver_cache
     no_slice deadline checkpoint resume chaos jobs =
   let target = or_die (target_of_system system) in
   let chaos =
@@ -120,6 +124,11 @@ let analyze system param save max_states threshold no_related searcher solver_ca
     | Some path ->
       Vmodel.Impact_model.save a.Violet.Pipeline.model path;
       Fmt.pr "impact model saved to %s@." path
+    | None -> ());
+    (match export with
+    | Some path ->
+      or_die (Violet.Pipeline.export_model a.Violet.Pipeline.model path);
+      Fmt.pr "impact model exported to %s (registry format)@." path
     | None -> ());
     0
 
@@ -222,6 +231,130 @@ let analyze_trace path threshold =
   0
 
 (* ------------------------------------------------------------------ *)
+(* The continuous-checking service: a daemon serving the model registry,
+   and a thin client speaking the newline-delimited JSON protocol. *)
+
+let serve addr models max_queue max_batch no_batch request_deadline shed_pressure jobs
+    refresh no_shutdown =
+  let addr = or_die (Vserve.Client.addr_of_string addr) in
+  let resolve_registry (m : Vmodel.Impact_model.t) =
+    Option.map
+      (fun t -> t.Violet.Pipeline.registry)
+      (Targets.Cases.find_target m.Vmodel.Impact_model.system)
+  in
+  let opts =
+    {
+      (Vserve.Server.default_options ~addr ~models_dir:models) with
+      Vserve.Server.resolve_registry;
+      max_queue;
+      max_batch;
+      batching = not no_batch;
+      request_deadline_s = request_deadline;
+      shed_pressure;
+      jobs = (match jobs with Some j -> j | None -> Vpar.Pool.default_jobs ());
+      refresh_every_s = refresh;
+      allow_shutdown = not no_shutdown;
+    }
+  in
+  Fmt.pr "violet serve: listening on %s, models from %s@."
+    (Vserve.Client.addr_to_string addr)
+    models;
+  or_die (Vserve.Server.run opts);
+  0
+
+let with_client addr f =
+  let addr = or_die (Vserve.Client.addr_of_string addr) in
+  (* retry briefly: "start the daemon, then the client" scripts race the bind *)
+  let c = or_die (Vserve.Client.connect_retry ~attempts:20 ~delay_s:0.1 addr) in
+  Fun.protect ~finally:(fun () -> Vserve.Client.close c) (fun () -> f c)
+
+(* Mirrors the in-process [check]/[check-update] convention: exit 0 when
+   clean, 2 when the daemon reported findings, 1 on errors. *)
+let print_response (resp : Vserve.Protocol.response) =
+  match resp with
+  | Vserve.Protocol.Report o ->
+    let report =
+      {
+        Vchecker.Checker.findings = o.Vserve.Protocol.findings;
+        checked_in_s = o.Vserve.Protocol.checked_in_s;
+      }
+    in
+    Fmt.pr "%a" Vchecker.Checker.pp_report report;
+    Fmt.pr "served by model generation %d%s%s%s@." o.Vserve.Protocol.generation
+      (if o.Vserve.Protocol.batched then ", batched" else "")
+      (if o.Vserve.Protocol.coalesced then ", coalesced" else "")
+      (if o.Vserve.Protocol.degraded then ", DEGRADED (overload shed)" else "");
+    if o.Vserve.Protocol.findings = [] then 0 else 2
+  | Vserve.Protocol.Health_info { status; models } ->
+    Fmt.pr "status: %s@." status;
+    List.iter
+      (fun (m : Vserve.Protocol.model_info) ->
+        Fmt.pr "  %s  generation %d  digest %s@." m.Vserve.Protocol.mi_key
+          m.Vserve.Protocol.mi_generation m.Vserve.Protocol.mi_digest)
+      models;
+    0
+  | Vserve.Protocol.Stats_info w ->
+    Fmt.pr "%s@." (Vserve.Wire.to_string w);
+    0
+  | Vserve.Protocol.Error_resp { code; message } ->
+    Fmt.epr "violet: daemon error (%s): %s@."
+      (Vserve.Protocol.error_code_to_string code)
+      message;
+    1
+  | Vserve.Protocol.Bye ->
+    Fmt.pr "daemon shutting down@.";
+    0
+
+let client_call addr req = with_client addr (fun c -> print_response (or_die (Vserve.Client.call c req)))
+
+let read_file path =
+  try
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with Sys_error msg -> or_die (Error msg)
+
+(* "reads=80,writes=20" — the workload-class assignments mode 3b compares *)
+let parse_workload spec =
+  List.map
+    (fun kv ->
+      match String.index_opt kv '=' with
+      | Some i -> begin
+        let k = String.sub kv 0 i in
+        let v = String.sub kv (i + 1) (String.length kv - i - 1) in
+        match int_of_string_opt v with
+        | Some n -> (k, n)
+        | None -> or_die (Error (Printf.sprintf "workload %s: %s is not an integer" kv v))
+      end
+      | None -> or_die (Error (Printf.sprintf "workload entry %s is not KEY=INT" kv)))
+    (String.split_on_char ',' spec)
+
+let client_check_current addr key config =
+  client_call addr
+    (Vserve.Protocol.Check_current { key; config = read_file config })
+
+let client_check_update addr key old_config new_config =
+  client_call addr
+    (Vserve.Protocol.Check_update
+       { key; old_config = read_file old_config; new_config = read_file new_config })
+
+let client_check_upgrade addr key old_workload new_workload =
+  let workloads =
+    match old_workload, new_workload with
+    | None, None -> None
+    | Some o, Some n -> Some (parse_workload o, parse_workload n)
+    | _ ->
+      or_die
+        (Error "check-upgrade needs both --old-workload and --new-workload, or neither")
+  in
+  client_call addr (Vserve.Protocol.Check_upgrade { key; workloads })
+
+let client_health addr = client_call addr Vserve.Protocol.Health
+let client_stats addr = client_call addr Vserve.Protocol.Stats
+let client_shutdown addr = client_call addr Vserve.Protocol.Shutdown
+
+(* ------------------------------------------------------------------ *)
 
 let list_params_cmd =
   Cmd.v
@@ -239,6 +372,16 @@ let analyze_cmd =
       value
       & opt (some string) None
       & info [ "save" ] ~docv:"FILE" ~doc:"Save the impact model for later checking.")
+  in
+  let export =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "export" ] ~docv:"FILE"
+          ~doc:
+            "Export the impact model in the vserve registry format (versioned, \
+             checksummed envelope).  Name it $(i,KEY).vmodel inside the daemon's \
+             $(b,--models) directory and the daemon hot-loads it.")
   in
   let max_states =
     Arg.(value & opt int 4096 & info [ "max-states" ] ~doc:"State exploration cap.")
@@ -340,8 +483,9 @@ let analyze_cmd =
   Cmd.v
     (Cmd.info "analyze" ~doc:"Symbolically analyze a parameter's performance impact")
     Term.(
-      const analyze $ system_arg $ param_arg 1 $ save $ max_states $ threshold $ no_related
-      $ searcher $ solver_cache $ no_slice $ deadline $ checkpoint $ resume $ chaos $ jobs)
+      const analyze $ system_arg $ param_arg 1 $ save $ export $ max_states $ threshold
+      $ no_related $ searcher $ solver_cache $ no_slice $ deadline $ checkpoint $ resume
+      $ chaos $ jobs)
 
 let model_opt =
   Arg.(
@@ -397,13 +541,167 @@ let analyze_trace_cmd =
        ~doc:"Run the standalone trace analyzer on a stored execution trace")
     Term.(const analyze_trace $ path $ threshold)
 
+let addr_opt =
+  Arg.(
+    value
+    & opt string "unix:/tmp/violet.sock"
+    & info [ "addr"; "a" ] ~docv:"ADDR"
+        ~doc:
+          "Daemon address: $(b,unix:)$(i,PATH), $(b,tcp:)$(i,HOST):$(i,PORT), or a \
+           bare Unix-socket path.")
+
+let serve_cmd =
+  let models =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "models" ] ~docv:"DIR"
+          ~doc:
+            "Model-registry directory: every $(i,KEY).vmodel file (written by \
+             $(b,violet analyze --export)) is loaded, checksummed and hot-reloaded \
+             on change.")
+  in
+  let max_queue =
+    Arg.(
+      value & opt int 64
+      & info [ "max-queue" ] ~docv:"N"
+          ~doc:
+            "Admission-control queue depth; beyond it requests are answered \
+             $(b,overloaded) immediately (load shedding).")
+  in
+  let max_batch =
+    Arg.(
+      value & opt int 16
+      & info [ "max-batch" ] ~docv:"N" ~doc:"Requests executed per batch.")
+  in
+  let no_batch =
+    Arg.(
+      value & flag
+      & info [ "no-batch" ]
+          ~doc:
+            "Execute requests one at a time instead of batching and coalescing — \
+             the A/B hatch the serve bench measures against.")
+  in
+  let request_deadline =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "request-deadline" ] ~docv:"SECONDS"
+          ~doc:
+            "Per-request budget, armed at admission.  A request whose queue wait \
+             pushed the budget past the shed pressure is served the conservative \
+             degraded-region answer instead of the full check.")
+  in
+  let shed_pressure =
+    Arg.(
+      value & opt float 0.9
+      & info [ "shed-pressure" ] ~docv:"FRACTION"
+          ~doc:"Budget pressure beyond which a queued request is served degraded.")
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:"Worker domains executing batches.  Defaults to $(b,VIOLET_JOBS) or 1.")
+  in
+  let refresh =
+    Arg.(
+      value & opt float 0.5
+      & info [ "refresh" ] ~docv:"SECONDS" ~doc:"Model-directory poll period.")
+  in
+  let no_shutdown =
+    Arg.(
+      value & flag
+      & info [ "no-shutdown" ] ~doc:"Refuse the remote $(b,shutdown) verb.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the continuous configuration-checking daemon (model registry, request \
+          batching, admission control)")
+    Term.(
+      const serve $ addr_opt $ models $ max_queue $ max_batch $ no_batch
+      $ request_deadline $ shed_pressure $ jobs $ refresh $ no_shutdown)
+
+let client_cmd =
+  let key_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"KEY" ~doc:"Model key (the $(i,KEY).vmodel name in the registry).")
+  in
+  let check_current_cmd =
+    let config =
+      Arg.(
+        required & pos 1 (some string) None & info [] ~docv:"CONFIG" ~doc:"Config file.")
+    in
+    Cmd.v
+      (Cmd.info "check-current" ~doc:"Checker mode 2 against the daemon's model")
+      Term.(const client_check_current $ addr_opt $ key_arg $ config)
+  in
+  let check_update_cmd =
+    let old_file =
+      Arg.(required & pos 1 (some string) None & info [] ~docv:"OLD" ~doc:"Old config file.")
+    in
+    let new_file =
+      Arg.(required & pos 2 (some string) None & info [] ~docv:"NEW" ~doc:"New config file.")
+    in
+    Cmd.v
+      (Cmd.info "check-update" ~doc:"Checker mode 1 against the daemon's model")
+      Term.(const client_check_update $ addr_opt $ key_arg $ old_file $ new_file)
+  in
+  let check_upgrade_cmd =
+    let old_workload =
+      Arg.(
+        value
+        & opt (some string) None
+        & info [ "old-workload" ] ~docv:"K=V,.."
+            ~doc:"Previous workload class (selects mode 3b together with \
+                  $(b,--new-workload); without both, mode 3a compares the \
+                  registry's previous model generation).")
+    in
+    let new_workload =
+      Arg.(
+        value
+        & opt (some string) None
+        & info [ "new-workload" ] ~docv:"K=V,.." ~doc:"Shifted workload class.")
+    in
+    Cmd.v
+      (Cmd.info "check-upgrade"
+         ~doc:"Checker mode 3: model-generation upgrade (3a) or workload shift (3b)")
+      Term.(const client_check_upgrade $ addr_opt $ key_arg $ old_workload $ new_workload)
+  in
+  let health_cmd =
+    Cmd.v
+      (Cmd.info "health" ~doc:"Daemon status and loaded model generations")
+      Term.(const client_health $ addr_opt)
+  in
+  let stats_cmd =
+    Cmd.v
+      (Cmd.info "stats" ~doc:"Serving telemetry as JSON (latency histogram, shed and \
+                              batch counters)")
+      Term.(const client_stats $ addr_opt)
+  in
+  let shutdown_cmd =
+    Cmd.v
+      (Cmd.info "shutdown" ~doc:"Ask the daemon to drain and exit")
+      Term.(const client_shutdown $ addr_opt)
+  in
+  Cmd.group
+    (Cmd.info "client" ~doc:"Talk to a running violet daemon")
+    [
+      check_current_cmd; check_update_cmd; check_upgrade_cmd; health_cmd; stats_cmd;
+      shutdown_cmd;
+    ]
+
 let main_cmd =
   Cmd.group
     (Cmd.info "violet" ~version:"1.0.0"
        ~doc:"Automated reasoning and detection of specious configuration")
     [
       list_params_cmd; related_cmd; analyze_cmd; check_cmd; check_update_cmd;
-      coverage_cmd; dump_trace_cmd; analyze_trace_cmd;
+      coverage_cmd; dump_trace_cmd; analyze_trace_cmd; serve_cmd; client_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -329,6 +329,25 @@ let analyze ?(opts = default_options) target param =
     end
   end
 
+(* Registry-format model export: the impact model's sexp rendering inside
+   the vresilience checkpoint envelope, so the serving layer's model
+   registry gets the same version/kind/digest verification — and the same
+   atomic-rename crash safety — checkpoints have. *)
+let model_kind = "impact-model"
+let model_version = 1
+
+let export_model model path =
+  Result.map_error Vresilience.Checkpoint.error_to_string
+    (Vresilience.Checkpoint.write ~path ~kind:model_kind ~version:model_version
+       (Vmodel.Impact_model.to_string model))
+
+let import_model path =
+  match
+    Vresilience.Checkpoint.read ~path ~kind:model_kind ~version:model_version
+  with
+  | Ok payload -> Vmodel.Impact_model.of_string payload
+  | Error e -> Error (Vresilience.Checkpoint.error_to_string e)
+
 let analyze_exn ?opts target param =
   match analyze ?opts target param with
   | Ok a -> a

@@ -136,3 +136,22 @@ val analyze : ?opts:options -> target -> string -> (analysis, error) result
 
 val analyze_exn : ?opts:options -> target -> string -> analysis
 (** Raises {!Pipeline_error}. *)
+
+(** {1 Registry-format model files}
+
+    The serving layer ({!Vserve.Registry}) loads impact models from files in
+    the {!Vresilience.Checkpoint} envelope (versioned, checksummed, written
+    with atomic rename): a corrupt or half-written model file is rejected
+    before {!Vmodel.Impact_model.of_string} ever sees it. *)
+
+val model_kind : string
+(** The envelope [kind] of a registry-format model file (["impact-model"]). *)
+
+val model_version : int
+
+val export_model : Vmodel.Impact_model.t -> string -> (unit, string) result
+(** Write a model in registry format (atomically — a crash mid-write leaves
+    any previous file intact). *)
+
+val import_model : string -> (Vmodel.Impact_model.t, string) result
+(** Read and verify a registry-format model file. *)

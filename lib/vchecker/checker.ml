@@ -278,7 +278,11 @@ let check_workload_change ~model ~old_workload ~new_workload =
                      model.M.target)
                 slow fast)
             (comparison_order slow old_rows))
-        new_rows)
+        new_rows
+      (* a degraded model has configuration regions with unknown cost; the
+         shifted workload may land in one, so the conservative widening
+         applies to this mode exactly as it does to modes 1 and 2 *)
+      @ degraded_findings model)
 
 let pp_finding ppf f =
   Fmt.pf ppf "[%s] %s@.  state: %s@.  ratio: %.1fx (%s)@." f.param f.message

@@ -33,9 +33,10 @@ type report = { findings : finding list; checked_in_s : float }
 val degraded_findings : Vmodel.Impact_model.t -> finding list
 (** Conservative findings for a model built under budget degradation: one
     per dropped path (its configuration region has unknown cost, [fast_row =
-    None], [trigger = "degraded"]).  Included by {!check_current} and
-    {!check_update} automatically, so degradation can only {e widen} the
-    reported specious set, never shrink it. *)
+    None], [trigger = "degraded"]).  Included by {!check_current},
+    {!check_update} and {!check_workload_change} automatically, so
+    degradation can only {e widen} the reported specious set, never shrink
+    it. *)
 
 val check_update :
   model:Vmodel.Impact_model.t ->
@@ -64,6 +65,8 @@ val check_workload_change :
   new_workload:(string * int) list ->
   report
 (** Mode 3b: rows whose input predicate the new workload satisfies compared
-    against the rows the old workload satisfied. *)
+    against the rows the old workload satisfied.  On a degraded model the
+    conservative {!degraded_findings} are appended: the shifted workload may
+    land in an unknown-cost region, so the widening applies here too. *)
 
 val pp_report : report Fmt.t

@@ -35,6 +35,7 @@ let pressure a =
   | Some d when d <= 0. -> 1.
   | Some d -> Float.min 1. (Float.max 0. (elapsed_s a /. d))
 
+let rearm a = arm a.spec
 let unlimited () = arm default
 
 let ticking_clock ?(start = 0.) ~step_s () =

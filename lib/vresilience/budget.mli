@@ -61,6 +61,12 @@ val pressure : armed -> float
 (** Fraction of the deadline consumed, clamped to [0..1]; [0.] without a
     deadline.  The degradation ladder's input. *)
 
+val rearm : armed -> armed
+(** A fresh armed budget with the same spec — the clock restarts now.  The
+    serving layer holds one per-request budget specification and re-arms it
+    for every admitted request instead of rebuilding the spec each time, so
+    all requests share one deadline/cap policy (and one injectable clock). *)
+
 val unlimited : unit -> armed
 (** An armed default budget with no deadline — never expires. *)
 

@@ -287,6 +287,93 @@ let save ~path ts =
         ts;
       output_string oc "\n]\n")
 
+(* ------------------------------------------------------------------ *)
+(* Serving telemetry (vserve)                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* power-of-two microsecond buckets: bucket i counts latencies <= 2^i us;
+   27 buckets reach ~67 s, the last bucket is the overflow *)
+let latency_buckets = 28
+
+type latency_hist = {
+  counts : int array;
+  mutable observations : int;
+  mutable sum_us : float;
+  mutable max_us : float;
+}
+
+let latency_hist () =
+  { counts = Array.make latency_buckets 0; observations = 0; sum_us = 0.; max_us = 0. }
+
+let latency_bucket us =
+  let rec go i = if i >= latency_buckets - 1 || us <= float_of_int (1 lsl i) then i else go (i + 1) in
+  go 0
+
+let observe_latency h ~us =
+  let us = Float.max 0. us in
+  let b = latency_bucket us in
+  h.counts.(b) <- h.counts.(b) + 1;
+  h.observations <- h.observations + 1;
+  h.sum_us <- h.sum_us +. us;
+  h.max_us <- Float.max h.max_us us
+
+let latency_observations h = h.observations
+let latency_mean_us h = if h.observations = 0 then 0. else h.sum_us /. float_of_int h.observations
+
+let latency_percentile_us h q =
+  if h.observations = 0 then 0.
+  else begin
+    let rank = Float.max 1. (Float.round (q *. float_of_int h.observations)) in
+    let rec go i seen =
+      if i >= latency_buckets then h.max_us
+      else
+        let seen = seen + h.counts.(i) in
+        if float_of_int seen >= rank then
+          if i = latency_buckets - 1 then h.max_us else float_of_int (1 lsl i)
+        else go (i + 1) seen
+    in
+    go 0 0
+  end
+
+let latency_hist_to_json h =
+  Printf.sprintf
+    "{\"observations\":%d,\"mean_us\":%s,\"max_us\":%s,\"p50_us\":%s,\"p90_us\":%s,\"p99_us\":%s,\"bucket_counts\":%s}"
+    h.observations
+    (json_float (latency_mean_us h))
+    (json_float h.max_us)
+    (json_float (latency_percentile_us h 0.50))
+    (json_float (latency_percentile_us h 0.90))
+    (json_float (latency_percentile_us h 0.99))
+    (hist_to_json h.counts)
+
+type serve = {
+  requests : int;
+  by_verb : (string * int) list;
+  shed_queue_full : int;
+  shed_deadline : int;
+  batches : int;
+  batched_requests : int;
+  coalesced : int;
+  model_reloads : int;
+  model_load_failures : int;
+  models : (string * int) list;
+  latency : latency_hist;
+}
+
+let serve_to_json s =
+  let counts kvs =
+    "{"
+    ^ String.concat ","
+        (List.map (fun (k, n) -> Printf.sprintf "\"%s\":%d" (json_escape k) n) kvs)
+    ^ "}"
+  in
+  Printf.sprintf
+    "{\"requests\":%d,\"by_verb\":%s,\"shed_queue_full\":%d,\"shed_deadline\":%d,\"batches\":%d,\"batched_requests\":%d,\"coalesced\":%d,\"model_reloads\":%d,\"model_load_failures\":%d,\"models\":%s,\"latency\":%s}"
+    s.requests (counts s.by_verb) s.shed_queue_full s.shed_deadline s.batches
+    s.batched_requests s.coalesced s.model_reloads s.model_load_failures
+    (counts s.models)
+    (latency_hist_to_json s.latency)
+
 let pp ppf t =
   Fmt.pf ppf
     "searcher=%s states=%d (%d completed, %d dropped) forks=%d steps=%d fork_rate=%.4f solver=%d/%d%a%a%s%s"

@@ -147,3 +147,45 @@ val save : path:string -> t list -> unit
 (** Write a JSON array of stats records. *)
 
 val pp : t Fmt.t
+
+(** {1 Serving telemetry}
+
+    Counters for the continuous-checking service (vserve): per-request
+    latency histograms and shed/batch accounting, dumped into the same
+    hand-rolled JSON dialect as the exploration stats.  Kept here so every
+    telemetry surface of the system shares one home and one JSON style. *)
+
+type latency_hist
+(** Power-of-two-bucketed latency histogram (microseconds, 28 buckets up to
+    ~67 s; the last bucket is the overflow).  Mutable; not domain-safe —
+    observe from the serving loop only. *)
+
+val latency_hist : unit -> latency_hist
+val observe_latency : latency_hist -> us:float -> unit
+val latency_observations : latency_hist -> int
+val latency_mean_us : latency_hist -> float
+
+val latency_percentile_us : latency_hist -> float -> float
+(** [latency_percentile_us h q] for [q] in [0..1]: the upper bound of the
+    bucket holding the q-quantile observation (the recorded maximum for the
+    overflow bucket); [0.] with no observations. *)
+
+val latency_hist_to_json : latency_hist -> string
+
+type serve = {
+  requests : int;  (** requests answered (check + service verbs) *)
+  by_verb : (string * int) list;
+  shed_queue_full : int;  (** rejected at admission: queue depth exceeded *)
+  shed_deadline : int;
+      (** degraded at execution: queue wait consumed the request deadline,
+          so only the conservative widening ran *)
+  batches : int;  (** batch groups executed *)
+  batched_requests : int;  (** requests that shared a batch group *)
+  coalesced : int;  (** requests served from an identical batch-mate *)
+  model_reloads : int;
+  model_load_failures : int;
+  models : (string * int) list;  (** live model keys and their generations *)
+  latency : latency_hist;  (** enqueue-to-response, check requests only *)
+}
+
+val serve_to_json : serve -> string

@@ -1,0 +1,105 @@
+type t = {
+  fd : Unix.file_descr;
+  buf : Buffer.t;  (** bytes read past the last returned line *)
+  mutable next_id : int;
+}
+
+let addr_of_string s =
+  match String.index_opt s ':' with
+  | None -> Ok (`Unix s)
+  | Some _ -> begin
+    match String.split_on_char ':' s with
+    | "unix" :: rest -> Ok (`Unix (String.concat ":" rest))
+    | [ "tcp"; host; port ] -> begin
+      match int_of_string_opt port with
+      | Some p when p > 0 -> Ok (`Tcp (host, p))
+      | _ -> Error (Printf.sprintf "bad TCP port in %S" s)
+    end
+    | _ -> Error (Printf.sprintf "bad address %S (want unix:PATH or tcp:HOST:PORT)" s)
+  end
+
+let addr_to_string = function
+  | `Unix path -> "unix:" ^ path
+  | `Tcp (host, port) -> Printf.sprintf "tcp:%s:%d" host port
+
+let connect addr =
+  let sock_addr =
+    match addr with
+    | `Unix path -> Ok (Unix.PF_UNIX, Unix.ADDR_UNIX path)
+    | `Tcp (host, port) -> begin
+      match (Unix.gethostbyname host).Unix.h_addr_list.(0) with
+      | inet -> Ok (Unix.PF_INET, Unix.ADDR_INET (inet, port))
+      | exception Not_found -> Error (Printf.sprintf "unknown host %S" host)
+    end
+  in
+  match sock_addr with
+  | Error _ as e -> e
+  | Ok (pf, sa) -> begin
+    let fd = Unix.socket pf Unix.SOCK_STREAM 0 in
+    match Unix.connect fd sa with
+    | () -> Ok { fd; buf = Buffer.create 256; next_id = 1 }
+    | exception Unix.Unix_error (err, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Error (Printf.sprintf "connect %s: %s" (addr_to_string addr) (Unix.error_message err))
+  end
+
+let connect_retry ?(attempts = 50) ?(delay_s = 0.1) addr =
+  let rec go n =
+    match connect addr with
+    | Ok c -> Ok c
+    | Error _ when n > 1 ->
+      Unix.sleepf delay_s;
+      go (n - 1)
+    | Error _ as e -> e
+  in
+  go (max 1 attempts)
+
+let close c = try Unix.close c.fd with Unix.Unix_error _ -> ()
+
+let send_line c line =
+  let data = line ^ "\n" in
+  let len = String.length data in
+  let pos = ref 0 in
+  try
+    while !pos < len do
+      pos := !pos + Unix.write_substring c.fd data !pos (len - !pos)
+    done;
+    Ok ()
+  with Unix.Unix_error (err, _, _) -> Error ("write: " ^ Unix.error_message err)
+
+let rec recv_line c =
+  let data = Buffer.contents c.buf in
+  match String.index_opt data '\n' with
+  | Some i ->
+    let line = String.sub data 0 i in
+    Buffer.clear c.buf;
+    Buffer.add_string c.buf (String.sub data (i + 1) (String.length data - i - 1));
+    Ok line
+  | None -> begin
+    let chunk = Bytes.create 65536 in
+    match Unix.read c.fd chunk 0 (Bytes.length chunk) with
+    | 0 -> Error "connection closed by server"
+    | n ->
+      Buffer.add_subbytes c.buf chunk 0 n;
+      recv_line c
+    | exception Unix.Unix_error (err, _, _) -> Error ("read: " ^ Unix.error_message err)
+  end
+
+let call_raw c line =
+  match send_line c line with Error _ as e -> e | Ok () -> recv_line c
+
+let ( let* ) = Result.bind
+
+let call c req =
+  let id = c.next_id in
+  c.next_id <- id + 1;
+  let* () = send_line c (Protocol.encode_request ~id req) in
+  let rec await () =
+    let* line = recv_line c in
+    let* got_id, resp = Protocol.decode_response line in
+    match got_id with
+    | Some i when i = id -> Ok resp
+    | None -> Ok resp
+    | Some _ -> await ()  (* a stale response from an earlier abandoned call *)
+  in
+  await ()

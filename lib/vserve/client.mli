@@ -1,0 +1,30 @@
+(** Blocking client for the vserve daemon.
+
+    One connection, sequential request/response: {!call} assigns a request
+    id, writes the line, and reads lines until the response carrying that id
+    (or an id-less response, for servers answering without echo) arrives.
+    That is all the CLI, the tests and the bench drivers need; concurrency
+    comes from many connections, not from pipelining one. *)
+
+type t
+
+val addr_of_string : string -> (Server.addr, string) result
+(** ["unix:/path"], ["tcp:HOST:PORT"], or a bare path (taken as a
+    Unix-domain socket). *)
+
+val addr_to_string : Server.addr -> string
+
+val connect : Server.addr -> (t, string) result
+
+val connect_retry : ?attempts:int -> ?delay_s:float -> Server.addr -> (t, string) result
+(** Retry [connect] while the daemon is still binding (default 50 attempts,
+    0.1 s apart) — the smoke tests' start-up race absorber. *)
+
+val close : t -> unit
+
+val call : t -> Protocol.request -> (Protocol.response, string) result
+(** [Error] on I/O failure, EOF, or an undecodable response line. *)
+
+val call_raw : t -> string -> (string, string) result
+(** Send one raw line, return the next raw response line — the byte-level
+    hatch the wire tests use. *)

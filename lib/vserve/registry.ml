@@ -1,0 +1,135 @@
+type entry = {
+  key : string;
+  path : string;
+  generation : int;
+  digest : string;
+  model : Vmodel.Impact_model.t;
+  previous : Vmodel.Impact_model.t option;
+  mtime : float;
+  size : int;
+}
+
+type event =
+  | Loaded of { key : string; generation : int }
+  | Rejected of { key : string; reason : string }
+  | Removed of string
+
+let event_to_string = function
+  | Loaded { key; generation } -> Printf.sprintf "loaded %s (generation %d)" key generation
+  | Rejected { key; reason } -> Printf.sprintf "rejected %s: %s" key reason
+  | Removed key -> Printf.sprintf "removed %s" key
+
+type t = {
+  dir : string;
+  entries : (string, entry) Hashtbl.t;
+  mutable reloads : int;
+  mutable load_failures : int;
+}
+
+let extension = ".vmodel"
+
+let create ~dir = { dir; entries = Hashtbl.create 8; reloads = 0; load_failures = 0 }
+let dir t = t.dir
+let model_file ~dir ~key = Filename.concat dir (key ^ extension)
+
+let key_of_file name =
+  if Filename.check_suffix name extension then
+    Some (Filename.chop_suffix name extension)
+  else None
+
+(* Read the payload through the checkpoint envelope (verifying magic,
+   version, kind, length and digest) and only then parse the model — so the
+   md5 both gates the load and becomes the entry's identity. *)
+let load_model path =
+  match
+    Vresilience.Checkpoint.read ~path ~kind:Violet.Pipeline.model_kind
+      ~version:Violet.Pipeline.model_version
+  with
+  | Error e -> Error (Vresilience.Checkpoint.error_to_string e)
+  | Ok payload -> begin
+    match Vmodel.Impact_model.of_string payload with
+    | Ok model -> Ok (model, Digest.to_hex (Digest.string payload))
+    | Error msg -> Error msg
+  end
+
+let refresh ?(force = false) t =
+  let events = ref [] in
+  let seen = Hashtbl.create 8 in
+  let files = try Sys.readdir t.dir with Sys_error _ -> [||] in
+  Array.sort String.compare files;
+  Array.iter
+    (fun name ->
+      match key_of_file name with
+      | None -> ()
+      | Some key -> begin
+        let path = Filename.concat t.dir name in
+        match Unix.stat path with
+        | exception Unix.Unix_error _ -> ()
+        | st ->
+          Hashtbl.replace seen key ();
+          let old = Hashtbl.find_opt t.entries key in
+          let unchanged =
+            (not force)
+            && match old with
+               | Some e ->
+                 Float.equal e.mtime st.Unix.st_mtime && e.size = st.Unix.st_size
+               | None -> false
+          in
+          if not unchanged then begin
+            match load_model path with
+            | Error reason ->
+              (* keep serving the previous generation: the entry is only
+                 ever replaced by a fully verified load *)
+              t.load_failures <- t.load_failures + 1;
+              events := Rejected { key; reason } :: !events
+            | Ok (model, digest) ->
+              let same_bytes =
+                match old with Some e -> String.equal e.digest digest | None -> false
+              in
+              if not same_bytes then begin
+                let generation, previous =
+                  match old with
+                  | Some e -> (e.generation + 1, Some e.model)
+                  | None -> (1, None)
+                in
+                let entry =
+                  {
+                    key;
+                    path;
+                    generation;
+                    digest;
+                    model;
+                    previous;
+                    mtime = st.Unix.st_mtime;
+                    size = st.Unix.st_size;
+                  }
+                in
+                Hashtbl.replace t.entries key entry;
+                t.reloads <- t.reloads + 1;
+                events := Loaded { key; generation } :: !events
+              end
+              else
+                (* touched but byte-identical: refresh the stat cache only *)
+                Hashtbl.replace t.entries key
+                  (Option.get old |> fun e ->
+                   { e with mtime = st.Unix.st_mtime; size = st.Unix.st_size })
+          end
+      end)
+    files;
+  Hashtbl.iter
+    (fun key _ ->
+      if not (Hashtbl.mem seen key) then events := Removed key :: !events)
+    (Hashtbl.copy t.entries);
+  List.iter
+    (fun ev -> match ev with Removed key -> Hashtbl.remove t.entries key | _ -> ())
+    !events;
+  List.rev !events
+
+let find t key = Hashtbl.find_opt t.entries key
+
+let entries t =
+  Hashtbl.fold (fun _ e acc -> e :: acc) t.entries []
+  |> List.sort (fun a b -> String.compare a.key b.key)
+
+let reloads t = t.reloads
+let load_failures t = t.load_failures

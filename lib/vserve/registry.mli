@@ -1,0 +1,64 @@
+(** The serving model registry.
+
+    A registry watches one directory of registry-format model files
+    ([<key>.vmodel], the {!Violet.Pipeline.export_model} envelope) and keeps
+    the latest {e good} generation of each key in memory:
+
+    - every successful (re)load bumps the key's generation counter and
+      retains the previous model, so mode-3a upgrade checks can compare "the
+      model before the last hot reload" against the current one;
+    - a file whose envelope fails verification (checksum mismatch, truncated,
+      wrong version — e.g. a write that was killed half-way) is {e rejected}
+      and the previous generation keeps serving;
+    - swap is atomic per key: readers either see the old entry or the fully
+      loaded new one, never a half-state.
+
+    Reloading is poll-based: {!refresh} re-examines the directory and is
+    cheap when nothing changed (a stat per file).  The server calls it
+    between batches. *)
+
+type entry = {
+  key : string;
+  path : string;
+  generation : int;  (** 1 on first load, +1 per successful reload *)
+  digest : string;  (** md5 hex of the model payload *)
+  model : Vmodel.Impact_model.t;
+  previous : Vmodel.Impact_model.t option;
+      (** the generation this one replaced; [None] for generation 1 *)
+  mtime : float;
+  size : int;
+}
+
+type event =
+  | Loaded of { key : string; generation : int }
+  | Rejected of { key : string; reason : string }
+      (** verification or parse failure; the old generation (if any) is
+          still live *)
+  | Removed of string  (** the file disappeared; the key was dropped *)
+
+val event_to_string : event -> string
+
+type t
+
+val create : dir:string -> t
+(** No I/O happens until {!refresh}. *)
+
+val dir : t -> string
+
+val refresh : ?force:bool -> t -> event list
+(** Rescan the directory.  Unchanged files (same mtime and size) are skipped
+    unless [force] is set — tests that rewrite a file within stat
+    granularity pass [~force:true]. *)
+
+val find : t -> string -> entry option
+val entries : t -> entry list
+(** All live entries, sorted by key. *)
+
+val reloads : t -> int
+(** Successful loads (including first loads) since {!create}. *)
+
+val load_failures : t -> int
+(** Rejected loads since {!create}. *)
+
+val model_file : dir:string -> key:string -> string
+(** The path a key is served from: [<dir>/<key>.vmodel]. *)

@@ -1,0 +1,458 @@
+module P = Protocol
+module B = Vresilience.Budget
+module Stats = Vsched.Exploration_stats
+module Checker = Vchecker.Checker
+
+type addr = [ `Unix of string | `Tcp of string * int ]
+
+type options = {
+  addr : addr;
+  models_dir : string;
+  resolve_registry : Vmodel.Impact_model.t -> Vruntime.Config_registry.t option;
+  max_queue : int;
+  max_batch : int;
+  batching : bool;
+  request_deadline_s : float option;
+  shed_pressure : float;
+  jobs : int;
+  refresh_every_s : float;
+  allow_shutdown : bool;
+  now : unit -> float;
+}
+
+let default_options ~addr ~models_dir =
+  {
+    addr;
+    models_dir;
+    resolve_registry = (fun _ -> None);
+    max_queue = 64;
+    max_batch = 16;
+    batching = true;
+    request_deadline_s = None;
+    shed_pressure = 0.9;
+    jobs = Vpar.Pool.default_jobs ();
+    refresh_every_s = 0.5;
+    allow_shutdown = true;
+    now = Unix.gettimeofday;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Connections                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type conn = { fd : Unix.file_descr; buf : Buffer.t; mutable closed : bool }
+
+let close_conn c =
+  if not c.closed then begin
+    c.closed <- true;
+    try Unix.close c.fd with Unix.Unix_error _ -> ()
+  end
+
+let write_line c line =
+  if not c.closed then begin
+    let data = line ^ "\n" in
+    let len = String.length data in
+    let pos = ref 0 in
+    try
+      while !pos < len do
+        pos := !pos + Unix.write_substring c.fd data !pos (len - !pos)
+      done
+    with Unix.Unix_error _ -> close_conn c
+  end
+
+(* one readable-event read; returns the complete lines received *)
+let read_lines c =
+  let chunk = Bytes.create 65536 in
+  match Unix.read c.fd chunk 0 (Bytes.length chunk) with
+  | exception Unix.Unix_error _ ->
+    close_conn c;
+    []
+  | 0 ->
+    close_conn c;
+    []
+  | n ->
+    Buffer.add_subbytes c.buf chunk 0 n;
+    let data = Buffer.contents c.buf in
+    let parts = String.split_on_char '\n' data in
+    let rec split_last acc = function
+      | [] -> (List.rev acc, "")
+      | [ last ] -> (List.rev acc, last)
+      | x :: rest -> split_last (x :: acc) rest
+    in
+    let lines, rest = split_last [] parts in
+    Buffer.clear c.buf;
+    Buffer.add_string c.buf rest;
+    List.filter (fun l -> String.trim l <> "") lines
+
+(* ------------------------------------------------------------------ *)
+(* Serving state                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type pending = {
+  p_conn : conn;
+  p_id : int option;
+  p_req : P.request;
+  p_key : string;
+  p_armed : B.armed;
+  p_t_enq : float;
+}
+
+type state = {
+  opts : options;
+  registry : Registry.t;
+  base_budget : B.armed;  (** one spec for every request, re-armed at admission *)
+  queue : pending Queue.t;
+  by_verb : (string, int) Hashtbl.t;
+  latency : Stats.latency_hist;
+  mutable requests : int;
+  mutable shed_queue_full : int;
+  mutable shed_deadline : int;
+  mutable batches : int;
+  mutable batched_requests : int;
+  mutable coalesced : int;
+  mutable stopping : bool;
+}
+
+let bump_verb st verb =
+  Hashtbl.replace st.by_verb verb
+    (1 + Option.value ~default:0 (Hashtbl.find_opt st.by_verb verb))
+
+let serve_snapshot st =
+  {
+    Stats.requests = st.requests;
+    by_verb =
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) st.by_verb []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b);
+    shed_queue_full = st.shed_queue_full;
+    shed_deadline = st.shed_deadline;
+    batches = st.batches;
+    batched_requests = st.batched_requests;
+    coalesced = st.coalesced;
+    model_reloads = Registry.reloads st.registry;
+    model_load_failures = Registry.load_failures st.registry;
+    models =
+      List.map
+        (fun (e : Registry.entry) -> (e.Registry.key, e.Registry.generation))
+        (Registry.entries st.registry);
+    latency = st.latency;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Check execution (runs on pool workers — must not raise)             *)
+(* ------------------------------------------------------------------ *)
+
+type exec_result = { resp : P.response; shed : bool }
+
+let outcome_of_report generation (r : Checker.report) =
+  P.Report
+    {
+      P.findings = r.Checker.findings;
+      checked_in_s = r.Checker.checked_in_s;
+      generation;
+      batched = false;
+      coalesced = false;
+      degraded = false;
+    }
+
+let check_failed message = P.Error_resp { code = P.Check_failed; message }
+
+let exec_check opts (p, entry) =
+  match entry with
+  | None ->
+    {
+      resp = P.Error_resp { code = P.Unknown_model; message = "no model named " ^ p.p_key };
+      shed = false;
+    }
+  | Some (e : Registry.entry) -> begin
+    let model = e.Registry.model in
+    let generation = e.Registry.generation in
+    if B.pressure p.p_armed >= opts.shed_pressure then begin
+      (* queue wait ate the request's deadline budget: shed to the
+         conservative widening — answer what is knowable without the full
+         comparison instead of erroring *)
+      let t0 = opts.now () in
+      let findings = Checker.degraded_findings model in
+      {
+        resp =
+          P.Report
+            {
+              P.findings;
+              checked_in_s = opts.now () -. t0;
+              generation;
+              batched = false;
+              coalesced = false;
+              degraded = true;
+            };
+        shed = true;
+      }
+    end
+    else
+      let resp =
+        try
+          match p.p_req with
+          | P.Check_current { config; _ } -> begin
+            match opts.resolve_registry model with
+            | None ->
+              check_failed
+                ("no configuration registry for system " ^ model.Vmodel.Impact_model.system)
+            | Some reg -> begin
+              let file = Vchecker.Config_file.parse config in
+              match Checker.check_current ~model ~registry:reg ~file with
+              | Ok report -> outcome_of_report generation report
+              | Error msg -> check_failed msg
+            end
+          end
+          | P.Check_update { old_config; new_config; _ } -> begin
+            match opts.resolve_registry model with
+            | None ->
+              check_failed
+                ("no configuration registry for system " ^ model.Vmodel.Impact_model.system)
+            | Some reg -> begin
+              let old_file = Vchecker.Config_file.parse old_config in
+              let new_file = Vchecker.Config_file.parse new_config in
+              match Checker.check_update ~model ~registry:reg ~old_file ~new_file with
+              | Ok report -> outcome_of_report generation report
+              | Error msg -> check_failed msg
+            end
+          end
+          | P.Check_upgrade { workloads = Some (old_workload, new_workload); _ } ->
+            outcome_of_report generation
+              (Checker.check_workload_change ~model ~old_workload ~new_workload)
+          | P.Check_upgrade { workloads = None; _ } -> begin
+            match e.Registry.previous with
+            | Some old_model ->
+              outcome_of_report generation
+                (Checker.check_upgrade ~old_model ~new_model:model)
+            | None ->
+              check_failed
+                (Printf.sprintf "model %s has no previous generation to compare against"
+                   p.p_key)
+          end
+          | P.Health | P.Stats | P.Shutdown ->
+            (* service verbs never reach the queue *)
+            check_failed "internal: service verb in check queue"
+        with exn -> check_failed (Printexc.to_string exn)
+      in
+      { resp; shed = false }
+  end
+
+(* ------------------------------------------------------------------ *)
+(* The reactor                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let key_of_request = function
+  | P.Check_current { key; _ } | P.Check_update { key; _ } | P.Check_upgrade { key; _ } ->
+    Some key
+  | P.Health | P.Stats | P.Shutdown -> None
+
+let handle_line st conn line =
+  let opts = st.opts in
+  match P.decode_request line with
+  | Error msg ->
+    st.requests <- st.requests + 1;
+    bump_verb st "invalid";
+    write_line conn (P.encode_response (P.Error_resp { code = P.Bad_request; message = msg }))
+  | Ok (id, req) -> begin
+    let verb = P.verb_of_request req in
+    match req with
+    | P.Health ->
+      st.requests <- st.requests + 1;
+      bump_verb st verb;
+      let models =
+        List.map
+          (fun (e : Registry.entry) ->
+            {
+              P.mi_key = e.Registry.key;
+              mi_generation = e.Registry.generation;
+              mi_digest = e.Registry.digest;
+            })
+          (Registry.entries st.registry)
+      in
+      write_line conn
+        (P.encode_response ?id
+           (P.Health_info { status = (if st.stopping then "stopping" else "ok"); models }))
+    | P.Stats ->
+      st.requests <- st.requests + 1;
+      bump_verb st verb;
+      let stats_json = Stats.serve_to_json (serve_snapshot st) in
+      let resp =
+        match Wire.of_string stats_json with
+        | Ok v -> P.Stats_info v
+        | Error msg -> check_failed ("stats rendering failed: " ^ msg)
+      in
+      write_line conn (P.encode_response ?id resp)
+    | P.Shutdown ->
+      st.requests <- st.requests + 1;
+      bump_verb st verb;
+      if opts.allow_shutdown then begin
+        st.stopping <- true;
+        write_line conn (P.encode_response ?id P.Bye)
+      end
+      else
+        write_line conn
+          (P.encode_response ?id
+             (P.Error_resp { code = P.Bad_request; message = "shutdown is disabled" }))
+    | P.Check_current _ | P.Check_update _ | P.Check_upgrade _ ->
+      if st.stopping then begin
+        st.requests <- st.requests + 1;
+        bump_verb st verb;
+        write_line conn
+          (P.encode_response ?id
+             (P.Error_resp { code = P.Shutting_down; message = "daemon is shutting down" }))
+      end
+      else if Queue.length st.queue >= opts.max_queue then begin
+        (* admission control: shed rather than queue without bound *)
+        st.requests <- st.requests + 1;
+        bump_verb st verb;
+        st.shed_queue_full <- st.shed_queue_full + 1;
+        write_line conn
+          (P.encode_response ?id
+             (P.Error_resp
+                { code = P.Overloaded; message = "admission queue full — request shed" }))
+      end
+      else begin
+        let key = Option.value ~default:"" (key_of_request req) in
+        Queue.add
+          {
+            p_conn = conn;
+            p_id = id;
+            p_req = req;
+            p_key = key;
+            p_armed = B.rearm st.base_budget;
+            p_t_enq = opts.now ();
+          }
+          st.queue
+      end
+  end
+
+let run_batch st =
+  let opts = st.opts in
+  let n =
+    if opts.batching then min opts.max_batch (Queue.length st.queue)
+    else min 1 (Queue.length st.queue)
+  in
+  if n > 0 then begin
+    let jobsv = Array.init n (fun _ -> Queue.pop st.queue) in
+    let resolved =
+      Array.map (fun p -> (p, Registry.find st.registry p.p_key)) jobsv
+    in
+    let group_of (p, entry) =
+      match entry with
+      | Some (e : Registry.entry) ->
+        Printf.sprintf "%s#%d" e.Registry.key e.Registry.generation
+      | None -> "?" ^ p.p_key
+    in
+    let dedup_of (p, _) = P.encode_request p.p_req in
+    let results, bstats =
+      Batcher.run ~jobs:opts.jobs ~group_of ~dedup_of ~exec:(exec_check opts) resolved
+    in
+    st.batches <- st.batches + bstats.Batcher.groups;
+    st.batched_requests <- st.batched_requests + bstats.Batcher.batched_requests;
+    st.coalesced <- st.coalesced + bstats.Batcher.coalesced;
+    Array.iteri
+      (fun i (r, batched, coalesced) ->
+        let p, _ = resolved.(i) in
+        let resp =
+          match r.resp with
+          | P.Report o -> P.Report { o with P.batched; coalesced }
+          | resp -> resp
+        in
+        if r.shed then st.shed_deadline <- st.shed_deadline + 1;
+        st.requests <- st.requests + 1;
+        bump_verb st (P.verb_of_request p.p_req);
+        write_line p.p_conn (P.encode_response ?id:p.p_id resp);
+        Stats.observe_latency st.latency ~us:((opts.now () -. p.p_t_enq) *. 1e6))
+      results
+  end
+
+let bind_socket addr =
+  match addr with
+  | `Unix path ->
+    if Sys.file_exists path then (try Sys.remove path with Sys_error _ -> ());
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.bind fd (Unix.ADDR_UNIX path);
+    Unix.listen fd 64;
+    fd
+  | `Tcp (host, port) ->
+    let inet =
+      try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+      with Not_found -> Unix.inet_addr_loopback
+    in
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.setsockopt fd Unix.SO_REUSEADDR true;
+    Unix.bind fd (Unix.ADDR_INET (inet, port));
+    Unix.listen fd 64;
+    fd
+
+let run opts =
+  if Sys.os_type = "Unix" then Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  match bind_socket opts.addr with
+  | exception Unix.Unix_error (err, _, _) ->
+    Error (Printf.sprintf "cannot bind: %s" (Unix.error_message err))
+  | listen_fd ->
+    let registry = Registry.create ~dir:opts.models_dir in
+    ignore (Registry.refresh registry);
+    let st =
+      {
+        opts;
+        registry;
+        base_budget =
+          B.arm (B.with_clock (B.with_deadline B.default opts.request_deadline_s) opts.now);
+        queue = Queue.create ();
+        by_verb = Hashtbl.create 8;
+        latency = Stats.latency_hist ();
+        requests = 0;
+        shed_queue_full = 0;
+        shed_deadline = 0;
+        batches = 0;
+        batched_requests = 0;
+        coalesced = 0;
+        stopping = false;
+      }
+    in
+    let conns = ref [] in
+    let last_refresh = ref (opts.now ()) in
+    let rec loop () =
+      conns := List.filter (fun c -> not c.closed) !conns;
+      if st.stopping && Queue.is_empty st.queue then ()
+      else begin
+        let fds =
+          (if st.stopping then [] else [ listen_fd ]) @ List.map (fun c -> c.fd) !conns
+        in
+        let timeout = if Queue.is_empty st.queue then 0.2 else 0. in
+        let readable =
+          match Unix.select fds [] [] timeout with
+          | r, _, _ -> r
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> []
+        in
+        List.iter
+          (fun fd ->
+            if fd == listen_fd then begin
+              match Unix.accept listen_fd with
+              | client_fd, _ ->
+                conns := { fd = client_fd; buf = Buffer.create 256; closed = false } :: !conns
+              | exception Unix.Unix_error _ -> ()
+            end
+            else
+              match List.find_opt (fun c -> c.fd == fd) !conns with
+              | None -> ()
+              | Some conn -> List.iter (handle_line st conn) (read_lines conn))
+          readable;
+        if opts.now () -. !last_refresh >= opts.refresh_every_s then begin
+          ignore (Registry.refresh registry);
+          last_refresh := opts.now ()
+        end;
+        run_batch st;
+        loop ()
+      end
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        List.iter close_conn !conns;
+        (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+        match opts.addr with
+        | `Unix path -> ( try Sys.remove path with Sys_error _ -> ())
+        | `Tcp _ -> ())
+      (fun () ->
+        loop ();
+        Ok ())

@@ -1,0 +1,61 @@
+(** The continuous configuration-checking daemon.
+
+    One process serves {!Protocol} requests over a Unix-domain or TCP socket,
+    newline-delimited JSON both ways.  The loop is a single-threaded
+    [select] reactor for I/O with batched execution:
+
+    + readable sockets are drained and parsed; service verbs
+      ([health]/[stats]/[shutdown]) are answered inline, check verbs pass
+      {e admission control} — a bounded queue; when it is full the request is
+      answered [overloaded] immediately and counted as shed;
+    + when the queue is non-empty, up to [max_batch] requests are drained
+      into one batch and executed by {!Batcher} on a {!Vpar.Pool} — grouped
+      by model key + registry generation, identical requests coalesced;
+    + each admitted request carries a {!Vresilience.Budget} armed at
+      admission (one shared spec, {!Vresilience.Budget.rearm}ed per
+      request).  If queue wait has pushed the budget past [shed_pressure] by
+      the time the request executes, the full check is skipped and only the
+      conservative degraded-region widening
+      ({!Vchecker.Checker.degraded_findings}) runs — overload degrades
+      answers instead of erroring;
+    + between batches the {!Registry} is re-polled, so replacing a model
+      file hot-swaps the next batch onto the new generation (a corrupt
+      replacement is rejected and the old generation keeps serving).
+
+    Responses to service verbs may overtake queued check responses on the
+    same connection; clients correlate by request [id]. *)
+
+type addr = [ `Unix of string | `Tcp of string * int ]
+
+type options = {
+  addr : addr;
+  models_dir : string;
+  resolve_registry : Vmodel.Impact_model.t -> Vruntime.Config_registry.t option;
+      (** configuration registry for a model's system ([check-current] and
+          [check-update] need one to encode config files); the CLI wires
+          {!Targets.Cases}, tests wire their fixture *)
+  max_queue : int;  (** admission-queue depth bound (default 64) *)
+  max_batch : int;  (** requests drained per batch (default 16) *)
+  batching : bool;
+      (** [false] executes requests one at a time — the A/B hatch the bench
+          measures against *)
+  request_deadline_s : float option;
+      (** per-request budget deadline, armed at admission (default none) *)
+  shed_pressure : float;
+      (** budget pressure at execution time beyond which the request is
+          served degraded-only (default 0.9) *)
+  jobs : int;  (** worker domains for batch execution *)
+  refresh_every_s : float;  (** model-directory poll period (default 0.5) *)
+  allow_shutdown : bool;  (** honour the [shutdown] verb (default true) *)
+  now : unit -> float;  (** injectable clock (latency metrics, budgets) *)
+}
+
+val default_options : addr:addr -> models_dir:string -> options
+(** [resolve_registry] defaults to [fun _ -> None]; [jobs] to
+    {!Vpar.Pool.default_jobs}. *)
+
+val run : options -> (unit, string) result
+(** Bind, serve until a [shutdown] request, then drain and exit.  [Error] on
+    bind/listen failure.  An existing Unix-socket file at [addr] is
+    replaced; the file is removed again on clean shutdown.  SIGPIPE is
+    ignored process-wide (disconnecting clients must not kill the daemon). *)

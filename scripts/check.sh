@@ -17,4 +17,36 @@ dune build
 echo "== dune runtest =="
 dune runtest
 
+echo "== serve round-trip smoke =="
+# exercise the CLI surface end to end: export a model in registry format,
+# start the daemon, check against it, shut it down
+SMOKE_DIR=$(mktemp -d)
+trap 'kill "${SERVE_PID:-}" 2>/dev/null || true; rm -rf "$SMOKE_DIR"' EXIT
+mkdir -p "$SMOKE_DIR/models.d"
+dune exec bin/violet_cli.exe -- analyze mysql autocommit \
+  --export "$SMOKE_DIR/models.d/mysql-autocommit.vmodel" >/dev/null
+dune exec bin/violet_cli.exe -- serve \
+  --addr "unix:$SMOKE_DIR/violet.sock" --models "$SMOKE_DIR/models.d" >/dev/null &
+SERVE_PID=$!
+# the daemon's `dune exec` contends for the build lock with the client's;
+# wait for the bind before talking to it
+i=0
+while [ ! -S "$SMOKE_DIR/violet.sock" ] && [ "$i" -lt 100 ]; do
+  sleep 0.1
+  i=$((i + 1))
+done
+[ -S "$SMOKE_DIR/violet.sock" ] || { echo "serve smoke: daemon never bound"; exit 1; }
+: > "$SMOKE_DIR/empty.cnf"
+rc=0
+dune exec bin/violet_cli.exe -- client check-current \
+  --addr "unix:$SMOKE_DIR/violet.sock" mysql-autocommit "$SMOKE_DIR/empty.cnf" \
+  >/dev/null || rc=$?
+dune exec bin/violet_cli.exe -- client shutdown \
+  --addr "unix:$SMOKE_DIR/violet.sock" >/dev/null
+wait "$SERVE_PID"
+if [ "$rc" -ne 2 ]; then
+  echo "serve smoke: expected exit 2 (finding on the poor default), got $rc"
+  exit 1
+fi
+
 echo "== check OK =="

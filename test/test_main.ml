@@ -23,6 +23,9 @@ let () =
       ("vresilience", Test_vresilience.tests);
       ("vpar", Test_vpar.tests);
       ("vslice", Test_vslice.tests);
+      (* vserve spawns the daemon on a domain, so it also stays after the
+         fork-based vresilience tests *)
+      ("vserve", Test_vserve.tests);
       ("endtoend", Test_endtoend.tests);
       ("smoke", Test_smoke.tests);
     ]

@@ -184,6 +184,57 @@ let test_mode3_workload_change () =
   in
   check Alcotest.bool "workload shift flagged" true (report.Checker.findings <> [])
 
+let with_degradation model =
+  let autocommit =
+    Vsmt.Expr.{ name = "autocommit"; dom = Vsmt.Dom.bool; origin = Config }
+  in
+  {
+    model with
+    M.degradation =
+      Some
+        {
+          M.rungs = [ "solver-light" ];
+          deadline_hit = true;
+          dropped_paths =
+            [
+              {
+                M.dp_state_id = 9999;
+                dp_config_constraints = Vsmt.Expr.[ of_var autocommit ==. const 1 ];
+                dp_latency_so_far_us = 1234.;
+              };
+            ];
+        };
+  }
+
+let test_mode3b_degraded_region () =
+  let model = with_degradation (fixture_model ()) in
+  (* the shifted workload may land in the dropped path's unknown-cost region,
+     so even a "shift" within the same class must surface it conservatively *)
+  let report =
+    Checker.check_workload_change ~model
+      ~old_workload:[ "sql_command", 0 ]
+      ~new_workload:[ "sql_command", 0 ]
+  in
+  let degraded =
+    List.filter (fun f -> String.equal f.Checker.trigger "degraded") report.Checker.findings
+  in
+  check Alcotest.bool "degraded region reported" true (degraded <> []);
+  let f = List.hd degraded in
+  check Alcotest.bool "unknown cost: no fast row" true (f.Checker.fast_row = None);
+  check Alcotest.int "dropped state id" 9999 f.Checker.slow_row.Vmodel.Cost_row.state_id;
+  (* a real shift reports both the shift findings and the widening *)
+  let report =
+    Checker.check_workload_change ~model
+      ~old_workload:[ "sql_command", 0 ]
+      ~new_workload:[ "sql_command", 1 ]
+  in
+  check Alcotest.bool "shift findings present" true
+    (List.exists
+       (fun f -> not (String.equal f.Checker.trigger "degraded"))
+       report.Checker.findings);
+  check Alcotest.bool "widening kept alongside" true
+    (List.exists (fun f -> String.equal f.Checker.trigger "degraded") report.Checker.findings)
+
 let test_checker_on_loaded_model () =
   (* the deployment path: the checker works on a model after disk round-trip *)
   let model = fixture_model () in
@@ -213,5 +264,6 @@ let tests =
     tc "mode 1 unrelated change silent" test_mode1_unrelated_change_silent;
     tc "mode 3 code upgrade" test_mode3_code_upgrade;
     tc "mode 3 workload change" test_mode3_workload_change;
+    tc "mode 3b degraded region widening" test_mode3b_degraded_region;
     tc "checker on loaded model" test_checker_on_loaded_model;
   ]

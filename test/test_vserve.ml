@@ -1,0 +1,535 @@
+(* Tests for the serving layer: wire-protocol round-trips (QCheck), the
+   model registry's crash/corruption behavior, request batching, and an
+   end-to-end daemon whose answers must be byte-identical to the in-process
+   checker. *)
+
+module W = Vserve.Wire
+module P = Vserve.Protocol
+module Reg = Vserve.Registry
+module Server = Vserve.Server
+module Client = Vserve.Client
+module Checker = Vchecker.Checker
+module Row = Vmodel.Cost_row
+module M = Vmodel.Impact_model
+module TC = Vchecker.Test_case
+
+let check = Alcotest.check
+let tc name f = Alcotest.test_case name `Quick f
+let qt = QCheck_alcotest.to_alcotest
+
+let or_fail = function Ok v -> v | Error e -> Alcotest.fail e
+
+let mk_tmpdir () =
+  let path = Filename.temp_file "vserve" "" in
+  Sys.remove path;
+  Unix.mkdir path 0o700;
+  path
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    Unix.rmdir path
+  end
+  else Sys.remove path
+
+let fixture_model =
+  let m = lazy (Violet.Pipeline.analyze_exn Fixtures.target "autocommit").Violet.Pipeline.model in
+  fun () -> Lazy.force m
+
+(* ------------------------------------------------------------------ *)
+(* Wire: canonical JSON                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* any byte can appear in a string (control characters get escaped, the rest
+   pass through raw, so UTF-8 and even non-UTF-8 bytes survive) *)
+let gen_str = QCheck2.Gen.(small_string ~gen:char)
+
+(* finite floats only: the protocol never produces nan/inf (they render as
+   null), so the round-trip property quantifies over finite values *)
+let gen_float =
+  QCheck2.Gen.(
+    map (fun (m, e) -> ldexp (float_of_int m) e)
+      (pair (int_range (-1_000_000) 1_000_000) (int_range (-30) 30)))
+
+let gen_wire =
+  QCheck2.Gen.(
+    sized
+    @@ fix (fun self n ->
+           let leaf =
+             oneof
+               [
+                 return W.Null;
+                 map (fun b -> W.Bool b) bool;
+                 map (fun i -> W.Int i) int;
+                 map (fun f -> W.Float f) gen_float;
+                 map (fun s -> W.String s) gen_str;
+               ]
+           in
+           if n <= 0 then leaf
+           else
+             frequency
+               [
+                 (3, leaf);
+                 (1, map (fun l -> W.List l) (list_size (int_range 0 4) (self (n / 2))));
+                 ( 1,
+                   map
+                     (fun fs -> W.Obj fs)
+                     (list_size (int_range 0 4) (pair gen_str (self (n / 2)))) );
+               ]))
+
+let prop_wire_roundtrip =
+  QCheck2.Test.make ~name:"wire values survive print -> parse canonically" ~count:500
+    gen_wire (fun v ->
+      let s = W.to_string v in
+      match W.of_string s with
+      | Ok v' -> String.equal (W.to_string v') s
+      | Error _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Protocol: request/response round-trips                              *)
+(* ------------------------------------------------------------------ *)
+
+let gen_workload =
+  QCheck2.Gen.(small_list (pair gen_str (int_range (-1000) 1000)))
+
+let gen_request =
+  QCheck2.Gen.(
+    oneof
+      [
+        map2 (fun key config -> P.Check_current { key; config }) gen_str gen_str;
+        map3
+          (fun key old_config new_config -> P.Check_update { key; old_config; new_config })
+          gen_str gen_str gen_str;
+        map2
+          (fun key workloads -> P.Check_upgrade { key; workloads })
+          gen_str
+          (option (pair gen_workload gen_workload));
+        return P.Health;
+        return P.Stats;
+        return P.Shutdown;
+      ])
+
+let prop_request_roundtrip =
+  QCheck2.Test.make ~name:"requests survive encode -> decode byte-identically"
+    ~count:500
+    QCheck2.Gen.(pair (int_range 0 1_000_000) gen_request)
+    (fun (id, req) ->
+      let line = P.encode_request ~id req in
+      match P.decode_request line with
+      | Error _ -> false
+      | Ok (id', req') ->
+        id' = Some id && String.equal (P.encode_request ~id req') line)
+
+(* findings with generated rows: constraints come from a small expression
+   pool (round-tripped through the same sexp serialization models use) *)
+let expr_pool =
+  let v name dom origin = Vsmt.Expr.{ name; dom; origin } in
+  Vsmt.Expr.
+    [
+      of_var (v "autocommit" Vsmt.Dom.bool Config) ==. const 1;
+      of_var (v "flush" (Vsmt.Dom.int_range 0 2) Config) ==. const 0;
+      of_var (v "kind" (Vsmt.Dom.enum "kind" [ "R"; "W" ]) Workload) ==. const 1;
+      of_var (v "n" (Vsmt.Dom.int_range 0 7) Config) >. const 4;
+    ]
+
+let gen_cost =
+  QCheck2.Gen.(
+    map3
+      (fun lat (i1, i2, i3) (i4, i5, i6) ->
+        {
+          Vruntime.Cost.latency_us = lat;
+          instructions = i1;
+          syscalls = i2;
+          io_calls = i3;
+          io_bytes = i4;
+          sync_ops = i5;
+          net_ops = i6;
+          allocations = 0;
+          cache_ops = 0;
+        })
+      gen_float
+      (triple small_nat small_nat small_nat)
+      (triple small_nat small_nat small_nat))
+
+let gen_row =
+  QCheck2.Gen.(
+    map3
+      (fun state_id (config_constraints, workload_pred) (cost, traced, chain, ops) ->
+        {
+          Row.state_id;
+          config_constraints;
+          workload_pred;
+          cost;
+          traced_latency_us = traced;
+          chain;
+          nodes = [];
+          critical_ops = ops;
+        })
+      small_nat
+      (pair (small_list (oneofl expr_pool)) (small_list (oneofl expr_pool)))
+      (quad gen_cost gen_float (small_list gen_str) (small_list gen_str)))
+
+let gen_finding =
+  QCheck2.Gen.(
+    map3
+      (fun (param, message, trigger) (slow_row, fast_row) (ratio, critical_path, test_case) ->
+        {
+          Checker.param;
+          message;
+          slow_row;
+          fast_row;
+          ratio;
+          trigger;
+          critical_path;
+          test_case;
+        })
+      (triple gen_str gen_str gen_str)
+      (pair gen_row (option gen_row))
+      (triple gen_float (small_list gen_str)
+         (option
+            (map2
+               (fun workload description -> { TC.workload; description })
+               gen_workload gen_str))))
+
+let gen_response =
+  QCheck2.Gen.(
+    oneof
+      [
+        map3
+          (fun findings (generation, checked_in_s) (batched, coalesced, degraded) ->
+            P.Report
+              { P.findings; checked_in_s; generation; batched; coalesced; degraded })
+          (small_list gen_finding)
+          (pair small_nat gen_float)
+          (triple bool bool bool);
+        map2
+          (fun status models -> P.Health_info { status; models })
+          gen_str
+          (small_list
+             (map3
+                (fun mi_key mi_generation mi_digest -> { P.mi_key; mi_generation; mi_digest })
+                gen_str small_nat gen_str));
+        map (fun w -> P.Stats_info w) gen_wire;
+        map2
+          (fun code message -> P.Error_resp { code; message })
+          (oneofl [ P.Overloaded; P.Bad_request; P.Unknown_model; P.Check_failed; P.Shutting_down ])
+          gen_str;
+        return P.Bye;
+      ])
+
+let prop_response_roundtrip =
+  QCheck2.Test.make ~name:"responses survive encode -> decode byte-identically"
+    ~count:300
+    QCheck2.Gen.(pair (int_range 0 1_000_000) gen_response)
+    (fun (id, resp) ->
+      let line = P.encode_response ~id resp in
+      match P.decode_response line with
+      | Error _ -> false
+      | Ok (id', resp') ->
+        id' = Some id && String.equal (P.encode_response ~id resp') line)
+
+let test_nonascii_and_no_fast_row () =
+  (* the satellite cases pinned explicitly: a finding for an unknown-cost
+     region (fast_row = None) whose strings carry non-ASCII bytes *)
+  let slow_row =
+    {
+      Row.state_id = 7;
+      config_constraints = [ List.hd expr_pool ];
+      workload_pred = [];
+      cost = { Vruntime.Cost.zero with Vruntime.Cost.latency_us = 42.5 };
+      traced_latency_us = 42.5;
+      chain = [ "größe"; "キー" ];
+      nodes = [];
+      critical_ops = [];
+    }
+  in
+  let finding =
+    {
+      Checker.param = "innodb_büffer_größe";
+      message = "значение 🦊 may be specious";
+      slow_row;
+      fast_row = None;
+      ratio = 0.;
+      trigger = "degraded";
+      critical_path = [];
+      test_case = None;
+    }
+  in
+  let wire = P.findings_to_wire [ finding ] in
+  let s = W.to_string wire in
+  let decoded = or_fail (P.findings_of_wire (or_fail (W.of_string s))) in
+  check Alcotest.string "byte-identical re-encode" s
+    (W.to_string (P.findings_to_wire decoded));
+  (match decoded with
+  | [ f ] ->
+    check Alcotest.bool "fast_row stays None" true (f.Checker.fast_row = None);
+    check Alcotest.string "non-ASCII param intact" "innodb_büffer_größe" f.Checker.param
+  | _ -> Alcotest.fail "expected one finding");
+  (* non-ASCII config text reaches the checker unchanged *)
+  let req = P.Check_current { key = "mini"; config = "comment = \"значение 🦊\"\n" } in
+  match P.decode_request (P.encode_request ~id:3 req) with
+  | Ok (Some 3, req') ->
+    check Alcotest.string "config bytes intact" (P.encode_request ~id:3 req)
+      (P.encode_request ~id:3 req')
+  | _ -> Alcotest.fail "request round-trip failed"
+
+(* ------------------------------------------------------------------ *)
+(* Registry                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let export_fixture ?(tweak = fun m -> m) dir key =
+  let path = Reg.model_file ~dir ~key in
+  or_fail (Violet.Pipeline.export_model (tweak (fixture_model ())) path);
+  path
+
+let test_registry_load_and_reject () =
+  let dir = mk_tmpdir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let path = export_fixture dir "mini" in
+  let reg = Reg.create ~dir in
+  (match Reg.refresh reg with
+  | [ Reg.Loaded { key = "mini"; generation = 1 } ] -> ()
+  | evs ->
+    Alcotest.fail
+      ("unexpected events: " ^ String.concat "; " (List.map Reg.event_to_string evs)));
+  let e1 = Option.get (Reg.find reg "mini") in
+  check Alcotest.string "target" "autocommit" e1.Reg.model.M.target;
+  check Alcotest.bool "no previous on first load" true (e1.Reg.previous = None);
+  (* corrupt the file the way a kill -9 mid-write leaves it: a truncated
+     prefix whose checksum cannot match the envelope *)
+  let good = In_channel.with_open_bin path In_channel.input_all in
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc (String.sub good 0 (String.length good / 2)));
+  (match Reg.refresh ~force:true reg with
+  | [ Reg.Rejected { key = "mini"; _ } ] -> ()
+  | evs ->
+    Alcotest.fail
+      ("expected a rejection: " ^ String.concat "; " (List.map Reg.event_to_string evs)));
+  check Alcotest.int "one load failure" 1 (Reg.load_failures reg);
+  (* the old generation keeps serving, untouched *)
+  let e1' = Option.get (Reg.find reg "mini") in
+  check Alcotest.int "generation still 1" 1 e1'.Reg.generation;
+  check Alcotest.string "same digest" e1.Reg.digest e1'.Reg.digest;
+  (* a bit-flip (right length, wrong checksum) is also rejected *)
+  let flipped = Bytes.of_string good in
+  let mid = String.length good - 1 in
+  Bytes.set flipped mid (Char.chr (Char.code (Bytes.get flipped mid) lxor 0xff));
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_bytes oc flipped);
+  (match Reg.refresh ~force:true reg with
+  | [ Reg.Rejected _ ] -> ()
+  | _ -> Alcotest.fail "checksum mismatch must be rejected");
+  check Alcotest.int "generation survives bit-flip" 1
+    (Option.get (Reg.find reg "mini")).Reg.generation;
+  (* a good replacement loads as generation 2, keeping generation 1 as
+     [previous] for the mode-3a upgrade check *)
+  let _ = export_fixture ~tweak:(fun m -> { m with M.threshold = 0.9 }) dir "mini" in
+  (match Reg.refresh ~force:true reg with
+  | [ Reg.Loaded { key = "mini"; generation = 2 } ] -> ()
+  | _ -> Alcotest.fail "expected generation 2");
+  let e2 = Option.get (Reg.find reg "mini") in
+  check Alcotest.bool "previous retained" true (e2.Reg.previous <> None);
+  check Alcotest.bool "threshold updated" true (e2.Reg.model.M.threshold = 0.9)
+
+let test_registry_removal () =
+  let dir = mk_tmpdir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let path = export_fixture dir "mini" in
+  let reg = Reg.create ~dir in
+  ignore (Reg.refresh reg);
+  Sys.remove path;
+  (match Reg.refresh reg with
+  | [ Reg.Removed "mini" ] -> ()
+  | _ -> Alcotest.fail "expected removal");
+  check Alcotest.bool "entry gone" true (Reg.find reg "mini" = None)
+
+(* ------------------------------------------------------------------ *)
+(* Batcher                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_batcher_groups_and_coalesces () =
+  let items = [| ("a", 1); ("a", 1); ("a", 2); ("b", 9) |] in
+  let execs = Atomic.make 0 in
+  let results, stats =
+    Vserve.Batcher.run ~jobs:1
+      ~group_of:(fun (g, _) -> g)
+      ~dedup_of:(fun (g, v) -> Printf.sprintf "%s=%d" g v)
+      ~exec:(fun (g, v) ->
+        Atomic.incr execs;
+        Printf.sprintf "%s:%d" g v)
+      items
+  in
+  check Alcotest.int "distinct executions" 3 (Atomic.get execs);
+  let expect = [| ("a:1", true, false); ("a:1", true, true); ("a:2", true, false); ("b:9", false, false) |] in
+  Array.iteri
+    (fun i (r, b, c) ->
+      let er, eb, ec = expect.(i) in
+      check Alcotest.string (Printf.sprintf "result %d" i) er r;
+      check Alcotest.bool (Printf.sprintf "batched %d" i) eb b;
+      check Alcotest.bool (Printf.sprintf "coalesced %d" i) ec c)
+    results;
+  check Alcotest.int "groups" 2 stats.Vserve.Batcher.groups;
+  check Alcotest.int "batched requests" 3 stats.Vserve.Batcher.batched_requests;
+  check Alcotest.int "coalesced" 1 stats.Vserve.Batcher.coalesced
+
+(* ------------------------------------------------------------------ *)
+(* End to end: daemon answers == in-process checker answers             *)
+(* ------------------------------------------------------------------ *)
+
+let findings_bytes fs = W.to_string (P.findings_to_wire fs)
+
+let expect_report = function
+  | P.Report o -> o
+  | P.Error_resp { code; message } ->
+    Alcotest.fail
+      (Printf.sprintf "daemon error %s: %s" (P.error_code_to_string code) message)
+  | _ -> Alcotest.fail "expected a report"
+
+let test_end_to_end () =
+  let dir = mk_tmpdir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let models_dir = Filename.concat dir "models" in
+  Unix.mkdir models_dir 0o700;
+  let model_path = export_fixture models_dir "mini" in
+  let sock = Filename.concat dir "d.sock" in
+  let opts =
+    {
+      (Server.default_options ~addr:(`Unix sock) ~models_dir) with
+      Server.resolve_registry = (fun _ -> Some Fixtures.registry);
+      refresh_every_s = 0.05;
+      jobs = 1;
+    }
+  in
+  let srv = Domain.spawn (fun () -> Server.run opts) in
+  let c = or_fail (Client.connect_retry (`Unix sock)) in
+  (* the in-process reference runs on the very same model file the daemon
+     serves (the deployment path: export once, check everywhere) *)
+  let ref_model = or_fail (Violet.Pipeline.import_model model_path) in
+  (* mode 2 byte-identity *)
+  let local =
+    or_fail
+      (Checker.check_current ~model:ref_model ~registry:Fixtures.registry
+         ~file:(Vchecker.Config_file.parse ""))
+  in
+  let served = expect_report (or_fail (Client.call c (P.Check_current { key = "mini"; config = "" }))) in
+  check Alcotest.string "mode 2 findings byte-identical"
+    (findings_bytes local.Checker.findings)
+    (findings_bytes served.P.findings);
+  check Alcotest.bool "fixture default is flagged" true (served.P.findings <> []);
+  check Alcotest.int "served by generation 1" 1 served.P.generation;
+  check Alcotest.bool "not degraded" true (not served.P.degraded);
+  (* mode 1 byte-identity *)
+  let old_text = "autocommit = OFF\n" in
+  let new_text = "autocommit = ON\nflush_at_trx_commit = 1\n" in
+  let local =
+    or_fail
+      (Checker.check_update ~model:ref_model ~registry:Fixtures.registry
+         ~old_file:(Vchecker.Config_file.parse old_text)
+         ~new_file:(Vchecker.Config_file.parse new_text))
+  in
+  let served =
+    expect_report
+      (or_fail
+         (Client.call c
+            (P.Check_update { key = "mini"; old_config = old_text; new_config = new_text })))
+  in
+  check Alcotest.string "mode 1 findings byte-identical"
+    (findings_bytes local.Checker.findings)
+    (findings_bytes served.P.findings);
+  (* mode 3b byte-identity *)
+  let old_workload = [ ("sql_command", 0) ] and new_workload = [ ("sql_command", 1) ] in
+  let local = Checker.check_workload_change ~model:ref_model ~old_workload ~new_workload in
+  let served =
+    expect_report
+      (or_fail
+         (Client.call c
+            (P.Check_upgrade { key = "mini"; workloads = Some (old_workload, new_workload) })))
+  in
+  check Alcotest.string "mode 3b findings byte-identical"
+    (findings_bytes local.Checker.findings)
+    (findings_bytes served.P.findings);
+  check Alcotest.bool "workload shift flagged over the wire" true (served.P.findings <> []);
+  (* mode 3a needs a previous generation: none yet *)
+  (match or_fail (Client.call c (P.Check_upgrade { key = "mini"; workloads = None })) with
+  | P.Error_resp { code = P.Check_failed; _ } -> ()
+  | _ -> Alcotest.fail "mode 3a without history must fail");
+  (* error paths *)
+  (match or_fail (Client.call c (P.Check_current { key = "nope"; config = "" })) with
+  | P.Error_resp { code = P.Unknown_model; _ } -> ()
+  | _ -> Alcotest.fail "unknown key must be unknown-model");
+  (match P.decode_response (or_fail (Client.call_raw c "{not json")) with
+  | Ok (_, P.Error_resp { code = P.Bad_request; _ }) -> ()
+  | _ -> Alcotest.fail "garbage line must be bad-request");
+  (* health before reload *)
+  (match or_fail (Client.call c P.Health) with
+  | P.Health_info { status = "ok"; models = [ m ] } ->
+    check Alcotest.string "health key" "mini" m.P.mi_key;
+    check Alcotest.int "health generation" 1 m.P.mi_generation
+  | _ -> Alcotest.fail "expected healthy with one model");
+  (* hot reload: replace the model file, the daemon picks up generation 2
+     without restarting *)
+  let _ = export_fixture ~tweak:(fun m -> { m with M.threshold = 0.9 }) models_dir "mini" in
+  let deadline = Unix.gettimeofday () +. 10. in
+  let rec await_gen2 () =
+    let served =
+      expect_report (or_fail (Client.call c (P.Check_current { key = "mini"; config = "" })))
+    in
+    if served.P.generation >= 2 then served
+    else if Unix.gettimeofday () > deadline then Alcotest.fail "hot reload never happened"
+    else begin
+      Unix.sleepf 0.05;
+      await_gen2 ()
+    end
+  in
+  let served = await_gen2 () in
+  check Alcotest.int "hot-reloaded generation" 2 served.P.generation;
+  (* with history, mode 3a answers (same rows, so no findings) *)
+  let served3a =
+    expect_report (or_fail (Client.call c (P.Check_upgrade { key = "mini"; workloads = None })))
+  in
+  check Alcotest.int "mode 3a clean upgrade" 0 (List.length served3a.P.findings);
+  (* corrupt replacement: rejected, generation 2 keeps serving *)
+  let good = In_channel.with_open_bin model_path In_channel.input_all in
+  Out_channel.with_open_bin model_path (fun oc ->
+      Out_channel.output_string oc (String.sub good 0 (String.length good / 2)));
+  Unix.sleepf 0.3;
+  let served =
+    expect_report (or_fail (Client.call c (P.Check_current { key = "mini"; config = "" })))
+  in
+  check Alcotest.int "old generation live after corrupt swap" 2 served.P.generation;
+  (* stats reflect everything above *)
+  (match or_fail (Client.call c P.Stats) with
+  | P.Stats_info w ->
+    let int_field name =
+      match Option.bind (W.member name w) W.to_int with
+      | Some n -> n
+      | None -> Alcotest.fail ("stats missing " ^ name)
+    in
+    check Alcotest.bool "requests counted" true (int_field "requests" >= 6);
+    check Alcotest.bool "reloads counted" true (int_field "model_reloads" >= 2);
+    check Alcotest.bool "load failure counted" true (int_field "model_load_failures" >= 1);
+    (match Option.bind (W.member "latency" w) (W.member "observations") with
+    | Some (W.Int n) when n > 0 -> ()
+    | _ -> Alcotest.fail "latency histogram must have observations")
+  | _ -> Alcotest.fail "expected stats");
+  (* clean shutdown *)
+  (match or_fail (Client.call c P.Shutdown) with
+  | P.Bye -> ()
+  | _ -> Alcotest.fail "expected bye");
+  Client.close c;
+  (match Domain.join srv with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("server exited with: " ^ e));
+  check Alcotest.bool "socket file removed" false (Sys.file_exists sock)
+
+let tests =
+  [
+    qt prop_wire_roundtrip;
+    qt prop_request_roundtrip;
+    qt prop_response_roundtrip;
+    tc "non-ASCII finding without fast row" test_nonascii_and_no_fast_row;
+    tc "registry loads, rejects corruption, keeps serving" test_registry_load_and_reject;
+    tc "registry drops removed files" test_registry_removal;
+    tc "batcher groups and coalesces" test_batcher_groups_and_coalesces;
+    tc "end-to-end daemon matches in-process checker" test_end_to_end;
+  ]
