@@ -1,0 +1,132 @@
+(* vfuzz: score the pipeline against generated systems with planted ground
+   truth, and hold the determinism promises to the differential oracle.
+
+   Three measurements over one seeded corpus (--seed/--count, default
+   42/200):
+
+   - recall/precision of specious-parameter detection against the plants
+     (every plant should be detected, no decoy flagged);
+   - differential agreement: jobs 1/4 x slice on/off must produce
+     byte-identical impact models, and serving the exported model through a
+     live vserve daemon must reproduce the in-process checker's findings
+     byte-for-byte, on every generated system.  Any failure is shrunk to a
+     minimal reproducer in fuzz-failures/;
+   - shrinker calibration: minimize one corpus member under an artificial
+     "still contains an expensive primitive" predicate, pinning the greedy
+     loop's convergence on a known-shrinkable input.
+
+   Emits BENCH_fuzz.json with the gate booleans CI greps. *)
+
+let rec node_has_expensive = function
+  | Vfuzz.Genspec.S_op
+      (Vfuzz.Genspec.O_fsync | Vfuzz.Genspec.O_dns_lookup | Vfuzz.Genspec.O_pwrite _) ->
+    true
+  | Vfuzz.Genspec.S_op _ | Vfuzz.Genspec.S_call _ | Vfuzz.Genspec.S_cfg_read _ -> false
+  | Vfuzz.Genspec.S_if (_, t, e) ->
+    List.exists node_has_expensive t || List.exists node_has_expensive e
+  | Vfuzz.Genspec.S_loop (_, b) | Vfuzz.Genspec.S_unreachable b ->
+    List.exists node_has_expensive b
+
+let has_expensive (s : Vfuzz.Genspec.t) =
+  List.exists
+    (fun (f : Vfuzz.Genspec.fspec) -> List.exists node_has_expensive f.Vfuzz.Genspec.f_body)
+    s.Vfuzz.Genspec.g_funcs
+
+let shrink_json name (o : Vfuzz.Shrink.outcome) =
+  Printf.sprintf "{\"system\":%S,\"from_size\":%d,\"to_size\":%d,\"steps\":%d,\"checks\":%d}"
+    name o.Vfuzz.Shrink.sh_from_size o.Vfuzz.Shrink.sh_to_size o.Vfuzz.Shrink.sh_steps
+    o.Vfuzz.Shrink.sh_checks
+
+let run () =
+  Util.section "vfuzz: plants, decoys and the differential oracle";
+  let seed = !Util.fuzz_seed and count = !Util.fuzz_count in
+  Util.note "corpus: seed %d, %d systems" seed count;
+  let specs = Vfuzz.Generate.corpus ~seed ~count () in
+  let mutated =
+    List.length
+      (List.filter (fun (s : Vfuzz.Genspec.t) -> s.Vfuzz.Genspec.g_trail <> []) specs)
+  in
+
+  (* recall / precision against planted ground truth *)
+  let t0 = Unix.gettimeofday () in
+  let _, score = Vfuzz.Harness.run specs in
+  let harness_s = Unix.gettimeofday () -. t0 in
+
+  (* differential oracle, daemon leg included *)
+  let t0 = Unix.gettimeofday () in
+  let reports = List.map (fun s -> (s, Vfuzz.Oracle.check s)) specs in
+  let oracle_s = Unix.gettimeofday () -. t0 in
+  let failures = List.filter (fun (_, r) -> not (Vfuzz.Oracle.agreed r)) reports in
+  let combos = List.fold_left (fun n (_, r) -> n + r.Vfuzz.Oracle.r_combos) 0 reports in
+  let daemon_checks =
+    List.fold_left (fun n (_, r) -> n + r.Vfuzz.Oracle.r_daemon_checks) 0 reports
+  in
+  let shrunk =
+    List.map
+      (fun ((spec : Vfuzz.Genspec.t), _) ->
+        let still_fails s = not (Vfuzz.Oracle.agreed (Vfuzz.Oracle.check s)) in
+        let o = Vfuzz.Shrink.shrink ~still_fails spec in
+        if not (Sys.file_exists "fuzz-failures") then Unix.mkdir "fuzz-failures" 0o755;
+        let path = Filename.concat "fuzz-failures" (spec.Vfuzz.Genspec.g_name ^ ".vfz") in
+        Vfuzz.Genspec.save o.Vfuzz.Shrink.sh_spec path;
+        Util.note "DISAGREEMENT %s: reproducer %s" spec.Vfuzz.Genspec.g_name path;
+        (spec.Vfuzz.Genspec.g_name, o))
+      failures
+  in
+
+  (* shrinker calibration on a known-shrinkable predicate *)
+  let calib_spec = List.hd specs in
+  let calibration = Vfuzz.Shrink.shrink ~still_fails:has_expensive calib_spec in
+
+  let agreement_rate =
+    if reports = [] then 1.0
+    else
+      float_of_int (List.length reports - List.length failures)
+      /. float_of_int (List.length reports)
+  in
+  let recall_ok = score.Vfuzz.Harness.s_recall >= 0.9 in
+  let precision_ok = score.Vfuzz.Harness.s_precision >= 0.9 in
+  let differential_ok = failures = [] in
+
+  Util.print_table
+    ~header:[ "metric"; "value" ]
+    [
+      [ "systems"; Util.i0 score.Vfuzz.Harness.s_systems ];
+      [ "mutated"; Util.i0 mutated ];
+      [ "plants"; Util.i0 score.Vfuzz.Harness.s_plants ];
+      [ "detected"; Util.i0 score.Vfuzz.Harness.s_detected ];
+      [ "decoys"; Util.i0 score.Vfuzz.Harness.s_decoys ];
+      [ "wrongly flagged"; Util.i0 score.Vfuzz.Harness.s_flagged ];
+      [ "recall"; Util.f2 score.Vfuzz.Harness.s_recall ];
+      [ "precision"; Util.f2 score.Vfuzz.Harness.s_precision ];
+      [ "model combos compared"; Util.i0 combos ];
+      [ "daemon-vs-in-process checks"; Util.i0 daemon_checks ];
+      [ "differential agreement"; Util.f2 agreement_rate ];
+      [ "harness wall"; Util.f1 harness_s ^ " s" ];
+      [ "oracle wall"; Util.f1 oracle_s ^ " s" ];
+      [
+        "shrink calibration";
+        Printf.sprintf "%d -> %d nodes in %d steps"
+          calibration.Vfuzz.Shrink.sh_from_size calibration.Vfuzz.Shrink.sh_to_size
+          calibration.Vfuzz.Shrink.sh_steps;
+      ];
+    ];
+  Util.note "recall >= 0.9: %s; precision >= 0.9: %s; differential agreement: %s"
+    (Util.yes_no recall_ok) (Util.yes_no precision_ok) (Util.yes_no differential_ok);
+
+  let json =
+    Printf.sprintf
+      "{\"experiment\":\"fuzz\",\"seed\":%d,\"count\":%d,\"corpus_size\":%d,\"mutated\":%d,\"plants\":%d,\"detected\":%d,\"decoys\":%d,\"flagged\":%d,\"recall\":%.4f,\"precision\":%.4f,\"combos_compared\":%d,\"daemon_checks\":%d,\"disagreements\":%d,\"agreement_rate\":%.4f,\"harness_wall_s\":%.2f,\"oracle_wall_s\":%.2f,\"recall_ok\":%b,\"precision_ok\":%b,\"differential_ok\":%b,\"shrink_calibration\":%s,\"shrunk_failures\":[%s]}"
+      seed count (List.length specs) mutated score.Vfuzz.Harness.s_plants
+      score.Vfuzz.Harness.s_detected score.Vfuzz.Harness.s_decoys
+      score.Vfuzz.Harness.s_flagged score.Vfuzz.Harness.s_recall
+      score.Vfuzz.Harness.s_precision combos daemon_checks (List.length failures)
+      agreement_rate harness_s oracle_s recall_ok precision_ok differential_ok
+      (shrink_json (List.hd specs).Vfuzz.Genspec.g_name calibration)
+      (String.concat "," (List.map (fun (n, o) -> shrink_json n o) shrunk))
+  in
+  let oc = open_out "BENCH_fuzz.json" in
+  output_string oc json;
+  output_char oc '\n';
+  close_out oc;
+  Util.note "wrote BENCH_fuzz.json"

@@ -29,15 +29,30 @@ let experiments =
     "par", ("Parallel exploration: speedup + determinism", Exp_par.run);
     "slice", ("Independence slicing: solver work + model identity", Exp_slice.run);
     "serve", ("Serving: batching A/B + admission control", Exp_serve.run);
+    "fuzz", ("vfuzz: planted ground truth + differential oracle", Exp_fuzz.run);
   ]
 
-(* strip [--stats-out FILE] before dispatching on experiment names *)
+(* strip [--stats-out FILE] / [--seed N] / [--count N] before dispatching on
+   experiment names *)
+let int_arg flag v =
+  match int_of_string_opt v with
+  | Some n -> n
+  | None ->
+    Fmt.epr "%s requires an integer argument@." flag;
+    exit 1
+
 let rec parse_args = function
   | "--stats-out" :: path :: rest ->
     Util.stats_out := Some path;
     parse_args rest
-  | [ "--stats-out" ] ->
-    Fmt.epr "--stats-out requires a file argument@.";
+  | "--seed" :: v :: rest ->
+    Util.fuzz_seed := int_arg "--seed" v;
+    parse_args rest
+  | "--count" :: v :: rest ->
+    Util.fuzz_count := int_arg "--count" v;
+    parse_args rest
+  | [ ("--stats-out" | "--seed" | "--count") ] ->
+    Fmt.epr "--stats-out/--seed/--count require an argument@.";
     exit 1
   | name :: rest -> name :: parse_args rest
   | [] -> []

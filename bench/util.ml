@@ -59,6 +59,11 @@ let config_values registry settings =
     (Vruntime.Config_registry.Values.defaults registry)
     settings
 
+(* [--seed N] / [--count N] support for the corpus-driven experiments
+   (currently the vfuzz one). *)
+let fuzz_seed = ref 42
+let fuzz_count = ref 200
+
 (* [--stats-out FILE] support: experiments push the exploration telemetry of
    every pipeline run they make; main flushes the collection once at exit. *)
 let stats_out : string option ref = ref None

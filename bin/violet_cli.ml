@@ -695,13 +695,205 @@ let client_cmd =
       shutdown_cmd;
     ]
 
+(* ------------------------------------------------------------------ *)
+(* violet fuzz: generated target systems with planted ground truth     *)
+(* ------------------------------------------------------------------ *)
+
+let fuzz_summary (s : Vfuzz.Genspec.t) =
+  Fmt.pr "%-14s size=%-3d funcs=%d cparams=%d plants=[%s] decoys=[%s]@."
+    s.Vfuzz.Genspec.g_name (Vfuzz.Genspec.size s)
+    (List.length s.Vfuzz.Genspec.g_funcs)
+    (List.length s.Vfuzz.Genspec.g_cparams)
+    (String.concat ", "
+       (List.map
+          (fun (p : Vfuzz.Genspec.plant) ->
+            Printf.sprintf "%s=%d" p.Vfuzz.Genspec.p_param p.Vfuzz.Genspec.p_poor)
+          s.Vfuzz.Genspec.g_plants))
+    (String.concat ", " s.Vfuzz.Genspec.g_decoys);
+  List.iter (fun m -> Fmt.pr "  trail: %s@." m) s.Vfuzz.Genspec.g_trail
+
+let fuzz_gen seed count out =
+  let specs = Vfuzz.Generate.corpus ~seed ~count () in
+  List.iter
+    (fun s ->
+      fuzz_summary s;
+      match out with
+      | None -> ()
+      | Some dir ->
+        if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+        Vfuzz.Genspec.save s (Filename.concat dir (s.Vfuzz.Genspec.g_name ^ ".vfz")))
+    specs;
+  (match out with
+  | Some dir -> Fmt.pr "wrote %d specs to %s/@." count dir
+  | None -> ());
+  0
+
+let fuzz_run seed count =
+  let specs = Vfuzz.Generate.corpus ~seed ~count () in
+  let verdicts, score = Vfuzz.Harness.run specs in
+  List.iter
+    (fun (v : Vfuzz.Harness.verdict) ->
+      Fmt.pr "%-14s plants:[%s] decoys:[%s]%s@." v.Vfuzz.Harness.v_system
+        (String.concat ", "
+           (List.map
+              (fun (p, d) -> Printf.sprintf "%s %s" p (if d then "DETECTED" else "missed"))
+              v.Vfuzz.Harness.v_plants))
+        (String.concat ", "
+           (List.map
+              (fun (p, f) -> Printf.sprintf "%s %s" p (if f then "FLAGGED" else "clean"))
+              v.Vfuzz.Harness.v_decoys))
+        (match v.Vfuzz.Harness.v_errors with
+        | [] -> ""
+        | es -> Printf.sprintf " errors:%d" (List.length es)))
+    verdicts;
+  Fmt.pr "systems=%d plants=%d detected=%d decoys=%d flagged=%d recall=%.3f precision=%.3f@."
+    score.Vfuzz.Harness.s_systems score.Vfuzz.Harness.s_plants
+    score.Vfuzz.Harness.s_detected score.Vfuzz.Harness.s_decoys
+    score.Vfuzz.Harness.s_flagged score.Vfuzz.Harness.s_recall
+    score.Vfuzz.Harness.s_precision;
+  0
+
+let fuzz_save_reproducer dir (spec : Vfuzz.Genspec.t) =
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+  let path = Filename.concat dir (spec.Vfuzz.Genspec.g_name ^ ".vfz") in
+  Vfuzz.Genspec.save spec path;
+  path
+
+let fuzz_diff seed count no_daemon out =
+  let daemon = not no_daemon in
+  let specs = Vfuzz.Generate.corpus ~seed ~count () in
+  let failures = ref 0 in
+  List.iter
+    (fun spec ->
+      let r = Vfuzz.Oracle.check ~daemon spec in
+      if Vfuzz.Oracle.agreed r then
+        Fmt.pr "%-14s ok (%d combos, %d daemon checks)@." r.Vfuzz.Oracle.r_system
+          r.Vfuzz.Oracle.r_combos r.Vfuzz.Oracle.r_daemon_checks
+      else begin
+        incr failures;
+        Fmt.pr "%-14s DISAGREES@." r.Vfuzz.Oracle.r_system;
+        List.iter
+          (fun (d : Vfuzz.Oracle.disagreement) ->
+            Fmt.pr "  %s [%s]: %s@." d.Vfuzz.Oracle.d_param d.Vfuzz.Oracle.d_leg
+              d.Vfuzz.Oracle.d_detail)
+          r.Vfuzz.Oracle.r_disagreements;
+        let still_fails s = not (Vfuzz.Oracle.agreed (Vfuzz.Oracle.check ~daemon s)) in
+        let o = Vfuzz.Shrink.shrink ~still_fails spec in
+        let path = fuzz_save_reproducer out o.Vfuzz.Shrink.sh_spec in
+        Fmt.pr "  shrunk %d -> %d nodes (%d checks); reproducer: %s@."
+          o.Vfuzz.Shrink.sh_from_size o.Vfuzz.Shrink.sh_to_size
+          o.Vfuzz.Shrink.sh_checks path
+      end)
+    specs;
+  if !failures = 0 then begin
+    Fmt.pr "differential oracle: %d/%d systems agree@." count count;
+    0
+  end
+  else begin
+    Fmt.epr "violet: %d/%d systems disagree (reproducers in %s/)@." !failures count out;
+    1
+  end
+
+let fuzz_shrink file no_daemon out =
+  let daemon = not no_daemon in
+  let spec = or_die (Vfuzz.Genspec.load file) in
+  let still_fails s = not (Vfuzz.Oracle.agreed (Vfuzz.Oracle.check ~daemon s)) in
+  if not (still_fails spec) then begin
+    Fmt.epr "violet: %s does not currently fail the oracle — nothing to shrink@." file;
+    1
+  end
+  else begin
+    let o = Vfuzz.Shrink.shrink ~still_fails spec in
+    let path = match out with Some p -> p | None -> file ^ ".min" in
+    Vfuzz.Genspec.save o.Vfuzz.Shrink.sh_spec path;
+    Fmt.pr "shrunk %d -> %d nodes in %d steps (%d oracle runs); wrote %s@."
+      o.Vfuzz.Shrink.sh_from_size o.Vfuzz.Shrink.sh_to_size o.Vfuzz.Shrink.sh_steps
+      o.Vfuzz.Shrink.sh_checks path;
+    0
+  end
+
+let fuzz_cmd =
+  let seed =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"N"
+          ~doc:
+            "Corpus seed.  Member $(i,i) of a seed is the same system on every \
+             machine (splittable PRNG).")
+  in
+  let count =
+    Arg.(value & opt int 20 & info [ "count" ] ~docv:"N" ~doc:"Systems to generate.")
+  in
+  let no_daemon =
+    Arg.(
+      value & flag
+      & info [ "no-daemon" ]
+          ~doc:
+            "Skip the daemon-vs-in-process findings leg (the analyze grid still \
+             runs).")
+  in
+  let out_opt =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"DIR" ~doc:"Also save each spec as $(i,DIR)/$(i,NAME).vfz.")
+  in
+  let failures_dir =
+    Arg.(
+      value & opt string "fuzz-failures"
+      & info [ "out" ] ~docv:"DIR" ~doc:"Directory for shrunk reproducers.")
+  in
+  let gen_cmd =
+    Cmd.v
+      (Cmd.info "gen" ~doc:"Generate seeded systems and print their shape")
+      Term.(const fuzz_gen $ seed $ count $ out_opt)
+  in
+  let run_cmd =
+    Cmd.v
+      (Cmd.info "run"
+         ~doc:"Score the pipeline against planted ground truth (recall/precision)")
+      Term.(const fuzz_run $ seed $ count)
+  in
+  let diff_cmd =
+    Cmd.v
+      (Cmd.info "diff"
+         ~doc:
+           "Differential oracle: jobs 1/4 x slice on/off x daemon vs in-process must \
+            be byte-identical on every generated system; failures are shrunk to \
+            reproducers")
+      Term.(const fuzz_diff $ seed $ count $ no_daemon $ failures_dir)
+  in
+  let shrink_cmd =
+    let file =
+      Arg.(
+        required
+        & pos 0 (some string) None
+        & info [] ~docv:"FILE" ~doc:"A .vfz spec that fails the oracle.")
+    in
+    let out_file =
+      Arg.(
+        value
+        & opt (some string) None
+        & info [ "out" ] ~docv:"FILE" ~doc:"Where to write the minimized spec.")
+    in
+    Cmd.v
+      (Cmd.info "shrink" ~doc:"Minimize a failing spec to the smallest one that still fails")
+      Term.(const fuzz_shrink $ file $ no_daemon $ out_file)
+  in
+  Cmd.group
+    (Cmd.info "fuzz"
+       ~doc:
+         "Generated target systems with planted ground truth: recall/precision \
+          scoring and a differential oracle over the pipeline")
+    [ gen_cmd; run_cmd; diff_cmd; shrink_cmd ]
+
 let main_cmd =
   Cmd.group
     (Cmd.info "violet" ~version:"1.0.0"
        ~doc:"Automated reasoning and detection of specious configuration")
     [
       list_params_cmd; related_cmd; analyze_cmd; check_cmd; check_update_cmd;
-      coverage_cmd; dump_trace_cmd; analyze_trace_cmd; serve_cmd; client_cmd;
+      coverage_cmd; dump_trace_cmd; analyze_trace_cmd; serve_cmd; client_cmd; fuzz_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -1,0 +1,248 @@
+open Genspec
+
+type profile = {
+  funcs : int * int;
+  cparams : int * int;
+  wparams : int * int;
+  plants : int * int;
+  decoys : int * int;
+  filler : int * int;
+}
+
+let default_profile =
+  {
+    funcs = (3, 6);
+    cparams = (4, 8);
+    wparams = (2, 3);
+    plants = (1, 2);
+    decoys = (1, 3);
+    filler = (2, 5);
+  }
+
+let pick rng (lo, hi) = Sprng.range rng ~lo ~hi
+
+(* ------------------------------------------------------------------ *)
+(* Parameter shapes                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let gen_cparam rng i =
+  let name = Printf.sprintf "p%d_%s" i (Sprng.lowercase_ident rng ~len:4) in
+  let kind =
+    Sprng.choose_weighted rng
+      [
+        `Bool, 4;
+        `Int (Sprng.choose rng [ 1; 2; 8; 100; 65536 ]), 4;
+        `Enum (2 + Sprng.int rng 3), 2;
+      ]
+  in
+  match kind with
+  | `Bool -> { c_name = name; c_kind = C_bool; c_default = Sprng.int rng 2 }
+  | `Int hi ->
+    { c_name = name; c_kind = C_int { lo = 0; hi }; c_default = Sprng.range rng ~lo:0 ~hi }
+  | `Enum n ->
+    {
+      c_name = name;
+      c_kind = C_enum (List.init n (Printf.sprintf "v%d"));
+      c_default = Sprng.int rng n;
+    }
+
+let gen_wparam rng i =
+  let hi = Sprng.choose rng [ 1; 8; 100; 1024 ] in
+  { w_name = Printf.sprintf "w%d_%s" i (Sprng.lowercase_ident rng ~len:3); w_lo = 0; w_hi = hi }
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Filler must stay far under the plants' cost signal (fsync 8 ms, DNS
+   20 ms on the default environment): cheap compute, small buffered I/O,
+   cache and allocator touches.  No fsync/DNS/pwrite outside plants. *)
+let cheap_op rng =
+  Sprng.choose_weighted rng
+    [
+      O_compute (10 + Sprng.int rng 490), 5;
+      O_buffered_write (64 + Sprng.int rng 4032), 2;
+      O_buffered_read (64 + Sprng.int rng 4032), 2;
+      O_log_append (32 + Sprng.int rng 480), 2;
+      O_cache_lookup, 2;
+      O_malloc (128 + Sprng.int rng 8064), 1;
+      O_mutex_pair, 1;
+    ]
+
+let expensive_ops rng =
+  Sprng.choose rng
+    [
+      [ O_fsync ];
+      [ O_fsync; O_pwrite (16384 + Sprng.int rng 49152) ];
+      [ O_dns_lookup ];
+      [ O_pwrite (262144 + Sprng.int rng 262144) ];
+      [ O_fsync; O_fsync ];
+    ]
+
+(* A filler statement: cheap op, occasionally wrapped in the structures the
+   IR supports — a bounded loop, a workload-conditioned branch with both
+   sides cheap, an unreachable block, a config read that never reaches a
+   predicate.  These are exactly the Builder edge shapes the satellite tests
+   pin (function with no branches, unreachable block, read-but-never-
+   branched parameter). *)
+let filler_node rng (wparams : wparam list) =
+  match Sprng.int rng 10 with
+  | 0 | 1 ->
+    let k = 2 + Sprng.int rng 2 in
+    S_loop (k, [ S_op (cheap_op rng) ])
+  | 2 when wparams <> [] ->
+    (* workload-conditioned, both sides cheap and metric-balanced: the
+       branch forks symbolic states without creating a specious signal *)
+    let w = Sprng.choose rng wparams in
+    let cut = Sprng.range rng ~lo:w.w_lo ~hi:w.w_hi in
+    let a = 20 + Sprng.int rng 200 in
+    S_if
+      ( [ A_wl (w.w_name, Vsmt.Expr.Ge, cut) ],
+        [ S_op (O_compute a) ],
+        [ S_op (O_compute (a + Sprng.int rng (a / 2 + 1))) ] )
+  | 3 -> S_unreachable [ S_op (cheap_op rng) ]
+  | _ -> S_op (cheap_op rng)
+
+let plant_node rng (wparams : wparam list) (p : cparam) =
+  let lo, hi = cparam_domain p in
+  let poor = Sprng.range rng ~lo ~hi in
+  let good =
+    if poor = lo then poor + 1
+    else if poor = hi then poor - 1
+    else if Sprng.bool rng then poor + 1
+    else poor - 1
+  in
+  let guard, workload =
+    if wparams <> [] && Sprng.bool rng then begin
+      let w = Sprng.choose rng wparams in
+      (* the guard must be satisfiable on both sides so the skipped-plant
+         states exist too; the recorded trigger value satisfies it *)
+      let cut = Sprng.range rng ~lo:(w.w_lo + 1) ~hi:w.w_hi in
+      ([ A_wl (w.w_name, Vsmt.Expr.Ge, cut) ], [ (w.w_name, cut) ])
+    end
+    else ([], [])
+  in
+  let cheap = if Sprng.bool rng then [ S_op (O_compute (20 + Sprng.int rng 100)) ] else [] in
+  let node =
+    S_if
+      ( A_cfg (p.c_name, Vsmt.Expr.Eq, poor) :: guard,
+        List.map (fun o -> S_op o) (expensive_ops rng),
+        cheap )
+  in
+  (node, { p_param = p.c_name; p_poor = poor; p_good = good; p_workload = workload })
+
+(* A decoy branch: the parameter sits in a predicate, but both sides stay
+   within the differential threshold on every metric — compute-only and
+   within 2x of each other. *)
+let decoy_branch_node rng (p : cparam) =
+  let lo, hi = cparam_domain p in
+  let v = Sprng.range rng ~lo ~hi in
+  let op = Sprng.choose rng [ Vsmt.Expr.Eq; Vsmt.Expr.Le; Vsmt.Expr.Ge ] in
+  let a = 40 + Sprng.int rng 300 in
+  S_if
+    ( [ A_cfg (p.c_name, op, v) ],
+      [ S_op (O_compute a) ],
+      [ S_op (O_compute (a + Sprng.int rng (a / 2 + 1))) ] )
+
+(* ------------------------------------------------------------------ *)
+(* Whole systems                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let spec ?(profile = default_profile) ~seed ~index () =
+  let rng = Sprng.split_at (Sprng.make seed) index in
+  let n_funcs = pick rng profile.funcs in
+  let n_cparams = pick rng profile.cparams in
+  let n_wparams = pick rng profile.wparams in
+  let n_plants = min (pick rng profile.plants) n_cparams in
+  let n_decoys = min (pick rng profile.decoys) (n_cparams - n_plants) in
+  let cparams = List.init n_cparams (gen_cparam rng) in
+  let wparams = List.init n_wparams (gen_wparam rng) in
+  let shuffled = Sprng.shuffle rng cparams in
+  let plant_params = List.filteri (fun i _ -> i < n_plants) shuffled in
+  let decoy_params =
+    List.filteri (fun i _ -> i >= n_plants && i < n_plants + n_decoys) shuffled
+  in
+  (* each decoy takes one of three shapes: a balanced branch, a read that
+     never reaches a predicate, or a declared-but-never-read parameter *)
+  let decoys =
+    List.map
+      (fun (p : cparam) -> (p, Sprng.choose_weighted rng [ `Branch, 3; `Read, 1; `Unused, 1 ]))
+      decoy_params
+  in
+  let planted = List.map (fun p -> plant_node rng wparams p) plant_params in
+  (* a plant parameter's default must be its good value: with two plants in
+     one system, a default sitting on plant A's poor value would fire A's
+     expensive side on every path of plant B's analysis (A stays concrete at
+     its default there), burying B's signal under a constant costly
+     baseline.  It is also the paper's scenario — the deployed default is
+     fine, the specious setting is the deviation. *)
+  let cparams =
+    List.map
+      (fun (c : cparam) ->
+        match
+          List.find_opt (fun (_, pl) -> String.equal pl.p_param c.c_name) planted
+        with
+        | Some (_, pl) -> { c with c_default = pl.p_good }
+        | None -> c)
+      cparams
+  in
+  let decoy_nodes =
+    List.filter_map
+      (fun ((p : cparam), shape) ->
+        match shape with
+        | `Branch -> Some (decoy_branch_node rng p)
+        | `Read -> Some (S_cfg_read p.c_name)
+        | `Unused -> None)
+      decoys
+  in
+  (* distribute the interesting nodes over the functions, then pad with
+     filler.  Function f_i only ever calls f_j with j > i. *)
+  let fnames = List.init n_funcs (Printf.sprintf "f%d") in
+  let assignments = Array.make n_funcs [] in
+  List.iter
+    (fun node ->
+      let slot = Sprng.int rng n_funcs in
+      assignments.(slot) <- node :: assignments.(slot))
+    (List.map fst planted @ decoy_nodes);
+  let funcs =
+    List.mapi
+      (fun i name ->
+        let filler = List.init (pick rng profile.filler) (fun _ -> filler_node rng wparams) in
+        (* the call chain keeping every function reachable: f_i calls
+           f_{i+1}, plus an occasional extra forward call *)
+        let chain = if i + 1 < n_funcs then [ S_call (List.nth fnames (i + 1)) ] else [] in
+        let extra =
+          if i + 2 < n_funcs && Sprng.chance rng 0.3 then
+            [ S_call (List.nth fnames (Sprng.range rng ~lo:(i + 2) ~hi:(n_funcs - 1))) ]
+          else []
+        in
+        let body =
+          Sprng.shuffle rng (assignments.(i) @ filler) @ chain @ extra
+        in
+        { f_name = name; f_body = body })
+      fnames
+  in
+  let t =
+    {
+      g_name = Printf.sprintf "fz-s%d-i%d" seed index;
+      g_seed = seed;
+      g_cparams = cparams;
+      g_wparams = wparams;
+      g_funcs = funcs;
+      g_plants = List.map snd planted;
+      g_decoys = List.map (fun ((p : cparam), _) -> p.c_name) decoys;
+      g_trail = [];
+    }
+  in
+  match validate t with
+  | Ok () -> t
+  | Error msg ->
+    (* a generator bug, not an input problem: fail loudly with provenance *)
+    failwith (Printf.sprintf "Generate.spec produced an invalid system (%s): %s" t.g_name msg)
+
+let corpus ?profile ?(mutate_fraction = 0.3) ~seed ~count () =
+  let mrng = Sprng.split_at (Sprng.make seed) (-1) in
+  List.init count (fun index ->
+      let s = spec ?profile ~seed ~index () in
+      let r = Sprng.split_at mrng index in
+      if Sprng.chance r mutate_fraction then fst (Mutate.apply r s) else s)

@@ -1,0 +1,41 @@
+(** Seeded generation of random-but-well-formed target systems.
+
+    Every generated system is well-formed by construction ({!Genspec.validate}
+    passes, the lowering builds, the call graph is a forward DAG) and carries
+    {e planted ground truth}: specious parameters are injected as branches
+    whose poor side executes primitives orders of magnitude costlier than the
+    fast side (fsync, DNS, direct I/O against the environment's cost model),
+    optionally gated behind a workload predicate — the config/workload
+    combination recorded in {!Genspec.plant}.  Decoy parameters are injected
+    the same way but with both branch sides within the differential
+    threshold, so a correct pipeline must flag every plant and no decoy.
+
+    Determinism contract: [spec ~seed ~index] is a pure function of
+    [(profile, seed, index)] — corpus member 17 of seed 42 is the same
+    system on every machine, regardless of how many other members were
+    generated or in what order ({!Sprng.split_at}). *)
+
+type profile = {
+  funcs : int * int;  (** min/max functions per system *)
+  cparams : int * int;
+  wparams : int * int;
+  plants : int * int;
+  decoys : int * int;
+  filler : int * int;  (** filler statements per function *)
+}
+
+val default_profile : profile
+(** Mini-fixture scale: 3–6 functions, 4–8 config parameters, 1–2 plants,
+    1–3 decoys — large enough to exercise slicing and related-parameter
+    analysis, small enough that a full pipeline run stays in the tens of
+    milliseconds. *)
+
+val spec : ?profile:profile -> seed:int -> index:int -> unit -> Genspec.t
+(** The [index]-th system of the corpus rooted at [seed]. *)
+
+val corpus :
+  ?profile:profile -> ?mutate_fraction:float -> seed:int -> count:int -> unit ->
+  Genspec.t list
+(** [count] systems; a [mutate_fraction] (default 0.3) of them additionally
+    run through {!Mutate.apply} — the generate-then-mutate loop — with the
+    mutation recorded in the spec's trail and its ground truth updated. *)

@@ -1,0 +1,553 @@
+module Sexp = Vsmt.Sexp
+module Reg = Vruntime.Config_registry
+module Wl = Vruntime.Workload
+
+type ckind = C_bool | C_int of { lo : int; hi : int } | C_enum of string list
+type cparam = { c_name : string; c_kind : ckind; c_default : int }
+type wparam = { w_name : string; w_lo : int; w_hi : int }
+
+type atom =
+  | A_cfg of string * Vsmt.Expr.binop * int
+  | A_wl of string * Vsmt.Expr.binop * int
+
+type cond = atom list
+
+type op =
+  | O_fsync
+  | O_pwrite of int
+  | O_pread of int
+  | O_buffered_write of int
+  | O_buffered_read of int
+  | O_net_send of int
+  | O_dns_lookup
+  | O_mutex_pair
+  | O_log_append of int
+  | O_cache_lookup
+  | O_malloc of int
+  | O_compute of int
+
+type snode =
+  | S_op of op
+  | S_if of cond * snode list * snode list
+  | S_loop of int * snode list
+  | S_call of string
+  | S_unreachable of snode list
+  | S_cfg_read of string
+
+type fspec = { f_name : string; f_body : snode list }
+
+type plant = {
+  p_param : string;
+  p_poor : int;
+  p_good : int;
+  p_workload : (string * int) list;
+}
+
+type t = {
+  g_name : string;
+  g_seed : int;
+  g_cparams : cparam list;
+  g_wparams : wparam list;
+  g_funcs : fspec list;
+  g_plants : plant list;
+  g_decoys : string list;
+  g_trail : string list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Size and domains                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let rec node_size = function
+  | S_op _ | S_call _ | S_cfg_read _ -> 1
+  | S_if (cond, t, e) -> 1 + List.length cond + body_size t + body_size e
+  | S_loop (_, b) | S_unreachable b -> 1 + body_size b
+
+and body_size b = List.fold_left (fun acc n -> acc + node_size n) 0 b
+
+let size t =
+  (* every shrink edit must strictly reduce this, so count every component a
+     candidate can drop: params, plant/decoy records, functions, body nodes *)
+  List.length t.g_cparams + List.length t.g_wparams + List.length t.g_plants
+  + List.length t.g_decoys
+  + List.fold_left (fun acc f -> acc + 1 + body_size f.f_body) 0 t.g_funcs
+
+let cparam_domain p =
+  match p.c_kind with
+  | C_bool -> (0, 1)
+  | C_int { lo; hi } -> (lo, hi)
+  | C_enum vs -> (0, List.length vs - 1)
+
+let find_cparam t name = List.find_opt (fun p -> String.equal p.c_name name) t.g_cparams
+let find_wparam t name = List.find_opt (fun p -> String.equal p.w_name name) t.g_wparams
+
+(* ------------------------------------------------------------------ *)
+(* Validation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let is_comparison = function
+  | Vsmt.Expr.Eq | Vsmt.Expr.Ne | Vsmt.Expr.Lt | Vsmt.Expr.Le | Vsmt.Expr.Gt
+  | Vsmt.Expr.Ge ->
+    true
+  | _ -> false
+
+let validate t =
+  let ( let* ) = Result.bind in
+  let fail fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let unique what names =
+    if List.length (List.sort_uniq String.compare names) = List.length names then Ok ()
+    else fail "duplicate %s name" what
+  in
+  let* () = if t.g_funcs = [] then fail "spec has no functions" else Ok () in
+  let* () = if t.g_cparams = [] then fail "spec has no config parameters" else Ok () in
+  let* () = unique "config-parameter" (List.map (fun p -> p.c_name) t.g_cparams) in
+  let* () = unique "workload-parameter" (List.map (fun p -> p.w_name) t.g_wparams) in
+  let* () = unique "function" (List.map (fun f -> f.f_name) t.g_funcs) in
+  let* () =
+    List.fold_left
+      (fun acc p ->
+        let* () = acc in
+        let lo, hi = cparam_domain p in
+        if p.c_default < lo || p.c_default > hi then
+          fail "parameter %s: default %d outside [%d, %d]" p.c_name p.c_default lo hi
+        else
+          match p.c_kind with
+          | C_enum vs when List.length vs < 2 -> fail "parameter %s: enum too small" p.c_name
+          | C_int { lo; hi } when lo > hi -> fail "parameter %s: empty range" p.c_name
+          | _ -> Ok ())
+      (Ok ()) t.g_cparams
+  in
+  let* () =
+    List.fold_left
+      (fun acc w ->
+        let* () = acc in
+        if w.w_lo > w.w_hi then fail "workload %s: empty range" w.w_name else Ok ())
+      (Ok ()) t.g_wparams
+  in
+  let check_atom = function
+    | A_cfg (name, op, v) ->
+      if not (is_comparison op) then fail "atom on %s: not a comparison" name
+      else begin
+        match find_cparam t name with
+        | None -> fail "atom reads undeclared config parameter %s" name
+        | Some p ->
+          let lo, hi = cparam_domain p in
+          if v < lo || v > hi then fail "atom on %s: constant %d outside domain" name v
+          else Ok ()
+      end
+    | A_wl (name, op, _) ->
+      if not (is_comparison op) then fail "atom on %s: not a comparison" name
+      else if find_wparam t name = None then
+        fail "atom reads undeclared workload parameter %s" name
+      else Ok ()
+  in
+  (* calls may only go to strictly later functions: recursion-free by
+     construction, so exploration depth is bounded *)
+  let fname_index =
+    List.mapi (fun i f -> (f.f_name, i)) t.g_funcs
+  in
+  let rec check_body caller_idx acc body =
+    List.fold_left
+      (fun acc n ->
+        let* () = acc in
+        match n with
+        | S_op _ -> Ok ()
+        | S_cfg_read name ->
+          if find_cparam t name = None then
+            fail "cfg-read of undeclared parameter %s" name
+          else Ok ()
+        | S_call callee -> begin
+          match List.assoc_opt callee fname_index with
+          | None -> fail "call to undeclared function %s" callee
+          | Some j when j <= caller_idx ->
+            fail "call from %s to %s is not forward (recursion risk)"
+              (List.nth t.g_funcs caller_idx).f_name callee
+          | Some _ -> Ok ()
+        end
+        | S_loop (k, b) ->
+          if k < 1 || k > 8 then fail "loop bound %d outside [1, 8]" k
+          else check_body caller_idx (Ok ()) b
+        | S_unreachable b -> check_body caller_idx (Ok ()) b
+        | S_if (cond, th, el) ->
+          let* () = List.fold_left (fun acc a -> let* () = acc in check_atom a) (Ok ()) cond in
+          let* () = check_body caller_idx (Ok ()) th in
+          check_body caller_idx (Ok ()) el)
+      acc body
+  in
+  let* () =
+    List.fold_left
+      (fun acc (i, f) -> check_body i acc f.f_body)
+      (Ok ())
+      (List.mapi (fun i f -> (i, f)) t.g_funcs)
+  in
+  let* () =
+    List.fold_left
+      (fun acc (pl : plant) ->
+        let* () = acc in
+        match find_cparam t pl.p_param with
+        | None -> fail "plant on undeclared parameter %s" pl.p_param
+        | Some p ->
+          let lo, hi = cparam_domain p in
+          if pl.p_poor < lo || pl.p_poor > hi || pl.p_good < lo || pl.p_good > hi then
+            fail "plant on %s: value outside domain" pl.p_param
+          else if pl.p_poor = pl.p_good then fail "plant on %s: poor = good" pl.p_param
+          else
+            List.fold_left
+              (fun acc (w, _) ->
+                let* () = acc in
+                if find_wparam t w = None then
+                  fail "plant workload names undeclared parameter %s" w
+                else Ok ())
+              (Ok ()) pl.p_workload)
+      (Ok ()) t.g_plants
+  in
+  List.fold_left
+    (fun acc d ->
+      let* () = acc in
+      if find_cparam t d = None then fail "decoy %s is undeclared" d else Ok ())
+    (Ok ()) t.g_decoys
+
+(* ------------------------------------------------------------------ *)
+(* Lowering                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let registry_of t =
+  Reg.make ~system:t.g_name
+    (List.map
+       (fun p ->
+         match p.c_kind with
+         | C_bool -> Reg.param_bool p.c_name ~default:(p.c_default = 1) "generated"
+         | C_int { lo; hi } -> Reg.param_int p.c_name ~lo ~hi ~default:p.c_default "generated"
+         | C_enum vs ->
+           Reg.param_enum p.c_name ~values:vs ~default:(List.nth vs p.c_default) "generated")
+       t.g_cparams)
+
+let template_of t =
+  Wl.template "load"
+    (List.map (fun w -> Wl.wparam_int w.w_name ~lo:w.w_lo ~hi:w.w_hi "generated") t.g_wparams)
+
+let lower_atom = function
+  | A_cfg (name, op, v) -> Vir.Ast.Binop (op, Vir.Ast.Config name, Vir.Ast.Const v)
+  | A_wl (name, op, v) -> Vir.Ast.Binop (op, Vir.Ast.Workload name, Vir.Ast.Const v)
+
+let lower_cond = function
+  | [] -> Vir.Ast.Const 1
+  | a :: rest ->
+    List.fold_left
+      (fun acc atom -> Vir.Ast.Binop (Vsmt.Expr.And, acc, lower_atom atom))
+      (lower_atom a) rest
+
+let lower_op =
+  let open Vir.Builder in
+  function
+  | O_fsync -> [ fsync ]
+  | O_pwrite n -> [ pwrite (i n) ]
+  | O_pread n -> [ pread (i n) ]
+  | O_buffered_write n -> [ buffered_write (i n) ]
+  | O_buffered_read n -> [ buffered_read (i n) ]
+  | O_net_send n -> [ net_send (i n) ]
+  | O_dns_lookup -> [ dns_lookup ]
+  | O_mutex_pair -> [ mutex_lock; mutex_unlock ]
+  | O_log_append n -> [ log_append (i n) ]
+  | O_cache_lookup -> [ cache_lookup ]
+  | O_malloc n -> [ malloc (i n) ]
+  | O_compute n -> [ compute (i n) ]
+
+let lower_body body =
+  let open Vir.Builder in
+  (* fresh local names per lowering run: loop counters and read sinks must
+     not collide when a function holds several *)
+  let fresh = ref 0 in
+  let next prefix =
+    incr fresh;
+    Printf.sprintf "_%s%d" prefix !fresh
+  in
+  let rec go body = List.concat_map node body
+  and node = function
+    | S_op o -> lower_op o
+    | S_call f -> [ call f [] ]
+    | S_cfg_read p -> [ set (next "sink") (cfg p) ]
+    | S_unreachable b -> [ if_ (i 0 ==. i 1) (go b) [] ]
+    | S_if (cond, th, el) -> [ if_ (lower_cond cond) (go th) (go el) ]
+    | S_loop (k, b) ->
+      let c = next "loop" in
+      [ set c (i 0); while_ (lv c <. i k) (go b @ [ set c (lv c +. i 1) ]) ]
+  in
+  go body
+
+let to_target t =
+  (match validate t with
+  | Ok () -> ()
+  | Error msg -> failwith (Printf.sprintf "invalid spec %s: %s" t.g_name msg));
+  let open Vir.Builder in
+  let root = (List.hd t.g_funcs).f_name in
+  let funcs =
+    func "fz_main" [ trace_on; call root []; trace_off; ret_void ]
+    :: List.map (fun f -> func f.f_name (lower_body f.f_body @ [ ret_void ])) t.g_funcs
+  in
+  {
+    Violet.Pipeline.name = t.g_name;
+    program = program ~name:t.g_name ~entry:"fz_main" funcs;
+    registry = registry_of t;
+    workloads = [ template_of t ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Serialization                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let format_version = 1
+
+let binop_name = function
+  | Vsmt.Expr.Eq -> "eq"
+  | Vsmt.Expr.Ne -> "ne"
+  | Vsmt.Expr.Lt -> "lt"
+  | Vsmt.Expr.Le -> "le"
+  | Vsmt.Expr.Gt -> "gt"
+  | Vsmt.Expr.Ge -> "ge"
+  | _ -> invalid_arg "Genspec: non-comparison operator in atom"
+
+let binop_of_name = function
+  | "eq" -> Some Vsmt.Expr.Eq
+  | "ne" -> Some Vsmt.Expr.Ne
+  | "lt" -> Some Vsmt.Expr.Lt
+  | "le" -> Some Vsmt.Expr.Le
+  | "gt" -> Some Vsmt.Expr.Gt
+  | "ge" -> Some Vsmt.Expr.Ge
+  | _ -> None
+
+let sexp_of_atom = function
+  | A_cfg (n, op, v) ->
+    Sexp.list [ Sexp.atom "cfg"; Sexp.atom n; Sexp.atom (binop_name op); Sexp.int v ]
+  | A_wl (n, op, v) ->
+    Sexp.list [ Sexp.atom "wl"; Sexp.atom n; Sexp.atom (binop_name op); Sexp.int v ]
+
+let sexp_of_op = function
+  | O_fsync -> Sexp.list [ Sexp.atom "fsync" ]
+  | O_pwrite n -> Sexp.list [ Sexp.atom "pwrite"; Sexp.int n ]
+  | O_pread n -> Sexp.list [ Sexp.atom "pread"; Sexp.int n ]
+  | O_buffered_write n -> Sexp.list [ Sexp.atom "buffered-write"; Sexp.int n ]
+  | O_buffered_read n -> Sexp.list [ Sexp.atom "buffered-read"; Sexp.int n ]
+  | O_net_send n -> Sexp.list [ Sexp.atom "net-send"; Sexp.int n ]
+  | O_dns_lookup -> Sexp.list [ Sexp.atom "dns-lookup" ]
+  | O_mutex_pair -> Sexp.list [ Sexp.atom "mutex-pair" ]
+  | O_log_append n -> Sexp.list [ Sexp.atom "log-append"; Sexp.int n ]
+  | O_cache_lookup -> Sexp.list [ Sexp.atom "cache-lookup" ]
+  | O_malloc n -> Sexp.list [ Sexp.atom "malloc"; Sexp.int n ]
+  | O_compute n -> Sexp.list [ Sexp.atom "compute"; Sexp.int n ]
+
+let rec sexp_of_node = function
+  | S_op o -> Sexp.list [ Sexp.atom "op"; sexp_of_op o ]
+  | S_call f -> Sexp.list [ Sexp.atom "call"; Sexp.atom f ]
+  | S_cfg_read p -> Sexp.list [ Sexp.atom "cfg-read"; Sexp.atom p ]
+  | S_if (cond, th, el) ->
+    Sexp.list
+      [
+        Sexp.atom "if";
+        Sexp.list (List.map sexp_of_atom cond);
+        Sexp.list (List.map sexp_of_node th);
+        Sexp.list (List.map sexp_of_node el);
+      ]
+  | S_loop (k, b) ->
+    Sexp.list [ Sexp.atom "loop"; Sexp.int k; Sexp.list (List.map sexp_of_node b) ]
+  | S_unreachable b ->
+    Sexp.list [ Sexp.atom "unreachable"; Sexp.list (List.map sexp_of_node b) ]
+
+let sexp_of_cparam p =
+  let kind =
+    match p.c_kind with
+    | C_bool -> Sexp.atom "bool"
+    | C_int { lo; hi } -> Sexp.list [ Sexp.atom "int"; Sexp.int lo; Sexp.int hi ]
+    | C_enum vs -> Sexp.list (Sexp.atom "enum" :: List.map Sexp.atom vs)
+  in
+  Sexp.list [ Sexp.atom p.c_name; kind; Sexp.int p.c_default ]
+
+let sexp_of_wparam w =
+  Sexp.list [ Sexp.atom w.w_name; Sexp.int w.w_lo; Sexp.int w.w_hi ]
+
+let sexp_of_plant (p : plant) =
+  Sexp.list
+    [
+      Sexp.atom p.p_param;
+      Sexp.int p.p_poor;
+      Sexp.int p.p_good;
+      Sexp.list
+        (List.map (fun (w, v) -> Sexp.list [ Sexp.atom w; Sexp.int v ]) p.p_workload);
+    ]
+
+let to_sexp t =
+  Sexp.list
+    [
+      Sexp.atom "vfuzz-spec";
+      Sexp.int format_version;
+      Sexp.list [ Sexp.atom "name"; Sexp.atom t.g_name ];
+      Sexp.list [ Sexp.atom "seed"; Sexp.int t.g_seed ];
+      Sexp.list (Sexp.atom "cparams" :: List.map sexp_of_cparam t.g_cparams);
+      Sexp.list (Sexp.atom "wparams" :: List.map sexp_of_wparam t.g_wparams);
+      Sexp.list
+        (Sexp.atom "funcs"
+        :: List.map
+             (fun f ->
+               Sexp.list
+                 [ Sexp.atom f.f_name; Sexp.list (List.map sexp_of_node f.f_body) ])
+             t.g_funcs);
+      Sexp.list (Sexp.atom "plants" :: List.map sexp_of_plant t.g_plants);
+      Sexp.list (Sexp.atom "decoys" :: List.map Sexp.atom t.g_decoys);
+      Sexp.list (Sexp.atom "trail" :: List.map Sexp.atom t.g_trail);
+    ]
+
+let to_string t = Sexp.to_string (to_sexp t)
+
+(* --- parsing --- *)
+
+exception Bad of string
+
+let bad fmt = Printf.ksprintf (fun m -> raise (Bad m)) fmt
+
+let as_atom = function Sexp.Atom s -> s | Sexp.List _ -> bad "expected atom"
+
+let as_int s =
+  match Sexp.to_int s with Some n -> n | None -> bad "expected integer"
+
+let as_list = function Sexp.List l -> l | Sexp.Atom a -> bad "expected list, got %s" a
+
+let atom_of_sexp s =
+  match as_list s with
+  | [ Sexp.Atom kind; Sexp.Atom name; Sexp.Atom opn; v ] -> begin
+    let op =
+      match binop_of_name opn with Some op -> op | None -> bad "unknown operator %s" opn
+    in
+    match kind with
+    | "cfg" -> A_cfg (name, op, as_int v)
+    | "wl" -> A_wl (name, op, as_int v)
+    | k -> bad "unknown atom kind %s" k
+  end
+  | _ -> bad "malformed atom"
+
+let op_of_sexp s =
+  match as_list s with
+  | [ Sexp.Atom "fsync" ] -> O_fsync
+  | [ Sexp.Atom "pwrite"; n ] -> O_pwrite (as_int n)
+  | [ Sexp.Atom "pread"; n ] -> O_pread (as_int n)
+  | [ Sexp.Atom "buffered-write"; n ] -> O_buffered_write (as_int n)
+  | [ Sexp.Atom "buffered-read"; n ] -> O_buffered_read (as_int n)
+  | [ Sexp.Atom "net-send"; n ] -> O_net_send (as_int n)
+  | [ Sexp.Atom "dns-lookup" ] -> O_dns_lookup
+  | [ Sexp.Atom "mutex-pair" ] -> O_mutex_pair
+  | [ Sexp.Atom "log-append"; n ] -> O_log_append (as_int n)
+  | [ Sexp.Atom "cache-lookup" ] -> O_cache_lookup
+  | [ Sexp.Atom "malloc"; n ] -> O_malloc (as_int n)
+  | [ Sexp.Atom "compute"; n ] -> O_compute (as_int n)
+  | Sexp.Atom o :: _ -> bad "unknown op %s" o
+  | _ -> bad "malformed op"
+
+let rec node_of_sexp s =
+  match as_list s with
+  | [ Sexp.Atom "op"; o ] -> S_op (op_of_sexp o)
+  | [ Sexp.Atom "call"; Sexp.Atom f ] -> S_call f
+  | [ Sexp.Atom "cfg-read"; Sexp.Atom p ] -> S_cfg_read p
+  | [ Sexp.Atom "if"; cond; th; el ] ->
+    S_if
+      ( List.map atom_of_sexp (as_list cond),
+        List.map node_of_sexp (as_list th),
+        List.map node_of_sexp (as_list el) )
+  | [ Sexp.Atom "loop"; k; b ] -> S_loop (as_int k, List.map node_of_sexp (as_list b))
+  | [ Sexp.Atom "unreachable"; b ] -> S_unreachable (List.map node_of_sexp (as_list b))
+  | Sexp.Atom n :: _ -> bad "unknown node %s" n
+  | _ -> bad "malformed node"
+
+let cparam_of_sexp s =
+  match as_list s with
+  | [ Sexp.Atom name; kind; default ] ->
+    let c_kind =
+      match kind with
+      | Sexp.Atom "bool" -> C_bool
+      | Sexp.List [ Sexp.Atom "int"; lo; hi ] -> C_int { lo = as_int lo; hi = as_int hi }
+      | Sexp.List (Sexp.Atom "enum" :: vs) -> C_enum (List.map as_atom vs)
+      | _ -> bad "malformed kind for %s" name
+    in
+    { c_name = name; c_kind; c_default = as_int default }
+  | _ -> bad "malformed cparam"
+
+let wparam_of_sexp s =
+  match as_list s with
+  | [ Sexp.Atom name; lo; hi ] -> { w_name = name; w_lo = as_int lo; w_hi = as_int hi }
+  | _ -> bad "malformed wparam"
+
+let plant_of_sexp s =
+  match as_list s with
+  | [ Sexp.Atom param; poor; good; wl ] ->
+    {
+      p_param = param;
+      p_poor = as_int poor;
+      p_good = as_int good;
+      p_workload =
+        List.map
+          (fun pair ->
+            match as_list pair with
+            | [ Sexp.Atom w; v ] -> (w, as_int v)
+            | _ -> bad "malformed plant workload")
+          (as_list wl);
+    }
+  | _ -> bad "malformed plant"
+
+let section name fields =
+  match
+    List.find_opt
+      (function Sexp.List (Sexp.Atom n :: _) -> String.equal n name | _ -> false)
+      fields
+  with
+  | Some (Sexp.List (_ :: rest)) -> rest
+  | _ -> bad "missing section %s" name
+
+let of_string text =
+  match Sexp.of_string text with
+  | Error msg -> Error ("vfuzz spec: " ^ msg)
+  | Ok sexp -> begin
+    try
+      match sexp with
+      | Sexp.List (Sexp.Atom "vfuzz-spec" :: version :: fields) ->
+        if as_int version <> format_version then
+          Error (Printf.sprintf "vfuzz spec: unsupported version %d" (as_int version))
+        else begin
+          let name = match section "name" fields with [ n ] -> as_atom n | _ -> bad "name" in
+          let seed = match section "seed" fields with [ n ] -> as_int n | _ -> bad "seed" in
+          let t =
+            {
+              g_name = name;
+              g_seed = seed;
+              g_cparams = List.map cparam_of_sexp (section "cparams" fields);
+              g_wparams = List.map wparam_of_sexp (section "wparams" fields);
+              g_funcs =
+                List.map
+                  (fun f ->
+                    match as_list f with
+                    | [ Sexp.Atom fname; body ] ->
+                      { f_name = fname; f_body = List.map node_of_sexp (as_list body) }
+                    | _ -> bad "malformed function")
+                  (section "funcs" fields);
+              g_plants = List.map plant_of_sexp (section "plants" fields);
+              g_decoys = List.map as_atom (section "decoys" fields);
+              g_trail = List.map as_atom (section "trail" fields);
+            }
+          in
+          match validate t with
+          | Ok () -> Ok t
+          | Error msg -> Error ("vfuzz spec: " ^ msg)
+        end
+      | _ -> Error "vfuzz spec: not a (vfuzz-spec ...) form"
+    with Bad msg -> Error ("vfuzz spec: " ^ msg)
+  end
+
+let save t path =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (to_string t);
+      output_char oc '\n')
+
+let load path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | text -> of_string text
+  | exception Sys_error msg -> Error msg

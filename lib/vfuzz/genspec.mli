@@ -1,0 +1,102 @@
+(** The generated-system specification vfuzz works on.
+
+    The generator does not emit {!Vir.Ast} programs directly: the mutator
+    and the shrinker need a representation they can edit {e structurally}
+    (drop a function, swap a plant's polarity, unwrap a loop) while keeping
+    the system well-formed and the planted ground truth attached.  A spec is
+    that representation — a restricted, always-lowerable shape of target
+    system.  {!to_target} lowers it deterministically through {!Vir.Builder}
+    into the same [Pipeline.target] bundle the hand-written models use, and
+    {!to_string}/{!of_string} round-trip it through a file so a shrunk
+    differential failure can be committed as a reproducer. *)
+
+(** Configuration-parameter shape (encoded-integer view, like the runtime
+    registry). *)
+type ckind = C_bool | C_int of { lo : int; hi : int } | C_enum of string list
+
+type cparam = { c_name : string; c_kind : ckind; c_default : int }
+type wparam = { w_name : string; w_lo : int; w_hi : int }
+
+(** One comparison of a config or workload variable against a constant —
+    the only predicate atoms generated systems use, so every branch is
+    trivially both lowerable and invertible. *)
+type atom =
+  | A_cfg of string * Vsmt.Expr.binop * int
+  | A_wl of string * Vsmt.Expr.binop * int
+
+type cond = atom list  (** conjunction; [[]] is [true] *)
+
+(** Cost operations, a generator-friendly subset of {!Vir.Ast.prim}. *)
+type op =
+  | O_fsync
+  | O_pwrite of int
+  | O_pread of int
+  | O_buffered_write of int
+  | O_buffered_read of int
+  | O_net_send of int
+  | O_dns_lookup
+  | O_mutex_pair
+  | O_log_append of int
+  | O_cache_lookup
+  | O_malloc of int
+  | O_compute of int
+
+type snode =
+  | S_op of op
+  | S_if of cond * snode list * snode list
+  | S_loop of int * snode list  (** constant-bounded counting loop *)
+  | S_call of string
+  | S_unreachable of snode list  (** a block behind a constant-false guard *)
+  | S_cfg_read of string
+      (** config value read into a local that never reaches a predicate *)
+
+type fspec = { f_name : string; f_body : snode list }
+
+(** Ground truth for one injected specious parameter: setting [p_param] to
+    [p_poor] (encoded) crosses the cost threshold under any workload
+    satisfying [p_workload]; [p_good] stays cheap. *)
+type plant = {
+  p_param : string;
+  p_poor : int;
+  p_good : int;
+  p_workload : (string * int) list;
+}
+
+type t = {
+  g_name : string;  (** system name; doubles as the model-registry key *)
+  g_seed : int;  (** provenance: the corpus seed this spec came from *)
+  g_cparams : cparam list;
+  g_wparams : wparam list;
+  g_funcs : fspec list;  (** first function is the root the entry calls *)
+  g_plants : plant list;
+  g_decoys : string list;
+      (** benign parameters the recall/precision harness probes; expected
+          {e not} to be flagged *)
+  g_trail : string list;  (** applied mutations, oldest first *)
+}
+
+val size : t -> int
+(** Structural size (parameters + statement nodes); the shrinker's metric. *)
+
+val cparam_domain : cparam -> int * int
+(** Inclusive encoded-value bounds of a parameter. *)
+
+val find_cparam : t -> string -> cparam option
+
+val validate : t -> (unit, string) result
+(** Structural well-formedness: non-empty function list, unique names,
+    calls only to later-defined functions (no recursion), atoms and plants
+    referring to declared parameters, defaults and plant values in domain. *)
+
+val to_target : t -> Violet.Pipeline.target
+(** Deterministic lowering through {!Vir.Builder}.  Raises [Failure] on a
+    spec {!validate} rejects. *)
+
+val to_string : t -> string
+(** Canonical s-expression rendering (the [.vfz] reproducer format). *)
+
+val of_string : string -> (t, string) result
+(** Inverse of {!to_string}. *)
+
+val save : t -> string -> unit
+val load : string -> (t, string) result

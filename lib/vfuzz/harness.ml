@@ -1,0 +1,98 @@
+type verdict = {
+  v_system : string;
+  v_plants : (string * bool) list;
+  v_decoys : (string * bool) list;
+  v_errors : (string * string) list;
+}
+
+type score = {
+  s_systems : int;
+  s_plants : int;
+  s_detected : int;
+  s_decoys : int;
+  s_flagged : int;
+  s_errors : int;
+  s_recall : float;
+  s_precision : float;
+}
+
+let mentions param (row : Vmodel.Cost_row.t) =
+  List.exists
+    (fun c ->
+      List.exists
+        (fun (v : Vsmt.Expr.var) -> String.equal v.Vsmt.Expr.name param)
+        (Vsmt.Expr.vars c))
+    row.Vmodel.Cost_row.config_constraints
+
+let score_spec ?(opts = Oracle.default_opts) (spec : Genspec.t) =
+  let target = Genspec.to_target spec in
+  let registry = target.Violet.Pipeline.registry in
+  let errors = ref [] in
+  let plants =
+    List.map
+      (fun (pl : Genspec.plant) ->
+        let detected =
+          match Violet.Pipeline.analyze ~opts target pl.Genspec.p_param with
+          | Error e ->
+            errors := (pl.Genspec.p_param, Violet.Pipeline.error_to_string e) :: !errors;
+            false
+          | Ok a ->
+            let param = Vruntime.Config_registry.find registry pl.Genspec.p_param in
+            let poor =
+              [ (pl.Genspec.p_param, Vruntime.Config_registry.decode param pl.Genspec.p_poor) ]
+            in
+            Violet.Detect.detected registry a ~poor
+        in
+        (pl.Genspec.p_param, detected))
+      spec.Genspec.g_plants
+  in
+  let decoys =
+    List.map
+      (fun d ->
+        let flagged =
+          match Violet.Pipeline.analyze ~opts target d with
+          | Error (Violet.Pipeline.Unused_parameter _) ->
+            (* a declared-but-never-read decoy: the pipeline refusing to
+               analyze it is the right answer *)
+            false
+          | Error e ->
+            errors := (d, Violet.Pipeline.error_to_string e) :: !errors;
+            false
+          | Ok a ->
+            List.exists (mentions d)
+              (Vmodel.Impact_model.poor_rows a.Violet.Pipeline.model)
+        in
+        (d, flagged))
+      spec.Genspec.g_decoys
+  in
+  {
+    v_system = spec.Genspec.g_name;
+    v_plants = plants;
+    v_decoys = decoys;
+    v_errors = List.rev !errors;
+  }
+
+let aggregate verdicts =
+  let count sel = List.fold_left (fun n v -> n + List.length (sel v)) 0 verdicts in
+  let hits sel = List.fold_left (fun n v -> n + List.length (List.filter snd (sel v))) 0 verdicts in
+  let plants = count (fun v -> v.v_plants) in
+  let detected = hits (fun v -> v.v_plants) in
+  let decoys = count (fun v -> v.v_decoys) in
+  let flagged = hits (fun v -> v.v_decoys) in
+  let errors = count (fun v -> v.v_errors) in
+  {
+    s_systems = List.length verdicts;
+    s_plants = plants;
+    s_detected = detected;
+    s_decoys = decoys;
+    s_flagged = flagged;
+    s_errors = errors;
+    s_recall = (if plants = 0 then 1.0 else float_of_int detected /. float_of_int plants);
+    s_precision =
+      (if detected + flagged = 0 then 1.0
+       else float_of_int detected /. float_of_int (detected + flagged));
+  }
+
+let run ?opts specs =
+  let verdicts = List.map (fun s -> score_spec ?opts s) specs in
+  (verdicts, aggregate verdicts)

@@ -1,0 +1,226 @@
+open Genspec
+
+type kind = Flip_const | Swap_predicate | Widen_range | Splice_hot_loop
+
+let kind_to_string = function
+  | Flip_const -> "flip-const"
+  | Swap_predicate -> "swap-predicate"
+  | Widen_range -> "widen-range"
+  | Splice_hot_loop -> "splice-hot-loop"
+
+(* bottom-up node rewrite over every function body *)
+let rec map_body f body = List.map (map_node f) body
+
+and map_node f = function
+  | S_if (c, t, e) -> f (S_if (c, map_body f t, map_body f e))
+  | S_loop (k, b) -> f (S_loop (k, map_body f b))
+  | S_unreachable b -> f (S_unreachable (map_body f b))
+  | n -> f n
+
+let map_funcs f t =
+  { t with g_funcs = List.map (fun fn -> { fn with f_body = map_body f fn.f_body }) t.g_funcs }
+
+let rec fold_body f acc body = List.fold_left (fold_node f) acc body
+
+and fold_node f acc = function
+  | S_if (_, t, e) as n -> fold_body f (fold_body f (f acc n) t) e
+  | (S_loop (_, b) | S_unreachable b) as n -> fold_body f (f acc n) b
+  | n -> f acc n
+
+let fold_funcs f acc t = List.fold_left (fun acc fn -> fold_body f acc fn.f_body) acc t.g_funcs
+
+(* ------------------------------------------------------------------ *)
+(* Flip a constant                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Only cheap magnitudes are perturbed, and only within the cheap band, so
+   a benign site cannot silently cross the cost threshold and invalidate
+   the plant record. *)
+let flip_op rng = function
+  | O_compute _ -> Some (O_compute (10 + Sprng.int rng 490))
+  | O_buffered_write _ -> Some (O_buffered_write (64 + Sprng.int rng 4032))
+  | O_buffered_read _ -> Some (O_buffered_read (64 + Sprng.int rng 4032))
+  | O_log_append _ -> Some (O_log_append (32 + Sprng.int rng 480))
+  | O_malloc _ -> Some (O_malloc (128 + Sprng.int rng 8064))
+  | _ -> None
+
+let flippable = function
+  | S_op (O_compute _ | O_buffered_write _ | O_buffered_read _ | O_log_append _ | O_malloc _)
+    ->
+    true
+  | _ -> false
+
+let flip_const rng t =
+  let sites = fold_funcs (fun acc n -> if flippable n then acc + 1 else acc) 0 t in
+  if sites = 0 then None
+  else begin
+    let target = Sprng.int rng sites in
+    let seen = ref (-1) in
+    let t' =
+      map_funcs
+        (fun n ->
+          if flippable n then begin
+            incr seen;
+            if !seen = target then
+              match n with
+              | S_op o -> (
+                match flip_op rng o with Some o' -> S_op o' | None -> n)
+              | _ -> n
+            else n
+          end
+          else n)
+        t
+    in
+    Some (t', Printf.sprintf "flip-const: re-drew cheap magnitude at site %d" target)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Swap a plant's predicate                                            *)
+(* ------------------------------------------------------------------ *)
+
+let is_plant_if (pl : plant) = function
+  | S_if (cond, _, _) ->
+    List.exists
+      (function
+        | A_cfg (p, Vsmt.Expr.Eq, v) -> String.equal p pl.p_param && v = pl.p_poor
+        | _ -> false)
+      cond
+  | _ -> false
+
+let swap_predicate rng t =
+  if t.g_plants = [] then None
+  else begin
+    let pl = Sprng.choose rng t.g_plants in
+    let swapped = ref false in
+    let t' =
+      map_funcs
+        (fun n ->
+          if (not !swapped) && is_plant_if pl n then begin
+            swapped := true;
+            match n with
+            | S_if (cond, th, el) ->
+              S_if
+                ( List.map
+                    (function
+                      | A_cfg (p, Vsmt.Expr.Eq, v)
+                        when String.equal p pl.p_param && v = pl.p_poor ->
+                        A_cfg (p, Vsmt.Expr.Eq, pl.p_good)
+                      | a -> a)
+                    cond,
+                  th, el )
+            | n -> n
+          end
+          else n)
+        t
+    in
+    if not !swapped then None
+    else begin
+      let t' =
+        {
+          t' with
+          g_plants =
+            List.map
+              (fun (p : plant) ->
+                if p == pl then { p with p_poor = pl.p_good; p_good = pl.p_poor } else p)
+              t'.g_plants;
+          (* keep the plant-default invariant: the default follows the good
+             value, so the swapped plant's poor side stays out of every other
+             plant's concrete baseline *)
+          g_cparams =
+            List.map
+              (fun (c : cparam) ->
+                if String.equal c.c_name pl.p_param then { c with c_default = pl.p_poor }
+                else c)
+              t'.g_cparams;
+        }
+      in
+      Some
+        ( t',
+          Printf.sprintf "swap-predicate: plant %s poor value %d -> %d" pl.p_param
+            pl.p_poor pl.p_good )
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Widen an int parameter's range                                      *)
+(* ------------------------------------------------------------------ *)
+
+let widen_range rng t =
+  let ints =
+    List.filter (fun p -> match p.c_kind with C_int _ -> true | _ -> false) t.g_cparams
+  in
+  if ints = [] then None
+  else begin
+    let p = Sprng.choose rng ints in
+    let lo, hi = cparam_domain p in
+    let hi' = (hi * 2) + 1 in
+    let t' =
+      {
+        t with
+        g_cparams =
+          List.map
+            (fun q ->
+              if String.equal q.c_name p.c_name then { q with c_kind = C_int { lo; hi = hi' } }
+              else q)
+            t.g_cparams;
+      }
+    in
+    Some (t', Printf.sprintf "widen-range: %s hi %d -> %d" p.c_name hi hi')
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Splice a hot loop around a plant's expensive side                   *)
+(* ------------------------------------------------------------------ *)
+
+let splice_hot_loop rng t =
+  if t.g_plants = [] then None
+  else begin
+    let pl = Sprng.choose rng t.g_plants in
+    let spliced = ref false in
+    let t' =
+      map_funcs
+        (fun n ->
+          if (not !spliced) && is_plant_if pl n then begin
+            match n with
+            | S_if (cond, th, el) when th <> [] ->
+              spliced := true;
+              S_if (cond, [ S_loop (2, th) ], el)
+            | n -> n
+          end
+          else n)
+        t
+    in
+    if not !spliced then None
+    else
+      Some (t', Printf.sprintf "splice-hot-loop: doubled plant %s's poor side" pl.p_param)
+  end
+
+(* ------------------------------------------------------------------ *)
+
+let apply_kind rng kind t =
+  let result =
+    match kind with
+    | Flip_const -> flip_const rng t
+    | Swap_predicate -> swap_predicate rng t
+    | Widen_range -> widen_range rng t
+    | Splice_hot_loop -> splice_hot_loop rng t
+  in
+  Option.map
+    (fun (t', desc) ->
+      let t' = { t' with g_trail = t'.g_trail @ [ desc ] } in
+      match validate t' with
+      | Ok () -> (t', desc)
+      | Error msg ->
+        failwith
+          (Printf.sprintf "Mutate.%s broke spec %s: %s" (kind_to_string kind) t.g_name msg))
+    result
+
+let apply rng t =
+  let kinds =
+    Sprng.shuffle rng [ Flip_const; Swap_predicate; Widen_range; Splice_hot_loop ]
+  in
+  let rec try_kinds = function
+    | [] -> (t, "no-op: no applicable mutation")
+    | k :: rest -> ( match apply_kind rng k t with Some r -> r | None -> try_kinds rest)
+  in
+  try_kinds kinds

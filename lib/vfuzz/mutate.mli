@@ -1,0 +1,33 @@
+(** Mutations over generated systems — the VeriFuzz-style [Mutate] pass.
+
+    Each mutation is small, structure-preserving (the result still passes
+    {!Genspec.validate} and lowers), and {e ground-truth aware}: a mutation
+    either provably preserves the plant record or updates it, and either way
+    the change is appended to the spec's trail so a scored corpus explains
+    itself.
+
+    The four families:
+    - {e flip a constant}: perturb a cheap op's magnitude within the band
+      that keeps it cheap (ground truth preserved);
+    - {e swap a branch predicate}: re-point a plant's equality at its good
+      value, making the former fast side the poor side (ground truth
+      updated: poor and good exchange);
+    - {e widen a range}: grow an int parameter's upper bound (ground truth
+      preserved — plants compare for equality against values that remain in
+      domain);
+    - {e splice a hot loop}: wrap a plant's expensive side in a bounded
+      loop, amplifying the planted signal (ground truth preserved). *)
+
+type kind = Flip_const | Swap_predicate | Widen_range | Splice_hot_loop
+
+val kind_to_string : kind -> string
+
+val apply_kind : Sprng.t -> kind -> Genspec.t -> (Genspec.t * string) option
+(** Apply one mutation of the given kind; [None] when the spec has no
+    applicable site (e.g. [Swap_predicate] on a plantless spec).  The
+    returned string describes the change (also appended to the trail). *)
+
+val apply : Sprng.t -> Genspec.t -> Genspec.t * string
+(** Apply one randomly chosen applicable mutation.  Falls back to
+    [Flip_const] (always applicable on generated systems); if truly nothing
+    applies the spec is returned unchanged with a ["no-op"] description. *)

@@ -1,0 +1,229 @@
+type combo = { jobs : int; slice : bool }
+
+let combos =
+  [
+    { jobs = 1; slice = true };
+    { jobs = 1; slice = false };
+    { jobs = 4; slice = true };
+    { jobs = 4; slice = false };
+  ]
+
+let combo_to_string c =
+  Printf.sprintf "jobs=%d slice=%s" c.jobs (if c.slice then "on" else "off")
+
+type disagreement = {
+  d_system : string;
+  d_param : string;
+  d_leg : string;
+  d_detail : string;
+}
+
+type report = {
+  r_system : string;
+  r_params : string list;
+  r_combos : int;
+  r_daemon_checks : int;
+  r_disagreements : disagreement list;
+}
+
+let agreed r = r.r_disagreements = []
+
+let default_opts =
+  {
+    Violet.Pipeline.default_options with
+    Violet.Pipeline.budget =
+      Vresilience.Budget.with_max_states Vresilience.Budget.default 4096;
+    jobs = 1;
+  }
+
+(* the one legitimately run-dependent model field *)
+let scrub_wall_s text =
+  let marker = "(analysis-wall-s " in
+  let b = Buffer.create (String.length text) in
+  let rec copy i =
+    if i >= String.length text then Buffer.contents b
+    else begin
+      let is_marker =
+        i + String.length marker <= String.length text
+        && String.sub text i (String.length marker) = marker
+      in
+      if is_marker then begin
+        Buffer.add_string b "(analysis-wall-s 0)";
+        let j = ref (i + String.length marker) in
+        while !j < String.length text && text.[!j] <> ')' do
+          incr j
+        done;
+        copy (!j + 1)
+      end
+      else begin
+        Buffer.add_char b text.[i];
+        copy (i + 1)
+      end
+    end
+  in
+  copy 0
+
+let model_fingerprint m = scrub_wall_s (Vmodel.Impact_model.to_string m)
+
+let findings_fingerprint fs =
+  Vserve.Wire.to_string (Vserve.Protocol.findings_to_wire fs)
+
+(* first point of divergence, with a little context either side *)
+let first_diff a b =
+  let n = min (String.length a) (String.length b) in
+  let rec go i = if i < n && a.[i] = b.[i] then go (i + 1) else i in
+  let i = go 0 in
+  let snip s =
+    let from = max 0 (i - 20) in
+    let len = min 60 (String.length s - from) in
+    if len <= 0 then "<end>" else String.sub s from len
+  in
+  Printf.sprintf "byte %d: %S vs %S" i (snip a) (snip b)
+
+let analysis_fingerprint opts target param c =
+  let opts = { opts with Violet.Pipeline.jobs = c.jobs; slice = c.slice } in
+  match Violet.Pipeline.analyze ~opts target param with
+  | Ok a -> (model_fingerprint a.Violet.Pipeline.model, Some a)
+  | Error e -> ("error: " ^ Violet.Pipeline.error_to_string e, None)
+
+let fresh_dir () =
+  let base = Filename.get_temp_dir_name () in
+  let rec try_n n =
+    let d = Filename.concat base (Printf.sprintf "vfuzz-%d-%d" (Unix.getpid ()) n) in
+    try
+      Unix.mkdir d 0o700;
+      d
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> try_n (n + 1)
+  in
+  try_n 0
+
+let rm_rf dir =
+  Array.iter (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+    (try Sys.readdir dir with Sys_error _ -> [||]);
+  try Unix.rmdir dir with Unix.Unix_error _ -> ()
+
+(* Daemon leg: serve the exported models from a throwaway daemon and compare
+   check-current findings against the in-process checker on the re-imported
+   model.  [exports] pairs registry keys with the model file just written. *)
+let daemon_leg ~system ~registry ~dir exports =
+  if exports = [] then ([], 0)
+  else begin
+    let addr = `Unix (Filename.concat dir "sock") in
+    let sopts =
+      {
+        (Vserve.Server.default_options ~addr ~models_dir:dir) with
+        Vserve.Server.resolve_registry = (fun _ -> Some registry);
+        refresh_every_s = 0.05;
+        jobs = 1;
+      }
+    in
+    let srv = Domain.spawn (fun () -> Vserve.Server.run sopts) in
+    let bad leg detail = { d_system = system; d_param = leg; d_leg = "daemon"; d_detail = detail } in
+    let ds = ref [] in
+    let checks = ref 0 in
+    begin
+      match Vserve.Client.connect_retry addr with
+      | Error e -> ds := [ bad "connect" e ]
+      | Ok client ->
+        List.iter
+          (fun (param, key, path) ->
+            incr checks;
+            let local =
+              match Violet.Pipeline.import_model path with
+              | Error e -> Error ("import: " ^ e)
+              | Ok model -> (
+                match
+                  Vchecker.Checker.check_current ~model ~registry
+                    ~file:(Vchecker.Config_file.parse "")
+                with
+                | Error e -> Error ("check: " ^ e)
+                | Ok rep -> Ok (findings_fingerprint rep.Vchecker.Checker.findings))
+            in
+            let served =
+              match
+                Vserve.Client.call client
+                  (Vserve.Protocol.Check_current { key; config = "" })
+              with
+              | Error e -> Error ("call: " ^ e)
+              | Ok (Vserve.Protocol.Report o) ->
+                Ok (findings_fingerprint o.Vserve.Protocol.findings)
+              | Ok _ -> Error "unexpected response"
+            in
+            match (local, served) with
+            | Ok a, Ok b when String.equal a b -> ()
+            | Ok a, Ok b ->
+              ds := bad param (first_diff a b) :: !ds
+            | Error e, _ | _, Error e -> ds := bad param e :: !ds)
+          exports;
+        (match Vserve.Client.call client Vserve.Protocol.Shutdown with
+        | Ok Vserve.Protocol.Bye | Ok _ | Error _ -> ());
+        Vserve.Client.close client
+    end;
+    (match Domain.join srv with Ok () | Error _ -> ());
+    (List.rev !ds, !checks)
+  end
+
+let check ?(opts = default_opts) ?(daemon = true) (spec : Genspec.t) =
+  let target = Genspec.to_target spec in
+  let registry = target.Violet.Pipeline.registry in
+  let params =
+    List.map (fun (p : Genspec.plant) -> p.Genspec.p_param) spec.Genspec.g_plants
+    @ spec.Genspec.g_decoys
+  in
+  let reference = List.hd combos in
+  let ds = ref [] in
+  let n_combos = ref 0 in
+  let exports = ref [] in
+  let dir = if daemon then Some (fresh_dir ()) else None in
+  List.iter
+    (fun param ->
+      let ref_fp, ref_analysis = analysis_fingerprint opts target param reference in
+      incr n_combos;
+      List.iter
+        (fun c ->
+          incr n_combos;
+          let fp, _ = analysis_fingerprint opts target param c in
+          if not (String.equal fp ref_fp) then
+            ds :=
+              {
+                d_system = spec.Genspec.g_name;
+                d_param = param;
+                d_leg = combo_to_string c ^ " vs " ^ combo_to_string reference;
+                d_detail = first_diff fp ref_fp;
+              }
+              :: !ds)
+        (List.tl combos);
+      match (dir, ref_analysis) with
+      | Some d, Some a ->
+        let key = spec.Genspec.g_name ^ "--" ^ param in
+        let path = Filename.concat d (key ^ ".vmodel") in
+        (match Violet.Pipeline.export_model a.Violet.Pipeline.model path with
+        | Ok () -> exports := (param, key, path) :: !exports
+        | Error e ->
+          ds :=
+            {
+              d_system = spec.Genspec.g_name;
+              d_param = param;
+              d_leg = "daemon";
+              d_detail = "export: " ^ e;
+            }
+            :: !ds)
+      | _ -> ())
+    params;
+  let daemon_ds, daemon_checks =
+    match dir with
+    | None -> ([], 0)
+    | Some d ->
+      let r =
+        daemon_leg ~system:spec.Genspec.g_name ~registry ~dir:d (List.rev !exports)
+      in
+      rm_rf d;
+      r
+  in
+  {
+    r_system = spec.Genspec.g_name;
+    r_params = params;
+    r_combos = !n_combos;
+    r_daemon_checks = daemon_checks;
+    r_disagreements = List.rev !ds @ daemon_ds;
+  }

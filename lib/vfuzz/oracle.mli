@@ -1,0 +1,58 @@
+(** The differential oracle.
+
+    The pipeline promises its impact models are deterministic: parallelism
+    ([--jobs]), independence slicing ([--slice]), and serving a model through
+    the {!Vserve} daemon are all supposed to be {e invisible} to the output.
+    The oracle holds every generated system against that promise:
+
+    - the four analyze combos (jobs 1/4 {m \times} slice on/off) must produce
+      byte-identical impact models (wall-clock scrubbed, the one legitimately
+      run-dependent field) for every analyzable parameter;
+    - checking the exported model through a live daemon must produce findings
+      byte-identical (canonical wire encoding) to running
+      {!Vchecker.Checker.check_current} in process on the re-imported model.
+
+    Any disagreement is a bug in the pipeline, not in the generated system —
+    the harness shrinks the system to a minimal reproducer and writes it to
+    disk. *)
+
+type combo = { jobs : int; slice : bool }
+
+val combos : combo list
+(** The grid: jobs 1/4 {m \times} slice on/off.  Head is the reference. *)
+
+val combo_to_string : combo -> string
+
+type disagreement = {
+  d_system : string;
+  d_param : string;
+  d_leg : string;  (** e.g. ["jobs=4 slice=off"] or ["daemon"] *)
+  d_detail : string;  (** first point of divergence, truncated *)
+}
+
+type report = {
+  r_system : string;
+  r_params : string list;  (** parameters put through the grid *)
+  r_combos : int;  (** model fingerprints compared *)
+  r_daemon_checks : int;  (** daemon-vs-in-process findings compared *)
+  r_disagreements : disagreement list;
+}
+
+val agreed : report -> bool
+
+val default_opts : Violet.Pipeline.options
+(** {!Violet.Pipeline.default_options} with the state budget clamped for
+    fuzz-scale systems, so a corpus run stays fast. *)
+
+val model_fingerprint : Vmodel.Impact_model.t -> string
+(** Canonical model text with [(analysis-wall-s ...)] scrubbed — the
+    byte-identity the oracle compares. *)
+
+val findings_fingerprint : Vchecker.Checker.finding list -> string
+(** Canonical wire encoding of a findings list ({!Vserve.Protocol}). *)
+
+val check : ?opts:Violet.Pipeline.options -> ?daemon:bool -> Genspec.t -> report
+(** Run the full grid over every plant and decoy parameter of the system.
+    [daemon] (default [true]) additionally exports each reference model,
+    serves it from a throwaway daemon on a Unix socket, and compares
+    [check-current] findings against the in-process checker. *)

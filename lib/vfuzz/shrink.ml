@@ -1,0 +1,169 @@
+open Genspec
+
+type outcome = {
+  sh_spec : Genspec.t;
+  sh_from_size : int;
+  sh_to_size : int;
+  sh_steps : int;
+  sh_checks : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Single-node structural edits                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Every edit strictly reduces node count: dropping a node, or splicing a
+   branch/loop/unreachable body in place of its wrapper. *)
+let rec body_edits body =
+  let rec at prefix = function
+    | [] -> []
+    | n :: rest ->
+      let drop = List.rev_append prefix rest in
+      let spliced =
+        match n with
+        | S_if (_, t, e) -> [ t; e ]
+        | S_loop (_, b) | S_unreachable b -> [ b ]
+        | _ -> []
+      in
+      let spliced = List.map (fun b -> List.rev_append prefix (b @ rest)) spliced in
+      let nested = List.map (fun n' -> List.rev_append prefix (n' :: rest)) (node_edits n) in
+      ((drop :: spliced) @ nested) @ at (n :: prefix) rest
+  in
+  at [] body
+
+and node_edits = function
+  | S_if (c, t, e) ->
+    List.map (fun t' -> S_if (c, t', e)) (body_edits t)
+    @ List.map (fun e' -> S_if (c, t, e')) (body_edits e)
+  | S_loop (k, b) -> List.map (fun b' -> S_loop (k, b')) (body_edits b)
+  | S_unreachable b -> List.map (fun b' -> S_unreachable b') (body_edits b)
+  | _ -> []
+
+(* ------------------------------------------------------------------ *)
+(* Reference checks for parameter drops                                *)
+(* ------------------------------------------------------------------ *)
+
+let rec node_refs_cparam name = function
+  | S_cfg_read p -> String.equal p name
+  | S_if (cond, t, e) ->
+    List.exists (function A_cfg (p, _, _) -> String.equal p name | A_wl _ -> false) cond
+    || List.exists (node_refs_cparam name) t
+    || List.exists (node_refs_cparam name) e
+  | S_loop (_, b) | S_unreachable b -> List.exists (node_refs_cparam name) b
+  | S_op _ | S_call _ -> false
+
+let rec node_refs_wparam name = function
+  | S_if (cond, t, e) ->
+    List.exists (function A_wl (w, _, _) -> String.equal w name | A_cfg _ -> false) cond
+    || List.exists (node_refs_wparam name) t
+    || List.exists (node_refs_wparam name) e
+  | S_loop (_, b) | S_unreachable b -> List.exists (node_refs_wparam name) b
+  | S_op _ | S_call _ | S_cfg_read _ -> false
+
+let cparam_unreferenced t name =
+  (not (List.exists (fun f -> List.exists (node_refs_cparam name) f.f_body) t.g_funcs))
+  && (not (List.exists (fun (p : plant) -> String.equal p.p_param name) t.g_plants))
+  && not (List.exists (String.equal name) t.g_decoys)
+
+let wparam_unreferenced t name =
+  (not (List.exists (fun f -> List.exists (node_refs_wparam name) f.f_body) t.g_funcs))
+  && not
+       (List.exists
+          (fun (p : plant) -> List.exists (fun (w, _) -> String.equal w name) p.p_workload)
+          t.g_plants)
+
+(* ------------------------------------------------------------------ *)
+(* Candidate reductions                                                *)
+(* ------------------------------------------------------------------ *)
+
+let rec strip_calls name body =
+  List.filter_map
+    (function
+      | S_call f when String.equal f name -> None
+      | S_if (c, t, e) -> Some (S_if (c, strip_calls name t, strip_calls name e))
+      | S_loop (k, b) -> Some (S_loop (k, strip_calls name b))
+      | S_unreachable b -> Some (S_unreachable (strip_calls name b))
+      | n -> Some n)
+    body
+
+let drop_ith l i = List.filteri (fun j _ -> j <> i) l
+
+let candidates t =
+  let drop_funcs =
+    (* never the root: the entry calls function 0 *)
+    List.filteri (fun i _ -> i > 0) (List.mapi (fun i f -> (i, f)) t.g_funcs)
+    |> List.map (fun (i, (f : fspec)) ->
+           {
+             t with
+             g_funcs =
+               drop_ith t.g_funcs i
+               |> List.map (fun g -> { g with f_body = strip_calls f.f_name g.f_body });
+           })
+  in
+  let body_edit_specs =
+    List.concat
+      (List.mapi
+         (fun i (f : fspec) ->
+           List.map
+             (fun body' ->
+               { t with g_funcs = List.mapi (fun j g -> if j = i then { g with f_body = body' } else g) t.g_funcs })
+             (body_edits f.f_body))
+         t.g_funcs)
+  in
+  let drop_plants =
+    List.mapi (fun i _ -> { t with g_plants = drop_ith t.g_plants i }) t.g_plants
+  in
+  let drop_decoys =
+    List.mapi (fun i _ -> { t with g_decoys = drop_ith t.g_decoys i }) t.g_decoys
+  in
+  let drop_cparams =
+    List.mapi (fun i p -> (i, p)) t.g_cparams
+    |> List.filter (fun (_, (p : cparam)) -> cparam_unreferenced t p.c_name)
+    |> List.map (fun (i, _) -> { t with g_cparams = drop_ith t.g_cparams i })
+  in
+  let drop_wparams =
+    List.mapi (fun i p -> (i, p)) t.g_wparams
+    |> List.filter (fun (_, (p : wparam)) -> wparam_unreferenced t p.w_name)
+    |> List.map (fun (i, _) -> { t with g_wparams = drop_ith t.g_wparams i })
+  in
+  drop_funcs @ body_edit_specs @ drop_plants @ drop_decoys @ drop_cparams @ drop_wparams
+  |> List.filter (fun c -> match validate c with Ok () -> true | Error _ -> false)
+
+(* ------------------------------------------------------------------ *)
+
+let shrink ?(max_checks = 150) ~still_fails t =
+  let checks = ref 0 in
+  let steps = ref 0 in
+  let rec improve current =
+    if !checks >= max_checks then current
+    else begin
+      let rec first = function
+        | [] -> None
+        | c :: rest ->
+          if !checks >= max_checks then None
+          else begin
+            incr checks;
+            if still_fails c then Some c else first rest
+          end
+      in
+      match first (candidates current) with
+      | Some smaller ->
+        incr steps;
+        improve smaller
+      | None -> current
+    end
+  in
+  let from_size = size t in
+  let shrunk = improve t in
+  let to_size = size shrunk in
+  let shrunk =
+    if !steps = 0 then shrunk
+    else
+      {
+        shrunk with
+        g_trail =
+          shrunk.g_trail
+          @ [ Printf.sprintf "shrunk: %d -> %d nodes in %d steps" from_size to_size !steps ];
+      }
+  in
+  { sh_spec = shrunk; sh_from_size = from_size; sh_to_size = to_size; sh_steps = !steps; sh_checks = !checks }

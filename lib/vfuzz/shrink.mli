@@ -1,0 +1,29 @@
+(** Greedy minimization of a failing generated system.
+
+    When the {!Oracle} finds a disagreement, the interesting artifact is not
+    the 200-node generated system but the smallest spec that still
+    disagrees.  The shrinker repeatedly tries single structural reductions —
+    drop a function (fixing up calls), drop a statement, splice a branch or
+    loop body in place of its wrapper, drop an unreferenced parameter, drop
+    a plant or decoy record — keeping a candidate whenever [still_fails]
+    accepts it, until no reduction applies or the check budget runs out.
+
+    Every accepted candidate is strictly smaller under {!Genspec.size}, so
+    the loop terminates; the shrunk spec records the reduction in its
+    trail and round-trips through {!Genspec.save} as an on-disk
+    reproducer. *)
+
+type outcome = {
+  sh_spec : Genspec.t;  (** the minimized spec (original if nothing shrank) *)
+  sh_from_size : int;
+  sh_to_size : int;
+  sh_steps : int;  (** accepted reductions *)
+  sh_checks : int;  (** [still_fails] evaluations spent *)
+}
+
+val candidates : Genspec.t -> Genspec.t list
+(** All valid single-step reductions, biggest-first.  Exposed for tests. *)
+
+val shrink : ?max_checks:int -> still_fails:(Genspec.t -> bool) -> Genspec.t -> outcome
+(** [max_checks] (default 150) bounds predicate evaluations — each one
+    typically re-runs the oracle, so the budget is the wall-clock knob. *)

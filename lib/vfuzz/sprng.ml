@@ -1,0 +1,98 @@
+(* SplitMix64 (Steele, Lea & Flood, OOPSLA 2014): a 64-bit state advanced by
+   a weyl constant ("gamma"), output finalized by a murmur-style mixer.
+   Splitting draws a fresh state and a fresh odd gamma from the parent, so
+   child streams never share the parent's orbit. *)
+
+type t = { mutable state : int64; gamma : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* gamma mixer (variant constants) + the "enough transitions" fixup keeping
+   every gamma odd and bit-diverse *)
+let mix_gamma z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 33)) 0xFF51AFD7ED558CCDL in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 33)) 0xC4CEB9FE1A85EC53L in
+  let z = Int64.logor z 1L in
+  let transitions =
+    let x = Int64.logxor z (Int64.shift_right_logical z 1) in
+    let rec popcount acc x =
+      if Int64.equal x 0L then acc
+      else popcount (acc + 1) (Int64.logand x (Int64.sub x 1L))
+    in
+    popcount 0 x
+  in
+  if transitions < 24 then Int64.logxor z 0xAAAAAAAAAAAAAAAAL else z
+
+let make seed = { state = mix64 (Int64.of_int seed); gamma = golden_gamma }
+
+let next_seed t =
+  t.state <- Int64.add t.state t.gamma;
+  t.state
+
+let bits64 t = mix64 (next_seed t)
+
+let split t =
+  let s = next_seed t in
+  let g = next_seed t in
+  { state = mix64 s; gamma = mix_gamma g }
+
+let split_at t k =
+  (* keyed derivation, not an advance: child state folds the key into the
+     parent's current position, so the same (t, k) always yields the same
+     stream regardless of sibling consumption *)
+  let key = Int64.add t.state (Int64.mul (Int64.of_int (k + 1)) golden_gamma) in
+  { state = mix64 key; gamma = mix_gamma (mix64 (Int64.logxor key t.gamma)) }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Sprng.int: bound must be positive";
+  (* rejection-free for our small bounds: fold 62 nonnegative bits onto
+     [0, bound) — 62, not 63, so the value fits OCaml's native int *)
+  let v = Int64.to_int (Int64.shift_right_logical (bits64 t) 2) in
+  v mod bound
+
+let range t ~lo ~hi =
+  if lo > hi then invalid_arg "Sprng.range: lo > hi";
+  lo + int t (hi - lo + 1)
+
+let bool t = Int64.equal (Int64.logand (bits64 t) 1L) 1L
+
+let chance t p =
+  if p <= 0. then false
+  else if p >= 1. then true
+  else
+    let v = Int64.to_float (Int64.shift_right_logical (bits64 t) 11) in
+    v /. 9007199254740992. (* 2^53 *) < p
+
+let choose t = function
+  | [] -> invalid_arg "Sprng.choose: empty list"
+  | xs -> List.nth xs (int t (List.length xs))
+
+let choose_weighted t pairs =
+  let total = List.fold_left (fun acc (_, w) -> acc + max 0 w) 0 pairs in
+  if total <= 0 then invalid_arg "Sprng.choose_weighted: no positive weight";
+  let pick = int t total in
+  let rec go acc = function
+    | [] -> invalid_arg "Sprng.choose_weighted: impossible"
+    | (x, w) :: rest ->
+      let acc = acc + max 0 w in
+      if pick < acc then x else go acc rest
+  in
+  go 0 pairs
+
+let shuffle t xs =
+  let a = Array.of_list xs in
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  Array.to_list a
+
+let lowercase_ident t ~len =
+  String.init len (fun _ -> Char.chr (Char.code 'a' + int t 26))

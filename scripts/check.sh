@@ -49,4 +49,11 @@ if [ "$rc" -ne 2 ]; then
   exit 1
 fi
 
+echo "== fuzz smoke (20 generated systems) =="
+# score planted ground truth and run the differential oracle on a small
+# corpus; `fuzz diff` exits non-zero on any disagreement and shrinks it
+dune exec bin/violet_cli.exe -- fuzz run --seed 42 --count 20 >/dev/null
+dune exec bin/violet_cli.exe -- fuzz diff --seed 42 --count 20 \
+  --out "$SMOKE_DIR/fuzz-failures" >/dev/null
+
 echo "== check OK =="

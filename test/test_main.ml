@@ -26,6 +26,8 @@ let () =
       (* vserve spawns the daemon on a domain, so it also stays after the
          fork-based vresilience tests *)
       ("vserve", Test_vserve.tests);
+      (* vfuzz's oracle tests also spawn daemon domains *)
+      ("vfuzz", Test_vfuzz.tests);
       ("endtoend", Test_endtoend.tests);
       ("smoke", Test_smoke.tests);
     ]

@@ -169,6 +169,60 @@ let test_callgraph_cycles () =
     [ [ "a"; "b"; "c" ] ]
     (Callgraph.paths_to g ~entry:"a" "c")
 
+(* ------------------------------------------------------------------ *)
+(* Builder edge shapes the vfuzz generator emits                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_branchless_function () =
+  (* a straight-line function: no branch nodes, trivially postdominated *)
+  let p =
+    program ~name:"line" ~entry:"main"
+      [ func "main" [ compute (i 5); buffered_write (i 128); ret_void ] ]
+  in
+  let main = Ast.find_func p "main" in
+  let g = Cfg.of_func main in
+  check Alcotest.int "no branch nodes" 0 (List.length (Cfg.branch_nodes g));
+  let pd = Postdom.compute g in
+  (* the exit postdominates every node of a straight line *)
+  Array.iter
+    (fun (n : Cfg.node) ->
+      check Alcotest.bool "exit postdominates" true
+        (Postdom.postdominates pd g.Cfg.exit_id n.Cfg.id))
+    g.Cfg.nodes
+
+let test_unreachable_block () =
+  (* a block behind a constant-false guard still builds: addresses, CFG
+     edges and postdominators all present *)
+  let p =
+    program ~name:"dead" ~entry:"main"
+      [
+        func "main"
+          [ if_ (i 0 ==. i 1) [ fsync; compute (i 9) ] []; compute (i 1); ret_void ];
+      ]
+  in
+  let main = Ast.find_func p "main" in
+  let g = Cfg.of_func main in
+  check Alcotest.int "guard is a branch node" 1 (List.length (Cfg.branch_nodes g));
+  ignore (Postdom.compute g)
+
+let test_config_read_without_predicate () =
+  (* a config value read into a local that never reaches a predicate: the
+     read is recorded, no branch depends on it *)
+  let p =
+    program ~name:"readonly" ~entry:"main"
+      [ func "main" [ set "x" (cfg "knob"); compute (lv "x"); ret_void ] ]
+  in
+  let main = Ast.find_func p "main" in
+  let reads = ref [] in
+  Ast.iter_stmts
+    (function
+      | Ast.Assign (_, value) -> reads := Ast.config_reads value @ !reads
+      | _ -> ())
+    (Ast.func_body main);
+  check (Alcotest.list Alcotest.string) "config read recorded" [ "knob" ] !reads;
+  let g = Cfg.of_func main in
+  check Alcotest.int "no branching" 0 (List.length (Cfg.branch_nodes g))
+
 let contains hay needle =
   let n = String.length needle and h = String.length hay in
   let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
@@ -192,4 +246,7 @@ let tests =
     tc "callgraph" test_callgraph;
     tc "callgraph cycles" test_callgraph_cycles;
     tc "pretty renders" test_pretty_renders;
+    tc "branchless function" test_branchless_function;
+    tc "unreachable block" test_unreachable_block;
+    tc "config read without predicate" test_config_read_without_predicate;
   ]
