@@ -9,6 +9,9 @@
 
 let experiments =
   [
+    (* first: the fleet forks a supervisor, which is only sound before any
+       experiment has spawned domains *)
+    "fleet", ("vfleet: shard scaling + chaos A/B + fleet oracle", Exp_fleet.run);
     "fig2", ("Figure 2: autocommit throughput", Exp_fig2.run);
     "table1", ("Table 1: autocommit cost table", Exp_table1.run);
     "table4", ("Table 4: 17 known cases", Exp_table4.run);

@@ -265,7 +265,7 @@ let serve addr models max_queue max_batch no_batch request_deadline shed_pressur
 let with_client addr f =
   let addr = or_die (Vserve.Client.addr_of_string addr) in
   (* retry briefly: "start the daemon, then the client" scripts race the bind *)
-  let c = or_die (Vserve.Client.connect_retry ~attempts:20 ~delay_s:0.1 addr) in
+  let c = or_die (Vserve.Client.connect_retry ~deadline_s:2.0 addr) in
   Fun.protect ~finally:(fun () -> Vserve.Client.close c) (fun () -> f c)
 
 (* Mirrors the in-process [check]/[check-update] convention: exit 0 when
@@ -296,6 +296,10 @@ let print_response (resp : Vserve.Protocol.response) =
   | Vserve.Protocol.Stats_info w ->
     Fmt.pr "%s@." (Vserve.Wire.to_string w);
     0
+  | Vserve.Protocol.Reload_info { phase; ok; entries } ->
+    Fmt.pr "reload %s: %s@." phase (if ok then "ok" else "FAILED");
+    List.iter (fun (k, v) -> Fmt.pr "  %s  %s@." k v) entries;
+    if ok then 0 else 1
   | Vserve.Protocol.Error_resp { code; message } ->
     Fmt.epr "violet: daemon error (%s): %s@."
       (Vserve.Protocol.error_code_to_string code)
@@ -696,6 +700,164 @@ let client_cmd =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* violet fleet: a supervised multi-process serve fleet — router +
+   N shard workers + supervisor, all rooted in one run directory. *)
+
+let fleet_router_addr run_dir =
+  Vserve.Client.addr_to_string
+    (Vfleet.Topology.router_addr { Vfleet.Topology.run_dir; shards = 1 })
+
+let fleet_start run_dir models shards replication no_retries attempt_timeout
+    probe_every seed =
+  let topology = Vfleet.Topology.make ~run_dir ~shards in
+  let resolve_registry (m : Vmodel.Impact_model.t) =
+    Option.map
+      (fun t -> t.Violet.Pipeline.registry)
+      (Targets.Cases.find_target m.Vmodel.Impact_model.system)
+  in
+  let base = Vfleet.Supervisor.default_options ~topology ~models_dir:models in
+  let opts =
+    {
+      base with
+      Vfleet.Supervisor.worker_opts =
+        (fun i ->
+          { (base.Vfleet.Supervisor.worker_opts i) with Vserve.Server.resolve_registry });
+      router_opts =
+        {
+          base.Vfleet.Supervisor.router_opts with
+          Vfleet.Router.replication;
+          retries = not no_retries;
+          attempt_timeout_s = attempt_timeout;
+        };
+      probe_every_s = probe_every;
+      seed;
+    }
+  in
+  Fmt.pr "violet fleet: %d shards in %s, router on %s@." shards run_dir
+    (fleet_router_addr run_dir);
+  or_die (Vfleet.Supervisor.run opts);
+  0
+
+let fleet_stats run_dir = client_call (fleet_router_addr run_dir) Vserve.Protocol.Stats
+let fleet_health run_dir = client_call (fleet_router_addr run_dir) Vserve.Protocol.Health
+
+let fleet_drain run_dir =
+  (* shutting the router down drains it; the supervisor sees the clean exit
+     and terminates the workers *)
+  client_call (fleet_router_addr run_dir) Vserve.Protocol.Shutdown
+
+let fleet_reload run_dir =
+  with_client (fleet_router_addr run_dir) (fun c ->
+      match or_die (Vserve.Client.call ~timeout_s:30.0 c Vserve.Protocol.Reload_stage) with
+      | Vserve.Protocol.Reload_info { ok = false; _ } as resp ->
+        ignore (print_response resp);
+        Fmt.epr "violet: stage failed on at least one shard — nothing committed@.";
+        1
+      | Vserve.Protocol.Reload_info { ok = true; _ } as resp ->
+        ignore (print_response resp);
+        print_response
+          (or_die (Vserve.Client.call ~timeout_s:30.0 c Vserve.Protocol.Reload_commit))
+      | resp -> print_response resp)
+
+let fleet_cmd =
+  let run_dir_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "run-dir" ] ~docv:"DIR"
+          ~doc:
+            "Fleet run directory: shard sockets ($(i,shard-N.sock)), the router \
+             socket ($(i,router.sock)) and the supervisor state file \
+             ($(i,fleet-state.json)) all live here.")
+  in
+  let start_cmd =
+    let models =
+      Arg.(
+        required
+        & opt (some string) None
+        & info [ "models" ] ~docv:"DIR"
+            ~doc:
+              "Model-registry directory, loaded by every shard (full replication: \
+               the ring decides affinity, not placement).  Generations change only \
+               via $(b,violet fleet reload).")
+    in
+    let shards =
+      Arg.(value & opt int 3 & info [ "shards" ] ~docv:"N" ~doc:"Worker process count.")
+    in
+    let replication =
+      Arg.(
+        value & opt int 2
+        & info [ "replication" ] ~docv:"N"
+            ~doc:"Preference-list prefix a key may fail over across.")
+    in
+    let no_retries =
+      Arg.(
+        value & flag
+        & info [ "no-retries" ]
+            ~doc:
+              "Disable re-dispatch: the first shard failure answers the client \
+               (the chaos bench A/B hatch).")
+    in
+    let attempt_timeout =
+      Arg.(
+        value & opt float 2.0
+        & info [ "attempt-timeout" ] ~docv:"SECONDS"
+            ~doc:"Per-dispatch deadline before the router fails over.")
+    in
+    let probe_every =
+      Arg.(
+        value & opt float 0.5
+        & info [ "probe-every" ] ~docv:"SECONDS" ~doc:"Supervisor health-probe period.")
+    in
+    let seed =
+      Arg.(
+        value & opt int 0x5eed
+        & info [ "seed" ] ~docv:"N" ~doc:"Restart-backoff jitter seed.")
+    in
+    Cmd.v
+      (Cmd.info "start"
+         ~doc:
+           "Start the fleet in the foreground: fork router and shard workers, \
+            supervise (health probes, backoff restarts, crash-loop breaker) until \
+            SIGTERM or $(b,violet fleet drain)")
+      Term.(
+        const fleet_start $ run_dir_arg $ models $ shards $ replication $ no_retries
+        $ attempt_timeout $ probe_every $ seed)
+  in
+  let stats_cmd =
+    Cmd.v
+      (Cmd.info "stats"
+         ~doc:
+           "Fleet-wide telemetry as JSON: per-shard serve stats and restart/trip \
+            counters merged with the router's routing/failover/fallback counters")
+      Term.(const fleet_stats $ run_dir_arg)
+  in
+  let health_cmd =
+    Cmd.v
+      (Cmd.info "health" ~doc:"Router status and model generations")
+      Term.(const fleet_health $ run_dir_arg)
+  in
+  let reload_cmd =
+    Cmd.v
+      (Cmd.info "reload"
+         ~doc:
+           "Two-phase hot reload: stage the model directory on every shard, commit \
+            the generation flip only if all of them staged successfully")
+      Term.(const fleet_reload $ run_dir_arg)
+  in
+  let drain_cmd =
+    Cmd.v
+      (Cmd.info "drain" ~doc:"Drain the router and shut the whole fleet down")
+      Term.(const fleet_drain $ run_dir_arg)
+  in
+  Cmd.group
+    (Cmd.info "fleet"
+       ~doc:
+         "Supervised multi-process serve fleet: consistent-hash routing, crash \
+          recovery, failover and two-phase hot reload")
+    [ start_cmd; stats_cmd; health_cmd; reload_cmd; drain_cmd ]
+
+(* ------------------------------------------------------------------ *)
 (* violet fuzz: generated target systems with planted ground truth     *)
 (* ------------------------------------------------------------------ *)
 
@@ -767,8 +929,9 @@ let fuzz_diff seed count no_daemon out =
     (fun spec ->
       let r = Vfuzz.Oracle.check ~daemon spec in
       if Vfuzz.Oracle.agreed r then
-        Fmt.pr "%-14s ok (%d combos, %d daemon checks)@." r.Vfuzz.Oracle.r_system
-          r.Vfuzz.Oracle.r_combos r.Vfuzz.Oracle.r_daemon_checks
+        Fmt.pr "%-14s ok (%d combos, %d daemon checks, %d fleet checks)@."
+          r.Vfuzz.Oracle.r_system r.Vfuzz.Oracle.r_combos r.Vfuzz.Oracle.r_daemon_checks
+          r.Vfuzz.Oracle.r_fleet_checks
       else begin
         incr failures;
         Fmt.pr "%-14s DISAGREES@." r.Vfuzz.Oracle.r_system;
@@ -893,7 +1056,8 @@ let main_cmd =
        ~doc:"Automated reasoning and detection of specious configuration")
     [
       list_params_cmd; related_cmd; analyze_cmd; check_cmd; check_update_cmd;
-      coverage_cmd; dump_trace_cmd; analyze_trace_cmd; serve_cmd; client_cmd; fuzz_cmd;
+      coverage_cmd; dump_trace_cmd; analyze_trace_cmd; serve_cmd; client_cmd; fleet_cmd;
+      fuzz_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

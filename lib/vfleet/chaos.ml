@@ -1,0 +1,81 @@
+module P = Vserve.Protocol
+module Client = Vserve.Client
+
+type draws = { draw_int : int -> int; draw_float : unit -> float }
+
+type action =
+  | Kill of int
+  | Stall of { shard : int; for_s : float }
+  | Corrupt_reload of { key : string }
+
+let action_to_string = function
+  | Kill i -> Printf.sprintf "kill shard-%d" i
+  | Stall { shard; for_s } -> Printf.sprintf "stall shard-%d for %.2fs" shard for_s
+  | Corrupt_reload { key } -> Printf.sprintf "corrupt reload of %s" key
+
+let plan ~draws ~shards ~keys ~events =
+  List.init events (fun _ ->
+      let r = draws.draw_float () in
+      if r < 0.60 || (r >= 0.85 && keys = []) then Kill (draws.draw_int shards)
+      else if r < 0.85 then
+        Stall
+          {
+            shard = draws.draw_int shards;
+            for_s = 0.1 +. (0.5 *. draws.draw_float ());
+          }
+      else Corrupt_reload { key = List.nth keys (draws.draw_int (List.length keys)) })
+
+type outcome = { killed : int; stalled : int; corrupted : int; stage_rejections : int }
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)
+
+let apply ~pid_of_shard ~router ~models_dir outcome action =
+  match action with
+  | Kill shard -> begin
+    match pid_of_shard shard with
+    | None | Some 0 -> outcome
+    | Some pid ->
+      (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+      { outcome with killed = outcome.killed + 1 }
+  end
+  | Stall { shard; for_s } -> begin
+    match pid_of_shard shard with
+    | None | Some 0 -> outcome
+    | Some pid ->
+      (try Unix.kill pid Sys.sigstop with Unix.Unix_error _ -> ());
+      Unix.sleepf for_s;
+      (* the supervisor may have SIGKILLed the stalled pid already; CONT on
+         a reaped pid is harmless (ESRCH swallowed) *)
+      (try Unix.kill pid Sys.sigcont with Unix.Unix_error _ -> ());
+      { outcome with stalled = outcome.stalled + 1 }
+  end
+  | Corrupt_reload { key } -> begin
+    let path = Vserve.Registry.model_file ~dir:models_dir ~key in
+    match read_file path with
+    | exception Sys_error _ -> outcome
+    | original ->
+      (* a write killed half-way: the envelope checksum no longer matches *)
+      let cut = max 1 (String.length original / 2) in
+      write_file path (String.sub original 0 cut);
+      let rejected =
+        match Client.call ~timeout_s:10.0 router P.Reload_stage with
+        | Ok (P.Reload_info { phase = "stage"; ok; _ }) -> not ok
+        | Ok _ | Error _ -> false
+      in
+      write_file path original;
+      {
+        outcome with
+        corrupted = outcome.corrupted + 1;
+        stage_rejections = (outcome.stage_rejections + if rejected then 1 else 0);
+      }
+  end

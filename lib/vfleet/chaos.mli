@@ -1,0 +1,52 @@
+(** Fleet-level fault injection.
+
+    Seeded chaos for the fleet bench and the robustness tests: a {!plan} is
+    a deterministic function of the injected randomness, and {!apply}
+    executes one action against a live fleet (pids come from the
+    supervisor's state file, passed in by the caller).
+
+    Randomness is {e injected} as closures rather than drawn here — the
+    vfuzz Sprng splittable generator drives the bench, but vfleet cannot
+    depend on vfuzz (vfuzz's Oracle depends on vfleet), so the harness
+    hands the draws across. *)
+
+type draws = {
+  draw_int : int -> int;  (** [draw_int n] uniform in [0, n) *)
+  draw_float : unit -> float;  (** uniform in [0, 1) *)
+}
+
+type action =
+  | Kill of int  (** SIGKILL shard [i]'s worker — abrupt crash *)
+  | Stall of { shard : int; for_s : float }
+      (** SIGSTOP the worker, SIGCONT after [for_s] — unresponsive, not dead *)
+  | Corrupt_reload of { key : string }
+      (** truncate the model file mid-"write", then attempt a two-phase
+          reload (the stage must fail fleet-wide), then restore the bytes *)
+
+val action_to_string : action -> string
+
+val plan : draws:draws -> shards:int -> keys:string list -> events:int -> action list
+(** [events] actions over the shard ids [0..shards-1] and model [keys]:
+    ~60% kills, ~25% stalls (0.1–0.6 s), ~15% reload corruptions (only when
+    [keys] is non-empty; otherwise the slot becomes a kill). *)
+
+type outcome = {
+  killed : int;
+  stalled : int;
+  corrupted : int;
+  stage_rejections : int;
+      (** corrupt-reload attempts the fleet correctly refused to stage *)
+}
+
+val apply :
+  pid_of_shard:(int -> int option) ->
+  router:Vserve.Client.t ->
+  models_dir:string ->
+  outcome ->
+  action ->
+  outcome
+(** Execute one action.  [pid_of_shard] reads the supervisor's current view
+    (0/None = shard down, the action is skipped).  [Corrupt_reload] drives
+    the router's [reload-stage] and counts a rejection when the fleet
+    refuses the corrupt generation; the file's original bytes are restored
+    afterwards either way. *)

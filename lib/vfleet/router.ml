@@ -1,0 +1,772 @@
+module P = Vserve.Protocol
+module Conn = Vserve.Conn
+module Wire = Vserve.Wire
+module Client = Vserve.Client
+module Registry = Vserve.Registry
+module Stats = Vsched.Exploration_stats
+module Checker = Vchecker.Checker
+module Degradation = Vresilience.Degradation
+
+type options = {
+  topology : Topology.t;
+  models_dir : string;
+  vnodes : int;
+  replication : int;
+  retries : bool;
+  attempt_timeout_s : float;
+  max_attempts : int;
+  max_pending : int;
+  down_budget_s : float;
+  breaker_threshold : int;
+  breaker_cooldown_s : float;
+  reconnect_every_s : float;
+  allow_shutdown : bool;
+  now : unit -> float;
+}
+
+let default_options ~topology ~models_dir =
+  {
+    topology;
+    models_dir;
+    vnodes = 64;
+    replication = 2;
+    retries = true;
+    attempt_timeout_s = 2.0;
+    max_attempts = 3;
+    max_pending = 256;
+    down_budget_s = 1.0;
+    breaker_threshold = 3;
+    breaker_cooldown_s = 1.0;
+    reconnect_every_s = 0.25;
+    allow_shutdown = true;
+    now = Unix.gettimeofday;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* State                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type shard = {
+  s_id : int;
+  s_addr : Vserve.Server.addr;
+  mutable s_conn : Conn.t option;
+  mutable s_consec : int;  (* consecutive charged failures *)
+  mutable s_failures : int;  (* total charged failures *)
+  mutable s_trips : int;
+  mutable s_open_until : float;  (* breaker: 0. = closed *)
+  mutable s_down_since : float option;
+  s_degrade : Degradation.controller;
+}
+
+type pending = {
+  pn_rid : int;
+  pn_client : Conn.t;
+  pn_cid : int option;
+  pn_req : P.request;
+  pn_key : string;
+  mutable pn_shard : int;
+  mutable pn_remaining : int list;  (* untried preference candidates *)
+  mutable pn_attempts : int;
+  mutable pn_deadline : float;
+  pn_t0 : float;
+}
+
+type state = {
+  opts : options;
+  ring : Hash_ring.t;
+  registry : Registry.t;  (* the router's own copy, for fallback answers *)
+  shards : shard array;
+  pendings : (int, pending) Hashtbl.t;
+  latency : Stats.latency_hist;
+  mutable next_rid : int;
+  mutable routed : int;
+  mutable retries : int;
+  mutable failovers : int;
+  mutable timeouts : int;
+  mutable stale : int;
+  mutable fallback_degraded : int;
+  mutable shed : int;
+  mutable write_failed : int;
+  mutable reloads_staged : int;
+  mutable reloads_committed : int;
+  mutable stage_ok : bool;  (* the last fleet-wide stage round succeeded *)
+  mutable stopping : bool;
+}
+
+let key_of_request = function
+  | P.Check_current { key; _ } | P.Check_update { key; _ } | P.Check_upgrade { key; _ } ->
+    Some key
+  | P.Health | P.Stats | P.Reload_stage | P.Reload_commit | P.Shutdown -> None
+
+(* ------------------------------------------------------------------ *)
+(* Shard connections and failure accounting                            *)
+(* ------------------------------------------------------------------ *)
+
+let close_shard_conn sh =
+  (match sh.s_conn with Some c -> Conn.close c | None -> ());
+  sh.s_conn <- None
+
+let mark_down st sh =
+  if sh.s_down_since = None then sh.s_down_since <- Some (st.opts.now ());
+  close_shard_conn sh
+
+let mark_success sh =
+  sh.s_consec <- 0;
+  sh.s_down_since <- None;
+  sh.s_open_until <- 0.
+
+(* one charged failure: consecutive count feeds the per-shard breaker *)
+let mark_failure st sh =
+  sh.s_consec <- sh.s_consec + 1;
+  sh.s_failures <- sh.s_failures + 1;
+  if sh.s_consec >= st.opts.breaker_threshold && st.opts.now () >= sh.s_open_until then begin
+    sh.s_open_until <- st.opts.now () +. st.opts.breaker_cooldown_s;
+    sh.s_trips <- sh.s_trips + 1
+  end
+
+let downtime st sh =
+  match sh.s_down_since with None -> 0. | Some t -> st.opts.now () -. t
+
+let observe_pressure st sh =
+  let pressure =
+    if st.opts.down_budget_s <= 0. then 1.
+    else Float.min 1. (downtime st sh /. st.opts.down_budget_s)
+  in
+  ignore (Degradation.observe sh.s_degrade ~pressure ~step:st.routed)
+
+let shard_conn _st sh =
+  match sh.s_conn with
+  | Some c when not (Conn.closed c) -> Some c
+  | _ -> begin
+    sh.s_conn <- None;
+    let sock_addr =
+      match sh.s_addr with
+      | `Unix path -> Some (Unix.PF_UNIX, Unix.ADDR_UNIX path)
+      | `Tcp (host, port) -> begin
+        match Unix.gethostbyname host with
+        | exception Not_found -> None
+        | { Unix.h_addr_list = [||]; _ } -> None
+        | { Unix.h_addr_list; _ } -> Some (Unix.PF_INET, Unix.ADDR_INET (h_addr_list.(0), port))
+      end
+    in
+    match sock_addr with
+    | None -> None
+    | Some (pf, sa) -> begin
+      let fd = Unix.socket pf Unix.SOCK_STREAM 0 in
+      match Unix.connect fd sa with
+      | () ->
+        let c = Conn.make fd in
+        sh.s_conn <- Some c;
+        mark_success sh;
+        Some c
+      | exception Unix.Unix_error _ ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        None
+    end
+  end
+
+(* candidate shards for a key, best first: the preference-list prefix of
+   length [replication], minus shards whose breaker is open (cooldown not
+   elapsed) or that have been down past the budget *)
+let candidates st key =
+  let now = st.opts.now () in
+  Hash_ring.preference st.ring key
+  |> List.filteri (fun i _ -> i < st.opts.replication)
+  |> List.filter (fun id ->
+         let sh = st.shards.(id) in
+         let breaker_open = now < sh.s_open_until in
+         let past_budget = downtime st sh > st.opts.down_budget_s in
+         (not breaker_open) && not past_budget)
+
+(* ------------------------------------------------------------------ *)
+(* Answering clients                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let answer st p resp =
+  Hashtbl.remove st.pendings p.pn_rid;
+  Conn.write_line p.pn_client (P.encode_response ?id:p.pn_cid resp);
+  Stats.observe_latency st.latency ~us:((st.opts.now () -. p.pn_t0) *. 1e6)
+
+(* every candidate failed: answer the conservative widening from the
+   router's own registry rather than losing the request.  With [retries]
+   off the resilience machinery is disabled wholesale — no re-dispatch
+   {e and} no degraded stand-in — so failures surface as errors (the
+   honest baseline the chaos bench A/Bs against). *)
+let fallback st p =
+  (match key_of_request p.pn_req with
+  | Some key -> observe_pressure st st.shards.(Hash_ring.owner st.ring key)
+  | None -> ());
+  match (if st.opts.retries then Registry.find st.registry p.pn_key else None) with
+  | Some (e : Registry.entry) ->
+    st.fallback_degraded <- st.fallback_degraded + 1;
+    let t0 = st.opts.now () in
+    let findings = Checker.degraded_findings e.Registry.model in
+    answer st p
+      (P.Report
+         {
+           P.findings;
+           checked_in_s = st.opts.now () -. t0;
+           generation = e.Registry.generation;
+           batched = false;
+           coalesced = false;
+           degraded = true;
+         })
+  | None ->
+    answer st p
+      (P.Error_resp
+         {
+           code = P.Check_failed;
+           message = Printf.sprintf "no shard answered for model %s" p.pn_key;
+         })
+
+let rec dispatch st p =
+  if p.pn_attempts >= st.opts.max_attempts then fallback st p
+  else begin
+    match p.pn_remaining with
+    | [] -> fallback st p
+    | id :: rest -> begin
+      p.pn_remaining <- rest;
+      let sh = st.shards.(id) in
+      match shard_conn st sh with
+      | None ->
+        mark_failure st sh;
+        mark_down st sh;
+        if st.opts.retries then begin
+          (* moving past an unreachable candidate is a failover too *)
+          if p.pn_remaining <> [] then st.failovers <- st.failovers + 1;
+          dispatch st p
+        end
+        else fallback st p
+      | Some c ->
+        p.pn_shard <- id;
+        p.pn_attempts <- p.pn_attempts + 1;
+        p.pn_deadline <- st.opts.now () +. st.opts.attempt_timeout_s;
+        Conn.write_line c (P.encode_request ~id:p.pn_rid p.pn_req);
+        if Conn.closed c then begin
+          (* the write itself failed: the worker died under us *)
+          mark_failure st sh;
+          mark_down st sh;
+          if st.opts.retries then begin
+            if p.pn_remaining <> [] then st.failovers <- st.failovers + 1;
+            dispatch st p
+          end
+          else fallback st p
+        end
+    end
+  end
+
+(* a worker connection died: everything in flight on it fails over *)
+let on_worker_dead st sh =
+  mark_down st sh;
+  let victims =
+    Hashtbl.fold (fun _ p acc -> if p.pn_shard = sh.s_id then p :: acc else acc) st.pendings []
+  in
+  List.iter
+    (fun p ->
+      mark_failure st sh;
+      if st.opts.retries then begin
+        st.failovers <- st.failovers + 1;
+        st.retries <- st.retries + 1;
+        dispatch st p
+      end
+      else fallback st p)
+    victims
+
+let check_timeouts st =
+  let now = st.opts.now () in
+  let expired =
+    Hashtbl.fold (fun _ p acc -> if now >= p.pn_deadline then p :: acc else acc) st.pendings []
+  in
+  List.iter
+    (fun p ->
+      st.timeouts <- st.timeouts + 1;
+      let sh = st.shards.(p.pn_shard) in
+      mark_failure st sh;
+      if st.opts.retries then begin
+        st.failovers <- st.failovers + 1;
+        st.retries <- st.retries + 1;
+        dispatch st p
+      end
+      else fallback st p)
+    expired
+
+(* ------------------------------------------------------------------ *)
+(* Worker responses                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let handle_worker_line st sh line =
+  match P.decode_response line with
+  | Error _ -> st.stale <- st.stale + 1
+  | Ok (rid, resp) -> begin
+    match rid with
+    | None -> st.stale <- st.stale + 1
+    | Some rid -> begin
+      match Hashtbl.find_opt st.pendings rid with
+      | None ->
+        (* already answered by failover or fallback: drop, never forward *)
+        st.stale <- st.stale + 1
+      | Some p -> begin
+        match resp with
+        | P.Error_resp { code = P.Overloaded; _ } when st.opts.retries && p.pn_remaining <> []
+          ->
+          (* the worker shed the request: retryable, but overload is not a
+             shard fault — the breaker is not charged *)
+          st.retries <- st.retries + 1;
+          st.failovers <- st.failovers + 1;
+          dispatch st p
+        | resp ->
+          mark_success sh;
+          answer st p resp
+      end
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Synchronous worker calls (service verbs only)                       *)
+(* ------------------------------------------------------------------ *)
+
+let sync_call _st sh req ~timeout_s =
+  match Client.connect sh.s_addr with
+  | Error e -> Error e
+  | Ok c ->
+    Fun.protect
+      ~finally:(fun () -> Client.close c)
+      (fun () -> Client.call ~timeout_s c req)
+
+let drain_deadline st =
+  st.opts.now () +. (st.opts.attempt_timeout_s *. float_of_int (st.opts.max_attempts + 1))
+
+(* wait out the in-flight requests (worker sockets only — client lines queue
+   in their kernel buffers), so a reload never mixes generations and a
+   stats pull sees a quiesced pending table *)
+let drain st =
+  let deadline = drain_deadline st in
+  while Hashtbl.length st.pendings > 0 && st.opts.now () < deadline do
+    let fds =
+      Array.to_list st.shards
+      |> List.filter_map (fun sh ->
+             match sh.s_conn with
+             | Some c when not (Conn.closed c) -> Some (Conn.fd c)
+             | _ -> None)
+    in
+    let readable =
+      match Unix.select fds [] [] 0.05 with
+      | r, _, _ -> r
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> []
+    in
+    List.iter
+      (fun fd ->
+        Array.iter
+          (fun sh ->
+            match sh.s_conn with
+            | Some c when (not (Conn.closed c)) && Conn.fd c == fd ->
+              let lines = Conn.read_lines c in
+              if Conn.closed c then on_worker_dead st sh
+              else List.iter (handle_worker_line st sh) lines
+            | _ -> ())
+          st.shards)
+      readable;
+    check_timeouts st
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Service verbs                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let health_resp st =
+  let models =
+    List.map
+      (fun (e : Registry.entry) ->
+        {
+          P.mi_key = e.Registry.key;
+          mi_generation = e.Registry.generation;
+          mi_digest = e.Registry.digest;
+        })
+      (Registry.entries st.registry)
+  in
+  P.Health_info { status = (if st.stopping then "stopping" else "ok"); models }
+
+(* the supervisor's published view: pid and restart counts per shard *)
+let supervisor_shards st =
+  match Topology.read_state st.opts.topology with
+  | None -> [||]
+  | Some contents -> begin
+    match Wire.of_string contents with
+    | Error _ -> [||]
+    | Ok v -> begin
+      match Option.bind (Wire.member "shards" v) Wire.to_list with
+      | None -> [||]
+      | Some items ->
+        let arr = Array.make (Array.length st.shards) None in
+        List.iter
+          (fun item ->
+            match Option.bind (Wire.member "id" item) Wire.to_int with
+            | Some id when id >= 0 && id < Array.length arr -> arr.(id) <- Some item
+            | _ -> ())
+          items;
+        arr
+    end
+  end
+
+let fleet_snapshot st =
+  let sup = supervisor_shards st in
+  let merged_latency = Stats.latency_hist () in
+  Stats.merge_latency ~into:merged_latency st.latency;
+  let shards =
+    Array.to_list st.shards
+    |> List.map (fun sh ->
+           let stats_json =
+             if downtime st sh > 0. then None
+             else
+               match sync_call st sh P.Stats ~timeout_s:1.0 with
+               | Ok (P.Stats_info v) ->
+                 (* fold the worker's latency histogram into the fleet view *)
+                 (match Wire.member "latency" v with
+                 | Some lat -> begin
+                   match
+                     ( Option.bind (Wire.member "bucket_counts" lat) Wire.to_list,
+                       Option.bind (Wire.member "mean_us" lat) Wire.to_float,
+                       Option.bind (Wire.member "max_us" lat) Wire.to_float )
+                   with
+                   | Some counts, Some mean_us, Some max_us ->
+                     Stats.absorb_latency merged_latency
+                       ~counts:(List.filter_map Wire.to_int counts)
+                       ~mean_us ~max_us
+                   | _ -> ()
+                 end
+                 | None -> ());
+                 Some (Wire.to_string v)
+               | _ -> None
+           in
+           let sup_field name conv =
+             match sup with
+             | [||] -> None
+             | arr -> Option.bind arr.(sh.s_id) (fun v -> Option.bind (Wire.member name v) conv)
+           in
+           let sup_int name = sup_field name Wire.to_int in
+           let sup_str name = sup_field name Wire.to_str in
+           {
+             Stats.fs_id = sh.s_id;
+             fs_pid = Option.value ~default:0 (sup_int "pid");
+             fs_state =
+               (match sup_str "state" with
+               | Some ("tripped" as s) | Some ("restarting" as s) -> s
+               | _ -> if downtime st sh > 0. then "down" else "up");
+             fs_restarts = Option.value ~default:0 (sup_int "restarts");
+             fs_breaker_trips = sh.s_trips + Option.value ~default:0 (sup_int "breaker_trips");
+             fs_failures = sh.s_failures + Option.value ~default:0 (sup_int "failures");
+             fs_stats = stats_json;
+           })
+  in
+  {
+    Stats.f_shards = shards;
+    f_routed = st.routed;
+    f_retries = st.retries;
+    f_failovers = st.failovers;
+    f_timeouts = st.timeouts;
+    f_stale_responses = st.stale;
+    f_fallback_degraded = st.fallback_degraded;
+    f_shed = st.shed;
+    f_write_failed = st.write_failed;
+    f_reloads_staged = st.reloads_staged;
+    f_reloads_committed = st.reloads_committed;
+    f_latency = merged_latency;
+  }
+
+let reload_stage st =
+  drain st;
+  let worker_results =
+    Array.to_list st.shards
+    |> List.map (fun sh ->
+           let name = Printf.sprintf "shard-%d" sh.s_id in
+           match sync_call st sh P.Reload_stage ~timeout_s:5.0 with
+           | Ok (P.Reload_info { ok = true; _ }) -> (name, Ok ())
+           | Ok (P.Reload_info { entries; _ }) ->
+             let why =
+               match List.find_opt (fun (_, v) -> v <> "") entries with
+               | Some (k, v) -> Printf.sprintf "%s: %s" k v
+               | None -> "stage failed"
+             in
+             (name, Error why)
+           | Ok _ -> (name, Error "unexpected response to reload-stage")
+           | Error e -> (name, Error e))
+  in
+  let own_results = Registry.stage st.registry in
+  let own_ok = Registry.staged st.registry || own_results = [] in
+  let ok = own_ok && List.for_all (fun (_, r) -> Result.is_ok r) worker_results in
+  st.stage_ok <- ok;
+  if ok then st.reloads_staged <- st.reloads_staged + 1;
+  let entries =
+    List.map
+      (fun (name, r) -> (name, match r with Ok () -> "staged" | Error e -> e))
+      worker_results
+    @ List.map
+        (fun (key, r) ->
+          ("router:" ^ key, match r with Ok digest -> digest | Error e -> e))
+        own_results
+  in
+  P.Reload_info { phase = "stage"; ok; entries }
+
+let reload_commit st =
+  if not st.stage_ok then
+    P.Reload_info
+      {
+        phase = "commit";
+        ok = false;
+        entries = [ ("", "no successful fleet-wide stage to commit") ];
+      }
+  else begin
+    st.stage_ok <- false;
+    drain st;
+    let commit_one sh =
+      let name = Printf.sprintf "shard-%d" sh.s_id in
+      let attempt () =
+        match sync_call st sh P.Reload_commit ~timeout_s:5.0 with
+        | Ok (P.Reload_info { ok = true; _ }) -> Ok ()
+        | Ok (P.Reload_info { entries; _ }) ->
+          Error
+            (match entries with (_, e) :: _ -> e | [] -> "commit failed")
+        | Ok _ -> Error "unexpected response to reload-commit"
+        | Error e -> Error e
+      in
+      match attempt () with
+      | Ok () -> (name, Ok ())
+      | Error _ -> begin
+        (* the worker may have restarted since the stage (losing its staged
+           set, but loading the new files at startup anyway): re-stage and
+           commit once so a recovered shard rejoins the new generation *)
+        match sync_call st sh P.Reload_stage ~timeout_s:5.0 with
+        | Ok (P.Reload_info { ok = true; _ }) -> (name, attempt ())
+        | Ok _ | Error _ -> (name, attempt ())
+      end
+    in
+    let worker_results = Array.to_list st.shards |> List.map commit_one in
+    let own_ok =
+      match Registry.commit st.registry with Ok _ -> true | Error _ -> false
+    in
+    let ok = own_ok && List.for_all (fun (_, r) -> Result.is_ok r) worker_results in
+    if ok then st.reloads_committed <- st.reloads_committed + 1;
+    let entries =
+      List.map
+        (fun (name, r) -> (name, match r with Ok () -> "committed" | Error e -> e))
+        worker_results
+    in
+    P.Reload_info { phase = "commit"; ok; entries }
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Client requests                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let handle_client_line st conn line =
+  match P.decode_request line with
+  | Error msg ->
+    Conn.write_line conn
+      (P.encode_response (P.Error_resp { code = P.Bad_request; message = msg }))
+  | Ok (id, req) -> begin
+    match req with
+    | P.Health -> Conn.write_line conn (P.encode_response ?id (health_resp st))
+    | P.Stats ->
+      let json = Stats.fleet_to_json (fleet_snapshot st) in
+      let resp =
+        match Wire.of_string json with
+        | Ok v -> P.Stats_info v
+        | Error msg ->
+          P.Error_resp { code = P.Check_failed; message = "stats rendering failed: " ^ msg }
+      in
+      Conn.write_line conn (P.encode_response ?id resp)
+    | P.Reload_stage -> Conn.write_line conn (P.encode_response ?id (reload_stage st))
+    | P.Reload_commit -> Conn.write_line conn (P.encode_response ?id (reload_commit st))
+    | P.Shutdown ->
+      if st.opts.allow_shutdown then begin
+        st.stopping <- true;
+        Conn.write_line conn (P.encode_response ?id P.Bye)
+      end
+      else
+        Conn.write_line conn
+          (P.encode_response ?id
+             (P.Error_resp { code = P.Bad_request; message = "shutdown is disabled" }))
+    | P.Check_current _ | P.Check_update _ | P.Check_upgrade _ ->
+      if st.stopping then
+        Conn.write_line conn
+          (P.encode_response ?id
+             (P.Error_resp { code = P.Shutting_down; message = "fleet is shutting down" }))
+      else if Hashtbl.length st.pendings >= st.opts.max_pending then begin
+        st.shed <- st.shed + 1;
+        Conn.write_line conn
+          (P.encode_response ?id
+             (P.Error_resp
+                { code = P.Overloaded; message = "router pending table full — request shed" }))
+      end
+      else begin
+        let key = Option.value ~default:"" (key_of_request req) in
+        let rid = st.next_rid in
+        st.next_rid <- rid + 1;
+        st.routed <- st.routed + 1;
+        let p =
+          {
+            pn_rid = rid;
+            pn_client = conn;
+            pn_cid = id;
+            pn_req = req;
+            pn_key = key;
+            pn_shard = -1;
+            pn_remaining = candidates st key;
+            pn_attempts = 0;
+            pn_deadline = Float.max_float;
+            pn_t0 = st.opts.now ();
+          }
+        in
+        Hashtbl.replace st.pendings rid p;
+        dispatch st p
+      end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* The reactor                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let bind_socket addr =
+  match addr with
+  | `Unix path ->
+    if Sys.file_exists path then (try Sys.remove path with Sys_error _ -> ());
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.bind fd (Unix.ADDR_UNIX path);
+    Unix.listen fd 64;
+    fd
+  | `Tcp (host, port) ->
+    let inet =
+      try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+      with Not_found -> Unix.inet_addr_loopback
+    in
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.setsockopt fd Unix.SO_REUSEADDR true;
+    Unix.bind fd (Unix.ADDR_INET (inet, port));
+    Unix.listen fd 64;
+    fd
+
+let run opts =
+  if Sys.os_type = "Unix" then Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let addr = Topology.router_addr opts.topology in
+  match bind_socket addr with
+  | exception Unix.Unix_error (err, _, _) ->
+    Error (Printf.sprintf "cannot bind router: %s" (Unix.error_message err))
+  | listen_fd ->
+    let registry = Registry.create ~dir:opts.models_dir in
+    ignore (Registry.refresh registry);
+    let shards =
+      Array.init opts.topology.Topology.shards (fun i ->
+          {
+            s_id = i;
+            s_addr = Topology.worker_addr opts.topology i;
+            s_conn = None;
+            s_consec = 0;
+            s_failures = 0;
+            s_trips = 0;
+            s_open_until = 0.;
+            s_down_since = None;
+            s_degrade = Degradation.controller Degradation.default_policy;
+          })
+    in
+    let st =
+      {
+        opts;
+        ring = Hash_ring.make ~vnodes:opts.vnodes ~shards:opts.topology.Topology.shards ();
+        registry;
+        shards;
+        pendings = Hashtbl.create 64;
+        latency = Stats.latency_hist ();
+        next_rid = 1;
+        routed = 0;
+        retries = 0;
+        failovers = 0;
+        timeouts = 0;
+        stale = 0;
+        fallback_degraded = 0;
+        shed = 0;
+        write_failed = 0;
+        reloads_staged = 0;
+        reloads_committed = 0;
+        stage_ok = false;
+        stopping = false;
+      }
+    in
+    let on_write_failed () = st.write_failed <- st.write_failed + 1 in
+    let clients = ref [] in
+    let last_reconnect = ref 0. in
+    let rec loop () =
+      clients := List.filter (fun c -> not (Conn.closed c)) !clients;
+      if st.stopping && Hashtbl.length st.pendings = 0 then ()
+      else begin
+        (* periodically probe downed shards for recovery (the supervisor
+           restarts them; this is how the router notices) *)
+        if opts.now () -. !last_reconnect >= opts.reconnect_every_s then begin
+          Array.iter
+            (fun sh -> if sh.s_down_since <> None then ignore (shard_conn st sh))
+            shards;
+          last_reconnect := opts.now ()
+        end;
+        let worker_fds =
+          Array.to_list shards
+          |> List.filter_map (fun sh ->
+                 match sh.s_conn with
+                 | Some c when not (Conn.closed c) -> Some (Conn.fd c)
+                 | _ -> None)
+        in
+        let fds =
+          (if st.stopping then [] else [ listen_fd ])
+          @ List.map (fun c -> Conn.fd c) !clients
+          @ worker_fds
+        in
+        let timeout =
+          if Hashtbl.length st.pendings = 0 then 0.2
+          else
+            Hashtbl.fold (fun _ p acc -> Float.min acc p.pn_deadline) st.pendings
+              Float.max_float
+            |> fun d -> Float.max 0.005 (Float.min 0.2 (d -. opts.now ()))
+        in
+        let readable =
+          match Unix.select fds [] [] timeout with
+          | r, _, _ -> r
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> []
+        in
+        List.iter
+          (fun fd ->
+            if fd == listen_fd then begin
+              match Unix.accept listen_fd with
+              | client_fd, _ -> clients := Conn.make ~on_write_failed client_fd :: !clients
+              | exception Unix.Unix_error _ -> ()
+            end
+            else begin
+              let handled = ref false in
+              Array.iter
+                (fun sh ->
+                  match sh.s_conn with
+                  | Some c when (not (Conn.closed c)) && Conn.fd c == fd ->
+                    handled := true;
+                    let lines = Conn.read_lines c in
+                    if Conn.closed c then on_worker_dead st sh
+                    else List.iter (handle_worker_line st sh) lines
+                  | _ -> ())
+                shards;
+              if not !handled then
+                match List.find_opt (fun c -> Conn.fd c == fd) !clients with
+                | None -> ()
+                | Some conn -> List.iter (handle_client_line st conn) (Conn.read_lines conn)
+            end)
+          readable;
+        check_timeouts st;
+        loop ()
+      end
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        List.iter Conn.close !clients;
+        Array.iter close_shard_conn shards;
+        (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+        match addr with
+        | `Unix path -> ( try Sys.remove path with Sys_error _ -> ())
+        | `Tcp _ -> ())
+      (fun () ->
+        loop ();
+        Ok ())

@@ -1,0 +1,73 @@
+(** The fleet front door: a single-threaded [select] proxy that speaks the
+    {!Vserve.Protocol} on both sides.
+
+    Clients connect to one socket and see one logical daemon; behind it the
+    router consistent-hashes each check's model key onto a preference list
+    of shard workers ({!Hash_ring.preference}) and proxies the request:
+
+    - {e dispatch}: the request is re-encoded with a router-assigned id and
+      written to the preferred shard's connection; the response is
+      re-encoded with the client's id.  The wire encoding is canonical, so
+      a proxied answer is byte-identical to what the worker produced (and
+      to what an in-process checker would have encoded) — the vfuzz Oracle
+      pins this;
+    - {e retry / failover}: every dispatch carries a per-attempt deadline.
+      A timeout, a dead worker connection, or a worker [overloaded] answer
+      re-dispatches the (pure, idempotent) check to the next untried shard
+      on the preference list.  Worker overload is retried but {e not}
+      charged to the shard's breaker; timeouts and connection failures are;
+    - {e breaker}: consecutive charged failures open a per-shard breaker
+      for a cooldown; an open shard is skipped at dispatch.  After the
+      cooldown one probe dispatch is allowed through (half-open);
+    - {e fallback}: when no shard candidate remains — all down, tripped, or
+      past the down budget — the router answers from its own model registry
+      with the conservative widening ({!Vchecker.Checker.degraded_findings},
+      [degraded = true]), so overloaded or dying fleets degrade instead of
+      erroring.  A per-shard {!Vresilience.Degradation} controller, fed
+      [downtime / down_budget_s] as pressure, records the escalation;
+    - {e stale answers}: a late response whose request was already answered
+      (by failover or fallback) is dropped and counted, never forwarded;
+    - {e two-phase reload}: [reload-stage] drains in-flight requests, then
+      fans stage to every shard (and the router's own registry); commit is
+      refused unless the last stage round fully succeeded, then drains and
+      fans the flip.  No check is dispatched between a shard committing and
+      the round completing, so clients never observe answers from two model
+      generations;
+    - {e service verbs}: [health] answers from the router's registry;
+      [stats] pulls each live worker's stats over the wire and merges them
+      (with the supervisor's published state file, when present) into one
+      {!Vsched.Exploration_stats.fleet} JSON object. *)
+
+type options = {
+  topology : Topology.t;
+  models_dir : string;
+  vnodes : int;  (** ring points per shard (default 64) *)
+  replication : int;
+      (** preference-list prefix eligible for a key (capped at the shard
+          count); 1 = no failover candidates (default 2) *)
+  retries : bool;
+      (** [false] disables the resilience machinery wholesale — no
+          re-dispatch and no degraded fallback, the first failure answers
+          the client with an error (the bench A/B hatch for the chaos
+          experiment) *)
+  attempt_timeout_s : float;  (** per-dispatch deadline (default 2.0) *)
+  max_attempts : int;  (** dispatches per request, across shards (default 3) *)
+  max_pending : int;  (** router admission bound (default 256) *)
+  down_budget_s : float;
+      (** downtime after which a shard is skipped at dispatch and the
+          degradation controller saturates (default 1.0) *)
+  breaker_threshold : int;  (** consecutive failures that open (default 3) *)
+  breaker_cooldown_s : float;  (** open duration before half-open (default 1.0) *)
+  reconnect_every_s : float;  (** down-shard reconnect probe period (default 0.25) *)
+  allow_shutdown : bool;
+  now : unit -> float;
+}
+
+val default_options : topology:Topology.t -> models_dir:string -> options
+
+val run : options -> (unit, string) result
+(** Bind the router socket and serve until a [shutdown] request.  Same
+    contract as {!Vserve.Server.run}; runs equally well in a forked process
+    (under {!Supervisor}) or in a domain (the Oracle's in-process fleet
+    leg).  The router loads [models_dir] once at startup and thereafter
+    changes generation only via two-phase reload. *)

@@ -1,0 +1,34 @@
+type t = { run_dir : string; shards : int }
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let make ~run_dir ~shards =
+  mkdir_p run_dir;
+  { run_dir; shards }
+
+let worker_addr t i = `Unix (Filename.concat t.run_dir (Printf.sprintf "shard-%d.sock" i))
+let router_addr t = `Unix (Filename.concat t.run_dir "router.sock")
+let state_file t = Filename.concat t.run_dir "fleet-state.json"
+
+let write_state t contents =
+  let path = state_file t in
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents);
+  Sys.rename tmp path
+
+let read_state t =
+  let path = state_file t in
+  if not (Sys.file_exists path) then None
+  else begin
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> Some (really_input_string ic (in_channel_length ic)))
+  end

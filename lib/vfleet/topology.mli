@@ -1,0 +1,33 @@
+(** Fleet layout conventions.
+
+    A fleet lives in one run directory: every shard worker binds a
+    Unix-domain socket there, the router binds the front socket, and the
+    supervisor publishes its view of the world as an atomically-replaced
+    JSON state file.  Everything that needs to find a fleet component —
+    CLI, tests, bench, chaos harness — goes through these paths, so the
+    naming scheme exists in exactly one place. *)
+
+type t = {
+  run_dir : string;
+  shards : int;  (** worker count; shard ids are [0 .. shards-1] *)
+}
+
+val make : run_dir:string -> shards:int -> t
+(** Creates [run_dir] (and missing parents) if needed. *)
+
+val worker_addr : t -> int -> Vserve.Server.addr
+(** [`Unix "<run_dir>/shard-<i>.sock"]. *)
+
+val router_addr : t -> Vserve.Server.addr
+(** [`Unix "<run_dir>/router.sock"] — the socket clients talk to. *)
+
+val state_file : t -> string
+(** ["<run_dir>/fleet-state.json"] — the supervisor's published state. *)
+
+val write_state : t -> string -> unit
+(** Atomically replace {!state_file} with the given contents (write to a
+    temp file in the same directory, then rename) — a reader never sees a
+    torn write. *)
+
+val read_state : t -> string option
+(** Contents of {!state_file}, or [None] before the first publication. *)

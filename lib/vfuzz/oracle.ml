@@ -23,6 +23,7 @@ type report = {
   r_params : string list;
   r_combos : int;
   r_daemon_checks : int;
+  r_fleet_checks : int;
   r_disagreements : disagreement list;
 }
 
@@ -163,7 +164,93 @@ let daemon_leg ~system ~registry ~dir exports =
     (List.rev !ds, !checks)
   end
 
-let check ?(opts = default_opts) ?(daemon = true) (spec : Genspec.t) =
+(* Fleet leg: the same exports served through a 2-shard router — workers and
+   router live in domains, not forked processes, because the oracle has
+   already spawned domains by now (the jobs=4 combos) and [fork] would be
+   unsound.  The router must relay answers byte-identical to the worker's
+   encoding (canonical wire encoding makes re-encoding with the client's id
+   byte-stable), which in turn must match the in-process checker. *)
+let fleet_leg ~system ~registry ~dir exports =
+  if exports = [] then ([], 0)
+  else begin
+    let n_shards = 2 in
+    let run_dir = Filename.concat dir "fleet" in
+    let topology = Vfleet.Topology.make ~run_dir ~shards:n_shards in
+    let wopts i =
+      {
+        (Vserve.Server.default_options
+           ~addr:(Vfleet.Topology.worker_addr topology i)
+           ~models_dir:dir)
+        with
+        Vserve.Server.resolve_registry = (fun _ -> Some registry);
+        jobs = 1;
+        manual_reload = true;
+      }
+    in
+    let workers =
+      List.init n_shards (fun i -> Domain.spawn (fun () -> Vserve.Server.run (wopts i)))
+    in
+    let ropts = Vfleet.Router.default_options ~topology ~models_dir:dir in
+    let router = Domain.spawn (fun () -> Vfleet.Router.run ropts) in
+    let bad param detail = { d_system = system; d_param = param; d_leg = "fleet"; d_detail = detail } in
+    let ds = ref [] in
+    let checks = ref 0 in
+    begin
+      match Vserve.Client.connect_retry (Vfleet.Topology.router_addr topology) with
+      | Error e -> ds := [ bad "connect" e ]
+      | Ok client ->
+        List.iter
+          (fun (param, key, path) ->
+            incr checks;
+            let local =
+              match Violet.Pipeline.import_model path with
+              | Error e -> Error ("import: " ^ e)
+              | Ok model -> (
+                match
+                  Vchecker.Checker.check_current ~model ~registry
+                    ~file:(Vchecker.Config_file.parse "")
+                with
+                | Error e -> Error ("check: " ^ e)
+                | Ok rep -> Ok (findings_fingerprint rep.Vchecker.Checker.findings))
+            in
+            let served =
+              match
+                Vserve.Client.call ~timeout_s:30.0 client
+                  (Vserve.Protocol.Check_current { key; config = "" })
+              with
+              | Error e -> Error ("call: " ^ e)
+              | Ok (Vserve.Protocol.Report o) ->
+                if o.Vserve.Protocol.degraded then Error "fleet served a degraded answer"
+                else Ok (findings_fingerprint o.Vserve.Protocol.findings)
+              | Ok _ -> Error "unexpected response"
+            in
+            match (local, served) with
+            | Ok a, Ok b when String.equal a b -> ()
+            | Ok a, Ok b -> ds := bad param (first_diff a b) :: !ds
+            | Error e, _ | _, Error e -> ds := bad param e :: !ds)
+          exports;
+        (* workers first (each honours shutdown on its own socket), the
+           router last *)
+        List.iteri
+          (fun i _ ->
+            match Vserve.Client.connect_retry (Vfleet.Topology.worker_addr topology i) with
+            | Error _ -> ()
+            | Ok wc ->
+              (match Vserve.Client.call wc Vserve.Protocol.Shutdown with
+              | Ok _ | Error _ -> ());
+              Vserve.Client.close wc)
+          workers;
+        (match Vserve.Client.call client Vserve.Protocol.Shutdown with
+        | Ok _ | Error _ -> ());
+        Vserve.Client.close client
+    end;
+    List.iter (fun w -> match Domain.join w with Ok () | Error _ -> ()) workers;
+    (match Domain.join router with Ok () | Error _ -> ());
+    rm_rf run_dir;
+    (List.rev !ds, !checks)
+  end
+
+let check ?(opts = default_opts) ?(daemon = true) ?(fleet = daemon) (spec : Genspec.t) =
   let target = Genspec.to_target spec in
   let registry = target.Violet.Pipeline.registry in
   let params =
@@ -174,7 +261,7 @@ let check ?(opts = default_opts) ?(daemon = true) (spec : Genspec.t) =
   let ds = ref [] in
   let n_combos = ref 0 in
   let exports = ref [] in
-  let dir = if daemon then Some (fresh_dir ()) else None in
+  let dir = if daemon || fleet then Some (fresh_dir ()) else None in
   List.iter
     (fun param ->
       let ref_fp, ref_analysis = analysis_fingerprint opts target param reference in
@@ -212,18 +299,22 @@ let check ?(opts = default_opts) ?(daemon = true) (spec : Genspec.t) =
     params;
   let daemon_ds, daemon_checks =
     match dir with
-    | None -> ([], 0)
-    | Some d ->
-      let r =
-        daemon_leg ~system:spec.Genspec.g_name ~registry ~dir:d (List.rev !exports)
-      in
-      rm_rf d;
-      r
+    | Some d when daemon ->
+      daemon_leg ~system:spec.Genspec.g_name ~registry ~dir:d (List.rev !exports)
+    | _ -> ([], 0)
   in
+  let fleet_ds, fleet_checks =
+    match dir with
+    | Some d when fleet ->
+      fleet_leg ~system:spec.Genspec.g_name ~registry ~dir:d (List.rev !exports)
+    | _ -> ([], 0)
+  in
+  (match dir with Some d -> rm_rf d | None -> ());
   {
     r_system = spec.Genspec.g_name;
     r_params = params;
     r_combos = !n_combos;
     r_daemon_checks = daemon_checks;
-    r_disagreements = List.rev !ds @ daemon_ds;
+    r_fleet_checks = fleet_checks;
+    r_disagreements = List.rev !ds @ daemon_ds @ fleet_ds;
   }

@@ -10,7 +10,11 @@
       run-dependent field) for every analyzable parameter;
     - checking the exported model through a live daemon must produce findings
       byte-identical (canonical wire encoding) to running
-      {!Vchecker.Checker.check_current} in process on the re-imported model.
+      {!Vchecker.Checker.check_current} in process on the re-imported model;
+    - checking through a 2-shard {!Vfleet.Router} fronting two such daemons
+      must also be byte-identical — routing, re-encoding with the client's
+      request id, and failover machinery must all be invisible to the
+      answer bytes.
 
     Any disagreement is a bug in the pipeline, not in the generated system —
     the harness shrinks the system to a minimal reproducer and writes it to
@@ -35,6 +39,7 @@ type report = {
   r_params : string list;  (** parameters put through the grid *)
   r_combos : int;  (** model fingerprints compared *)
   r_daemon_checks : int;  (** daemon-vs-in-process findings compared *)
+  r_fleet_checks : int;  (** fleet-vs-in-process findings compared *)
   r_disagreements : disagreement list;
 }
 
@@ -51,8 +56,13 @@ val model_fingerprint : Vmodel.Impact_model.t -> string
 val findings_fingerprint : Vchecker.Checker.finding list -> string
 (** Canonical wire encoding of a findings list ({!Vserve.Protocol}). *)
 
-val check : ?opts:Violet.Pipeline.options -> ?daemon:bool -> Genspec.t -> report
+val check :
+  ?opts:Violet.Pipeline.options -> ?daemon:bool -> ?fleet:bool -> Genspec.t -> report
 (** Run the full grid over every plant and decoy parameter of the system.
     [daemon] (default [true]) additionally exports each reference model,
     serves it from a throwaway daemon on a Unix socket, and compares
-    [check-current] findings against the in-process checker. *)
+    [check-current] findings against the in-process checker.  [fleet]
+    (default = [daemon]) repeats the comparison through a 2-shard
+    {!Vfleet.Router} over two such daemons — the fleet leg runs in-process
+    (domains, not forked processes: the jobs=4 combos have already spawned
+    domains by then). *)

@@ -335,6 +335,23 @@ let latency_percentile_us h q =
     go 0 0
   end
 
+let merge_latency ~into h =
+  Array.iteri (fun i v -> into.counts.(i) <- into.counts.(i) + v) h.counts;
+  into.observations <- into.observations + h.observations;
+  into.sum_us <- into.sum_us +. h.sum_us;
+  into.max_us <- Float.max into.max_us h.max_us
+
+(* fold in a histogram that arrived as serialized parts (a worker's stats
+   JSON crossing the wire); the exact sum is reconstructed from the mean *)
+let absorb_latency into ~counts ~mean_us ~max_us =
+  List.iteri
+    (fun i v -> if i < latency_buckets then into.counts.(i) <- into.counts.(i) + v)
+    counts;
+  let n = List.fold_left ( + ) 0 counts in
+  into.observations <- into.observations + n;
+  into.sum_us <- into.sum_us +. (mean_us *. float_of_int n);
+  into.max_us <- Float.max into.max_us max_us
+
 let latency_hist_to_json h =
   Printf.sprintf
     "{\"observations\":%d,\"mean_us\":%s,\"max_us\":%s,\"p50_us\":%s,\"p90_us\":%s,\"p99_us\":%s,\"bucket_counts\":%s}"
@@ -354,6 +371,7 @@ type serve = {
   batches : int;
   batched_requests : int;
   coalesced : int;
+  write_failed : int;
   model_reloads : int;
   model_load_failures : int;
   models : (string * int) list;
@@ -368,11 +386,54 @@ let serve_to_json s =
     ^ "}"
   in
   Printf.sprintf
-    "{\"requests\":%d,\"by_verb\":%s,\"shed_queue_full\":%d,\"shed_deadline\":%d,\"batches\":%d,\"batched_requests\":%d,\"coalesced\":%d,\"model_reloads\":%d,\"model_load_failures\":%d,\"models\":%s,\"latency\":%s}"
+    "{\"requests\":%d,\"by_verb\":%s,\"shed_queue_full\":%d,\"shed_deadline\":%d,\"batches\":%d,\"batched_requests\":%d,\"coalesced\":%d,\"write_failed\":%d,\"model_reloads\":%d,\"model_load_failures\":%d,\"models\":%s,\"latency\":%s}"
     s.requests (counts s.by_verb) s.shed_queue_full s.shed_deadline s.batches
-    s.batched_requests s.coalesced s.model_reloads s.model_load_failures
+    s.batched_requests s.coalesced s.write_failed s.model_reloads s.model_load_failures
     (counts s.models)
     (latency_hist_to_json s.latency)
+
+(* ------------------------------------------------------------------ *)
+(* Fleet telemetry (vfleet)                                            *)
+(* ------------------------------------------------------------------ *)
+
+type fleet_shard = {
+  fs_id : int;
+  fs_pid : int;
+  fs_state : string;
+  fs_restarts : int;
+  fs_breaker_trips : int;
+  fs_failures : int;
+  fs_stats : string option;
+}
+
+type fleet = {
+  f_shards : fleet_shard list;
+  f_routed : int;
+  f_retries : int;
+  f_failovers : int;
+  f_timeouts : int;
+  f_stale_responses : int;
+  f_fallback_degraded : int;
+  f_shed : int;
+  f_write_failed : int;
+  f_reloads_staged : int;
+  f_reloads_committed : int;
+  f_latency : latency_hist;
+}
+
+let fleet_shard_to_json s =
+  Printf.sprintf
+    "{\"id\":%d,\"pid\":%d,\"state\":\"%s\",\"restarts\":%d,\"breaker_trips\":%d,\"failures\":%d,\"stats\":%s}"
+    s.fs_id s.fs_pid (json_escape s.fs_state) s.fs_restarts s.fs_breaker_trips s.fs_failures
+    (match s.fs_stats with None -> "null" | Some j -> j)
+
+let fleet_to_json f =
+  Printf.sprintf
+    "{\"shards\":[%s],\"routed\":%d,\"retries\":%d,\"failovers\":%d,\"timeouts\":%d,\"stale_responses\":%d,\"fallback_degraded\":%d,\"shed\":%d,\"write_failed\":%d,\"reloads_staged\":%d,\"reloads_committed\":%d,\"latency\":%s}"
+    (String.concat "," (List.map fleet_shard_to_json f.f_shards))
+    f.f_routed f.f_retries f.f_failovers f.f_timeouts f.f_stale_responses
+    f.f_fallback_degraded f.f_shed f.f_write_failed f.f_reloads_staged f.f_reloads_committed
+    (latency_hist_to_json f.f_latency)
 
 let pp ppf t =
   Fmt.pf ppf

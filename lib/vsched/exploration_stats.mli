@@ -170,6 +170,16 @@ val latency_percentile_us : latency_hist -> float -> float
     bucket holding the q-quantile observation (the recorded maximum for the
     overflow bucket); [0.] with no observations. *)
 
+val merge_latency : into:latency_hist -> latency_hist -> unit
+(** Bucket-wise sum — the fleet router folds per-shard histograms into one
+    fleet-wide view with this. *)
+
+val absorb_latency :
+  latency_hist -> counts:int list -> mean_us:float -> max_us:float -> unit
+(** {!merge_latency} for a histogram that arrived in serialized parts (a
+    worker's stats JSON pulled over the wire): bucket counts sum, the
+    observation total and sum are reconstructed from the mean. *)
+
 val latency_hist_to_json : latency_hist -> string
 
 type serve = {
@@ -182,6 +192,9 @@ type serve = {
   batches : int;  (** batch groups executed *)
   batched_requests : int;  (** requests that shared a batch group *)
   coalesced : int;  (** requests served from an identical batch-mate *)
+  write_failed : int;
+      (** responses dropped because the client connection failed mid-write
+          (the connection is closed; nothing truncated ever reaches a peer) *)
   model_reloads : int;
   model_load_failures : int;
   models : (string * int) list;  (** live model keys and their generations *)
@@ -189,3 +202,40 @@ type serve = {
 }
 
 val serve_to_json : serve -> string
+
+(** {1 Fleet telemetry}
+
+    The vfleet router/supervisor counters, aggregated across shards into the
+    same JSON dialect.  [fs_stats] carries each worker's own {!serve} JSON
+    verbatim (the router collects it over the wire), so a fleet stats dump
+    nests the complete per-shard picture. *)
+
+type fleet_shard = {
+  fs_id : int;  (** shard index (position on the hash ring) *)
+  fs_pid : int;  (** current worker pid; 0 when down *)
+  fs_state : string;  (** ["up"], ["down"], ["restarting"], or ["tripped"] *)
+  fs_restarts : int;  (** times the supervisor respawned this shard *)
+  fs_breaker_trips : int;  (** crash-loop / failure breaker openings *)
+  fs_failures : int;  (** probe failures + dispatch errors charged here *)
+  fs_stats : string option;  (** the worker's own serve-stats JSON, verbatim *)
+}
+
+type fleet = {
+  f_shards : fleet_shard list;
+  f_routed : int;  (** check requests dispatched to a worker *)
+  f_retries : int;  (** re-dispatches after a retryable error *)
+  f_failovers : int;  (** re-dispatches that switched to a sibling shard *)
+  f_timeouts : int;  (** per-attempt deadlines that expired *)
+  f_stale_responses : int;  (** late answers for already-answered requests *)
+  f_fallback_degraded : int;
+      (** requests answered from the router's conservative widening because
+          every candidate shard was down past its budget *)
+  f_shed : int;  (** rejected at router admission (pending table full) *)
+  f_write_failed : int;  (** router responses dropped on dead client conns *)
+  f_reloads_staged : int;  (** fleet-wide stage rounds that fully succeeded *)
+  f_reloads_committed : int;  (** fleet-wide generation flips completed *)
+  f_latency : latency_hist;  (** router-observed dispatch-to-answer *)
+}
+
+val fleet_shard_to_json : fleet_shard -> string
+val fleet_to_json : fleet -> string

@@ -27,9 +27,13 @@ let connect addr =
     match addr with
     | `Unix path -> Ok (Unix.PF_UNIX, Unix.ADDR_UNIX path)
     | `Tcp (host, port) -> begin
-      match (Unix.gethostbyname host).Unix.h_addr_list.(0) with
-      | inet -> Ok (Unix.PF_INET, Unix.ADDR_INET (inet, port))
+      match Unix.gethostbyname host with
       | exception Not_found -> Error (Printf.sprintf "unknown host %S" host)
+      | { Unix.h_addr_list = [||]; _ } ->
+        (* a resolvable name with an empty address list used to raise
+           [Invalid_argument] out of [h_addr_list.(0)] *)
+        Error (Printf.sprintf "host %S resolved to no addresses" host)
+      | { Unix.h_addr_list; _ } -> Ok (Unix.PF_INET, Unix.ADDR_INET (h_addr_list.(0), port))
     end
   in
   match sock_addr with
@@ -43,16 +47,32 @@ let connect addr =
       Error (Printf.sprintf "connect %s: %s" (addr_to_string addr) (Unix.error_message err))
   end
 
-let connect_retry ?(attempts = 50) ?(delay_s = 0.1) addr =
-  let rec go n =
+(* Exponential backoff with jitter under an overall wall-clock deadline.
+   The jitter source is a local seeded state (nothing in the repo touches
+   the global [Random]); determinism does not matter here — the point is
+   only that a thundering herd of restarting clients spreads out. *)
+let connect_retry ?(deadline_s = 5.0) ?(base_delay_s = 0.02) ?(max_delay_s = 0.5) addr =
+  let rng = Random.State.make [| Unix.getpid (); 0x5eed; int_of_float (deadline_s *. 1e3) |] in
+  let t0 = Unix.gettimeofday () in
+  let rec go attempt delay =
     match connect addr with
     | Ok c -> Ok c
-    | Error _ when n > 1 ->
-      Unix.sleepf delay_s;
-      go (n - 1)
-    | Error _ as e -> e
+    | Error e ->
+      let elapsed = Unix.gettimeofday () -. t0 in
+      if elapsed >= deadline_s then
+        Error
+          (Printf.sprintf "connect %s: gave up after %d attempt%s in %.2fs; last error: %s"
+             (addr_to_string addr) attempt
+             (if attempt = 1 then "" else "s")
+             elapsed e)
+      else begin
+        let jittered = delay *. (0.5 +. Random.State.float rng 1.0) in
+        let remaining = deadline_s -. elapsed in
+        Unix.sleepf (Float.min jittered (Float.max 0. remaining));
+        go (attempt + 1) (Float.min max_delay_s (delay *. 2.))
+      end
   in
-  go (max 1 attempts)
+  go 1 base_delay_s
 
 let close c = try Unix.close c.fd with Unix.Unix_error _ -> ()
 
@@ -67,7 +87,10 @@ let send_line c line =
     Ok ()
   with Unix.Unix_error (err, _, _) -> Error ("write: " ^ Unix.error_message err)
 
-let rec recv_line c =
+(* [timeout_s] bounds the wait for *each* read; a hung daemon therefore
+   cannot block the caller forever.  [None] preserves the blocking
+   behaviour. *)
+let rec recv_line ?timeout_s c =
   let data = Buffer.contents c.buf in
   match String.index_opt data '\n' with
   | Some i ->
@@ -76,13 +99,29 @@ let rec recv_line c =
     Buffer.add_string c.buf (String.sub data (i + 1) (String.length data - i - 1));
     Ok line
   | None -> begin
-    let chunk = Bytes.create 65536 in
-    match Unix.read c.fd chunk 0 (Bytes.length chunk) with
-    | 0 -> Error "connection closed by server"
-    | n ->
-      Buffer.add_subbytes c.buf chunk 0 n;
-      recv_line c
-    | exception Unix.Unix_error (err, _, _) -> Error ("read: " ^ Unix.error_message err)
+    let ready =
+      match timeout_s with
+      | None -> true
+      | Some t -> begin
+        match Unix.select [ c.fd ] [] [] t with
+        | [], _, _ -> false
+        | _ -> true
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> false
+      end
+    in
+    if not ready then
+      Error
+        (Printf.sprintf "timeout: no response within %gs"
+           (Option.value ~default:0. timeout_s))
+    else begin
+      let chunk = Bytes.create 65536 in
+      match Unix.read c.fd chunk 0 (Bytes.length chunk) with
+      | 0 -> Error "connection closed by server"
+      | n ->
+        Buffer.add_subbytes c.buf chunk 0 n;
+        recv_line ?timeout_s c
+      | exception Unix.Unix_error (err, _, _) -> Error ("read: " ^ Unix.error_message err)
+    end
   end
 
 let call_raw c line =
@@ -90,16 +129,23 @@ let call_raw c line =
 
 let ( let* ) = Result.bind
 
-let call c req =
+let post c req =
   let id = c.next_id in
   c.next_id <- id + 1;
   let* () = send_line c (Protocol.encode_request ~id req) in
-  let rec await () =
-    let* line = recv_line c in
+  Ok id
+
+let await ?timeout_s c id =
+  let rec loop () =
+    let* line = recv_line ?timeout_s c in
     let* got_id, resp = Protocol.decode_response line in
     match got_id with
     | Some i when i = id -> Ok resp
     | None -> Ok resp
-    | Some _ -> await ()  (* a stale response from an earlier abandoned call *)
+    | Some _ -> loop ()  (* a stale response from an earlier abandoned call *)
   in
-  await ()
+  loop ()
+
+let call ?timeout_s c req =
+  let* id = post c req in
+  await ?timeout_s c id

@@ -1,10 +1,14 @@
-(** Blocking client for the vserve daemon.
+(** Blocking client for the vserve daemon (and the vfleet router, which
+    speaks the same protocol).
 
     One connection, sequential request/response: {!call} assigns a request
     id, writes the line, and reads lines until the response carrying that id
     (or an id-less response, for servers answering without echo) arrives.
-    That is all the CLI, the tests and the bench drivers need; concurrency
-    comes from many connections, not from pipelining one. *)
+    {!post}/{!await} split the two halves so a caller can put several
+    requests in flight across connections before collecting any answers —
+    what the fleet crash-recovery tests use to have requests genuinely
+    in-flight when a worker is killed.  Concurrency otherwise comes from
+    many connections, not from pipelining one. *)
 
 type t
 
@@ -15,15 +19,35 @@ val addr_of_string : string -> (Server.addr, string) result
 val addr_to_string : Server.addr -> string
 
 val connect : Server.addr -> (t, string) result
+(** [Error] on resolution failure (including a host that resolves to an
+    empty address list) or connection refusal — never an exception. *)
 
-val connect_retry : ?attempts:int -> ?delay_s:float -> Server.addr -> (t, string) result
-(** Retry [connect] while the daemon is still binding (default 50 attempts,
-    0.1 s apart) — the smoke tests' start-up race absorber. *)
+val connect_retry :
+  ?deadline_s:float ->
+  ?base_delay_s:float ->
+  ?max_delay_s:float ->
+  Server.addr ->
+  (t, string) result
+(** Retry {!connect} with exponential backoff and jitter until it succeeds
+    or [deadline_s] (default 5 s) of wall clock has elapsed.  Delays start
+    at [base_delay_s] (default 0.02 s), double per attempt, and are capped
+    at [max_delay_s] (default 0.5 s); each is multiplied by a random factor
+    in [0.5, 1.5) so restarting clients spread out.  The failure message
+    reports the attempt count and the last underlying error. *)
 
 val close : t -> unit
 
-val call : t -> Protocol.request -> (Protocol.response, string) result
-(** [Error] on I/O failure, EOF, or an undecodable response line. *)
+val call : ?timeout_s:float -> t -> Protocol.request -> (Protocol.response, string) result
+(** [Error] on I/O failure, EOF, or an undecodable response line.
+    [timeout_s] bounds each wait for response bytes, so a hung daemon
+    cannot block the caller forever; omitted = wait indefinitely. *)
+
+val post : t -> Protocol.request -> (int, string) result
+(** Send one request without waiting; returns the request id for {!await}. *)
+
+val await : ?timeout_s:float -> t -> int -> (Protocol.response, string) result
+(** Read until the response carrying the given id (or an id-less response)
+    arrives. *)
 
 val call_raw : t -> string -> (string, string) result
 (** Send one raw line, return the next raw response line — the byte-level

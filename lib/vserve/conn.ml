@@ -1,0 +1,60 @@
+type t = {
+  fd : Unix.file_descr;
+  buf : Buffer.t;
+  mutable closed : bool;
+  on_write_failed : unit -> unit;
+}
+
+let make ?(on_write_failed = fun () -> ()) fd =
+  { fd; buf = Buffer.create 256; closed = false; on_write_failed }
+
+let fd c = c.fd
+let closed c = c.closed
+
+let close c =
+  if not c.closed then begin
+    c.closed <- true;
+    try Unix.close c.fd with Unix.Unix_error _ -> ()
+  end
+
+(* A response that cannot be written in full is a dropped response; the
+   connection is closed (the peer would otherwise read a truncated line) and
+   the failure is surfaced through [on_write_failed] so it lands in a
+   counter instead of vanishing. *)
+let write_line c line =
+  if not c.closed then begin
+    let data = line ^ "\n" in
+    let len = String.length data in
+    let pos = ref 0 in
+    try
+      while !pos < len do
+        pos := !pos + Unix.write_substring c.fd data !pos (len - !pos)
+      done
+    with Unix.Unix_error _ ->
+      c.on_write_failed ();
+      close c
+  end
+
+(* one readable-event read; returns the complete lines received *)
+let read_lines c =
+  let chunk = Bytes.create 65536 in
+  match Unix.read c.fd chunk 0 (Bytes.length chunk) with
+  | exception Unix.Unix_error _ ->
+    close c;
+    []
+  | 0 ->
+    close c;
+    []
+  | n ->
+    Buffer.add_subbytes c.buf chunk 0 n;
+    let data = Buffer.contents c.buf in
+    let parts = String.split_on_char '\n' data in
+    let rec split_last acc = function
+      | [] -> (List.rev acc, "")
+      | [ last ] -> (List.rev acc, last)
+      | x :: rest -> split_last (x :: acc) rest
+    in
+    let lines, rest = split_last [] parts in
+    Buffer.clear c.buf;
+    Buffer.add_string c.buf rest;
+    List.filter (fun l -> String.trim l <> "") lines

@@ -1,0 +1,30 @@
+(** Line-framed socket connections, shared by the daemon reactor and the
+    vfleet router.
+
+    A connection owns its fd and a read buffer for bytes past the last
+    complete line.  Writes are all-or-nothing from the peer's point of view:
+    if a write fails part-way ([EPIPE], [ECONNRESET], a full buffer that
+    never drains), the connection is closed — the peer must never observe a
+    truncated response line — and [on_write_failed] fires, so dropped
+    responses are observable as a counter rather than silent. *)
+
+type t
+
+val make : ?on_write_failed:(unit -> unit) -> Unix.file_descr -> t
+(** Wrap an accepted/connected fd.  [on_write_failed] defaults to a no-op. *)
+
+val fd : t -> Unix.file_descr
+val closed : t -> bool
+
+val close : t -> unit
+(** Idempotent. *)
+
+val write_line : t -> string -> unit
+(** Write [line ^ "\n"].  On any write error the connection is closed and
+    [on_write_failed] is called; no partial line is ever left visible as a
+    complete response.  No-op on a closed connection. *)
+
+val read_lines : t -> string list
+(** One readable-event read: drain what the kernel has, return the complete
+    lines received (blank lines filtered).  EOF and read errors close the
+    connection and return [[]]. *)

@@ -12,6 +12,8 @@ type request =
     }
   | Health
   | Stats
+  | Reload_stage
+  | Reload_commit
   | Shutdown
 
 type outcome = {
@@ -36,6 +38,10 @@ type response =
   | Report of outcome
   | Health_info of { status : string; models : model_info list }
   | Stats_info of W.t
+  | Reload_info of { phase : string; ok : bool; entries : (string * string) list }
+      (** two-phase hot reload: [phase] is ["stage"] or ["commit"]; [entries]
+          pairs each key with its staged digest / committed generation, or
+          with the rejection reason when [ok] is false *)
   | Error_resp of { code : error_code; message : string }
   | Bye
 
@@ -47,6 +53,8 @@ let verb_of_request = function
   | Check_upgrade _ -> "check-upgrade"
   | Health -> "health"
   | Stats -> "stats"
+  | Reload_stage -> "reload-stage"
+  | Reload_commit -> "reload-commit"
   | Shutdown -> "shutdown"
 
 let error_code_to_string = function
@@ -299,7 +307,7 @@ let request_to_wire ?id req =
         ("old_workload", assignment_to_wire old_w);
         ("new_workload", assignment_to_wire new_w);
       ]
-    | Health | Stats | Shutdown -> [ verb ]
+    | Health | Stats | Reload_stage | Reload_commit | Shutdown -> [ verb ]
   in
   W.Obj (with_id id fields)
 
@@ -333,6 +341,8 @@ let request_of_wire v =
       Ok (Check_upgrade { key; workloads })
     | "health" -> Ok Health
     | "stats" -> Ok Stats
+    | "reload-stage" -> Ok Reload_stage
+    | "reload-commit" -> Ok Reload_commit
     | "shutdown" -> Ok Shutdown
     | v -> Error (Printf.sprintf "unknown verb %S" v)
   in
@@ -382,6 +392,16 @@ let response_to_wire ?id resp =
             ] );
       ]
     | Stats_info stats -> [ ("stats", stats) ]
+    | Reload_info { phase; ok; entries } ->
+      [
+        ( "reload",
+          W.Obj
+            [
+              ("phase", W.String phase);
+              ("ok", W.Bool ok);
+              ("entries", W.Obj (List.map (fun (k, v) -> (k, W.String v)) entries));
+            ] );
+      ]
     | Error_resp { code; message } ->
       [
         ( "error",
@@ -403,11 +423,11 @@ let response_of_wire v =
     match
       ( W.member "ok" v,
         W.member "health" v,
-        W.member "stats" v,
+        (W.member "stats" v, W.member "reload" v),
         W.member "error" v,
         W.member "bye" v )
     with
-    | Some o, None, None, None, None ->
+    | Some o, None, (None, None), None, None ->
       let* findings_v = field "findings" Option.some o "ok" in
       let* findings = findings_of_wire findings_v in
       let* generation = int_field "generation" o "ok" in
@@ -416,7 +436,7 @@ let response_of_wire v =
       let* degraded = bool_field "degraded" o "ok" in
       let* checked_in_s = float_field "checked_in_s" o "ok" in
       Ok (Report { findings; checked_in_s; generation; batched; coalesced; degraded })
-    | None, Some h, None, None, None ->
+    | None, Some h, (None, None), None, None ->
       let* status = str_field "status" h "health" in
       let* models_v = list_field "models" h "health" in
       let* models =
@@ -429,15 +449,31 @@ let response_of_wire v =
           models_v
       in
       Ok (Health_info { status; models })
-    | None, None, Some stats, None, None -> Ok (Stats_info stats)
-    | None, None, None, Some e, None ->
+    | None, None, (Some stats, None), None, None -> Ok (Stats_info stats)
+    | None, None, (None, Some r), None, None ->
+      let* phase = str_field "phase" r "reload" in
+      let* ok = bool_field "ok" r "reload" in
+      let* entries_v = field "entries" Option.some r "reload" in
+      let* entries =
+        match entries_v with
+        | W.Obj fields ->
+          map_result
+            (fun (k, v) ->
+              match W.to_str v with
+              | Some s -> Ok (k, s)
+              | None -> Error (Printf.sprintf "reload entry %S is not a string" k))
+            fields
+        | _ -> Error "reload entries is not an object"
+      in
+      Ok (Reload_info { phase; ok; entries })
+    | None, None, (None, None), Some e, None ->
       let* code_s = str_field "code" e "error" in
       let* message = str_field "message" e "error" in
       (match error_code_of_string code_s with
       | Some code -> Ok (Error_resp { code; message })
       | None -> Error (Printf.sprintf "unknown error code %S" code_s))
-    | None, None, None, None, Some _ -> Ok Bye
-    | _ -> Error "response must carry exactly one of ok/health/stats/error/bye"
+    | None, None, (None, None), None, Some _ -> Ok Bye
+    | _ -> Error "response must carry exactly one of ok/health/stats/reload/error/bye"
   in
   Ok (id, resp)
 

@@ -12,6 +12,11 @@
       current one, i.e. "did the last hot-reloaded model make my setting
       slow?").
     - [health] / [stats] / [shutdown]: service management.
+    - [reload-stage] / [reload-commit]: two-phase hot reload — stage
+      verifies every model file in the registry directory without touching
+      the live table; commit flips the staged generation in.  The vfleet
+      router drives the pair across every shard so mixed-generation answers
+      never escape the fleet.
 
     Config files travel as raw file text (the daemon parses with
     {!Vchecker.Config_file.parse}, with its per-line recovery), so any byte
@@ -35,6 +40,8 @@ type request =
     }
   | Health
   | Stats
+  | Reload_stage
+  | Reload_commit
   | Shutdown
 
 type outcome = {
@@ -61,6 +68,10 @@ type response =
   | Report of outcome
   | Health_info of { status : string; models : model_info list }
   | Stats_info of Wire.t  (** the stats JSON object, spliced verbatim *)
+  | Reload_info of { phase : string; ok : bool; entries : (string * string) list }
+      (** [phase] is ["stage"] or ["commit"]; [entries] pairs each key with
+          its staged digest / committed generation, or with the rejection
+          reason when [ok] is false *)
   | Error_resp of { code : error_code; message : string }
   | Bye  (** shutdown acknowledged *)
 

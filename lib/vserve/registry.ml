@@ -19,16 +19,28 @@ let event_to_string = function
   | Rejected { key; reason } -> Printf.sprintf "rejected %s: %s" key reason
   | Removed key -> Printf.sprintf "removed %s" key
 
+(* a fully verified load held back from the live table until [commit] *)
+type staged = {
+  st_key : string;
+  st_path : string;
+  st_digest : string;
+  st_model : Vmodel.Impact_model.t;
+  st_mtime : float;
+  st_size : int;
+}
+
 type t = {
   dir : string;
   entries : (string, entry) Hashtbl.t;
+  mutable staged : staged list option;  (* [Some] after a successful stage *)
   mutable reloads : int;
   mutable load_failures : int;
 }
 
 let extension = ".vmodel"
 
-let create ~dir = { dir; entries = Hashtbl.create 8; reloads = 0; load_failures = 0 }
+let create ~dir =
+  { dir; entries = Hashtbl.create 8; staged = None; reloads = 0; load_failures = 0 }
 let dir t = t.dir
 let model_file ~dir ~key = Filename.concat dir (key ^ extension)
 
@@ -124,6 +136,101 @@ let refresh ?(force = false) t =
     (fun ev -> match ev with Removed key -> Hashtbl.remove t.entries key | _ -> ())
     !events;
   List.rev !events
+
+(* ------------------------------------------------------------------ *)
+(* Two-phase reload: [stage] verifies every file in the directory without
+   touching the live table; [commit] flips the staged set in atomically
+   (from a reader's point of view: one entry at a time, each fully built).
+   The vfleet router runs stage on every shard and commits only when all of
+   them staged successfully, so no shard ever serves a generation another
+   shard could not load. *)
+
+let stage t =
+  let files = try Sys.readdir t.dir with Sys_error _ -> [||] in
+  Array.sort String.compare files;
+  let results = ref [] in
+  let staged = ref [] in
+  let all_ok = ref true in
+  Array.iter
+    (fun name ->
+      match key_of_file name with
+      | None -> ()
+      | Some key -> begin
+        let path = Filename.concat t.dir name in
+        match Unix.stat path with
+        | exception Unix.Unix_error (err, _, _) ->
+          all_ok := false;
+          t.load_failures <- t.load_failures + 1;
+          results := (key, Error (Unix.error_message err)) :: !results
+        | st -> begin
+          match load_model path with
+          | Error reason ->
+            all_ok := false;
+            t.load_failures <- t.load_failures + 1;
+            results := (key, Error reason) :: !results
+          | Ok (model, digest) ->
+            staged :=
+              {
+                st_key = key;
+                st_path = path;
+                st_digest = digest;
+                st_model = model;
+                st_mtime = st.Unix.st_mtime;
+                st_size = st.Unix.st_size;
+              }
+              :: !staged;
+            results := (key, Ok digest) :: !results
+        end
+      end)
+    files;
+  t.staged <- (if !all_ok then Some (List.rev !staged) else None);
+  List.rev !results
+
+let staged t = Option.is_some t.staged
+
+let commit t =
+  match t.staged with
+  | None -> Error "nothing staged (run reload-stage first, and it must succeed)"
+  | Some staged ->
+    t.staged <- None;
+    let events = ref [] in
+    let seen = Hashtbl.create 8 in
+    List.iter
+      (fun s ->
+        Hashtbl.replace seen s.st_key ();
+        let old = Hashtbl.find_opt t.entries s.st_key in
+        let same_bytes =
+          match old with Some e -> String.equal e.digest s.st_digest | None -> false
+        in
+        if not same_bytes then begin
+          let generation, previous =
+            match old with
+            | Some e -> (e.generation + 1, Some e.model)
+            | None -> (1, None)
+          in
+          Hashtbl.replace t.entries s.st_key
+            {
+              key = s.st_key;
+              path = s.st_path;
+              generation;
+              digest = s.st_digest;
+              model = s.st_model;
+              previous;
+              mtime = s.st_mtime;
+              size = s.st_size;
+            };
+          t.reloads <- t.reloads + 1;
+          events := Loaded { key = s.st_key; generation } :: !events
+        end)
+      staged;
+    Hashtbl.iter
+      (fun key _ ->
+        if not (Hashtbl.mem seen key) then events := Removed key :: !events)
+      (Hashtbl.copy t.entries);
+    List.iter
+      (fun ev -> match ev with Removed key -> Hashtbl.remove t.entries key | _ -> ())
+      !events;
+    Ok (List.rev !events)
 
 let find t key = Hashtbl.find_opt t.entries key
 

@@ -60,5 +60,30 @@ val reloads : t -> int
 val load_failures : t -> int
 (** Rejected loads since {!create}. *)
 
+(** {2 Two-phase reload}
+
+    The fleet-wide hot-reload discipline: every shard runs {!stage} — which
+    verifies each file in the directory (envelope checksum, version, parse)
+    and holds the loaded models back from the live table — and only when
+    all shards staged successfully does the router ask each to {!commit},
+    flipping the staged set in.  A shard that cannot load the new files
+    fails the stage and the whole fleet keeps serving the old generation,
+    so mixed-generation answers never escape. *)
+
+val stage : t -> (string * (string, string) result) list
+(** Verify every model file in the directory without touching the live
+    table.  Returns, per key, the payload digest ([Ok]) or the rejection
+    reason ([Error]).  The staged set is retained for {!commit} only when
+    every file verified. *)
+
+val staged : t -> bool
+(** A successful {!stage} is pending. *)
+
+val commit : t -> (event list, string) result
+(** Flip the staged set into the live table: changed digests bump the key's
+    generation (retaining the previous model for mode 3a), unchanged ones
+    are no-ops, keys whose files disappeared are dropped.  [Error] when no
+    successful stage is pending.  Consumes the staged set either way. *)
+
 val model_file : dir:string -> key:string -> string
 (** The path a key is served from: [<dir>/<key>.vmodel]. *)

@@ -16,6 +16,7 @@ type options = {
   shed_pressure : float;
   jobs : int;
   refresh_every_s : float;
+  manual_reload : bool;
   allow_shutdown : bool;
   now : unit -> float;
 }
@@ -32,64 +33,17 @@ let default_options ~addr ~models_dir =
     shed_pressure = 0.9;
     jobs = Vpar.Pool.default_jobs ();
     refresh_every_s = 0.5;
+    manual_reload = false;
     allow_shutdown = true;
     now = Unix.gettimeofday;
   }
-
-(* ------------------------------------------------------------------ *)
-(* Connections                                                         *)
-(* ------------------------------------------------------------------ *)
-
-type conn = { fd : Unix.file_descr; buf : Buffer.t; mutable closed : bool }
-
-let close_conn c =
-  if not c.closed then begin
-    c.closed <- true;
-    try Unix.close c.fd with Unix.Unix_error _ -> ()
-  end
-
-let write_line c line =
-  if not c.closed then begin
-    let data = line ^ "\n" in
-    let len = String.length data in
-    let pos = ref 0 in
-    try
-      while !pos < len do
-        pos := !pos + Unix.write_substring c.fd data !pos (len - !pos)
-      done
-    with Unix.Unix_error _ -> close_conn c
-  end
-
-(* one readable-event read; returns the complete lines received *)
-let read_lines c =
-  let chunk = Bytes.create 65536 in
-  match Unix.read c.fd chunk 0 (Bytes.length chunk) with
-  | exception Unix.Unix_error _ ->
-    close_conn c;
-    []
-  | 0 ->
-    close_conn c;
-    []
-  | n ->
-    Buffer.add_subbytes c.buf chunk 0 n;
-    let data = Buffer.contents c.buf in
-    let parts = String.split_on_char '\n' data in
-    let rec split_last acc = function
-      | [] -> (List.rev acc, "")
-      | [ last ] -> (List.rev acc, last)
-      | x :: rest -> split_last (x :: acc) rest
-    in
-    let lines, rest = split_last [] parts in
-    Buffer.clear c.buf;
-    Buffer.add_string c.buf rest;
-    List.filter (fun l -> String.trim l <> "") lines
 
 (* ------------------------------------------------------------------ *)
 (* Serving state                                                       *)
 (* ------------------------------------------------------------------ *)
 
 type pending = {
-  p_conn : conn;
+  p_conn : Conn.t;
   p_id : int option;
   p_req : P.request;
   p_key : string;
@@ -110,6 +64,7 @@ type state = {
   mutable batches : int;
   mutable batched_requests : int;
   mutable coalesced : int;
+  mutable write_failed : int;
   mutable stopping : bool;
 }
 
@@ -128,6 +83,7 @@ let serve_snapshot st =
     batches = st.batches;
     batched_requests = st.batched_requests;
     coalesced = st.coalesced;
+    write_failed = st.write_failed;
     model_reloads = Registry.reloads st.registry;
     model_load_failures = Registry.load_failures st.registry;
     models =
@@ -228,7 +184,7 @@ let exec_check opts (p, entry) =
                 (Printf.sprintf "model %s has no previous generation to compare against"
                    p.p_key)
           end
-          | P.Health | P.Stats | P.Shutdown ->
+          | P.Health | P.Stats | P.Reload_stage | P.Reload_commit | P.Shutdown ->
             (* service verbs never reach the queue *)
             check_failed "internal: service verb in check queue"
         with exn -> check_failed (Printexc.to_string exn)
@@ -243,7 +199,7 @@ let exec_check opts (p, entry) =
 let key_of_request = function
   | P.Check_current { key; _ } | P.Check_update { key; _ } | P.Check_upgrade { key; _ } ->
     Some key
-  | P.Health | P.Stats | P.Shutdown -> None
+  | P.Health | P.Stats | P.Reload_stage | P.Reload_commit | P.Shutdown -> None
 
 let handle_line st conn line =
   let opts = st.opts in
@@ -251,7 +207,8 @@ let handle_line st conn line =
   | Error msg ->
     st.requests <- st.requests + 1;
     bump_verb st "invalid";
-    write_line conn (P.encode_response (P.Error_resp { code = P.Bad_request; message = msg }))
+    Conn.write_line conn
+      (P.encode_response (P.Error_resp { code = P.Bad_request; message = msg }))
   | Ok (id, req) -> begin
     let verb = P.verb_of_request req in
     match req with
@@ -268,7 +225,7 @@ let handle_line st conn line =
             })
           (Registry.entries st.registry)
       in
-      write_line conn
+      Conn.write_line conn
         (P.encode_response ?id
            (P.Health_info { status = (if st.stopping then "stopping" else "ok"); models }))
     | P.Stats ->
@@ -280,23 +237,55 @@ let handle_line st conn line =
         | Ok v -> P.Stats_info v
         | Error msg -> check_failed ("stats rendering failed: " ^ msg)
       in
-      write_line conn (P.encode_response ?id resp)
+      Conn.write_line conn (P.encode_response ?id resp)
+    | P.Reload_stage ->
+      st.requests <- st.requests + 1;
+      bump_verb st verb;
+      let results = Registry.stage st.registry in
+      let ok = Registry.staged st.registry || results = [] in
+      let entries =
+        List.map
+          (fun (key, r) ->
+            match r with Ok digest -> (key, digest) | Error reason -> (key, reason))
+          results
+      in
+      Conn.write_line conn
+        (P.encode_response ?id (P.Reload_info { phase = "stage"; ok; entries }))
+    | P.Reload_commit ->
+      st.requests <- st.requests + 1;
+      bump_verb st verb;
+      let resp =
+        match Registry.commit st.registry with
+        | Error msg -> P.Reload_info { phase = "commit"; ok = false; entries = [ ("", msg) ] }
+        | Ok events ->
+          let entries =
+            List.filter_map
+              (fun ev ->
+                match ev with
+                | Registry.Loaded { key; generation } -> Some (key, string_of_int generation)
+                | Registry.Removed key -> Some (key, "removed")
+                | Registry.Rejected _ -> None)
+              events
+          in
+          P.Reload_info { phase = "commit"; ok = true; entries }
+      in
+      Conn.write_line conn (P.encode_response ?id resp)
     | P.Shutdown ->
       st.requests <- st.requests + 1;
       bump_verb st verb;
       if opts.allow_shutdown then begin
         st.stopping <- true;
-        write_line conn (P.encode_response ?id P.Bye)
+        Conn.write_line conn (P.encode_response ?id P.Bye)
       end
       else
-        write_line conn
+        Conn.write_line conn
           (P.encode_response ?id
              (P.Error_resp { code = P.Bad_request; message = "shutdown is disabled" }))
     | P.Check_current _ | P.Check_update _ | P.Check_upgrade _ ->
       if st.stopping then begin
         st.requests <- st.requests + 1;
         bump_verb st verb;
-        write_line conn
+        Conn.write_line conn
           (P.encode_response ?id
              (P.Error_resp { code = P.Shutting_down; message = "daemon is shutting down" }))
       end
@@ -305,7 +294,7 @@ let handle_line st conn line =
         st.requests <- st.requests + 1;
         bump_verb st verb;
         st.shed_queue_full <- st.shed_queue_full + 1;
-        write_line conn
+        Conn.write_line conn
           (P.encode_response ?id
              (P.Error_resp
                 { code = P.Overloaded; message = "admission queue full — request shed" }))
@@ -360,7 +349,7 @@ let run_batch st =
         if r.shed then st.shed_deadline <- st.shed_deadline + 1;
         st.requests <- st.requests + 1;
         bump_verb st (P.verb_of_request p.p_req);
-        write_line p.p_conn (P.encode_response ?id:p.p_id resp);
+        Conn.write_line p.p_conn (P.encode_response ?id:p.p_id resp);
         Stats.observe_latency st.latency ~us:((opts.now () -. p.p_t_enq) *. 1e6))
       results
   end
@@ -407,17 +396,20 @@ let run opts =
         batches = 0;
         batched_requests = 0;
         coalesced = 0;
+        write_failed = 0;
         stopping = false;
       }
     in
+    let on_write_failed () = st.write_failed <- st.write_failed + 1 in
     let conns = ref [] in
     let last_refresh = ref (opts.now ()) in
     let rec loop () =
-      conns := List.filter (fun c -> not c.closed) !conns;
+      conns := List.filter (fun c -> not (Conn.closed c)) !conns;
       if st.stopping && Queue.is_empty st.queue then ()
       else begin
         let fds =
-          (if st.stopping then [] else [ listen_fd ]) @ List.map (fun c -> c.fd) !conns
+          (if st.stopping then [] else [ listen_fd ])
+          @ List.map (fun c -> Conn.fd c) !conns
         in
         let timeout = if Queue.is_empty st.queue then 0.2 else 0. in
         let readable =
@@ -429,16 +421,16 @@ let run opts =
           (fun fd ->
             if fd == listen_fd then begin
               match Unix.accept listen_fd with
-              | client_fd, _ ->
-                conns := { fd = client_fd; buf = Buffer.create 256; closed = false } :: !conns
+              | client_fd, _ -> conns := Conn.make ~on_write_failed client_fd :: !conns
               | exception Unix.Unix_error _ -> ()
             end
             else
-              match List.find_opt (fun c -> c.fd == fd) !conns with
+              match List.find_opt (fun c -> Conn.fd c == fd) !conns with
               | None -> ()
-              | Some conn -> List.iter (handle_line st conn) (read_lines conn))
+              | Some conn -> List.iter (handle_line st conn) (Conn.read_lines conn))
           readable;
-        if opts.now () -. !last_refresh >= opts.refresh_every_s then begin
+        if (not opts.manual_reload) && opts.now () -. !last_refresh >= opts.refresh_every_s
+        then begin
           ignore (Registry.refresh registry);
           last_refresh := opts.now ()
         end;
@@ -448,7 +440,7 @@ let run opts =
     in
     Fun.protect
       ~finally:(fun () ->
-        List.iter close_conn !conns;
+        List.iter Conn.close !conns;
         (try Unix.close listen_fd with Unix.Unix_error _ -> ());
         match opts.addr with
         | `Unix path -> ( try Sys.remove path with Sys_error _ -> ())

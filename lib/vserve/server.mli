@@ -5,7 +5,8 @@
     [select] reactor for I/O with batched execution:
 
     + readable sockets are drained and parsed; service verbs
-      ([health]/[stats]/[shutdown]) are answered inline, check verbs pass
+      ([health]/[stats]/[reload-stage]/[reload-commit]/[shutdown]) are
+      answered inline, check verbs pass
       {e admission control} — a bounded queue; when it is full the request is
       answered [overloaded] immediately and counted as shed;
     + when the queue is non-empty, up to [max_batch] requests are drained
@@ -46,6 +47,11 @@ type options = {
           served degraded-only (default 0.9) *)
   jobs : int;  (** worker domains for batch execution *)
   refresh_every_s : float;  (** model-directory poll period (default 0.5) *)
+  manual_reload : bool;
+      (** disable the background directory poll: models load once at startup
+          and change only via the two-phase [reload-stage]/[reload-commit]
+          verbs.  Fleet workers run this way so every shard flips generation
+          at the router's command, never on its own clock (default false) *)
   allow_shutdown : bool;  (** honour the [shutdown] verb (default true) *)
   now : unit -> float;  (** injectable clock (latency metrics, budgets) *)
 }

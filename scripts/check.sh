@@ -21,7 +21,7 @@ echo "== serve round-trip smoke =="
 # exercise the CLI surface end to end: export a model in registry format,
 # start the daemon, check against it, shut it down
 SMOKE_DIR=$(mktemp -d)
-trap 'kill "${SERVE_PID:-}" 2>/dev/null || true; rm -rf "$SMOKE_DIR"' EXIT
+trap 'kill "${SERVE_PID:-}" "${FLEET_PID:-}" 2>/dev/null || true; rm -rf "$SMOKE_DIR"' EXIT
 mkdir -p "$SMOKE_DIR/models.d"
 dune exec bin/violet_cli.exe -- analyze mysql autocommit \
   --export "$SMOKE_DIR/models.d/mysql-autocommit.vmodel" >/dev/null
@@ -48,6 +48,45 @@ if [ "$rc" -ne 2 ]; then
   echo "serve smoke: expected exit 2 (finding on the poor default), got $rc"
   exit 1
 fi
+
+echo "== fleet smoke (3 shards, kill -9 recovery) =="
+# the supervised fleet: reuse the exported model, start 3 shards behind the
+# router, round-trip a check, kill -9 a worker, and verify the fleet keeps
+# answering while the supervisor restarts it
+FLEET_DIR="$SMOKE_DIR/fleet"
+dune exec bin/violet_cli.exe -- fleet start \
+  --run-dir "$FLEET_DIR" --models "$SMOKE_DIR/models.d" --shards 3 \
+  --probe-every 0.2 >/dev/null &
+FLEET_PID=$!
+i=0
+while [ ! -S "$FLEET_DIR/router.sock" ] && [ "$i" -lt 100 ]; do
+  sleep 0.1
+  i=$((i + 1))
+done
+[ -S "$FLEET_DIR/router.sock" ] || { echo "fleet smoke: router never bound"; exit 1; }
+rc=0
+dune exec bin/violet_cli.exe -- client check-current \
+  --addr "unix:$FLEET_DIR/router.sock" mysql-autocommit "$SMOKE_DIR/empty.cnf" \
+  >/dev/null || rc=$?
+if [ "$rc" -ne 2 ]; then
+  echo "fleet smoke: expected exit 2 through the router, got $rc"
+  exit 1
+fi
+# first "pid" in the state file is the supervisor's, the second is shard 0's
+SHARD_PID=$(grep -o '"pid":[0-9]*' "$FLEET_DIR/fleet-state.json" | sed -n 2p | cut -d: -f2)
+[ -n "$SHARD_PID" ] || { echo "fleet smoke: no shard pid in state file"; exit 1; }
+kill -9 "$SHARD_PID"
+rc=0
+dune exec bin/violet_cli.exe -- client check-current \
+  --addr "unix:$FLEET_DIR/router.sock" mysql-autocommit "$SMOKE_DIR/empty.cnf" \
+  >/dev/null || rc=$?
+if [ "$rc" -ne 2 ]; then
+  echo "fleet smoke: expected exit 2 after kill -9 (failover), got $rc"
+  exit 1
+fi
+dune exec bin/violet_cli.exe -- fleet stats --run-dir "$FLEET_DIR" >/dev/null
+dune exec bin/violet_cli.exe -- fleet drain --run-dir "$FLEET_DIR" >/dev/null
+wait "$FLEET_PID"
 
 echo "== fuzz smoke (20 generated systems) =="
 # score planted ground truth and run the differential oracle on a small

@@ -21,6 +21,9 @@ let () =
       (* vresilience before vpar: its kill -9 test needs [Unix.fork], which
          OCaml 5 forbids once any domain has been spawned *)
       ("vresilience", Test_vresilience.tests);
+      (* vfleet forks a supervisor, so it too must precede every
+         domain-spawning suite *)
+      ("vfleet", Test_vfleet.tests);
       ("vpar", Test_vpar.tests);
       ("vslice", Test_vslice.tests);
       (* vserve spawns the daemon on a domain, so it also stays after the

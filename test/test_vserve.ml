@@ -106,6 +106,8 @@ let gen_request =
           (option (pair gen_workload gen_workload));
         return P.Health;
         return P.Stats;
+        return P.Reload_stage;
+        return P.Reload_commit;
         return P.Shutdown;
       ])
 
@@ -210,6 +212,11 @@ let gen_response =
                 (fun mi_key mi_generation mi_digest -> { P.mi_key; mi_generation; mi_digest })
                 gen_str small_nat gen_str));
         map (fun w -> P.Stats_info w) gen_wire;
+        map3
+          (fun phase ok entries -> P.Reload_info { phase; ok; entries })
+          (oneofl [ "stage"; "commit" ])
+          bool
+          (small_list (pair gen_str gen_str));
         map2
           (fun code message -> P.Error_resp { code; message })
           (oneofl [ P.Overloaded; P.Bad_request; P.Unknown_model; P.Check_failed; P.Shutting_down ])
@@ -330,6 +337,52 @@ let test_registry_load_and_reject () =
   let e2 = Option.get (Reg.find reg "mini") in
   check Alcotest.bool "previous retained" true (e2.Reg.previous <> None);
   check Alcotest.bool "threshold updated" true (e2.Reg.model.M.threshold = 0.9)
+
+let test_registry_two_phase () =
+  let dir = mk_tmpdir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let path = export_fixture dir "mini" in
+  let reg = Reg.create ~dir in
+  ignore (Reg.refresh reg);
+  (* commit without a stage is refused *)
+  (match Reg.commit reg with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "commit without stage must be refused");
+  (* stage a replacement: validated and parked, not serving *)
+  let _ = export_fixture ~tweak:(fun m -> { m with M.threshold = 0.9 }) dir "mini" in
+  (match Reg.stage reg with
+  | [ ("mini", Ok _) ] -> ()
+  | r ->
+    Alcotest.fail
+      (Printf.sprintf "unexpected stage results (%d entries)" (List.length r)));
+  check Alcotest.bool "staged set parked" true (Reg.staged reg);
+  check Alcotest.int "still serving generation 1" 1
+    (Option.get (Reg.find reg "mini")).Reg.generation;
+  (* commit flips to generation 2 atomically, retaining history *)
+  (match Reg.commit reg with
+  | Ok [ Reg.Loaded { key = "mini"; generation = 2 } ] -> ()
+  | Ok evs ->
+    Alcotest.fail
+      ("unexpected commit events: " ^ String.concat "; " (List.map Reg.event_to_string evs))
+  | Error e -> Alcotest.fail ("commit failed: " ^ e));
+  let e = Option.get (Reg.find reg "mini") in
+  check Alcotest.int "generation 2 serving" 2 e.Reg.generation;
+  check Alcotest.bool "previous retained for mode 3a" true (e.Reg.previous <> None);
+  check Alcotest.bool "staged set consumed" false (Reg.staged reg);
+  (* a corrupt file poisons the whole stage round: nothing is parked and
+     the serving generation is untouched *)
+  let good = In_channel.with_open_bin path In_channel.input_all in
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc (String.sub good 0 (String.length good / 2)));
+  (match Reg.stage reg with
+  | [ ("mini", Error _) ] -> ()
+  | _ -> Alcotest.fail "corrupt file must fail the stage");
+  check Alcotest.bool "nothing staged after corrupt round" false (Reg.staged reg);
+  (match Reg.commit reg with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "commit after failed stage must be refused");
+  check Alcotest.int "generation 2 still serving" 2
+    (Option.get (Reg.find reg "mini")).Reg.generation
 
 let test_registry_removal () =
   let dir = mk_tmpdir () in
@@ -529,6 +582,7 @@ let tests =
     qt prop_response_roundtrip;
     tc "non-ASCII finding without fast row" test_nonascii_and_no_fast_row;
     tc "registry loads, rejects corruption, keeps serving" test_registry_load_and_reject;
+    tc "registry two-phase stage and commit" test_registry_two_phase;
     tc "registry drops removed files" test_registry_removal;
     tc "batcher groups and coalesces" test_batcher_groups_and_coalesces;
     tc "end-to-end daemon matches in-process checker" test_end_to_end;
