@@ -24,7 +24,7 @@ let wall_measurements () =
       (fun ((_ : Targets.Cases.known_case), target, a, file) ->
         match
           Vchecker.Checker.check_current ~model:a.Violet.Pipeline.model
-            ~registry:target.Violet.Pipeline.registry ~file
+            ~registry:target.Violet.Pipeline.registry ~file ()
         with
         | Ok report -> Some report.Vchecker.Checker.checked_in_s
         | Error _ -> None)
@@ -77,7 +77,7 @@ let micro_benchmarks () =
         (Staged.stage (fun () ->
              ignore
                (Vchecker.Checker.check_current ~model:c1.Violet.Pipeline.model ~registry
-                  ~file)));
+                  ~file ())));
       Test.make ~name:"pipeline.autocommit"
         (Staged.stage (fun () ->
              ignore (Violet.Pipeline.analyze_exn target "autocommit")));

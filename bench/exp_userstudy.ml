@@ -44,7 +44,7 @@ let checker_verdicts () =
       let file = Vchecker.Config_file.parse file_text in
       let report =
         match
-          Checker.check_current ~model:analysis.Violet.Pipeline.model ~registry ~file
+          Checker.check_current ~model:analysis.Violet.Pipeline.model ~registry ~file ()
         with
         | Ok r -> r
         | Error e -> failwith e

@@ -148,26 +148,60 @@ let load_config_file path =
     (Vchecker.Config_file.issues file);
   file
 
-let check system param file model_path =
+(* Row-decision backend selection, shared by check, check-update, serve and
+   fleet start (DESIGN.md Section 5j). *)
+let check_mode_conv =
+  let parse s =
+    match Vchecker.Checker.mode_of_string s with
+    | Some m -> Ok m
+    | None ->
+      Error (`Msg (Printf.sprintf "invalid check mode %s (solver|materialized|hybrid)" s))
+  in
+  Arg.conv (parse, fun ppf m -> Fmt.string ppf (Vchecker.Checker.mode_to_string m))
+
+let check_mode_opt =
+  Arg.(
+    value
+    & opt check_mode_conv Vchecker.Checker.Hybrid
+    & info [ "check-mode" ] ~docv:"MODE"
+        ~doc:
+          "Row-decision backend: $(b,solver) (substitute-simplify-solve), \
+           $(b,materialized) (compiled decision tables, built on the fly when no \
+           registry artifact exists) or $(b,hybrid) (compiled tables when the \
+           registry built them at load time, solver otherwise).  All three produce \
+           byte-identical findings.")
+
+let joint_max_nodes_opt =
+  Arg.(
+    value
+    & opt int Vchecker.Checker.default_joint_input_max_nodes
+    & info [ "joint-max-nodes" ] ~docv:"N"
+        ~doc:
+          "Node budget of the checker's joint-input feasibility gate.  The \
+           registry's compiled feasibility tables are keyed to it: a mismatched \
+           budget falls back to a live solver call per pair.")
+
+let check system param file model_path mode joint_input_max_nodes =
   let target = or_die (target_of_system system) in
   let model = or_die (load_model_or_analyze target param model_path) in
   let file = load_config_file file in
   let report =
     or_die
-      (Vchecker.Checker.check_current ~model ~registry:target.Violet.Pipeline.registry ~file)
+      (Vchecker.Checker.check_current ~mode ~joint_input_max_nodes ~model
+         ~registry:target.Violet.Pipeline.registry ~file ())
   in
   Fmt.pr "%a" Vchecker.Checker.pp_report report;
   if report.Vchecker.Checker.findings = [] then 0 else 2
 
-let check_update system param old_file new_file model_path =
+let check_update system param old_file new_file model_path mode joint_input_max_nodes =
   let target = or_die (target_of_system system) in
   let model = or_die (load_model_or_analyze target param model_path) in
   let old_file = load_config_file old_file in
   let new_file = load_config_file new_file in
   let report =
     or_die
-      (Vchecker.Checker.check_update ~model ~registry:target.Violet.Pipeline.registry
-         ~old_file ~new_file)
+      (Vchecker.Checker.check_update ~mode ~joint_input_max_nodes ~model
+         ~registry:target.Violet.Pipeline.registry ~old_file ~new_file ())
   in
   Fmt.pr "%a" Vchecker.Checker.pp_report report;
   if report.Vchecker.Checker.findings = [] then 0 else 2
@@ -235,7 +269,7 @@ let analyze_trace path threshold =
    and a thin client speaking the newline-delimited JSON protocol. *)
 
 let serve addr models max_queue max_batch no_batch request_deadline shed_pressure jobs
-    refresh no_shutdown =
+    refresh no_shutdown check_mode joint_input_max_nodes =
   let addr = or_die (Vserve.Client.addr_of_string addr) in
   let resolve_registry (m : Vmodel.Impact_model.t) =
     Option.map
@@ -254,6 +288,8 @@ let serve addr models max_queue max_batch no_batch request_deadline shed_pressur
       jobs = (match jobs with Some j -> j | None -> Vpar.Pool.default_jobs ());
       refresh_every_s = refresh;
       allow_shutdown = not no_shutdown;
+      check_mode;
+      joint_input_max_nodes;
     }
   in
   Fmt.pr "violet serve: listening on %s, models from %s@."
@@ -503,7 +539,9 @@ let check_cmd =
   in
   Cmd.v
     (Cmd.info "check" ~doc:"Check a configuration file against the impact model (mode 2)")
-    Term.(const check $ system_arg $ param_arg 1 $ file $ model_opt)
+    Term.(
+      const check $ system_arg $ param_arg 1 $ file $ model_opt $ check_mode_opt
+      $ joint_max_nodes_opt)
 
 let check_update_cmd =
   let old_file =
@@ -515,7 +553,9 @@ let check_update_cmd =
   Cmd.v
     (Cmd.info "check-update"
        ~doc:"Check a configuration update for performance regressions (mode 1)")
-    Term.(const check_update $ system_arg $ param_arg 1 $ old_file $ new_file $ model_opt)
+    Term.(
+      const check_update $ system_arg $ param_arg 1 $ old_file $ new_file $ model_opt
+      $ check_mode_opt $ joint_max_nodes_opt)
 
 let coverage_cmd =
   Cmd.v
@@ -626,7 +666,8 @@ let serve_cmd =
           batching, admission control)")
     Term.(
       const serve $ addr_opt $ models $ max_queue $ max_batch $ no_batch
-      $ request_deadline $ shed_pressure $ jobs $ refresh $ no_shutdown)
+      $ request_deadline $ shed_pressure $ jobs $ refresh $ no_shutdown
+      $ check_mode_opt $ joint_max_nodes_opt)
 
 let client_cmd =
   let key_arg =
@@ -708,7 +749,7 @@ let fleet_router_addr run_dir =
     (Vfleet.Topology.router_addr { Vfleet.Topology.run_dir; shards = 1 })
 
 let fleet_start run_dir models shards replication no_retries attempt_timeout
-    probe_every seed =
+    probe_every seed check_mode joint_input_max_nodes =
   let topology = Vfleet.Topology.make ~run_dir ~shards in
   let resolve_registry (m : Vmodel.Impact_model.t) =
     Option.map
@@ -721,7 +762,12 @@ let fleet_start run_dir models shards replication no_retries attempt_timeout
       base with
       Vfleet.Supervisor.worker_opts =
         (fun i ->
-          { (base.Vfleet.Supervisor.worker_opts i) with Vserve.Server.resolve_registry });
+          {
+            (base.Vfleet.Supervisor.worker_opts i) with
+            Vserve.Server.resolve_registry;
+            check_mode;
+            joint_input_max_nodes;
+          });
       router_opts =
         {
           base.Vfleet.Supervisor.router_opts with
@@ -822,7 +868,7 @@ let fleet_cmd =
             SIGTERM or $(b,violet fleet drain)")
       Term.(
         const fleet_start $ run_dir_arg $ models $ shards $ replication $ no_retries
-        $ attempt_timeout $ probe_every $ seed)
+        $ attempt_timeout $ probe_every $ seed $ check_mode_opt $ joint_max_nodes_opt)
   in
   let stats_cmd =
     Cmd.v
@@ -929,9 +975,9 @@ let fuzz_diff seed count no_daemon out =
     (fun spec ->
       let r = Vfuzz.Oracle.check ~daemon spec in
       if Vfuzz.Oracle.agreed r then
-        Fmt.pr "%-14s ok (%d combos, %d daemon checks, %d fleet checks)@."
+        Fmt.pr "%-14s ok (%d combos, %d daemon checks, %d fleet checks, %d mode checks)@."
           r.Vfuzz.Oracle.r_system r.Vfuzz.Oracle.r_combos r.Vfuzz.Oracle.r_daemon_checks
-          r.Vfuzz.Oracle.r_fleet_checks
+          r.Vfuzz.Oracle.r_fleet_checks r.Vfuzz.Oracle.r_mode_checks
       else begin
         incr failures;
         Fmt.pr "%-14s DISAGREES@." r.Vfuzz.Oracle.r_system;

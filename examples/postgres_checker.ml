@@ -40,7 +40,7 @@ let () =
   let file =
     match Vchecker.Config_file.load conf_path with Ok f -> f | Error e -> failwith e
   in
-  (match Vchecker.Checker.check_current ~model ~registry ~file with
+  (match Vchecker.Checker.check_current ~model ~registry ~file () with
   | Ok report -> Fmt.pr "%a@." Vchecker.Checker.pp_report report
   | Error e -> Fmt.pr "error: %s@." e);
 
@@ -56,12 +56,12 @@ let () =
   let new_file =
     match Vchecker.Config_file.load new_path with Ok f -> f | Error e -> failwith e
   in
-  (match Vchecker.Checker.check_update ~model ~registry ~old_file ~new_file with
+  (match Vchecker.Checker.check_update ~model ~registry ~old_file ~new_file () with
   | Ok report -> Fmt.pr "%a@." Vchecker.Checker.pp_report report
   | Error e -> Fmt.pr "error: %s@." e);
 
   (* and the safe direction must stay silent *)
   Fmt.pr "== mode 1 control: checking update open_sync -> fdatasync ==@.";
-  match Vchecker.Checker.check_update ~model ~registry ~old_file:new_file ~new_file:old_file with
+  match Vchecker.Checker.check_update ~model ~registry ~old_file:new_file ~new_file:old_file () with
   | Ok report -> Fmt.pr "%a@." Vchecker.Checker.pp_report report
   | Error e -> Fmt.pr "error: %s@." e

@@ -1,6 +1,7 @@
 module M = Vmodel.Impact_model
 module Row = Vmodel.Cost_row
 module Diff = Vmodel.Diff_analysis
+module CM = Vmodel.Compiled_model
 
 type finding = {
   param : string;
@@ -14,6 +15,19 @@ type finding = {
 }
 
 type report = { findings : finding list; checked_in_s : float }
+
+type mode = Solver | Materialized | Hybrid
+
+let mode_to_string = function
+  | Solver -> "solver"
+  | Materialized -> "materialized"
+  | Hybrid -> "hybrid"
+
+let mode_of_string = function
+  | "solver" -> Some Solver
+  | "materialized" -> Some Materialized
+  | "hybrid" -> Some Hybrid
+  | _ -> None
 
 let ( let* ) = Result.bind
 
@@ -30,48 +44,46 @@ let mentions row params =
         (Vsmt.Expr.vars c))
     row.Row.config_constraints
 
-(* Prefer the pre-computed poor pair for (slow, fast) when the analyzer
-   already found it; otherwise compare the rows directly.  Modes 1 and 2
-   require a single input class to trigger both states (Section 4.6);
-   the workload-change mode deliberately compares across input classes. *)
-(* same budget the analyzer's joint-input screen uses; the checker runs on
-   saved models, with no pipeline options in scope to thread from *)
-let joint_input_max_nodes = 1_000
+(* same budget the analyzer's joint-input screen uses; serve/CLI callers can
+   tune it per request, the default stays the analyzer's *)
+let default_joint_input_max_nodes = 1_000
 
-let judge ?(require_joint_input = true) (model : M.t) slow fast =
-  if
-    require_joint_input
-    && not
-         (Vsmt.Solver.is_feasible ~max_nodes:joint_input_max_nodes
-            (slow.Row.workload_pred @ fast.Row.workload_pred))
-  then None
-  else
-  match M.pairs_between model ~slow ~fast with
-  | p :: _ ->
-    Some
-      ( p.M.latency_ratio,
-        p.M.trigger,
-        p.M.critical_path )
-  | [] -> begin
-    match Diff.compare_pair ~threshold:model.M.threshold ~slow ~fast with
-    | Some (worst, triggers) ->
-      let diff = Vmodel.Critical_path.differential ~slow ~fast in
-      Some (1. +. worst, Diff.trigger_label triggers, diff.Vmodel.Critical_path.critical_path)
-    | None -> None
-  end
+(* ------------------------------------------------------------------ *)
+(* Engines: one set of checker semantics over two row-decision backends.
+   The solver engine is the original substitute-simplify-solve path; the
+   compiled engine answers from a {!Vmodel.Compiled_model}'s decision
+   tables (falling back per row when the tables cannot close a decision).
+   Both engines must produce byte-identical findings — the vfuzz oracle and
+   bench matcheck pin this. *)
+
+type engine = {
+  e_rows_matching : (string * int) list -> Row.t list;
+  e_rows_matching_workload : (string * int) list -> Row.t list;
+  e_mentions : Row.t -> string list -> bool;
+  e_is_poor : Row.t -> bool;
+  e_witness :
+    require_joint_input:bool ->
+    Row.t ->
+    Row.t list ->
+    (Row.t * (float * string * string list)) option;
+      (** first candidate (most-comparable order, capped at
+          [max_candidates]) that passes the joint-input gate (when required)
+          and yields a verdict, with that verdict *)
+}
 
 (* Most-comparable fast rows first: same input class, then similarity.
    Scores are computed once per row (not in the comparator) and the scan is
    capped — candidates far down the similarity order cannot produce a
-   meaningful witness. *)
+   meaningful witness.  [Compiled_model.comparison_order] materializes
+   exactly this ordering. *)
 let max_candidates = 48
 
-let comparison_order slow rows =
+let order_by_similarity slow rows =
   let decorated =
     rows
     |> List.filter (fun r -> r.Row.state_id <> slow.Row.state_id)
     |> List.map (fun r ->
-           (Vmodel.Similarity.workload_score slow r, Vmodel.Similarity.score slow r), r)
+           ((Vmodel.Similarity.workload_score slow r, Vmodel.Similarity.score slow r), r))
   in
   let sorted =
     List.stable_sort
@@ -81,13 +93,82 @@ let comparison_order slow rows =
   in
   List.filteri (fun i _ -> i < max_candidates) (List.map snd sorted)
 
+(* Prefer the pre-computed poor pair for (slow, fast) when the analyzer
+   already found it; otherwise compare the rows directly.  Modes 1 and 2
+   require a single input class to trigger both states (Section 4.6);
+   the workload-change mode deliberately compares across input classes. *)
+let solver_engine (model : M.t) ~joint_input_max_nodes =
+  let judge ~require_joint_input slow fast =
+    if
+      require_joint_input
+      && not
+           (Vsmt.Solver.is_feasible ~max_nodes:joint_input_max_nodes
+              (slow.Row.workload_pred @ fast.Row.workload_pred))
+    then None
+    else
+      match M.pairs_between model ~slow ~fast with
+      | p :: _ -> Some (p.M.latency_ratio, p.M.trigger, p.M.critical_path)
+      | [] -> begin
+        match Diff.compare_pair ~threshold:model.M.threshold ~slow ~fast with
+        | Some (worst, triggers) ->
+          let diff = Vmodel.Critical_path.differential ~slow ~fast in
+          Some
+            (1. +. worst, Diff.trigger_label triggers, diff.Vmodel.Critical_path.critical_path)
+        | None -> None
+      end
+  in
+  {
+    e_rows_matching = (fun assignment -> M.rows_matching model assignment);
+    e_rows_matching_workload =
+      (fun w -> List.filter (fun r -> Row.workload_satisfied_by r w) model.M.rows);
+    e_mentions = mentions;
+    e_is_poor = (fun r -> M.is_poor_row model r);
+    e_witness =
+      (fun ~require_joint_input slow rows ->
+        List.find_map
+          (fun fast ->
+            Option.map (fun v -> (fast, v)) (judge ~require_joint_input slow fast))
+          (order_by_similarity slow rows));
+  }
+
+let compiled_engine (cm : CM.t) ~joint_input_max_nodes =
+  {
+    e_rows_matching = (fun assignment -> CM.rows_matching cm assignment);
+    e_rows_matching_workload = (fun w -> CM.rows_matching_workload cm w);
+    e_mentions = (fun r params -> CM.mentions cm r params);
+    e_is_poor = (fun r -> CM.is_poor_row cm r);
+    e_witness =
+      (fun ~require_joint_input slow rows ->
+        CM.first_witness cm ~cap:max_candidates ~max_nodes:joint_input_max_nodes
+          ~require_joint_input ~slow rows);
+  }
+
+(* Hybrid trusts a supplied artifact (the registry compiles at load time)
+   and otherwise stays on the solver path; Materialized compiles on the
+   fly when the caller has no artifact.  A compiled artifact for a
+   different model (physical identity) is stale and never used. *)
+let engine_of ~mode ~compiled ~joint_input_max_nodes model =
+  let artifact =
+    match compiled with Some c when CM.model c == model -> Some c | _ -> None
+  in
+  match (mode, artifact) with
+  | Solver, _ -> solver_engine model ~joint_input_max_nodes
+  | (Materialized | Hybrid), Some cm -> compiled_engine cm ~joint_input_max_nodes
+  | Materialized, None ->
+    compiled_engine
+      (CM.compile ~joint_max_nodes:joint_input_max_nodes model)
+      ~joint_input_max_nodes
+  | Hybrid, None -> solver_engine model ~joint_input_max_nodes
+
 (* When the caller knows the slow/fast configurations, the test case is
    built to distinguish the pair (Test_case.of_pair); otherwise it solves
-   the slow state's input predicate alone. *)
-let finding_of ?require_joint_input ?configs model ~param ~message slow fast =
-  match judge ?require_joint_input model slow fast with
+   the slow state's input predicate alone.  [rows] is the candidate pool;
+   the engine picks the witness (first surviving candidate in comparison
+   order). *)
+let finding_of ?(require_joint_input = true) ?configs eng ~param ~message slow rows =
+  match eng.e_witness ~require_joint_input slow rows with
   | None -> None
-  | Some (ratio, trigger, critical_path) ->
+  | Some (fast, (ratio, trigger, critical_path)) ->
     let test_case =
       match configs with
       | Some (poor, good) -> begin
@@ -142,13 +223,16 @@ let degraded_findings (model : M.t) =
         })
       d.M.dropped_paths
 
-let check_update ~model ~registry ~old_file ~new_file =
+let check_update ?(mode = Hybrid) ?compiled
+    ?(joint_input_max_nodes = default_joint_input_max_nodes) ~model ~registry ~old_file
+    ~new_file () =
   let* old_assignment, _ = Config_file.to_assignment registry old_file in
   let* new_assignment, _ = Config_file.to_assignment registry new_file in
+  let eng = engine_of ~mode ~compiled ~joint_input_max_nodes model in
   Ok
     (timed (fun () ->
-         let old_rows = M.rows_matching model old_assignment in
-         let new_rows = M.rows_matching model new_assignment in
+         let old_rows = eng.e_rows_matching old_assignment in
+         let new_rows = eng.e_rows_matching new_assignment in
          let changed = Config_file.changed_keys ~old_file ~new_file in
          let changed_names = List.map (fun (k, _, _) -> k) changed in
          let relevant =
@@ -160,20 +244,17 @@ let check_update ~model ~registry ~old_file ~new_file =
          else begin
            (* only states whose constraints involve an updated parameter can
               witness the regression (Section 4.7, scenario 1) *)
-           let new_rows = List.filter (fun r -> mentions r relevant) new_rows in
-           let old_rows = List.filter (fun r -> mentions r relevant) old_rows in
+           let new_rows = List.filter (fun r -> eng.e_mentions r relevant) new_rows in
+           let old_rows = List.filter (fun r -> eng.e_mentions r relevant) old_rows in
            List.filter_map
              (fun slow ->
-               List.find_map
-                 (fun fast ->
-                   finding_of ~configs:(new_assignment, old_assignment) model
-                     ~param:(String.concat "," relevant)
-                     ~message:
-                       (Printf.sprintf
-                          "config update on %s introduces a potential performance regression"
-                          (String.concat ", " relevant))
-                     slow fast)
-                 (comparison_order slow old_rows))
+               finding_of ~configs:(new_assignment, old_assignment) eng
+                 ~param:(String.concat "," relevant)
+                 ~message:
+                   (Printf.sprintf
+                      "config update on %s introduces a potential performance regression"
+                      (String.concat ", " relevant))
+                 slow old_rows)
              new_rows
          end
          @ degraded_findings model))
@@ -189,55 +270,64 @@ let alternative_values (p : Vruntime.Config_registry.param) current =
   in
   List.sort_uniq Int.compare (List.filter (fun v -> v <> current) candidates)
 
-let check_current ~model ~registry ~file =
+let check_current ?(mode = Hybrid) ?compiled
+    ?(joint_input_max_nodes = default_joint_input_max_nodes) ~model ~registry ~file () =
   let* assignment, _ = Config_file.to_assignment registry file in
+  let eng = engine_of ~mode ~compiled ~joint_input_max_nodes model in
   Ok
     (timed (fun () ->
          let current_rows =
-           List.filter (fun r -> mentions r [ model.M.target ]) (M.rows_matching model assignment)
+           List.filter
+             (fun r -> eng.e_is_poor r && eng.e_mentions r [ model.M.target ])
+             (eng.e_rows_matching assignment)
          in
-         (* "another value of the parameter performs significantly better"
-            (Section 4.7, scenario 2): witnesses keep every other setting
-            as deployed and change only the target *)
-         let fast_rows =
-           match Vruntime.Config_registry.find_opt registry model.M.target with
-           | None -> model.M.rows
-           | Some p ->
-             let current = List.assoc model.M.target assignment in
-             List.concat_map
-               (fun alt ->
-                 let assignment' =
-                   (model.M.target, alt) :: List.remove_assoc model.M.target assignment
-                 in
-                 M.rows_matching model assignment')
-               (alternative_values p current)
-         in
-         List.filter_map
-           (fun slow ->
-             if not (M.is_poor_row model slow) then None
-             else
-               List.find_map
-                 (fun fast ->
-                   finding_of ~configs:(assignment, assignment) model
-                     ~param:model.M.target
-                     ~message:
-                       (Printf.sprintf
-                          "current value of %s falls in a poor state; another value \
-                           performs significantly better"
-                          model.M.target)
-                     slow fast)
-                 (comparison_order slow fast_rows))
-           current_rows
+         (if current_rows = [] then []
+          else begin
+            (* "another value of the parameter performs significantly better"
+               (Section 4.7, scenario 2): witnesses keep every other setting
+               as deployed and change only the target *)
+            let fast_rows =
+              match Vruntime.Config_registry.find_opt registry model.M.target with
+              | None -> model.M.rows
+              | Some p ->
+                let current = List.assoc model.M.target assignment in
+                List.concat_map
+                  (fun alt ->
+                    let assignment' =
+                      (model.M.target, alt) :: List.remove_assoc model.M.target assignment
+                    in
+                    eng.e_rows_matching assignment')
+                  (alternative_values p current)
+            in
+            List.filter_map
+              (fun slow ->
+                finding_of ~configs:(assignment, assignment) eng
+                  ~param:model.M.target
+                  ~message:
+                    (Printf.sprintf
+                       "current value of %s falls in a poor state; another value \
+                        performs significantly better"
+                       model.M.target)
+                  slow fast_rows)
+              current_rows
+          end)
          @ degraded_findings model))
 
 let check_upgrade ~old_model ~new_model =
   timed (fun () ->
-      let old_by_constraint =
-        List.map (fun r -> Row.constraint_string r, r) old_model.M.rows
-      in
+      (* keyed lookup instead of the former O(n²) assoc scan; first
+         occurrence wins, preserving [List.assoc]'s semantics when two old
+         rows render to the same constraint string *)
+      let old_by_constraint = Hashtbl.create (List.length old_model.M.rows) in
+      List.iter
+        (fun r ->
+          let key = Row.constraint_string r in
+          if not (Hashtbl.mem old_by_constraint key) then
+            Hashtbl.replace old_by_constraint key r)
+        old_model.M.rows;
       List.filter_map
         (fun new_row ->
-          match List.assoc_opt (Row.constraint_string new_row) old_by_constraint with
+          match Hashtbl.find_opt old_by_constraint (Row.constraint_string new_row) with
           | None -> None
           | Some old_row -> begin
             match
@@ -262,22 +352,21 @@ let check_upgrade ~old_model ~new_model =
           end)
         new_model.M.rows)
 
-let check_workload_change ~model ~old_workload ~new_workload =
+let check_workload_change ?(mode = Hybrid) ?compiled
+    ?(joint_input_max_nodes = default_joint_input_max_nodes) ~model ~old_workload
+    ~new_workload () =
+  let eng = engine_of ~mode ~compiled ~joint_input_max_nodes model in
   timed (fun () ->
-      let matches w r = Row.workload_satisfied_by r w in
-      let old_rows = List.filter (matches old_workload) model.M.rows in
-      let new_rows = List.filter (matches new_workload) model.M.rows in
+      let old_rows = eng.e_rows_matching_workload old_workload in
+      let new_rows = eng.e_rows_matching_workload new_workload in
       List.filter_map
         (fun slow ->
-          List.find_map
-            (fun fast ->
-              finding_of ~require_joint_input:false model ~param:model.M.target
-                ~message:
-                  (Printf.sprintf
-                     "workload change moves %s into a significantly slower state"
-                     model.M.target)
-                slow fast)
-            (comparison_order slow old_rows))
+          finding_of ~require_joint_input:false eng ~param:model.M.target
+            ~message:
+              (Printf.sprintf
+                 "workload change moves %s into a significantly slower state"
+                 model.M.target)
+            slow old_rows)
         new_rows
       (* a degraded model has configuration regions with unknown cost; the
          shifted workload may land in one, so the conservative widening

@@ -30,6 +30,27 @@ type finding = {
 
 type report = { findings : finding list; checked_in_s : float }
 
+(** How row decisions are made (DESIGN.md Section 5j):
+
+    - [Solver]: the original substitute-simplify-solve path;
+    - [Materialized]: answer from {!Vmodel.Compiled_model} decision tables,
+      compiling on the fly when the caller supplies no artifact;
+    - [Hybrid] (the default): use a supplied compiled artifact (the serving
+      registry compiles at load time), otherwise stay on the solver path.
+
+    All three modes produce byte-identical findings — the compiled tables
+    are exact, with per-row fallback to the solver path for decisions the
+    compiler could not close. *)
+type mode = Solver | Materialized | Hybrid
+
+val mode_to_string : mode -> string
+val mode_of_string : string -> mode option
+
+val default_joint_input_max_nodes : int
+(** Node budget of the joint-input feasibility gate (1_000 — the same
+    budget the analyzer's screen uses); serve/CLI callers can tune it per
+    request via [?joint_input_max_nodes]. *)
+
 val degraded_findings : Vmodel.Impact_model.t -> finding list
 (** Conservative findings for a model built under budget degradation: one
     per dropped path (its configuration region has unknown cost, [fast_row =
@@ -39,17 +60,27 @@ val degraded_findings : Vmodel.Impact_model.t -> finding list
     it. *)
 
 val check_update :
+  ?mode:mode ->
+  ?compiled:Vmodel.Compiled_model.t ->
+  ?joint_input_max_nodes:int ->
   model:Vmodel.Impact_model.t ->
   registry:Vruntime.Config_registry.t ->
   old_file:Config_file.t ->
   new_file:Config_file.t ->
+  unit ->
   (report, string) result
-(** Mode 1.  [Error] when a file fails to validate against the registry. *)
+(** Mode 1.  [Error] when a file fails to validate against the registry.
+    [compiled] is used only when it was compiled from this exact [model]
+    (physical identity) and [mode] is not [Solver]. *)
 
 val check_current :
+  ?mode:mode ->
+  ?compiled:Vmodel.Compiled_model.t ->
+  ?joint_input_max_nodes:int ->
   model:Vmodel.Impact_model.t ->
   registry:Vruntime.Config_registry.t ->
   file:Config_file.t ->
+  unit ->
   (report, string) result
 (** Mode 2, generalized: checks the file's effective values (defaults
     included) against the model's poor states. *)
@@ -57,12 +88,17 @@ val check_current :
 val check_upgrade :
   old_model:Vmodel.Impact_model.t -> new_model:Vmodel.Impact_model.t -> report
 (** Mode 3a: states that got significantly slower in the new code version's
-    model, matched by configuration-constraint text. *)
+    model, matched by configuration-constraint text (keyed lookup — no
+    solver involved, so no [mode]). *)
 
 val check_workload_change :
+  ?mode:mode ->
+  ?compiled:Vmodel.Compiled_model.t ->
+  ?joint_input_max_nodes:int ->
   model:Vmodel.Impact_model.t ->
   old_workload:(string * int) list ->
   new_workload:(string * int) list ->
+  unit ->
   report
 (** Mode 3b: rows whose input predicate the new workload satisfies compared
     against the rows the old workload satisfied.  On a degraded model the

@@ -8,7 +8,7 @@ let describe vars assignment =
   in
   String.concat ", " (List.filter_map part vars)
 
-let of_predicate preds =
+let of_predicate_live preds =
   match preds with
   | [] -> Some { workload = []; description = "any workload" }
   | _ -> begin
@@ -27,6 +27,27 @@ let of_predicate preds =
       Some { workload = m; description = "run workload with " ^ describe vars m }
     | Vsmt.Solver.Unsat | Vsmt.Solver.Unknown -> None
   end
+
+(* [of_predicate_live] is deterministic in its predicate list (the solver
+   budget is pinned), so repeated findings over the same rows answer from a
+   bounded memo: steady-state serving builds each witness's test case once.
+   Keys are structural; the table resets rather than evicts when full. *)
+let memo : (Vsmt.Expr.t list, t option) Hashtbl.t = Hashtbl.create 64
+let memo_lock = Mutex.create ()
+
+let of_predicate preds =
+  Mutex.lock memo_lock;
+  let cached = Hashtbl.find_opt memo preds in
+  Mutex.unlock memo_lock;
+  match cached with
+  | Some r -> r
+  | None ->
+    let r = of_predicate_live preds in
+    Mutex.lock memo_lock;
+    if Hashtbl.length memo >= 4_096 then Hashtbl.reset memo;
+    Hashtbl.replace memo preds r;
+    Mutex.unlock memo_lock;
+    r
 
 let of_row (row : Vmodel.Cost_row.t) = of_predicate row.Vmodel.Cost_row.workload_pred
 
@@ -48,9 +69,41 @@ let residuals assignment constraints =
       match Vsmt.Expr.is_const r with Some _ -> None | None -> Some r)
     constraints
 
+(* Everything [of_pair] reads is in this key — both assignments and both
+   rows' predicate lists — so the memo is exact across models and modes;
+   the win is skipping the residual substitution/simplification, not just
+   the solver call. *)
+let pair_memo :
+    ( ((string * int) list * (string * int) list)
+      * (Vsmt.Expr.t list * Vsmt.Expr.t list)
+      * (Vsmt.Expr.t list * Vsmt.Expr.t list),
+      t option )
+    Hashtbl.t =
+  Hashtbl.create 64
+
+let pair_lock = Mutex.create ()
+
 let of_pair ~poor ~good ~(slow : Vmodel.Cost_row.t) ~(fast : Vmodel.Cost_row.t) =
-  of_predicate
-    (slow.Vmodel.Cost_row.workload_pred
-    @ fast.Vmodel.Cost_row.workload_pred
-    @ residuals poor slow.Vmodel.Cost_row.config_constraints
-    @ residuals good fast.Vmodel.Cost_row.config_constraints)
+  let key =
+    ( (poor, good),
+      (slow.Vmodel.Cost_row.workload_pred, fast.Vmodel.Cost_row.workload_pred),
+      (slow.Vmodel.Cost_row.config_constraints, fast.Vmodel.Cost_row.config_constraints) )
+  in
+  Mutex.lock pair_lock;
+  let cached = Hashtbl.find_opt pair_memo key in
+  Mutex.unlock pair_lock;
+  match cached with
+  | Some r -> r
+  | None ->
+    let r =
+      of_predicate
+        (slow.Vmodel.Cost_row.workload_pred
+        @ fast.Vmodel.Cost_row.workload_pred
+        @ residuals poor slow.Vmodel.Cost_row.config_constraints
+        @ residuals good fast.Vmodel.Cost_row.config_constraints)
+    in
+    Mutex.lock pair_lock;
+    if Hashtbl.length pair_memo >= 4_096 then Hashtbl.reset pair_memo;
+    Hashtbl.replace pair_memo key r;
+    Mutex.unlock pair_lock;
+    r

@@ -652,7 +652,9 @@ let run opts =
   | exception Unix.Unix_error (err, _, _) ->
     Error (Printf.sprintf "cannot bind router: %s" (Unix.error_message err))
   | listen_fd ->
-    let registry = Registry.create ~dir:opts.models_dir in
+    (* the router's registry only backs the degraded fallback (conservative
+       widening, no row decisions), so it never pays the compile tax *)
+    let registry = Registry.create ~compile:false ~dir:opts.models_dir () in
     ignore (Registry.refresh registry);
     let shards =
       Array.init opts.topology.Topology.shards (fun i ->

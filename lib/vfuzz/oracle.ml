@@ -24,6 +24,7 @@ type report = {
   r_combos : int;
   r_daemon_checks : int;
   r_fleet_checks : int;
+  r_mode_checks : int;
   r_disagreements : disagreement list;
 }
 
@@ -135,7 +136,7 @@ let daemon_leg ~system ~registry ~dir exports =
               | Ok model -> (
                 match
                   Vchecker.Checker.check_current ~model ~registry
-                    ~file:(Vchecker.Config_file.parse "")
+                    ~file:(Vchecker.Config_file.parse "") ()
                 with
                 | Error e -> Error ("check: " ^ e)
                 | Ok rep -> Ok (findings_fingerprint rep.Vchecker.Checker.findings))
@@ -208,7 +209,7 @@ let fleet_leg ~system ~registry ~dir exports =
               | Ok model -> (
                 match
                   Vchecker.Checker.check_current ~model ~registry
-                    ~file:(Vchecker.Config_file.parse "")
+                    ~file:(Vchecker.Config_file.parse "") ()
                 with
                 | Error e -> Error ("check: " ^ e)
                 | Ok rep -> Ok (findings_fingerprint rep.Vchecker.Checker.findings))
@@ -250,7 +251,48 @@ let fleet_leg ~system ~registry ~dir exports =
     (List.rev !ds, !checks)
   end
 
-let check ?(opts = default_opts) ?(daemon = true) ?(fleet = daemon) (spec : Genspec.t) =
+(* Modes leg: the re-imported model checked in-process under every
+   row-decision mode.  [Solver] is the reference; [Materialized] (once with a
+   pre-compiled artifact, once compiling on the fly) and [Hybrid] carrying the
+   artifact must produce byte-identical findings — the compiled decision
+   tables are required to be exact, falling back to the solver per row rather
+   than approximating (DESIGN.md Section 5j). *)
+let modes_leg ~system ~registry exports =
+  let bad param detail =
+    { d_system = system; d_param = param; d_leg = "modes"; d_detail = detail }
+  in
+  let ds = ref [] in
+  let checks = ref 0 in
+  List.iter
+    (fun (param, _key, path) ->
+      match Violet.Pipeline.import_model path with
+      | Error e -> ds := bad param ("import: " ^ e) :: !ds
+      | Ok model ->
+        let file = Vchecker.Config_file.parse "" in
+        let run ?compiled mode =
+          match Vchecker.Checker.check_current ~mode ?compiled ~model ~registry ~file () with
+          | Error e -> Error ("check: " ^ e)
+          | Ok rep -> Ok (findings_fingerprint rep.Vchecker.Checker.findings)
+        in
+        let compiled = Vmodel.Compiled_model.compile model in
+        let reference = run Vchecker.Checker.Solver in
+        List.iter
+          (fun (label, result) ->
+            incr checks;
+            match (reference, result) with
+            | Ok a, Ok b when String.equal a b -> ()
+            | Ok a, Ok b -> ds := bad param (label ^ ": " ^ first_diff b a) :: !ds
+            | Error e, _ | _, Error e -> ds := bad param (label ^ ": " ^ e) :: !ds)
+          [
+            ("materialized", run ~compiled Vchecker.Checker.Materialized);
+            ("materialized-fresh", run Vchecker.Checker.Materialized);
+            ("hybrid", run ~compiled Vchecker.Checker.Hybrid);
+          ])
+    exports;
+  (List.rev !ds, !checks)
+
+let check ?(opts = default_opts) ?(daemon = true) ?(fleet = daemon) ?(modes = true)
+    (spec : Genspec.t) =
   let target = Genspec.to_target spec in
   let registry = target.Violet.Pipeline.registry in
   let params =
@@ -261,7 +303,7 @@ let check ?(opts = default_opts) ?(daemon = true) ?(fleet = daemon) (spec : Gens
   let ds = ref [] in
   let n_combos = ref 0 in
   let exports = ref [] in
-  let dir = if daemon || fleet then Some (fresh_dir ()) else None in
+  let dir = if daemon || fleet || modes then Some (fresh_dir ()) else None in
   List.iter
     (fun param ->
       let ref_fp, ref_analysis = analysis_fingerprint opts target param reference in
@@ -309,6 +351,10 @@ let check ?(opts = default_opts) ?(daemon = true) ?(fleet = daemon) (spec : Gens
       fleet_leg ~system:spec.Genspec.g_name ~registry ~dir:d (List.rev !exports)
     | _ -> ([], 0)
   in
+  let mode_ds, mode_checks =
+    if modes then modes_leg ~system:spec.Genspec.g_name ~registry (List.rev !exports)
+    else ([], 0)
+  in
   (match dir with Some d -> rm_rf d | None -> ());
   {
     r_system = spec.Genspec.g_name;
@@ -316,5 +362,6 @@ let check ?(opts = default_opts) ?(daemon = true) ?(fleet = daemon) (spec : Gens
     r_combos = !n_combos;
     r_daemon_checks = daemon_checks;
     r_fleet_checks = fleet_checks;
-    r_disagreements = List.rev !ds @ daemon_ds @ fleet_ds;
+    r_mode_checks = mode_checks;
+    r_disagreements = List.rev !ds @ daemon_ds @ fleet_ds @ mode_ds;
   }

@@ -40,6 +40,7 @@ type report = {
   r_combos : int;  (** model fingerprints compared *)
   r_daemon_checks : int;  (** daemon-vs-in-process findings compared *)
   r_fleet_checks : int;  (** fleet-vs-in-process findings compared *)
+  r_mode_checks : int;  (** mode-vs-solver findings compared (Section 5j) *)
   r_disagreements : disagreement list;
 }
 
@@ -57,7 +58,12 @@ val findings_fingerprint : Vchecker.Checker.finding list -> string
 (** Canonical wire encoding of a findings list ({!Vserve.Protocol}). *)
 
 val check :
-  ?opts:Violet.Pipeline.options -> ?daemon:bool -> ?fleet:bool -> Genspec.t -> report
+  ?opts:Violet.Pipeline.options ->
+  ?daemon:bool ->
+  ?fleet:bool ->
+  ?modes:bool ->
+  Genspec.t ->
+  report
 (** Run the full grid over every plant and decoy parameter of the system.
     [daemon] (default [true]) additionally exports each reference model,
     serves it from a throwaway daemon on a Unix socket, and compares
@@ -65,4 +71,7 @@ val check :
     (default = [daemon]) repeats the comparison through a 2-shard
     {!Vfleet.Router} over two such daemons — the fleet leg runs in-process
     (domains, not forked processes: the jobs=4 combos have already spawned
-    domains by then). *)
+    domains by then).  [modes] (default [true]) re-checks each exported model
+    in process under [Materialized] (with and without a pre-compiled
+    artifact) and [Hybrid], which must match the [Solver] reference
+    byte-for-byte. *)

@@ -1,0 +1,663 @@
+module M = Impact_model
+module Row = Cost_row
+module Expr = Vsmt.Expr
+module Iset = Vsmt.Iset
+
+(* One decidable configuration (or workload) constraint:
+   - [D_iset]: single-variable constraints on one parameter, merged into one
+     interval set (the conjunction is the intersection of truth sets); the
+     original exprs are kept for the exact out-of-domain evaluation path;
+   - [D_eval]: a multi-variable constraint closed by direct evaluation once
+     every variable is bound (Simplify folds variable-free expressions
+     completely, so evaluation equals the substitute-and-simplify path). *)
+type decision =
+  | D_iset of {
+      name : string;
+      dom : Vsmt.Dom.t;
+      allowed : Iset.t;
+      exprs : Expr.t list;
+    }
+  | D_eval of { names : string list; expr : Expr.t }
+
+type row_plan = {
+  row : Row.t;
+  idx : int;  (** position in model row order *)
+  config_plan : decision array;
+  workload_plan : decision array;
+  name_set : (string, unit) Hashtbl.t;  (** distinct config-constraint vars *)
+  wclass : int;  (** workload-predicate class index *)
+}
+
+type stats = {
+  rows_total : int;
+  rows_closed : int;
+  rows_open : int;
+  iset_params : int;
+  eval_constraints : int;
+  wclasses : int;
+  joint_pairs : int;
+  joint_solver_calls : int;
+  verdict_pairs : int;
+  order_rows : int;
+  compile_s : float;
+}
+
+(* The candidate-occurrence view of one comparison-order query: positions of
+   every model row in the (possibly duplicated) candidate list, plus the
+   ordered results already walked for it.  Every slow row of one check
+   orders the same candidate list, and steady-state checks repeat the same
+   list content, so the view (and its per-slow results) are reused across
+   checks — a reader validates element-wise physical identity of the
+   candidates, which pins the results exactly.  Last-writer-wins under
+   concurrent checks. *)
+type occ_view = {
+  oc_rows : Row.t list;  (** the exact list this view was built from *)
+  oc_cap : int;
+  oc_cand : Row.t array;
+  oc_occ : int list array;  (** per row idx, occurrence positions in order *)
+  oc_results : (int, Row.t list) Hashtbl.t;  (** slow idx -> ordered, capped *)
+  oc_witness :
+    (int * bool * int, (Row.t * (float * string * string list)) option) Hashtbl.t;
+      (** (slow idx, joint gate, joint budget) -> first surviving candidate *)
+}
+
+type t = {
+  cm_model : M.t;
+  plans : row_plan array;  (** in model row order *)
+  by_id : (int, row_plan) Hashtbl.t;
+  poor_ids : (int, unit) Hashtbl.t;
+  first_pair : (int * int, M.poor_pair_summary) Hashtbl.t;
+  verdicts : (int * int, (float * string * string list) option) Hashtbl.t option;
+  joint : (int * int, bool) Hashtbl.t option;  (** wclass pair -> feasible *)
+  joint_memo : (int * int, bool) Hashtbl.t;
+      (** lazy overflow of [joint]: filled on first query per class pair
+          (the budget is pinned and the solver deterministic, so the first
+          answer is the answer) *)
+  verdict_memo : (int * int, (float * string * string list) option) Hashtbl.t;
+      (** lazy overflow of [verdicts] for models over the pair cap *)
+  match_memo : ((string * int) list, Row.t list) Hashtbl.t;
+      (** assignment content -> matching rows; the decision plans (and their
+          solver fallbacks) are deterministic in the assignment, so repeated
+          configurations are one bounded-table lookup *)
+  wmatch_memo : ((string * int) list, Row.t list) Hashtbl.t;
+  cm_lock : Mutex.t;  (** guards every lazy memo table above *)
+  orders : int array array option Atomic.t array;
+      (** per slow row, candidate tie groups in comparator order — eager for
+          small models, computed on first use (deterministic, so concurrent
+          duplicate computation is only wasted work) beyond [pair_cap] *)
+  occ_view : occ_view option Atomic.t;
+  cm_joint_max_nodes : int;
+  cm_stats : stats;
+  fast_hits : int Atomic.t;
+  fallbacks : int Atomic.t;
+}
+
+let model t = t.cm_model
+let stats t = t.cm_stats
+let joint_max_nodes t = t.cm_joint_max_nodes
+let fast_count t = Atomic.get t.fast_hits
+let fallback_count t = Atomic.get t.fallbacks
+
+(* precompute caps: pairwise tables are quadratic, so they are only built
+   for models small enough that the load-time tax stays bounded *)
+let pair_cap = 128
+let joint_pair_cap = 4_096
+
+(* ------------------------------------------------------------------ *)
+(* Compilation                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let plan_of_constraints constraints =
+  (* group single-variable constraints per (name, dom); everything else is
+     closed by evaluation *)
+  let singles : (string * Vsmt.Dom.t, Iset.t * Expr.t list) Hashtbl.t =
+    Hashtbl.create 4
+  in
+  let order = ref [] in
+  let evals = ref [] in
+  List.iter
+    (fun c ->
+      match Expr.vars c with
+      | [ v ] -> begin
+        match Iset.of_expr ~var:v c with
+        | Some set ->
+          let key = (v.Expr.name, v.Expr.dom) in
+          (match Hashtbl.find_opt singles key with
+          | None ->
+            order := key :: !order;
+            Hashtbl.replace singles key (set, [ c ])
+          | Some (prev, cs) ->
+            Hashtbl.replace singles key (Iset.inter prev set, c :: cs))
+        | None ->
+          evals := D_eval { names = [ v.Expr.name ]; expr = c } :: !evals
+      end
+      | vs ->
+        evals :=
+          D_eval { names = List.map (fun (v : Expr.var) -> v.Expr.name) vs; expr = c }
+          :: !evals)
+    constraints;
+  let isets =
+    List.rev_map
+      (fun ((name, dom) as key) ->
+        let allowed, exprs = Hashtbl.find singles key in
+        D_iset { name; dom; allowed; exprs = List.rev exprs })
+      !order
+  in
+  Array.of_list (isets @ List.rev !evals)
+
+let names_of_constraints constraints =
+  let set = Hashtbl.create 8 in
+  List.iter
+    (fun c ->
+      List.iter (fun (v : Expr.var) -> Hashtbl.replace set v.Expr.name ()) (Expr.vars c))
+    constraints;
+  set
+
+(* a row is expected to close when its config constraints mention only
+   configuration symbols — anything else needs values the config assignment
+   cannot bind, i.e. the solver fallback *)
+let row_is_closed (row : Row.t) =
+  List.for_all
+    (fun c -> Vsmt.Footprint.for_all_origin Expr.Config (Vsmt.Footprint.of_expr c))
+    row.Row.config_constraints
+
+(* Tie groups of every model row around one slow row, in the checker
+   comparator's descending (workload_score, score) order; within a group the
+   member order is irrelevant (a query orders occurrences by position).  A
+   stable sort of any candidate list decorated with these scores is exactly:
+   walk the groups in order, emitting each group's candidate occurrences in
+   query order — so the groups are the comparison order materialized
+   independently of which rows a particular query matched. *)
+let order_of (plans : row_plan array) si =
+  let slow = plans.(si).row in
+  let n = Array.length plans in
+  let keyed =
+    Array.init n (fun i ->
+        let r = plans.(i).row in
+        (Similarity.workload_score slow r, Similarity.score slow r, i))
+  in
+  (* adding the index as last key makes the order total, so any sort equals
+     the stable sort *)
+  Array.sort
+    (fun (wa, ca, ia) (wb, cb, ib) ->
+      if wa <> wb then Int.compare wb wa
+      else if ca <> cb then Int.compare cb ca
+      else Int.compare ia ib)
+    keyed;
+  let groups = ref [] and cur = ref [] and cur_key = ref None in
+  let flush () = if !cur <> [] then groups := Array.of_list (List.rev !cur) :: !groups in
+  Array.iter
+    (fun (w, c, i) ->
+      (match !cur_key with
+      | Some (w', c') when w = w' && c = c' -> ()
+      | _ ->
+        flush ();
+        cur := [];
+        cur_key := Some (w, c));
+      cur := i :: !cur)
+    keyed;
+  flush ();
+  Array.of_list (List.rev !groups)
+
+let compile ?(joint_max_nodes = 1_000) (m : M.t) =
+  let t0 = Unix.gettimeofday () in
+  let rows = Array.of_list m.M.rows in
+  let n = Array.length rows in
+  (* workload-predicate classes: rows sharing the identical ordered
+     predicate list produce identical joint-input queries *)
+  let wclass_tbl : (int list, int) Hashtbl.t = Hashtbl.create 8 in
+  let wclass_preds = ref [] in
+  let wclass_count = ref 0 in
+  let class_of preds =
+    let key = List.map Expr.id preds in
+    match Hashtbl.find_opt wclass_tbl key with
+    | Some i -> i
+    | None ->
+      let i = !wclass_count in
+      incr wclass_count;
+      Hashtbl.replace wclass_tbl key i;
+      wclass_preds := preds :: !wclass_preds;
+      i
+  in
+  let plans =
+    Array.mapi
+      (fun idx (row : Row.t) ->
+        {
+          row;
+          idx;
+          config_plan = plan_of_constraints row.Row.config_constraints;
+          workload_plan = plan_of_constraints row.Row.workload_pred;
+          name_set = names_of_constraints row.Row.config_constraints;
+          wclass = class_of row.Row.workload_pred;
+        })
+      rows
+  in
+  let by_id = Hashtbl.create (max 8 n) in
+  Array.iter (fun p -> Hashtbl.replace by_id p.row.Row.state_id p) plans;
+  let poor_ids = Hashtbl.create 8 in
+  List.iter (fun id -> Hashtbl.replace poor_ids id ()) m.M.poor_state_ids;
+  (* first poor pair per (slow, fast) — [pairs_between] keeps list order and
+     the checker takes the head, so only the first occurrence is recorded *)
+  let first_pair = Hashtbl.create 8 in
+  List.iter
+    (fun (p : M.poor_pair_summary) ->
+      let key = (p.M.slow_id, p.M.fast_id) in
+      if not (Hashtbl.mem first_pair key) then Hashtbl.replace first_pair key p)
+    m.M.poor_pairs;
+  (* joint-input feasibility over workload classes *)
+  let wpreds = Array.of_list (List.rev !wclass_preds) in
+  let w = Array.length wpreds in
+  let joint_solver_calls = ref 0 in
+  let joint =
+    if w * w > joint_pair_cap then None
+    else begin
+      let tbl = Hashtbl.create (max 8 (w * w)) in
+      for i = 0 to w - 1 do
+        for j = 0 to w - 1 do
+          incr joint_solver_calls;
+          Hashtbl.replace tbl (i, j)
+            (Vsmt.Solver.is_feasible ~max_nodes:joint_max_nodes
+               (wpreds.(i) @ wpreds.(j)))
+        done
+      done;
+      Some tbl
+    end
+  in
+  (* pairwise verdicts (differential comparison + critical path) *)
+  let verdicts =
+    if n > pair_cap then None
+    else begin
+      let vd = Hashtbl.create (max 8 (n * n)) in
+      Array.iter
+        (fun (slow : Row.t) ->
+          Array.iter
+            (fun (fast : Row.t) ->
+              if slow.Row.state_id <> fast.Row.state_id then begin
+                let key = (slow.Row.state_id, fast.Row.state_id) in
+                let v =
+                  match Hashtbl.find_opt first_pair key with
+                  | Some p -> Some (p.M.latency_ratio, p.M.trigger, p.M.critical_path)
+                  | None -> begin
+                    match
+                      Diff_analysis.compare_pair ~threshold:m.M.threshold ~slow ~fast
+                    with
+                    | Some (worst, triggers) ->
+                      let diff = Critical_path.differential ~slow ~fast in
+                      Some
+                        ( 1. +. worst,
+                          Diff_analysis.trigger_label triggers,
+                          diff.Critical_path.critical_path )
+                    | None -> None
+                  end
+                in
+                Hashtbl.replace vd key v
+              end)
+            rows)
+        rows;
+      Some vd
+    end
+  in
+  (* materialized comparison orders: the tie groups of all rows around each
+     slow row, in the checker comparator's descending order.  Quadratic in
+     score computations, so eager only under the pair cap; larger models
+     fill each slow row's groups on first use. *)
+  let orders = Array.init n (fun _ -> Atomic.make None) in
+  if n <= pair_cap then
+    Array.iteri (fun si _ -> Atomic.set orders.(si) (Some (order_of plans si))) plans;
+  let closed = Array.fold_left (fun acc p -> acc + if row_is_closed p.row then 1 else 0) 0 plans in
+  let iset_params, eval_constraints =
+    Array.fold_left
+      (fun acc p ->
+        Array.fold_left
+          (fun (i, e) d -> match d with D_iset _ -> (i + 1, e) | D_eval _ -> (i, e + 1))
+          acc p.config_plan)
+      (0, 0) plans
+  in
+  {
+    cm_model = m;
+    plans;
+    by_id;
+    poor_ids;
+    first_pair;
+    verdicts;
+    joint;
+    joint_memo = Hashtbl.create 64;
+    verdict_memo = Hashtbl.create 64;
+    match_memo = Hashtbl.create 16;
+    wmatch_memo = Hashtbl.create 16;
+    cm_lock = Mutex.create ();
+    orders;
+    occ_view = Atomic.make None;
+    cm_joint_max_nodes = joint_max_nodes;
+    cm_stats =
+      {
+        rows_total = n;
+        rows_closed = closed;
+        rows_open = n - closed;
+        iset_params;
+        eval_constraints;
+        wclasses = w;
+        joint_pairs = (match joint with Some tbl -> Hashtbl.length tbl | None -> 0);
+        joint_solver_calls = !joint_solver_calls;
+        verdict_pairs = (match verdicts with Some tbl -> Hashtbl.length tbl | None -> 0);
+        order_rows = (if n <= pair_cap then n else 0);
+        compile_s = Unix.gettimeofday () -. t0;
+      };
+    fast_hits = Atomic.make 0;
+    fallbacks = Atomic.make 0;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Query paths                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Deciding one constraint under a bound assignment.  [None] = some variable
+   is unbound, so the residual is open and the row must go to the solver. *)
+let decide lookup = function
+  | D_iset { name; dom; allowed; exprs } -> begin
+    match lookup name with
+    | None -> None
+    | Some x ->
+      if Vsmt.Dom.mem dom x then Some (Iset.mem x allowed)
+      else
+        (* out-of-domain values (possible for workload assignments) are
+           outside the compiled truth set; evaluate the exprs directly *)
+        Some (List.for_all (fun e -> Expr.eval (fun _ -> x) e <> 0) exprs)
+  end
+  | D_eval { names; expr } ->
+    if List.for_all (fun nm -> lookup nm <> None) names then
+      Some
+        (Expr.eval
+           (fun (v : Expr.var) ->
+             match lookup v.Expr.name with Some x -> x | None -> 0)
+           expr
+        <> 0)
+    else None
+
+(* Exact replication of [Cost_row.all_satisfied]: every decided constraint
+   must hold; the first open (unbound) constraint sends the whole row to the
+   reference implementation, whose joint residual feasibility check we must
+   not approximate.  A decided-false answer short-circuits soundly: the
+   reference also fails on any false decided residual regardless of the open
+   ones. *)
+let matches_with t ~fallback lookup plan row assignment =
+  let n = Array.length plan in
+  let rec go i =
+    if i >= n then begin
+      Atomic.incr t.fast_hits;
+      true
+    end
+    else
+      match decide lookup plan.(i) with
+      | Some true -> go (i + 1)
+      | Some false ->
+        Atomic.incr t.fast_hits;
+        false
+      | None ->
+        Atomic.incr t.fallbacks;
+        fallback row assignment
+  in
+  go 0
+
+(* bounded, mutex-guarded memo around a deterministic function of the key;
+   reset rather than evict when full (steady-state serving touches a handful
+   of keys, the bound only guards pathological churn) *)
+let memoized t tbl ~cap key f =
+  Mutex.lock t.cm_lock;
+  let cached = Hashtbl.find_opt tbl key in
+  Mutex.unlock t.cm_lock;
+  match cached with
+  | Some v -> v
+  | None ->
+    let v = f () in
+    Mutex.lock t.cm_lock;
+    if Hashtbl.length tbl >= cap then Hashtbl.reset tbl;
+    Hashtbl.replace tbl key v;
+    Mutex.unlock t.cm_lock;
+    v
+
+let lookup_of assignment =
+  let tbl = Hashtbl.create (max 8 (List.length assignment)) in
+  (* first binding wins, like List.assoc_opt *)
+  List.iter
+    (fun (k, v) -> if not (Hashtbl.mem tbl k) then Hashtbl.replace tbl k v)
+    assignment;
+  fun name -> Hashtbl.find_opt tbl name
+
+let rows_matching t assignment =
+  memoized t t.match_memo ~cap:256 assignment (fun () ->
+      let lookup = lookup_of assignment in
+      Array.to_list t.plans
+      |> List.filter_map (fun p ->
+             if
+               matches_with t ~fallback:(fun r a -> Row.satisfied_by r a) lookup
+                 p.config_plan p.row assignment
+             then Some p.row
+             else None))
+
+let rows_matching_workload t assignment =
+  memoized t t.wmatch_memo ~cap:256 assignment (fun () ->
+      let lookup = lookup_of assignment in
+      Array.to_list t.plans
+      |> List.filter_map (fun p ->
+             if
+               matches_with t
+                 ~fallback:(fun r a -> Row.workload_satisfied_by r a)
+                 lookup p.workload_plan p.row assignment
+             then Some p.row
+             else None))
+
+let mentions t (row : Row.t) params =
+  match Hashtbl.find_opt t.by_id row.Row.state_id with
+  | Some p -> List.exists (fun nm -> Hashtbl.mem p.name_set nm) params
+  | None ->
+    (* not a model row (defensive) — compute directly *)
+    List.exists
+      (fun c ->
+        List.exists
+          (fun (v : Expr.var) -> List.mem v.Expr.name params)
+          (Expr.vars c))
+      row.Row.config_constraints
+
+let is_poor_row t (row : Row.t) = Hashtbl.mem t.poor_ids row.Row.state_id
+
+(* The reference ordering (the solver engine's): live scores, stable sort,
+   cap — used whenever the slow row or a candidate is not physically a model
+   row, so the materialized groups do not apply. *)
+let generic_order ~cap ~(slow : Row.t) rows =
+  let decorated =
+    rows
+    |> List.filter (fun (r : Row.t) -> r.Row.state_id <> slow.Row.state_id)
+    |> List.map (fun r ->
+           ((Similarity.workload_score slow r, Similarity.score slow r), r))
+  in
+  let sorted =
+    List.stable_sort
+      (fun ((wa, ca), _) ((wb, cb), _) ->
+        if wa <> wb then Int.compare wb wa else Int.compare cb ca)
+      decorated
+  in
+  List.filteri (fun i _ -> i < cap) (List.map snd sorted)
+
+(* A cached view applies when the candidates are element-wise the same
+   physical rows: then every input deciding the ordering is identical, so
+   the memoized results are exact. *)
+let view_matches v ~cap rows =
+  v.oc_cap = cap
+  && (v.oc_rows == rows
+     || begin
+          let n = Array.length v.oc_cand in
+          let rec go i = function
+            | [] -> i = n
+            | (r : Row.t) :: tl -> i < n && v.oc_cand.(i) == r && go (i + 1) tl
+          in
+          go 0 rows
+        end)
+
+(* [None] when some candidate is not (physically) a model row — the
+   occurrence walk would mis-score it, so such queries take the live
+   ordering instead. *)
+let occ_view_of t ~cap rows =
+  match Atomic.get t.occ_view with
+  | Some v when view_matches v ~cap rows -> Some v
+  | _ ->
+    let cand = Array.of_list rows in
+    let occ = Array.make (Array.length t.plans) [] in
+    let foreign = ref false in
+    Array.iteri
+      (fun p (r : Row.t) ->
+        match Hashtbl.find_opt t.by_id r.Row.state_id with
+        | Some rp when rp.row == r -> occ.(rp.idx) <- p :: occ.(rp.idx)
+        | _ -> foreign := true)
+      cand;
+    if !foreign then None
+    else begin
+      Array.iteri (fun i l -> occ.(i) <- List.rev l) occ;
+      let v =
+        {
+          oc_rows = rows;
+          oc_cap = cap;
+          oc_cand = cand;
+          oc_occ = occ;
+          oc_results = Hashtbl.create 16;
+          oc_witness = Hashtbl.create 16;
+        }
+      in
+      Atomic.set t.occ_view (Some v);
+      Some v
+    end
+
+let order_groups t si =
+  match Atomic.get t.orders.(si) with
+  | Some g -> g
+  | None ->
+    let g = order_of t.plans si in
+    Atomic.set t.orders.(si) (Some g);
+    g
+
+let walk_order t v ~cap si =
+  let out = ref [] and count = ref 0 in
+  (try
+     Array.iter
+       (fun members ->
+         (* this tie group's candidate occurrences, in query order; the
+            slow row itself is excluded exactly as the reference filter
+            does (every occurrence of its state id maps to [si], any
+            impostor sharing the id would have made the view foreign) *)
+         let occs =
+           Array.fold_left
+             (fun acc i -> if i = si then acc else List.rev_append v.oc_occ.(i) acc)
+             [] members
+           |> List.sort Int.compare
+         in
+         List.iter
+           (fun p ->
+             if !count >= cap then raise Exit;
+             out := v.oc_cand.(p) :: !out;
+             incr count)
+           occs)
+       (order_groups t si)
+   with Exit -> ());
+  List.rev !out
+
+let comparison_order t ~cap ~(slow : Row.t) rows =
+  match Hashtbl.find_opt t.by_id slow.Row.state_id with
+  | Some sp when sp.row == slow -> begin
+    match occ_view_of t ~cap rows with
+    | None -> generic_order ~cap ~slow rows
+    | Some v ->
+      let si = sp.idx in
+      let cached =
+        Mutex.lock t.cm_lock;
+        let r = Hashtbl.find_opt v.oc_results si in
+        Mutex.unlock t.cm_lock;
+        r
+      in
+      (match cached with
+      | Some r -> r
+      | None ->
+        let r = walk_order t v ~cap si in
+        Mutex.lock t.cm_lock;
+        Hashtbl.replace v.oc_results si r;
+        Mutex.unlock t.cm_lock;
+        r)
+  end
+  | _ -> generic_order ~cap ~slow rows
+
+let joint_feasible t ~max_nodes ~(slow : Row.t) ~(fast : Row.t) =
+  let live () =
+    Vsmt.Solver.is_feasible ~max_nodes (slow.Row.workload_pred @ fast.Row.workload_pred)
+  in
+  if max_nodes <> t.cm_joint_max_nodes then live ()
+  else begin
+    let cls (r : Row.t) =
+      match Hashtbl.find_opt t.by_id r.Row.state_id with
+      | Some p when p.row == r -> Some p.wclass
+      | _ -> None
+    in
+    match (cls slow, cls fast) with
+    | Some i, Some j -> begin
+      match t.joint with
+      | Some tbl -> (
+        match Hashtbl.find_opt tbl (i, j) with Some v -> v | None -> live ())
+      | None ->
+        (* over the eager cap: memoize per class pair on first query *)
+        memoized t t.joint_memo ~cap:65_536 (i, j) live
+    end
+    | _ -> live ()
+  end
+
+let verdict t ~(slow : Row.t) ~(fast : Row.t) =
+  let key = (slow.Row.state_id, fast.Row.state_id) in
+  let live () =
+    match Hashtbl.find_opt t.first_pair key with
+    | Some p -> Some (p.M.latency_ratio, p.M.trigger, p.M.critical_path)
+    | None -> begin
+      match
+        Diff_analysis.compare_pair ~threshold:t.cm_model.M.threshold ~slow ~fast
+      with
+      | Some (worst, triggers) ->
+        let diff = Critical_path.differential ~slow ~fast in
+        Some
+          ( 1. +. worst,
+            Diff_analysis.trigger_label triggers,
+            diff.Critical_path.critical_path )
+      | None -> None
+    end
+  in
+  match t.verdicts with
+  | Some tbl -> (
+    match Hashtbl.find_opt tbl key with Some v -> v | None -> live ())
+  | None -> memoized t t.verdict_memo ~cap:8_192 key live
+
+
+(* The checker's witness scan — first candidate in comparison order that
+   passes the joint-input gate (when required) and yields a verdict — as a
+   single memoized lookup.  Every deciding input is pinned by the key: the
+   slow row (physically a model row), the candidate view (element-wise
+   physical identity), the gate flag and the joint budget; the gate and the
+   verdict are deterministic in those, so the first computed answer is the
+   answer. *)
+let judge_pair t ~max_nodes ~require_joint_input ~slow ~fast =
+  if require_joint_input && not (joint_feasible t ~max_nodes ~slow ~fast) then None
+  else verdict t ~slow ~fast
+
+let witness_walk t ~cap ~max_nodes ~require_joint_input ~slow rows =
+  List.find_map
+    (fun fast ->
+      Option.map
+        (fun v -> (fast, v))
+        (judge_pair t ~max_nodes ~require_joint_input ~slow ~fast))
+    (comparison_order t ~cap ~slow rows)
+
+let first_witness t ~cap ~max_nodes ~require_joint_input ~(slow : Row.t) rows =
+  match Hashtbl.find_opt t.by_id slow.Row.state_id with
+  | Some sp when sp.row == slow -> begin
+    match occ_view_of t ~cap rows with
+    | None -> witness_walk t ~cap ~max_nodes ~require_joint_input ~slow rows
+    | Some v ->
+      memoized t v.oc_witness ~cap:1_024
+        (sp.idx, require_joint_input, max_nodes)
+        (fun () -> witness_walk t ~cap ~max_nodes ~require_joint_input ~slow rows)
+  end
+  | _ -> witness_walk t ~cap ~max_nodes ~require_joint_input ~slow rows

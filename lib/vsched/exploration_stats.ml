@@ -374,6 +374,8 @@ type serve = {
   write_failed : int;
   model_reloads : int;
   model_load_failures : int;
+  model_compiles : int;
+  compile_wall_s : float;
   models : (string * int) list;
   latency : latency_hist;
 }
@@ -386,9 +388,10 @@ let serve_to_json s =
     ^ "}"
   in
   Printf.sprintf
-    "{\"requests\":%d,\"by_verb\":%s,\"shed_queue_full\":%d,\"shed_deadline\":%d,\"batches\":%d,\"batched_requests\":%d,\"coalesced\":%d,\"write_failed\":%d,\"model_reloads\":%d,\"model_load_failures\":%d,\"models\":%s,\"latency\":%s}"
+    "{\"requests\":%d,\"by_verb\":%s,\"shed_queue_full\":%d,\"shed_deadline\":%d,\"batches\":%d,\"batched_requests\":%d,\"coalesced\":%d,\"write_failed\":%d,\"model_reloads\":%d,\"model_load_failures\":%d,\"model_compiles\":%d,\"compile_wall_s\":%s,\"models\":%s,\"latency\":%s}"
     s.requests (counts s.by_verb) s.shed_queue_full s.shed_deadline s.batches
     s.batched_requests s.coalesced s.write_failed s.model_reloads s.model_load_failures
+    s.model_compiles (json_float s.compile_wall_s)
     (counts s.models)
     (latency_hist_to_json s.latency)
 

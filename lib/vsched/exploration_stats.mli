@@ -197,6 +197,10 @@ type serve = {
           (the connection is closed; nothing truncated ever reaches a peer) *)
   model_reloads : int;
   model_load_failures : int;
+  model_compiles : int;
+      (** models compiled into decision tables at load/stage (DESIGN.md
+          Section 5j); digest-unchanged refreshes don't recompile *)
+  compile_wall_s : float;  (** wall time spent in those compilations *)
   models : (string * int) list;  (** live model keys and their generations *)
   latency : latency_hist;  (** enqueue-to-response, check requests only *)
 }

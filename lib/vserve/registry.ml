@@ -4,6 +4,7 @@ type entry = {
   generation : int;
   digest : string;
   model : Vmodel.Impact_model.t;
+  compiled : Vmodel.Compiled_model.t option;
   previous : Vmodel.Impact_model.t option;
   mtime : float;
   size : int;
@@ -25,22 +26,38 @@ type staged = {
   st_path : string;
   st_digest : string;
   st_model : Vmodel.Impact_model.t;
+  st_compiled : Vmodel.Compiled_model.t option;
   st_mtime : float;
   st_size : int;
 }
 
 type t = {
   dir : string;
+  compile : bool;
+  joint_max_nodes : int;
   entries : (string, entry) Hashtbl.t;
   mutable staged : staged list option;  (* [Some] after a successful stage *)
   mutable reloads : int;
   mutable load_failures : int;
+  mutable compiles : int;
+  mutable compile_wall_s : float;
 }
 
 let extension = ".vmodel"
 
-let create ~dir =
-  { dir; entries = Hashtbl.create 8; staged = None; reloads = 0; load_failures = 0 }
+let create ?(compile = true) ?(joint_max_nodes = 1_000) ~dir () =
+  {
+    dir;
+    compile;
+    joint_max_nodes;
+    entries = Hashtbl.create 8;
+    staged = None;
+    reloads = 0;
+    load_failures = 0;
+    compiles = 0;
+    compile_wall_s = 0.;
+  }
+
 let dir t = t.dir
 let model_file ~dir ~key = Filename.concat dir (key ^ extension)
 
@@ -50,18 +67,26 @@ let key_of_file name =
   else None
 
 (* Read the payload through the checkpoint envelope (verifying magic,
-   version, kind, length and digest) and only then parse the model — so the
-   md5 both gates the load and becomes the entry's identity. *)
-let load_model path =
+   version, kind, length and digest) — the md5 both gates the load and
+   becomes the entry's identity, and is known *before* the payload is
+   parsed, so an unchanged digest skips the parse and recompile
+   entirely. *)
+let read_payload path =
   match
     Vresilience.Checkpoint.read ~path ~kind:Violet.Pipeline.model_kind
       ~version:Violet.Pipeline.model_version
   with
   | Error e -> Error (Vresilience.Checkpoint.error_to_string e)
-  | Ok payload -> begin
-    match Vmodel.Impact_model.of_string payload with
-    | Ok model -> Ok (model, Digest.to_hex (Digest.string payload))
-    | Error msg -> Error msg
+  | Ok payload -> Ok (payload, Digest.to_hex (Digest.string payload))
+
+let compile_model t model =
+  if not t.compile then None
+  else begin
+    let cm = Vmodel.Compiled_model.compile ~joint_max_nodes:t.joint_max_nodes model in
+    t.compiles <- t.compiles + 1;
+    t.compile_wall_s <-
+      t.compile_wall_s +. (Vmodel.Compiled_model.stats cm).Vmodel.Compiled_model.compile_s;
+    Some cm
   end
 
 let refresh ?(force = false) t =
@@ -88,43 +113,50 @@ let refresh ?(force = false) t =
                | None -> false
           in
           if not unchanged then begin
-            match load_model path with
+            match read_payload path with
             | Error reason ->
               (* keep serving the previous generation: the entry is only
                  ever replaced by a fully verified load *)
               t.load_failures <- t.load_failures + 1;
               events := Rejected { key; reason } :: !events
-            | Ok (model, digest) ->
+            | Ok (payload, digest) ->
               let same_bytes =
                 match old with Some e -> String.equal e.digest digest | None -> false
               in
-              if not same_bytes then begin
-                let generation, previous =
-                  match old with
-                  | Some e -> (e.generation + 1, Some e.model)
-                  | None -> (1, None)
-                in
-                let entry =
-                  {
-                    key;
-                    path;
-                    generation;
-                    digest;
-                    model;
-                    previous;
-                    mtime = st.Unix.st_mtime;
-                    size = st.Unix.st_size;
-                  }
-                in
-                Hashtbl.replace t.entries key entry;
-                t.reloads <- t.reloads + 1;
-                events := Loaded { key; generation } :: !events
-              end
-              else
-                (* touched but byte-identical: refresh the stat cache only *)
+              if same_bytes then
+                (* touched but byte-identical: refresh the stat cache only —
+                   no re-parse, no recompile, the live generation stands *)
                 Hashtbl.replace t.entries key
                   (Option.get old |> fun e ->
                    { e with mtime = st.Unix.st_mtime; size = st.Unix.st_size })
+              else begin
+                match Vmodel.Impact_model.of_string payload with
+                | Error reason ->
+                  t.load_failures <- t.load_failures + 1;
+                  events := Rejected { key; reason } :: !events
+                | Ok model ->
+                  let generation, previous =
+                    match old with
+                    | Some e -> (e.generation + 1, Some e.model)
+                    | None -> (1, None)
+                  in
+                  let entry =
+                    {
+                      key;
+                      path;
+                      generation;
+                      digest;
+                      model;
+                      compiled = compile_model t model;
+                      previous;
+                      mtime = st.Unix.st_mtime;
+                      size = st.Unix.st_size;
+                    }
+                  in
+                  Hashtbl.replace t.entries key entry;
+                  t.reloads <- t.reloads + 1;
+                  events := Loaded { key; generation } :: !events
+              end
           end
       end)
     files;
@@ -143,7 +175,9 @@ let refresh ?(force = false) t =
    (from a reader's point of view: one entry at a time, each fully built).
    The vfleet router runs stage on every shard and commits only when all of
    them staged successfully, so no shard ever serves a generation another
-   shard could not load. *)
+   shard could not load.  Staging also pays the model-compile tax, so the
+   commit flip stays cheap and the compiled artifact rides through the
+   fleet's generation bump. *)
 
 let stage t =
   let files = try Sys.readdir t.dir with Sys_error _ -> [||] in
@@ -163,23 +197,54 @@ let stage t =
           t.load_failures <- t.load_failures + 1;
           results := (key, Error (Unix.error_message err)) :: !results
         | st -> begin
-          match load_model path with
+          match read_payload path with
           | Error reason ->
             all_ok := false;
             t.load_failures <- t.load_failures + 1;
             results := (key, Error reason) :: !results
-          | Ok (model, digest) ->
-            staged :=
-              {
-                st_key = key;
-                st_path = path;
-                st_digest = digest;
-                st_model = model;
-                st_mtime = st.Unix.st_mtime;
-                st_size = st.Unix.st_size;
-              }
-              :: !staged;
-            results := (key, Ok digest) :: !results
+          | Ok (payload, digest) -> begin
+            let live =
+              match Hashtbl.find_opt t.entries key with
+              | Some e when String.equal e.digest digest -> Some e
+              | _ -> None
+            in
+            match live with
+            | Some e ->
+              (* unchanged bytes: the verified envelope is enough — reuse
+                 the live model and its compiled artifact *)
+              staged :=
+                {
+                  st_key = key;
+                  st_path = path;
+                  st_digest = digest;
+                  st_model = e.model;
+                  st_compiled = e.compiled;
+                  st_mtime = st.Unix.st_mtime;
+                  st_size = st.Unix.st_size;
+                }
+                :: !staged;
+              results := (key, Ok digest) :: !results
+            | None -> begin
+              match Vmodel.Impact_model.of_string payload with
+              | Error reason ->
+                all_ok := false;
+                t.load_failures <- t.load_failures + 1;
+                results := (key, Error reason) :: !results
+              | Ok model ->
+                staged :=
+                  {
+                    st_key = key;
+                    st_path = path;
+                    st_digest = digest;
+                    st_model = model;
+                    st_compiled = compile_model t model;
+                    st_mtime = st.Unix.st_mtime;
+                    st_size = st.Unix.st_size;
+                  }
+                  :: !staged;
+                results := (key, Ok digest) :: !results
+            end
+          end
         end
       end)
     files;
@@ -215,6 +280,7 @@ let commit t =
               generation;
               digest = s.st_digest;
               model = s.st_model;
+              compiled = s.st_compiled;
               previous;
               mtime = s.st_mtime;
               size = s.st_size;
@@ -240,3 +306,5 @@ let entries t =
 
 let reloads t = t.reloads
 let load_failures t = t.load_failures
+let compiles t = t.compiles
+let compile_wall_s t = t.compile_wall_s

@@ -23,6 +23,10 @@ type entry = {
   generation : int;  (** 1 on first load, +1 per successful reload *)
   digest : string;  (** md5 hex of the model payload *)
   model : Vmodel.Impact_model.t;
+  compiled : Vmodel.Compiled_model.t option;
+      (** decision tables compiled at load/stage time (DESIGN.md Section
+          5j); [None] when the registry was created with [~compile:false].
+          Reused across generation bumps whose digest is unchanged. *)
   previous : Vmodel.Impact_model.t option;
       (** the generation this one replaced; [None] for generation 1 *)
   mtime : float;
@@ -40,15 +44,21 @@ val event_to_string : event -> string
 
 type t
 
-val create : dir:string -> t
-(** No I/O happens until {!refresh}. *)
+val create : ?compile:bool -> ?joint_max_nodes:int -> dir:string -> unit -> t
+(** No I/O happens until {!refresh}.  [compile] (default [true]) builds a
+    {!Vmodel.Compiled_model} for every freshly parsed model at load/stage
+    time; [joint_max_nodes] (default 1_000) is the joint-input budget its
+    feasibility table is keyed to — pass the checker budget the server will
+    query with. *)
 
 val dir : t -> string
 
 val refresh : ?force:bool -> t -> event list
 (** Rescan the directory.  Unchanged files (same mtime and size) are skipped
     unless [force] is set — tests that rewrite a file within stat
-    granularity pass [~force:true]. *)
+    granularity pass [~force:true].  A touched file whose envelope digest
+    still matches the live generation's only refreshes the stat cache: no
+    re-parse, no recompile, no generation bump. *)
 
 val find : t -> string -> entry option
 val entries : t -> entry list
@@ -59,6 +69,13 @@ val reloads : t -> int
 
 val load_failures : t -> int
 (** Rejected loads since {!create}. *)
+
+val compiles : t -> int
+(** Models compiled into decision tables since {!create} (digest-unchanged
+    reloads and stages reuse the live artifact and do not count). *)
+
+val compile_wall_s : t -> float
+(** Total wall-clock time spent compiling — the measured load-time tax. *)
 
 (** {2 Two-phase reload}
 

@@ -95,4 +95,18 @@ dune exec bin/violet_cli.exe -- fuzz run --seed 42 --count 20 >/dev/null
 dune exec bin/violet_cli.exe -- fuzz diff --seed 42 --count 20 \
   --out "$SMOKE_DIR/fuzz-failures" >/dev/null
 
+echo "== check-mode equivalence smoke =="
+# the same check answered by the solver path and by the compiled decision
+# tables must print byte-identical findings (the timing line aside)
+for m in solver materialized hybrid; do
+  dune exec bin/violet_cli.exe -- check mysql autocommit "$SMOKE_DIR/empty.cnf" \
+    --check-mode "$m" | grep -v '^checked in ' > "$SMOKE_DIR/mode-$m.out"
+done
+cmp -s "$SMOKE_DIR/mode-solver.out" "$SMOKE_DIR/mode-materialized.out" || {
+  echo "check-mode smoke: materialized findings diverged from solver"; exit 1; }
+cmp -s "$SMOKE_DIR/mode-solver.out" "$SMOKE_DIR/mode-hybrid.out" || {
+  echo "check-mode smoke: hybrid findings diverged from solver"; exit 1; }
+grep -q 'finding' "$SMOKE_DIR/mode-solver.out" || {
+  echo "check-mode smoke: no finding on the poor default - smoke proves nothing"; exit 1; }
+
 echo "== check OK =="

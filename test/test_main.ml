@@ -10,6 +10,7 @@ let () =
       ("tracefile", Test_tracefile.tests);
       ("vmodel", Test_vmodel.tests);
       ("vchecker", Test_vchecker.tests);
+      ("matcheck", Test_matcheck.tests);
       ("pipeline", Test_pipeline.tests);
       ("targets", Test_targets.tests);
       ("extensions", Test_extensions.tests);

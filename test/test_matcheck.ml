@@ -1,0 +1,443 @@
+(* Tests for the materialized checker fast path (DESIGN.md Section 5j):
+   interval-set compilation, compiled-vs-solver equivalence (fixture,
+   degraded models, QCheck over vfuzz-generated systems), the witness
+   ordering, registry recompilation skipping, and the threaded joint-input
+   budget. *)
+
+module Checker = Vchecker.Checker
+module CM = Vmodel.Compiled_model
+module M = Vmodel.Impact_model
+module Row = Vmodel.Cost_row
+module Reg = Vserve.Registry
+module E = Vsmt.Expr
+module Iset = Vsmt.Iset
+
+let check = Alcotest.check
+let tc name f = Alcotest.test_case name `Quick f
+let or_fail = function Ok v -> v | Error e -> Alcotest.fail e
+
+let mk_tmpdir () =
+  let path = Filename.temp_file "matcheck" "" in
+  Sys.remove path;
+  Unix.mkdir path 0o700;
+  path
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    Unix.rmdir path
+  end
+  else Sys.remove path
+
+let fixture_model =
+  let m =
+    lazy (Violet.Pipeline.analyze_exn Fixtures.target "autocommit").Violet.Pipeline.model
+  in
+  fun () -> Lazy.force m
+
+let fingerprint (rep : Checker.report) =
+  Vfuzz.Oracle.findings_fingerprint rep.Checker.findings
+
+(* ------------------------------------------------------------------ *)
+(* Iset: normalization, boundaries, algebra                            *)
+(* ------------------------------------------------------------------ *)
+
+let iv lo hi = { Vsmt.Interval.lo; hi }
+
+let test_iset_normalize () =
+  (* overlapping and adjacent ranges merge into normal form *)
+  let s = Iset.of_intervals [ iv 3 5; iv 0 2; iv 4 8 ] in
+  check (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int)) "merged"
+    [ 0, 8 ]
+    (List.map (fun (i : Vsmt.Interval.t) -> i.lo, i.hi) (Iset.intervals s));
+  check Alcotest.int "cardinal" 9 (Iset.cardinal s);
+  let gap = Iset.of_intervals [ iv 0 1; iv 3 4 ] in
+  check Alcotest.int "gap kept" 2 (List.length (Iset.intervals gap));
+  check Alcotest.bool "mem lower boundary" true (Iset.mem 0 gap);
+  check Alcotest.bool "mem upper boundary" true (Iset.mem 4 gap);
+  check Alcotest.bool "gap excluded" false (Iset.mem 2 gap)
+
+let test_iset_algebra () =
+  let dom = Vsmt.Dom.int_range 0 9 in
+  let a = Iset.of_intervals [ iv 0 4 ] and b = Iset.of_intervals [ iv 3 7 ] in
+  check Alcotest.bool "inter" true
+    (Iset.equal (Iset.inter a b) (Iset.of_intervals [ iv 3 4 ]));
+  check Alcotest.bool "union" true
+    (Iset.equal (Iset.union a b) (Iset.of_intervals [ iv 0 7 ]));
+  check Alcotest.bool "complement" true
+    (Iset.equal (Iset.complement ~dom a) (Iset.of_intervals [ iv 5 9 ]));
+  check Alcotest.bool "complement of empty is dom" true
+    (Iset.equal (Iset.complement ~dom Iset.empty) (Iset.of_dom dom));
+  check Alcotest.bool "a ∩ ¬a empty" true
+    (Iset.is_empty (Iset.inter a (Iset.complement ~dom a)));
+  check Alcotest.bool "a ∪ ¬a full" true
+    (Iset.equal (Iset.union a (Iset.complement ~dom a)) (Iset.of_dom dom))
+
+let test_iset_of_expr_boundaries () =
+  let v = E.{ name = "x"; dom = Vsmt.Dom.int_range 0 7; origin = Config } in
+  let set e =
+    match Iset.of_expr ~var:v e with
+    | Some s -> s
+    | None -> Alcotest.fail "expected a closed set"
+  in
+  check Alcotest.bool "v >= lo is full" true
+    (Iset.equal (set E.(of_var v >=. const 0)) (Iset.of_dom v.E.dom));
+  check Alcotest.bool "v > hi is empty" true
+    (Iset.is_empty (set E.(of_var v >. const 7)));
+  check Alcotest.bool "v <= hi is full" true
+    (Iset.equal (set E.(of_var v <=. const 7)) (Iset.of_dom v.E.dom));
+  check Alcotest.int "point at boundary" 1 (Iset.cardinal (set E.(of_var v ==. const 7)));
+  (* a variable wider than the saturating interval bounds cannot be clipped
+     exactly, so the compiler must refuse rather than approximate *)
+  let wide =
+    E.{ name = "w"; dom = Vsmt.Dom.int_range min_int max_int; origin = Config }
+  in
+  check Alcotest.bool "unclippable domain stays open" true
+    (Iset.of_expr ~var:wide E.(of_var wide >. const 0) = None)
+
+(* of_expr promises the *exact* truth set: whenever it closes an expression,
+   membership must agree with concrete evaluation on every domain value. *)
+let prop_of_expr_exact =
+  let open QCheck2 in
+  let var = E.{ name = "x"; dom = Vsmt.Dom.int_range (-6) 9; origin = Config } in
+  let expr_gen =
+    let open Gen in
+    sized @@ fix (fun self n ->
+        let atom =
+          oneof [ return (E.of_var var); map E.const (int_range (-12) 12) ]
+        in
+        if n <= 0 then atom
+        else
+          let sub = self (n / 2) in
+          oneof
+            [
+              atom;
+              map2 E.( +. ) sub sub;
+              map2 E.( -. ) sub sub;
+              map2 E.( *. ) sub sub;
+              map2 E.( ==. ) sub sub;
+              map2 E.( <. ) sub sub;
+              map2 E.( <=. ) sub sub;
+              map2 E.( >. ) sub sub;
+              map2 E.( >=. ) sub sub;
+              map2 E.( &&. ) sub sub;
+              map2 E.( ||. ) sub sub;
+              map E.not_ sub;
+            ])
+  in
+  Test.make ~name:"Iset.of_expr is the exact truth set" ~count:300 expr_gen (fun e ->
+      match Iset.of_expr ~var e with
+      | None -> true
+      | Some s ->
+        let lo = Vsmt.Dom.lo var.E.dom and hi = Vsmt.Dom.hi var.E.dom in
+        let rec go x =
+          if x > hi then true
+          else begin
+            let truthy = E.eval (fun _ -> x) e <> 0 in
+            if Iset.mem x s <> truthy then
+              QCheck2.Test.fail_reportf "disagrees at %d (eval %b)" x truthy
+            else go (x + 1)
+          end
+        in
+        go lo)
+
+(* ------------------------------------------------------------------ *)
+(* Compiled model: fallback, ordering, equivalence                     *)
+(* ------------------------------------------------------------------ *)
+
+(* A row whose config constraint involves a symbol that is not a
+   configuration parameter (an engine-internal unknown) cannot be closed
+   into decision tables; the compiled model must answer for it through the
+   per-row solver fallback, identically. *)
+let test_unclosable_row_fallback () =
+  let model = fixture_model () in
+  let base = List.hd model.M.rows in
+  let a = E.var ~origin:E.Config "autocommit" Vsmt.Dom.bool in
+  let mystery = E.var ~origin:E.Internal "engine_internal" (Vsmt.Dom.int_range 0 4) in
+  let gnarly =
+    { base with Row.state_id = 7_777; config_constraints = E.[ a +. mystery >. const 0 ] }
+  in
+  let model = { model with M.rows = model.M.rows @ [ gnarly ] } in
+  let cm = CM.compile model in
+  let st = CM.stats cm in
+  check Alcotest.bool "row left open" true (st.CM.rows_open >= 1);
+  List.iter
+    (fun assignment ->
+      let reference = M.rows_matching model assignment in
+      let compiled = CM.rows_matching cm assignment in
+      check Alcotest.int "same matching count" (List.length reference)
+        (List.length compiled);
+      List.iter2
+        (fun (r : Row.t) (c : Row.t) ->
+          check Alcotest.int "same row" r.Row.state_id c.Row.state_id)
+        reference compiled)
+    [
+      [ "autocommit", 1; "flush_at_trx_commit", 1 ];
+      [ "autocommit", 0; "flush_at_trx_commit", 2 ];
+      [ "autocommit", 1; "flush_at_trx_commit", 0 ];
+    ]
+
+(* the reference ordering as the checker defines it *)
+let reference_order ~cap slow rows =
+  let decorated =
+    rows
+    |> List.filter (fun (r : Row.t) -> r.Row.state_id <> slow.Row.state_id)
+    |> List.map (fun r ->
+           ((Vmodel.Similarity.workload_score slow r, Vmodel.Similarity.score slow r), r))
+  in
+  let sorted =
+    List.stable_sort
+      (fun ((wa, ca), _) ((wb, cb), _) ->
+        if wa <> wb then Int.compare wb wa else Int.compare cb ca)
+      decorated
+  in
+  List.filteri (fun i _ -> i < cap) (List.map snd sorted)
+
+let test_comparison_order_equivalence () =
+  let model = fixture_model () in
+  let cm = CM.compile model in
+  let same name expected got =
+    check (Alcotest.list Alcotest.int) name
+      (List.map (fun (r : Row.t) -> r.Row.state_id) expected)
+      (List.map (fun (r : Row.t) -> r.Row.state_id) got)
+  in
+  List.iter
+    (fun slow ->
+      (* plain query *)
+      same "order" (reference_order ~cap:48 slow model.M.rows)
+        (CM.comparison_order cm ~cap:48 ~slow model.M.rows);
+      (* tiny cap exercises truncation inside a tie group *)
+      same "capped order" (reference_order ~cap:2 slow model.M.rows)
+        (CM.comparison_order cm ~cap:2 ~slow model.M.rows);
+      (* duplicated candidates: occurrence positions must be preserved *)
+      let dup = model.M.rows @ model.M.rows in
+      same "duplicates" (reference_order ~cap:48 slow dup)
+        (CM.comparison_order cm ~cap:48 ~slow dup);
+      (* a physically foreign copy of a row (same content) must not be
+         mistaken for the model row: the generic path answers, identically *)
+      let foreign = List.map (fun (r : Row.t) -> { r with Row.state_id = r.Row.state_id }) model.M.rows in
+      same "foreign rows" (reference_order ~cap:48 slow foreign)
+        (CM.comparison_order cm ~cap:48 ~slow foreign))
+    model.M.rows
+
+let all_modes = [ Checker.Solver; Checker.Materialized; Checker.Hybrid ]
+
+let fingerprints_of ?compiled ?joint_input_max_nodes model file =
+  List.map
+    (fun mode ->
+      match
+        Checker.check_current ~mode ?compiled ?joint_input_max_nodes ~model
+          ~registry:Fixtures.registry ~file ()
+      with
+      | Ok rep -> fingerprint rep
+      | Error e -> Alcotest.fail e)
+    all_modes
+
+let test_modes_identical_on_fixture () =
+  let model = fixture_model () in
+  let compiled = CM.compile model in
+  List.iter
+    (fun text ->
+      let file = Vchecker.Config_file.parse text in
+      match fingerprints_of ~compiled model file with
+      | [ s; m; h ] ->
+        check Alcotest.string "materialized = solver" s m;
+        check Alcotest.string "hybrid = solver" s h
+      | _ -> assert false)
+    [ ""; "autocommit = OFF\n"; "autocommit = ON\nflush_at_trx_commit = 2\n" ]
+
+let with_degradation model =
+  let autocommit = E.{ name = "autocommit"; dom = Vsmt.Dom.bool; origin = Config } in
+  {
+    model with
+    M.degradation =
+      Some
+        {
+          M.rungs = [ "solver-light" ];
+          deadline_hit = true;
+          dropped_paths =
+            [
+              {
+                M.dp_state_id = 9_999;
+                dp_config_constraints = E.[ of_var autocommit ==. const 1 ];
+                dp_latency_so_far_us = 1234.;
+              };
+            ];
+        };
+  }
+
+let test_degraded_widening_identical () =
+  let model = with_degradation (fixture_model ()) in
+  let compiled = CM.compile model in
+  let file = Vchecker.Config_file.parse "" in
+  (match fingerprints_of ~compiled model file with
+  | [ s; m; h ] ->
+    check Alcotest.string "materialized = solver" s m;
+    check Alcotest.string "hybrid = solver" s h
+  | _ -> assert false);
+  (* and the conservative widening is actually present in every mode *)
+  List.iter
+    (fun mode ->
+      let rep =
+        or_fail
+          (Checker.check_current ~mode ~compiled ~model ~registry:Fixtures.registry
+             ~file ())
+      in
+      check Alcotest.bool "degraded finding surfaced" true
+        (List.exists (fun f -> f.Checker.trigger = "degraded") rep.Checker.findings))
+    all_modes
+
+let test_joint_budget_threading () =
+  let model = fixture_model () in
+  let compiled = CM.compile model in
+  let file = Vchecker.Config_file.parse "" in
+  (* a budget different from the compiled table's key forces the live gate;
+     all modes must still agree at that budget *)
+  List.iter
+    (fun budget ->
+      match fingerprints_of ~compiled ~joint_input_max_nodes:budget model file with
+      | [ s; m; h ] ->
+        check Alcotest.string "materialized = solver" s m;
+        check Alcotest.string "hybrid = solver" s h
+      | _ -> assert false)
+    [ 5; Checker.default_joint_input_max_nodes; 50_000 ]
+
+(* ------------------------------------------------------------------ *)
+(* Mode equivalence over generated systems (QCheck)                    *)
+(* ------------------------------------------------------------------ *)
+
+let prop_modes_identical_generated =
+  QCheck2.Test.make ~name:"modes agree byte-for-byte on generated systems" ~count:20
+    QCheck2.Gen.(int_range 0 10_000)
+    (fun seed ->
+      let spec = List.hd (Vfuzz.Generate.corpus ~seed ~count:1 ()) in
+      let target = Vfuzz.Genspec.to_target spec in
+      let registry = target.Violet.Pipeline.registry in
+      let params =
+        List.map (fun (p : Vfuzz.Genspec.plant) -> p.Vfuzz.Genspec.p_param)
+          spec.Vfuzz.Genspec.g_plants
+        @ spec.Vfuzz.Genspec.g_decoys
+      in
+      List.for_all
+        (fun param ->
+          match Violet.Pipeline.analyze ~opts:Vfuzz.Oracle.default_opts target param with
+          | Error _ -> true
+          | Ok a ->
+            let model = a.Violet.Pipeline.model in
+            let file = Vchecker.Config_file.parse "" in
+            let compiled = CM.compile model in
+            let fp mode ?c () =
+              match Checker.check_current ~mode ?compiled:c ~model ~registry ~file () with
+              | Ok rep -> fingerprint rep
+              | Error e -> "error: " ^ e
+            in
+            let reference = fp Checker.Solver () in
+            let legs =
+              [
+                fp Checker.Materialized ~c:compiled ();
+                fp Checker.Materialized ();
+                fp Checker.Hybrid ~c:compiled ();
+              ]
+            in
+            if List.for_all (String.equal reference) legs then true
+            else
+              QCheck2.Test.fail_reportf "modes disagree on %s/%s"
+                spec.Vfuzz.Genspec.g_name param)
+        params)
+
+(* ------------------------------------------------------------------ *)
+(* check_upgrade: keyed lookup semantics                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Two old rows rendering to the same constraint string: the keyed lookup
+   must keep [List.assoc]'s first-occurrence-wins semantics. *)
+let test_upgrade_duplicate_constraints () =
+  let model = fixture_model () in
+  let poor = List.hd (M.poor_rows model) in
+  let fast =
+    List.find (fun r -> not (M.is_poor_row model r)) model.M.rows
+  in
+  (* a slow twin of the fast row: same constraint string, poor cost *)
+  let slow_twin =
+    {
+      fast with
+      Row.state_id = 8_888;
+      cost = poor.Row.cost;
+      traced_latency_us = poor.Row.traced_latency_us;
+      critical_ops = poor.Row.critical_ops;
+    }
+  in
+  let upgraded = { slow_twin with Row.state_id = 8_889 } in
+  let new_model = { model with M.rows = [ upgraded ] } in
+  (* first occurrence fast: the upgrade looks like a big regression *)
+  let r1 =
+    Checker.check_upgrade ~old_model:{ model with M.rows = [ fast; slow_twin ] }
+      ~new_model
+  in
+  check Alcotest.bool "first-occurrence fast -> flagged" true (r1.Checker.findings <> []);
+  (* first occurrence slow: same latency as before, nothing to flag *)
+  let r2 =
+    Checker.check_upgrade ~old_model:{ model with M.rows = [ slow_twin; fast ] }
+      ~new_model
+  in
+  check Alcotest.int "first-occurrence slow -> silent" 0 (List.length r2.Checker.findings)
+
+(* ------------------------------------------------------------------ *)
+(* Registry: compile at load, skip when the digest is unchanged        *)
+(* ------------------------------------------------------------------ *)
+
+let test_registry_skips_recompile () =
+  let dir = mk_tmpdir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let path = Reg.model_file ~dir ~key:"mini" in
+  or_fail (Violet.Pipeline.export_model (fixture_model ()) path);
+  let reg = Reg.create ~dir () in
+  ignore (Reg.refresh reg);
+  check Alcotest.int "compiled on first load" 1 (Reg.compiles reg);
+  let e1 = Option.get (Reg.find reg "mini") in
+  (match e1.Reg.compiled with
+  | Some cm -> check Alcotest.bool "artifact is for the live model" true (CM.model cm == e1.Reg.model)
+  | None -> Alcotest.fail "expected a compiled artifact");
+  (* rewrite the same payload: same digest, no reload, no recompile *)
+  or_fail (Violet.Pipeline.export_model (fixture_model ()) path);
+  (match Reg.refresh ~force:true reg with
+  | [] -> ()
+  | evs ->
+    Alcotest.fail
+      ("unchanged digest must not reload: "
+      ^ String.concat "; " (List.map Reg.event_to_string evs)));
+  check Alcotest.int "generation unchanged" 1
+    (Option.get (Reg.find reg "mini")).Reg.generation;
+  check Alcotest.int "no recompile" 1 (Reg.compiles reg);
+  (* stage/commit of the same payload also reuses the artifact *)
+  ignore (Reg.stage reg);
+  ignore (or_fail (Reg.commit reg));
+  check Alcotest.int "no recompile across stage/commit" 1 (Reg.compiles reg);
+  (* a real change recompiles and bumps the generation *)
+  or_fail
+    (Violet.Pipeline.export_model
+       { (fixture_model ()) with M.threshold = 0.9 }
+       path);
+  (match Reg.refresh ~force:true reg with
+  | [ Reg.Loaded { key = "mini"; generation = 2 } ] -> ()
+  | evs ->
+    Alcotest.fail
+      ("expected generation 2: " ^ String.concat "; " (List.map Reg.event_to_string evs)));
+  check Alcotest.int "changed digest recompiles" 2 (Reg.compiles reg);
+  check Alcotest.bool "compile tax measured" true (Reg.compile_wall_s reg > 0.)
+
+let tests =
+  [
+    tc "iset: normalization and boundaries" test_iset_normalize;
+    tc "iset: algebra" test_iset_algebra;
+    tc "iset: of_expr domain boundaries" test_iset_of_expr_boundaries;
+    QCheck_alcotest.to_alcotest prop_of_expr_exact;
+    tc "compiled: unclosable row falls back" test_unclosable_row_fallback;
+    tc "compiled: comparison order equivalence" test_comparison_order_equivalence;
+    tc "modes identical on fixture" test_modes_identical_on_fixture;
+    tc "degraded widening identical in all modes" test_degraded_widening_identical;
+    tc "joint budget threads through all modes" test_joint_budget_threading;
+    QCheck_alcotest.to_alcotest prop_modes_identical_generated;
+    tc "check_upgrade: duplicate constraint strings" test_upgrade_duplicate_constraints;
+    tc "registry: unchanged digest skips recompile" test_registry_skips_recompile;
+  ]

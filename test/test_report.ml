@@ -39,7 +39,7 @@ let test_cost_table_rendering () =
 let test_checker_report_rendering () =
   let model = (Violet.Pipeline.analyze_exn Fixtures.target "autocommit").Violet.Pipeline.model in
   let file = Vchecker.Config_file.parse "autocommit = ON" in
-  match Vchecker.Checker.check_current ~model ~registry:Fixtures.registry ~file with
+  match Vchecker.Checker.check_current ~model ~registry:Fixtures.registry ~file () with
   | Error e -> Alcotest.fail e
   | Ok report ->
     let text = Fmt.str "%a" Vchecker.Checker.pp_report report in

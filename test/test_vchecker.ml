@@ -113,7 +113,7 @@ let test_mode2_flags_poor_default () =
   let model = fixture_model () in
   (* autocommit defaults to ON and flush defaults to 1: the poor state *)
   let file = parse_exn "" in
-  match Checker.check_current ~model ~registry:Fixtures.registry ~file with
+  match Checker.check_current ~model ~registry:Fixtures.registry ~file () with
   | Ok report ->
     check Alcotest.bool "flagged" true (report.Checker.findings <> []);
     let f = List.hd report.Checker.findings in
@@ -124,7 +124,7 @@ let test_mode2_flags_poor_default () =
 let test_mode2_good_config_silent () =
   let model = fixture_model () in
   let file = parse_exn "autocommit = OFF\n" in
-  match Checker.check_current ~model ~registry:Fixtures.registry ~file with
+  match Checker.check_current ~model ~registry:Fixtures.registry ~file () with
   | Ok report -> check Alcotest.int "silent" 0 (List.length report.Checker.findings)
   | Error e -> Alcotest.fail e
 
@@ -132,13 +132,13 @@ let test_mode1_update_regression () =
   let model = fixture_model () in
   let old_file = parse_exn "autocommit = OFF\n" in
   let new_file = parse_exn "autocommit = ON\nflush_at_trx_commit = 1\n" in
-  (match Checker.check_update ~model ~registry:Fixtures.registry ~old_file ~new_file with
+  (match Checker.check_update ~model ~registry:Fixtures.registry ~old_file ~new_file () with
   | Ok report -> check Alcotest.bool "regression flagged" true (report.Checker.findings <> [])
   | Error e -> Alcotest.fail e);
   (* reverse direction is an improvement: silent *)
   match
     Checker.check_update ~model ~registry:Fixtures.registry ~old_file:new_file
-      ~new_file:old_file
+      ~new_file:old_file ()
   with
   | Ok report -> check Alcotest.int "improvement silent" 0 (List.length report.Checker.findings)
   | Error e -> Alcotest.fail e
@@ -147,7 +147,7 @@ let test_mode1_unrelated_change_silent () =
   let model = fixture_model () in
   let old_file = parse_exn "unused_param = OFF\n" in
   let new_file = parse_exn "unused_param = ON\n" in
-  match Checker.check_update ~model ~registry:Fixtures.registry ~old_file ~new_file with
+  match Checker.check_update ~model ~registry:Fixtures.registry ~old_file ~new_file () with
   | Ok report -> check Alcotest.int "silent" 0 (List.length report.Checker.findings)
   | Error e -> Alcotest.fail e
 
@@ -180,7 +180,7 @@ let test_mode3_workload_change () =
   let report =
     Checker.check_workload_change ~model
       ~old_workload:[ "sql_command", 0 ]
-      ~new_workload:[ "sql_command", 1 ]
+      ~new_workload:[ "sql_command", 1 ] ()
   in
   check Alcotest.bool "workload shift flagged" true (report.Checker.findings <> [])
 
@@ -213,7 +213,7 @@ let test_mode3b_degraded_region () =
   let report =
     Checker.check_workload_change ~model
       ~old_workload:[ "sql_command", 0 ]
-      ~new_workload:[ "sql_command", 0 ]
+      ~new_workload:[ "sql_command", 0 ] ()
   in
   let degraded =
     List.filter (fun f -> String.equal f.Checker.trigger "degraded") report.Checker.findings
@@ -226,7 +226,7 @@ let test_mode3b_degraded_region () =
   let report =
     Checker.check_workload_change ~model
       ~old_workload:[ "sql_command", 0 ]
-      ~new_workload:[ "sql_command", 1 ]
+      ~new_workload:[ "sql_command", 1 ] ()
   in
   check Alcotest.bool "shift findings present" true
     (List.exists
@@ -243,7 +243,7 @@ let test_checker_on_loaded_model () =
   let model = match M.load path with Ok m -> m | Error e -> Alcotest.fail e in
   Sys.remove path;
   let file = parse_exn "" in
-  match Checker.check_current ~model ~registry:Fixtures.registry ~file with
+  match Checker.check_current ~model ~registry:Fixtures.registry ~file () with
   | Ok report -> check Alcotest.bool "still flags" true (report.Checker.findings <> [])
   | Error e -> Alcotest.fail e
 

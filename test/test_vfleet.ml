@@ -345,7 +345,7 @@ let test_fleet_end_to_end () =
   let local =
     or_fail
       (Checker.check_current ~model:ref_model ~registry:Fixtures.registry
-         ~file:(Vchecker.Config_file.parse ""))
+         ~file:(Vchecker.Config_file.parse "") ())
   in
   let served =
     expect_report (or_fail (Client.call ~timeout_s:20.0 c (P.Check_current { key = key0; config = "" })))

@@ -332,7 +332,7 @@ let test_degradation_widens_specious_set () =
      conservatively, so the specious set only widens *)
   let file = CF.parse "" in
   let findings model =
-    match Checker.check_current ~model ~registry:Fixtures.registry ~file with
+    match Checker.check_current ~model ~registry:Fixtures.registry ~file () with
     | Ok r -> r.Checker.findings
     | Error e -> Alcotest.fail e
   in

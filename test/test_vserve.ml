@@ -293,7 +293,7 @@ let test_registry_load_and_reject () =
   let dir = mk_tmpdir () in
   Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
   let path = export_fixture dir "mini" in
-  let reg = Reg.create ~dir in
+  let reg = Reg.create ~dir () in
   (match Reg.refresh reg with
   | [ Reg.Loaded { key = "mini"; generation = 1 } ] -> ()
   | evs ->
@@ -342,7 +342,7 @@ let test_registry_two_phase () =
   let dir = mk_tmpdir () in
   Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
   let path = export_fixture dir "mini" in
-  let reg = Reg.create ~dir in
+  let reg = Reg.create ~dir () in
   ignore (Reg.refresh reg);
   (* commit without a stage is refused *)
   (match Reg.commit reg with
@@ -388,7 +388,7 @@ let test_registry_removal () =
   let dir = mk_tmpdir () in
   Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
   let path = export_fixture dir "mini" in
-  let reg = Reg.create ~dir in
+  let reg = Reg.create ~dir () in
   ignore (Reg.refresh reg);
   Sys.remove path;
   (match Reg.refresh reg with
@@ -462,7 +462,7 @@ let test_end_to_end () =
   let local =
     or_fail
       (Checker.check_current ~model:ref_model ~registry:Fixtures.registry
-         ~file:(Vchecker.Config_file.parse ""))
+         ~file:(Vchecker.Config_file.parse "") ())
   in
   let served = expect_report (or_fail (Client.call c (P.Check_current { key = "mini"; config = "" }))) in
   check Alcotest.string "mode 2 findings byte-identical"
@@ -478,7 +478,7 @@ let test_end_to_end () =
     or_fail
       (Checker.check_update ~model:ref_model ~registry:Fixtures.registry
          ~old_file:(Vchecker.Config_file.parse old_text)
-         ~new_file:(Vchecker.Config_file.parse new_text))
+         ~new_file:(Vchecker.Config_file.parse new_text) ())
   in
   let served =
     expect_report
@@ -491,7 +491,7 @@ let test_end_to_end () =
     (findings_bytes served.P.findings);
   (* mode 3b byte-identity *)
   let old_workload = [ ("sql_command", 0) ] and new_workload = [ ("sql_command", 1) ] in
-  let local = Checker.check_workload_change ~model:ref_model ~old_workload ~new_workload in
+  let local = Checker.check_workload_change ~model:ref_model ~old_workload ~new_workload () in
   let served =
     expect_report
       (or_fail
@@ -561,6 +561,7 @@ let test_end_to_end () =
     check Alcotest.bool "requests counted" true (int_field "requests" >= 6);
     check Alcotest.bool "reloads counted" true (int_field "model_reloads" >= 2);
     check Alcotest.bool "load failure counted" true (int_field "model_load_failures" >= 1);
+    check Alcotest.bool "compiles counted" true (int_field "model_compiles" >= 1);
     (match Option.bind (W.member "latency" w) (W.member "observations") with
     | Some (W.Int n) when n > 0 -> ()
     | _ -> Alcotest.fail "latency histogram must have observations")
