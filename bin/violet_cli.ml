@@ -78,7 +78,7 @@ let related system param =
   0
 
 let analyze system param save export max_states threshold no_related searcher solver_cache
-    no_slice deadline checkpoint resume chaos jobs =
+    no_slice deadline checkpoint resume chaos jobs fast_nondet =
   let target = or_die (target_of_system system) in
   let chaos =
     match chaos with
@@ -106,6 +106,7 @@ let analyze system param save export max_states threshold no_related searcher so
       resume;
       chaos;
       jobs = (match jobs with Some j -> j | None -> Vpar.Pool.default_jobs ());
+      fast_nondet = fast_nondet || Vpar.Pool.default_fast_nondet ();
     }
   in
   match Violet.Pipeline.analyze ~opts target param with
@@ -520,12 +521,24 @@ let analyze_cmd =
              short.  Defaults to $(b,VIOLET_JOBS) or 1.  Checkpointing and \
              $(b,--resume) force sequential exploration.")
   in
+  let fast_nondet =
+    Arg.(
+      value
+      & flag
+      & info [ "fast-nondet" ]
+          ~doc:
+            "Skip the deferred renumbering that makes parallel results \
+             byte-identical to sequential ones.  State ids and row order in a \
+             saved model may then vary run to run under $(b,--jobs) > 1, but \
+             verdicts (check results, findings, scores) are unchanged.  \
+             Defaults to $(b,VIOLET_FAST_NONDET) or off.")
+  in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Symbolically analyze a parameter's performance impact")
     Term.(
       const analyze $ system_arg $ param_arg 1 $ save $ export $ max_states $ threshold
       $ no_related $ searcher $ solver_cache $ no_slice $ deadline $ checkpoint $ resume
-      $ chaos $ jobs)
+      $ chaos $ jobs $ fast_nondet)
 
 let model_opt =
   Arg.(
@@ -975,9 +988,12 @@ let fuzz_diff seed count no_daemon out =
     (fun spec ->
       let r = Vfuzz.Oracle.check ~daemon spec in
       if Vfuzz.Oracle.agreed r then
-        Fmt.pr "%-14s ok (%d combos, %d daemon checks, %d fleet checks, %d mode checks)@."
+        Fmt.pr
+          "%-14s ok (%d combos, %d daemon checks, %d fleet checks, %d mode checks, %d \
+           fast-nondet checks)@."
           r.Vfuzz.Oracle.r_system r.Vfuzz.Oracle.r_combos r.Vfuzz.Oracle.r_daemon_checks
           r.Vfuzz.Oracle.r_fleet_checks r.Vfuzz.Oracle.r_mode_checks
+          r.Vfuzz.Oracle.r_fast_checks
       else begin
         incr failures;
         Fmt.pr "%-14s DISAGREES@." r.Vfuzz.Oracle.r_system;

@@ -67,6 +67,7 @@ type options = {
   chaos : Vresilience.Chaos.t option;
   degradation : D.policy;
   jobs : int;
+  fast_nondet : bool;
 }
 
 let default_options =
@@ -94,6 +95,7 @@ let default_options =
     chaos = None;
     degradation = D.default_policy;
     jobs = Vpar.Pool.default_jobs ();
+    fast_nondet = Vpar.Pool.default_fast_nondet ();
   }
 
 type analysis = {
@@ -267,6 +269,7 @@ let analyze ?(opts = default_options) target param =
             (match opts.checkpoint with Some c -> c.every_picks | None -> 0);
           on_checkpoint = checkpoint_hook opts;
           jobs = opts.jobs;
+          fast_nondet = opts.fast_nondet;
         }
       in
       match load_resume_snapshot opts with

@@ -78,6 +78,18 @@ type engine = {
    exactly this ordering. *)
 let max_candidates = 48
 
+(* Candidate pools are sorted by row content before any engine sees them:
+   both engines break similarity ties by pool position, so pool order must
+   not inherit model row order — that is scheduling-dependent under
+   --fast-nondet, and check verdicts have to be identical across modes.
+   stable, id-blind: rows with equal content keep pool order, and either is
+   an equally valid witness (they differ only in [state_id]). *)
+let by_content rows =
+  List.map snd
+    (List.stable_sort
+       (fun (ka, _) (kb, _) -> String.compare ka kb)
+       (List.map (fun r -> (Row.content_key r, r)) rows))
+
 let order_by_similarity slow rows =
   let decorated =
     rows
@@ -244,8 +256,12 @@ let check_update ?(mode = Hybrid) ?compiled
          else begin
            (* only states whose constraints involve an updated parameter can
               witness the regression (Section 4.7, scenario 1) *)
-           let new_rows = List.filter (fun r -> eng.e_mentions r relevant) new_rows in
-           let old_rows = List.filter (fun r -> eng.e_mentions r relevant) old_rows in
+           let new_rows =
+             by_content (List.filter (fun r -> eng.e_mentions r relevant) new_rows)
+           in
+           let old_rows =
+             by_content (List.filter (fun r -> eng.e_mentions r relevant) old_rows)
+           in
            List.filter_map
              (fun slow ->
                finding_of ~configs:(new_assignment, old_assignment) eng
@@ -277,9 +293,10 @@ let check_current ?(mode = Hybrid) ?compiled
   Ok
     (timed (fun () ->
          let current_rows =
-           List.filter
-             (fun r -> eng.e_is_poor r && eng.e_mentions r [ model.M.target ])
-             (eng.e_rows_matching assignment)
+           by_content
+             (List.filter
+                (fun r -> eng.e_is_poor r && eng.e_mentions r [ model.M.target ])
+                (eng.e_rows_matching assignment))
          in
          (if current_rows = [] then []
           else begin
@@ -287,17 +304,18 @@ let check_current ?(mode = Hybrid) ?compiled
                (Section 4.7, scenario 2): witnesses keep every other setting
                as deployed and change only the target *)
             let fast_rows =
-              match Vruntime.Config_registry.find_opt registry model.M.target with
-              | None -> model.M.rows
-              | Some p ->
-                let current = List.assoc model.M.target assignment in
-                List.concat_map
-                  (fun alt ->
-                    let assignment' =
-                      (model.M.target, alt) :: List.remove_assoc model.M.target assignment
-                    in
-                    eng.e_rows_matching assignment')
-                  (alternative_values p current)
+              by_content
+                (match Vruntime.Config_registry.find_opt registry model.M.target with
+                | None -> model.M.rows
+                | Some p ->
+                  let current = List.assoc model.M.target assignment in
+                  List.concat_map
+                    (fun alt ->
+                      let assignment' =
+                        (model.M.target, alt) :: List.remove_assoc model.M.target assignment
+                      in
+                      eng.e_rows_matching assignment')
+                    (alternative_values p current))
             in
             List.filter_map
               (fun slow ->

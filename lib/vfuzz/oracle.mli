@@ -14,7 +14,11 @@
     - checking through a 2-shard {!Vfleet.Router} fronting two such daemons
       must also be byte-identical — routing, re-encoding with the client's
       request id, and failover machinery must all be invisible to the
-      answer bytes.
+      answer bytes;
+    - re-analyzing under [jobs=4 --fast-nondet] must produce the same
+      {e verdicts} (order-insensitive findings) as the reference run —
+      byte-identity of the model is exactly what that mode trades for
+      throughput, verdict-identity is the contract it keeps.
 
     Any disagreement is a bug in the pipeline, not in the generated system —
     the harness shrinks the system to a minimal reproducer and writes it to
@@ -41,6 +45,7 @@ type report = {
   r_daemon_checks : int;  (** daemon-vs-in-process findings compared *)
   r_fleet_checks : int;  (** fleet-vs-in-process findings compared *)
   r_mode_checks : int;  (** mode-vs-solver findings compared (Section 5j) *)
+  r_fast_checks : int;  (** fast-nondet-vs-reference verdicts compared *)
   r_disagreements : disagreement list;
 }
 
@@ -57,11 +62,17 @@ val model_fingerprint : Vmodel.Impact_model.t -> string
 val findings_fingerprint : Vchecker.Checker.finding list -> string
 (** Canonical wire encoding of a findings list ({!Vserve.Protocol}). *)
 
+val verdict_fingerprint : Vchecker.Checker.finding list -> string
+(** Order-insensitive findings fingerprint (each finding encoded alone, the
+    encodings sorted) — the equality the fast-nondet leg compares: row order
+    is exactly what [--fast-nondet] gives up. *)
+
 val check :
   ?opts:Violet.Pipeline.options ->
   ?daemon:bool ->
   ?fleet:bool ->
   ?modes:bool ->
+  ?fast:bool ->
   Genspec.t ->
   report
 (** Run the full grid over every plant and decoy parameter of the system.
@@ -74,4 +85,7 @@ val check :
     domains by then).  [modes] (default [true]) re-checks each exported model
     in process under [Materialized] (with and without a pre-compiled
     artifact) and [Hybrid], which must match the [Solver] reference
-    byte-for-byte. *)
+    byte-for-byte.  [fast] (default [true]) re-analyzes each parameter under
+    [jobs=4 --fast-nondet] and requires verdict-identity
+    ({!verdict_fingerprint}) against the reference — byte-identity is
+    exactly what that mode trades away. *)

@@ -88,6 +88,40 @@ let constraint_string row =
   | [] -> "true"
   | cs -> String.concat " && " (List.map (Fmt.str "%a" pp_constraint) cs)
 
+(* Everything but [state_id] and the call tree: two rows with equal keys are
+   interchangeable as checker witnesses.  Ids are exactly what --fast-nondet
+   stops canonicalizing, so candidate ordering must never look at them. *)
+let content_key row =
+  let b = Buffer.create 128 in
+  List.iter
+    (fun e ->
+      Buffer.add_string b (Vsmt.Expr.to_string e);
+      Buffer.add_char b ';')
+    row.config_constraints;
+  Buffer.add_char b '|';
+  List.iter
+    (fun e ->
+      Buffer.add_string b (Vsmt.Expr.to_string e);
+      Buffer.add_char b ';')
+    row.workload_pred;
+  Buffer.add_char b '|';
+  Buffer.add_string b (Vruntime.Cost.summary row.cost);
+  Buffer.add_char b '|';
+  Buffer.add_string b (string_of_float row.traced_latency_us);
+  Buffer.add_char b '|';
+  List.iter
+    (fun s ->
+      Buffer.add_string b s;
+      Buffer.add_char b ';')
+    row.chain;
+  Buffer.add_char b '|';
+  List.iter
+    (fun s ->
+      Buffer.add_string b s;
+      Buffer.add_char b ';')
+    row.critical_ops;
+  Buffer.contents b
+
 let pp ppf row =
   Fmt.pf ppf "| %s | %s, {%s} | %s |" (constraint_string row)
     (Vruntime.Cost.summary row.cost)

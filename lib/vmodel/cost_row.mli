@@ -33,3 +33,9 @@ val pp_constraint : Vsmt.Expr.t Fmt.t
 
 val pp : t Fmt.t
 val constraint_string : t -> string
+
+val content_key : t -> string
+(** Deterministic rendering of everything but [state_id] and the call tree:
+    two rows with equal keys are interchangeable as checker witnesses.  The
+    checker sorts candidate pools by this key so row selection never depends
+    on model row order (which [--fast-nondet] stops canonicalizing). *)

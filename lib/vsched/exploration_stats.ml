@@ -34,6 +34,11 @@ type worker = {
   w_solver_time_s : float;
 }
 
+(* Batched-feasibility accounting: one batch per executor aggregation event
+   (a fork's true/false pair, a loop-exit probe), [saved] counts the queries
+   in those batches answered without a solver round-trip. *)
+type batch = { b_batches : int; b_queries : int; b_saved : int }
+
 type t = {
   searcher : string;
   solver_cache_enabled : bool;
@@ -56,6 +61,7 @@ type t = {
   workers : worker list;
   query_sizes : query_sizes;
   memo_sizes : (string * int) list;
+  batch : batch option;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -150,7 +156,7 @@ let merge ~into r =
 let completions r = List.rev r.r_completions
 let set_completions r cs = r.r_completions <- List.rev cs
 
-let finish ?(deadline_hit = false) ?(jobs = 1) ?(workers = []) ?(memo_sizes = []) r
+let finish ?(deadline_hit = false) ?(jobs = 1) ?(workers = []) ?(memo_sizes = []) ?batch r
     ~states_created ~solver_queries ~solver_solves ~cache ~wall_time_s =
   let completions = List.rev r.r_completions in
   let dropped = List.length (List.filter (fun c -> c.dropped) completions) in
@@ -185,6 +191,7 @@ let finish ?(deadline_hit = false) ?(jobs = 1) ?(workers = []) ?(memo_sizes = []
         hist_sent = Array.copy r.r_hist_sent;
       };
     memo_sizes;
+    batch;
   }
 
 let first_completion t ~satisfying =
@@ -212,12 +219,21 @@ let json_float f =
 
 let cache_to_json (c : Solver_cache.stats) =
   Printf.sprintf
-    "{\"lookups\":%d,\"exact_hits\":%d,\"cex_hits\":%d,\"subsumption_hits\":%d,\"misses\":%d,\"stored_models\":%d,\"stored_cores\":%d,\"hit_rate\":%s,\"solver_constraints\":%d,\"solver_nodes\":%d,\"unknown_purged\":%d}"
+    "{\"lookups\":%d,\"exact_hits\":%d,\"cex_hits\":%d,\"subsumption_hits\":%d,\"misses\":%d,\"stored_models\":%d,\"stored_cores\":%d,\"hit_rate\":%s,\"solver_constraints\":%d,\"solver_nodes\":%d,\"unknown_purged\":%d,\"coalesced\":%d}"
     c.Solver_cache.lookups c.Solver_cache.exact_hits c.Solver_cache.cex_hits
     c.Solver_cache.subsumption_hits c.Solver_cache.misses c.Solver_cache.stored_models
     c.Solver_cache.stored_cores
     (json_float (Solver_cache.hit_rate c))
     c.Solver_cache.solver_constraints c.Solver_cache.solver_nodes c.Solver_cache.unknown_purged
+    c.Solver_cache.coalesced
+
+let batch_to_json b =
+  Printf.sprintf
+    "{\"batches\":%d,\"queries\":%d,\"queries_per_batch\":%s,\"saved_round_trips\":%d}"
+    b.b_batches b.b_queries
+    (json_float
+       (if b.b_batches = 0 then 0. else float_of_int b.b_queries /. float_of_int b.b_batches))
+    b.b_saved
 
 let hist_to_json h =
   "[" ^ String.concat "," (List.map string_of_int (Array.to_list h)) ^ "]"
@@ -263,7 +279,7 @@ let to_json t =
     |> String.concat ","
   in
   Printf.sprintf
-    "{\"searcher\":\"%s\",\"solver_cache_enabled\":%b,\"states_created\":%d,\"states_completed\":%d,\"states_dropped\":%d,\"forks\":%d,\"steps\":%d,\"fork_rate\":%s,\"solver_queries\":%d,\"solver_solves\":%d,\"cache\":%s,\"completions\":[%s],\"queue_samples\":[%s],\"wall_time_s\":%s,\"degradation\":[%s],\"deadline_hit\":%b,\"resumed\":%b,\"jobs\":%d,\"workers\":[%s],\"query_sizes\":%s,\"memo_sizes\":%s}"
+    "{\"searcher\":\"%s\",\"solver_cache_enabled\":%b,\"states_created\":%d,\"states_completed\":%d,\"states_dropped\":%d,\"forks\":%d,\"steps\":%d,\"fork_rate\":%s,\"solver_queries\":%d,\"solver_solves\":%d,\"cache\":%s,\"completions\":[%s],\"queue_samples\":[%s],\"wall_time_s\":%s,\"degradation\":[%s],\"deadline_hit\":%b,\"resumed\":%b,\"jobs\":%d,\"workers\":[%s],\"query_sizes\":%s,\"memo_sizes\":%s,\"feas_batches\":%s}"
     (json_escape t.searcher) t.solver_cache_enabled t.states_created t.states_completed
     t.states_dropped t.forks t.steps (json_float t.fork_rate) t.solver_queries t.solver_solves
     (match t.cache with None -> "null" | Some c -> cache_to_json c)
@@ -273,6 +289,7 @@ let to_json t =
     (String.concat "," (List.map worker_to_json t.workers))
     (query_sizes_to_json t.query_sizes)
     (memo_sizes_to_json t.memo_sizes)
+    (match t.batch with None -> "null" | Some b -> batch_to_json b)
 
 let save ~path ts =
   let oc = open_out path in
@@ -466,6 +483,12 @@ let pp ppf t =
   if t.memo_sizes <> [] then
     Fmt.pf ppf " memo[%s]"
       (String.concat " " (List.map (fun (n, s) -> Printf.sprintf "%s=%d" n s) t.memo_sizes));
+  (match t.batch with
+  | Some b when b.b_batches > 0 ->
+    Fmt.pf ppf " batch[batches=%d queries/batch=%.2f saved=%d]" b.b_batches
+      (float_of_int b.b_queries /. float_of_int b.b_batches)
+      b.b_saved
+  | _ -> ());
   if t.jobs > 1 then begin
     Fmt.pf ppf " jobs=%d" t.jobs;
     List.iter

@@ -27,6 +27,12 @@ type worker = {
 }
 (** Per-worker counters of a parallel ([--jobs N]) run. *)
 
+type batch = { b_batches : int; b_queries : int; b_saved : int }
+(** Batched-feasibility accounting: [b_batches] counts executor aggregation
+    events (a fork's true/false pair, a loop-exit probe), [b_queries] the
+    feasibility queries inside them, [b_saved] the queries answered without
+    a solver round-trip (cache probes plus coalesced duplicate solves). *)
+
 type query_sizes = {
   pre_constraints : int;  (** conjuncts across all queries, before slicing *)
   pre_nodes : int;  (** expression tree nodes across all queries, before slicing *)
@@ -70,9 +76,14 @@ type t = {
   workers : worker list;  (** per-worker counters; empty for sequential runs *)
   query_sizes : query_sizes;
   memo_sizes : (string * int) list;
-      (** sizes of the process's expression-level memo tables at finish
-          time (simplify memo, footprint memo, rendered strings, interned
-          nodes) — the observability hook for the bounded-memo policy *)
+      (** sizes of the process's shared expression-level tables at finish
+          time (lock-striped simplify/footprint memos summed across
+          stripes, rendered strings, the shared hash-cons table, and — for
+          cached runs — the striped solver cache's entry counts) — the
+          observability hook for the bounded-memo policy *)
+  batch : batch option;
+      (** batched-feasibility counters; [None] when the run predates the
+          batching layer (e.g. deserialized older telemetry) *)
 }
 
 (** {1 Recording} *)
@@ -128,6 +139,7 @@ val finish :
   ?jobs:int ->
   ?workers:worker list ->
   ?memo_sizes:(string * int) list ->
+  ?batch:batch ->
   recorder ->
   states_created:int ->
   solver_queries:int ->

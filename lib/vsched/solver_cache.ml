@@ -39,6 +39,9 @@ type stats = {
   solver_constraints : int;  (** conjuncts sent to the solver across all misses *)
   solver_nodes : int;  (** expression tree nodes sent to the solver across all misses *)
   unknown_purged : int;  (** stale Unknown entries reclaimed by decided re-solves *)
+  coalesced : int;
+      (** queries that blocked on a shard already solving the same key
+          (striped caches only; always 0 for a plain cache) *)
 }
 
 let create ?(max_models = 64) ?(max_cores = 256) () =
@@ -62,7 +65,6 @@ let create ?(max_models = 64) ?(max_cores = 256) () =
 (* [E.to_string] is memoized per unique node, so keying stays cheap; string
    keys (rather than hashcons ids) keep dumps valid across processes, where
    ids are reassigned. *)
-let key_of cs = String.concat "\x00" (List.map E.to_string cs)
 
 (* A cached Sat/Unsat is a completed proof and is a *sound* verdict under any
    budget; a cached Unknown only witnesses that [budget] nodes were not
@@ -178,62 +180,85 @@ let expired = function
   | None -> false
   | Some b -> Vresilience.Budget.expired b
 
-let check_model t ?budget ~max_nodes cs =
+(* The query entry points split into a pure preparation step (simplify,
+   canonicalize, render the key — all safe outside any lock) and keyed
+   probe/solve steps over the prepared query, so the striped concurrent
+   layer below can consult the cache for a whole batch first and hold a
+   shard lock only around the table accesses and the solve. *)
+
+type prepared = { p_canon : E.t list; p_conjunct_keys : string list; p_key : string }
+
+(* canonicalize: solve the sorted set, not just key on it — permuted queries
+   then share one entry AND a miss computes the very result a permuted hit
+   replays *)
+let prepare cs =
+  let canon = List.sort_uniq E.compare (Vsmt.Simplify.simplify_conj cs) in
+  let conjunct_keys = List.map E.to_string canon in
+  { p_canon = canon; p_conjunct_keys = conjunct_keys; p_key = String.concat "\x00" conjunct_keys }
+
+let feasible = function Solver.Sat _ | Solver.Unknown -> true | Solver.Unsat -> false
+
+(* Cache-only consult of a prepared feasibility query: exact entry, stored-
+   model probe, unsat-core subsumption — everything short of a solver call.
+   [count_lookup] is false on the re-probe a batch does just before solving
+   (another worker may have populated the key since the pre-batch consult),
+   so each logical query still counts exactly one lookup. *)
+let probe_feasible t ~count_lookup ~max_nodes p =
+  if count_lookup then t.n_lookups <- t.n_lookups + 1;
+  match Hashtbl.find_opt t.feas_memo p.p_key with
+  | Some e when sound_verdict e ~max_nodes ->
+    if count_lookup then t.n_exact_hits <- t.n_exact_hits + 1;
+    Some (feasible e.result)
+  | _ -> begin
+    match probe_models t p.p_canon with
+    | Some m ->
+      if count_lookup then t.n_cex_hits <- t.n_cex_hits + 1;
+      Hashtbl.replace t.feas_memo p.p_key
+        { result = Solver.Sat m; budget = max_nodes; foot = query_foot p.p_canon };
+      Some true
+    | None ->
+      let qset = Sset.of_list p.p_conjunct_keys in
+      if List.exists (fun core -> Sset.subset core qset) t.cores then begin
+        if count_lookup then t.n_subsumption_hits <- t.n_subsumption_hits + 1;
+        Hashtbl.replace t.feas_memo p.p_key
+          { result = Solver.Unsat; budget = max_nodes; foot = query_foot p.p_canon };
+        Some false
+      end
+      else None
+  end
+
+let solve_feasible t ?budget ~max_nodes p =
+  t.n_misses <- t.n_misses + 1;
+  count_solver_work t p.p_canon;
+  let result = Solver.check ?budget ~max_nodes p.p_canon in
+  if not (expired budget) then begin
+    record t t.feas_memo p.p_key ~max_nodes ~foot:(query_foot p.p_canon) result;
+    if result = Solver.Unsat then store_core t (Sset.of_list p.p_conjunct_keys)
+  end;
+  feasible result
+
+let check_model_prepared t ?budget ~max_nodes p =
   t.n_lookups <- t.n_lookups + 1;
-  let cs = Vsmt.Simplify.simplify_conj cs in
-  (* solve the sorted set, not just key on it: permuted queries then share
-     one entry AND a miss computes the very result a permuted hit replays *)
-  let canon = List.sort_uniq E.compare cs in
-  let key = key_of canon in
-  match Hashtbl.find_opt t.model_memo key with
+  match Hashtbl.find_opt t.model_memo p.p_key with
   | Some e when identical_replay e ~max_nodes ->
     t.n_exact_hits <- t.n_exact_hits + 1;
-    e.result
+    e.result, true
   | _ ->
     t.n_misses <- t.n_misses + 1;
-    count_solver_work t canon;
-    let result = Solver.check ?budget ~max_nodes canon in
+    count_solver_work t p.p_canon;
+    let result = Solver.check ?budget ~max_nodes p.p_canon in
     if not (expired budget) then
-      record t t.model_memo key ~max_nodes ~foot:(query_foot canon) result;
-    result
+      record t t.model_memo p.p_key ~max_nodes ~foot:(query_foot p.p_canon) result;
+    result, false
+
+let check_model t ?budget ~max_nodes cs =
+  fst (check_model_prepared t ?budget ~max_nodes (prepare cs))
 
 let is_feasible t ?budget ~max_nodes cs =
-  t.n_lookups <- t.n_lookups + 1;
-  let cs = Vsmt.Simplify.simplify_conj cs in
-  let canon = List.sort_uniq E.compare cs in
-  let conjunct_keys = List.map E.to_string canon in
-  let key = String.concat "\x00" conjunct_keys in
-  let feasible = function Solver.Sat _ | Solver.Unknown -> true | Solver.Unsat -> false in
-  match Hashtbl.find_opt t.feas_memo key with
-  | Some e when sound_verdict e ~max_nodes ->
-    t.n_exact_hits <- t.n_exact_hits + 1;
-    feasible e.result
-  | _ -> begin
-    match probe_models t canon with
-    | Some m ->
-      t.n_cex_hits <- t.n_cex_hits + 1;
-      Hashtbl.replace t.feas_memo key
-        { result = Solver.Sat m; budget = max_nodes; foot = query_foot canon };
-      true
-    | None ->
-      let qset = Sset.of_list conjunct_keys in
-      if List.exists (fun core -> Sset.subset core qset) t.cores then begin
-        t.n_subsumption_hits <- t.n_subsumption_hits + 1;
-        Hashtbl.replace t.feas_memo key
-          { result = Solver.Unsat; budget = max_nodes; foot = query_foot canon };
-        false
-      end
-      else begin
-        t.n_misses <- t.n_misses + 1;
-        count_solver_work t canon;
-        let result = Solver.check ?budget ~max_nodes canon in
-        if not (expired budget) then begin
-          record t t.feas_memo key ~max_nodes ~foot:(query_foot canon) result;
-          if result = Solver.Unsat then store_core t qset
-        end;
-        feasible result
-      end
-  end
+  let p = prepare cs in
+  match probe_feasible t ~count_lookup:true ~max_nodes p with
+  | Some v -> v
+  | None -> solve_feasible t ?budget ~max_nodes p
 
 (* ------------------------------------------------------------------ *)
 (* Checkpointing                                                       *)
@@ -293,6 +318,7 @@ let stats t =
     solver_constraints = t.n_solver_constraints;
     solver_nodes = t.n_solver_nodes;
     unknown_purged = t.n_unknown_purged;
+    coalesced = 0;
   }
 
 let hits s = s.exact_hits + s.cex_hits + s.subsumption_hits
@@ -302,6 +328,165 @@ let hit_rate s = if s.lookups = 0 then 0. else float_of_int (hits s) /. float_of
 let pp_stats ppf s =
   Fmt.pf ppf
     "%d lookups, %d hits (%.0f%%: %d exact, %d cex, %d subsumption), %d misses \
-     (%d constraints / %d nodes solved, %d stale unknowns purged)"
+     (%d constraints / %d nodes solved, %d stale unknowns purged%s)"
     s.lookups (hits s) (100. *. hit_rate s) s.exact_hits s.cex_hits s.subsumption_hits
     s.misses s.solver_constraints s.solver_nodes s.unknown_purged
+    (if s.coalesced > 0 then Printf.sprintf ", %d coalesced" s.coalesced else "")
+
+(* ------------------------------------------------------------------ *)
+(* The striped concurrent cache                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* One cache shared by every worker domain, lock-striped by query key so
+   concurrent queries for different keys proceed in parallel.  The expensive
+   pure work (simplification, canonicalization, key rendering) happens
+   outside any lock; a shard's lock is held across its table accesses and —
+   deliberately — across the solve of a miss, so a duplicate query arriving
+   from another worker queues behind the first and is answered from the
+   entry it records instead of re-solving (natural query coalescing; such
+   waits are counted in [stats.coalesced]). *)
+module Striped = struct
+  type shard = { s_lock : Mutex.t; s_cache : t; mutable s_busy : string }
+
+  type nonrec t = { shards : shard array; n_coalesced : int Atomic.t }
+
+  let create_plain = create
+
+  let create ?max_models ?max_cores ?(shards = 64) () =
+    let requested = max 1 shards in
+    let rec pow2 p = if p >= requested then p else pow2 (p * 2) in
+    {
+      shards =
+        Array.init (pow2 1) (fun _ ->
+            { s_lock = Mutex.create (); s_cache = create ?max_models ?max_cores (); s_busy = "" });
+      n_coalesced = Atomic.make 0;
+    }
+
+  let shard_ix t key = Hashtbl.hash key land (Array.length t.shards - 1)
+
+  let with_shard t key f =
+    let s = t.shards.(shard_ix t key) in
+    if not (Mutex.try_lock s.s_lock) then begin
+      (* benign racy read of [s_busy]: when the lock holder is answering
+         this very key, we are a duplicate in-flight query about to be
+         served by the entry it records *)
+      if String.equal s.s_busy key then Atomic.incr t.n_coalesced;
+      Mutex.lock s.s_lock
+    end;
+    s.s_busy <- key;
+    Fun.protect
+      ~finally:(fun () ->
+        s.s_busy <- "";
+        Mutex.unlock s.s_lock)
+      (fun () -> f s.s_cache)
+
+  (* Each call returns the answer paired with [true] when it was served
+     without a solver round-trip (any cache probe, or an entry recorded by
+     a concurrent worker while we queued). *)
+  let is_feasible t ?budget ~max_nodes cs =
+    let p = prepare cs in
+    with_shard t p.p_key (fun c ->
+        match probe_feasible c ~count_lookup:true ~max_nodes p with
+        | Some v -> v, true
+        | None -> solve_feasible c ?budget ~max_nodes p, false)
+
+  (* One aggregated feasibility round: the cache is consulted for every
+     pending query first (pre-batch), then only the remaining misses pay a
+     solver round-trip each, populating their shard under its lock
+     (post-batch).  The re-probe before a solve is uncounted — another
+     worker may have recorded the key between the two phases, and each
+     logical query must count exactly one lookup. *)
+  let feasible_batch t ?budget ~max_nodes queries =
+    let prepped = List.map prepare queries in
+    let consulted =
+      List.map
+        (fun p -> with_shard t p.p_key (fun c -> probe_feasible c ~count_lookup:true ~max_nodes p))
+        prepped
+    in
+    List.map2
+      (fun p consult ->
+        match consult with
+        | Some v -> v, true
+        | None ->
+          with_shard t p.p_key (fun c ->
+              match probe_feasible c ~count_lookup:false ~max_nodes p with
+              | Some v -> v, true
+              | None -> solve_feasible c ?budget ~max_nodes p, false))
+      prepped consulted
+
+  let check_model t ?budget ~max_nodes cs =
+    let p = prepare cs in
+    with_shard t p.p_key (fun c -> check_model_prepared c ?budget ~max_nodes p)
+
+  let stats t =
+    let zero =
+      {
+        lookups = 0;
+        exact_hits = 0;
+        cex_hits = 0;
+        subsumption_hits = 0;
+        misses = 0;
+        stored_models = 0;
+        stored_cores = 0;
+        solver_constraints = 0;
+        solver_nodes = 0;
+        unknown_purged = 0;
+        coalesced = Atomic.get t.n_coalesced;
+      }
+    in
+    Array.fold_left
+      (fun acc sh ->
+        let s = stats sh.s_cache in
+        {
+          lookups = acc.lookups + s.lookups;
+          exact_hits = acc.exact_hits + s.exact_hits;
+          cex_hits = acc.cex_hits + s.cex_hits;
+          subsumption_hits = acc.subsumption_hits + s.subsumption_hits;
+          misses = acc.misses + s.misses;
+          stored_models = acc.stored_models + s.stored_models;
+          stored_cores = acc.stored_cores + s.stored_cores;
+          solver_constraints = acc.solver_constraints + s.solver_constraints;
+          solver_nodes = acc.solver_nodes + s.solver_nodes;
+          unknown_purged = acc.unknown_purged + s.unknown_purged;
+          coalesced = acc.coalesced;
+        })
+      zero t.shards
+
+  let table_sizes t =
+    Array.fold_left
+      (fun (f, m) sh ->
+        (f + Hashtbl.length sh.s_cache.feas_memo, m + Hashtbl.length sh.s_cache.model_memo))
+      (0, 0) t.shards
+
+  let dump t =
+    let acc = create_plain () in
+    Array.iter (fun sh -> merge_into ~src:sh.s_cache ~dst:acc) t.shards;
+    acc
+
+  let prime t d =
+    Array.iteri
+      (fun i sh ->
+        Mutex.lock sh.s_lock;
+        Hashtbl.iter
+          (fun key e -> if shard_ix t key = i then merge_entry sh.s_cache.model_memo key e)
+          d.model_memo;
+        Hashtbl.iter
+          (fun key e -> if shard_ix t key = i then merge_entry sh.s_cache.feas_memo key e)
+          d.feas_memo;
+        (* stored models and unsat cores are probed against arbitrary
+           queries, so they replicate into every shard *)
+        List.iter (store_model sh.s_cache) (List.rev d.models);
+        List.iter (store_core sh.s_cache) (List.rev d.cores);
+        if i = 0 then begin
+          sh.s_cache.n_lookups <- sh.s_cache.n_lookups + d.n_lookups;
+          sh.s_cache.n_exact_hits <- sh.s_cache.n_exact_hits + d.n_exact_hits;
+          sh.s_cache.n_cex_hits <- sh.s_cache.n_cex_hits + d.n_cex_hits;
+          sh.s_cache.n_subsumption_hits <- sh.s_cache.n_subsumption_hits + d.n_subsumption_hits;
+          sh.s_cache.n_misses <- sh.s_cache.n_misses + d.n_misses;
+          sh.s_cache.n_solver_constraints <- sh.s_cache.n_solver_constraints + d.n_solver_constraints;
+          sh.s_cache.n_solver_nodes <- sh.s_cache.n_solver_nodes + d.n_solver_nodes;
+          sh.s_cache.n_unknown_purged <- sh.s_cache.n_unknown_purged + d.n_unknown_purged
+        end;
+        Mutex.unlock sh.s_lock)
+      t.shards
+end

@@ -97,6 +97,10 @@ type stats = {
   solver_constraints : int;  (** conjuncts sent to the solver across all misses *)
   solver_nodes : int;  (** expression tree nodes sent to the solver across all misses *)
   unknown_purged : int;  (** stale [Unknown] entries reclaimed by decided re-solves *)
+  coalesced : int;
+      (** queries that blocked on a {!Striped} shard already solving the
+          same key and were then answered by the entry it recorded; always
+          [0] for a plain cache *)
 }
 
 val stats : t -> stats
@@ -105,3 +109,68 @@ val hit_rate : stats -> float
 (** Hits over lookups; [0.] before the first lookup. *)
 
 val pp_stats : stats Fmt.t
+
+(** {1 The striped concurrent cache}
+
+    One cache shared by every worker domain, lock-striped by query key:
+    concurrent queries for different keys proceed in parallel, and the
+    expensive pure work (simplification, canonicalization, key rendering)
+    happens outside any lock.  A shard's lock is deliberately held across
+    the solve of a miss, so a duplicate query arriving from another worker
+    queues behind the first and is answered from the entry it records
+    instead of re-solving (natural coalescing, counted in
+    [stats.coalesced]).  Sharing one cache across workers removes the
+    per-worker shard duplication of the pre-striped design, where every
+    worker re-solved queries its siblings had already answered. *)
+module Striped : sig
+  type t
+
+  val create : ?max_models:int -> ?max_cores:int -> ?shards:int -> unit -> t
+  (** [shards] is rounded up to a power of two (default 64); [max_models]
+      and [max_cores] bound each shard as in {!create}. *)
+
+  val is_feasible :
+    t -> ?budget:Vresilience.Budget.armed -> max_nodes:int -> Vsmt.Expr.t list -> bool * bool
+  (** The verdict, paired with [true] when it was served without a solver
+      round-trip (any cache probe, or an entry a concurrent worker recorded
+      while this query queued on the shard). *)
+
+  val feasible_batch :
+    t ->
+    ?budget:Vresilience.Budget.armed ->
+    max_nodes:int ->
+    Vsmt.Expr.t list list ->
+    (bool * bool) list
+  (** One aggregated feasibility round over several pending queries (the
+      executor's per-fork pair, or any larger quantum): the cache is
+      consulted for the whole batch first, then only the remaining misses
+      pay a solver round-trip each, populating their shard under its
+      striped lock.  Answers are returned in query order with the same
+      served-from-cache flag as {!is_feasible}. *)
+
+  val check_model :
+    t ->
+    ?budget:Vresilience.Budget.armed ->
+    max_nodes:int ->
+    Vsmt.Expr.t list ->
+    Vsmt.Solver.result * bool
+  (** {!check_model} against the query's shard, with the served-from-cache
+      flag. *)
+
+  val stats : t -> stats
+  (** Counters summed across shards; [coalesced] counts duplicate in-flight
+      queries that queued behind an identical solve. *)
+
+  val table_sizes : t -> int * int
+  (** [(feasibility entries, model entries)] summed across shards —
+      telemetry for [memo_sizes]. *)
+
+  val dump : t -> dump
+  (** Merge every shard into one plain, [Marshal]-safe dump (the
+      checkpoint format is shared with the plain cache). *)
+
+  val prime : t -> dump -> unit
+  (** Distribute a dump's entries back over the shards (stored models and
+      unsat cores replicate into every shard, since they are probed against
+      arbitrary queries). *)
+end

@@ -118,26 +118,53 @@ let for_all_origin origin (f : t) =
 (* Per-node memoization.                                               *)
 (* ------------------------------------------------------------------ *)
 
-(* Footprints are memoized per hash-consed node id, domain-locally (no
-   locking on the hot path; two domains at worst duplicate work on a
-   shared node).  The table is capped: a week-long checker run interns
-   expressions without bound, so an uncapped memo would too.  On
-   overflow the whole table resets — footprints are cheap to recompute
-   and the working set re-fills immediately. *)
+(* Footprints are memoized per hash-consed node id in a lock-striped table
+   shared by every domain, so parallel workers reuse each other's footprint
+   work on shared nodes (the stripe is picked by node id; contention on a
+   handful of workers is negligible).  Each stripe is capped at its share of
+   the total: a week-long checker run interns expressions without bound, so
+   an uncapped memo would too.  On overflow the stripe resets wholesale —
+   footprints are cheap to recompute and the working set re-fills
+   immediately. *)
 let default_memo_cap = 1 lsl 17
 
 let memo_cap = ref default_memo_cap
 
-let memo_key = Domain.DLS.new_key (fun () : (int, t) Hashtbl.t -> Hashtbl.create 4096)
+let n_stripes = 64
 
-let memo_size () = Hashtbl.length (Domain.DLS.get memo_key)
-let clear_memo () = Hashtbl.reset (Domain.DLS.get memo_key)
+type stripe = { lock : Mutex.t; tbl : (int, t) Hashtbl.t }
+
+let stripes = Array.init n_stripes (fun _ -> { lock = Mutex.create (); tbl = Hashtbl.create 256 })
+let stripe_of i = stripes.(i land (n_stripes - 1))
+
+let memo_size () = Array.fold_left (fun acc s -> acc + Hashtbl.length s.tbl) 0 stripes
+
+let clear_memo () =
+  Array.iter
+    (fun s ->
+      Mutex.lock s.lock;
+      Hashtbl.reset s.tbl;
+      Mutex.unlock s.lock)
+    stripes
 
 let set_memo_cap n = memo_cap := max 1024 n
 
+let memo_find i =
+  let s = stripe_of i in
+  Mutex.lock s.lock;
+  let r = Hashtbl.find_opt s.tbl i in
+  Mutex.unlock s.lock;
+  r
+
+let memo_add i f =
+  let s = stripe_of i in
+  Mutex.lock s.lock;
+  if Hashtbl.length s.tbl >= !memo_cap / n_stripes then Hashtbl.reset s.tbl;
+  Hashtbl.replace s.tbl i f;
+  Mutex.unlock s.lock
+
 let rec of_expr (e : Expr.t) : t =
-  let memo = Domain.DLS.get memo_key in
-  match Hashtbl.find_opt memo (Expr.id e) with
+  match memo_find (Expr.id e) with
   | Some f -> f
   | None ->
     let f =
@@ -148,8 +175,7 @@ let rec of_expr (e : Expr.t) : t =
       | Expr.Binop (_, a, b) -> union (of_expr a) (of_expr b)
       | Expr.Ite (c, a, b) -> union (of_expr c) (union (of_expr a) (of_expr b))
     in
-    if Hashtbl.length memo >= !memo_cap then Hashtbl.reset memo;
-    Hashtbl.replace memo (Expr.id e) f;
+    memo_add (Expr.id e) f;
     f
 
 let of_list cs = List.fold_left (fun acc c -> union acc (of_expr c)) empty cs

@@ -28,7 +28,8 @@ val compare : t -> t -> int
 
 val of_expr : Expr.t -> t
 (** Footprint of one expression.  Memoized per hash-consed node id in a
-    domain-local table (capped; see {!set_memo_cap}). *)
+    lock-striped table shared by every domain (capped; see
+    {!set_memo_cap}). *)
 
 val of_list : Expr.t list -> t
 (** Union of the footprints of a constraint list. *)
@@ -57,13 +58,14 @@ val symbol_count : unit -> int
 (** Number of distinct symbols interned so far (telemetry). *)
 
 val memo_size : unit -> int
-(** Entries in this domain's footprint memo (telemetry). *)
+(** Entries in the shared footprint memo, summed across its lock stripes
+    (telemetry). *)
 
 val clear_memo : unit -> unit
-(** Drop this domain's footprint memo (footprints recompute on demand). *)
+(** Drop the shared footprint memo (footprints recompute on demand). *)
 
 val set_memo_cap : int -> unit
-(** Cap the per-domain memo; at the cap the table is reset wholesale.
-    Clamped to at least 1024.  Default [131072]. *)
+(** Cap the shared memo (each stripe holds its share and resets wholesale
+    at the cap).  Clamped to at least 1024.  Default [131072]. *)
 
 val pp : t Fmt.t

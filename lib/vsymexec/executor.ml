@@ -70,6 +70,7 @@ type options = {
   checkpoint_every : int;
   on_checkpoint : (snapshot -> unit) option;
   jobs : int;
+  fast_nondet : bool;
 }
 
 let default_options ?(env = Vruntime.Hw_env.hdd_server) ~config ~workload () =
@@ -95,6 +96,7 @@ let default_options ?(env = Vruntime.Hw_env.hdd_server) ~config ~workload () =
     checkpoint_every = 0;
     on_checkpoint = None;
     jobs = 1;
+    fast_nondet = false;
   }
 
 type stats = {
@@ -148,12 +150,22 @@ type engine = {
   mutable picks_to_ckpt : int;
   mutable n_steals : int;
   mutable solver_time_s : float;
+  mutable n_cache_hits : int;  (* queries this worker got without a solver round-trip *)
+  (* batched-feasibility accounting: one batch per aggregation event (a
+     fork's true/false pair, a loop-exit probe) *)
+  mutable n_batches : int;
+  mutable n_batch_queries : int;
+  mutable n_batch_saved : int;
   (* effective knobs, tightened by the degradation ladder *)
   mutable eff_max_unroll : int;
   mutable eff_concretize_all : bool;
   rng : Random.State.t option;
   chaos : Chaos.t option;
-  cache : Vsched.Solver_cache.t option;
+  cache : Vsched.Solver_cache.Striped.t option;
+      (* ONE striped cache shared by every worker of the run: a slice
+         verdict any worker computes is immediately visible to all, where
+         the pre-striped per-worker segments re-solved each other's
+         queries *)
   frontier : Sym_state.t Vsched.Searcher.frontier;
   recorder : Vsched.Exploration_stats.recorder;
 }
@@ -220,7 +232,7 @@ let fresh_symbol (st : S.t) prefix =
   let n = st.S.next_symbol in
   let v =
     {
-      E.name = Printf.sprintf "%s#%s:%d" prefix st.S.path n;
+      E.name = Printf.sprintf "%s#%s:%d" prefix (Fork_path.to_string st.S.path) n;
       dom = Vsmt.Dom.int_range (-1048576) 1048576;
       origin = E.Internal;
     }
@@ -304,27 +316,66 @@ let record_query eng ~pre ~sent =
   Vsched.Exploration_stats.on_query eng.recorder ~pre_constraints ~pre_nodes ~sent_constraints
     ~sent_nodes
 
-(* Branch-feasibility query.  [sliced] carries the candidate path
-   condition's partition and the branch condition's footprint: only the
-   slices overlapping that footprint are sent.  Sound because every
-   untouched slice is inherited from the (feasible) parent path condition,
-   so it cannot flip the verdict; on an undecided (budget-bound) solver the
-   sliced query can only be *more* decided, never wrongly Unsat. *)
-let is_feasible ?sliced eng pc =
-  eng.n_solver_calls <- eng.n_solver_calls + 1;
-  let sent =
-    match sliced with
-    | Some (part, fp) when eng.opts.slice -> Vsmt.Partition.relevant part fp
-    | _ -> pc
+(* Branch-feasibility queries, batched.  Each query's [sliced] carries the
+   candidate path condition's partition and the branch condition's
+   footprint: only the slices overlapping that footprint are sent.  Sound
+   because every untouched slice is inherited from the (feasible) parent
+   path condition, so it cannot flip the verdict; on an undecided
+   (budget-bound) solver the sliced query can only be *more* decided, never
+   wrongly Unsat.
+
+   A call is one aggregation event (a fork's true/false pair, a loop-exit
+   probe): the pending relevant-slice queries go to the striped cache as
+   one round — consulted pre-batch, with only the remaining misses each
+   paying a solver round-trip that populates the shard under its lock. *)
+let feasible_batch eng queries =
+  let sents =
+    List.map
+      (fun (pc, sliced) ->
+        eng.n_solver_calls <- eng.n_solver_calls + 1;
+        let sent =
+          match sliced with
+          | Some (part, fp) when eng.opts.slice -> Vsmt.Partition.relevant part fp
+          | _ -> pc
+        in
+        record_query eng ~pre:pc ~sent;
+        sent)
+      queries
   in
-  record_query eng ~pre:pc ~sent;
-  if chaos_unknown eng then true (* forced Unknown over-approximates to feasible *)
-  else
+  eng.n_batches <- eng.n_batches + 1;
+  eng.n_batch_queries <- eng.n_batch_queries + List.length sents;
+  let answers =
     timed eng (fun () ->
         let max_nodes = eng.opts.budget.B.solver_max_nodes in
         match eng.cache with
-        | Some cache -> Vsched.Solver_cache.is_feasible cache ~budget:eng.armed ~max_nodes sent
-        | None -> Vsmt.Solver.is_feasible ~budget:eng.armed ~max_nodes sent)
+        | Some cache when eng.chaos = None ->
+          Vsched.Solver_cache.Striped.feasible_batch cache ~budget:eng.armed ~max_nodes sents
+        | _ ->
+          (* chaos runs keep their per-query Unknown flip (a forced Unknown
+             over-approximates to feasible); uncached runs have no batch to
+             aggregate *)
+          List.map
+            (fun sent ->
+              if chaos_unknown eng then true, false
+              else begin
+                match eng.cache with
+                | Some cache ->
+                  Vsched.Solver_cache.Striped.is_feasible cache ~budget:eng.armed ~max_nodes sent
+                | None -> Vsmt.Solver.is_feasible ~budget:eng.armed ~max_nodes sent, false
+              end)
+            sents)
+  in
+  List.iter
+    (fun (_, served_from_cache) ->
+      if served_from_cache then begin
+        eng.n_cache_hits <- eng.n_cache_hits + 1;
+        eng.n_batch_saved <- eng.n_batch_saved + 1
+      end)
+    answers;
+  List.map fst answers
+
+let is_feasible ?sliced eng pc =
+  match feasible_batch eng [ pc, sliced ] with [ ok ] -> ok | _ -> assert false
 
 (* Model-generation query.  With [sliced] (the path condition's partition),
    each symbol-disjoint slice is solved independently and the per-slice
@@ -345,7 +396,12 @@ let model_of ?sliced eng pc =
         let max_nodes = eng.opts.budget.B.solver_max_nodes in
         let check cs =
           match eng.cache with
-          | Some cache -> Vsched.Solver_cache.check_model cache ~budget:eng.armed ~max_nodes cs
+          | Some cache ->
+            let r, served =
+              Vsched.Solver_cache.Striped.check_model cache ~budget:eng.armed ~max_nodes cs
+            in
+            if served then eng.n_cache_hits <- eng.n_cache_hits + 1;
+            r
           | None -> Vsmt.Solver.check ~budget:eng.armed ~max_nodes cs
         in
         match sliced with
@@ -563,8 +619,15 @@ let exec_branch eng (st : S.t) cond ~on_true ~on_false =
     let part_true = Vsmt.Partition.extend st.S.pc_part pc_true in
     let part_false = Vsmt.Partition.extend st.S.pc_part pc_false in
     let can_fork = ids_created eng < eng.opts.budget.B.max_states in
-    let t_ok = is_feasible ~sliced:(part_true, fp) eng pc_true in
-    let f_ok = is_feasible ~sliced:(part_false, fp) eng pc_false in
+    (* both sides of the fork go out as one batched feasibility round *)
+    let t_ok, f_ok =
+      match
+        feasible_batch eng
+          [ pc_true, Some (part_true, fp); pc_false, Some (part_false, fp) ]
+      with
+      | [ t_ok; f_ok ] -> t_ok, f_ok
+      | _ -> assert false
+    in
     match t_ok, f_ok with
     | true, false ->
       One
@@ -589,7 +652,7 @@ let exec_branch eng (st : S.t) cond ~on_true ~on_false =
             st with
             S.id = fresh_id eng;
             parent = Some st.S.id;
-            path = st.S.path ^ "t";
+            path = Fork_path.extend st.S.path 't';
             pc = pc_true;
             pc_part = part_true;
             branch_trail = c :: st.S.branch_trail;
@@ -600,7 +663,7 @@ let exec_branch eng (st : S.t) cond ~on_true ~on_false =
             st with
             S.id = fresh_id eng;
             parent = Some st.S.id;
-            path = st.S.path ^ "f";
+            path = Fork_path.extend st.S.path 'f';
             pc = pc_false;
             pc_part = part_false;
             branch_trail = E.not_ c :: st.S.branch_trail;
@@ -686,13 +749,18 @@ let step eng (st : S.t) : step_result =
                 { st with
                   S.id = fresh_id eng;
                   parent = Some st.S.id;
-                  path = st.S.path ^ "x";
+                  path = Fork_path.extend st.S.path 'x';
                   store = Sym_store.set_local st.S.store d (E.const (-1));
                 }
               | None -> st
             in
             Two
-              ( { ok with S.id = fresh_id eng; parent = Some st.S.id; path = st.S.path ^ "s" },
+              ( {
+                  ok with
+                  S.id = fresh_id eng;
+                  parent = Some st.S.id;
+                  path = Fork_path.extend st.S.path 's';
+                },
                 failed )
           end
           else One ok
@@ -776,14 +844,14 @@ let snapshot_of eng =
     snap_finished = eng.finished;
     snap_frontier = Vsched.Searcher.dump eng.frontier;
     snap_noise_rng = Option.map Random.State.copy eng.rng;
-    snap_cache = Option.map Vsched.Solver_cache.dump eng.cache;
+    snap_cache = Option.map Vsched.Solver_cache.Striped.dump eng.cache;
     snap_recorder = Vsched.Exploration_stats.copy eng.recorder;
     snap_degradation = D.events eng.ladder;
   }
 
-(* version 2: Sym_state gained [path]/[next_symbol], the global symbol
-   counter left the snapshot *)
-let snapshot_version = 2
+(* version 3: Sym_state.path became the structured [Fork_path.t] (version 2
+   introduced [path]/[next_symbol] as a flat string) *)
+let snapshot_version = 3
 let snapshot_kind = "executor-frontier"
 
 let save_snapshot ~path snap =
@@ -837,7 +905,7 @@ let tighten_knobs eng (rung : D.rung) =
 (* Engine construction and the deterministic reduction                 *)
 (* ------------------------------------------------------------------ *)
 
-let make_engine ~worker ~ids ~armed opts program =
+let make_engine ~worker ~ids ~armed ~cache opts program =
   {
     opts;
     worker;
@@ -848,6 +916,10 @@ let make_engine ~worker ~ids ~armed opts program =
     n_forks = 0;
     n_solver_calls = 0;
     n_concretizations = 0;
+    n_cache_hits = 0;
+    n_batches = 0;
+    n_batch_queries = 0;
+    n_batch_saved = 0;
     terminated = 0;
     killed = 0;
     finished = [];
@@ -864,7 +936,7 @@ let make_engine ~worker ~ids ~armed opts program =
       | None -> None);
     chaos =
       (if worker = 0 then opts.chaos else Option.map (Chaos.fork ~salt:worker) opts.chaos);
-    cache = (if opts.solver_cache then Some (Vsched.Solver_cache.create ()) else None);
+    cache;
     frontier = Vsched.Searcher.frontier ~view:(make_state_view program) opts.policy;
     recorder =
       Vsched.Exploration_stats.recorder
@@ -908,7 +980,7 @@ let root_state eng program opts =
    list, so lineage collapses to [None] uniformly in every mode. *)
 let canonicalize_states eng finished =
   let sorted =
-    List.stable_sort (fun (a : S.t) b -> String.compare a.S.path b.S.path) finished
+    List.stable_sort (fun (a : S.t) b -> Fork_path.compare a.S.path b.S.path) finished
   in
   let remap = Hashtbl.create (List.length sorted * 2) in
   List.iteri (fun i (st : S.t) -> Hashtbl.replace remap st.S.id i) sorted;
@@ -1056,6 +1128,16 @@ let run_parallel opts program engines =
   in
   let worker w =
     let eng = engines.(w) in
+    (* Idle backoff: a worker that finds no runnable state spins briefly
+       (cheap, keeps steal latency low while victims are still forking),
+       then parks in short sleeps so it stops burning a core — and stops
+       hammering the frontier locks of the workers still doing real work. *)
+    let idle_misses = ref 0 in
+    let idle_backoff () =
+      incr idle_misses;
+      if !idle_misses <= 32 then Domain.cpu_relax () else Unix.sleepf 0.00005
+    in
+    let idle_reset () = idle_misses := 0 in
     let switch_cost (st : S.t) =
       if opts.state_switching && eng.last_run_id <> st.S.id && eng.last_run_id >= 0 then
         { st with S.clock = st.S.clock +. opts.env.Vruntime.Hw_env.state_switch_us }
@@ -1113,7 +1195,7 @@ let run_parallel opts program engines =
         in
         drain ();
         if Atomic.get in_flight > 0 then begin
-          Domain.cpu_relax ();
+          idle_backoff ();
           loop ()
         end
       end
@@ -1126,6 +1208,7 @@ let run_parallel opts program engines =
              ~step:(Vsched.Exploration_stats.steps eng.recorder));
         match with_lock w (fun () -> Vsched.Searcher.select eng.frontier) with
         | Some st ->
+          idle_reset ();
           Vsched.Exploration_stats.on_pick eng.recorder
             ~queue_depth:(Vsched.Searcher.length eng.frontier);
           let st = switch_cost st in
@@ -1135,13 +1218,14 @@ let run_parallel opts program engines =
         | None -> begin
           match try_steal () with
           | Some st ->
+            idle_reset ();
             Vsched.Exploration_stats.on_pick eng.recorder ~queue_depth:0;
             let st = switch_cost st in
             eng.last_run_id <- st.S.id;
             run_state st slice;
             loop ()
           | None ->
-            Domain.cpu_relax ();
+            idle_backoff ();
             loop ()
         end
       end
@@ -1179,14 +1263,23 @@ let run ?resume opts program =
   let armed = B.arm opts.budget in
   let parallel = jobs > 1 in
   let ids = if parallel then Par_ids (Atomic.make 1) else Seq_ids { next = 1 } in
-  let engines = Array.init jobs (fun w -> make_engine ~worker:w ~ids ~armed opts program) in
+  (* one solver cache shared by every worker: duplicated queries across
+     domains hit instead of re-solving.  Sequential runs use a single shard
+     (no contention to stripe against). *)
+  let cache =
+    if opts.solver_cache then
+      Some (Vsched.Solver_cache.Striped.create ~shards:(if parallel then 64 else 1) ())
+    else None
+  in
+  let engines =
+    Array.init jobs (fun w -> make_engine ~worker:w ~ids ~armed ~cache opts program)
+  in
   let eng = engines.(0) in
   begin
     match resume with
-    | Some { snap_cache = Some d; _ } when opts.solver_cache -> begin
-      (* prime worker 0's cache with the snapshot's *)
-      match eng.cache with
-      | Some cache -> Vsched.Solver_cache.merge_into ~src:(Vsched.Solver_cache.restore d) ~dst:cache
+    | Some { snap_cache = Some d; _ } -> begin
+      match cache with
+      | Some cache -> Vsched.Solver_cache.Striped.prime cache d
       | None -> ()
     end
     | _ -> ()
@@ -1214,10 +1307,7 @@ let run ?resume opts program =
              w_forks = weng.n_forks;
              w_steals = weng.n_steals;
              w_solver_queries = weng.n_solver_calls;
-             w_cache_hits =
-               (match weng.cache with
-               | Some c -> Vsched.Solver_cache.hits (Vsched.Solver_cache.stats c)
-               | None -> 0);
+             w_cache_hits = weng.n_cache_hits;
              w_solver_time_s = weng.solver_time_s;
            })
          engines)
@@ -1229,20 +1319,33 @@ let run ?resume opts program =
     eng.n_concretizations <- eng.n_concretizations + weng.n_concretizations;
     eng.terminated <- eng.terminated + weng.terminated;
     eng.killed <- eng.killed + weng.killed;
+    eng.n_cache_hits <- eng.n_cache_hits + weng.n_cache_hits;
+    eng.n_batches <- eng.n_batches + weng.n_batches;
+    eng.n_batch_queries <- eng.n_batch_queries + weng.n_batch_queries;
+    eng.n_batch_saved <- eng.n_batch_saved + weng.n_batch_saved;
     eng.finished <- weng.finished @ eng.finished;
-    (match eng.cache, weng.cache with
-    | Some dst, Some src -> Vsched.Solver_cache.merge_into ~src ~dst
-    | _ -> ());
     Vsched.Exploration_stats.merge ~into:eng.recorder weng.recorder
   done;
-  (* the deterministic reduction: path-sorted, renumbered states *)
-  let states = canonicalize_states eng (List.rev eng.finished) in
+  (* the deterministic reduction: path-sorted, renumbered states.
+     --fast-nondet trades it away: states keep their worker-local ids and
+     arrival order, so model bytes may differ run to run, but verdicts
+     (which depend on constraints and symbol names, both still
+     deterministic) do not. *)
+  let states =
+    if opts.fast_nondet then List.rev eng.finished
+    else canonicalize_states eng (List.rev eng.finished)
+  in
   let wall_time_s = opts.budget.B.now () -. t0 in
-  let cache_stats = Option.map Vsched.Solver_cache.stats eng.cache in
+  let cache_stats = Option.map Vsched.Solver_cache.Striped.stats eng.cache in
   let solver_solves =
     match cache_stats with
     | Some c -> c.Vsched.Solver_cache.misses
     | None -> eng.n_solver_calls
+  in
+  let feas_entries, model_entries =
+    match eng.cache with
+    | Some c -> Vsched.Solver_cache.Striped.table_sizes c
+    | None -> 0, 0
   in
   {
     states;
@@ -1266,7 +1369,15 @@ let run ?resume opts program =
             "footprint_memo", Vsmt.Footprint.memo_size ();
             "rendered_strings", Vsmt.Expr.rendered_count ();
             "interned_exprs", Vsmt.Expr.interned_count ();
+            "solver_cache_feas_entries", feas_entries;
+            "solver_cache_model_entries", model_entries;
           ]
+        ~batch:
+          {
+            ES.b_batches = eng.n_batches;
+            b_queries = eng.n_batch_queries;
+            b_saved = eng.n_batch_saved;
+          }
         eng.recorder ~states_created:(ids_created eng) ~solver_queries:eng.n_solver_calls
         ~solver_solves ~cache:cache_stats ~wall_time_s;
   }

@@ -74,8 +74,8 @@ type options = {
   time_slice : int;  (** steps before a preemptive switch (non-Dfs) *)
   solver_cache : bool;
       (** route every feasibility/model query through a per-run
-          {!Vsched.Solver_cache}; cache statistics surface in
-          {!result.sched} *)
+          {!Vsched.Solver_cache.Striped} shared by all workers; cache
+          statistics surface in {!result.sched} *)
   slice : bool;
       (** independence slicing (KLEE lineage): feasibility queries send only
           the symbol-disjoint slices of the path condition that overlap the
@@ -111,13 +111,25 @@ type options = {
       (** number of worker domains exploring the frontier in parallel
           (clamped to [Vpar.Pool.clamp_jobs]).  [1] — the default — runs the
           historical sequential driver.  With [jobs > 1] each worker owns a
-          frontier, a solver-cache segment and its own noise/chaos streams;
-          idle workers steal from the cold end of a victim's frontier, and on
-          quiesce the segments merge and finished states are renumbered by
-          fork path, so the result (and therefore the impact model) is
-          byte-identical to the sequential run's as long as neither the state
-          cap nor the deadline binds.  Checkpointing and resume force the
-          sequential driver regardless of this field. *)
+          frontier and its own noise/chaos streams; all workers share one
+          lock-striped solver cache, feasibility queries go out in batches
+          (both sides of a fork in one round), and idle workers steal from
+          the cold end of a victim's frontier, backing off to short sleeps
+          when the whole fleet is starved.  On quiesce, worker segments
+          merge and finished states are renumbered by fork path, so the
+          result (and therefore the impact model) is byte-identical to the
+          sequential run's as long as neither the state cap nor the deadline
+          binds.  Checkpointing and resume force the sequential driver
+          regardless of this field. *)
+  fast_nondet : bool;
+      (** skip the deferred renumbering of the deterministic reduction:
+          finished states keep their worker-local ids and arrival order.
+          State ids and row order in the serialized impact model may then
+          differ run to run under [jobs > 1] — but verdicts (checks,
+          findings, scores) do not, because path constraints and symbol
+          names are derived from each state's own fork history, never from
+          scheduling.  Default [false]; the [--fast-nondet] escape hatch for
+          throughput-first sweeps where model bytes are not diffed. *)
 }
 
 val default_options :
@@ -127,8 +139,9 @@ val default_options :
   unit ->
   options
 (** No symbolic variables, DFS, no switching, no noise, no chaos, default
-    degradation policy, checkpointing off, [jobs = 1]; the default budget
-    caps states at 512 with no deadline. *)
+    degradation policy, checkpointing off, [jobs = 1],
+    [fast_nondet = false]; the default budget caps states at 512 with no
+    deadline. *)
 
 type stats = {
   states_created : int;

@@ -8,11 +8,12 @@ type status = Running | Terminated of Vsmt.Expr.t option | Killed of string
 type t = {
   id : int;
   parent : int option;
-  path : string;
-      (* fork history from the root: one character appended per fork the
-         lineage survived ('t'/'f' for a branch, 's'/'x' for fault
-         injection).  Unique per state and independent of scheduling order —
-         the sort key of the executor's deterministic reduction. *)
+  path : Fork_path.t;
+      (* fork history from the root: one step appended per fork the lineage
+         survived ('t'/'f' for a branch, 's'/'x' for fault injection).
+         Unique per state and independent of scheduling order — the sort
+         key of the executor's deterministic reduction.  Extending is O(1);
+         rendering is deferred and memoized (see Fork_path). *)
   next_symbol : int;
       (* per-state counter for fresh Internal symbols, so symbol names
          depend only on the state's own execution history, never on a
@@ -41,7 +42,7 @@ let initial ~id ~store ~work ~fuel ~tracing =
   {
     id;
     parent = None;
-    path = "";
+    path = Fork_path.root;
     next_symbol = 0;
     work;
     store;

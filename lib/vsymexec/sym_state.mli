@@ -21,11 +21,12 @@ type status =
 type t = {
   id : int;
   parent : int option;
-  path : string;
-      (** fork history from the root, one character per fork survived
-          (['t']/['f'] for a branch, ['s']/['x'] for fault injection).
-          Unique per state and independent of exploration order — the sort
-          key of the executor's deterministic parallel reduction. *)
+  path : Fork_path.t;
+      (** fork history from the root, one step per fork survived (['t']/['f']
+          for a branch, ['s']/['x'] for fault injection).  Unique per state
+          and independent of exploration order — the sort key of the
+          executor's deterministic parallel reduction.  O(1) to extend;
+          rendered (and memoized) only where the string is needed. *)
   next_symbol : int;
       (** per-state fresh-symbol counter: symbol names derive from the
           state's own history, not from a global allocation order *)

@@ -17,6 +17,13 @@ dune build
 echo "== dune runtest =="
 dune runtest
 
+echo "== fast-nondet smoke (jobs=4, verdict-identity mode) =="
+# a parallel fast-nondet analysis must succeed and report the same findings
+# as the default path; the full env-leg suite runs in CI, this catches a
+# broken mode before commit
+VIOLET_JOBS=4 dune exec bin/violet_cli.exe -- analyze mysql autocommit \
+  --fast-nondet >/dev/null
+
 echo "== serve round-trip smoke =="
 # exercise the CLI surface end to end: export a model in registry format,
 # start the daemon, check against it, shut it down

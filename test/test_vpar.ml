@@ -155,6 +155,9 @@ let model_for ~jobs ~deadline (program, policy, fault_injection) =
       policy;
       fault_injection;
       budget;
+      (* byte-identity is this property's whole point: pin fast-nondet off
+         even when VIOLET_FAST_NONDET is exported (the CI smoke does) *)
+      fast_nondet = false;
     }
   in
   match Violet.Pipeline.analyze ~opts target "a" with
@@ -180,6 +183,181 @@ let prop_jobs_deterministic_under_deadline =
       && String.equal
            (model_for ~jobs:1 ~deadline:(Some 1e9) scenario)
            (model_for ~jobs:4 ~deadline:(Some 1e9) scenario))
+
+(* ------------------------------------------------------------------ *)
+(* Deferred renumbering, fast-nondet, and the batch quantum            *)
+(* ------------------------------------------------------------------ *)
+
+let analysis_for ~jobs ~fast_nondet (program, policy, fault_injection) =
+  let clock () = 0. in
+  let budget = B.with_clock B.default clock in
+  let target = { Violet.Pipeline.name = "par"; program; registry; workloads = [ workload ] } in
+  let opts =
+    {
+      Violet.Pipeline.default_options with
+      Violet.Pipeline.jobs;
+      policy;
+      fault_injection;
+      budget;
+      fast_nondet;
+    }
+  in
+  Violet.Pipeline.analyze ~opts target "a"
+
+let fixed_scenario =
+  ( program ~name:"gen" ~entry:"main"
+      [
+        func "main"
+          [
+            if_ (cfg "a" ==. i 1) [ call "helper" [] ] [ fsync ];
+            if_ (cfg "n" >. i 4) [ buffered_write (i 2048) ] [ net_send (i 128) ];
+            if_ (wl "k" ==. i 1) [ compute (i 50) ] [];
+            ret_void;
+          ];
+        func "helper" [ compute (i 20); fsync; ret_void ];
+        library "pure_op" ~effect:Vir.Ast.Pure (fun _ -> 7);
+      ],
+    Vsymexec.Executor.Bfs,
+    false )
+
+(* The deferred renumbering contract: after a default-mode parallel run the
+   finished states are numbered 0..n-1 in fork-path order with lineage
+   collapsed, no matter how workers interleaved. *)
+let test_deferred_renumbering () =
+  List.iter
+    (fun jobs ->
+      match analysis_for ~jobs ~fast_nondet:false fixed_scenario with
+      | Error e -> Alcotest.fail (Violet.Pipeline.error_to_string e)
+      | Ok a ->
+        let states = a.Violet.Pipeline.result.Vsymexec.Executor.states in
+        check Alcotest.bool "has states" true (states <> []);
+        List.iteri
+          (fun i (st : Vsymexec.Sym_state.t) ->
+            check Alcotest.int
+              (Printf.sprintf "jobs=%d: ids are 0..n-1 in order" jobs)
+              i st.Vsymexec.Sym_state.id;
+            check Alcotest.(option int)
+              (Printf.sprintf "jobs=%d: lineage collapsed" jobs)
+              None st.Vsymexec.Sym_state.parent)
+          states;
+        let paths =
+          List.map
+            (fun (st : Vsymexec.Sym_state.t) ->
+              Vsymexec.Fork_path.to_string st.Vsymexec.Sym_state.path)
+            states
+        in
+        check
+          Alcotest.(list string)
+          (Printf.sprintf "jobs=%d: states sorted by fork path" jobs)
+          (List.sort String.compare paths) paths)
+    [ 1; 4 ]
+
+(* --fast-nondet keeps verdict-identity with the sequential run across
+   generated vfuzz systems even though it gives up model byte-identity. *)
+let prop_fast_nondet_verdict_identity =
+  QCheck2.Test.make ~name:"--fast-nondet verdicts match sequential on vfuzz systems"
+    ~count:3
+    QCheck2.Gen.(int_range 0 10_000)
+    (fun seed ->
+      let specs = Vfuzz.Generate.corpus ~seed ~count:1 () in
+      List.for_all
+        (fun spec ->
+          let seq = Vfuzz.Harness.score_spec spec in
+          let fast =
+            Vfuzz.Harness.score_spec
+              ~opts:
+                {
+                  Vfuzz.Oracle.default_opts with
+                  Violet.Pipeline.jobs = 4;
+                  fast_nondet = true;
+                }
+              spec
+          in
+          seq = fast)
+        specs)
+
+(* Work stealing under the batch quantum: a tiny time slice forces constant
+   preemption and cross-worker stealing while both sides of every fork still
+   go out as one feasibility batch — and the reduction must erase all of it. *)
+let test_work_stealing_tiny_slice () =
+  let program, _, _ = fixed_scenario in
+  let config = function "a" -> 0 | _ -> 3 in
+  let workload _ = 0 in
+  let sym_configs =
+    [
+      ("a", Vsmt.Expr.{ name = "a"; dom = Vsmt.Dom.bool; origin = Config });
+      ("n", Vsmt.Expr.{ name = "n"; dom = Vsmt.Dom.int_range 0 7; origin = Config });
+    ]
+  in
+  let run jobs =
+    let opts =
+      {
+        (Vsymexec.Executor.default_options ~env:Vruntime.Hw_env.hdd_server ~config
+           ~workload ())
+        with
+        Vsymexec.Executor.sym_configs;
+        policy = Vsymexec.Executor.Bfs;
+        time_slice = 1;
+        jobs;
+      }
+    in
+    Vsymexec.Executor.run opts program
+  in
+  let fingerprint (r : Vsymexec.Executor.result) =
+    List.map
+      (fun (st : Vsymexec.Sym_state.t) ->
+        ( st.Vsymexec.Sym_state.id,
+          Vsymexec.Fork_path.to_string st.Vsymexec.Sym_state.path,
+          Fmt.str "%a" Vsymexec.Sym_state.pp_status st.Vsymexec.Sym_state.status ))
+      r.Vsymexec.Executor.states
+  in
+  let seq = run 1 in
+  let par = run 4 in
+  check Alcotest.bool "explored more than one path" true
+    (List.length seq.Vsymexec.Executor.states > 1);
+  check
+    Alcotest.(list (triple int string string))
+    "time_slice=1, jobs=4 reduction matches sequential" (fingerprint seq)
+    (fingerprint par)
+
+(* The shared striped solver cache hammered from real concurrent domains:
+   every domain must see exactly the direct solver's verdicts.  Lives here
+   (not in test_vsched) because it spawns domains, which forbids the
+   [Unix.fork]-based suites that run between vsched and vpar. *)
+let test_striped_concurrent_verdicts () =
+  let module SC = Vsched.Solver_cache.Striped in
+  let module E = Vsmt.Expr in
+  let module Solver = Vsmt.Solver in
+  let qvar name lo hi = E.{ name; dom = Vsmt.Dom.int_range lo hi; origin = Config } in
+  let qa = qvar "qa" 0 1 and qb = qvar "qb" 0 7 and qc = qvar "qc" 0 7 in
+  let c = SC.create ~shards:4 () in
+  let queries =
+    E.
+      [
+        [ of_var qb >. const 3 ];
+        [ of_var qb >. const 5; of_var qb <. const 3 ];
+        [ of_var qa ==. const 1; of_var qc <. const 5 ];
+        [ of_var qc >=. const 0 ];
+        [ of_var qa ==. const 1; of_var qa ==. const 0 ];
+      ]
+  in
+  let direct =
+    List.map
+      (fun q ->
+        match Solver.check ~max_nodes:4_000 q with Solver.Unsat -> false | _ -> true)
+      queries
+  in
+  let domains =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            List.map (fun q -> fst (SC.is_feasible c ~max_nodes:4_000 q)) queries))
+  in
+  List.iter
+    (fun d ->
+      check
+        Alcotest.(list bool)
+        "every domain sees the direct solver's verdicts" direct (Domain.join d))
+    domains
 
 (* worker telemetry sanity: a parallel run reports its workers *)
 let test_parallel_telemetry () =
@@ -222,7 +400,16 @@ let test_parallel_telemetry () =
         0 sched.Vsched.Exploration_stats.workers
     in
     check Alcotest.int "worker steps sum to the run's steps"
-      sched.Vsched.Exploration_stats.steps total_steps
+      sched.Vsched.Exploration_stats.steps total_steps;
+    (match sched.Vsched.Exploration_stats.batch with
+    | None -> Alcotest.fail "batch-feasibility counters missing"
+    | Some b ->
+      check Alcotest.bool "feasibility went out in batches" true
+        (b.Vsched.Exploration_stats.b_batches > 0);
+      check Alcotest.bool "batches carry at least one query each" true
+        (b.Vsched.Exploration_stats.b_queries >= b.Vsched.Exploration_stats.b_batches));
+    check Alcotest.bool "shared solver-cache size surfaces in memo_sizes" true
+      (List.mem_assoc "solver_cache_feas_entries" sched.Vsched.Exploration_stats.memo_sizes)
 
 let qt = QCheck_alcotest.to_alcotest
 
@@ -234,5 +421,9 @@ let tests =
     tc "default_jobs reads VIOLET_JOBS" test_default_jobs_env;
     qt prop_jobs_deterministic;
     qt prop_jobs_deterministic_under_deadline;
+    tc "deferred renumbering yields canonical ids" test_deferred_renumbering;
+    qt prop_fast_nondet_verdict_identity;
+    tc "work stealing under time_slice=1 stays deterministic" test_work_stealing_tiny_slice;
+    tc "striped cache agrees under concurrent domains" test_striped_concurrent_verdicts;
     tc "parallel run reports worker telemetry" test_parallel_telemetry;
   ]

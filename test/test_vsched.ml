@@ -231,6 +231,50 @@ let test_cache_merge_serves_shard_entries () =
   check Alcotest.int "without a new solve" s0.Cache.misses s1.Cache.misses
 
 (* ------------------------------------------------------------------ *)
+(* The shared lock-striped cache behind the parallel executor          *)
+(* ------------------------------------------------------------------ *)
+
+module SC = Vsched.Solver_cache.Striped
+
+let test_striped_batch_counts () =
+  let c = SC.create ~shards:4 () in
+  let q_sat = E.[ of_var qb >. const 3; of_var qb <. const 6 ] in
+  let q_unsat = E.[ of_var qb >. const 5; of_var qb <. const 3 ] in
+  (match SC.feasible_batch c ~max_nodes:4_000 [ q_sat; q_unsat; List.rev q_sat ] with
+  | [ (a1, _); (a2, _); (a3, dup_cached) ] ->
+    check Alcotest.bool "sat verdict" true a1;
+    check Alcotest.bool "unsat verdict" false a2;
+    check Alcotest.bool "duplicate agrees" true a3;
+    (* the duplicate missed pre-batch but was recorded by its twin's solve
+       before its own turn came: served without a round-trip *)
+    check Alcotest.bool "in-batch duplicate served from cache" true dup_cached
+  | _ -> Alcotest.fail "wrong batch arity");
+  List.iter
+    (fun (_, cached) -> check Alcotest.bool "repeat batch fully cached" true cached)
+    (SC.feasible_batch c ~max_nodes:4_000 [ q_sat; q_unsat ]);
+  let s = SC.stats c in
+  check Alcotest.int "each logical query counts one lookup" 5 s.Cache.lookups;
+  check Alcotest.bool "only distinct queries solved" true (s.Cache.misses <= 2)
+
+let test_striped_dump_prime_roundtrip () =
+  let c = SC.create ~shards:4 () in
+  let q1 = E.[ of_var qb >. const 3 ] in
+  let q2 = E.[ of_var qc <. const 2; of_var qa ==. const 0 ] in
+  ignore (SC.feasible_batch c ~max_nodes:4_000 [ q1; q2 ]);
+  let d = SC.dump c in
+  (* different shard count on restore: distribution must follow the new
+     geometry, not the old one *)
+  let c2 = SC.create ~shards:8 () in
+  SC.prime c2 d;
+  let s0 = SC.stats c2 in
+  List.iter
+    (fun (_, cached) -> check Alcotest.bool "primed entries serve" true cached)
+    (SC.feasible_batch c2 ~max_nodes:4_000 [ List.rev q2; q1 ]);
+  let s1 = SC.stats c2 in
+  check Alcotest.int "primed queries re-solve nothing" s0.Cache.misses s1.Cache.misses
+
+
+(* ------------------------------------------------------------------ *)
 (* End-to-end: guided searchers beat Bfs to the specious path, and the *)
 (* cache changes nothing but the solve count                           *)
 (* ------------------------------------------------------------------ *)
@@ -310,6 +354,8 @@ let tests =
     tc "cache hit counters" test_cache_hits_accumulate;
     tc "cache keys ignore constraint order" test_cache_key_order_insensitive;
     tc "merged shard entries serve queries" test_cache_merge_serves_shard_entries;
+    tc "striped cache batches and counts once per query" test_striped_batch_counts;
+    tc "striped cache dump/prime round-trip" test_striped_dump_prime_roundtrip;
     tc "guided searchers beat bfs to the specious path" test_guided_beats_bfs;
     tc "solver cache transparent end to end" test_cache_transparent_end_to_end;
   ]
