@@ -370,7 +370,7 @@ let run_phases () =
      in-process checker.  Spawns domains, so it must come after every fork. *)
   let specs = Vfuzz.Generate.corpus ~seed ~count:2 () in
   let oracle_reports =
-    List.map (fun s -> Vfuzz.Oracle.check ~daemon:false ~fleet:true s) specs
+    List.map (fun s -> Vfuzz.Oracle.check ~daemon:false ~fleet:true ~inc:false s) specs
   in
   let fleet_checks =
     List.fold_left (fun n r -> n + r.Vfuzz.Oracle.r_fleet_checks) 0 oracle_reports

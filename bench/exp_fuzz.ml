@@ -61,6 +61,9 @@ let run () =
   let daemon_checks =
     List.fold_left (fun n (_, r) -> n + r.Vfuzz.Oracle.r_daemon_checks) 0 reports
   in
+  let inc_checks =
+    List.fold_left (fun n (_, r) -> n + r.Vfuzz.Oracle.r_inc_checks) 0 reports
+  in
   let shrunk =
     List.map
       (fun ((spec : Vfuzz.Genspec.t), _) ->
@@ -101,6 +104,7 @@ let run () =
       [ "precision"; Util.f2 score.Vfuzz.Harness.s_precision ];
       [ "model combos compared"; Util.i0 combos ];
       [ "daemon-vs-in-process checks"; Util.i0 daemon_checks ];
+      [ "spliced-vs-scratch upgrade checks"; Util.i0 inc_checks ];
       [ "differential agreement"; Util.f2 agreement_rate ];
       [ "harness wall"; Util.f1 harness_s ^ " s" ];
       [ "oracle wall"; Util.f1 oracle_s ^ " s" ];
@@ -116,11 +120,12 @@ let run () =
 
   let json =
     Printf.sprintf
-      "{\"experiment\":\"fuzz\",\"seed\":%d,\"count\":%d,\"corpus_size\":%d,\"mutated\":%d,\"plants\":%d,\"detected\":%d,\"decoys\":%d,\"flagged\":%d,\"recall\":%.4f,\"precision\":%.4f,\"combos_compared\":%d,\"daemon_checks\":%d,\"disagreements\":%d,\"agreement_rate\":%.4f,\"harness_wall_s\":%.2f,\"oracle_wall_s\":%.2f,\"recall_ok\":%b,\"precision_ok\":%b,\"differential_ok\":%b,\"shrink_calibration\":%s,\"shrunk_failures\":[%s]}"
+      "{\"experiment\":\"fuzz\",\"seed\":%d,\"count\":%d,\"corpus_size\":%d,\"mutated\":%d,\"plants\":%d,\"detected\":%d,\"decoys\":%d,\"flagged\":%d,\"recall\":%.4f,\"precision\":%.4f,\"combos_compared\":%d,\"daemon_checks\":%d,\"inc_checks\":%d,\"disagreements\":%d,\"agreement_rate\":%.4f,\"harness_wall_s\":%.2f,\"oracle_wall_s\":%.2f,\"recall_ok\":%b,\"precision_ok\":%b,\"differential_ok\":%b,\"shrink_calibration\":%s,\"shrunk_failures\":[%s]}"
       seed count (List.length specs) mutated score.Vfuzz.Harness.s_plants
       score.Vfuzz.Harness.s_detected score.Vfuzz.Harness.s_decoys
       score.Vfuzz.Harness.s_flagged score.Vfuzz.Harness.s_recall
-      score.Vfuzz.Harness.s_precision combos daemon_checks (List.length failures)
+      score.Vfuzz.Harness.s_precision combos daemon_checks inc_checks
+      (List.length failures)
       agreement_rate harness_s oracle_s recall_ok precision_ok differential_ok
       (shrink_json (List.hd specs).Vfuzz.Genspec.g_name calibration)
       (String.concat "," (List.map (fun (n, o) -> shrink_json n o) shrunk))

@@ -9,6 +9,15 @@ module Checker = Vchecker.Checker
 let model target param =
   (P.analyze_exn target param).P.model
 
+(* derive the old- and new-version models for one parameter, timed: the
+   per-pair wall time is the cost a from-scratch upgrade analysis pays and
+   the baseline the incremental path (bench inc) is measured against *)
+let model_pair param old_target new_target =
+  let t0 = Unix.gettimeofday () in
+  let o = model old_target param in
+  let n = model new_target param in
+  (o, n, Unix.gettimeofday () -. t0)
+
 let mentions param (row : Vmodel.Cost_row.t) =
   List.exists
     (fun c ->
@@ -20,9 +29,12 @@ let mentions param (row : Vmodel.Cost_row.t) =
 let run () =
   Util.section "Checker mode 3: MySQL 5.5 -> 5.6 code upgrade";
   (* regression: query_cache_type=ON contends harder in 5.6 *)
-  let old_qc = model Targets.Mysql_model.target "query_cache_type" in
-  let new_qc = model Targets.Mysql_model.target_56 "query_cache_type" in
-  let report = Checker.check_upgrade ~old_model:old_qc ~new_model:new_qc in
+  let old_qc, new_qc, qc_wall_s =
+    model_pair "query_cache_type" Targets.Mysql_model.target Targets.Mysql_model.target_56
+  in
+  let report = Checker.check_upgrade ~old_model:old_qc ~new_model:new_qc () in
+  Util.note "query_cache_type version pair: models %.1f s, diff %.3f s" qc_wall_s
+    report.Checker.checked_in_s;
   let qc_findings =
     List.filter
       (fun (f : Checker.finding) ->
@@ -51,8 +63,10 @@ let run () =
                "n_tables", 1; "cached", 0; "use_index", 1; "other_clients_reading", 0 ])
       model_.Vmodel.Impact_model.rows
   in
-  let old_sb = model Targets.Mysql_model.target "sync_binlog" in
-  let new_sb = model Targets.Mysql_model.target_56 "sync_binlog" in
+  let old_sb, new_sb, sb_wall_s =
+    model_pair "sync_binlog" Targets.Mysql_model.target Targets.Mysql_model.target_56
+  in
+  Util.note "sync_binlog version pair: models %.1f s" sb_wall_s;
   (match sync_state old_sb, sync_state new_sb with
   | Some o, Some n ->
     Util.note

@@ -34,6 +34,7 @@ let experiments =
     "serve", ("Serving: batching A/B + admission control", Exp_serve.run);
     "matcheck", ("Materialized checker: decision-table fast path", Exp_matcheck.run);
     "fuzz", ("vfuzz: planted ground truth + differential oracle", Exp_fuzz.run);
+    "inc", ("vinc: incremental re-analysis + persistent solver cache", Exp_inc.run);
   ]
 
 (* strip [--stats-out FILE] / [--seed N] / [--count N] before dispatching on

@@ -77,8 +77,70 @@ let related system param =
   Fmt.pr "related:    [%s]@." (String.concat ", " r.Vanalysis.Related_config.related);
   0
 
+(* Whole-system incremental analysis (DESIGN.md Section 5k).  The first
+   run (or --no-incremental) builds the baseline directory from scratch;
+   later runs diff the current program against the manifest's content
+   keys, re-explore only invalidated slices, splice the rest in verbatim
+   and report upgrade findings against the previous baseline's models. *)
+let analyze_incremental ~opts ~dir ~no_incremental (target : Violet.Pipeline.target) =
+  let scratch () =
+    let t, _ = or_die (Vinc.Baseline.build ~opts ~dir target) in
+    Fmt.pr "baseline %s: built from scratch, %d slices@." dir
+      (List.length t.Vinc.Baseline.mf_slices);
+    0
+  in
+  match Vinc.Baseline.load ~dir with
+  | Error _ -> scratch ()
+  | Ok _ when no_incremental -> scratch ()
+  | Ok old_manifest ->
+    (* pre-load the previous version's models: Splice.run rewrites the
+       directory in place, and upgrade checking needs both sides *)
+    let old_models =
+      List.filter_map
+        (fun (s : Vinc.Baseline.slice) ->
+          match Vinc.Baseline.load_model ~dir ~param:s.Vinc.Baseline.sl_param with
+          | Ok (m, d) -> Some (s.Vinc.Baseline.sl_param, (m, d))
+          | Error _ -> None)
+        old_manifest.Vinc.Baseline.mf_slices
+    in
+    let r = or_die (Vinc.Splice.run ~opts ~baseline:dir ~out:dir target) in
+    let d = r.Vinc.Splice.sp_diff in
+    Fmt.pr "incremental: %d unchanged, %d modified, %d added, %d removed functions@."
+      (List.length d.Vinc.Irdiff.unchanged)
+      (List.length d.Vinc.Irdiff.modified)
+      (List.length d.Vinc.Irdiff.added)
+      (List.length d.Vinc.Irdiff.removed);
+    (match r.Vinc.Splice.sp_conservative with
+    | Some reason -> Fmt.pr "incremental: conservative re-exploration (%s)@." reason
+    | None -> ());
+    Fmt.pr "incremental: reused %d slices, re-explored %d (%.0f%% reused)@."
+      (List.length r.Vinc.Splice.sp_reused)
+      (List.length r.Vinc.Splice.sp_reexplored)
+      (100. *. Vinc.Splice.reuse_fraction r);
+    let findings = ref 0 in
+    List.iter
+      (fun (param, new_model) ->
+        match List.assoc_opt param old_models with
+        | None -> () (* parameter new in this version: nothing to compare *)
+        | Some (old_model, old_digest) ->
+          let report =
+            Vchecker.Checker.check_upgrade ~old_digest
+              ~new_digest:(Vinc.Baseline.model_digest new_model) ~old_model ~new_model ()
+          in
+          if report.Vchecker.Checker.findings <> [] then begin
+            findings := !findings + List.length report.Vchecker.Checker.findings;
+            Fmt.pr "%s: %a" param Vchecker.Checker.pp_report report
+          end)
+      r.Vinc.Splice.sp_models;
+    if !findings = 0 then begin
+      Fmt.pr "upgrade check: no specious configuration findings@.";
+      0
+    end
+    else 2
+
 let analyze system param save export max_states threshold no_related searcher solver_cache
-    no_slice deadline checkpoint resume chaos jobs fast_nondet =
+    no_slice deadline checkpoint resume chaos jobs fast_nondet baseline cache_dir
+    no_incremental =
   let target = or_die (target_of_system system) in
   let chaos =
     match chaos with
@@ -107,9 +169,23 @@ let analyze system param save export max_states threshold no_related searcher so
       chaos;
       jobs = (match jobs with Some j -> j | None -> Vpar.Pool.default_jobs ());
       fast_nondet = fast_nondet || Vpar.Pool.default_fast_nondet ();
+      cache_dir =
+        (match cache_dir with
+        | Some _ -> cache_dir
+        | None -> Violet.Pipeline.default_options.Violet.Pipeline.cache_dir);
     }
   in
-  match Violet.Pipeline.analyze ~opts target param with
+  match baseline with
+  | Some dir -> analyze_incremental ~opts ~dir ~no_incremental target
+  | None ->
+  let param =
+    match param with
+    | Some p -> p
+    | None ->
+      Fmt.epr "violet: PARAM is required unless --baseline is given@.";
+      exit 1
+  in
+  (match Violet.Pipeline.analyze ~opts target param with
   | Error e ->
     Fmt.epr "violet: %s@." (Violet.Pipeline.error_to_string e);
     1
@@ -117,6 +193,15 @@ let analyze system param save export max_states threshold no_related searcher so
     Fmt.pr "%a" Violet.Report.pp_analysis a;
     let sched = a.Violet.Pipeline.result.Vsymexec.Executor.sched in
     Fmt.pr "exploration: %a@." Vsched.Exploration_stats.pp sched;
+    (if opts.Violet.Pipeline.cache_dir <> None then
+       let hits =
+         match sched.Vsched.Exploration_stats.cache with
+         | Some stats -> Vsched.Solver_cache.hits stats
+         | None -> 0
+       in
+       Fmt.pr "cross-run solver cache: primed %d entries, %d cache hits, %d solver solves@."
+         a.Violet.Pipeline.cache_primed hits
+         sched.Vsched.Exploration_stats.solver_solves);
     (if Vmodel.Impact_model.is_degraded a.Violet.Pipeline.model then
        Fmt.pr
          "WARNING: analysis was degraded under budget pressure; the model is \
@@ -131,7 +216,7 @@ let analyze system param save export max_states threshold no_related searcher so
       or_die (Violet.Pipeline.export_model a.Violet.Pipeline.model path);
       Fmt.pr "impact model exported to %s (registry format)@." path
     | None -> ());
-    0
+    0)
 
 let load_model_or_analyze target param model_path =
   match model_path with
@@ -533,12 +618,49 @@ let analyze_cmd =
              verdicts (check results, findings, scores) are unchanged.  \
              Defaults to $(b,VIOLET_FAST_NONDET) or off.")
   in
+  let baseline =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "baseline" ] ~docv:"DIR"
+          ~doc:
+            "Whole-system incremental mode.  $(docv) holds one exported model per \
+             parameter plus a checksummed manifest; the first run (or \
+             $(b,--no-incremental)) builds it from scratch, later runs diff the \
+             program against the manifest, re-explore only invalidated slices, \
+             splice the rest in verbatim and report upgrade findings against the \
+             previous baseline.  PARAM is ignored and may be omitted.")
+  in
+  let cache_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache-dir" ] ~docv:"DIR"
+          ~doc:
+            "Persist the solver cache across runs: prime this run's cache from \
+             $(docv) and write the merged cache back after exploration \
+             (checksummed; a corrupt or truncated file means a cold start, never \
+             an error).  Models are byte-identical with or without it.  Defaults \
+             to $(b,VIOLET_CACHE_DIR).")
+  in
+  let no_incremental =
+    Arg.(
+      value & flag
+      & info [ "no-incremental" ]
+          ~doc:
+            "With $(b,--baseline), rebuild the baseline from scratch instead of \
+             splicing into the existing one.")
+  in
+  let param_opt =
+    let doc = "Configuration parameter name (optional with --baseline)." in
+    Arg.(value & pos 1 (some string) None & info [] ~docv:"PARAM" ~doc)
+  in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Symbolically analyze a parameter's performance impact")
     Term.(
-      const analyze $ system_arg $ param_arg 1 $ save $ export $ max_states $ threshold
+      const analyze $ system_arg $ param_opt $ save $ export $ max_states $ threshold
       $ no_related $ searcher $ solver_cache $ no_slice $ deadline $ checkpoint $ resume
-      $ chaos $ jobs $ fast_nondet)
+      $ chaos $ jobs $ fast_nondet $ baseline $ cache_dir $ no_incremental)
 
 let model_opt =
   Arg.(

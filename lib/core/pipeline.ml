@@ -68,6 +68,8 @@ type options = {
   degradation : D.policy;
   jobs : int;
   fast_nondet : bool;
+  cache_dir : string option;
+  cache_dirty : string list;
 }
 
 let default_options =
@@ -96,6 +98,8 @@ let default_options =
     degradation = D.default_policy;
     jobs = Vpar.Pool.default_jobs ();
     fast_nondet = Vpar.Pool.default_fast_nondet ();
+    cache_dir = Sys.getenv_opt "VIOLET_CACHE_DIR";
+    cache_dirty = [];
   }
 
 type analysis = {
@@ -104,6 +108,7 @@ type analysis = {
   result : Ex.result;
   rows : Vmodel.Cost_row.t list;
   diff : Vmodel.Diff_analysis.t;
+  cache_primed : int;
 }
 
 let related_params target param = Vanalysis.Related_config.analyze target.program param
@@ -245,6 +250,39 @@ let analyze ?(opts = default_options) target param =
         | Ex.Config_impact { related = [] } -> Ex.Config_impact { related = sym_param_names }
         | p -> p
       in
+      (* cross-run persistent solver cache: load → footprint-filter → prime
+         before the run, persist the merged contents after.  A missing,
+         corrupt or version-skewed cache file is a cold start, never an
+         error. *)
+      let cache_path =
+        match opts.cache_dir with
+        | Some dir when opts.solver_cache ->
+          Some (Vsched.Cache_store.file ~dir ~system:target.name ~param)
+        | _ -> None
+      in
+      let prime_cache =
+        match cache_path with
+        | None -> None
+        | Some path -> (
+          match Vsched.Cache_store.load_filtered ~path ~dirty:opts.cache_dirty with
+          | Ok d -> Some d
+          | Error _ -> None)
+      in
+      let cache_primed =
+        match prime_cache with Some d -> Vsched.Solver_cache.dump_entries d | None -> 0
+      in
+      let on_cache_dump =
+        match cache_path with
+        | None -> None
+        | Some path ->
+          Some
+            (fun d ->
+              (* filter with an empty dirty set to zero the run's counters
+                 before the dump crosses the run boundary; a failed save
+                 (read-only dir) must not fail the analysis *)
+              ignore
+                (Vsched.Cache_store.save ~path (Vsched.Solver_cache.filter_dump d ~dirty:[])))
+      in
       let exec_opts =
         {
           Ex.env = opts.env;
@@ -270,6 +308,8 @@ let analyze ?(opts = default_options) target param =
           on_checkpoint = checkpoint_hook opts;
           jobs = opts.jobs;
           fast_nondet = opts.fast_nondet;
+          prime_cache;
+          on_cache_dump;
         }
       in
       match load_resume_snapshot opts with
@@ -327,7 +367,7 @@ let analyze ?(opts = default_options) target param =
               ~analysis_wall_s:(opts.budget.B.now () -. wall0)
               ~virtual_analysis_s ()
           in
-          Ok { model; related; result; rows; diff }
+          Ok { model; related; result; rows; diff; cache_primed }
       end
     end
   end

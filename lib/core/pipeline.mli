@@ -115,6 +115,20 @@ type options = {
           not — see {!Vsymexec.Executor.options.fast_nondet}.  The default
           reads the [VIOLET_FAST_NONDET] environment variable (falling back
           to false). *)
+  cache_dir : string option;
+      (** directory for the persistent cross-run solver cache
+          ({!Vsched.Cache_store}): before exploration the
+          [<system>.<param>.vcache] file is loaded, footprint-filtered
+          against [cache_dirty] and primed into the run's solver cache, and
+          after the run the merged cache contents are written back
+          (atomically, checksummed).  Missing/corrupt/stale files mean a
+          cold start, never an error.  The default reads the
+          [VIOLET_CACHE_DIR] environment variable; [None] disables
+          persistence. *)
+  cache_dirty : string list;
+      (** symbol names from changed code: persisted cache entries whose
+          footprints mention any of them are dropped at load time (vinc
+          passes the config/workload symbols of re-explored slices). *)
 }
 
 val default_options : options
@@ -125,6 +139,9 @@ type analysis = {
   result : Vsymexec.Executor.result;
   rows : Vmodel.Cost_row.t list;
   diff : Vmodel.Diff_analysis.t;
+  cache_primed : int;
+      (** entries primed into the solver cache from the persistent
+          cross-run store (0 on a cold start or with caching disabled) *)
 }
 
 val related_params : target -> string -> Vanalysis.Related_config.result

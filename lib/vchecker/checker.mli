@@ -86,10 +86,19 @@ val check_current :
     included) against the model's poor states. *)
 
 val check_upgrade :
-  old_model:Vmodel.Impact_model.t -> new_model:Vmodel.Impact_model.t -> report
+  ?old_digest:string ->
+  ?new_digest:string ->
+  old_model:Vmodel.Impact_model.t ->
+  new_model:Vmodel.Impact_model.t ->
+  unit ->
+  report
 (** Mode 3a: states that got significantly slower in the new code version's
     model, matched by configuration-constraint text (keyed lookup — no
-    solver involved, so no [mode]). *)
+    solver involved, so no [mode]).  When both serialized-model digests are
+    supplied and equal, the row sweep is skipped outright — identical
+    models cannot produce findings (the incremental path hits this
+    constantly: an upgrade whose diff misses a slice carries its model over
+    verbatim). *)
 
 val check_workload_change :
   ?mode:mode ->

@@ -26,6 +26,7 @@ type report = {
   r_fleet_checks : int;
   r_mode_checks : int;
   r_fast_checks : int;
+  r_inc_checks : int;
   r_disagreements : disagreement list;
 }
 
@@ -318,6 +319,72 @@ let modes_leg ~system ~registry exports =
     exports;
   (List.rev !ds, !checks)
 
+(* Incremental leg (DESIGN.md Section 5k): mutate the system, then derive
+   the upgraded models two ways — splicing against a baseline of the
+   original version vs building from scratch — under jobs 1/4 x
+   persistent-solver-cache cold/warm.  Every spliced baseline must carry
+   the same per-slice model digests as the scratch rebuild and produce
+   byte-identical upgrade findings against the original baseline: splicing,
+   parallelism and cache priming are all required to be invisible. *)
+let upgrade_fingerprint (mf : Vinc.Baseline.t) reports =
+  String.concat "\n"
+    (List.map
+       (fun (s : Vinc.Baseline.slice) ->
+         s.Vinc.Baseline.sl_param ^ "=" ^ s.Vinc.Baseline.sl_digest)
+       mf.Vinc.Baseline.mf_slices
+    @ List.map
+        (fun (p, (r : Vchecker.Checker.report)) ->
+          p ^ ": " ^ findings_fingerprint r.Vchecker.Checker.findings)
+        reports)
+
+let inc_leg ~opts (spec : Genspec.t) =
+  let system = spec.Genspec.g_name in
+  let bad param detail = { d_system = system; d_param = param; d_leg = "inc"; d_detail = detail } in
+  let mutated, _ =
+    Mutate.apply (Sprng.split_at (Sprng.make spec.Genspec.g_seed) (Genspec.size spec)) spec
+  in
+  let old_t = Genspec.to_target spec in
+  let new_t = Genspec.to_target mutated in
+  let sopts = { opts with Violet.Pipeline.jobs = 1; cache_dir = None } in
+  let base = fresh_dir () in
+  let scratch = fresh_dir () in
+  let cache1 = fresh_dir () in
+  let cache4 = fresh_dir () in
+  let outs = List.init 4 (fun _ -> fresh_dir ()) in
+  let cleanup () = List.iter rm_rf (base :: scratch :: cache1 :: cache4 :: outs) in
+  let fingerprint_of dir mf =
+    Result.map (upgrade_fingerprint mf) (Vinc.Splice.check_upgrade ~old_dir:base ~new_dir:dir)
+  in
+  let ds = ref [] in
+  let checks = ref 0 in
+  (match Vinc.Baseline.build ~opts:sopts ~dir:base old_t with
+  | Error e -> ds := [ bad "baseline" e ]
+  | Ok _ -> (
+    match Vinc.Baseline.build ~opts:sopts ~dir:scratch new_t with
+    | Error e -> ds := [ bad "scratch" e ]
+    | Ok (scratch_mf, _) ->
+      let reference = fingerprint_of scratch scratch_mf in
+      List.iteri
+        (fun i (label, jobs, cache) ->
+          incr checks;
+          let out = List.nth outs i in
+          let vopts = { sopts with Violet.Pipeline.jobs; cache_dir = Some cache } in
+          match Vinc.Splice.run ~opts:vopts ~baseline:base ~out new_t with
+          | Error e -> ds := bad label e :: !ds
+          | Ok r -> (
+            match (reference, fingerprint_of out r.Vinc.Splice.sp_baseline) with
+            | Ok a, Ok b when String.equal a b -> ()
+            | Ok a, Ok b -> ds := bad label (first_diff b a) :: !ds
+            | Error e, _ | _, Error e -> ds := bad label e :: !ds))
+        [
+          ("inc jobs=1 cache=cold", 1, cache1);
+          ("inc jobs=1 cache=warm", 1, cache1);
+          ("inc jobs=4 cache=cold", 4, cache4);
+          ("inc jobs=4 cache=warm", 4, cache4);
+        ]));
+  cleanup ();
+  (List.rev !ds, !checks)
+
 (* Fast-nondet leg: [--fast-nondet] gives up model byte-identity under
    [jobs > 1] but keeps verdict-identity — path constraints and symbol names
    derive from each state's own fork history, never from scheduling.  The
@@ -332,7 +399,7 @@ let verdict_of ~registry (a : Violet.Pipeline.analysis) =
   | Ok rep -> Ok (verdict_fingerprint rep.Vchecker.Checker.findings)
 
 let check ?(opts = default_opts) ?(daemon = true) ?(fleet = daemon) ?(modes = true)
-    ?(fast = true) (spec : Genspec.t) =
+    ?(fast = true) ?(inc = true) (spec : Genspec.t) =
   let target = Genspec.to_target spec in
   let registry = target.Violet.Pipeline.registry in
   let params =
@@ -426,6 +493,7 @@ let check ?(opts = default_opts) ?(daemon = true) ?(fleet = daemon) ?(modes = tr
     if modes then modes_leg ~system:spec.Genspec.g_name ~registry (List.rev !exports)
     else ([], 0)
   in
+  let inc_ds, inc_checks = if inc then inc_leg ~opts spec else ([], 0) in
   (match dir with Some d -> rm_rf d | None -> ());
   {
     r_system = spec.Genspec.g_name;
@@ -435,5 +503,6 @@ let check ?(opts = default_opts) ?(daemon = true) ?(fleet = daemon) ?(modes = tr
     r_fleet_checks = fleet_checks;
     r_mode_checks = mode_checks;
     r_fast_checks = !n_fast;
-    r_disagreements = List.rev !ds @ daemon_ds @ fleet_ds @ mode_ds;
+    r_inc_checks = inc_checks;
+    r_disagreements = List.rev !ds @ daemon_ds @ fleet_ds @ mode_ds @ inc_ds;
   }

@@ -46,6 +46,9 @@ type report = {
   r_fleet_checks : int;  (** fleet-vs-in-process findings compared *)
   r_mode_checks : int;  (** mode-vs-solver findings compared (Section 5j) *)
   r_fast_checks : int;  (** fast-nondet-vs-reference verdicts compared *)
+  r_inc_checks : int;
+      (** spliced-vs-scratch upgrade analyses compared (Section 5k): jobs
+          1/4 {m \times} persistent solver cache cold/warm *)
   r_disagreements : disagreement list;
 }
 
@@ -73,6 +76,7 @@ val check :
   ?fleet:bool ->
   ?modes:bool ->
   ?fast:bool ->
+  ?inc:bool ->
   Genspec.t ->
   report
 (** Run the full grid over every plant and decoy parameter of the system.
@@ -88,4 +92,9 @@ val check :
     byte-for-byte.  [fast] (default [true]) re-analyzes each parameter under
     [jobs=4 --fast-nondet] and requires verdict-identity
     ({!verdict_fingerprint}) against the reference — byte-identity is
-    exactly what that mode trades away. *)
+    exactly what that mode trades away.  [inc] (default [true]) mutates the
+    system with {!Mutate.apply}, derives the upgraded models by splicing
+    against a baseline of the original ({!Vinc.Splice.run}) under jobs 1/4
+    {m \times} persistent-solver-cache cold/warm, and requires each spliced
+    baseline to match a from-scratch rebuild byte-for-byte — per-slice
+    model digests and upgrade findings alike. *)

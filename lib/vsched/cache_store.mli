@@ -1,0 +1,40 @@
+(** Persistent cross-run solver cache store.
+
+    Serializes {!Solver_cache.dump} values to disk under the
+    {!Vresilience.Checkpoint} envelope (magic + version + kind + length +
+    md5, atomic tmp+rename writes), so repeated analyses of near-identical
+    program versions start warm.  Dumps are geometry-agnostic: a cache
+    dumped by a 64-shard parallel run primes a sequential run and vice
+    versa ({!Solver_cache.Striped.prime}).
+
+    A missing, truncated, corrupt or version-skewed file is never an
+    error for the analysis — {!load} reports why via [Error], and callers
+    fall back to a cold cache.  [save] failures (e.g. read-only cache
+    dir) are likewise reported, not raised. *)
+
+val kind : string
+(** Envelope kind tag ("solver-cache"). *)
+
+val version : int
+(** On-disk format version; bump when {!Solver_cache.dump}'s shape
+    changes. *)
+
+val file : dir:string -> system:string -> param:string -> string
+(** Canonical cache path [<dir>/<system>.<param>.vcache] for one
+    (system, parameter) analysis.  Path separators and other non-filename
+    characters in the components are replaced with ['_']. *)
+
+val save : path:string -> Solver_cache.dump -> (unit, Vresilience.Checkpoint.error) result
+(** Atomically persist a dump (parent directory is created if missing). *)
+
+val load : path:string -> (Solver_cache.dump, Vresilience.Checkpoint.error) result
+(** Read back a dump; the payload is unmarshalled only after the
+    envelope's digest verifies, so corruption surfaces as a typed error,
+    never a crash. *)
+
+val load_filtered :
+  path:string -> dirty:string list -> (Solver_cache.dump, Vresilience.Checkpoint.error) result
+(** {!load} followed by {!Solver_cache.filter_dump}: entries whose
+    footprints mention a [dirty] symbol name are dropped and the dump's
+    counters are zeroed, making the result safe to prime into a fresh
+    run's cache. *)

@@ -272,6 +272,42 @@ let dump t =
 let restore d =
   { d with model_memo = Hashtbl.copy d.model_memo; feas_memo = Hashtbl.copy d.feas_memo }
 
+let dump_entries (d : dump) = Hashtbl.length d.model_memo + Hashtbl.length d.feas_memo
+
+(* Footprint-scoped invalidation for cross-run reuse.  A cached Sat/Unsat
+   is a proof about the constraint *text* and stays logically valid across
+   code versions, but entries touching symbols from changed code are
+   dropped anyway: their queries won't recur verbatim under the new
+   version, and keeping them would let a warm run's verdict provenance
+   differ from a cold run's.  Counters are zeroed because [Striped.prime]
+   folds the dump's counters into shard 0 — a cross-run dump must not
+   pollute the next run's hit statistics with last run's totals. *)
+let filter_dump (d : dump) ~(dirty : string list) =
+  let dirty_set = Sset.of_list dirty in
+  let clean_entry (e : entry) = not (List.exists (fun n -> Sset.mem n dirty_set) e.foot) in
+  let filter_memo memo =
+    let out = Hashtbl.create (Hashtbl.length memo) in
+    Hashtbl.iter (fun k e -> if clean_entry e then Hashtbl.replace out k e) memo;
+    out
+  in
+  let clean_model m = not (List.exists (fun (n, _) -> Sset.mem n dirty_set) m) in
+  let clean_core c = Sset.is_empty (Sset.inter c dirty_set) in
+  {
+    d with
+    model_memo = filter_memo d.model_memo;
+    feas_memo = filter_memo d.feas_memo;
+    models = (if Sset.is_empty dirty_set then d.models else List.filter clean_model d.models);
+    cores = (if Sset.is_empty dirty_set then d.cores else List.filter clean_core d.cores);
+    n_lookups = 0;
+    n_exact_hits = 0;
+    n_cex_hits = 0;
+    n_subsumption_hits = 0;
+    n_misses = 0;
+    n_solver_constraints = 0;
+    n_solver_nodes = 0;
+    n_unknown_purged = 0;
+  }
+
 (* ------------------------------------------------------------------ *)
 (* Shard merging                                                       *)
 (* ------------------------------------------------------------------ *)

@@ -79,6 +79,19 @@ val restore : dump -> t
 (** A fresh cache primed with the dumped contents; replaying the same query
     sequence against it answers exactly as the original would have. *)
 
+val dump_entries : dump -> int
+(** Total memo entries (feasibility + model) held by a dump. *)
+
+val filter_dump : dump -> dirty:string list -> dump
+(** Prepare a dump for cross-run reuse: drop every memo entry whose
+    footprint mentions one of the [dirty] symbol names, along with stored
+    models and unsat cores touching them, and zero all counters (a primed
+    dump's counters fold into the receiving cache, so a cross-run dump
+    must not carry last run's totals).  Cached Sat/Unsat verdicts are
+    proofs about the constraint text and would stay sound across code
+    versions; the footprint scoping keeps a warm run's solver provenance
+    identical to a cold run's for the changed slices. *)
+
 val merge_into : src:t -> dst:t -> unit
 (** Fold one worker's cache segment into another (parallel exploration
     merges per-domain segments on quiesce).  Every entry is sound in any

@@ -118,6 +118,40 @@ let outcome_of_report generation (r : Checker.report) =
 
 let check_failed message = P.Error_resp { code = P.Check_failed; message }
 
+(* Mode-3a (code upgrade, no workloads) is a pure function of the entry's
+   current and previous models, and both are pinned by (key, generation):
+   a reload that changes either bumps the generation.  The daemon answers
+   the same upgrade question for every client watching a rollout, so the
+   row sweep runs once per generation and replays from here after.  The
+   table is shared across pool workers; stale generations for a key are
+   evicted on insert, so it holds at most one report per model. *)
+let upgrade_memo : (string * int, Checker.report) Hashtbl.t = Hashtbl.create 16
+let upgrade_memo_lock = Mutex.create ()
+let upgrade_memo_hit_count = Atomic.make 0
+let upgrade_memo_hits () = Atomic.get upgrade_memo_hit_count
+
+let memoized_check_upgrade ~key ~generation ~old_model ~new_model =
+  let memo_key = key, generation in
+  Mutex.lock upgrade_memo_lock;
+  let cached = Hashtbl.find_opt upgrade_memo memo_key in
+  Mutex.unlock upgrade_memo_lock;
+  match cached with
+  | Some r ->
+    Atomic.incr upgrade_memo_hit_count;
+    r
+  | None ->
+    let r = Checker.check_upgrade ~old_model ~new_model () in
+    Mutex.lock upgrade_memo_lock;
+    let stale =
+      Hashtbl.fold
+        (fun (k, g) _ acc -> if String.equal k key && g <> generation then (k, g) :: acc else acc)
+        upgrade_memo []
+    in
+    List.iter (Hashtbl.remove upgrade_memo) stale;
+    Hashtbl.replace upgrade_memo memo_key r;
+    Mutex.unlock upgrade_memo_lock;
+    r
+
 let exec_check opts (p, entry) =
   match entry with
   | None ->
@@ -194,7 +228,8 @@ let exec_check opts (p, entry) =
             match e.Registry.previous with
             | Some old_model ->
               outcome_of_report generation
-                (Checker.check_upgrade ~old_model ~new_model:model)
+                (memoized_check_upgrade ~key:p.p_key ~generation ~old_model
+                   ~new_model:model)
             | None ->
               check_failed
                 (Printf.sprintf "model %s has no previous generation to compare against"

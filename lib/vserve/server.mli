@@ -73,3 +73,8 @@ val run : options -> (unit, string) result
     bind/listen failure.  An existing Unix-socket file at [addr] is
     replaced; the file is removed again on clean shutdown.  SIGPIPE is
     ignored process-wide (disconnecting clients must not kill the daemon). *)
+
+val upgrade_memo_hits : unit -> int
+(** Mode-3a upgrade reports answered from the per-(key, generation) memo
+    instead of a fresh row sweep (process-wide counter; a registry reload
+    bumps the generation and naturally invalidates the memo). *)

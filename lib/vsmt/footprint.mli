@@ -34,6 +34,12 @@ val of_expr : Expr.t -> t
 val of_list : Expr.t list -> t
 (** Union of the footprints of a constraint list. *)
 
+val mentions_any : Expr.t list -> string list -> bool
+(** [mentions_any cs names] iff the footprint of [cs] contains a symbol
+    with one of the given names.  The name-keyed counterpart of
+    {!overlaps} for queries arriving from persisted (name-tagged) data;
+    names never interned in this process match nothing. *)
+
 val union : t -> t -> t
 val overlaps : t -> t -> bool
 (** [overlaps a b] iff [a] and [b] share at least one symbol. *)

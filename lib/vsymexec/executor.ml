@@ -46,6 +46,7 @@ type snapshot = {
   snap_cache : Vsched.Solver_cache.dump option;
   snap_recorder : Vsched.Exploration_stats.recorder;
   snap_degradation : D.event list;  (* ladder history, oldest first *)
+  snap_visited : string list;  (* functions entered so far, sorted *)
 }
 
 type options = {
@@ -71,6 +72,8 @@ type options = {
   on_checkpoint : (snapshot -> unit) option;
   jobs : int;
   fast_nondet : bool;
+  prime_cache : Vsched.Solver_cache.dump option;
+  on_cache_dump : (Vsched.Solver_cache.dump -> unit) option;
 }
 
 let default_options ?(env = Vruntime.Hw_env.hdd_server) ~config ~workload () =
@@ -97,6 +100,8 @@ let default_options ?(env = Vruntime.Hw_env.hdd_server) ~config ~workload () =
     on_checkpoint = None;
     jobs = 1;
     fast_nondet = false;
+    prime_cache = None;
+    on_cache_dump = None;
   }
 
 type stats = {
@@ -114,6 +119,7 @@ type result = {
   states : Sym_state.t list;
   stats : stats;
   sched : Vsched.Exploration_stats.t;
+  visited_functions : string list;
 }
 
 let sym_config_var reg name =
@@ -166,6 +172,12 @@ type engine = {
          verdict any worker computes is immediately visible to all, where
          the pre-striped per-worker segments re-solved each other's
          queries *)
+  visited : (string, unit) Hashtbl.t;
+      (* every function this worker *entered* on any path, live or dead —
+         the dynamic coverage that scopes incremental invalidation.
+         Completed-row call chains are not enough: a path can enter a
+         function and then die infeasible, yet its exploration already
+         depended on that function's body. *)
   frontier : Sym_state.t Vsched.Searcher.frontier;
   recorder : Vsched.Exploration_stats.recorder;
 }
@@ -541,6 +553,7 @@ let do_return eng (st : S.t) value =
     end
 
 let enter_function eng (st : S.t) ~dest ~ret_addr (f : Ast.func) args =
+  Hashtbl.replace eng.visited f.Ast.fname ();
   let st = emit eng st (Signals.Call { eip = f.Ast.addr; ret_addr }) f.Ast.fname in
   let store = Sym_store.push_frame st.S.store in
   let store =
@@ -558,6 +571,7 @@ let enter_function eng (st : S.t) ~dest ~ret_addr (f : Ast.func) args =
   }
 
 let call_library eng (st : S.t) ~dest ~ret_addr (f : Ast.func) lib args =
+  Hashtbl.replace eng.visited f.Ast.fname ();
   let st = emit eng st (Signals.Call { eip = f.Ast.addr; ret_addr }) f.Ast.fname in
   let effect, semantics, cost =
     match (lib : Ast.fkind) with
@@ -830,6 +844,9 @@ let drain_frontier eng reason =
   in
   go ()
 
+let visited_list eng =
+  Hashtbl.fold (fun f () acc -> f :: acc) eng.visited [] |> List.sort String.compare
+
 let snapshot_of eng =
   {
     snap_program = eng.program.Ast.pname;
@@ -847,11 +864,14 @@ let snapshot_of eng =
     snap_cache = Option.map Vsched.Solver_cache.Striped.dump eng.cache;
     snap_recorder = Vsched.Exploration_stats.copy eng.recorder;
     snap_degradation = D.events eng.ladder;
+    snap_visited = visited_list eng;
   }
 
-(* version 3: Sym_state.path became the structured [Fork_path.t] (version 2
-   introduced [path]/[next_symbol] as a flat string) *)
-let snapshot_version = 3
+(* version 4: added [snap_visited] (dynamic function coverage for
+   incremental invalidation); version 3: Sym_state.path became the
+   structured [Fork_path.t] (version 2 introduced [path]/[next_symbol] as
+   a flat string) *)
+let snapshot_version = 4
 let snapshot_kind = "executor-frontier"
 
 let save_snapshot ~path snap =
@@ -937,6 +957,7 @@ let make_engine ~worker ~ids ~armed ~cache opts program =
     chaos =
       (if worker = 0 then opts.chaos else Option.map (Chaos.fork ~salt:worker) opts.chaos);
     cache;
+    visited = Hashtbl.create 64;
     frontier = Vsched.Searcher.frontier ~view:(make_state_view program) opts.policy;
     recorder =
       Vsched.Exploration_stats.recorder
@@ -1275,6 +1296,8 @@ let run ?resume opts program =
     Array.init jobs (fun w -> make_engine ~worker:w ~ids ~armed ~cache opts program)
   in
   let eng = engines.(0) in
+  (* the entry function is entered by construction, not via a Call *)
+  Hashtbl.replace eng.visited program.Ast.entry ();
   begin
     match resume with
     | Some { snap_cache = Some d; _ } -> begin
@@ -1283,6 +1306,18 @@ let run ?resume opts program =
       | None -> ()
     end
     | _ -> ()
+  end;
+  (* cross-run warm start: prime the shared cache with a persisted dump
+     (already footprint-filtered and counter-zeroed by the caller) *)
+  begin
+    match opts.prime_cache, cache with
+    | Some d, Some cache -> Vsched.Solver_cache.Striped.prime cache d
+    | _ -> ()
+  end;
+  begin
+    match resume with
+    | Some s -> List.iter (fun f -> Hashtbl.replace eng.visited f ()) s.snap_visited
+    | None -> ()
   end;
   begin
     match resume with
@@ -1324,6 +1359,7 @@ let run ?resume opts program =
     eng.n_batch_queries <- eng.n_batch_queries + weng.n_batch_queries;
     eng.n_batch_saved <- eng.n_batch_saved + weng.n_batch_saved;
     eng.finished <- weng.finished @ eng.finished;
+    Hashtbl.iter (fun f () -> Hashtbl.replace eng.visited f ()) weng.visited;
     Vsched.Exploration_stats.merge ~into:eng.recorder weng.recorder
   done;
   (* the deterministic reduction: path-sorted, renumbered states.
@@ -1347,8 +1383,17 @@ let run ?resume opts program =
     | Some c -> Vsched.Solver_cache.Striped.table_sizes c
     | None -> 0, 0
   in
+  (* hand the merged cache contents to the caller for persistence (the
+     callback gets this run's counters too; [Solver_cache.filter_dump]
+     zeroes them before the dump crosses a run boundary) *)
+  begin
+    match opts.on_cache_dump, eng.cache with
+    | Some f, Some c -> f (Vsched.Solver_cache.Striped.dump c)
+    | _ -> ()
+  end;
   {
     states;
+    visited_functions = visited_list eng;
     stats =
       {
         states_created = ids_created eng;

@@ -130,6 +130,17 @@ type options = {
           names are derived from each state's own fork history, never from
           scheduling.  Default [false]; the [--fast-nondet] escape hatch for
           throughput-first sweeps where model bytes are not diffed. *)
+  prime_cache : Vsched.Solver_cache.dump option;
+      (** prime the run's solver cache with a persisted dump before
+          exploration starts (cross-run warm start).  The caller is
+          responsible for invalidation: prime only dumps that went through
+          [Vsched.Solver_cache.filter_dump], which drops entries touching
+          changed code and zeroes the dump's counters so this run's hit
+          statistics stay clean. *)
+  on_cache_dump : (Vsched.Solver_cache.dump -> unit) option;
+      (** called once at the end of the run with the merged contents of the
+          shared solver cache (never called when [solver_cache = false]) —
+          the persistence hook for cross-run caching. *)
 }
 
 val default_options :
@@ -158,6 +169,7 @@ type result = {
   states : Sym_state.t list;
   stats : stats;
   sched : Vsched.Exploration_stats.t;
+  visited_functions : string list;
 }
 (** [states] holds every state that reached a terminal status, renumbered
     0..n-1 in fork-path order — a canonical, scheduling-independent order
@@ -166,7 +178,10 @@ type result = {
     or not, so virtual-time accounting is cache-independent); [sched] is the
     full exploration telemetry including solver-cache hit rates, degradation
     events, per-state completion steps and — for parallel runs — per-worker
-    counters. *)
+    counters.  [visited_functions] is the sorted set of functions any path
+    {e entered} during exploration (including paths that later died
+    infeasible) — the dynamic coverage incremental re-analysis uses to
+    decide whether a code change can affect this analysis. *)
 
 val run : ?resume:snapshot -> options -> Vir.Ast.program -> result
 (** Explore [program].  With [?resume], continue a checkpointed exploration

@@ -32,6 +32,7 @@ let () =
       ("vserve", Test_vserve.tests);
       (* vfuzz's oracle tests also spawn daemon domains *)
       ("vfuzz", Test_vfuzz.tests);
+      ("vinc", Test_vinc.tests);
       ("endtoend", Test_endtoend.tests);
       ("smoke", Test_smoke.tests);
     ]

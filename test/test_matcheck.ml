@@ -372,13 +372,13 @@ let test_upgrade_duplicate_constraints () =
   (* first occurrence fast: the upgrade looks like a big regression *)
   let r1 =
     Checker.check_upgrade ~old_model:{ model with M.rows = [ fast; slow_twin ] }
-      ~new_model
+      ~new_model ()
   in
   check Alcotest.bool "first-occurrence fast -> flagged" true (r1.Checker.findings <> []);
   (* first occurrence slow: same latency as before, nothing to flag *)
   let r2 =
     Checker.check_upgrade ~old_model:{ model with M.rows = [ slow_twin; fast ] }
-      ~new_model
+      ~new_model ()
   in
   check Alcotest.int "first-occurrence slow -> silent" 0 (List.length r2.Checker.findings)
 

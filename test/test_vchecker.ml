@@ -168,10 +168,10 @@ let test_mode3_code_upgrade () =
        Fixtures.target "autocommit")
       .Violet.Pipeline.model
   in
-  let report = Checker.check_upgrade ~old_model ~new_model in
+  let report = Checker.check_upgrade ~old_model ~new_model () in
   check Alcotest.bool "upgrade regression found" true (report.Checker.findings <> []);
   (* no change: silent *)
-  let same = Checker.check_upgrade ~old_model ~new_model:old_model in
+  let same = Checker.check_upgrade ~old_model ~new_model:old_model () in
   check Alcotest.int "same model silent" 0 (List.length same.Checker.findings)
 
 let test_mode3_workload_change () =

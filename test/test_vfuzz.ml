@@ -218,7 +218,7 @@ let test_harness_scores_plants () =
 let test_oracle_agrees_in_process () =
   List.iter
     (fun spec ->
-      let r = Vfuzz.Oracle.check ~daemon:false spec in
+      let r = Vfuzz.Oracle.check ~daemon:false ~inc:false spec in
       if not (Vfuzz.Oracle.agreed r) then
         Alcotest.failf "%s disagrees: %s" r.Vfuzz.Oracle.r_system
           (String.concat "; "
@@ -231,9 +231,19 @@ let test_oracle_agrees_in_process () =
 
 let test_oracle_daemon_leg () =
   let spec = Vfuzz.Generate.spec ~seed:21 ~index:0 () in
-  let r = Vfuzz.Oracle.check ~daemon:true spec in
+  let r = Vfuzz.Oracle.check ~daemon:true ~inc:false spec in
   check Alcotest.bool "daemon leg ran" true (r.Vfuzz.Oracle.r_daemon_checks > 0);
   check Alcotest.bool "daemon agrees with in-process checker" true
+    (Vfuzz.Oracle.agreed r)
+
+let test_oracle_inc_leg () =
+  (* spliced-vs-scratch upgrade analysis: jobs 1/4 x solver cache cold/warm,
+     each compared byte-for-byte against a from-scratch rebuild *)
+  let spec = Vfuzz.Generate.spec ~seed:21 ~index:1 () in
+  let r = Vfuzz.Oracle.check ~daemon:false ~modes:false ~fast:false spec in
+  check Alcotest.int "inc leg compared all four variants" 4
+    r.Vfuzz.Oracle.r_inc_checks;
+  check Alcotest.bool "spliced baselines agree with scratch" true
     (Vfuzz.Oracle.agreed r)
 
 (* ------------------------------------------------------------------ *)
@@ -398,6 +408,7 @@ let tests =
     tc "harness scores plants" test_harness_scores_plants;
     tc "oracle agrees in process" test_oracle_agrees_in_process;
     tc "oracle daemon leg" test_oracle_daemon_leg;
+    tc "oracle incremental leg" test_oracle_inc_leg;
     tc "shrink candidates valid and smaller" test_shrink_candidates_valid_and_smaller;
     tc "shrink minimizes" test_shrink_minimizes;
     QCheck_alcotest.to_alcotest prop_export_import_roundtrip;
